@@ -1,0 +1,112 @@
+// ABLATION of the measurement methodology behind Table I: how do
+// (a) service-time noise and (b) the size of the measurement grid affect
+// the accuracy of the fitted cost constants?
+//
+// Finding (checked below): the regression SLOPES t_fltr and t_tx — the
+// constants that dominate every realistic scenario — are robust to noise
+// and to much smaller grids, while the INTERCEPT t_rcv is fragile: it is
+// orders of magnitude below the other terms at large n_fltr/R, so noise
+// lands disproportionately on it.  Throughput PREDICTIONS stay accurate
+// regardless, because t_rcv contributes little to E[B].  This explains
+// why the paper's Table I methodology is trustworthy where it matters.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "harness_util.hpp"
+#include "testbed/calibration.hpp"
+
+using namespace jmsperf;
+
+namespace {
+
+struct Errors {
+  double rcv, fltr, tx, prediction;
+};
+
+Errors errors_of(const testbed::CampaignResult& result, const core::CostModel& truth) {
+  const auto& fit = result.fit.cost;
+  return {std::fabs(fit.t_rcv - truth.t_rcv) / truth.t_rcv,
+          std::fabs(fit.t_fltr - truth.t_fltr) / truth.t_fltr,
+          std::fabs(fit.t_tx - truth.t_tx) / truth.t_tx,
+          result.fit.max_relative_error(result.samples)};
+}
+
+testbed::CalibrationCampaign base_campaign() {
+  testbed::CalibrationCampaign campaign;
+  campaign.true_cost = core::kFioranoCorrelationId;
+  campaign.measurement.duration = 5.0;
+  campaign.measurement.trim = 0.25;
+  campaign.measurement.repetitions = 1;
+  return campaign;
+}
+
+}  // namespace
+
+int main() {
+  harness::print_title("Ablation: calibration methodology",
+                       "fit accuracy vs noise level and grid size");
+
+  // (a) noise sweep on the full paper grid.
+  std::printf("# (a) service-time noise (full 6x6 grid), per-constant errors\n");
+  harness::print_columns({"noise_cv", "err_t_rcv", "err_t_fltr", "err_t_tx",
+                          "err_prediction"});
+  Errors at_10pct{};
+  for (const double noise : {0.0, 0.01, 0.02, 0.05, 0.10, 0.20}) {
+    auto campaign = base_campaign();
+    campaign.measurement.noise_cv = noise;
+    const auto result = testbed::run_calibration_campaign(campaign);
+    const auto e = errors_of(result, campaign.true_cost);
+    if (noise == 0.10) at_10pct = e;
+    harness::print_row({noise, e.rcv, e.fltr, e.tx, e.prediction});
+  }
+
+  // (b) grid-size sweep at 2% noise.
+  std::printf("# (b) measurement grid size (noise_cv = 0.02)\n");
+  harness::print_columns({"grid_points", "err_t_rcv", "err_t_fltr", "err_t_tx",
+                          "err_prediction"});
+  struct Grid {
+    std::vector<std::uint32_t> r;
+    std::vector<std::uint32_t> n;
+  };
+  const std::vector<Grid> grids = {
+      {{1, 40}, {5, 160}},                                // 4 corner points
+      {{1, 5, 40}, {5, 20, 160}},                         // 9 points
+      {{1, 2, 5, 10, 20, 40}, {5, 10, 20, 40, 80, 160}},  // paper's 36
+  };
+  std::vector<Errors> grid_errors;
+  for (const auto& grid : grids) {
+    auto campaign = base_campaign();
+    campaign.measurement.noise_cv = 0.02;
+    campaign.replication_grades = grid.r;
+    campaign.non_matching = grid.n;
+    const auto result = testbed::run_calibration_campaign(campaign);
+    grid_errors.push_back(errors_of(result, campaign.true_cost));
+    const auto& e = grid_errors.back();
+    harness::print_row({static_cast<double>(grid.r.size() * grid.n.size()),
+                        e.rcv, e.fltr, e.tx, e.prediction});
+  }
+
+  harness::print_claim(
+      "slopes t_fltr and t_tx stay within a few % even at 10% noise",
+      at_10pct.fltr < 0.05 && at_10pct.tx < 0.05);
+  harness::print_claim(
+      "throughput predictions stay accurate even at 10% noise",
+      at_10pct.prediction < 0.05);
+  harness::print_claim(
+      "the intercept t_rcv is the fragile constant (error grows with noise)",
+      at_10pct.rcv > at_10pct.fltr);
+  harness::print_claim(
+      "even a 4-point corner grid pins the slopes to a few %",
+      grid_errors.front().fltr < 0.05 && grid_errors.front().tx < 0.05);
+  harness::print_claim(
+      "the paper's full grid fits all three constants within ~5%",
+      grid_errors.back().rcv < 0.05 && grid_errors.back().fltr < 0.05 &&
+          grid_errors.back().tx < 0.05);
+  harness::print_note(
+      "t_rcv is the intercept of a regression whose other terms are orders "
+      "of magnitude larger at big n_fltr/R; its absolute error is tiny and "
+      "barely affects E[B], which is why predictions survive");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// ABLATION: identical-filter optimization on the REAL broker.
+//
+// The paper observed (Sec. III-B) that FioranoMQ gains nothing from
+// identical filters — it evaluates every installed filter per message,
+// which is exactly why E[B] grows linearly in n_fltr (Eq. 1).  Our broker
+// reproduces that behaviour by default and optionally implements the
+// optimization of the paper's reference [15].  This harness measures the
+// end-to-end routing time per message for N identical subscribers, with
+// and without the index, on the host machine.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "harness_util.hpp"
+#include "jms/broker.hpp"
+#include "workload/filter_population.hpp"
+
+using namespace jmsperf;
+using namespace std::chrono_literals;
+
+namespace {
+
+/// Routes `messages` messages through a broker with `identical` identical
+/// matching subscribers (+1 reference consumer) and returns ns/message.
+double measure(bool indexed, std::uint32_t identical, int messages) {
+  jms::BrokerConfig config;
+  config.subscription_queue_capacity = 1 << 16;
+  config.drop_on_subscriber_overflow = true;  // avoid drain coordination
+  config.enable_identical_filter_index = indexed;
+  jms::Broker broker(config);
+  broker.create_topic("t");
+  std::vector<std::shared_ptr<jms::Subscription>> subs;
+  for (std::uint32_t i = 0; i < identical; ++i) {
+    // All identical, none matching the published key: pure filter cost.
+    subs.push_back(
+        broker.subscribe("t", jms::SubscriptionFilter::correlation_id("#999")));
+  }
+  // Warmup (builds the group cache).
+  for (int i = 0; i < 1000; ++i) broker.publish(workload::make_keyed_message("t", 0));
+  broker.wait_until_idle();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < messages; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+  broker.wait_until_idle();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() / messages;
+}
+
+}  // namespace
+
+int main() {
+  harness::print_title("Ablation: identical-filter index",
+                       "routing ns/message vs identical subscriber count");
+  const int messages = 20000;
+  harness::print_columns({"identical_subs", "no_index_ns", "indexed_ns", "speedup"});
+  double unindexed_slope_lo = 0.0, unindexed_slope_hi = 0.0;
+  double indexed_lo = 0.0, indexed_hi = 0.0;
+  for (const std::uint32_t n : {16u, 64u, 256u, 1024u}) {
+    const double plain = measure(false, n, messages);
+    const double indexed = measure(true, n, messages);
+    if (n == 16) {
+      unindexed_slope_lo = plain;
+      indexed_lo = indexed;
+    }
+    if (n == 1024) {
+      unindexed_slope_hi = plain;
+      indexed_hi = indexed;
+    }
+    harness::print_row({static_cast<double>(n), plain, indexed, plain / indexed});
+  }
+
+  harness::print_claim(
+      "without the index, per-message cost grows strongly with identical "
+      "filters (the FioranoMQ behaviour behind Eq. 1)",
+      unindexed_slope_hi > 5.0 * unindexed_slope_lo);
+  harness::print_claim(
+      "with the index, per-message cost is nearly flat in the identical count",
+      indexed_hi < 3.0 * indexed_lo);
+  harness::print_claim(
+      "the optimization pays off by >5x at 1024 identical subscribers",
+      unindexed_slope_hi > 5.0 * indexed_hi);
+  harness::print_note(
+      "wall-clock numbers depend on the host; the claims are about shape, "
+      "mirroring how the paper reasons about its own testbed");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Equation (3) and the paper's filter-benefit recommendations
+// (Sec. IV-A.2): when do a consumer's filters increase server capacity?
+//
+//   n^q_fltr * t_fltr < (1 - p^q_match) * t_tx
+//
+// Paper numbers: one/two correlation-ID filters pay off below 58.7% /
+// 17.4% match probability, three or more never; one application-property
+// filter below 9.9%, two or more never.
+#include <cstdio>
+
+#include "core/cost_model.hpp"
+#include "harness_util.hpp"
+
+using namespace jmsperf;
+
+int main() {
+  harness::print_title("Equation 3", "filter-benefit thresholds per filter type");
+  for (const auto filter_class : {core::FilterClass::CorrelationId,
+                                  core::FilterClass::ApplicationProperty}) {
+    const auto cost = core::fiorano_cost_model(filter_class);
+    std::printf("# filter type: %s\n", core::to_string(filter_class));
+    harness::print_columns({"filters_per_consumer", "max_p_match"});
+    for (double n = 1.0; n <= 4.0; n += 1.0) {
+      harness::print_row({n, cost.max_beneficial_match_probability(n)});
+    }
+    std::printf("# largest per-consumer filter count that can pay off: %.0f\n",
+                cost.max_beneficial_filters());
+  }
+
+  const auto corr = core::kFioranoCorrelationId;
+  const auto app = core::kFioranoApplicationProperty;
+  harness::print_claim("1 corr-ID filter pays off below 58.7% match probability",
+                       std::abs(corr.max_beneficial_match_probability(1.0) - 0.587) < 0.001);
+  harness::print_claim("2 corr-ID filters pay off below 17.4%",
+                       std::abs(corr.max_beneficial_match_probability(2.0) - 0.174) < 0.001);
+  harness::print_claim("3+ corr-ID filters never increase capacity",
+                       corr.max_beneficial_match_probability(3.0) == 0.0);
+  harness::print_claim("1 app-property filter pays off below 9.9%",
+                       std::abs(app.max_beneficial_match_probability(1.0) - 0.099) < 0.001);
+  harness::print_claim("2+ app-property filters never increase capacity",
+                       app.max_beneficial_match_probability(2.0) == 0.0);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// EXTENSION: heavy-tailed replication grades.
+//
+// The paper's sensitivity analysis caps c_var[B] at ~0.65 (scaled
+// Bernoulli worst case) and concludes variability "plays only a marginal
+// role".  Real pub/sub popularity is often Zipf-like; this harness shows
+// where that conclusion keeps holding and where it starts to crack:
+// heavy tails push c_var[B] beyond the paper's range and inflate the
+// tail quantiles markedly even at fixed utilization.  Analytic results
+// are cross-validated with a Lindley simulation.
+#include <cstdio>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "harness_util.hpp"
+#include "queueing/lindley.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/service_time.hpp"
+#include "stats/quantile.hpp"
+
+using namespace jmsperf;
+
+int main() {
+  harness::print_title("Extension: heavy-tailed replication",
+                       "waiting time under Zipf follower distributions");
+  // Fan-out-dominated scenario: few filters, so the replication term
+  // R * t_tx drives the service time (with many filters the deterministic
+  // part squashes any tail — that regime stays inside the paper's range).
+  const auto cost = core::kFioranoCorrelationId;
+  const double n_fltr = 10.0;
+  const double d = cost.deterministic_part(n_fltr);
+  const double rho = 0.9;
+
+  harness::print_columns({"zipf_exponent", "E[R]", "cv_B", "EW_over_EB",
+                          "q9999_over_EB"});
+  std::vector<double> cvs, tails;
+  for (const double s : {3.0, 2.5, 2.0, 1.5, 1.2}) {
+    const auto zipf = queueing::make_zipf_replication(1000, s);
+    const queueing::ServiceTimeModel service(d, cost.t_tx, *zipf);
+    const queueing::MG1Waiting waiting(rho / service.mean(), service.moments());
+    cvs.push_back(service.coefficient_of_variation());
+    tails.push_back(waiting.waiting_quantile(0.9999) / service.mean());
+    harness::print_row({s, zipf->moments().m1, cvs.back(),
+                        waiting.mean_waiting_time() / service.mean(),
+                        tails.back()});
+  }
+
+  harness::print_claim(
+      "light tails (s = 3) stay inside the paper's cv range, its conclusion "
+      "holds there",
+      cvs.front() < 0.65);
+  harness::print_claim(
+      "tails with s <= 2.5 already exceed the paper's 0.65 variability bound",
+      cvs[1] > 0.65 && cvs[3] > 0.65);
+  harness::print_claim(
+      "the 99.99% tail inflates well beyond the paper's ~50 E[B] at rho=0.9",
+      tails.back() > 100.0);
+
+  // Lindley validation of the most extreme case.
+  const auto zipf = queueing::make_zipf_replication(1000, 1.2);
+  const queueing::ServiceTimeModel service(d, cost.t_tx, *zipf);
+  const queueing::MG1Waiting analytic(rho / service.mean(), service.moments());
+  queueing::LindleyConfig config;
+  config.arrivals = 400000;
+  config.warmup = 40000;
+  config.keep_samples = true;
+  const double t_tx = cost.t_tx;
+  const auto sim = queueing::simulate_mg1_waiting(
+      rho / service.mean(),
+      [&](stats::RandomStream& rng) {
+        return d + t_tx * static_cast<double>(zipf->sample(rng));
+      },
+      config);
+  const double sim_mean = sim.waiting.mean() / service.mean();
+  const double analytic_mean = analytic.mean_waiting_time() / service.mean();
+  std::printf("# Lindley validation (s=1.2): simulated E[W]/E[B] = %.2f, "
+              "analytic %.2f\n", sim_mean, analytic_mean);
+  harness::print_claim("P-K mean wait confirmed by simulation for the heavy tail",
+                       std::abs(sim_mean - analytic_mean) < 0.15 * analytic_mean);
+  harness::print_note(
+      "the paper's 'variability is marginal' conclusion is a property of its "
+      "filter-driven replication models, not of M/GI/1 in general");
+  return 0;
+}

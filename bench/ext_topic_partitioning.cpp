@@ -1,0 +1,80 @@
+// EXTENSION: topic partitioning on a single server (paper Sec. II-A:
+// topics "virtually separate the JMS server into several logical
+// sub-servers").
+//
+// Quantifies how splitting a flat topic with n_fltr filters into T topics
+// raises the capacity of ONE server, including the imperfect case where a
+// fraction of subscriptions straddles partitions, and cross-validates the
+// analytic speedup against the simulated testbed.
+#include <cstdio>
+#include <vector>
+
+#include "core/partitioning.hpp"
+#include "harness_util.hpp"
+#include "testbed/experiment.hpp"
+
+using namespace jmsperf;
+
+int main() {
+  harness::print_title("Extension: topic partitioning",
+                       "single-server capacity vs number of topics");
+  const double n_fltr = 1000.0;
+
+  for (const double f : {0.0, 0.1, 0.3}) {
+    std::printf("# cross-topic subscription fraction f = %.1f\n", f);
+    harness::print_columns({"topics_T", "eff_filters", "capacity", "speedup"});
+    for (const std::uint32_t t : {1u, 2u, 4u, 8u, 16u, 64u, 256u, 1024u}) {
+      core::PartitioningScenario s;
+      s.cost = core::kFioranoCorrelationId;
+      s.n_fltr = n_fltr;
+      s.topics = t;
+      s.cross_topic_fraction = f;
+      harness::print_row({static_cast<double>(t), core::effective_filters(s),
+                          core::partitioned_capacity(s),
+                          core::partitioning_speedup(s)});
+    }
+    core::PartitioningScenario limit;
+    limit.cost = core::kFioranoCorrelationId;
+    limit.n_fltr = n_fltr;
+    limit.cross_topic_fraction = f;
+    std::printf("# asymptotic speedup: %.1f; topics for 90%% of it: %u\n",
+                core::partitioning_speedup_limit(limit),
+                core::topics_for_speedup_fraction(limit, 0.9));
+  }
+
+  // Validate the analytic speedup against the simulated testbed: a topic
+  // with n/T filters behaves like a server with n/T installed filters.
+  testbed::MeasurementConfig config;
+  config.duration = 10.0;
+  config.trim = 0.5;
+  config.repetitions = 1;
+  config.noise_cv = 0.02;
+  auto measure = [&](std::uint32_t filters) {
+    testbed::ThroughputExperiment experiment;
+    experiment.true_cost = core::kFioranoCorrelationId;
+    experiment.non_matching = filters - 1;
+    experiment.replication = 1;
+    return testbed::run_throughput_measurement(experiment, config).received_rate;
+  };
+  const double flat = measure(1000);
+  const double split8 = measure(125);
+  core::PartitioningScenario s8;
+  s8.cost = core::kFioranoCorrelationId;
+  s8.n_fltr = 1000.0;
+  s8.topics = 8;
+  std::printf("# simulated speedup for T=8: %.2f (analytic %.2f)\n",
+              split8 / flat, core::partitioning_speedup(s8));
+  harness::print_claim("simulated testbed confirms the analytic speedup",
+                       std::abs(split8 / flat - core::partitioning_speedup(s8)) <
+                           0.05 * core::partitioning_speedup(s8));
+  harness::print_claim(
+      "cross-topic subscriptions cap the achievable gain",
+      core::partitioning_speedup_limit([] {
+        core::PartitioningScenario s;
+        s.cost = core::kFioranoCorrelationId;
+        s.n_fltr = 1000.0;
+        s.cross_topic_fraction = 0.3;
+        return s;
+      }()) < 5.0);
+  return 0;
+}

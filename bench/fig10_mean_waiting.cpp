@@ -1,0 +1,47 @@
+// Figure 10: normalized mean waiting time E[W]/E[B] vs server utilization
+// rho, for service-time coefficients of variation c_var[B] in
+// {0, 0.2, 0.4} (the range induced by realistic replication-grade
+// distributions, cf. Figs. 8 and 9).
+//
+// Pollaczek-Khinchine: E[W]/E[B] = rho (1 + cv^2) / (2 (1 - rho)).
+#include <cstdio>
+#include <vector>
+
+#include "harness_util.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/service_time.hpp"
+
+using namespace jmsperf;
+
+int main() {
+  harness::print_title("Figure 10",
+                       "normalized mean waiting time E[W]/E[B] vs utilization");
+  const std::vector<double> cvs = {0.0, 0.2, 0.4};
+  harness::print_columns({"rho", "EW_cv0.0", "EW_cv0.2", "EW_cv0.4", "pk_formula_cv0.4"});
+
+  for (double rho = 0.05; rho <= 0.951; rho += 0.05) {
+    std::vector<double> row{rho};
+    for (const double cv : cvs) {
+      const auto law = cv == 0.0 ? queueing::ReplicationLaw::Deterministic
+                                 : queueing::ReplicationLaw::Binomial;
+      const auto b = queueing::normalized_service_moments(cv, law);
+      const queueing::MG1Waiting mg1(rho, b);  // E[B] = 1 -> lambda = rho
+      row.push_back(mg1.mean_waiting_time());
+    }
+    row.push_back(rho * (1.0 + 0.16) / (2.0 * (1.0 - rho)));
+    harness::print_row(row);
+  }
+
+  const auto b04 = queueing::normalized_service_moments(0.4, queueing::ReplicationLaw::Binomial);
+  const auto b00 = queueing::normalized_service_moments(0.0, queueing::ReplicationLaw::Deterministic);
+  const queueing::MG1Waiting low(0.5, b04);
+  const queueing::MG1Waiting high(0.9, b04);
+  const queueing::MG1Waiting det(0.9, b00);
+  harness::print_claim("mean wait is dominated by the utilization rho",
+                       high.mean_waiting_time() > 5.0 * low.mean_waiting_time());
+  harness::print_claim(
+      "processing-time variability plays only a marginal role (cv=0.4 adds "
+      "just 16% over deterministic service)",
+      std::abs(high.mean_waiting_time() / det.mean_waiting_time() - 1.16) < 0.001);
+  return 0;
+}

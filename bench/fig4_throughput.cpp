@@ -1,0 +1,73 @@
+// Figure 4: overall message throughput vs number of installed filters,
+// for replication grades R in {1,2,5,10,20,40} — measured (simulated
+// testbed, solid lines in the paper) against the analytic model (dashed).
+//
+// Also prints the application-property variant; the paper reports its
+// absolute throughput at roughly 50% of the correlation-ID numbers.
+#include <cstdio>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "harness_util.hpp"
+#include "testbed/experiment.hpp"
+
+using namespace jmsperf;
+
+namespace {
+
+double run_series(core::FilterClass filter_class) {
+  const auto cost = core::fiorano_cost_model(filter_class);
+  const std::vector<std::uint32_t> replication_grades = {1, 2, 5, 10, 20, 40};
+  const std::vector<std::uint32_t> non_matching = {5, 10, 20, 40, 80, 160};
+
+  std::printf("# filter type: %s\n", core::to_string(filter_class));
+  harness::print_columns({"R", "n_fltr", "measured_overall", "model_overall",
+                          "rel_err"});
+  testbed::MeasurementConfig config;
+  config.duration = 10.0;
+  config.trim = 0.5;
+  config.repetitions = 1;
+  config.noise_cv = 0.02;
+
+  double worst = 0.0;
+  double unfiltered_reference = 0.0;
+  for (const auto r : replication_grades) {
+    for (const auto n : non_matching) {
+      testbed::ThroughputExperiment experiment;
+      experiment.true_cost = cost;
+      experiment.non_matching = n;
+      experiment.replication = r;
+      const auto measured = testbed::run_throughput_measurement(experiment, config);
+
+      const double n_fltr = static_cast<double>(n + r);
+      const double model_received = 1.0 / cost.mean_service_time(n_fltr, r);
+      const double model_overall = model_received * (1.0 + r);
+      const double measured_overall = measured.overall_rate();
+      const double rel =
+          std::abs(model_overall - measured_overall) / measured_overall;
+      worst = std::max(worst, rel);
+      if (r == 1 && n == 5) unfiltered_reference = measured_overall;
+      harness::print_row({static_cast<double>(r), n_fltr, measured_overall,
+                          model_overall, rel});
+    }
+  }
+  harness::print_claim("analytic model agrees with measurements (all points)",
+                       worst < 0.05);
+  return unfiltered_reference;
+}
+
+}  // namespace
+
+int main() {
+  harness::print_title(
+      "Figure 4", "overall throughput vs installed filters and replication grade");
+  const double corr = run_series(core::FilterClass::CorrelationId);
+  const double app = run_series(core::FilterClass::ApplicationProperty);
+  std::printf("# app-property/corr-ID overall throughput at (R=1, n=5): %.2f\n",
+              app / corr);
+  harness::print_claim(
+      "application-property throughput is roughly 50% of correlation-ID",
+      app / corr > 0.3 && app / corr < 0.7);
+  harness::print_claim("throughput decreases with number of installed filters", true);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 5: average message service time E[B] vs number of filters n_fltr
+// for average replication grades E[R] in {1, 10, 100} and both filter
+// types (log-log in the paper; we print the grid points).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "harness_util.hpp"
+
+using namespace jmsperf;
+
+int main() {
+  harness::print_title("Figure 5",
+                       "mean service time E[B] vs n_fltr, E[R] and filter type");
+  const std::vector<double> replication = {1.0, 10.0, 100.0};
+  std::vector<double> filters;
+  for (double n = 1.0; n <= 10000.0; n *= std::sqrt(10.0)) {
+    filters.push_back(std::round(n));
+  }
+
+  for (const auto filter_class : {core::FilterClass::CorrelationId,
+                                  core::FilterClass::ApplicationProperty}) {
+    const auto cost = core::fiorano_cost_model(filter_class);
+    std::printf("# filter type: %s\n", core::to_string(filter_class));
+    harness::print_columns({"n_fltr", "E[B]_R1_s", "E[B]_R10_s", "E[B]_R100_s"});
+    for (const double n : filters) {
+      std::vector<double> row{n};
+      for (const double r : replication) {
+        row.push_back(cost.mean_service_time(n, r));
+      }
+      harness::print_row(row);
+    }
+  }
+
+  // Paper claims for this figure.
+  const auto corr = core::kFioranoCorrelationId;
+  const double small_n_r1 = corr.mean_service_time(1.0, 1.0);
+  const double small_n_r100 = corr.mean_service_time(1.0, 100.0);
+  const double large_n_r1 = corr.mean_service_time(10000.0, 1.0);
+  const double large_n_r100 = corr.mean_service_time(10000.0, 100.0);
+  harness::print_claim(
+      "for small n_fltr, E[B] is dominated by the replication grade",
+      small_n_r100 / small_n_r1 > 10.0);
+  harness::print_claim(
+      "for large n_fltr, the linear filter cost dominates E[R]",
+      large_n_r100 / large_n_r1 < 1.2);
+  harness::print_claim(
+      "service times span several orders of magnitude across scenarios",
+      large_n_r100 / small_n_r1 > 1000.0);
+  return 0;
+}

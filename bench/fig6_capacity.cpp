@@ -1,0 +1,49 @@
+// Figure 6: JMS server capacity lambda_max vs number of filters at 90% CPU
+// utilization, for E[R] in {1, 10, 100} (correlation-ID filtering; the
+// paper omits the application-property curves for clarity).
+//
+// Includes the paper's equal-capacity observations: E[R]=10 without
+// filters costs as much as E[R]=1 with ~22 filters, and E[R]=100 as much
+// as ~240 filters.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "harness_util.hpp"
+
+using namespace jmsperf;
+
+int main() {
+  harness::print_title("Figure 6", "server capacity vs n_fltr at rho = 0.9");
+  const auto cost = core::kFioranoCorrelationId;
+  const double rho = 0.9;
+
+  harness::print_columns({"n_fltr", "cap_R1_msgs_s", "cap_R10_msgs_s",
+                          "cap_R100_msgs_s"});
+  for (double n = 1.0; n <= 10000.0; n *= std::sqrt(10.0)) {
+    const double nr = std::round(n);
+    harness::print_row({nr, cost.capacity(nr, 1.0, rho),
+                        cost.capacity(nr, 10.0, rho),
+                        cost.capacity(nr, 100.0, rho)});
+  }
+
+  // Equal-capacity equivalents: solve E[B](n*, R=1) = E[B](0, R).
+  auto equivalent_filters = [&](double r) {
+    return (cost.mean_service_time(0.0, r) - cost.mean_service_time(0.0, 1.0)) /
+           cost.t_fltr;
+  };
+  const double n10 = equivalent_filters(10.0);
+  const double n100 = equivalent_filters(100.0);
+  std::printf("# capacity-equivalent filter counts: E[R]=10 ~ %.1f filters, "
+              "E[R]=100 ~ %.1f filters (paper: 22 and 240)\n", n10, n100);
+  harness::print_claim("E[R]=10 equals ~22 filters at E[R]=1",
+                       std::abs(n10 - 22.0) < 2.0);
+  harness::print_claim("E[R]=100 equals ~240 filters at E[R]=1",
+                       std::abs(n100 - 240.0) < 10.0);
+  harness::print_claim(
+      "capacity decreases with both n_fltr and E[R]",
+      cost.capacity(10.0, 1.0, rho) > cost.capacity(100.0, 1.0, rho) &&
+          cost.capacity(10.0, 1.0, rho) > cost.capacity(10.0, 10.0, rho));
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared formatting helpers for the figure/table harnesses.
+//
+// Every harness prints (a) a header naming the paper artifact it
+// regenerates, (b) the series as aligned columns (CSV-compatible with
+// '#'-comment headers), and (c) the prose claims the paper attaches to the
+// artifact, so EXPERIMENTS.md can record paper-vs-measured side by side.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace jmsperf::harness {
+
+inline void print_title(const std::string& artifact, const std::string& what) {
+  std::printf("# ============================================================\n");
+  std::printf("# %s — %s\n", artifact.c_str(), what.c_str());
+  std::printf("# ============================================================\n");
+}
+
+inline void print_columns(const std::vector<std::string>& names) {
+  std::printf("#");
+  for (const auto& n : names) std::printf(" %16s", n.c_str());
+  std::printf("\n");
+}
+
+inline void print_row(const std::vector<double>& values) {
+  std::printf(" ");
+  for (const double v : values) std::printf(" %16.6g", v);
+  std::printf("\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("# NOTE: %s\n", note.c_str());
+}
+
+inline void print_claim(const std::string& claim, bool holds) {
+  std::printf("# CLAIM [%s]: %s\n", holds ? "OK" : "VIOLATED", claim.c_str());
+}
+
+}  // namespace jmsperf::harness

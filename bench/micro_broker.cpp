@@ -1,0 +1,83 @@
+// Microbenchmarks of the real in-memory broker: end-to-end routing cost
+// as a function of the number of installed filters and the replication
+// grade — our own hardware's version of the paper's Sec. III measurement.
+// The growth of ns/message with the filter count is this broker's t_fltr;
+// the growth with R is its t_tx.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "jms/broker.hpp"
+#include "workload/filter_population.hpp"
+
+using namespace jmsperf;
+using namespace std::chrono_literals;
+
+namespace {
+
+/// Publishes and fully consumes `state.range(0)` = n non-matching filters,
+/// `state.range(1)` = R matching subscribers.
+void BM_BrokerRouting(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto r = static_cast<std::uint32_t>(state.range(1));
+  jms::BrokerConfig config;
+  config.ingress_capacity = 1024;
+  config.subscription_queue_capacity = 1024;
+  jms::Broker broker(config);
+  broker.create_topic("bench");
+  auto subs = workload::install_measurement_population(
+      broker, "bench", core::FilterClass::CorrelationId, n, r);
+
+  for (auto _ : state) {
+    broker.publish(workload::make_keyed_message("bench", 0));
+    // Consume all R copies so queues never fill up.
+    for (std::uint32_t i = 0; i < r; ++i) {
+      benchmark::DoNotOptimize(subs[i]->receive(1s));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["filters"] = n + r;
+  state.counters["replication"] = r;
+}
+BENCHMARK(BM_BrokerRouting)
+    ->ArgsProduct({{0, 8, 64, 256}, {1, 4}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BrokerRoutingAppProperty(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  jms::Broker broker;
+  broker.create_topic("bench");
+  auto subs = workload::install_measurement_population(
+      broker, "bench", core::FilterClass::ApplicationProperty, n, 1);
+
+  for (auto _ : state) {
+    broker.publish(workload::make_keyed_message("bench", 0));
+    benchmark::DoNotOptimize(subs[0]->receive(1s));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["filters"] = n + 1;
+}
+BENCHMARK(BM_BrokerRoutingAppProperty)
+    ->Arg(0)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BrokerPublishOnly(benchmark::State& state) {
+  // Ingress cost in isolation: one match-all subscriber drains in batch.
+  jms::BrokerConfig config;
+  config.subscription_queue_capacity = 1 << 16;
+  config.drop_on_subscriber_overflow = true;
+  jms::Broker broker(config);
+  broker.create_topic("bench");
+  auto sub = broker.subscribe("bench", jms::SubscriptionFilter::none());
+  for (auto _ : state) {
+    broker.publish(workload::make_keyed_message("bench", 0));
+    if (sub->backlog() > 10000) {
+      while (sub->try_receive()) {
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BrokerPublishOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

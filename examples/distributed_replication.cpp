@@ -1,0 +1,63 @@
+// Distributed architecture advisor: PSR vs SSR (paper Sec. IV-C).
+//
+// For a set of deployment shapes (publishers n x subscribers m) the tool
+// prints both architectures' system capacities, the crossover point of
+// Eq. (23), the interconnect traffic, and a recommendation.
+//
+// Build & run:  ./build/examples/distributed_replication
+#include <cstdio>
+#include <vector>
+
+#include "core/distributed.hpp"
+
+using namespace jmsperf;
+
+namespace {
+
+void advise(std::uint64_t n, std::uint64_t m) {
+  core::DistributedScenario s;
+  s.cost = core::kFioranoCorrelationId;
+  s.publishers = n;
+  s.subscribers = m;
+  s.filters_per_subscriber = 10.0;
+  s.mean_replication = 1.0;
+  s.rho = 0.9;
+
+  const double psr = core::psr_capacity(s);
+  const double ssr = core::ssr_capacity(s);
+  const double crossover = core::psr_crossover_publishers(s);
+  const auto choice = core::recommend_architecture(s);
+
+  std::printf("n=%-7llu m=%-7llu | PSR %12.1f msgs/s (%.2f per server) | "
+              "SSR %10.1f msgs/s | n* = %8.1f | -> %s\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(m), psr,
+              core::psr_per_server_capacity(s), ssr, crossover,
+              core::to_string(choice));
+
+  // Interconnect load at 80% of the chosen system's capacity.
+  const double lambda = 0.8 * std::max(psr, ssr);
+  std::printf("        network traffic at %.0f msgs/s published: PSR %.0f, "
+              "SSR %.0f copies/s\n",
+              lambda, core::psr_network_traffic(s, lambda),
+              core::ssr_network_traffic(s, lambda));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PSR vs SSR capacity advisor (E[R]=1, 10 corr-ID filters per "
+              "subscriber, rho=0.9)\n");
+  std::printf("--------------------------------------------------------------"
+              "-----------------\n");
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> shapes = {
+      {5, 1000}, {50, 1000}, {500, 1000}, {5000, 1000},
+      {100, 10}, {100, 100}, {100, 1000}, {100, 10000},
+  };
+  for (const auto& [n, m] : shapes) advise(n, m);
+
+  std::printf("\ntakeaway (paper Sec. IV-C): PSR scales with publishers but "
+              "chokes on many subscribers;\nSSR scales with subscribers but "
+              "not with publishers — neither solves general scalability.\n");
+  return 0;
+}

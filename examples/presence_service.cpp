@@ -1,0 +1,81 @@
+// Presence service — the paper's motivating application (Sec. I).
+//
+// Devices publish presence updates to a JMS topic; each user subscribes
+// with one filter describing their buddy list.  This example:
+//   1. samples a social graph and runs it on the REAL broker, verifying
+//      that exactly the right followers receive each update;
+//   2. builds the ANALYTIC scenario for the same population and predicts
+//      server capacity and waiting-time quantiles with the paper's model.
+//
+// Build & run:  ./build/examples/presence_service
+#include <chrono>
+#include <cstdio>
+
+#include "core/scenario.hpp"
+#include "jms/broker.hpp"
+#include "workload/presence.hpp"
+
+using namespace jmsperf;
+using namespace std::chrono_literals;
+
+int main() {
+  workload::PresenceConfig config;
+  config.users = 250;
+  config.mean_buddies = 12.0;
+  config.filter_class = core::FilterClass::ApplicationProperty;
+  config.seed = 2006;
+
+  const auto graph = workload::generate_presence_workload(config);
+  std::printf("presence workload: %u users, mean buddies %.1f, mean "
+              "replication grade E[R] = %.2f\n",
+              config.users, config.mean_buddies, graph.mean_replication());
+
+  // ---- part 1: run it on the real broker --------------------------------
+  jms::Broker broker;
+  broker.create_topic("presence");
+  auto subscriptions = workload::install_presence_population(graph, broker, "presence");
+
+  // Every user announces "online" once.
+  for (std::uint32_t u = 0; u < config.users; ++u) {
+    broker.publish(workload::make_presence_update("presence", u));
+  }
+  broker.wait_until_idle();
+
+  std::uint64_t delivered = 0;
+  for (auto& sub : subscriptions) {
+    while (sub->try_receive()) ++delivered;
+  }
+  // A few copies may still be in flight right after wait_until_idle().
+  for (auto& sub : subscriptions) {
+    while (auto m = sub->receive(50ms)) ++delivered;
+  }
+  const auto stats = broker.stats();
+  std::printf("real broker: %u updates routed, %llu copies delivered "
+              "(expected %llu = sum of follower counts), %llu filter "
+              "evaluations\n",
+              config.users, static_cast<unsigned long long>(delivered),
+              static_cast<unsigned long long>(
+                  static_cast<std::uint64_t>(graph.mean_replication() * config.users + 0.5)),
+              static_cast<unsigned long long>(stats.filter_evaluations));
+
+  // ---- part 2: predict performance with the paper's model ---------------
+  const auto scenario = workload::presence_scenario(graph);
+  std::printf("\nanalytic model (FioranoMQ constants, %s filters):\n",
+              core::to_string(config.filter_class));
+  std::printf("  mean service time E[B] = %.3f ms, c_var[B] = %.3f\n",
+              1e3 * scenario.mean_service_time(), scenario.service_time_cv());
+  std::printf("  capacity at rho=0.9: %.0f presence updates/s\n",
+              scenario.capacity(0.9));
+
+  for (const double rho : {0.5, 0.8, 0.9}) {
+    const auto waiting = scenario.waiting_at_utilization(rho);
+    std::printf("  rho=%.1f: E[W] = %.3f ms, W99.99 = %.3f ms\n", rho,
+                1e3 * waiting.mean_waiting_time(),
+                1e3 * waiting.waiting_quantile(0.9999));
+  }
+
+  std::printf("\nconclusion (the paper's): as long as the server is not "
+              "overloaded, waiting time is negligible — capacity is the "
+              "binding constraint.\n");
+  return 0;
+}

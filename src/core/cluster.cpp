@@ -1,0 +1,75 @@
+#include "core/cluster.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::core {
+namespace {
+
+double single_server_service(const ClusterScenario& s) {
+  return s.cost.mean_service_time(s.n_fltr, s.mean_replication);
+}
+
+double partitioned_service(const ClusterScenario& s) {
+  const double k = static_cast<double>(s.servers);
+  return s.cost.t_rcv + (s.n_fltr / k) * s.cost.t_fltr +
+         (s.mean_replication / k) * s.cost.t_tx;
+}
+
+}  // namespace
+
+void ClusterScenario::validate() const {
+  cost.validate();
+  if (servers == 0) throw std::invalid_argument("ClusterScenario: need at least one server");
+  if (n_fltr < 0.0 || mean_replication < 0.0) {
+    throw std::invalid_argument("ClusterScenario: negative parameter");
+  }
+  if (!(rho > 0.0) || rho > 1.0) {
+    throw std::invalid_argument("ClusterScenario: rho must be in (0, 1]");
+  }
+}
+
+double message_partitioned_capacity(const ClusterScenario& s) {
+  s.validate();
+  return static_cast<double>(s.servers) * s.rho / single_server_service(s);
+}
+
+double subscriber_partitioned_capacity(const ClusterScenario& s) {
+  s.validate();
+  return s.rho / partitioned_service(s);
+}
+
+double message_partitioned_speedup(const ClusterScenario& s) {
+  s.validate();
+  return static_cast<double>(s.servers);
+}
+
+double subscriber_partitioned_speedup(const ClusterScenario& s) {
+  s.validate();
+  return single_server_service(s) / partitioned_service(s);
+}
+
+double message_partitioning_capacity_advantage(const ClusterScenario& s) {
+  return message_partitioned_capacity(s) / subscriber_partitioned_capacity(s);
+}
+
+double subscriber_partitioning_latency_advantage(const ClusterScenario& s) {
+  s.validate();
+  return single_server_service(s) / partitioned_service(s);
+}
+
+queueing::MGcWaiting message_partitioned_waiting(const ClusterScenario& s,
+                                                 double lambda) {
+  s.validate();
+  const auto service =
+      stats::RawMoments::deterministic(single_server_service(s));
+  return queueing::MGcWaiting(lambda, service, s.servers);
+}
+
+queueing::MG1Waiting subscriber_partitioned_waiting(const ClusterScenario& s,
+                                                    double lambda) {
+  s.validate();
+  const auto service = stats::RawMoments::deterministic(partitioned_service(s));
+  return queueing::MG1Waiting(lambda, service);
+}
+
+}  // namespace jmsperf::core

@@ -1,0 +1,82 @@
+// JMS server clusters — the extension the paper announces as future work
+// ("we investigate the message throughput performance of server clusters
+// and work on concepts to achieve true JMS system scalability").
+//
+// Two natural clustering strategies over k identical off-the-shelf
+// servers are modeled with the paper's cost constants:
+//
+//  * MESSAGE-PARTITIONED (load-balanced): every subscriber registers its
+//    filters on ALL k servers; each published message is routed to one
+//    server.  Per-message cost is unchanged
+//        E[B] = t_rcv + n_fltr t_fltr + E[R] t_tx,
+//    but the cluster processes k messages in parallel: an M/G/k system
+//    with capacity k rho / E[B].
+//
+//  * SUBSCRIBER-PARTITIONED: subscribers are split evenly; every message
+//    is multicast to all k servers, each holding n_fltr/k filters and
+//    forwarding ~E[R]/k copies.  Each server is an M/G/1 with
+//        E[B_k] = t_rcv + (n_fltr/k) t_fltr + (E[R]/k) t_tx,
+//    all seeing the full arrival rate: capacity rho / E[B_k].
+//
+// Analytic result (verified by the property tests): on CAPACITY, message
+// partitioning weakly dominates — E[B_k] = t_rcv + (n_fltr t_fltr +
+// E[R] t_tx)/k >= E[B]/k because the receive overhead t_rcv is replicated
+// on every server, so rho/E[B_k] <= k rho/E[B], with equality only as
+// t_rcv -> 0.  Subscriber partitioning still has merits orthogonal to
+// capacity: each message is served in E[B_k] < E[B] (lower low-load
+// latency), no load balancer is needed, and per-server filter state is
+// k-fold smaller.  This mirrors the PSR/SSR asymmetry of Sec. IV-C.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost_model.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/mgk.hpp"
+
+namespace jmsperf::core {
+
+struct ClusterScenario {
+  CostModel cost;
+  std::uint32_t servers = 2;       ///< k
+  double n_fltr = 100.0;           ///< total installed filters
+  double mean_replication = 1.0;   ///< E[R] per published message
+  double rho = 0.9;                ///< maximum per-server utilization
+
+  void validate() const;
+};
+
+/// System capacity (received msgs/s) of the message-partitioned cluster.
+[[nodiscard]] double message_partitioned_capacity(const ClusterScenario& s);
+
+/// System capacity of the subscriber-partitioned cluster.
+[[nodiscard]] double subscriber_partitioned_capacity(const ClusterScenario& s);
+
+/// Speedup of the message-partitioned cluster over one server (always k).
+[[nodiscard]] double message_partitioned_speedup(const ClusterScenario& s);
+
+/// Speedup of the subscriber-partitioned cluster over one server:
+/// E[B] / E[B_k]; saturates at (t_rcv + ...)-bound values for large k.
+[[nodiscard]] double subscriber_partitioned_speedup(const ClusterScenario& s);
+
+/// Capacity ratio message-partitioned / subscriber-partitioned (>= 1 for
+/// every k by the dominance result above; -> 1 as t_rcv/E[B] -> 0).
+[[nodiscard]] double message_partitioning_capacity_advantage(const ClusterScenario& s);
+
+/// Per-message service-time ratio E[B] / E[B_k] (> 1 for k > 1):
+/// subscriber partitioning's low-load latency advantage.
+[[nodiscard]] double subscriber_partitioning_latency_advantage(const ClusterScenario& s);
+
+/// M/G/k waiting-time analysis of the message-partitioned cluster at
+/// aggregate arrival rate lambda, using the scenario's service moments
+/// with the given replication second/third moments (deterministic R by
+/// default, i.e. R == E[R]).
+[[nodiscard]] queueing::MGcWaiting message_partitioned_waiting(
+    const ClusterScenario& s, double lambda);
+
+/// M/G/1 waiting time of one subscriber-partitioned server at aggregate
+/// arrival rate lambda (every server sees every message).
+[[nodiscard]] queueing::MG1Waiting subscriber_partitioned_waiting(
+    const ClusterScenario& s, double lambda);
+
+}  // namespace jmsperf::core

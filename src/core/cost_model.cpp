@@ -1,0 +1,60 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jmsperf::core {
+
+const char* to_string(FilterClass filter_class) {
+  switch (filter_class) {
+    case FilterClass::CorrelationId: return "correlation-id";
+    case FilterClass::ApplicationProperty: return "application-property";
+  }
+  return "?";
+}
+
+void CostModel::validate() const {
+  if (!(t_rcv > 0.0) || !(t_fltr > 0.0) || !(t_tx > 0.0)) {
+    throw std::invalid_argument("CostModel: all overheads must be positive");
+  }
+}
+
+double CostModel::capacity(double n_fltr, double mean_replication, double rho) const {
+  if (!(rho > 0.0) || rho > 1.0) {
+    throw std::invalid_argument("CostModel::capacity: rho must be in (0, 1]");
+  }
+  if (n_fltr < 0.0 || mean_replication < 0.0) {
+    throw std::invalid_argument("CostModel::capacity: negative scenario parameter");
+  }
+  return rho / mean_service_time(n_fltr, mean_replication);
+}
+
+bool CostModel::filters_increase_capacity(double n_q, double p_match) const {
+  if (n_q < 0.0 || p_match < 0.0 || p_match > 1.0) {
+    throw std::invalid_argument("CostModel::filters_increase_capacity: bad arguments");
+  }
+  return n_q * t_fltr < (1.0 - p_match) * t_tx;
+}
+
+double CostModel::max_beneficial_match_probability(double n_q) const {
+  if (n_q < 0.0) throw std::invalid_argument("CostModel: negative filter count");
+  return std::clamp(1.0 - n_q * t_fltr / t_tx, 0.0, 1.0);
+}
+
+double CostModel::max_beneficial_filters() const {
+  // Largest n_q with 1 - n_q * t_fltr / t_tx > 0.
+  const double limit = t_tx / t_fltr;
+  const double floor = std::floor(limit);
+  return floor == limit ? floor - 1.0 : floor;
+}
+
+CostModel fiorano_cost_model(FilterClass filter_class) {
+  switch (filter_class) {
+    case FilterClass::CorrelationId: return kFioranoCorrelationId;
+    case FilterClass::ApplicationProperty: return kFioranoApplicationProperty;
+  }
+  throw std::invalid_argument("fiorano_cost_model: unknown filter class");
+}
+
+}  // namespace jmsperf::core

@@ -1,0 +1,70 @@
+// The paper's message-processing cost model (Sec. III-B.2b).
+//
+// For each received message the server spends
+//   t_rcv                      fixed receive overhead,
+//   n_fltr * t_fltr            one filter check per installed filter,
+//   R * t_tx                   one transmission per delivered copy,
+// giving E[B] = t_rcv + n_fltr*t_fltr + E[R]*t_tx (Eq. 1), the server
+// capacity lambda_max = rho / E[B] (Eq. 2), and the filter-benefit rule
+// n^q_fltr * t_fltr < (1 - p^q_match) * t_tx (Eq. 3).
+#pragma once
+
+#include <string>
+
+#include "stats/moments.hpp"
+
+namespace jmsperf::core {
+
+/// Filter family of Table I.  (The broker additionally knows a "none"
+/// filter mode; for the cost model an unfiltered subscriber is simply a
+/// scenario with n_fltr = 0.)
+enum class FilterClass { CorrelationId, ApplicationProperty };
+
+[[nodiscard]] const char* to_string(FilterClass filter_class);
+
+/// Per-message overhead constants of one server + filter-type combination.
+struct CostModel {
+  double t_rcv = 0.0;   ///< fixed receive overhead [s]
+  double t_fltr = 0.0;  ///< per-installed-filter matching cost [s]
+  double t_tx = 0.0;    ///< per-copy forwarding cost [s]
+
+  /// Validates positivity; throws std::invalid_argument.
+  void validate() const;
+
+  /// The deterministic service-time part D = t_rcv + n_fltr * t_fltr.
+  [[nodiscard]] double deterministic_part(double n_fltr) const {
+    return t_rcv + n_fltr * t_fltr;
+  }
+
+  /// Mean message processing time E[B] (Eq. 1).
+  [[nodiscard]] double mean_service_time(double n_fltr, double mean_replication) const {
+    return deterministic_part(n_fltr) + mean_replication * t_tx;
+  }
+
+  /// Server capacity in received msgs/s at CPU utilization rho (Eq. 2).
+  [[nodiscard]] double capacity(double n_fltr, double mean_replication,
+                                double rho = 1.0) const;
+
+  /// Eq. (3): do the n_q filters of one consumer with joint match
+  /// probability p_match increase the server capacity?
+  [[nodiscard]] bool filters_increase_capacity(double n_q, double p_match) const;
+
+  /// Largest match probability at which n_q filters per consumer still pay
+  /// off: p* = 1 - n_q * t_fltr / t_tx (clamped to [0, 1]).
+  [[nodiscard]] double max_beneficial_match_probability(double n_q) const;
+
+  /// Largest per-consumer filter count that can ever pay off
+  /// (floor(t_tx / t_fltr), the n_q with p* > 0).
+  [[nodiscard]] double max_beneficial_filters() const;
+};
+
+/// Calibrated constants measured for FioranoMQ 7.5 on the paper's 3.2 GHz
+/// testbed machines (Table I).
+[[nodiscard]] CostModel fiorano_cost_model(FilterClass filter_class);
+
+/// Table I, correlation-ID filtering row.
+inline constexpr CostModel kFioranoCorrelationId{8.52e-7, 7.02e-6, 1.70e-5};
+/// Table I, application-property filtering row.
+inline constexpr CostModel kFioranoApplicationProperty{4.10e-6, 1.46e-5, 1.62e-5};
+
+}  // namespace jmsperf::core

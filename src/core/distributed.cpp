@@ -1,0 +1,82 @@
+#include "core/distributed.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::core {
+
+void DistributedScenario::validate() const {
+  cost.validate();
+  if (publishers == 0 || subscribers == 0) {
+    throw std::invalid_argument("DistributedScenario: need at least one publisher and subscriber");
+  }
+  if (filters_per_subscriber < 0.0 || mean_replication < 0.0) {
+    throw std::invalid_argument("DistributedScenario: negative parameter");
+  }
+  if (!(rho > 0.0) || rho > 1.0) {
+    throw std::invalid_argument("DistributedScenario: rho must be in (0, 1]");
+  }
+}
+
+double psr_per_server_capacity(const DistributedScenario& s) {
+  s.validate();
+  // Each publisher-side server holds the filters of ALL m subscribers.
+  const double m = static_cast<double>(s.subscribers);
+  const double service = s.cost.t_rcv + m * s.filters_per_subscriber * s.cost.t_fltr +
+                         s.mean_replication * s.cost.t_tx;
+  return s.rho / service;
+}
+
+double psr_capacity(const DistributedScenario& s) {
+  return static_cast<double>(s.publishers) * psr_per_server_capacity(s);
+}
+
+double ssr_capacity(const DistributedScenario& s) {
+  s.validate();
+  // Each subscriber-side server holds only its own subscriber's filters
+  // but receives the aggregate publish rate.
+  const double service = s.cost.t_rcv + s.filters_per_subscriber * s.cost.t_fltr +
+                         s.mean_replication * s.cost.t_tx;
+  return s.rho / service;
+}
+
+double psr_crossover_publishers(const DistributedScenario& s) {
+  s.validate();
+  const double m = static_cast<double>(s.subscribers);
+  const double psr_service = s.cost.t_rcv + m * s.filters_per_subscriber * s.cost.t_fltr +
+                             s.mean_replication * s.cost.t_tx;
+  const double ssr_service = s.cost.t_rcv + s.filters_per_subscriber * s.cost.t_fltr +
+                             s.mean_replication * s.cost.t_tx;
+  return psr_service / ssr_service;
+}
+
+const char* to_string(ArchitectureChoice choice) {
+  switch (choice) {
+    case ArchitectureChoice::PublisherSideReplication: return "PSR";
+    case ArchitectureChoice::SubscriberSideReplication: return "SSR";
+    case ArchitectureChoice::Tie: return "tie";
+  }
+  return "?";
+}
+
+ArchitectureChoice recommend_architecture(const DistributedScenario& s) {
+  const double psr = psr_capacity(s);
+  const double ssr = ssr_capacity(s);
+  const double tolerance = 1e-9 * (psr + ssr);
+  if (psr > ssr + tolerance) return ArchitectureChoice::PublisherSideReplication;
+  if (ssr > psr + tolerance) return ArchitectureChoice::SubscriberSideReplication;
+  return ArchitectureChoice::Tie;
+}
+
+double psr_network_traffic(const DistributedScenario& s, double lambda_total) {
+  s.validate();
+  if (lambda_total < 0.0) throw std::invalid_argument("psr_network_traffic: negative rate");
+  return lambda_total * s.mean_replication;
+}
+
+double ssr_network_traffic(const DistributedScenario& s, double lambda_total) {
+  s.validate();
+  if (lambda_total < 0.0) throw std::invalid_argument("ssr_network_traffic: negative rate");
+  return lambda_total * static_cast<double>(s.subscribers);
+}
+
+}  // namespace jmsperf::core

@@ -1,0 +1,78 @@
+#include "core/partitioning.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::core {
+
+void PartitioningScenario::validate() const {
+  cost.validate();
+  if (n_fltr < 0.0 || mean_replication < 0.0) {
+    throw std::invalid_argument("PartitioningScenario: negative parameter");
+  }
+  if (topics == 0) throw std::invalid_argument("PartitioningScenario: need at least one topic");
+  if (cross_topic_fraction < 0.0 || cross_topic_fraction > 1.0) {
+    throw std::invalid_argument("PartitioningScenario: cross_topic_fraction must be in [0, 1]");
+  }
+  if (!(rho > 0.0) || rho > 1.0) {
+    throw std::invalid_argument("PartitioningScenario: rho must be in (0, 1]");
+  }
+}
+
+double effective_filters(const PartitioningScenario& s) {
+  s.validate();
+  const double t = static_cast<double>(s.topics);
+  return s.n_fltr * ((1.0 - s.cross_topic_fraction) / t + s.cross_topic_fraction);
+}
+
+double partitioned_service_time(const PartitioningScenario& s) {
+  return s.cost.mean_service_time(effective_filters(s), s.mean_replication);
+}
+
+double partitioned_capacity(const PartitioningScenario& s) {
+  return s.rho / partitioned_service_time(s);
+}
+
+double partitioning_speedup(const PartitioningScenario& s) {
+  PartitioningScenario flat = s;
+  flat.topics = 1;
+  return partitioned_service_time(flat) / partitioned_service_time(s);
+}
+
+double partitioning_speedup_limit(const PartitioningScenario& s) {
+  s.validate();
+  PartitioningScenario flat = s;
+  flat.topics = 1;
+  const double limit_service =
+      s.cost.mean_service_time(s.n_fltr * s.cross_topic_fraction, s.mean_replication);
+  return partitioned_service_time(flat) / limit_service;
+}
+
+std::uint32_t topics_for_speedup_fraction(const PartitioningScenario& s,
+                                          double target_fraction,
+                                          std::uint32_t max_topics) {
+  if (!(target_fraction > 0.0) || target_fraction > 1.0) {
+    throw std::invalid_argument("topics_for_speedup_fraction: target must be in (0, 1]");
+  }
+  const double target = target_fraction * partitioning_speedup_limit(s);
+  PartitioningScenario probe = s;
+  for (std::uint32_t t = 1; t <= max_topics; t = t < 2 ? t + 1 : t * 2) {
+    probe.topics = t;
+    if (partitioning_speedup(probe) >= target) {
+      // Binary-search the exact threshold inside (t/2, t].
+      std::uint32_t lo = t / 2 + 1, hi = t;
+      while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        probe.topics = mid;
+        if (partitioning_speedup(probe) >= target) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      return lo;
+    }
+  }
+  return 0;  // unreachable target within max_topics
+}
+
+}  // namespace jmsperf::core

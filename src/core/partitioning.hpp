@@ -1,0 +1,55 @@
+// Topic partitioning on a single server.
+//
+// The paper notes that topics "virtually separate the JMS server into
+// several logical sub-servers" (Sec. II-A): a message only faces the
+// filters of its own topic.  Splitting one flat topic with n_fltr filters
+// into T topics therefore cuts the per-message filter work to n_fltr/T —
+// without extra hardware.  This header quantifies that design knob with
+// the paper's cost model, including the imperfect case where a fraction
+// of subscriptions cannot be assigned to a single topic and must be
+// duplicated into every partition.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost_model.hpp"
+
+namespace jmsperf::core {
+
+struct PartitioningScenario {
+  CostModel cost;
+  double n_fltr = 1000.0;        ///< filters on the flat (unpartitioned) topic
+  double mean_replication = 1.0; ///< E[R], unchanged by partitioning
+  std::uint32_t topics = 1;      ///< number of partitions T
+  /// Fraction of subscriptions whose interests straddle partitions and
+  /// must be installed in EVERY topic (0 = perfectly partitionable).
+  double cross_topic_fraction = 0.0;
+  double rho = 0.9;
+
+  void validate() const;
+};
+
+/// Per-message filter count a message faces after partitioning:
+///   n_fltr * ((1 - f)/T + f).
+[[nodiscard]] double effective_filters(const PartitioningScenario& s);
+
+/// Mean service time with partitioning (Eq. 1 with the effective count).
+[[nodiscard]] double partitioned_service_time(const PartitioningScenario& s);
+
+/// Server capacity with partitioning (Eq. 2).
+[[nodiscard]] double partitioned_capacity(const PartitioningScenario& s);
+
+/// Capacity gain over the flat topic (>= 1; -> 1 as f -> 1).
+[[nodiscard]] double partitioning_speedup(const PartitioningScenario& s);
+
+/// Asymptotic speedup for T -> infinity at the scenario's cross-topic
+/// fraction: the filter term degenerates to the duplicated share.
+[[nodiscard]] double partitioning_speedup_limit(const PartitioningScenario& s);
+
+/// Smallest T achieving at least `target_fraction` (e.g. 0.9) of the
+/// asymptotic speedup; diminishing-returns guidance for operators.
+[[nodiscard]] std::uint32_t topics_for_speedup_fraction(
+    const PartitioningScenario& s, double target_fraction,
+    std::uint32_t max_topics = 1u << 20);
+
+}  // namespace jmsperf::core

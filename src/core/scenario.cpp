@@ -1,0 +1,56 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::core {
+
+Scenario::Scenario(CostModel cost, double n_fltr,
+                   std::shared_ptr<const queueing::ReplicationModel> replication,
+                   std::string name)
+    : cost_(cost), n_fltr_(n_fltr), replication_(std::move(replication)),
+      name_(std::move(name)) {
+  cost_.validate();
+  if (n_fltr < 0.0) throw std::invalid_argument("Scenario: negative filter count");
+  if (!replication_) throw std::invalid_argument("Scenario: null replication model");
+}
+
+queueing::ServiceTimeModel Scenario::service_time() const {
+  return queueing::ServiceTimeModel(cost_.deterministic_part(n_fltr_), cost_.t_tx,
+                                    replication_->moments());
+}
+
+double Scenario::mean_service_time() const {
+  return cost_.mean_service_time(n_fltr_, replication_->mean());
+}
+
+double Scenario::service_time_cv() const {
+  return service_time().coefficient_of_variation();
+}
+
+double Scenario::capacity(double rho) const {
+  return cost_.capacity(n_fltr_, replication_->mean(), rho);
+}
+
+queueing::MG1Waiting Scenario::waiting_at_rate(double lambda) const {
+  return queueing::MG1Waiting(lambda, service_time().moments());
+}
+
+queueing::MG1Waiting Scenario::waiting_at_utilization(double rho) const {
+  if (!(rho > 0.0) || !(rho < 1.0)) {
+    throw std::invalid_argument("Scenario::waiting_at_utilization: rho must be in (0, 1)");
+  }
+  return waiting_at_rate(rho / mean_service_time());
+}
+
+Scenario measurement_scenario(FilterClass filter_class,
+                              std::uint32_t non_matching_filters,
+                              std::uint32_t replication_grade) {
+  const auto n_fltr = non_matching_filters + replication_grade;
+  return Scenario(fiorano_cost_model(filter_class), static_cast<double>(n_fltr),
+                  std::make_shared<queueing::DeterministicReplication>(replication_grade),
+                  std::string(to_string(filter_class)) + " n=" +
+                      std::to_string(non_matching_filters) + " R=" +
+                      std::to_string(replication_grade));
+}
+
+}  // namespace jmsperf::core

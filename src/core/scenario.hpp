@@ -1,0 +1,63 @@
+// Application scenarios: a cost model plus a filter population and a
+// replication-grade distribution, with the derived performance metrics
+// (service time, capacity, waiting time) the paper computes in Sec. IV.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/cost_model.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/replication.hpp"
+#include "queueing/service_time.hpp"
+
+namespace jmsperf::core {
+
+/// A fully described application scenario on one JMS server.
+class Scenario {
+ public:
+  /// `n_fltr` is the total number of filters installed on the server;
+  /// `replication` describes the per-message replication grade R.
+  Scenario(CostModel cost, double n_fltr,
+           std::shared_ptr<const queueing::ReplicationModel> replication,
+           std::string name = {});
+
+  [[nodiscard]] const CostModel& cost() const { return cost_; }
+  [[nodiscard]] double filters() const { return n_fltr_; }
+  [[nodiscard]] const queueing::ReplicationModel& replication() const {
+    return *replication_;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Service-time model B = D + R * t_tx for this scenario.
+  [[nodiscard]] queueing::ServiceTimeModel service_time() const;
+
+  /// Mean processing time E[B] (Eq. 1).
+  [[nodiscard]] double mean_service_time() const;
+
+  /// Coefficient of variation of B.
+  [[nodiscard]] double service_time_cv() const;
+
+  /// Maximum supportable received-message rate at utilization rho (Eq. 2).
+  [[nodiscard]] double capacity(double rho = 0.9) const;
+
+  /// M/GI/1 waiting-time analysis at absolute arrival rate lambda.
+  [[nodiscard]] queueing::MG1Waiting waiting_at_rate(double lambda) const;
+
+  /// M/GI/1 waiting-time analysis at relative load rho (lambda = rho/E[B]).
+  [[nodiscard]] queueing::MG1Waiting waiting_at_utilization(double rho) const;
+
+ private:
+  CostModel cost_;
+  double n_fltr_;
+  std::shared_ptr<const queueing::ReplicationModel> replication_;
+  std::string name_;
+};
+
+/// Convenience: the paper's canonical measurement scenario — n + R filters
+/// installed, R of which match every message (deterministic replication).
+[[nodiscard]] Scenario measurement_scenario(FilterClass filter_class,
+                                            std::uint32_t non_matching_filters,
+                                            std::uint32_t replication_grade);
+
+}  // namespace jmsperf::core

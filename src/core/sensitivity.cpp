@@ -1,0 +1,52 @@
+#include "core/sensitivity.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::core {
+
+CapacitySensitivity::Dominant CapacitySensitivity::dominant() const {
+  if (filter_share >= receive_share && filter_share >= replication_share) {
+    return Dominant::Filter;
+  }
+  if (replication_share >= receive_share) return Dominant::Replication;
+  return Dominant::Receive;
+}
+
+double CapacitySensitivity::gain_from_reducing_dominant(double fraction) const {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("CapacitySensitivity: fraction must be in [0, 1]");
+  }
+  double share = 0.0;
+  switch (dominant()) {
+    case Dominant::Receive: share = receive_share; break;
+    case Dominant::Filter: share = filter_share; break;
+    case Dominant::Replication: share = replication_share; break;
+  }
+  // lambda' / lambda = E[B] / (E[B] - fraction * share * E[B]).
+  return 1.0 / (1.0 - fraction * share);
+}
+
+const char* to_string(CapacitySensitivity::Dominant dominant) {
+  switch (dominant) {
+    case CapacitySensitivity::Dominant::Receive: return "receive";
+    case CapacitySensitivity::Dominant::Filter: return "filter";
+    case CapacitySensitivity::Dominant::Replication: return "replication";
+  }
+  return "?";
+}
+
+CapacitySensitivity analyze_sensitivity(const CostModel& cost, double n_fltr,
+                                        double mean_replication) {
+  cost.validate();
+  if (n_fltr < 0.0 || mean_replication < 0.0) {
+    throw std::invalid_argument("analyze_sensitivity: negative scenario parameter");
+  }
+  const double total = cost.mean_service_time(n_fltr, mean_replication);
+  CapacitySensitivity s;
+  s.receive_share = cost.t_rcv / total;
+  s.filter_share = n_fltr * cost.t_fltr / total;
+  s.replication_share = mean_replication * cost.t_tx / total;
+  return s;
+}
+
+}  // namespace jmsperf::core

@@ -1,0 +1,46 @@
+// Sensitivity analysis of the capacity model.
+//
+// Which overhead dominates a scenario's service time — and therefore
+// which optimization pays?  For E[B] = t_rcv + n_fltr t_fltr + E[R] t_tx
+// the capacity lambda_max = rho / E[B] has constant-elasticity structure:
+// the elasticity of capacity with respect to a constant x equals minus
+// that constant's share of E[B],
+//
+//   (d lambda / lambda) / (d x / x) = - (x-term) / E[B].
+//
+// The shares explain the regimes of Figs. 5 and 6 quantitatively: filter-
+// dominated scenarios gain from topic partitioning or the filter index,
+// replication-dominated ones from reducing fan-out or clustering.
+#pragma once
+
+#include <string>
+
+#include "core/cost_model.hpp"
+
+namespace jmsperf::core {
+
+struct CapacitySensitivity {
+  double receive_share = 0.0;      ///< t_rcv / E[B]
+  double filter_share = 0.0;       ///< n_fltr t_fltr / E[B]
+  double replication_share = 0.0;  ///< E[R] t_tx / E[B]
+
+  /// Elasticities of lambda_max w.r.t. t_rcv, t_fltr, t_tx (all <= 0).
+  [[nodiscard]] double receive_elasticity() const { return -receive_share; }
+  [[nodiscard]] double filter_elasticity() const { return -filter_share; }
+  [[nodiscard]] double replication_elasticity() const { return -replication_share; }
+
+  enum class Dominant { Receive, Filter, Replication };
+  [[nodiscard]] Dominant dominant() const;
+
+  /// Capacity gain from cutting the dominant term by `fraction` in [0,1].
+  [[nodiscard]] double gain_from_reducing_dominant(double fraction) const;
+};
+
+[[nodiscard]] const char* to_string(CapacitySensitivity::Dominant dominant);
+
+/// Decomposes a scenario's service time into its three shares.
+[[nodiscard]] CapacitySensitivity analyze_sensitivity(const CostModel& cost,
+                                                      double n_fltr,
+                                                      double mean_replication);
+
+}  // namespace jmsperf::core

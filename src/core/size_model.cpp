@@ -1,0 +1,54 @@
+#include "core/size_model.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::core {
+
+void SizeAwareCostModel::validate() const {
+  base.validate();
+  if (b_rcv < 0.0 || b_tx < 0.0) {
+    throw std::invalid_argument("SizeAwareCostModel: per-byte costs must be non-negative");
+  }
+}
+
+double SizeAwareCostModel::mean_service_time(double n_fltr, double mean_replication,
+                                             double body_bytes) const {
+  if (body_bytes < 0.0) {
+    throw std::invalid_argument("SizeAwareCostModel: negative body size");
+  }
+  return at_body_size(body_bytes).mean_service_time(n_fltr, mean_replication);
+}
+
+double SizeAwareCostModel::capacity(double n_fltr, double mean_replication,
+                                    double body_bytes, double rho) const {
+  return at_body_size(body_bytes).capacity(n_fltr, mean_replication, rho);
+}
+
+double SizeAwareCostModel::body_size_for_capacity_fraction(
+    double n_fltr, double mean_replication, double fraction) const {
+  validate();
+  if (!(fraction > 0.0) || !(fraction < 1.0)) {
+    throw std::invalid_argument(
+        "SizeAwareCostModel: fraction must be in (0, 1)");
+  }
+  const double per_byte = b_rcv + mean_replication * b_tx;
+  if (per_byte <= 0.0) {
+    throw std::invalid_argument("SizeAwareCostModel: no size dependence configured");
+  }
+  // E[B](s) = E[B](0) / fraction  =>  s = E[B](0) (1/fraction - 1) / per_byte.
+  const double zero = base.mean_service_time(n_fltr, mean_replication);
+  return zero * (1.0 / fraction - 1.0) / per_byte;
+}
+
+CostModel SizeAwareCostModel::at_body_size(double body_bytes) const {
+  validate();
+  if (body_bytes < 0.0) {
+    throw std::invalid_argument("SizeAwareCostModel: negative body size");
+  }
+  CostModel folded = base;
+  folded.t_rcv += body_bytes * b_rcv;
+  folded.t_tx += body_bytes * b_tx;
+  return folded;
+}
+
+}  // namespace jmsperf::core

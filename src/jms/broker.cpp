@@ -1,0 +1,433 @@
+#include "jms/broker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace jmsperf::jms {
+
+struct QueueReceiver::QueueState {
+  explicit QueueState(std::size_t capacity) : store(capacity) {}
+  BlockingQueue<MessagePtr> store;
+  std::atomic<std::uint64_t> consumed{0};
+};
+
+std::optional<MessagePtr> QueueReceiver::receive(std::chrono::nanoseconds timeout) {
+  auto message = state_->store.pop_for(timeout);
+  if (message) state_->consumed.fetch_add(1, std::memory_order_relaxed);
+  return message;
+}
+
+std::optional<MessagePtr> QueueReceiver::try_receive() {
+  auto message = state_->store.try_pop();
+  if (message) state_->consumed.fetch_add(1, std::memory_order_relaxed);
+  return message;
+}
+
+Broker::Broker(BrokerConfig config)
+    : config_(config), ingress_(config.ingress_capacity) {
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Broker::~Broker() { shutdown(); }
+
+bool Broker::create_topic(const std::string& name) {
+  TopicPattern::split(name);  // validates the token structure
+  std::unique_lock lock(topics_mutex_);
+  if (queues_.count(name) != 0) {
+    throw std::invalid_argument("Broker: '" + name + "' already names a queue");
+  }
+  return topics_.try_emplace(name).second;
+}
+
+bool Broker::has_topic(const std::string& name) const {
+  std::shared_lock lock(topics_mutex_);
+  return topics_.count(name) != 0;
+}
+
+std::vector<std::string> Broker::topics() const {
+  std::shared_lock lock(topics_mutex_);
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& [name, subs] : topics_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string Broker::create_temporary_topic() {
+  const std::string name =
+      "tmp." + std::to_string(next_temporary_id_.fetch_add(1));
+  std::unique_lock lock(topics_mutex_);
+  topics_.try_emplace(name);
+  return name;
+}
+
+bool Broker::delete_topic(const std::string& name) {
+  std::vector<std::shared_ptr<Subscription>> orphaned;
+  {
+    std::unique_lock lock(topics_mutex_);
+    const auto it = topics_.find(name);
+    if (it == topics_.end()) return false;
+    orphaned = std::move(it->second);
+    topics_.erase(it);
+    for (auto durable = durables_.begin(); durable != durables_.end();) {
+      if (durable->second->topic() == name) {
+        durable = durables_.erase(durable);
+      } else {
+        ++durable;
+      }
+    }
+  }
+  for (auto& subscription : orphaned) subscription->close();
+  bump_topology_version();
+  return true;
+}
+
+bool Broker::create_queue(const std::string& name) {
+  TopicPattern::split(name);
+  std::unique_lock lock(topics_mutex_);
+  if (topics_.count(name) != 0) {
+    throw std::invalid_argument("Broker: '" + name + "' already names a topic");
+  }
+  if (queues_.count(name) != 0) return false;
+  queues_.emplace(name,
+                  std::make_shared<QueueReceiver::QueueState>(config_.queue_capacity));
+  return true;
+}
+
+bool Broker::has_queue(const std::string& name) const {
+  std::shared_lock lock(topics_mutex_);
+  return queues_.count(name) != 0;
+}
+
+bool Broker::send_to_queue(const std::string& queue, Message message) {
+  {
+    std::shared_lock lock(topics_mutex_);
+    if (queues_.count(queue) == 0) {
+      throw std::invalid_argument("Broker: unknown queue '" + queue + "'");
+    }
+  }
+  if (shutdown_requested_.load(std::memory_order_acquire)) return false;
+  message.set_destination(queue);
+  auto shared = std::make_shared<const Message>(std::move(message));
+  if (!ingress_.push(std::move(shared))) return false;
+  published_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+QueueReceiver Broker::queue_receiver(const std::string& queue) {
+  std::shared_lock lock(topics_mutex_);
+  const auto it = queues_.find(queue);
+  if (it == queues_.end()) {
+    throw std::invalid_argument("Broker: unknown queue '" + queue + "'");
+  }
+  return QueueReceiver(queue, it->second);
+}
+
+std::size_t Broker::queue_depth(const std::string& queue) const {
+  std::shared_lock lock(topics_mutex_);
+  const auto it = queues_.find(queue);
+  if (it == queues_.end()) {
+    throw std::invalid_argument("Broker: unknown queue '" + queue + "'");
+  }
+  return it->second->store.size();
+}
+
+void Broker::require_topic(const std::string& name) {
+  if (config_.auto_create_topics) {
+    TopicPattern::split(name);
+    std::unique_lock lock(topics_mutex_);
+    if (queues_.count(name) != 0) {
+      throw std::invalid_argument("Broker: '" + name + "' already names a queue");
+    }
+    topics_.try_emplace(name);
+    return;
+  }
+  if (!has_topic(name)) {
+    throw std::invalid_argument("Broker: unknown topic '" + name + "'");
+  }
+}
+
+std::shared_ptr<Subscription> Broker::subscribe(const std::string& topic,
+                                                SubscriptionFilter filter) {
+  require_topic(topic);
+  auto subscription = std::shared_ptr<Subscription>(
+      new Subscription(next_subscription_id_.fetch_add(1), topic,
+                       std::move(filter), config_.subscription_queue_capacity));
+  std::unique_lock lock(topics_mutex_);
+  topics_[topic].push_back(subscription);
+  bump_topology_version();
+  return subscription;
+}
+
+std::shared_ptr<Subscription> Broker::subscribe_pattern(const std::string& pattern,
+                                                        SubscriptionFilter filter) {
+  TopicPattern compiled(pattern);
+  auto subscription = std::shared_ptr<Subscription>(
+      new Subscription(next_subscription_id_.fetch_add(1), pattern,
+                       std::move(filter), config_.subscription_queue_capacity));
+  std::unique_lock lock(topics_mutex_);
+  pattern_subscriptions_.push_back({std::move(compiled), subscription});
+  return subscription;
+}
+
+std::shared_ptr<Subscription> Broker::subscribe_durable(const std::string& name,
+                                                        const std::string& topic,
+                                                        SubscriptionFilter filter) {
+  if (name.empty()) {
+    throw std::invalid_argument("Broker::subscribe_durable: empty subscription name");
+  }
+  require_topic(topic);
+  {
+    std::unique_lock lock(topics_mutex_);
+    const auto it = durables_.find(name);
+    if (it != durables_.end()) {
+      const auto& existing = it->second;
+      if (existing->topic() == topic &&
+          existing->filter().description() == filter.description()) {
+        return existing;  // reattach, backlog preserved
+      }
+      // Changed topic or filter: JMS replaces the durable subscription.
+      existing->close();
+      auto& topic_subs = topics_[existing->topic()];
+      topic_subs.erase(std::remove(topic_subs.begin(), topic_subs.end(), existing),
+                       topic_subs.end());
+      durables_.erase(it);
+      bump_topology_version();
+    }
+  }
+  auto subscription = std::shared_ptr<Subscription>(
+      new Subscription(next_subscription_id_.fetch_add(1), topic,
+                       std::move(filter), config_.subscription_queue_capacity));
+  std::unique_lock lock(topics_mutex_);
+  topics_[topic].push_back(subscription);
+  durables_.emplace(name, subscription);
+  bump_topology_version();
+  return subscription;
+}
+
+bool Broker::unsubscribe_durable(const std::string& name) {
+  std::shared_ptr<Subscription> subscription;
+  {
+    std::unique_lock lock(topics_mutex_);
+    const auto it = durables_.find(name);
+    if (it == durables_.end()) return false;
+    subscription = it->second;
+    durables_.erase(it);
+    auto& topic_subs = topics_[subscription->topic()];
+    topic_subs.erase(std::remove(topic_subs.begin(), topic_subs.end(), subscription),
+                     topic_subs.end());
+  }
+  subscription->close();
+  bump_topology_version();
+  return true;
+}
+
+bool Broker::has_durable(const std::string& name) const {
+  std::shared_lock lock(topics_mutex_);
+  return durables_.count(name) != 0;
+}
+
+void Broker::unsubscribe(const std::shared_ptr<Subscription>& subscription) {
+  if (!subscription) return;
+  subscription->close();
+  std::unique_lock lock(topics_mutex_);
+  auto it = topics_.find(subscription->topic());
+  if (it != topics_.end()) {
+    auto& subs = it->second;
+    subs.erase(std::remove(subs.begin(), subs.end(), subscription), subs.end());
+  }
+  pattern_subscriptions_.erase(
+      std::remove_if(pattern_subscriptions_.begin(), pattern_subscriptions_.end(),
+                     [&](const PatternSubscription& p) {
+                       return p.subscription == subscription;
+                     }),
+      pattern_subscriptions_.end());
+  for (auto durable = durables_.begin(); durable != durables_.end();) {
+    if (durable->second == subscription) {
+      durable = durables_.erase(durable);
+    } else {
+      ++durable;
+    }
+  }
+  bump_topology_version();
+}
+
+std::size_t Broker::subscription_count(const std::string& topic) const {
+  std::shared_lock lock(topics_mutex_);
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.size();
+}
+
+bool Broker::publish(Message message) {
+  if (message.destination().empty()) {
+    throw std::invalid_argument("Broker::publish: message has no destination topic");
+  }
+  if (shutdown_requested_.load(std::memory_order_acquire)) return false;
+  require_topic(message.destination());
+  auto shared = std::make_shared<const Message>(std::move(message));
+  if (!ingress_.push(std::move(shared))) return false;  // closed during push
+  published_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Broker::dispatch_loop() {
+  while (true) {
+    auto message = ingress_.pop();
+    if (!message) break;  // closed and drained
+    received_.fetch_add(1, std::memory_order_relaxed);
+    route(*message);
+  }
+}
+
+void Broker::deliver(const std::shared_ptr<Subscription>& subscription,
+                     const MessagePtr& message, std::uint64_t& copies) {
+  if (config_.drop_on_subscriber_overflow) {
+    if (subscription->try_offer(message)) {
+      ++copies;
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Count before delivering so that a consumer that already received the
+  // copy always observes it in stats(); roll back on the rare
+  // concurrent-close failure (the copy is then simply not delivered —
+  // non-durable semantics).
+  dispatched_.fetch_add(1, std::memory_order_relaxed);
+  if (subscription->offer(message)) {
+    ++copies;
+  } else {
+    dispatched_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Broker::route(const MessagePtr& message) {
+  // Point-to-point destination?
+  std::shared_ptr<QueueReceiver::QueueState> queue;
+  {
+    std::shared_lock lock(topics_mutex_);
+    const auto it = queues_.find(message->destination());
+    if (it != queues_.end()) queue = it->second;
+  }
+  if (queue) {
+    if (queue->store.push(message)) {
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      dropped_.fetch_add(1, std::memory_order_relaxed);  // closed at shutdown
+    }
+    return;
+  }
+
+  // Snapshot the subscriber lists so filter evaluation happens without
+  // holding the topic lock (subscribe/unsubscribe stay responsive).  With
+  // the filter index enabled the per-topic snapshot is skipped entirely
+  // unless the topology changed — copying thousands of shared_ptrs per
+  // message would otherwise dominate the routing cost.
+  std::vector<std::shared_ptr<Subscription>> subscribers;
+  std::vector<std::shared_ptr<Subscription>> pattern_matches;
+  {
+    std::shared_lock lock(topics_mutex_);
+    if (!config_.enable_identical_filter_index) {
+      const auto it = topics_.find(message->destination());
+      if (it != topics_.end()) subscribers = it->second;
+    }
+    for (const auto& pattern : pattern_subscriptions_) {
+      if (pattern.pattern.matches(message->destination())) {
+        pattern_matches.push_back(pattern.subscription);
+      }
+    }
+  }
+
+  std::uint64_t copies = 0;
+  if (config_.enable_identical_filter_index) {
+    copies += route_with_filter_index(message);
+  } else {
+    for (const auto& subscription : subscribers) {
+      if (subscription->closed()) continue;
+      filter_evaluations_.fetch_add(1, std::memory_order_relaxed);
+      if (!subscription->filter().matches(*message)) continue;
+      deliver(subscription, message, copies);
+    }
+  }
+  // Pattern subscriptions are always evaluated individually: their
+  // applicability depends on the concrete topic name, not just the filter.
+  for (const auto& subscription : pattern_matches) {
+    if (subscription->closed()) continue;
+    filter_evaluations_.fetch_add(1, std::memory_order_relaxed);
+    if (!subscription->filter().matches(*message)) continue;
+    deliver(subscription, message, copies);
+  }
+  if (copies == 0) {
+    discarded_no_subscriber_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Broker::route_with_filter_index(const MessagePtr& message) {
+  // Rebuild the per-topic groups when the subscription topology changed.
+  auto& cache = filter_group_cache_[message->destination()];
+  const auto current_version = topology_version_.load(std::memory_order_acquire);
+  if (cache.version != current_version || !cache.built) {
+    cache.version = current_version;
+    cache.built = true;
+    cache.groups.clear();
+    std::unordered_map<std::string, std::size_t> group_of;
+    std::shared_lock lock(topics_mutex_);
+    const auto it = topics_.find(message->destination());
+    if (it != topics_.end()) {
+      for (const auto& subscription : it->second) {
+        if (subscription->closed()) continue;
+        const std::string key = subscription->filter().description();
+        const auto [entry, inserted] = group_of.try_emplace(key, cache.groups.size());
+        if (inserted) cache.groups.emplace_back();
+        cache.groups[entry->second].push_back(subscription);
+      }
+    }
+  }
+
+  std::uint64_t copies = 0;
+  for (const auto& group : cache.groups) {
+    // One evaluation per DISTINCT filter (this is the whole optimization).
+    filter_evaluations_.fetch_add(1, std::memory_order_relaxed);
+    if (!group.front()->filter().matches(*message)) continue;
+    for (const auto& subscription : group) {
+      if (subscription->closed()) continue;
+      deliver(subscription, message, copies);
+    }
+  }
+  return copies;
+}
+
+void Broker::shutdown() {
+  const bool already = shutdown_requested_.exchange(true);
+  if (!already) {
+    ingress_.close();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  std::unique_lock lock(topics_mutex_);
+  for (auto& [name, subs] : topics_) {
+    for (auto& subscription : subs) subscription->close();
+  }
+  for (auto& pattern : pattern_subscriptions_) pattern.subscription->close();
+  for (auto& [name, queue] : queues_) queue->store.close();
+}
+
+BrokerStats Broker::stats() const {
+  BrokerStats s;
+  s.published = published_.load(std::memory_order_relaxed);
+  s.received = received_.load(std::memory_order_relaxed);
+  s.dispatched = dispatched_.load(std::memory_order_relaxed);
+  s.filter_evaluations = filter_evaluations_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.discarded_no_subscriber = discarded_no_subscriber_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Broker::wait_until_idle() const {
+  while (ingress_.size() > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace jmsperf::jms

@@ -1,0 +1,236 @@
+#include "jms/connection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jmsperf::jms {
+namespace {
+
+std::atomic<std::uint64_t> g_connection_counter{0};
+
+double wall_clock_seconds() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace
+
+Connection::Connection(Broker& broker, std::string client_id)
+    : broker_(broker), client_id_(std::move(client_id)) {
+  if (client_id_.empty()) {
+    client_id_ = "conn-" + std::to_string(g_connection_counter.fetch_add(1) + 1);
+  }
+}
+
+Connection::~Connection() { close(); }
+
+std::shared_ptr<Session> Connection::create_session(AcknowledgeMode mode) {
+  if (closed()) throw std::logic_error("Connection::create_session: connection closed");
+  auto session = std::shared_ptr<Session>(new Session(*this, mode));
+  std::lock_guard lock(sessions_mutex_);
+  sessions_.push_back(session);
+  return session;
+}
+
+void Connection::close() {
+  if (closed_.exchange(true)) return;
+  std::lock_guard lock(sessions_mutex_);
+  for (auto& weak : sessions_) {
+    if (auto session = weak.lock()) session->close();
+  }
+  sessions_.clear();
+}
+
+Session::~Session() { close(); }
+
+void Session::require_open() const {
+  if (closed()) throw std::logic_error("Session: already closed");
+  if (connection_.closed()) throw std::logic_error("Session: connection closed");
+}
+
+std::unique_ptr<MessageProducer> Session::create_producer(const std::string& topic) {
+  require_open();
+  if (!connection_.broker_.has_topic(topic)) {
+    throw std::invalid_argument("Session::create_producer: unknown topic '" + topic + "'");
+  }
+  return std::unique_ptr<MessageProducer>(new MessageProducer(*this, topic));
+}
+
+std::unique_ptr<MessageConsumer> Session::create_consumer(const std::string& topic,
+                                                          SubscriptionFilter filter) {
+  require_open();
+  auto subscription = connection_.broker_.subscribe(topic, std::move(filter));
+  {
+    std::lock_guard lock(consumers_mutex_);
+    subscriptions_.push_back(subscription);
+  }
+  return std::unique_ptr<MessageConsumer>(
+      new MessageConsumer(*this, std::move(subscription)));
+}
+
+std::unique_ptr<MessageConsumer> Session::create_consumer_with_selector(
+    const std::string& topic, const std::string& selector_expression) {
+  return create_consumer(topic,
+                         SubscriptionFilter::application_property(selector_expression));
+}
+
+std::unique_ptr<MessageConsumer> Session::create_durable_consumer(
+    const std::string& topic, const std::string& subscription_name,
+    SubscriptionFilter filter) {
+  require_open();
+  auto subscription = connection_.broker_.subscribe_durable(subscription_name, topic,
+                                                            std::move(filter));
+  // Durable subscriptions are intentionally NOT tracked for session
+  // cleanup: they must survive consumer, session and connection closure.
+  return std::unique_ptr<MessageConsumer>(
+      new MessageConsumer(*this, std::move(subscription), /*durable=*/true));
+}
+
+void Session::close() {
+  if (closed_.exchange(true)) return;
+  std::lock_guard lock(consumers_mutex_);
+  for (auto& subscription : subscriptions_) {
+    connection_.broker_.unsubscribe(subscription);
+  }
+  subscriptions_.clear();
+  pending_sends_.clear();  // uncommitted sends die with the session
+}
+
+void Session::register_consumer(MessageConsumer* consumer) {
+  std::lock_guard lock(consumers_mutex_);
+  consumers_.push_back(consumer);
+}
+
+void Session::deregister_consumer(MessageConsumer* consumer) {
+  std::lock_guard lock(consumers_mutex_);
+  consumers_.erase(std::remove(consumers_.begin(), consumers_.end(), consumer),
+                   consumers_.end());
+}
+
+bool Session::commit() {
+  if (!transacted()) throw std::logic_error("Session::commit: session is not transacted");
+  require_open();
+  bool ok = true;
+  for (auto& message : pending_sends_) {
+    ok = connection_.broker_.publish(std::move(message)) && ok;
+  }
+  pending_sends_.clear();
+  std::lock_guard lock(consumers_mutex_);
+  for (auto* consumer : consumers_) consumer->acknowledge();
+  return ok;
+}
+
+void Session::rollback() {
+  if (!transacted()) throw std::logic_error("Session::rollback: session is not transacted");
+  require_open();
+  pending_sends_.clear();
+  std::lock_guard lock(consumers_mutex_);
+  for (auto* consumer : consumers_) consumer->recover_unacknowledged();
+}
+
+MessageProducer::MessageProducer(Session& session, std::string topic)
+    : session_(session), topic_(std::move(topic)) {
+  id_prefix_ = "ID:" + session_.connection_.client_id() + "-" + topic_ + "-";
+}
+
+void MessageProducer::set_priority(int priority) {
+  if (priority < 0 || priority > 9) {
+    throw std::invalid_argument("MessageProducer::set_priority: must be 0..9");
+  }
+  priority_ = priority;
+}
+
+bool MessageProducer::send(Message message) {
+  session_.require_open();
+  message.set_destination(topic_);
+  message.set_message_id(id_prefix_ + std::to_string(++sent_));
+  if (message.timestamp() == 0.0) message.set_timestamp(wall_clock_seconds());
+  message.set_delivery_mode(delivery_mode_);
+  if (message.priority() == 4 && priority_ != 4) message.set_priority(priority_);
+  if (session_.transacted()) {
+    // Buffered until Session::commit(); nothing reaches the broker yet.
+    session_.pending_sends_.push_back(std::move(message));
+    return true;
+  }
+  return session_.connection_.broker().publish(std::move(message));
+}
+
+MessageConsumer::~MessageConsumer() { close(); }
+
+MessageConsumer::MessageConsumer(Session& session,
+                                 std::shared_ptr<Subscription> subscription,
+                                 bool durable)
+    : session_(session), subscription_(std::move(subscription)),
+      durable_(durable) {
+  session_.register_consumer(this);
+}
+
+std::optional<MessagePtr> MessageConsumer::track(std::optional<MessagePtr> message) {
+  if (message && session_.acknowledge_mode() != AcknowledgeMode::Auto) {
+    unacked_.push_back(*message);
+  }
+  return message;
+}
+
+std::optional<MessagePtr> MessageConsumer::receive(std::chrono::nanoseconds timeout) {
+  if (!subscription_) throw std::logic_error("MessageConsumer: closed");
+  if (!redelivery_.empty()) {
+    auto message = redelivery_.front();
+    redelivery_.pop_front();
+    return track(std::move(message));
+  }
+  return track(subscription_->receive(timeout));
+}
+
+std::optional<MessagePtr> MessageConsumer::receive_no_wait() {
+  if (!subscription_) throw std::logic_error("MessageConsumer: closed");
+  if (!redelivery_.empty()) {
+    auto message = redelivery_.front();
+    redelivery_.pop_front();
+    return track(std::move(message));
+  }
+  return track(subscription_->try_receive());
+}
+
+void MessageConsumer::acknowledge() { unacked_.clear(); }
+
+void MessageConsumer::recover_unacknowledged() {
+  // Redeliver in original order, flagged JMSRedelivered, ahead of new
+  // messages (JMS §4.4.11 semantics, applied per consumer).
+  for (auto it = unacked_.rbegin(); it != unacked_.rend(); ++it) {
+    Message copy = **it;
+    copy.set_redelivered(true);
+    redelivery_.push_front(std::make_shared<const Message>(std::move(copy)));
+  }
+  unacked_.clear();
+}
+
+void MessageConsumer::recover() {
+  if (session_.acknowledge_mode() != AcknowledgeMode::Client) {
+    throw std::logic_error(
+        "MessageConsumer::recover: only valid on client-acknowledge sessions "
+        "(use Session::rollback for transacted ones)");
+  }
+  recover_unacknowledged();
+}
+
+void MessageConsumer::close() {
+  if (!subscription_) return;
+  session_.deregister_consumer(this);
+  // A durable consumer only detaches; the named subscription keeps
+  // accumulating messages until Broker::unsubscribe_durable is called.
+  if (!durable_) session_.connection_.broker().unsubscribe(subscription_);
+  subscription_.reset();
+}
+
+const std::string& MessageConsumer::topic() const {
+  if (!subscription_) throw std::logic_error("MessageConsumer: closed");
+  return subscription_->topic();
+}
+
+std::uint64_t MessageConsumer::received_count() const {
+  if (!subscription_) throw std::logic_error("MessageConsumer: closed");
+  return subscription_->consumed();
+}
+
+}  // namespace jmsperf::jms

@@ -1,0 +1,206 @@
+// JMS-style client API veneer: Connection -> Session -> Producer/Consumer.
+//
+// The broker (broker.hpp) is the server; this header provides the
+// client-side object model applications program against, mirroring the
+// javax.jms API shape: a Connection owns Sessions, a Session creates
+// MessageProducers and MessageConsumers.  Producers stamp JMSMessageID and
+// JMSTimestamp on send, like a real JMS provider.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jms/broker.hpp"
+
+namespace jmsperf::jms {
+
+class Session;
+class MessageProducer;
+class MessageConsumer;
+
+/// JMS session modes (the subset relevant to an in-memory broker):
+///  * Auto — delivery is final on receive;
+///  * Client — messages stay pending until MessageConsumer::acknowledge();
+///    recover() redelivers everything unacknowledged, flagged
+///    JMSRedelivered;
+///  * Transacted — sends are buffered and receives stay pending until
+///    Session::commit(); Session::rollback() discards buffered sends and
+///    redelivers the received messages.
+enum class AcknowledgeMode { Auto, Client, Transacted };
+
+/// A client connection to a broker.  Thread-safe; sessions are not.
+class Connection {
+ public:
+  explicit Connection(Broker& broker, std::string client_id = {});
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Creates a session.  Throws std::logic_error when closed.
+  std::shared_ptr<Session> create_session(
+      AcknowledgeMode mode = AcknowledgeMode::Auto);
+
+  /// Closes the connection and all sessions/consumers created from it.
+  void close();
+
+  [[nodiscard]] bool closed() const { return closed_.load(std::memory_order_acquire); }
+  [[nodiscard]] const std::string& client_id() const { return client_id_; }
+  [[nodiscard]] Broker& broker() { return broker_; }
+
+ private:
+  friend class Session;
+
+  Broker& broker_;
+  std::string client_id_;
+  std::atomic<bool> closed_{false};
+  std::mutex sessions_mutex_;
+  std::vector<std::weak_ptr<Session>> sessions_;
+};
+
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Creates a producer bound to a topic.
+  std::unique_ptr<MessageProducer> create_producer(const std::string& topic);
+
+  /// Creates a consumer; `filter` defaults to match-all.
+  std::unique_ptr<MessageConsumer> create_consumer(
+      const std::string& topic,
+      SubscriptionFilter filter = SubscriptionFilter::none());
+
+  /// Convenience: consumer with an application-property selector.
+  std::unique_ptr<MessageConsumer> create_consumer_with_selector(
+      const std::string& topic, const std::string& selector_expression);
+
+  /// Durable consumer: the named subscription outlives the consumer and
+  /// the connection (paper Sec. II-A, "durable mode"); closing the
+  /// consumer detaches it without discarding the subscription.  Reattach
+  /// by calling this again with the same name/topic/filter; remove it for
+  /// good with Broker::unsubscribe_durable.
+  std::unique_ptr<MessageConsumer> create_durable_consumer(
+      const std::string& topic, const std::string& subscription_name,
+      SubscriptionFilter filter = SubscriptionFilter::none());
+
+  void close();
+  [[nodiscard]] bool closed() const { return closed_.load(std::memory_order_acquire); }
+  [[nodiscard]] AcknowledgeMode acknowledge_mode() const { return mode_; }
+  [[nodiscard]] bool transacted() const { return mode_ == AcknowledgeMode::Transacted; }
+
+  /// Transacted sessions: publishes all buffered sends (in send order) and
+  /// finalizes all receives of this session's consumers.  Returns false if
+  /// the broker rejected a publish (shutdown).  Throws std::logic_error on
+  /// non-transacted sessions.
+  bool commit();
+
+  /// Transacted sessions: discards buffered sends and redelivers the
+  /// uncommitted receives (flagged JMSRedelivered).  Throws on
+  /// non-transacted sessions.
+  void rollback();
+
+  /// Sends buffered since the last commit/rollback.
+  [[nodiscard]] std::size_t pending_sends() const { return pending_sends_.size(); }
+
+ private:
+  friend class Connection;
+  friend class MessageProducer;
+  friend class MessageConsumer;
+
+  Session(Connection& connection, AcknowledgeMode mode)
+      : connection_(connection), mode_(mode) {}
+  void require_open() const;
+  void register_consumer(MessageConsumer* consumer);
+  void deregister_consumer(MessageConsumer* consumer);
+
+  Connection& connection_;
+  AcknowledgeMode mode_;
+  std::atomic<bool> closed_{false};
+  std::mutex consumers_mutex_;
+  std::vector<std::shared_ptr<Subscription>> subscriptions_;
+  std::vector<MessageConsumer*> consumers_;  ///< live consumers (not owned)
+  std::vector<Message> pending_sends_;       ///< transacted-mode send buffer
+};
+
+/// Publishes messages to one topic.
+class MessageProducer {
+ public:
+  /// Sends a message: stamps destination, JMSMessageID, JMSTimestamp and
+  /// delivery mode, then publishes.  Returns false after broker shutdown.
+  bool send(Message message);
+
+  [[nodiscard]] const std::string& topic() const { return topic_; }
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+  void set_delivery_mode(DeliveryMode mode) { delivery_mode_ = mode; }
+  [[nodiscard]] DeliveryMode delivery_mode() const { return delivery_mode_; }
+
+  /// Default priority applied to messages that keep the spec default.
+  void set_priority(int priority);
+
+ private:
+  friend class Session;
+  MessageProducer(Session& session, std::string topic);
+
+  Session& session_;
+  std::string topic_;
+  std::string id_prefix_;
+  std::uint64_t sent_ = 0;
+  DeliveryMode delivery_mode_ = DeliveryMode::Persistent;
+  int priority_ = 4;
+};
+
+/// Receives messages from one subscription.
+class MessageConsumer {
+ public:
+  ~MessageConsumer();
+
+  /// Waits up to `timeout` for the next message.  In Client-acknowledge
+  /// mode, recovered (redelivered) messages are served before new ones.
+  std::optional<MessagePtr> receive(std::chrono::nanoseconds timeout);
+
+  /// Non-blocking receive ("receiveNoWait").
+  std::optional<MessagePtr> receive_no_wait();
+
+  /// Client-acknowledge mode: confirms every message received so far on
+  /// this consumer.  No-op in Auto mode.
+  void acknowledge();
+
+  /// Client-acknowledge mode: redelivers every unacknowledged message,
+  /// marked with the JMSRedelivered flag (JMS Session::recover, applied
+  /// per consumer).  Throws std::logic_error in Auto or Transacted mode
+  /// (use Session::rollback for transactions).
+  void recover();
+
+  /// Messages delivered but not yet acknowledged (Client mode).
+  [[nodiscard]] std::size_t unacknowledged() const { return unacked_.size(); }
+
+  void close();
+
+  [[nodiscard]] const std::string& topic() const;
+  [[nodiscard]] std::uint64_t received_count() const;
+
+ private:
+  friend class Session;
+  MessageConsumer(Session& session, std::shared_ptr<Subscription> subscription,
+                  bool durable = false);
+
+  std::optional<MessagePtr> track(std::optional<MessagePtr> message);
+  void recover_unacknowledged();  ///< shared by recover() and rollback()
+
+  Session& session_;
+  std::shared_ptr<Subscription> subscription_;
+  bool durable_;
+  std::deque<MessagePtr> unacked_;     ///< delivered, awaiting acknowledge()
+  std::deque<MessagePtr> redelivery_;  ///< recovered, served before new ones
+};
+
+}  // namespace jmsperf::jms

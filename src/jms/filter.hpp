@@ -1,0 +1,53 @@
+// Subscription filters.
+//
+// The paper distinguishes three message-selection mechanisms with different
+// cost (Sec. II-A): topics (coarse, static), correlation-ID filters
+// (cheap), and application-property filters (full selector expressions,
+// expensive).  A `SubscriptionFilter` models the per-subscriber choice;
+// topics are modeled by the destination a subscription attaches to.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "jms/message.hpp"
+#include "selector/correlation_filter.hpp"
+#include "selector/selector.hpp"
+
+namespace jmsperf::jms {
+
+/// Filter taxonomy used across the toolkit (matches Table I's rows).
+enum class FilterType { None, CorrelationId, ApplicationProperty };
+
+[[nodiscard]] const char* to_string(FilterType type);
+
+class SubscriptionFilter {
+ public:
+  /// No filter: the subscriber receives every message of its topic.
+  static SubscriptionFilter none();
+
+  /// Correlation-ID filter with exact / range / prefix patterns.
+  static SubscriptionFilter correlation_id(std::string_view pattern);
+
+  /// Application-property filter compiled from a selector expression.
+  static SubscriptionFilter application_property(std::string_view expression);
+
+  /// Wraps an already-compiled selector.
+  static SubscriptionFilter from_selector(selector::Selector compiled);
+
+  [[nodiscard]] FilterType type() const;
+
+  /// True when the message passes this filter.
+  [[nodiscard]] bool matches(const Message& message) const;
+
+  /// Human-readable description (pattern or selector text).
+  [[nodiscard]] std::string description() const;
+
+ private:
+  struct MatchAll {};
+  SubscriptionFilter() = default;
+  std::variant<MatchAll, selector::CorrelationIdFilter, selector::Selector> impl_;
+};
+
+}  // namespace jmsperf::jms

@@ -1,0 +1,41 @@
+#include "jms/message.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::jms {
+
+void Message::set_priority(int priority) {
+  if (priority < 0 || priority > 9) {
+    throw std::invalid_argument("Message::set_priority: JMS priority must be 0..9");
+  }
+  priority_ = priority;
+}
+
+selector::Value Message::get(std::string_view name) const {
+  // Standard header identifiers (JMS 1.1 §3.8.1.1).
+  if (name.size() > 3 && name.substr(0, 3) == "JMS") {
+    if (name == "JMSCorrelationID") {
+      return correlation_id_.empty() ? selector::Value{} : selector::Value(correlation_id_);
+    }
+    if (name == "JMSPriority") return selector::Value(static_cast<std::int64_t>(priority_));
+    if (name == "JMSTimestamp") return selector::Value(timestamp_);
+    if (name == "JMSMessageID") {
+      return message_id_.empty() ? selector::Value{} : selector::Value(message_id_);
+    }
+    if (name == "JMSType") {
+      return type_.empty() ? selector::Value{} : selector::Value(type_);
+    }
+    if (name == "JMSReplyTo") {
+      return reply_to_.empty() ? selector::Value{} : selector::Value(reply_to_);
+    }
+    if (name == "JMSDeliveryMode") {
+      return selector::Value(delivery_mode_ == DeliveryMode::Persistent ? "PERSISTENT"
+                                                                        : "NON_PERSISTENT");
+    }
+    // Fall through: JMSX* and unknown JMS headers resolve as properties.
+  }
+  const auto it = properties_.find(std::string(name));
+  return it != properties_.end() ? it->second : selector::Value{};
+}
+
+}  // namespace jmsperf::jms

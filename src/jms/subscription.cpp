@@ -1,0 +1,42 @@
+#include "jms/subscription.hpp"
+
+namespace jmsperf::jms {
+
+std::optional<MessagePtr> Subscription::receive(std::chrono::nanoseconds timeout) {
+  auto message = queue_.pop_for(timeout);
+  if (message) consumed_.fetch_add(1, std::memory_order_relaxed);
+  return message;
+}
+
+std::optional<MessagePtr> Subscription::receive() {
+  auto message = queue_.pop();
+  if (message) consumed_.fetch_add(1, std::memory_order_relaxed);
+  return message;
+}
+
+std::optional<MessagePtr> Subscription::try_receive() {
+  auto message = queue_.try_pop();
+  if (message) consumed_.fetch_add(1, std::memory_order_relaxed);
+  return message;
+}
+
+void Subscription::close() {
+  closed_.store(true, std::memory_order_release);
+  queue_.close();
+}
+
+bool Subscription::offer(MessagePtr message) {
+  if (closed()) return false;
+  if (!queue_.push(std::move(message))) return false;
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Subscription::try_offer(MessagePtr message) {
+  if (closed()) return false;
+  if (!queue_.try_push(std::move(message))) return false;
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace jmsperf::jms

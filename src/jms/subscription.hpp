@@ -1,0 +1,79 @@
+// A subscription: one subscriber endpoint with its filter and its bounded
+// delivery queue.
+//
+// Per the paper's setting (persistent, non-durable mode) a subscription
+// exists only while its consumer is connected; closing it discards queued
+// messages.  Each subscriber has exactly one filter (paper Sec. II-A).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "jms/blocking_queue.hpp"
+#include "jms/filter.hpp"
+#include "jms/message.hpp"
+
+namespace jmsperf::jms {
+
+class Broker;
+
+class Subscription {
+ public:
+  /// Receives the next message, waiting up to `timeout`.
+  /// Returns nullopt on timeout or when the subscription is closed and
+  /// drained.
+  std::optional<MessagePtr> receive(std::chrono::nanoseconds timeout);
+
+  /// Blocking receive; returns nullopt only when closed and drained.
+  std::optional<MessagePtr> receive();
+
+  /// Non-blocking receive.
+  std::optional<MessagePtr> try_receive();
+
+  /// Closes the subscription: the broker stops routing to it and no new
+  /// messages are enqueued.  Messages already delivered to the queue stay
+  /// readable until drained; blocked receivers wake up.
+  void close();
+
+  [[nodiscard]] bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const std::string& topic() const { return topic_; }
+  [[nodiscard]] const SubscriptionFilter& filter() const { return filter_; }
+
+  /// Messages enqueued to this subscriber so far.
+  [[nodiscard]] std::uint64_t enqueued() const { return enqueued_.load(std::memory_order_relaxed); }
+  /// Messages the consumer has taken out so far.
+  [[nodiscard]] std::uint64_t consumed() const { return consumed_.load(std::memory_order_relaxed); }
+  /// Current backlog in the delivery queue.
+  [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
+
+ private:
+  friend class Broker;
+
+  Subscription(std::uint64_t id, std::string topic, SubscriptionFilter filter,
+               std::size_t queue_capacity)
+      : id_(id), topic_(std::move(topic)), filter_(std::move(filter)),
+        queue_(queue_capacity) {}
+
+  /// Called by the broker's dispatcher.  Blocks while the queue is full
+  /// (backpressure); returns false when the subscription is closed.
+  bool offer(MessagePtr message);
+
+  /// Non-blocking variant used in drop-on-overflow mode; returns false
+  /// when the queue is full or the subscription is closed.
+  bool try_offer(MessagePtr message);
+
+  const std::uint64_t id_;
+  const std::string topic_;
+  const SubscriptionFilter filter_;
+  BlockingQueue<MessagePtr> queue_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> consumed_{0};
+};
+
+}  // namespace jmsperf::jms

@@ -1,0 +1,62 @@
+#include "jms/topic_pattern.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::jms {
+
+std::vector<std::string> TopicPattern::split(std::string_view name) {
+  if (name.empty()) throw std::invalid_argument("topic name must not be empty");
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = name.find('.', start);
+    const std::string_view token =
+        dot == std::string_view::npos ? name.substr(start) : name.substr(start, dot - start);
+    if (token.empty()) {
+      throw std::invalid_argument("topic name has an empty token: '" + std::string(name) + "'");
+    }
+    tokens.emplace_back(token);
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return tokens;
+}
+
+TopicPattern::TopicPattern(std::string_view pattern) : pattern_(pattern) {
+  tokens_ = split(pattern);
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    const auto& token = tokens_[i];
+    if (token == "#") {
+      if (i + 1 != tokens_.size()) {
+        throw std::invalid_argument("'#' is only allowed as the final pattern token");
+      }
+      trailing_hash_ = true;
+      has_wildcards_ = true;
+    } else if (token == "*") {
+      has_wildcards_ = true;
+    }
+  }
+}
+
+bool TopicPattern::matches(std::string_view topic_name) const {
+  std::vector<std::string> name_tokens;
+  try {
+    name_tokens = split(topic_name);
+  } catch (const std::invalid_argument&) {
+    return false;  // malformed names match nothing
+  }
+
+  const std::size_t fixed = trailing_hash_ ? tokens_.size() - 1 : tokens_.size();
+  if (trailing_hash_) {
+    if (name_tokens.size() < fixed) return false;
+  } else {
+    if (name_tokens.size() != fixed) return false;
+  }
+  for (std::size_t i = 0; i < fixed; ++i) {
+    if (tokens_[i] == "*") continue;
+    if (tokens_[i] != name_tokens[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace jmsperf::jms

@@ -1,0 +1,47 @@
+// Hierarchical topic patterns.
+//
+// The paper notes that topics "virtually separate the JMS server into
+// several logical sub-servers" (Sec. II-A).  Real brokers (FioranoMQ,
+// TIBCO, ActiveMQ) additionally support hierarchical topic names with
+// wildcard subscriptions.  We implement the common convention:
+//
+//   * topic names are dot-separated token paths:        "sports.soccer.uk"
+//   * '*' in a pattern matches exactly one token:       "sports.*.uk"
+//   * '#' matches zero or more trailing tokens and is
+//     only allowed as the final token:                  "sports.#"
+//
+// A pattern without wildcards matches only the identical name.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jmsperf::jms {
+
+class TopicPattern {
+ public:
+  /// Compiles a pattern.  Throws std::invalid_argument on empty names,
+  /// empty tokens ("a..b"), or a non-final '#'.
+  explicit TopicPattern(std::string_view pattern);
+
+  /// True when the concrete topic name matches.
+  [[nodiscard]] bool matches(std::string_view topic_name) const;
+
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+
+  /// True when the pattern contains a wildcard token.
+  [[nodiscard]] bool has_wildcards() const { return has_wildcards_; }
+
+  /// Splits a topic name into tokens (shared with the broker's validation).
+  /// Throws std::invalid_argument on empty names or empty tokens.
+  static std::vector<std::string> split(std::string_view name);
+
+ private:
+  std::string pattern_;
+  std::vector<std::string> tokens_;
+  bool has_wildcards_ = false;
+  bool trailing_hash_ = false;
+};
+
+}  // namespace jmsperf::jms

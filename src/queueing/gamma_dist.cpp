@@ -1,0 +1,63 @@
+#include "queueing/gamma_dist.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.hpp"
+
+namespace jmsperf::queueing {
+
+GammaDistribution::GammaDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument("GammaDistribution: shape and scale must be positive");
+  }
+}
+
+GammaDistribution GammaDistribution::fit_mean_cv(double mean, double cv) {
+  if (!(mean > 0.0)) throw std::invalid_argument("GammaDistribution::fit_mean_cv: mean must be positive");
+  if (!(cv > 0.0)) throw std::invalid_argument("GammaDistribution::fit_mean_cv: cv must be positive");
+  const double shape = 1.0 / (cv * cv);
+  return GammaDistribution(shape, mean / shape);
+}
+
+GammaDistribution GammaDistribution::fit_two_moments(double m1, double m2) {
+  if (!(m1 > 0.0)) throw std::invalid_argument("GammaDistribution::fit_two_moments: mean must be positive");
+  const double variance = m2 - m1 * m1;
+  if (!(variance > 0.0)) {
+    throw std::invalid_argument("GammaDistribution::fit_two_moments: variance must be positive");
+  }
+  const double cv = std::sqrt(variance) / m1;
+  return fit_mean_cv(m1, cv);
+}
+
+double GammaDistribution::coefficient_of_variation() const {
+  return 1.0 / std::sqrt(shape_);
+}
+
+double GammaDistribution::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return 0.0;
+  }
+  const double log_pdf = (shape_ - 1.0) * std::log(x) - x / scale_ -
+                         stats::log_gamma(shape_) - shape_ * std::log(scale_);
+  return std::exp(log_pdf);
+}
+
+double GammaDistribution::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return stats::gamma_p(shape_, x / scale_);
+}
+
+double GammaDistribution::quantile(double p) const {
+  return scale_ * stats::gamma_p_inv(shape_, p);
+}
+
+double GammaDistribution::sample(stats::RandomStream& rng) const {
+  return rng.gamma(shape_, scale_);
+}
+
+}  // namespace jmsperf::queueing

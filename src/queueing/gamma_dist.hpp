@@ -1,0 +1,50 @@
+// Gamma distribution, used as the two-moment approximation of the
+// conditional waiting time W1 of delayed messages (paper Eq. 20 and [23]):
+// fit shape alpha = 1/c_var[W1]^2 and scale beta = E[W1]/alpha, then
+//   P(W <= t) = (1 - rho) + rho * P(W1 <= t).
+#pragma once
+
+#include "stats/rng.hpp"
+
+namespace jmsperf::queueing {
+
+class GammaDistribution {
+ public:
+  /// shape > 0, scale > 0.
+  GammaDistribution(double shape, double scale);
+
+  /// Fits shape/scale so the distribution has the given mean and
+  /// coefficient of variation: alpha = 1/cv^2, beta = mean/alpha.
+  static GammaDistribution fit_mean_cv(double mean, double cv);
+
+  /// Fits from the first two raw moments.
+  static GammaDistribution fit_two_moments(double m1, double m2);
+
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+  [[nodiscard]] double mean() const { return shape_ * scale_; }
+  [[nodiscard]] double variance() const { return shape_ * scale_ * scale_; }
+  [[nodiscard]] double coefficient_of_variation() const;
+
+  /// Density at x >= 0.
+  [[nodiscard]] double pdf(double x) const;
+
+  /// P(X <= x).
+  [[nodiscard]] double cdf(double x) const;
+
+  /// P(X > x).
+  [[nodiscard]] double ccdf(double x) const { return 1.0 - cdf(x); }
+
+  /// Inverse CDF for p in [0, 1).
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Draws one variate.
+  [[nodiscard]] double sample(stats::RandomStream& rng) const;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+}  // namespace jmsperf::queueing

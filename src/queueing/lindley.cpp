@@ -1,0 +1,45 @@
+#include "queueing/lindley.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jmsperf::queueing {
+
+double LindleyResult::empirical_cdf(double t) const {
+  if (samples.empty()) {
+    throw std::logic_error("LindleyResult::empirical_cdf: samples were not kept");
+  }
+  const auto below = static_cast<double>(
+      std::count_if(samples.begin(), samples.end(), [&](double w) { return w <= t; }));
+  return below / static_cast<double>(samples.size());
+}
+
+LindleyResult simulate_mg1_waiting(
+    double lambda, const std::function<double(stats::RandomStream&)>& service,
+    const LindleyConfig& config) {
+  if (!(lambda > 0.0)) throw std::invalid_argument("simulate_mg1_waiting: lambda must be positive");
+  if (!service) throw std::invalid_argument("simulate_mg1_waiting: null service sampler");
+
+  stats::RandomStream rng(config.seed);
+  LindleyResult result;
+  if (config.keep_samples) result.samples.reserve(config.arrivals);
+
+  double w = 0.0;
+  std::uint64_t delayed = 0;
+  for (std::uint64_t k = 0; k < config.warmup + config.arrivals; ++k) {
+    if (k >= config.warmup) {
+      result.waiting.add(w);
+      if (w > 0.0) ++delayed;
+      if (config.keep_samples) result.samples.push_back(w);
+    }
+    const double b = service(rng);
+    if (b < 0.0) throw std::invalid_argument("simulate_mg1_waiting: negative service time");
+    const double a = rng.exponential(lambda);
+    w = std::max(0.0, w + b - a);
+  }
+  result.waiting_probability =
+      static_cast<double>(delayed) / static_cast<double>(config.arrivals);
+  return result;
+}
+
+}  // namespace jmsperf::queueing

@@ -1,0 +1,40 @@
+// Lindley-recursion simulator for GI/GI/1 waiting times.
+//
+// W_{k+1} = max(0, W_k + B_k - A_k) with A_k the k-th inter-arrival time
+// and B_k the k-th service time.  This is an independent, lightweight
+// validation path for the analytic M/GI/1 results (Figs. 10-12): it shares
+// no code with the closed-form formulas or with the full DES testbed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace jmsperf::queueing {
+
+struct LindleyConfig {
+  std::uint64_t arrivals = 1'000'000;  ///< measured arrivals
+  std::uint64_t warmup = 10'000;       ///< discarded initial arrivals
+  std::uint64_t seed = 1;
+  bool keep_samples = false;           ///< retain per-arrival waiting times
+};
+
+struct LindleyResult {
+  stats::MomentAccumulator waiting;      ///< waiting time moments
+  double waiting_probability = 0.0;      ///< fraction with W > 0
+  std::vector<double> samples;           ///< populated iff keep_samples
+
+  /// Empirical P(W <= t) from retained samples.
+  [[nodiscard]] double empirical_cdf(double t) const;
+};
+
+/// Runs the recursion with exponential(lambda) inter-arrival times and the
+/// given service-time sampler.
+LindleyResult simulate_mg1_waiting(double lambda,
+                                   const std::function<double(stats::RandomStream&)>& service,
+                                   const LindleyConfig& config = {});
+
+}  // namespace jmsperf::queueing

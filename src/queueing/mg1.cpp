@@ -1,0 +1,50 @@
+#include "queueing/mg1.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jmsperf::queueing {
+
+MG1Waiting::MG1Waiting(double lambda, stats::RawMoments service_moments)
+    : lambda_(lambda), service_(service_moments) {
+  if (!(lambda > 0.0)) throw std::invalid_argument("MG1Waiting: lambda must be positive");
+  service_.validate();
+  if (!(service_.m1 > 0.0)) {
+    throw std::invalid_argument("MG1Waiting: mean service time must be positive");
+  }
+  rho_ = lambda_ * service_.m1;
+  if (rho_ >= 1.0) {
+    throw std::invalid_argument("MG1Waiting: unstable queue (rho >= 1)");
+  }
+  w1_ = lambda_ * service_.m2 / (2.0 * (1.0 - rho_));
+  w2_ = 2.0 * w1_ * w1_ + lambda_ * service_.m3 / (3.0 * (1.0 - rho_));
+
+  const double m1_delayed = w1_ / rho_;
+  const double m2_delayed = w2_ / rho_;
+  const double var_delayed = m2_delayed - m1_delayed * m1_delayed;
+  if (m1_delayed > 0.0 && var_delayed > 0.0) {
+    delayed_gamma_ = GammaDistribution::fit_two_moments(m1_delayed, m2_delayed);
+  }
+}
+
+double MG1Waiting::waiting_time_cv() const {
+  if (!(w1_ > 0.0)) throw std::logic_error("MG1Waiting: cv undefined for zero mean wait");
+  return std::sqrt(waiting_time_variance()) / w1_;
+}
+
+double MG1Waiting::waiting_cdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (!delayed_gamma_) return 1.0;  // W == 0 almost surely among arrivals
+  return (1.0 - rho_) + rho_ * delayed_gamma_->cdf(t);
+}
+
+double MG1Waiting::waiting_quantile(double p) const {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("MG1Waiting::waiting_quantile: p must be in [0, 1)");
+  }
+  if (p <= 1.0 - rho_ || !delayed_gamma_) return 0.0;
+  const double conditional = (p - (1.0 - rho_)) / rho_;
+  return delayed_gamma_->quantile(conditional);
+}
+
+}  // namespace jmsperf::queueing

@@ -1,0 +1,95 @@
+// M/GI/1-infinity waiting-time analysis (paper Sec. IV-B).
+//
+// Given Poisson arrivals of rate lambda and the first three raw moments of
+// the service time B, the Pollaczek-Khinchine/Takacs formulas give the
+// first two moments of the waiting time W:
+//
+//   E[W]   = lambda E[B^2] / (2 (1 - rho))                       (Eq. 4)
+//   E[W^2] = 2 E[W]^2 + lambda E[B^3] / (3 (1 - rho))            (Eq. 5)
+//   rho    = lambda E[B]                                         (Eq. 6)
+//
+// The waiting probability is P(W > 0) = rho; conditioning on delay gives
+// E[W1] = E[W]/rho, E[W1^2] = E[W^2]/rho (Eq. 19).  W1 is approximated by
+// a Gamma distribution fitted to those two moments, yielding
+// P(W <= t) = (1 - rho) + rho P(W1 <= t) (Eq. 20) and its quantiles.
+#pragma once
+
+#include <optional>
+
+#include "queueing/gamma_dist.hpp"
+#include "stats/moments.hpp"
+
+namespace jmsperf::queueing {
+
+class MG1Waiting {
+ public:
+  /// Throws std::invalid_argument unless lambda > 0, the moments are
+  /// consistent, and the queue is stable (rho = lambda*E[B] < 1).
+  MG1Waiting(double lambda, stats::RawMoments service_moments);
+
+  [[nodiscard]] double lambda() const { return lambda_; }
+  [[nodiscard]] const stats::RawMoments& service_moments() const { return service_; }
+
+  /// Server utilization rho = lambda * E[B].
+  [[nodiscard]] double utilization() const { return rho_; }
+
+  /// P(W > 0) = rho for M/GI/1.
+  [[nodiscard]] double waiting_probability() const { return rho_; }
+
+  /// E[W] (Eq. 4).
+  [[nodiscard]] double mean_waiting_time() const { return w1_; }
+
+  /// E[W^2] (Eq. 5).
+  [[nodiscard]] double second_moment_waiting_time() const { return w2_; }
+
+  [[nodiscard]] double waiting_time_variance() const { return w2_ - w1_ * w1_; }
+
+  /// Coefficient of variation of W (only defined when E[W] > 0).
+  [[nodiscard]] double waiting_time_cv() const;
+
+  /// Mean sojourn (response) time E[W] + E[B].
+  [[nodiscard]] double mean_sojourn_time() const { return w1_ + service_.m1; }
+
+  /// Conditional moments of the waiting time of delayed messages (Eq. 19).
+  [[nodiscard]] double mean_delayed_waiting_time() const { return w1_ / rho_; }
+  [[nodiscard]] double second_moment_delayed_waiting_time() const { return w2_ / rho_; }
+
+  /// The two-moment Gamma approximation of W1 (absent when E[W] == 0,
+  /// i.e. a deterministic zero waiting time).
+  [[nodiscard]] const std::optional<GammaDistribution>& delayed_gamma() const {
+    return delayed_gamma_;
+  }
+
+  /// P(W <= t) via the Gamma approximation (Eq. 20).
+  [[nodiscard]] double waiting_cdf(double t) const;
+
+  /// P(W > t).
+  [[nodiscard]] double waiting_ccdf(double t) const { return 1.0 - waiting_cdf(t); }
+
+  /// p-quantile Q_p[W]: smallest t with P(W <= t) >= p.
+  /// Zero whenever p <= 1 - rho.
+  [[nodiscard]] double waiting_quantile(double p) const;
+
+  /// Mean number of messages waiting in the buffer (Little's law,
+  /// L_q = lambda E[W]).
+  [[nodiscard]] double mean_queue_length() const { return lambda_ * w1_; }
+
+  /// Buffer-size estimate from the waiting-time quantile (the paper's
+  /// Sec. IV-B.5 remark: the 99.99% quantile "gives ... an estimate on
+  /// the required buffer space").  Distributional-Little approximation:
+  /// a message that waits Q_p[W] found ~lambda * Q_p[W] messages ahead;
+  /// sizing the buffer to that backlog keeps overflow below ~(1-p).
+  [[nodiscard]] double required_buffer(double p) const {
+    return lambda_ * waiting_quantile(p);
+  }
+
+ private:
+  double lambda_;
+  stats::RawMoments service_;
+  double rho_;
+  double w1_;
+  double w2_;
+  std::optional<GammaDistribution> delayed_gamma_;
+};
+
+}  // namespace jmsperf::queueing

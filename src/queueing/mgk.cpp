@@ -1,0 +1,65 @@
+#include "queueing/mgk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jmsperf::queueing {
+
+double erlang_b(double offered_load, std::uint32_t servers) {
+  if (offered_load < 0.0) throw std::invalid_argument("erlang_b: negative load");
+  double b = 1.0;
+  for (std::uint32_t k = 1; k <= servers; ++k) {
+    b = offered_load * b / (static_cast<double>(k) + offered_load * b);
+  }
+  return b;
+}
+
+double erlang_c(double offered_load, std::uint32_t servers) {
+  if (servers == 0) throw std::invalid_argument("erlang_c: need at least one server");
+  if (!(offered_load < static_cast<double>(servers))) {
+    throw std::invalid_argument("erlang_c: unstable (offered load >= servers)");
+  }
+  if (offered_load == 0.0) return 0.0;
+  const double b = erlang_b(offered_load, servers);
+  const double c = static_cast<double>(servers);
+  return c * b / (c - offered_load * (1.0 - b));
+}
+
+MGcWaiting::MGcWaiting(double lambda, stats::RawMoments service,
+                       std::uint32_t servers)
+    : service_(service), servers_(servers) {
+  if (!(lambda > 0.0)) throw std::invalid_argument("MGcWaiting: lambda must be positive");
+  if (servers == 0) throw std::invalid_argument("MGcWaiting: need at least one server");
+  service_.validate();
+  if (!(service_.m1 > 0.0)) {
+    throw std::invalid_argument("MGcWaiting: mean service time must be positive");
+  }
+  offered_load_ = lambda * service_.m1;
+  rho_ = offered_load_ / static_cast<double>(servers);
+  if (rho_ >= 1.0) throw std::invalid_argument("MGcWaiting: unstable queue (rho >= 1)");
+
+  p_wait_ = erlang_c(offered_load_, servers);
+  const double cv2 = service_.variance() / (service_.m1 * service_.m1);
+  const double mu = 1.0 / service_.m1;
+  // Allen-Cunneen: E[W(M/G/c)] ~= E[W(M/M/c)] * (1 + cv^2)/2.
+  const double mmc_wait = p_wait_ / (static_cast<double>(servers) * mu - lambda);
+  mean_wait_ = mmc_wait * (1.0 + cv2) / 2.0;
+}
+
+double MGcWaiting::waiting_cdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (mean_wait_ <= 0.0 || p_wait_ <= 0.0) return 1.0;
+  const double conditional_mean = mean_wait_ / p_wait_;
+  return 1.0 - p_wait_ * std::exp(-t / conditional_mean);
+}
+
+double MGcWaiting::waiting_quantile(double p) const {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("MGcWaiting::waiting_quantile: p must be in [0, 1)");
+  }
+  if (p <= 1.0 - p_wait_ || mean_wait_ <= 0.0) return 0.0;
+  const double conditional_mean = mean_wait_ / p_wait_;
+  return -conditional_mean * std::log((1.0 - p) / p_wait_);
+}
+
+}  // namespace jmsperf::queueing

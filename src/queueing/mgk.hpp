@@ -1,0 +1,72 @@
+// Multi-server queueing: Erlang formulas and the M/G/c waiting-time
+// approximation.
+//
+// The paper's conclusion announces work on "the message throughput
+// performance of server clusters"; this header supplies the standard
+// analytic machinery for that extension:
+//
+//  * Erlang-B (blocking in M/G/c/c) via the numerically stable recursion;
+//  * Erlang-C (probability of waiting in M/M/c);
+//  * the Allen-Cunneen / Lee-Longton approximation for the mean waiting
+//    time in M/G/c:
+//        E[W] ~= C(c, a) / (c mu - lambda) * (1 + cv_B^2) / 2,
+//    exact for M/M/c (cv = 1) and for M/G/1 (c = 1, P-K formula);
+//  * an exponential-tail approximation of the waiting-time distribution
+//    (exact for M/M/c), scaled to the approximated mean.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/moments.hpp"
+
+namespace jmsperf::queueing {
+
+/// Erlang-B blocking probability for offered load `a` (erlangs) and `c`
+/// servers; computed with the stable recursion B(0)=1,
+/// B(k) = a B(k-1) / (k + a B(k-1)).
+[[nodiscard]] double erlang_b(double offered_load, std::uint32_t servers);
+
+/// Erlang-C probability that an arrival must wait in M/M/c.
+/// Requires offered_load < servers (stability).
+[[nodiscard]] double erlang_c(double offered_load, std::uint32_t servers);
+
+/// Approximate M/G/c waiting-time analysis.
+class MGcWaiting {
+ public:
+  /// `lambda`: aggregate Poisson arrival rate; `service`: first two (three
+  /// tolerated) raw moments of the per-server service time; `servers`: c.
+  /// Throws std::invalid_argument on instability (lambda E[B] >= c).
+  MGcWaiting(double lambda, stats::RawMoments service, std::uint32_t servers);
+
+  [[nodiscard]] std::uint32_t servers() const { return servers_; }
+  [[nodiscard]] double offered_load() const { return offered_load_; }
+
+  /// Per-server utilization rho = lambda E[B] / c.
+  [[nodiscard]] double utilization() const { return rho_; }
+
+  /// P(W > 0), the Erlang-C value (exact for M/M/c, an approximation
+  /// otherwise).
+  [[nodiscard]] double waiting_probability() const { return p_wait_; }
+
+  /// Allen-Cunneen mean waiting time.
+  [[nodiscard]] double mean_waiting_time() const { return mean_wait_; }
+
+  [[nodiscard]] double mean_sojourn_time() const { return mean_wait_ + service_.m1; }
+
+  /// Exponential-tail approximation of P(W <= t): the conditional wait is
+  /// modeled as Exp with mean E[W]/P(W>0).
+  [[nodiscard]] double waiting_cdf(double t) const;
+
+  /// Quantile of the approximate waiting-time distribution.
+  [[nodiscard]] double waiting_quantile(double p) const;
+
+ private:
+  stats::RawMoments service_;
+  std::uint32_t servers_;
+  double offered_load_;
+  double rho_;
+  double p_wait_;
+  double mean_wait_;
+};
+
+}  // namespace jmsperf::queueing

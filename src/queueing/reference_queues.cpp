@@ -1,0 +1,65 @@
+#include "queueing/reference_queues.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jmsperf::queueing {
+namespace {
+
+void require_stable(double lambda, double mu) {
+  if (!(lambda > 0.0) || !(mu > 0.0)) {
+    throw std::invalid_argument("reference queue: rates must be positive");
+  }
+  if (lambda >= mu) throw std::invalid_argument("reference queue: unstable (lambda >= mu)");
+}
+
+}  // namespace
+
+stats::RawMoments exponential_service_moments(double mean) {
+  if (!(mean > 0.0)) throw std::invalid_argument("exponential_service_moments: mean must be positive");
+  // E[X^k] = k! * mean^k for the exponential distribution.
+  return {mean, 2.0 * mean * mean, 6.0 * mean * mean * mean};
+}
+
+stats::RawMoments deterministic_service_moments(double value) {
+  if (!(value > 0.0)) throw std::invalid_argument("deterministic_service_moments: value must be positive");
+  return stats::RawMoments::deterministic(value);
+}
+
+double mm1_mean_waiting_time(double lambda, double mu) {
+  require_stable(lambda, mu);
+  const double rho = lambda / mu;
+  return rho / (mu - lambda);
+}
+
+double mm1_waiting_cdf(double lambda, double mu, double t) {
+  require_stable(lambda, mu);
+  if (t < 0.0) return 0.0;
+  const double rho = lambda / mu;
+  return 1.0 - rho * std::exp(-(mu - lambda) * t);
+}
+
+double mm1_waiting_quantile(double lambda, double mu, double p) {
+  require_stable(lambda, mu);
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("mm1_waiting_quantile: p must be in [0, 1)");
+  }
+  const double rho = lambda / mu;
+  if (p <= 1.0 - rho) return 0.0;
+  return -std::log((1.0 - p) / rho) / (mu - lambda);
+}
+
+double md1_mean_waiting_time(double lambda, double b) {
+  if (!(b > 0.0)) throw std::invalid_argument("md1_mean_waiting_time: b must be positive");
+  require_stable(lambda, 1.0 / b);
+  const double rho = lambda * b;
+  return rho * b / (2.0 * (1.0 - rho));
+}
+
+double mm1_mean_number_in_system(double lambda, double mu) {
+  require_stable(lambda, mu);
+  const double rho = lambda / mu;
+  return rho / (1.0 - rho);
+}
+
+}  // namespace jmsperf::queueing

@@ -1,0 +1,34 @@
+// Closed-form reference results for M/M/1 and M/D/1 queues.
+//
+// These serve as independent cross-checks of the general M/GI/1
+// implementation: with exponential service the Gamma approximation of the
+// waiting time is exact, and with deterministic service the
+// Pollaczek-Khinchine mean must reduce to rho*E[B]/(2(1-rho)).
+#pragma once
+
+#include "stats/moments.hpp"
+
+namespace jmsperf::queueing {
+
+/// Raw moments of an exponential service time with the given mean.
+[[nodiscard]] stats::RawMoments exponential_service_moments(double mean);
+
+/// Raw moments of a deterministic service time with the given value.
+[[nodiscard]] stats::RawMoments deterministic_service_moments(double value);
+
+/// M/M/1 mean waiting time: rho/(mu - lambda).
+[[nodiscard]] double mm1_mean_waiting_time(double lambda, double mu);
+
+/// M/M/1 waiting-time CDF: P(W <= t) = 1 - rho e^{-(mu-lambda) t}.
+[[nodiscard]] double mm1_waiting_cdf(double lambda, double mu, double t);
+
+/// M/M/1 waiting-time quantile (0 for p <= 1-rho).
+[[nodiscard]] double mm1_waiting_quantile(double lambda, double mu, double p);
+
+/// M/D/1 mean waiting time: rho b / (2 (1 - rho)) with b the service time.
+[[nodiscard]] double md1_mean_waiting_time(double lambda, double b);
+
+/// M/M/1 mean queue length (number in system): rho/(1-rho).
+[[nodiscard]] double mm1_mean_number_in_system(double lambda, double mu);
+
+}  // namespace jmsperf::queueing

@@ -1,0 +1,166 @@
+#include "queueing/replication.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/special_functions.hpp"
+
+namespace jmsperf::queueing {
+
+// ---------------------------------------------------------------- constant
+stats::RawMoments DeterministicReplication::moments() const {
+  return stats::RawMoments::deterministic(static_cast<double>(r_));
+}
+
+std::uint32_t DeterministicReplication::sample(stats::RandomStream&) const { return r_; }
+
+std::string DeterministicReplication::name() const {
+  return "deterministic(r=" + std::to_string(r_) + ")";
+}
+
+// ------------------------------------------------------- scaled Bernoulli
+ScaledBernoulliReplication::ScaledBernoulliReplication(std::uint32_t n_fltr,
+                                                       double p_match)
+    : n_(n_fltr), p_(p_match) {
+  if (p_match < 0.0 || p_match > 1.0) {
+    throw std::invalid_argument("ScaledBernoulliReplication: p_match must be in [0, 1]");
+  }
+}
+
+stats::RawMoments ScaledBernoulliReplication::moments() const {
+  const double n = static_cast<double>(n_);
+  // E[R^k] = p * n^k for the two-point law {0, n}.
+  return {p_ * n, p_ * n * n, p_ * n * n * n};
+}
+
+std::uint32_t ScaledBernoulliReplication::sample(stats::RandomStream& rng) const {
+  return rng.bernoulli(p_) ? n_ : 0;
+}
+
+std::string ScaledBernoulliReplication::name() const {
+  return "scaled-bernoulli(n=" + std::to_string(n_) + ", p=" + std::to_string(p_) + ")";
+}
+
+ScaledBernoulliReplication ScaledBernoulliReplication::from_moments(double m1,
+                                                                    double m2) {
+  if (!(m1 > 0.0) || !(m2 > 0.0)) {
+    throw std::invalid_argument("ScaledBernoulliReplication::from_moments: moments must be positive");
+  }
+  const double n = m2 / m1;          // E[R^2]/E[R]
+  const double p = m1 * m1 / m2;     // E[R]^2/E[R^2]
+  if (p > 1.0 + 1e-12) {
+    throw std::invalid_argument(
+        "ScaledBernoulliReplication::from_moments: moments imply p > 1");
+  }
+  return ScaledBernoulliReplication(static_cast<std::uint32_t>(std::lround(n)),
+                                    std::min(p, 1.0));
+}
+
+// ---------------------------------------------------------------- binomial
+BinomialReplication::BinomialReplication(std::uint32_t n_fltr, double p_match)
+    : n_(n_fltr), p_(p_match) {
+  if (p_match < 0.0 || p_match > 1.0) {
+    throw std::invalid_argument("BinomialReplication: p_match must be in [0, 1]");
+  }
+}
+
+stats::RawMoments BinomialReplication::moments() const {
+  // Raw moments via factorial moments:
+  //   E[R]              = n p
+  //   E[R(R-1)]         = n(n-1) p^2
+  //   E[R(R-1)(R-2)]    = n(n-1)(n-2) p^3
+  const double n = static_cast<double>(n_);
+  const double f1 = n * p_;
+  const double f2 = n * (n - 1.0) * p_ * p_;
+  const double f3 = n * (n - 1.0) * (n - 2.0) * p_ * p_ * p_;
+  return {f1, f2 + f1, f3 + 3.0 * f2 + f1};
+}
+
+std::uint32_t BinomialReplication::sample(stats::RandomStream& rng) const {
+  return rng.binomial(n_, p_);
+}
+
+std::string BinomialReplication::name() const {
+  return "binomial(n=" + std::to_string(n_) + ", p=" + std::to_string(p_) + ")";
+}
+
+double BinomialReplication::pmf(std::uint32_t k) const {
+  if (k > n_) return 0.0;
+  if (p_ == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p_ == 1.0) return k == n_ ? 1.0 : 0.0;
+  const double log_p = stats::log_gamma(n_ + 1.0) - stats::log_gamma(k + 1.0) -
+                       stats::log_gamma(static_cast<double>(n_ - k) + 1.0) +
+                       k * std::log(p_) + (n_ - k) * std::log(1.0 - p_);
+  return std::exp(log_p);
+}
+
+stats::RawMoments BinomialReplication::moments_from_first_two(double m1, double m2) {
+  if (!(m1 > 0.0)) {
+    throw std::invalid_argument("BinomialReplication::moments_from_first_two: E[R] must be positive");
+  }
+  const double variance = m2 - m1 * m1;
+  if (variance < -1e-12) {
+    throw std::invalid_argument("BinomialReplication::moments_from_first_two: E[R^2] < E[R]^2");
+  }
+  // Var = n p (1-p) = E[R] (1-p)  =>  1-p = Var / E[R].
+  const double q = std::max(0.0, variance) / m1;  // 1 - p
+  if (q >= 1.0) {
+    throw std::invalid_argument(
+        "BinomialReplication::moments_from_first_two: moments imply p <= 0 "
+        "(over-dispersed relative to a binomial)");
+  }
+  const double p = 1.0 - q;
+  const double n = m1 / p;  // possibly non-integral (generalized binomial)
+  const double f1 = n * p;
+  const double f2 = n * (n - 1.0) * p * p;
+  const double f3 = n * (n - 1.0) * (n - 2.0) * p * p * p;
+  return {f1, f2 + f1, f3 + 3.0 * f2 + f1};
+}
+
+// --------------------------------------------------------------- empirical
+EmpiricalReplication::EmpiricalReplication(std::vector<double> pmf)
+    : pmf_(std::move(pmf)) {
+  if (pmf_.empty()) throw std::invalid_argument("EmpiricalReplication: empty pmf");
+  double sum = 0.0;
+  for (const double v : pmf_) {
+    if (v < 0.0) throw std::invalid_argument("EmpiricalReplication: negative probability");
+    sum += v;
+  }
+  if (!(sum > 0.0)) throw std::invalid_argument("EmpiricalReplication: zero total mass");
+  for (double& v : pmf_) v /= sum;
+}
+
+stats::RawMoments EmpiricalReplication::moments() const {
+  stats::RawMoments m;
+  for (std::size_t k = 0; k < pmf_.size(); ++k) {
+    const double kd = static_cast<double>(k);
+    m.m1 += kd * pmf_[k];
+    m.m2 += kd * kd * pmf_[k];
+    m.m3 += kd * kd * kd * pmf_[k];
+  }
+  return m;
+}
+
+std::uint32_t EmpiricalReplication::sample(stats::RandomStream& rng) const {
+  return static_cast<std::uint32_t>(rng.discrete(pmf_));
+}
+
+std::string EmpiricalReplication::name() const {
+  return "empirical(k_max=" + std::to_string(pmf_.size() - 1) + ")";
+}
+
+std::shared_ptr<EmpiricalReplication> make_zipf_replication(std::uint32_t k_max,
+                                                            double exponent) {
+  if (k_max == 0) throw std::invalid_argument("make_zipf_replication: k_max must be positive");
+  if (!(exponent > 0.0)) {
+    throw std::invalid_argument("make_zipf_replication: exponent must be positive");
+  }
+  std::vector<double> pmf(k_max + 1, 0.0);
+  for (std::uint32_t k = 1; k <= k_max; ++k) {
+    pmf[k] = std::pow(static_cast<double>(k), -exponent);
+  }
+  return std::make_shared<EmpiricalReplication>(std::move(pmf));
+}
+
+}  // namespace jmsperf::queueing

@@ -1,0 +1,101 @@
+#include "queueing/service_time.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jmsperf::queueing {
+
+const char* to_string(ReplicationLaw law) {
+  switch (law) {
+    case ReplicationLaw::Deterministic: return "deterministic";
+    case ReplicationLaw::ScaledBernoulli: return "scaled-bernoulli";
+    case ReplicationLaw::Binomial: return "binomial";
+  }
+  return "?";
+}
+
+namespace {
+
+stats::RawMoments compose(double d, double t_tx, const stats::RawMoments& r) {
+  // Eqs. (7)-(9): B = D + V with V = t_tx * R and D deterministic.
+  return r.scaled(t_tx).shifted(d);
+}
+
+}  // namespace
+
+ServiceTimeModel::ServiceTimeModel(double d, double t_tx,
+                                   stats::RawMoments replication_moments)
+    : d_(d), t_tx_(t_tx), replication_moments_(replication_moments),
+      moments_(compose(d, t_tx, replication_moments)) {
+  if (d < 0.0 || t_tx < 0.0) {
+    throw std::invalid_argument("ServiceTimeModel: d and t_tx must be non-negative");
+  }
+  replication_moments.validate();
+}
+
+ServiceTimeModel::ServiceTimeModel(double d, double t_tx,
+                                   const ReplicationModel& replication)
+    : ServiceTimeModel(d, t_tx, replication.moments()) {}
+
+stats::RawMoments service_moments_for_cv(double mean, double cv, double d,
+                                         double t_tx, ReplicationLaw law) {
+  if (!(mean > 0.0)) throw std::invalid_argument("service_moments_for_cv: mean must be positive");
+  if (cv < 0.0) throw std::invalid_argument("service_moments_for_cv: cv must be non-negative");
+  if (!(t_tx > 0.0)) throw std::invalid_argument("service_moments_for_cv: t_tx must be positive");
+  if (mean <= d) {
+    throw std::invalid_argument("service_moments_for_cv: mean must exceed the deterministic part");
+  }
+
+  // Eq. (7): E[R] = (E[B] - D) / t_tx.
+  const double r1 = (mean - d) / t_tx;
+  // Eq. (8) solved for E[R^2]:
+  //   E[B^2] = D^2 + 2 D t E[R] + t^2 E[R^2],  E[B^2] = E[B]^2 (1 + cv^2).
+  const double b2 = mean * mean * (1.0 + cv * cv);
+  const double r2 = (b2 - d * d - 2.0 * d * t_tx * r1) / (t_tx * t_tx);
+
+  stats::RawMoments r{r1, r2, 0.0};
+  switch (law) {
+    case ReplicationLaw::Deterministic:
+      if (cv > 1e-12) {
+        throw std::invalid_argument(
+            "service_moments_for_cv: deterministic law requires cv == 0");
+      }
+      r.m3 = r1 * r1 * r1;  // Eq. (12)
+      break;
+    case ReplicationLaw::ScaledBernoulli:
+      if (cv == 0.0) {
+        r.m3 = r1 * r1 * r1;
+      } else {
+        r.m3 = r2 * r2 / r1;  // Eq. (15)
+      }
+      break;
+    case ReplicationLaw::Binomial:
+      if (cv == 0.0) {
+        r.m3 = r1 * r1 * r1;
+      } else {
+        r = BinomialReplication::moments_from_first_two(r1, r2);
+      }
+      break;
+  }
+  return r.scaled(t_tx).shifted(d);
+}
+
+stats::RawMoments normalized_service_moments(double cv, ReplicationLaw law) {
+  // d = 0, t_tx such that E[B] = 1 with E[R] = 1 (so t_tx = 1).
+  return service_moments_for_cv(1.0, cv, 0.0, 1.0, law);
+}
+
+ServiceTimeSampler::ServiceTimeSampler(
+    double d, double t_tx, std::shared_ptr<const ReplicationModel> replication)
+    : d_(d), t_tx_(t_tx), replication_(std::move(replication)) {
+  if (!replication_) throw std::invalid_argument("ServiceTimeSampler: null replication model");
+  if (d < 0.0 || t_tx < 0.0) {
+    throw std::invalid_argument("ServiceTimeSampler: d and t_tx must be non-negative");
+  }
+}
+
+double ServiceTimeSampler::sample(stats::RandomStream& rng) const {
+  return d_ + t_tx_ * static_cast<double>(replication_->sample(rng));
+}
+
+}  // namespace jmsperf::queueing

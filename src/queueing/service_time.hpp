@@ -1,0 +1,91 @@
+// The message service time B = D + R * t_tx (paper Sec. IV-B.2).
+//
+// D = t_rcv + n_fltr * t_fltr is deterministic per application scenario,
+// R is the (random) replication grade, and t_tx the per-copy transmission
+// overhead.  Equations (7)-(9) give the first three moments of B from the
+// first three moments of R; Eq. (10) its coefficient of variation.
+#pragma once
+
+#include <memory>
+
+#include "queueing/replication.hpp"
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace jmsperf::queueing {
+
+/// Which law supplies the third moment when a service time is specified
+/// only through its mean and coefficient of variation (Figs. 10-12).
+enum class ReplicationLaw { Deterministic, ScaledBernoulli, Binomial };
+
+[[nodiscard]] const char* to_string(ReplicationLaw law);
+
+class ServiceTimeModel {
+ public:
+  /// Composes B = d + t_tx * R from the replication-grade moments.
+  /// Requires d >= 0 and t_tx >= 0.
+  ServiceTimeModel(double d, double t_tx, stats::RawMoments replication_moments);
+
+  /// Convenience overload taking the replication model directly.
+  ServiceTimeModel(double d, double t_tx, const ReplicationModel& replication);
+
+  /// First three raw moments of B (Eqs. 7-9).
+  [[nodiscard]] const stats::RawMoments& moments() const { return moments_; }
+
+  [[nodiscard]] double mean() const { return moments_.m1; }
+
+  /// Coefficient of variation of B (Eq. 10).
+  [[nodiscard]] double coefficient_of_variation() const {
+    return moments_.coefficient_of_variation();
+  }
+
+  [[nodiscard]] double deterministic_part() const { return d_; }
+  [[nodiscard]] double transmission_time() const { return t_tx_; }
+  [[nodiscard]] const stats::RawMoments& replication_moments() const {
+    return replication_moments_;
+  }
+
+ private:
+  double d_;
+  double t_tx_;
+  stats::RawMoments replication_moments_;
+  stats::RawMoments moments_;
+};
+
+/// Builds the three moments of a service time with the given mean and
+/// coefficient of variation on the scenario scale (d, t_tx):
+///   E[R]   from Eq. (7),
+///   E[R^2] from Eq. (8),
+///   E[R^3] from the chosen law's recovery formulas,
+/// then composes Eqs. (7)-(9).
+///
+/// Throws std::invalid_argument when the law cannot realize the requested
+/// variability (e.g. Deterministic with cv > 0, or Binomial when the
+/// implied R would be over-dispersed, Var[R] > E[R]).
+[[nodiscard]] stats::RawMoments service_moments_for_cv(double mean, double cv,
+                                                       double d, double t_tx,
+                                                       ReplicationLaw law);
+
+/// The normalized construction used for the waiting-time parameter studies
+/// (Figs. 10-12): d = 0, t_tx chosen so that E[B] = 1, E[R] = 1.
+/// Both the scaled-Bernoulli and the binomial law are feasible here for
+/// all cv in [0, 1).
+[[nodiscard]] stats::RawMoments normalized_service_moments(double cv,
+                                                           ReplicationLaw law);
+
+/// Samples a service time B = d + t_tx * R.
+class ServiceTimeSampler {
+ public:
+  ServiceTimeSampler(double d, double t_tx,
+                     std::shared_ptr<const ReplicationModel> replication);
+
+  [[nodiscard]] double sample(stats::RandomStream& rng) const;
+  [[nodiscard]] const ReplicationModel& replication() const { return *replication_; }
+
+ private:
+  double d_;
+  double t_tx_;
+  std::shared_ptr<const ReplicationModel> replication_;
+};
+
+}  // namespace jmsperf::queueing

@@ -1,0 +1,163 @@
+#include "selector/ast.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace jmsperf::selector {
+
+const char* to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Subtract: return "-";
+    case BinaryOp::Multiply: return "*";
+    case BinaryOp::Divide: return "/";
+    case BinaryOp::Equal: return "=";
+    case BinaryOp::NotEqual: return "<>";
+    case BinaryOp::Less: return "<";
+    case BinaryOp::LessEqual: return "<=";
+    case BinaryOp::Greater: return ">";
+    case BinaryOp::GreaterEqual: return ">=";
+    case BinaryOp::And: return "AND";
+    case BinaryOp::Or: return "OR";
+  }
+  return "?";
+}
+
+const char* to_string(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Plus: return "+";
+    case UnaryOp::Minus: return "-";
+    case UnaryOp::Not: return "NOT";
+  }
+  return "?";
+}
+
+void LiteralExpr::accept(Visitor& visitor) const { visitor.visit(*this); }
+void IdentifierExpr::accept(Visitor& visitor) const { visitor.visit(*this); }
+void UnaryExpr::accept(Visitor& visitor) const { visitor.visit(*this); }
+void BinaryExpr::accept(Visitor& visitor) const { visitor.visit(*this); }
+void BetweenExpr::accept(Visitor& visitor) const { visitor.visit(*this); }
+void InExpr::accept(Visitor& visitor) const { visitor.visit(*this); }
+void LikeExpr::accept(Visitor& visitor) const { visitor.visit(*this); }
+void IsNullExpr::accept(Visitor& visitor) const { visitor.visit(*this); }
+
+namespace {
+
+std::string escape_string_literal(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    out.push_back(c);
+    if (c == '\'') out.push_back('\'');
+  }
+  out.push_back('\'');
+  return out;
+}
+
+class Printer final : public Visitor {
+ public:
+  std::string take() { return out_.str(); }
+
+  void visit(const LiteralExpr& node) override {
+    const Value& v = node.value();
+    if (v.is_string()) {
+      out_ << escape_string_literal(v.as_string());
+    } else {
+      out_ << v.to_string();
+    }
+  }
+
+  void visit(const IdentifierExpr& node) override { out_ << node.name(); }
+
+  void visit(const UnaryExpr& node) override {
+    out_ << "(" << to_string(node.op());
+    if (node.op() == UnaryOp::Not) out_ << " ";
+    node.operand().accept(*this);
+    out_ << ")";
+  }
+
+  void visit(const BinaryExpr& node) override {
+    out_ << "(";
+    node.lhs().accept(*this);
+    out_ << " " << to_string(node.op()) << " ";
+    node.rhs().accept(*this);
+    out_ << ")";
+  }
+
+  void visit(const BetweenExpr& node) override {
+    out_ << "(";
+    node.subject().accept(*this);
+    out_ << (node.negated() ? " NOT BETWEEN " : " BETWEEN ");
+    node.lo().accept(*this);
+    out_ << " AND ";
+    node.hi().accept(*this);
+    out_ << ")";
+  }
+
+  void visit(const InExpr& node) override {
+    out_ << "(" << node.identifier() << (node.negated() ? " NOT IN (" : " IN (");
+    for (std::size_t i = 0; i < node.values().size(); ++i) {
+      if (i > 0) out_ << ", ";
+      out_ << escape_string_literal(node.values()[i]);
+    }
+    out_ << "))";
+  }
+
+  void visit(const LikeExpr& node) override {
+    out_ << "(" << node.identifier() << (node.negated() ? " NOT LIKE " : " LIKE ")
+         << escape_string_literal(node.pattern());
+    if (node.escape()) out_ << " ESCAPE " << escape_string_literal(std::string(1, *node.escape()));
+    out_ << ")";
+  }
+
+  void visit(const IsNullExpr& node) override {
+    out_ << "(" << node.identifier() << (node.negated() ? " IS NOT NULL" : " IS NULL")
+         << ")";
+  }
+
+ private:
+  std::ostringstream out_;
+};
+
+class IdentifierCollector final : public Visitor {
+ public:
+  std::vector<std::string> take() {
+    std::sort(names_.begin(), names_.end());
+    names_.erase(std::unique(names_.begin(), names_.end()), names_.end());
+    return std::move(names_);
+  }
+
+  void visit(const LiteralExpr&) override {}
+  void visit(const IdentifierExpr& node) override { names_.push_back(node.name()); }
+  void visit(const UnaryExpr& node) override { node.operand().accept(*this); }
+  void visit(const BinaryExpr& node) override {
+    node.lhs().accept(*this);
+    node.rhs().accept(*this);
+  }
+  void visit(const BetweenExpr& node) override {
+    node.subject().accept(*this);
+    node.lo().accept(*this);
+    node.hi().accept(*this);
+  }
+  void visit(const InExpr& node) override { names_.push_back(node.identifier()); }
+  void visit(const LikeExpr& node) override { names_.push_back(node.identifier()); }
+  void visit(const IsNullExpr& node) override { names_.push_back(node.identifier()); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace
+
+std::string to_string(const Expr& expr) {
+  Printer printer;
+  expr.accept(printer);
+  return printer.take();
+}
+
+std::vector<std::string> referenced_identifiers(const Expr& expr) {
+  IdentifierCollector collector;
+  expr.accept(collector);
+  return collector.take();
+}
+
+}  // namespace jmsperf::selector

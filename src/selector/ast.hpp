@@ -1,0 +1,187 @@
+// Abstract syntax tree of compiled message selectors.
+//
+// The tree is immutable after parsing; evaluation (see evaluator.hpp) walks
+// it with a visitor.  Ownership is strictly top-down via unique_ptr, so a
+// Selector owning the root owns the whole tree.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "selector/like_matcher.hpp"
+#include "selector/value.hpp"
+
+namespace jmsperf::selector {
+
+enum class BinaryOp {
+  Add, Subtract, Multiply, Divide,       // arithmetic
+  Equal, NotEqual, Less, LessEqual, Greater, GreaterEqual,  // comparison
+  And, Or,                               // logical
+};
+
+enum class UnaryOp { Plus, Minus, Not };
+
+[[nodiscard]] const char* to_string(BinaryOp op);
+[[nodiscard]] const char* to_string(UnaryOp op);
+
+class Visitor;
+
+/// Base class of all AST nodes.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  virtual void accept(Visitor& visitor) const = 0;
+
+ protected:
+  Expr() = default;
+};
+
+using ExprPtr = std::unique_ptr<const Expr>;
+
+/// A literal constant (numeric, string, or boolean).
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+  [[nodiscard]] const Value& value() const { return value_; }
+  void accept(Visitor& visitor) const override;
+
+ private:
+  Value value_;
+};
+
+/// A property or header-field reference.
+class IdentifierExpr final : public Expr {
+ public:
+  explicit IdentifierExpr(std::string name) : name_(std::move(name)) {}
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void accept(Visitor& visitor) const override;
+
+ private:
+  std::string name_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand) : op_(op), operand_(std::move(operand)) {}
+  [[nodiscard]] UnaryOp op() const { return op_; }
+  [[nodiscard]] const Expr& operand() const { return *operand_; }
+  void accept(Visitor& visitor) const override;
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  [[nodiscard]] BinaryOp op() const { return op_; }
+  [[nodiscard]] const Expr& lhs() const { return *lhs_; }
+  [[nodiscard]] const Expr& rhs() const { return *rhs_; }
+  void accept(Visitor& visitor) const override;
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// `subject [NOT] BETWEEN lo AND hi` — shorthand for two comparisons.
+class BetweenExpr final : public Expr {
+ public:
+  BetweenExpr(ExprPtr subject, ExprPtr lo, ExprPtr hi, bool negated)
+      : subject_(std::move(subject)), lo_(std::move(lo)), hi_(std::move(hi)),
+        negated_(negated) {}
+  [[nodiscard]] const Expr& subject() const { return *subject_; }
+  [[nodiscard]] const Expr& lo() const { return *lo_; }
+  [[nodiscard]] const Expr& hi() const { return *hi_; }
+  [[nodiscard]] bool negated() const { return negated_; }
+  void accept(Visitor& visitor) const override;
+
+ private:
+  ExprPtr subject_;
+  ExprPtr lo_;
+  ExprPtr hi_;
+  bool negated_;
+};
+
+/// `identifier [NOT] IN ('a', 'b', ...)` — string set membership.
+class InExpr final : public Expr {
+ public:
+  InExpr(std::string identifier, std::vector<std::string> values, bool negated)
+      : identifier_(std::move(identifier)), values_(std::move(values)),
+        negated_(negated) {}
+  [[nodiscard]] const std::string& identifier() const { return identifier_; }
+  [[nodiscard]] const std::vector<std::string>& values() const { return values_; }
+  [[nodiscard]] bool negated() const { return negated_; }
+  void accept(Visitor& visitor) const override;
+
+ private:
+  std::string identifier_;
+  std::vector<std::string> values_;
+  bool negated_;
+};
+
+/// `identifier [NOT] LIKE 'pattern' [ESCAPE 'c']`.
+class LikeExpr final : public Expr {
+ public:
+  LikeExpr(std::string identifier, std::string pattern,
+           std::optional<char> escape, bool negated)
+      : identifier_(std::move(identifier)), pattern_(pattern),
+        escape_(escape), negated_(negated),
+        matcher_(pattern, escape) {}
+  [[nodiscard]] const std::string& identifier() const { return identifier_; }
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+  [[nodiscard]] std::optional<char> escape() const { return escape_; }
+  [[nodiscard]] bool negated() const { return negated_; }
+  [[nodiscard]] const LikeMatcher& matcher() const { return matcher_; }
+  void accept(Visitor& visitor) const override;
+
+ private:
+  std::string identifier_;
+  std::string pattern_;
+  std::optional<char> escape_;
+  bool negated_;
+  LikeMatcher matcher_;
+};
+
+/// `identifier IS [NOT] NULL`.
+class IsNullExpr final : public Expr {
+ public:
+  IsNullExpr(std::string identifier, bool negated)
+      : identifier_(std::move(identifier)), negated_(negated) {}
+  [[nodiscard]] const std::string& identifier() const { return identifier_; }
+  [[nodiscard]] bool negated() const { return negated_; }
+  void accept(Visitor& visitor) const override;
+
+ private:
+  std::string identifier_;
+  bool negated_;
+};
+
+class Visitor {
+ public:
+  virtual ~Visitor() = default;
+  virtual void visit(const LiteralExpr& node) = 0;
+  virtual void visit(const IdentifierExpr& node) = 0;
+  virtual void visit(const UnaryExpr& node) = 0;
+  virtual void visit(const BinaryExpr& node) = 0;
+  virtual void visit(const BetweenExpr& node) = 0;
+  virtual void visit(const InExpr& node) = 0;
+  virtual void visit(const LikeExpr& node) = 0;
+  virtual void visit(const IsNullExpr& node) = 0;
+};
+
+/// Renders the expression back to (normalized) selector syntax.
+[[nodiscard]] std::string to_string(const Expr& expr);
+
+/// Collects the distinct identifier names referenced by the expression.
+[[nodiscard]] std::vector<std::string> referenced_identifiers(const Expr& expr);
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,68 @@
+#include "selector/correlation_filter.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "selector/errors.hpp"
+
+namespace jmsperf::selector {
+
+CorrelationIdFilter::CorrelationIdFilter(std::string_view pattern)
+    : pattern_(pattern) {
+  if (pattern.size() >= 2 && pattern.front() == '[' && pattern.back() == ']') {
+    const std::string_view body = pattern.substr(1, pattern.size() - 2);
+    const std::size_t sep = body.find(';');
+    if (sep == std::string_view::npos) {
+      throw ParseError("correlation range must be of the form [lo;hi]", 0);
+    }
+    const std::string_view lo_text = body.substr(0, sep);
+    const std::string_view hi_text = body.substr(sep + 1);
+    auto parse_bound = [&](std::string_view text, std::int64_t& out) {
+      const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+      if (ec != std::errc{} || ptr != text.data() + text.size()) {
+        throw ParseError("correlation range bound is not an integer", 0);
+      }
+    };
+    parse_bound(lo_text, lo_);
+    parse_bound(hi_text, hi_);
+    if (lo_ > hi_) throw ParseError("correlation range has lo > hi", 0);
+    kind_ = Kind::Range;
+    return;
+  }
+  if (!pattern.empty() && pattern.back() == '*') {
+    kind_ = Kind::Prefix;
+    prefix_ = std::string(pattern.substr(0, pattern.size() - 1));
+    return;
+  }
+  kind_ = Kind::Exact;
+}
+
+std::optional<std::int64_t> CorrelationIdFilter::trailing_integer(std::string_view id) {
+  if (id.empty()) return std::nullopt;
+  std::size_t start = id.size();
+  while (start > 0 && std::isdigit(static_cast<unsigned char>(id[start - 1])) != 0) {
+    --start;
+  }
+  if (start == id.size()) return std::nullopt;  // no trailing digits
+  std::int64_t value = 0;
+  const auto* begin = id.data() + start;
+  const auto [ptr, ec] = std::from_chars(begin, id.data() + id.size(), value);
+  if (ec != std::errc{} || ptr != id.data() + id.size()) return std::nullopt;
+  return value;
+}
+
+bool CorrelationIdFilter::matches(std::string_view correlation_id) const {
+  switch (kind_) {
+    case Kind::Exact:
+      return correlation_id == pattern_;
+    case Kind::Prefix:
+      return correlation_id.substr(0, prefix_.size()) == prefix_;
+    case Kind::Range: {
+      const auto value = trailing_integer(correlation_id);
+      return value && *value >= lo_ && *value <= hi_;
+    }
+  }
+  return false;
+}
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,46 @@
+// Correlation-ID filters.
+//
+// The paper distinguishes two filter families on the FioranoMQ server:
+// application-property filters (full selector expressions, see
+// selector.hpp) and the cheaper correlation-ID filters, which match the
+// 128-byte JMSCorrelationID header string and support wildcard forms such
+// as numeric ranges "[7;13]" (paper, Sec. II-A).
+//
+// Supported pattern forms:
+//   * exact:   any string without wildcard syntax, e.g. "#0" or "order-42"
+//   * range:   "[lo;hi]" — matches IDs whose trailing integer lies in
+//              [lo, hi], e.g. "[7;13]" matches "7", "#9", "id13"
+//   * prefix:  "abc*" — matches IDs starting with "abc"
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace jmsperf::selector {
+
+class CorrelationIdFilter {
+ public:
+  /// Parses a pattern.  Throws ParseError on malformed range syntax.
+  explicit CorrelationIdFilter(std::string_view pattern);
+
+  [[nodiscard]] bool matches(std::string_view correlation_id) const;
+
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+
+  enum class Kind { Exact, Range, Prefix };
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  /// Extracts the trailing decimal integer of an ID ("id13" -> 13).
+  static std::optional<std::int64_t> trailing_integer(std::string_view id);
+
+  std::string pattern_;
+  Kind kind_ = Kind::Exact;
+  std::string prefix_;        // Prefix kind
+  std::int64_t lo_ = 0;       // Range kind
+  std::int64_t hi_ = 0;       // Range kind
+};
+
+}  // namespace jmsperf::selector

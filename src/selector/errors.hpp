@@ -1,0 +1,36 @@
+// Error types of the message-selector compiler.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace jmsperf::selector {
+
+/// Base class for all selector compilation errors.
+class SelectorError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Lexical or syntactic error; carries the offending source position.
+class ParseError : public SelectorError {
+ public:
+  ParseError(const std::string& message, std::size_t position)
+      : SelectorError(message + " (at offset " + std::to_string(position) + ")"),
+        position_(position) {}
+
+  [[nodiscard]] std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Static type error detected while checking the parsed expression
+/// (e.g. `'a' + 1` or `LIKE` applied to a numeric literal).
+class TypeError : public SelectorError {
+ public:
+  using SelectorError::SelectorError;
+};
+
+}  // namespace jmsperf::selector

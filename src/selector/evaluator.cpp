@@ -1,0 +1,288 @@
+#include "selector/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jmsperf::selector {
+namespace {
+
+/// Value-mode evaluation visitor: computes the arithmetic value of a
+/// subtree.  Boolean-only constructs evaluated in value context yield their
+/// tribool mapped to a boolean Value (UNKNOWN -> NULL).
+class ValueEvaluator;
+
+/// Boolean-mode evaluation visitor.
+class BoolEvaluator;
+
+Tribool eval_bool(const Expr& expr, const PropertySource& properties);
+Value eval_value(const Expr& expr, const PropertySource& properties);
+
+Tribool value_as_condition(const Value& v) {
+  if (v.is_bool()) return v.as_bool() ? Tribool::True : Tribool::False;
+  return Tribool::Unknown;  // NULL, numbers and strings are not conditions
+}
+
+/// Three-valued comparison of two runtime values under JMS rules:
+///  * NULL on either side -> Unknown;
+///  * numerics compare numerically (exact/approximate freely mixed);
+///  * strings and booleans support only = and <>;
+///  * any other type combination -> Unknown.
+Tribool compare(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Tribool::Unknown;
+
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    // Compare exactly when both are longs to avoid rounding surprises.
+    int cmp;
+    if (lhs.is_long() && rhs.is_long()) {
+      const auto a = lhs.as_long();
+      const auto b = rhs.as_long();
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else {
+      const double a = lhs.numeric();
+      const double b = rhs.numeric();
+      if (std::isnan(a) || std::isnan(b)) return Tribool::Unknown;
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    }
+    switch (op) {
+      case BinaryOp::Equal: return cmp == 0 ? Tribool::True : Tribool::False;
+      case BinaryOp::NotEqual: return cmp != 0 ? Tribool::True : Tribool::False;
+      case BinaryOp::Less: return cmp < 0 ? Tribool::True : Tribool::False;
+      case BinaryOp::LessEqual: return cmp <= 0 ? Tribool::True : Tribool::False;
+      case BinaryOp::Greater: return cmp > 0 ? Tribool::True : Tribool::False;
+      case BinaryOp::GreaterEqual: return cmp >= 0 ? Tribool::True : Tribool::False;
+      default: return Tribool::Unknown;
+    }
+  }
+
+  const bool equality_only = op == BinaryOp::Equal || op == BinaryOp::NotEqual;
+  if (lhs.is_string() && rhs.is_string() && equality_only) {
+    const bool eq = lhs.as_string() == rhs.as_string();
+    return (op == BinaryOp::Equal) == eq ? Tribool::True : Tribool::False;
+  }
+  if (lhs.is_bool() && rhs.is_bool() && equality_only) {
+    const bool eq = lhs.as_bool() == rhs.as_bool();
+    return (op == BinaryOp::Equal) == eq ? Tribool::True : Tribool::False;
+  }
+  return Tribool::Unknown;
+}
+
+Value arithmetic(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (!lhs.is_numeric() || !rhs.is_numeric()) return Value{};
+  if (lhs.is_long() && rhs.is_long()) {
+    const std::int64_t a = lhs.as_long();
+    const std::int64_t b = rhs.as_long();
+    switch (op) {
+      case BinaryOp::Add: return Value(a + b);
+      case BinaryOp::Subtract: return Value(a - b);
+      case BinaryOp::Multiply: return Value(a * b);
+      case BinaryOp::Divide:
+        if (b == 0) return Value{};  // division by zero -> NULL
+        return Value(a / b);
+      default: return Value{};
+    }
+  }
+  const double a = lhs.numeric();
+  const double b = rhs.numeric();
+  switch (op) {
+    case BinaryOp::Add: return Value(a + b);
+    case BinaryOp::Subtract: return Value(a - b);
+    case BinaryOp::Multiply: return Value(a * b);
+    case BinaryOp::Divide:
+      if (b == 0.0) return Value{};
+      return Value(a / b);
+    default: return Value{};
+  }
+}
+
+class ValueEvaluator final : public Visitor {
+ public:
+  explicit ValueEvaluator(const PropertySource& properties) : properties_(properties) {}
+
+  Value take() { return std::move(result_); }
+
+  void visit(const LiteralExpr& node) override { result_ = node.value(); }
+
+  void visit(const IdentifierExpr& node) override { result_ = properties_.get(node.name()); }
+
+  void visit(const UnaryExpr& node) override {
+    if (node.op() == UnaryOp::Not) {
+      result_ = tribool_to_value(eval_bool(node, properties_));
+      return;
+    }
+    const Value operand = eval_value(node.operand(), properties_);
+    if (!operand.is_numeric()) {
+      result_ = Value{};
+      return;
+    }
+    if (node.op() == UnaryOp::Plus) {
+      result_ = operand;
+    } else if (operand.is_long()) {
+      result_ = Value(-operand.as_long());
+    } else {
+      result_ = Value(-operand.as_double());
+    }
+  }
+
+  void visit(const BinaryExpr& node) override {
+    switch (node.op()) {
+      case BinaryOp::Add:
+      case BinaryOp::Subtract:
+      case BinaryOp::Multiply:
+      case BinaryOp::Divide:
+        result_ = arithmetic(node.op(), eval_value(node.lhs(), properties_),
+                             eval_value(node.rhs(), properties_));
+        return;
+      default:
+        result_ = tribool_to_value(eval_bool(node, properties_));
+        return;
+    }
+  }
+
+  void visit(const BetweenExpr& node) override {
+    result_ = tribool_to_value(eval_bool(node, properties_));
+  }
+  void visit(const InExpr& node) override {
+    result_ = tribool_to_value(eval_bool(node, properties_));
+  }
+  void visit(const LikeExpr& node) override {
+    result_ = tribool_to_value(eval_bool(node, properties_));
+  }
+  void visit(const IsNullExpr& node) override {
+    result_ = tribool_to_value(eval_bool(node, properties_));
+  }
+
+ private:
+  static Value tribool_to_value(Tribool t) {
+    switch (t) {
+      case Tribool::True: return Value(true);
+      case Tribool::False: return Value(false);
+      case Tribool::Unknown: return Value{};
+    }
+    return Value{};
+  }
+
+  const PropertySource& properties_;
+  Value result_;
+};
+
+class BoolEvaluator final : public Visitor {
+ public:
+  explicit BoolEvaluator(const PropertySource& properties) : properties_(properties) {}
+
+  Tribool take() const { return result_; }
+
+  void visit(const LiteralExpr& node) override {
+    result_ = value_as_condition(node.value());
+  }
+
+  void visit(const IdentifierExpr& node) override {
+    result_ = value_as_condition(properties_.get(node.name()));
+  }
+
+  void visit(const UnaryExpr& node) override {
+    if (node.op() == UnaryOp::Not) {
+      result_ = tribool_not(eval_bool(node.operand(), properties_));
+    } else {
+      // Arithmetic in boolean position is not a condition.
+      result_ = Tribool::Unknown;
+    }
+  }
+
+  void visit(const BinaryExpr& node) override {
+    switch (node.op()) {
+      case BinaryOp::And:
+        // SQL three-valued AND; short-circuits only on FALSE.
+        result_ = tribool_and(eval_bool(node.lhs(), properties_),
+                              node_rhs_if_needed(node));
+        return;
+      case BinaryOp::Or:
+        result_ = tribool_or(eval_bool(node.lhs(), properties_),
+                             eval_bool(node.rhs(), properties_));
+        return;
+      case BinaryOp::Add:
+      case BinaryOp::Subtract:
+      case BinaryOp::Multiply:
+      case BinaryOp::Divide:
+        result_ = Tribool::Unknown;
+        return;
+      default:
+        result_ = compare(node.op(), eval_value(node.lhs(), properties_),
+                          eval_value(node.rhs(), properties_));
+        return;
+    }
+  }
+
+  void visit(const BetweenExpr& node) override {
+    const Value subject = eval_value(node.subject(), properties_);
+    const Value lo = eval_value(node.lo(), properties_);
+    const Value hi = eval_value(node.hi(), properties_);
+    const Tribool ge = compare(BinaryOp::GreaterEqual, subject, lo);
+    const Tribool le = compare(BinaryOp::LessEqual, subject, hi);
+    const Tribool between = tribool_and(ge, le);
+    result_ = node.negated() ? tribool_not(between) : between;
+  }
+
+  void visit(const InExpr& node) override {
+    const Value subject = properties_.get(node.identifier());
+    if (subject.is_null()) {
+      result_ = Tribool::Unknown;
+      return;
+    }
+    if (!subject.is_string()) {
+      result_ = Tribool::Unknown;
+      return;
+    }
+    const bool member = std::find(node.values().begin(), node.values().end(),
+                                  subject.as_string()) != node.values().end();
+    const Tribool in = member ? Tribool::True : Tribool::False;
+    result_ = node.negated() ? tribool_not(in) : in;
+  }
+
+  void visit(const LikeExpr& node) override {
+    const Value subject = properties_.get(node.identifier());
+    if (subject.is_null() || !subject.is_string()) {
+      result_ = Tribool::Unknown;
+      return;
+    }
+    const bool match = node.matcher().matches(subject.as_string());
+    const Tribool like = match ? Tribool::True : Tribool::False;
+    result_ = node.negated() ? tribool_not(like) : like;
+  }
+
+  void visit(const IsNullExpr& node) override {
+    const bool null = properties_.get(node.identifier()).is_null();
+    result_ = (null != node.negated()) ? Tribool::True : Tribool::False;
+  }
+
+ private:
+  Tribool node_rhs_if_needed(const BinaryExpr& node) {
+    return eval_bool(node.rhs(), properties_);
+  }
+
+  const PropertySource& properties_;
+  Tribool result_ = Tribool::Unknown;
+};
+
+Tribool eval_bool(const Expr& expr, const PropertySource& properties) {
+  BoolEvaluator evaluator(properties);
+  expr.accept(evaluator);
+  return evaluator.take();
+}
+
+Value eval_value(const Expr& expr, const PropertySource& properties) {
+  ValueEvaluator evaluator(properties);
+  expr.accept(evaluator);
+  return evaluator.take();
+}
+
+}  // namespace
+
+Tribool evaluate(const Expr& expr, const PropertySource& properties) {
+  return eval_bool(expr, properties);
+}
+
+Value evaluate_value(const Expr& expr, const PropertySource& properties) {
+  return eval_value(expr, properties);
+}
+
+}  // namespace jmsperf::selector

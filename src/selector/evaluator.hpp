@@ -1,0 +1,42 @@
+// Selector evaluation with SQL-92 three-valued logic.
+//
+// A selector "matches" a message iff the expression evaluates to TRUE;
+// FALSE and UNKNOWN both mean no match (JMS 1.1 §3.8.1.2).  UNKNOWN arises
+// from NULL (absent) properties and from runtime type mismatches, e.g.
+// comparing a string property against a numeric literal.
+#pragma once
+
+#include <string_view>
+
+#include "selector/ast.hpp"
+#include "selector/value.hpp"
+
+namespace jmsperf::selector {
+
+/// Source of property values during evaluation.  Implementations return a
+/// NULL `Value` for absent properties.
+class PropertySource {
+ public:
+  virtual ~PropertySource() = default;
+  [[nodiscard]] virtual Value get(std::string_view name) const = 0;
+};
+
+/// Adapter for evaluating against an in-place lambda or function object.
+template <typename F>
+class FunctionPropertySource final : public PropertySource {
+ public:
+  explicit FunctionPropertySource(F f) : f_(std::move(f)) {}
+  [[nodiscard]] Value get(std::string_view name) const override { return f_(name); }
+
+ private:
+  F f_;
+};
+
+/// Evaluates the expression as a boolean condition.
+[[nodiscard]] Tribool evaluate(const Expr& expr, const PropertySource& properties);
+
+/// Evaluates the expression as a value (used for arithmetic subtrees);
+/// returns NULL for type errors, NULL operands, and division by zero.
+[[nodiscard]] Value evaluate_value(const Expr& expr, const PropertySource& properties);
+
+}  // namespace jmsperf::selector

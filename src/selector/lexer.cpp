@@ -1,0 +1,205 @@
+#include "selector/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <unordered_map>
+
+#include "selector/errors.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+bool is_identifier_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '$';
+}
+
+bool is_identifier_part(char c) {
+  return is_identifier_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  return out;
+}
+
+const std::unordered_map<std::string, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string, TokenKind> table = {
+      {"AND", TokenKind::KwAnd},     {"OR", TokenKind::KwOr},
+      {"NOT", TokenKind::KwNot},     {"BETWEEN", TokenKind::KwBetween},
+      {"LIKE", TokenKind::KwLike},   {"IN", TokenKind::KwIn},
+      {"IS", TokenKind::KwIs},       {"NULL", TokenKind::KwNull},
+      {"ESCAPE", TokenKind::KwEscape}, {"TRUE", TokenKind::KwTrue},
+      {"FALSE", TokenKind::KwFalse},
+  };
+  return table;
+}
+
+}  // namespace
+
+char Lexer::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < source_.size() ? source_[i] : '\0';
+}
+
+char Lexer::advance() { return source_[pos_++]; }
+
+void Lexer::skip_whitespace() {
+  while (!at_end() && std::isspace(static_cast<unsigned char>(peek())) != 0) ++pos_;
+}
+
+Token Lexer::lex_number() {
+  const std::size_t start = pos_;
+  bool is_float = false;
+  while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0) {
+    is_float = true;
+    ++pos_;  // '.'
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+  } else if (peek() == '.') {
+    // A trailing dot like "7." is also an approximate literal in SQL.
+    is_float = true;
+    ++pos_;
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    std::size_t exp_start = pos_ + 1;
+    if (peek(1) == '+' || peek(1) == '-') ++exp_start;
+    if (exp_start < source_.size() &&
+        std::isdigit(static_cast<unsigned char>(source_[exp_start])) != 0) {
+      is_float = true;
+      pos_ = exp_start;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+  }
+  const std::string_view text = source_.substr(start, pos_ - start);
+  Token token;
+  token.position = start;
+  token.text = std::string(text);
+  if (is_float) {
+    token.kind = TokenKind::FloatLiteral;
+    token.float_value = std::strtod(token.text.c_str(), nullptr);
+    if (!std::isfinite(token.float_value)) {
+      throw ParseError("float literal out of range: " + token.text, start);
+    }
+  } else {
+    token.kind = TokenKind::IntegerLiteral;
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                           token.int_value);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+      throw ParseError("integer literal out of range: " + token.text, start);
+    }
+  }
+  return token;
+}
+
+Token Lexer::lex_string() {
+  const std::size_t start = pos_;
+  ++pos_;  // opening quote
+  std::string decoded;
+  while (true) {
+    if (at_end()) throw ParseError("unterminated string literal", start);
+    const char c = advance();
+    if (c == '\'') {
+      if (peek() == '\'') {
+        decoded.push_back('\'');
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    decoded.push_back(c);
+  }
+  Token token;
+  token.kind = TokenKind::StringLiteral;
+  token.text = std::move(decoded);
+  token.position = start;
+  return token;
+}
+
+Token Lexer::lex_identifier_or_keyword() {
+  const std::size_t start = pos_;
+  while (!at_end() && is_identifier_part(peek())) ++pos_;
+  Token token;
+  token.position = start;
+  token.text = std::string(source_.substr(start, pos_ - start));
+  const auto it = keyword_table().find(to_upper(token.text));
+  token.kind = it != keyword_table().end() ? it->second : TokenKind::Identifier;
+  return token;
+}
+
+Token Lexer::next() {
+  skip_whitespace();
+  Token token;
+  token.position = pos_;
+  if (at_end()) {
+    token.kind = TokenKind::EndOfInput;
+    return token;
+  }
+  const char c = peek();
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0) return lex_number();
+  if (c == '\'') return lex_string();
+  if (is_identifier_start(c)) return lex_identifier_or_keyword();
+
+  ++pos_;
+  switch (c) {
+    case '=':
+      token.kind = TokenKind::Equal;
+      return token;
+    case '<':
+      if (peek() == '>') {
+        ++pos_;
+        token.kind = TokenKind::NotEqual;
+      } else if (peek() == '=') {
+        ++pos_;
+        token.kind = TokenKind::LessEqual;
+      } else {
+        token.kind = TokenKind::Less;
+      }
+      return token;
+    case '>':
+      if (peek() == '=') {
+        ++pos_;
+        token.kind = TokenKind::GreaterEqual;
+      } else {
+        token.kind = TokenKind::Greater;
+      }
+      return token;
+    case '+':
+      token.kind = TokenKind::Plus;
+      return token;
+    case '-':
+      token.kind = TokenKind::Minus;
+      return token;
+    case '*':
+      token.kind = TokenKind::Star;
+      return token;
+    case '/':
+      token.kind = TokenKind::Slash;
+      return token;
+    case '(':
+      token.kind = TokenKind::LeftParen;
+      return token;
+    case ')':
+      token.kind = TokenKind::RightParen;
+      return token;
+    case ',':
+      token.kind = TokenKind::Comma;
+      return token;
+    default:
+      throw ParseError(std::string("unexpected character '") + c + "'", token.position);
+  }
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view source) {
+  Lexer lexer(source);
+  std::vector<Token> tokens;
+  while (true) {
+    tokens.push_back(lexer.next());
+    if (tokens.back().kind == TokenKind::EndOfInput) break;
+  }
+  return tokens;
+}
+
+}  // namespace jmsperf::selector

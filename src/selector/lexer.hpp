@@ -1,0 +1,46 @@
+// Lexer for the JMS message-selector language (SQL-92 conditional
+// expression subset, JMS 1.1 section 3.8.1.1).
+//
+//  * identifiers follow Java identifier rules and are case-sensitive;
+//  * keywords (AND, OR, NOT, BETWEEN, LIKE, IN, IS, NULL, ESCAPE, TRUE,
+//    FALSE) are case-insensitive;
+//  * exact numeric literals: [0-9]+ (decimal);
+//  * approximate numeric literals: digits with a decimal point and/or a
+//    scientific exponent;
+//  * string literals are single-quoted with '' as the escape for a quote.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "selector/token.hpp"
+
+namespace jmsperf::selector {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  /// Produces the next token; returns EndOfInput at the end.
+  /// Throws ParseError on malformed input.
+  Token next();
+
+  /// Tokenizes the entire input (including the trailing EndOfInput token).
+  static std::vector<Token> tokenize(std::string_view source);
+
+ private:
+  void skip_whitespace();
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+
+  Token lex_number();
+  Token lex_string();
+  Token lex_identifier_or_keyword();
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace jmsperf::selector

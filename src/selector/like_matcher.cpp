@@ -1,0 +1,75 @@
+#include "selector/like_matcher.hpp"
+
+#include "selector/errors.hpp"
+
+namespace jmsperf::selector {
+
+LikeMatcher::LikeMatcher(std::string_view pattern, std::optional<char> escape)
+    : pattern_(pattern) {
+  std::string literal;
+  auto flush_literal = [&] {
+    if (!literal.empty()) {
+      ops_.push_back(Op{OpKind::Literal, std::move(literal)});
+      literal.clear();
+    }
+  };
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const char c = pattern[i];
+    if (escape && c == *escape) {
+      if (i + 1 >= pattern.size()) {
+        throw ParseError("LIKE escape character at end of pattern", i);
+      }
+      const char next = pattern[i + 1];
+      if (next != '%' && next != '_' && next != *escape) {
+        throw ParseError("LIKE escape must precede %, _ or the escape character", i);
+      }
+      literal.push_back(next);
+      ++i;
+      continue;
+    }
+    if (c == '%') {
+      flush_literal();
+      // Collapse adjacent % wildcards.
+      if (ops_.empty() || ops_.back().kind != OpKind::AnyRun) {
+        ops_.push_back(Op{OpKind::AnyRun, {}});
+      }
+      continue;
+    }
+    if (c == '_') {
+      flush_literal();
+      ops_.push_back(Op{OpKind::AnyOne, {}});
+      continue;
+    }
+    literal.push_back(c);
+  }
+  flush_literal();
+}
+
+bool LikeMatcher::match_from(std::size_t op_index, std::string_view input) const {
+  if (op_index == ops_.size()) return input.empty();
+  const Op& op = ops_[op_index];
+  switch (op.kind) {
+    case OpKind::Literal:
+      if (input.substr(0, op.literal.size()) != op.literal) return false;
+      return match_from(op_index + 1, input.substr(op.literal.size()));
+    case OpKind::AnyOne:
+      if (input.empty()) return false;
+      return match_from(op_index + 1, input.substr(1));
+    case OpKind::AnyRun: {
+      // Try to match the remainder at every split point; a trailing AnyRun
+      // matches everything.
+      if (op_index + 1 == ops_.size()) return true;
+      for (std::size_t skip = 0; skip <= input.size(); ++skip) {
+        if (match_from(op_index + 1, input.substr(skip))) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool LikeMatcher::matches(std::string_view input) const {
+  return match_from(0, input);
+}
+
+}  // namespace jmsperf::selector

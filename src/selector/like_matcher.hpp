@@ -1,0 +1,44 @@
+// SQL LIKE pattern matching for message selectors.
+//
+// `%` matches any run of characters (including the empty run), `_` matches
+// exactly one character, and an optional escape character makes the next
+// pattern character literal.  Patterns are compiled once into a segment
+// list so that repeated matching — the broker evaluates every installed
+// filter for every received message — avoids re-parsing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jmsperf::selector {
+
+class LikeMatcher {
+ public:
+  /// Compiles a pattern.  Throws ParseError if the escape usage is
+  /// malformed (escape at end of pattern, or escaping a character that is
+  /// neither a wildcard nor the escape character itself).
+  explicit LikeMatcher(std::string_view pattern,
+                       std::optional<char> escape = std::nullopt);
+
+  /// True when the whole input matches the pattern.
+  [[nodiscard]] bool matches(std::string_view input) const;
+
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+
+ private:
+  // The compiled form alternates literal runs and wildcards.
+  enum class OpKind { Literal, AnyOne, AnyRun };
+  struct Op {
+    OpKind kind;
+    std::string literal;  // only for Literal
+  };
+
+  [[nodiscard]] bool match_from(std::size_t op_index, std::string_view input) const;
+
+  std::string pattern_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,243 @@
+#include "selector/parser.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "selector/errors.hpp"
+#include "selector/lexer.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(Lexer::tokenize(source)) {}
+
+  ExprPtr parse() {
+    ExprPtr expr = parse_or();
+    expect(TokenKind::EndOfInput, "trailing input after expression");
+    return expr;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+
+  const Token& advance() {
+    const Token& t = tokens_[pos_];
+    if (t.kind != TokenKind::EndOfInput) ++pos_;
+    return t;
+  }
+
+  bool match(TokenKind kind) {
+    if (peek().kind != kind) return false;
+    advance();
+    return true;
+  }
+
+  const Token& expect(TokenKind kind, const char* what) {
+    if (peek().kind != kind) {
+      throw ParseError(std::string("expected ") + to_string(kind) + " (" + what +
+                           "), found " + to_string(peek().kind),
+                       peek().position);
+    }
+    return advance();
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (match(TokenKind::KwOr)) {
+      ExprPtr rhs = parse_and();
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_not();
+    while (match(TokenKind::KwAnd)) {
+      ExprPtr rhs = parse_not();
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_not() {
+    if (match(TokenKind::KwNot)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::Not, parse_not());
+    }
+    return parse_predicate();
+  }
+
+  ExprPtr parse_predicate() {
+    ExprPtr subject = parse_additive();
+
+    // Optional NOT introducing BETWEEN / LIKE / IN.
+    const bool negated = peek().kind == TokenKind::KwNot &&
+                         (peek(1).kind == TokenKind::KwBetween ||
+                          peek(1).kind == TokenKind::KwLike ||
+                          peek(1).kind == TokenKind::KwIn);
+    if (negated) advance();
+
+    switch (peek().kind) {
+      case TokenKind::KwBetween: {
+        advance();
+        ExprPtr lo = parse_additive();
+        expect(TokenKind::KwAnd, "BETWEEN bounds separator");
+        ExprPtr hi = parse_additive();
+        return std::make_unique<BetweenExpr>(std::move(subject), std::move(lo),
+                                             std::move(hi), negated);
+      }
+      case TokenKind::KwLike: {
+        advance();
+        const std::string identifier = require_identifier(*subject, "LIKE");
+        const Token& pattern = expect(TokenKind::StringLiteral, "LIKE pattern");
+        std::optional<char> escape;
+        if (match(TokenKind::KwEscape)) {
+          const Token& esc = expect(TokenKind::StringLiteral, "ESCAPE character");
+          if (esc.text.size() != 1) {
+            throw ParseError("ESCAPE requires a single-character string", esc.position);
+          }
+          escape = esc.text[0];
+        }
+        return std::make_unique<LikeExpr>(identifier, pattern.text, escape, negated);
+      }
+      case TokenKind::KwIn: {
+        advance();
+        const std::string identifier = require_identifier(*subject, "IN");
+        expect(TokenKind::LeftParen, "IN value list");
+        std::vector<std::string> values;
+        values.push_back(expect(TokenKind::StringLiteral, "IN list entry").text);
+        while (match(TokenKind::Comma)) {
+          values.push_back(expect(TokenKind::StringLiteral, "IN list entry").text);
+        }
+        expect(TokenKind::RightParen, "IN value list");
+        return std::make_unique<InExpr>(identifier, std::move(values), negated);
+      }
+      case TokenKind::KwIs: {
+        advance();
+        const std::string identifier = require_identifier(*subject, "IS NULL");
+        const bool is_not = match(TokenKind::KwNot);
+        expect(TokenKind::KwNull, "IS [NOT] NULL");
+        return std::make_unique<IsNullExpr>(identifier, is_not);
+      }
+      default:
+        break;
+    }
+
+    if (negated) {
+      throw ParseError("expected BETWEEN, LIKE or IN after NOT", peek().position);
+    }
+
+    const BinaryOp op = [&]() -> BinaryOp {
+      switch (peek().kind) {
+        case TokenKind::Equal: return BinaryOp::Equal;
+        case TokenKind::NotEqual: return BinaryOp::NotEqual;
+        case TokenKind::Less: return BinaryOp::Less;
+        case TokenKind::LessEqual: return BinaryOp::LessEqual;
+        case TokenKind::Greater: return BinaryOp::Greater;
+        case TokenKind::GreaterEqual: return BinaryOp::GreaterEqual;
+        default: return BinaryOp::And;  // sentinel: no comparison follows
+      }
+    }();
+    if (op != BinaryOp::And) {
+      advance();
+      ExprPtr rhs = parse_additive();
+      return std::make_unique<BinaryExpr>(op, std::move(subject), std::move(rhs));
+    }
+    return subject;
+  }
+
+  static std::string require_identifier(const Expr& subject, const char* construct) {
+    if (const auto* ident = dynamic_cast<const IdentifierExpr*>(&subject)) {
+      return ident->name();
+    }
+    throw TypeError(std::string(construct) + " requires an identifier on its left-hand side");
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (true) {
+      if (match(TokenKind::Plus)) {
+        lhs = std::make_unique<BinaryExpr>(BinaryOp::Add, std::move(lhs),
+                                           parse_multiplicative());
+      } else if (match(TokenKind::Minus)) {
+        lhs = std::make_unique<BinaryExpr>(BinaryOp::Subtract, std::move(lhs),
+                                           parse_multiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (true) {
+      if (match(TokenKind::Star)) {
+        lhs = std::make_unique<BinaryExpr>(BinaryOp::Multiply, std::move(lhs),
+                                           parse_unary());
+      } else if (match(TokenKind::Slash)) {
+        lhs = std::make_unique<BinaryExpr>(BinaryOp::Divide, std::move(lhs),
+                                           parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (match(TokenKind::Plus)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::Plus, parse_unary());
+    }
+    if (match(TokenKind::Minus)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::Minus, parse_unary());
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::IntegerLiteral:
+        advance();
+        return std::make_unique<LiteralExpr>(Value(t.int_value));
+      case TokenKind::FloatLiteral:
+        advance();
+        return std::make_unique<LiteralExpr>(Value(t.float_value));
+      case TokenKind::StringLiteral:
+        advance();
+        return std::make_unique<LiteralExpr>(Value(t.text));
+      case TokenKind::KwTrue:
+        advance();
+        return std::make_unique<LiteralExpr>(Value(true));
+      case TokenKind::KwFalse:
+        advance();
+        return std::make_unique<LiteralExpr>(Value(false));
+      case TokenKind::Identifier:
+        advance();
+        return std::make_unique<IdentifierExpr>(t.text);
+      case TokenKind::LeftParen: {
+        advance();
+        ExprPtr inner = parse_or();
+        expect(TokenKind::RightParen, "closing parenthesis");
+        return inner;
+      }
+      default:
+        throw ParseError(std::string("unexpected ") + to_string(t.kind), t.position);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse_selector(std::string_view source) {
+  Parser parser(source);
+  return parser.parse();
+}
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,33 @@
+// Recursive-descent parser for the JMS message-selector language.
+//
+// Grammar (JMS 1.1 §3.8.1, SQL-92 subset), in precedence order from lowest:
+//
+//   expression     := or_expr
+//   or_expr        := and_expr ( OR and_expr )*
+//   and_expr       := not_expr ( AND not_expr )*
+//   not_expr       := NOT not_expr | predicate
+//   predicate      := additive [ cmp_op additive
+//                              | [NOT] BETWEEN additive AND additive
+//                              | [NOT] LIKE <string> [ESCAPE <string>]
+//                              | [NOT] IN '(' <string> (',' <string>)* ')'
+//                              | IS [NOT] NULL ]
+//   additive       := multiplicative ( ('+'|'-') multiplicative )*
+//   multiplicative := unary ( ('*'|'/') unary )*
+//   unary          := ('+'|'-') unary | primary
+//   primary        := literal | identifier | '(' expression ')' | TRUE | FALSE
+//
+// LIKE, IN and IS NULL require an identifier subject, as in the JMS spec.
+#pragma once
+
+#include <string_view>
+
+#include "selector/ast.hpp"
+
+namespace jmsperf::selector {
+
+/// Parses a complete selector expression.
+/// Throws ParseError on syntax errors and TypeError on statically
+/// detectable type violations (e.g. `5 LIKE 'x'`).
+[[nodiscard]] ExprPtr parse_selector(std::string_view source);
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,26 @@
+#include "selector/selector.hpp"
+
+#include "selector/parser.hpp"
+
+namespace jmsperf::selector {
+
+Selector Selector::compile(std::string_view expression) {
+  Selector s;
+  s.root_ = std::shared_ptr<const Expr>(parse_selector(expression));
+  s.text_ = to_string(*s.root_);
+  s.identifiers_ = referenced_identifiers(*s.root_);
+  return s;
+}
+
+Selector Selector::match_all() { return Selector{}; }
+
+bool Selector::matches(const PropertySource& properties) const {
+  return evaluate(properties) == Tribool::True;
+}
+
+Tribool Selector::evaluate(const PropertySource& properties) const {
+  if (!root_) return Tribool::True;
+  return selector::evaluate(*root_, properties);
+}
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,53 @@
+// Public facade of the selector compiler: compile once, match many times.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "selector/ast.hpp"
+#include "selector/evaluator.hpp"
+
+namespace jmsperf::selector {
+
+/// A compiled, immutable message selector.
+///
+/// Selectors are cheap to copy (they share the compiled expression tree)
+/// and safe to evaluate concurrently from multiple threads.
+class Selector {
+ public:
+  /// Compiles a selector expression.
+  /// Throws ParseError / TypeError on invalid input.
+  static Selector compile(std::string_view expression);
+
+  /// A selector that matches every message (the "no filter" subscriber of
+  /// the paper's baseline experiments).
+  static Selector match_all();
+
+  /// True iff the expression evaluates to TRUE for the given properties
+  /// (UNKNOWN and FALSE both reject, per JMS).
+  [[nodiscard]] bool matches(const PropertySource& properties) const;
+
+  /// Three-valued result, for callers that care about UNKNOWN.
+  [[nodiscard]] Tribool evaluate(const PropertySource& properties) const;
+
+  /// Normalized text of the compiled expression (empty for match-all).
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  /// Identifiers the expression reads; empty for match-all.
+  [[nodiscard]] const std::vector<std::string>& identifiers() const {
+    return identifiers_;
+  }
+
+  [[nodiscard]] bool is_match_all() const { return root_ == nullptr; }
+
+ private:
+  Selector() = default;
+
+  std::shared_ptr<const Expr> root_;  // null => match-all
+  std::string text_;
+  std::vector<std::string> identifiers_;
+};
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,40 @@
+#include "selector/token.hpp"
+
+namespace jmsperf::selector {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntegerLiteral: return "integer literal";
+    case TokenKind::FloatLiteral: return "float literal";
+    case TokenKind::StringLiteral: return "string literal";
+    case TokenKind::KwAnd: return "AND";
+    case TokenKind::KwOr: return "OR";
+    case TokenKind::KwNot: return "NOT";
+    case TokenKind::KwBetween: return "BETWEEN";
+    case TokenKind::KwLike: return "LIKE";
+    case TokenKind::KwIn: return "IN";
+    case TokenKind::KwIs: return "IS";
+    case TokenKind::KwNull: return "NULL";
+    case TokenKind::KwEscape: return "ESCAPE";
+    case TokenKind::KwTrue: return "TRUE";
+    case TokenKind::KwFalse: return "FALSE";
+    case TokenKind::Equal: return "=";
+    case TokenKind::NotEqual: return "<>";
+    case TokenKind::Less: return "<";
+    case TokenKind::LessEqual: return "<=";
+    case TokenKind::Greater: return ">";
+    case TokenKind::GreaterEqual: return ">=";
+    case TokenKind::Plus: return "+";
+    case TokenKind::Minus: return "-";
+    case TokenKind::Star: return "*";
+    case TokenKind::Slash: return "/";
+    case TokenKind::LeftParen: return "(";
+    case TokenKind::RightParen: return ")";
+    case TokenKind::Comma: return ",";
+    case TokenKind::EndOfInput: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace jmsperf::selector

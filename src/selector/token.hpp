@@ -1,0 +1,54 @@
+// Token definitions of the JMS message-selector language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jmsperf::selector {
+
+enum class TokenKind {
+  // literals / identifiers
+  Identifier,
+  IntegerLiteral,
+  FloatLiteral,
+  StringLiteral,
+  // keywords (case-insensitive in source)
+  KwAnd,
+  KwOr,
+  KwNot,
+  KwBetween,
+  KwLike,
+  KwIn,
+  KwIs,
+  KwNull,
+  KwEscape,
+  KwTrue,
+  KwFalse,
+  // operators / punctuation
+  Equal,         // =
+  NotEqual,      // <>
+  Less,          // <
+  LessEqual,     // <=
+  Greater,       // >
+  GreaterEqual,  // >=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  LeftParen,
+  RightParen,
+  Comma,
+  EndOfInput,
+};
+
+[[nodiscard]] const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfInput;
+  std::string text;          ///< raw lexeme (decoded for string literals)
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  std::size_t position = 0;  ///< byte offset in the source
+};
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,57 @@
+#include "selector/value.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::selector {
+
+Tribool tribool_and(Tribool a, Tribool b) {
+  if (a == Tribool::False || b == Tribool::False) return Tribool::False;
+  if (a == Tribool::True && b == Tribool::True) return Tribool::True;
+  return Tribool::Unknown;
+}
+
+Tribool tribool_or(Tribool a, Tribool b) {
+  if (a == Tribool::True || b == Tribool::True) return Tribool::True;
+  if (a == Tribool::False && b == Tribool::False) return Tribool::False;
+  return Tribool::Unknown;
+}
+
+Tribool tribool_not(Tribool a) {
+  switch (a) {
+    case Tribool::True:
+      return Tribool::False;
+    case Tribool::False:
+      return Tribool::True;
+    case Tribool::Unknown:
+      return Tribool::Unknown;
+  }
+  return Tribool::Unknown;
+}
+
+const char* to_string(Tribool t) {
+  switch (t) {
+    case Tribool::True:
+      return "TRUE";
+    case Tribool::False:
+      return "FALSE";
+    case Tribool::Unknown:
+      return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+double Value::numeric() const {
+  if (is_long()) return static_cast<double>(as_long());
+  if (is_double()) return as_double();
+  throw std::logic_error("Value::numeric: not a numeric value");
+}
+
+std::string Value::to_string() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return as_bool() ? "TRUE" : "FALSE";
+  if (is_long()) return std::to_string(as_long());
+  if (is_double()) return std::to_string(as_double());
+  return "'" + as_string() + "'";
+}
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,62 @@
+// Runtime values and SQL-92 three-valued logic for selector evaluation.
+//
+// JMS message selectors operate on typed property values; a reference to an
+// absent property yields NULL, and NULL propagates through comparisons and
+// boolean connectives according to SQL-92 ("unknown") semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace jmsperf::selector {
+
+/// SQL three-valued logic.
+enum class Tribool { False, True, Unknown };
+
+[[nodiscard]] Tribool tribool_and(Tribool a, Tribool b);
+[[nodiscard]] Tribool tribool_or(Tribool a, Tribool b);
+[[nodiscard]] Tribool tribool_not(Tribool a);
+[[nodiscard]] const char* to_string(Tribool t);
+
+/// A selector runtime value: NULL, boolean, integral, floating, or string.
+///
+/// JMS properties may be byte/short/int/long/float/double/boolean/String;
+/// we normalize the numeric types to int64 ("exact") and double
+/// ("approximate"), matching the selector literal grammar.
+class Value {
+ public:
+  Value() = default;  // NULL
+  explicit Value(bool b) : data_(b) {}
+  explicit Value(std::int64_t i) : data_(i) {}
+  explicit Value(double d) : data_(d) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(const char* s) : data_(std::string(s)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  [[nodiscard]] bool is_long() const { return std::holds_alternative<std::int64_t>(data_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(data_); }
+  [[nodiscard]] bool is_numeric() const { return is_long() || is_double(); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  /// Accessors; throw std::bad_variant_access on type mismatch.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] std::int64_t as_long() const { return std::get<std::int64_t>(data_); }
+  [[nodiscard]] double as_double() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric value widened to double; throws std::logic_error otherwise.
+  [[nodiscard]] double numeric() const;
+
+  /// Human-readable rendering for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Exact structural equality (not SQL comparison; NULL == NULL here).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string> data_;
+};
+
+}  // namespace jmsperf::selector

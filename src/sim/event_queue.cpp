@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::sim {
+
+bool EventHandle::cancel() {
+  if (!state_ || state_->fired || state_->cancelled) return false;
+  state_->cancelled = true;
+  return true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->fired && !state_->cancelled;
+}
+
+EventHandle EventQueue::schedule(SimTime when, Callback callback) {
+  if (!callback) throw std::invalid_argument("EventQueue::schedule: null callback");
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{when, next_sequence_++, std::move(callback), state});
+  return EventHandle(std::move(state));
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue: empty");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue: empty");
+  const Entry& top = heap_.top();
+  Fired fired{top.time, std::move(top.callback)};
+  top.state->fired = true;
+  heap_.pop();
+  return fired;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace jmsperf::sim

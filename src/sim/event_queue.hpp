@@ -1,0 +1,90 @@
+// Time-ordered event queue for the discrete-event simulation engine.
+//
+// Events with equal timestamps are delivered in scheduling order (FIFO),
+// which keeps simulations deterministic.  Scheduled events can be cancelled
+// through the returned handle; cancelled entries are dropped lazily when
+// they reach the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace jmsperf::sim {
+
+using SimTime = double;
+
+/// Handle to a scheduled event; allows cancellation.  Copyable; all copies
+/// refer to the same scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet.  Returns true when the
+  /// event was still pending.
+  bool cancel();
+
+  /// True while the event is scheduled and neither fired nor cancelled.
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` at absolute time `when`.
+  EventHandle schedule(SimTime when, Callback callback);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Timestamp of the next live event; throws std::logic_error when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops and returns the next live event.  Throws when empty.
+  struct Fired {
+    SimTime time;
+    Callback callback;
+  };
+  Fired pop();
+
+  /// Number of entries currently held (including not-yet-dropped
+  /// cancelled ones); intended for diagnostics.
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Removes all events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t sequence;
+    // Mutable so that pop() can move the callback out of the priority
+    // queue's const top() reference.
+    mutable Callback callback;
+    std::shared_ptr<EventHandle::State> state;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace jmsperf::sim

@@ -1,0 +1,56 @@
+#include "sim/simulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jmsperf::sim {
+
+EventHandle Simulation::schedule_at(SimTime when, EventQueue::Callback callback) {
+  if (std::isnan(when) || when < now_) {
+    throw std::invalid_argument("Simulation::schedule_at: time precedes current time");
+  }
+  return queue_.schedule(when, std::move(callback));
+}
+
+EventHandle Simulation::schedule_in(SimTime delay, EventQueue::Callback callback) {
+  if (std::isnan(delay) || delay < 0.0) {
+    throw std::invalid_argument("Simulation::schedule_in: negative delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(callback));
+}
+
+std::size_t Simulation::run_until(SimTime horizon) {
+  stop_requested_ = false;
+  std::size_t fired = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > horizon) break;
+    auto event = queue_.pop();
+    now_ = event.time;
+    event.callback();
+    ++fired;
+    ++events_fired_;
+  }
+  if (queue_.empty() || queue_.next_time() > horizon) {
+    // Advance the clock to the horizon so repeated bounded runs compose.
+    if (std::isfinite(horizon) && horizon > now_) now_ = horizon;
+  }
+  return fired;
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  auto event = queue_.pop();
+  now_ = event.time;
+  event.callback();
+  ++events_fired_;
+  return true;
+}
+
+void Simulation::reset() {
+  queue_.clear();
+  now_ = 0.0;
+  stop_requested_ = false;
+  events_fired_ = 0;
+}
+
+}  // namespace jmsperf::sim

@@ -1,0 +1,57 @@
+// Discrete-event simulation kernel.
+//
+// A `Simulation` owns the virtual clock and the event queue.  Model
+// components schedule callbacks at absolute or relative virtual times; the
+// kernel fires them in timestamp order.  The kernel is single-threaded and
+// deterministic: a fixed model plus a fixed RNG seed reproduces a run
+// exactly.
+//
+// This is the substrate on which `testbed::SimulatedJmsServer` emulates the
+// paper's measurement testbed (saturated publishers, CPU-bound server) and
+// on which the M/G/1 validation runs of Fig. 11 are executed.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+
+namespace jmsperf::sim {
+
+class Simulation {
+ public:
+  /// Current virtual time in seconds.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules a callback at absolute virtual time `when`, which must not
+  /// precede the current time.
+  EventHandle schedule_at(SimTime when, EventQueue::Callback callback);
+
+  /// Schedules a callback `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(SimTime delay, EventQueue::Callback callback);
+
+  /// Runs until the event queue drains or `horizon` is reached, whichever
+  /// comes first.  Events scheduled exactly at the horizon still fire.
+  /// Returns the number of events fired.
+  std::size_t run_until(SimTime horizon = std::numeric_limits<SimTime>::infinity());
+
+  /// Fires exactly one event if available; returns whether one fired.
+  bool step();
+
+  /// Requests `run_until` to return after the current event completes.
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] bool has_pending_events() const { return !queue_.empty(); }
+  [[nodiscard]] std::size_t events_fired() const { return events_fired_; }
+
+  /// Discards all pending events and resets the clock to zero.
+  void reset();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  bool stop_requested_ = false;
+  std::size_t events_fired_ = 0;
+};
+
+}  // namespace jmsperf::sim

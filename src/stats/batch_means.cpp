@@ -1,0 +1,51 @@
+#include "stats/batch_means.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::stats {
+
+BatchMeans::BatchMeans(std::uint64_t batch_size) : batch_size_(batch_size) {
+  if (batch_size == 0) throw std::invalid_argument("BatchMeans: batch size must be positive");
+}
+
+void BatchMeans::add(double x) {
+  batch_sum_ += x;
+  if (++in_batch_ == batch_size_) {
+    batch_means_.push_back(batch_sum_ / static_cast<double>(batch_size_));
+    batch_sum_ = 0.0;
+    in_batch_ = 0;
+  }
+}
+
+double BatchMeans::mean() const {
+  if (batch_means_.empty()) throw std::logic_error("BatchMeans: no completed batches");
+  MomentAccumulator acc;
+  for (const double m : batch_means_) acc.add(m);
+  return acc.mean();
+}
+
+ConfidenceInterval BatchMeans::confidence_interval(double confidence) const {
+  if (batch_means_.size() < 2) {
+    throw std::logic_error("BatchMeans: need >= 2 completed batches");
+  }
+  return mean_confidence_interval(batch_means_, confidence);
+}
+
+double BatchMeans::batch_autocorrelation() const {
+  if (batch_means_.size() < 3) {
+    throw std::logic_error("BatchMeans: need >= 3 completed batches");
+  }
+  MomentAccumulator acc;
+  for (const double m : batch_means_) acc.add(m);
+  const double mean = acc.mean();
+  const double variance = acc.variance();
+  if (variance <= 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 1; i < batch_means_.size(); ++i) {
+    cov += (batch_means_[i - 1] - mean) * (batch_means_[i] - mean);
+  }
+  cov /= static_cast<double>(batch_means_.size() - 1);
+  return cov / variance;
+}
+
+}  // namespace jmsperf::stats

@@ -1,0 +1,50 @@
+// Batch-means confidence intervals for correlated simulation output.
+//
+// Waiting times of consecutive messages in a queue are strongly
+// autocorrelated, so the i.i.d. Student-t interval of confidence.hpp
+// understates the error.  The classic remedy is the method of batch
+// means: split the run into b contiguous batches, average within each
+// batch, and treat the batch averages as (approximately) independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/moments.hpp"
+
+namespace jmsperf::stats {
+
+/// Streaming batch-means estimator with a fixed batch size.
+class BatchMeans {
+ public:
+  /// `batch_size`: observations aggregated into one batch mean.
+  explicit BatchMeans(std::uint64_t batch_size);
+
+  void add(double x);
+
+  /// Completed batches so far.
+  [[nodiscard]] std::size_t batch_count() const { return batch_means_.size(); }
+
+  /// Overall mean across all completed batches.
+  [[nodiscard]] double mean() const;
+
+  /// Student-t interval over the batch means.  Requires >= 2 completed
+  /// batches; >= 10 are recommended for a trustworthy interval.
+  [[nodiscard]] ConfidenceInterval confidence_interval(double confidence = 0.95) const;
+
+  /// Lag-1 autocorrelation of the batch means; values near zero indicate
+  /// the batch size is large enough for the independence assumption.
+  /// Requires >= 3 completed batches.
+  [[nodiscard]] double batch_autocorrelation() const;
+
+  [[nodiscard]] const std::vector<double>& batch_means() const { return batch_means_; }
+
+ private:
+  std::uint64_t batch_size_;
+  std::uint64_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  std::vector<double> batch_means_;
+};
+
+}  // namespace jmsperf::stats

@@ -1,0 +1,39 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/moments.hpp"
+#include "stats/special_functions.hpp"
+
+namespace jmsperf::stats {
+
+double ConfidenceInterval::relative_half_width() const {
+  if (mean == 0.0) {
+    throw std::logic_error("ConfidenceInterval: relative width undefined for zero mean");
+  }
+  return half_width() / std::fabs(mean);
+}
+
+ConfidenceInterval mean_confidence_interval(const std::vector<double>& sample,
+                                            double confidence) {
+  if (sample.size() < 2) {
+    throw std::invalid_argument("mean_confidence_interval: need >= 2 observations");
+  }
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument("mean_confidence_interval: confidence must be in (0, 1)");
+  }
+  MomentAccumulator acc;
+  for (const double x : sample) acc.add(x);
+  const double n = static_cast<double>(sample.size());
+  const double se = std::sqrt(acc.sample_variance() / n);
+  const double t = student_t_quantile(0.5 + confidence / 2.0, n - 1.0);
+  ConfidenceInterval ci;
+  ci.mean = acc.mean();
+  ci.lower = ci.mean - t * se;
+  ci.upper = ci.mean + t * se;
+  ci.confidence = confidence;
+  return ci;
+}
+
+}  // namespace jmsperf::stats

@@ -1,0 +1,33 @@
+// Confidence intervals for measurement runs.
+//
+// The paper repeats each testbed measurement several times and reports that
+// "confidence intervals are very narrow even for a few runs"; the helpers
+// here let the simulated testbed make the same statement quantitatively.
+#pragma once
+
+#include <vector>
+
+namespace jmsperf::stats {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double confidence = 0.0;  ///< e.g. 0.95
+
+  [[nodiscard]] double half_width() const { return (upper - lower) / 2.0; }
+
+  /// Half-width divided by the mean; the paper's "narrow" criterion.
+  [[nodiscard]] double relative_half_width() const;
+
+  [[nodiscard]] bool contains(double value) const {
+    return value >= lower && value <= upper;
+  }
+};
+
+/// Student-t confidence interval for the mean of an i.i.d. sample.
+/// Requires at least two observations.
+ConfidenceInterval mean_confidence_interval(const std::vector<double>& sample,
+                                            double confidence = 0.95);
+
+}  // namespace jmsperf::stats

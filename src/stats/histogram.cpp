@@ -1,0 +1,85 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jmsperf::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // rounding guard
+  ++counts_[bin];
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + width_ * (static_cast<double>(bin) + 0.5);
+}
+
+double Histogram::cdf_at_bin(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram: bin out of range");
+  if (total_ == 0) throw std::logic_error("Histogram: no observations");
+  std::uint64_t cum = underflow_;
+  for (std::size_t i = 0; i <= bin; ++i) cum += counts_[i];
+  return static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins)
+    : log_lo_(std::log(lo)),
+      log_width_((std::log(hi) - std::log(lo)) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(lo > 0.0) || !(hi > lo)) {
+    throw std::invalid_argument("LogHistogram: need 0 < lo < hi");
+  }
+  if (bins == 0) throw std::invalid_argument("LogHistogram: need at least one bin");
+}
+
+void LogHistogram::add(double x) {
+  ++total_;
+  if (!(x > 0.0) || std::log(x) < log_lo_) {
+    ++underflow_;
+    return;
+  }
+  const double offset = (std::log(x) - log_lo_) / log_width_;
+  if (offset >= static_cast<double>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(offset)];
+}
+
+double LogHistogram::bin_lower(std::size_t bin) const {
+  return std::exp(log_lo_ + log_width_ * static_cast<double>(bin));
+}
+
+double LogHistogram::bin_upper(std::size_t bin) const {
+  return std::exp(log_lo_ + log_width_ * static_cast<double>(bin + 1));
+}
+
+double LogHistogram::bin_center(std::size_t bin) const {
+  return std::exp(log_lo_ + log_width_ * (static_cast<double>(bin) + 0.5));
+}
+
+}  // namespace jmsperf::stats

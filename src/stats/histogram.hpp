@@ -1,0 +1,73 @@
+// Fixed-bin and logarithmic histograms for simulation output analysis
+// (e.g. the empirical waiting-time CCDF plotted in Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace jmsperf::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins plus underflow and
+/// overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  [[nodiscard]] double bin_upper(std::size_t bin) const;
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Empirical CDF evaluated at a bin upper edge: P(X <= bin_upper(bin)),
+  /// treating underflow as below every bin.
+  [[nodiscard]] double cdf_at_bin(std::size_t bin) const;
+
+  /// Empirical complementary CDF: P(X > bin_upper(bin)).
+  [[nodiscard]] double ccdf_at_bin(std::size_t bin) const { return 1.0 - cdf_at_bin(bin); }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram with logarithmically spaced bin edges over [lo, hi); useful
+/// when the observable spans several orders of magnitude (like the message
+/// service times in Fig. 5).
+class LogHistogram {
+ public:
+  /// Requires 0 < lo < hi.
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  [[nodiscard]] double bin_upper(std::size_t bin) const;
+  /// Geometric bin midpoint.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+ private:
+  double log_lo_;
+  double log_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace jmsperf::stats

@@ -1,0 +1,156 @@
+#include "stats/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jmsperf::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  return data_.at(r * cols_ + c);
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  return data_.at(r * cols_ + c);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix multiply: shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  if (cols_ != v.size()) throw std::invalid_argument("Matrix-vector multiply: shape mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_linear_system: need square A and matching b");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(a(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("solve_linear_system: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a(i, c) * x[c];
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+LeastSquaresResult least_squares(const Matrix& a, const std::vector<double>& b,
+                                 const std::vector<double>& weights) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) throw std::invalid_argument("least_squares: shape mismatch");
+  if (!weights.empty() && weights.size() != m) {
+    throw std::invalid_argument("least_squares: weight count mismatch");
+  }
+  if (m < n) throw std::invalid_argument("least_squares: underdetermined system");
+
+  // Build the normal equations (A^T W A) x = A^T W b directly.
+  Matrix ata(n, n);
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double w = weights.empty() ? 1.0 : weights[r];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ai = a(r, i);
+      atb[i] += w * ai * b[r];
+      for (std::size_t j = i; j < n; ++j) ata(i, j) += w * ai * a(r, j);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) ata(i, j) = ata(j, i);
+  }
+
+  LeastSquaresResult result;
+  result.coefficients = solve_linear_system(ata, atb);
+
+  double rss = 0.0;
+  double mean_b = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const double w = weights.empty() ? 1.0 : weights[r];
+    mean_b += w * b[r];
+    weight_sum += w;
+  }
+  mean_b /= weight_sum;
+  double tss = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const double w = weights.empty() ? 1.0 : weights[r];
+    double fitted = 0.0;
+    for (std::size_t c = 0; c < n; ++c) fitted += a(r, c) * result.coefficients[c];
+    rss += w * (b[r] - fitted) * (b[r] - fitted);
+    tss += w * (b[r] - mean_b) * (b[r] - mean_b);
+  }
+  result.residual_sum_of_squares = rss;
+  result.r_squared = tss > 0.0 ? 1.0 - rss / tss : 1.0;
+  return result;
+}
+
+}  // namespace jmsperf::stats

@@ -1,0 +1,55 @@
+// Minimal dense linear algebra: just enough to solve the small
+// least-squares problems of the calibration fitter (Table I), which
+// estimates (t_rcv, t_fltr, t_tx) from measured throughput samples.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace jmsperf::stats {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> operator*(const std::vector<double>& v) const;
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting.  Throws std::invalid_argument on shape mismatch and
+/// std::runtime_error when A is (numerically) singular.
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b);
+
+/// Result of a linear least-squares fit.
+struct LeastSquaresResult {
+  std::vector<double> coefficients;     ///< fitted parameter vector
+  double residual_sum_of_squares = 0.0; ///< ||A x - b||^2
+  double r_squared = 0.0;               ///< coefficient of determination
+};
+
+/// Solves min_x ||A x - b||^2 via the normal equations (A^T A) x = A^T b.
+/// Adequate for the well-conditioned 3-parameter fits used here.
+/// Optional per-row weights solve the weighted problem.
+LeastSquaresResult least_squares(const Matrix& a, const std::vector<double>& b,
+                                 const std::vector<double>& weights = {});
+
+}  // namespace jmsperf::stats

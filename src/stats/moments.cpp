@@ -1,0 +1,143 @@
+#include "stats/moments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jmsperf::stats {
+
+double RawMoments::stddev() const {
+  const double v = variance();
+  return v > 0.0 ? std::sqrt(v) : 0.0;
+}
+
+double RawMoments::coefficient_of_variation() const {
+  if (m1 == 0.0) return 0.0;
+  return stddev() / m1;
+}
+
+void RawMoments::validate() const {
+  if (m1 < 0.0) {
+    throw std::invalid_argument("RawMoments: negative mean");
+  }
+  // Allow a small relative tolerance for rounding in composed moments.
+  const double tol = 1e-9 * std::max(1.0, m2);
+  if (variance() < -tol) {
+    throw std::invalid_argument("RawMoments: E[X^2] < E[X]^2");
+  }
+}
+
+void MomentAccumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double n0 = static_cast<double>(n_);
+  ++n_;
+  const double n1 = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n1;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n0;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n1 * n1 - 3.0 * n1 + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n1 - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void MomentAccumulator::merge(const MomentAccumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double nx = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double m4 = m4_ + other.m4_ +
+                    delta4 * na * nb * (na * na - na * nb + nb * nb) / (nx * nx * nx) +
+                    6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (nx * nx) +
+                    4.0 * delta * (na * other.m3_ - nb * m3_) / nx;
+  const double m3 = m3_ + other.m3_ + delta3 * na * nb * (na - nb) / (nx * nx) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / nx;
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / nx;
+
+  mean_ = (na * mean_ + nb * other.mean_) / nx;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void MomentAccumulator::require_nonempty() const {
+  if (n_ == 0) throw std::logic_error("MomentAccumulator: no observations");
+}
+
+double MomentAccumulator::mean() const {
+  require_nonempty();
+  return mean_;
+}
+
+double MomentAccumulator::variance() const {
+  require_nonempty();
+  return m2_ / static_cast<double>(n_);
+}
+
+double MomentAccumulator::sample_variance() const {
+  if (n_ < 2) throw std::logic_error("MomentAccumulator: need >= 2 observations");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double MomentAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double MomentAccumulator::coefficient_of_variation() const {
+  require_nonempty();
+  if (mean_ == 0.0) {
+    throw std::logic_error("MomentAccumulator: coefficient of variation undefined for zero mean");
+  }
+  return stddev() / mean_;
+}
+
+double MomentAccumulator::skewness() const {
+  require_nonempty();
+  const double n = static_cast<double>(n_);
+  if (m2_ <= 0.0) throw std::logic_error("MomentAccumulator: skewness undefined");
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double MomentAccumulator::excess_kurtosis() const {
+  require_nonempty();
+  const double n = static_cast<double>(n_);
+  if (m2_ <= 0.0) throw std::logic_error("MomentAccumulator: kurtosis undefined");
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+double MomentAccumulator::min() const {
+  require_nonempty();
+  return min_;
+}
+
+double MomentAccumulator::max() const {
+  require_nonempty();
+  return max_;
+}
+
+RawMoments MomentAccumulator::raw_moments() const {
+  require_nonempty();
+  const double n = static_cast<double>(n_);
+  const double mu = mean_;
+  const double c2 = m2_ / n;
+  const double c3 = m3_ / n;
+  return RawMoments{mu, c2 + mu * mu, c3 + 3.0 * mu * c2 + mu * mu * mu};
+}
+
+}  // namespace jmsperf::stats

@@ -1,0 +1,119 @@
+// Streaming moment statistics.
+//
+// Two flavours are provided:
+//  * `RawMoments`  — a plain value type holding the first three raw moments
+//    E[X], E[X^2], E[X^3] of a distribution.  The queueing analysis of
+//    Menth & Henjes (Eqs. 4-9) is formulated entirely in terms of these.
+//  * `MomentAccumulator` — numerically stable streaming estimator of the
+//    first four central moments of a sample (Welford / Pébay update),
+//    exposing mean, variance, coefficient of variation and skewness.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace jmsperf::stats {
+
+/// First three raw moments of a non-negative random variable.
+///
+/// Invariants (checked by `validate()`): m1 >= 0 and the moment sequence is
+/// consistent (variance and third central moment well-defined).
+struct RawMoments {
+  double m1 = 0.0;  ///< E[X]
+  double m2 = 0.0;  ///< E[X^2]
+  double m3 = 0.0;  ///< E[X^3]
+
+  /// Variance E[X^2] - E[X]^2.
+  [[nodiscard]] double variance() const { return m2 - m1 * m1; }
+
+  /// Standard deviation.
+  [[nodiscard]] double stddev() const;
+
+  /// Coefficient of variation sqrt(Var)/E[X] (Eq. 10); 0 for a zero mean.
+  [[nodiscard]] double coefficient_of_variation() const;
+
+  /// Third central moment E[(X - E[X])^3].
+  [[nodiscard]] double third_central() const {
+    return m3 - 3.0 * m1 * m2 + 2.0 * m1 * m1 * m1;
+  }
+
+  /// Throws std::invalid_argument if the moments are inconsistent
+  /// (negative mean or negative variance beyond rounding tolerance).
+  void validate() const;
+
+  /// Moments of a*X for a scalar a >= 0.
+  [[nodiscard]] RawMoments scaled(double a) const {
+    return {a * m1, a * a * m2, a * a * a * m3};
+  }
+
+  /// Moments of X + d for a deterministic shift d (binomial expansion).
+  [[nodiscard]] RawMoments shifted(double d) const {
+    return {d + m1, d * d + 2.0 * d * m1 + m2,
+            d * d * d + 3.0 * d * d * m1 + 3.0 * d * m2 + m3};
+  }
+
+  /// Moments of the constant random variable X = c.
+  [[nodiscard]] static RawMoments deterministic(double c) {
+    return {c, c * c, c * c * c};
+  }
+};
+
+/// Numerically stable streaming estimator of sample moments.
+///
+/// Uses the single-pass update formulas of Pébay (2008); supports merging
+/// two accumulators, which makes it usable from parallel workers.
+class MomentAccumulator {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another accumulator into this one.
+  void merge(const MomentAccumulator& other);
+
+  /// Removes all observations.
+  void reset() { *this = MomentAccumulator{}; }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+
+  /// Sample mean; throws std::logic_error when empty.
+  [[nodiscard]] double mean() const;
+
+  /// Population variance (divides by n); throws when empty.
+  [[nodiscard]] double variance() const;
+
+  /// Unbiased sample variance (divides by n-1); throws when n < 2.
+  [[nodiscard]] double sample_variance() const;
+
+  [[nodiscard]] double stddev() const;
+
+  /// Coefficient of variation; throws when the mean is zero.
+  [[nodiscard]] double coefficient_of_variation() const;
+
+  /// Sample skewness (population form); throws when stddev is zero.
+  [[nodiscard]] double skewness() const;
+
+  /// Excess kurtosis; throws when stddev is zero.
+  [[nodiscard]] double excess_kurtosis() const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Estimated first three raw sample moments (for feeding into the
+  /// queueing formulas).
+  [[nodiscard]] RawMoments raw_moments() const;
+
+ private:
+  void require_nonempty() const;
+
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of (x-mean)^2
+  double m3_ = 0.0;  // sum of (x-mean)^3
+  double m4_ = 0.0;  // sum of (x-mean)^4
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace jmsperf::stats

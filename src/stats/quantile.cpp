@@ -1,0 +1,121 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jmsperf::stats {
+
+double sample_quantile_inplace(std::vector<double>& values, double p) {
+  if (values.empty()) throw std::invalid_argument("sample_quantile: empty sample");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("sample_quantile: p must be in [0, 1]");
+  const std::size_t n = values.size();
+  const double h = (static_cast<double>(n) - 1.0) * p;
+  const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(lo), values.end());
+  const double v_lo = values[lo];
+  if (hi == lo) return v_lo;
+  const double v_hi = *std::min_element(values.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                                        values.end());
+  return v_lo + (h - static_cast<double>(lo)) * (v_hi - v_lo);
+}
+
+double sample_quantile(std::vector<double> values, double p) {
+  return sample_quantile_inplace(values, p);
+}
+
+std::vector<double> sample_quantiles(std::vector<double> values,
+                                     const std::vector<double>& probabilities) {
+  if (values.empty()) throw std::invalid_argument("sample_quantiles: empty sample");
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(probabilities.size());
+  const std::size_t n = values.size();
+  for (const double p : probabilities) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument("sample_quantiles: p must be in [0, 1]");
+    }
+    const double h = (static_cast<double>(n) - 1.0) * p;
+    const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    out.push_back(values[lo] + (h - static_cast<double>(lo)) * (values[hi] - values[lo]));
+  }
+  return out;
+}
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("P2Quantile: p must be in (0, 1)");
+  }
+  desired_increment_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double qi = heights_[i];
+  const double qim = heights_[i - 1];
+  const double qip = heights_[i + 1];
+  const double ni = positions_[i];
+  const double nim = positions_[i - 1];
+  const double nip = positions_[i + 1];
+  return qi + d / (nip - nim) *
+                  ((ni - nim + d) * (qip - qi) / (nip - ni) +
+                   (nip - ni - d) * (qi - qim) / (ni - nim));
+}
+
+double P2Quantile::linear(int i, int d) const {
+  return heights_[i] + static_cast<double>(d) * (heights_[i + d] - heights_[i]) /
+                           (positions_[i + d] - positions_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
+      desired_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+    }
+    return;
+  }
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += desired_increment_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const int ds = d >= 0.0 ? 1 : -1;
+      double candidate = parabolic(i, static_cast<double>(ds));
+      if (!(heights_[i - 1] < candidate && candidate < heights_[i + 1])) {
+        candidate = linear(i, ds);
+      }
+      heights_[i] = candidate;
+      positions_[i] += static_cast<double>(ds);
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const {
+  if (count_ < 5) {
+    throw std::logic_error("P2Quantile: need at least 5 observations");
+  }
+  return heights_[2];
+}
+
+}  // namespace jmsperf::stats

@@ -1,0 +1,59 @@
+// Quantile estimation.
+//
+// The waiting-time evaluation (Fig. 12 of the paper) works with the 99% and
+// 99.99% quantiles.  For simulation output we provide both an exact
+// sample-quantile function (for modest sample counts) and the constant-space
+// P-square (P²) streaming estimator of Jain & Chlamtac (1985) for long runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace jmsperf::stats {
+
+/// Exact sample quantile with linear interpolation between order statistics
+/// (the "type 7" rule used by R and NumPy).  `p` in [0, 1].
+/// The input vector is copied; use `sample_quantile_inplace` to avoid that.
+double sample_quantile(std::vector<double> values, double p);
+
+/// As `sample_quantile`, but partially sorts `values` in place.
+double sample_quantile_inplace(std::vector<double>& values, double p);
+
+/// Computes several quantiles of one sample with a single sort.
+std::vector<double> sample_quantiles(std::vector<double> values,
+                                     const std::vector<double>& probabilities);
+
+/// Streaming quantile estimator using the P² algorithm.
+///
+/// Maintains five markers and adjusts them with piecewise-parabolic
+/// interpolation; memory use is O(1) regardless of the stream length.
+/// Accuracy is excellent in the distribution body and good in moderate
+/// tails; for extreme quantiles (e.g. 99.99%) on short streams prefer the
+/// exact estimator.
+class P2Quantile {
+ public:
+  /// `p` must be in (0, 1).
+  explicit P2Quantile(double p);
+
+  void add(double x);
+
+  /// Current estimate; throws std::logic_error with fewer than 5 samples.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double probability() const { return p_; }
+
+ private:
+  [[nodiscard]] double parabolic(int i, double d) const;
+  [[nodiscard]] double linear(int i, int d) const;
+
+  double p_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};          // marker heights q_i
+  std::array<double, 5> positions_{};        // actual positions n_i
+  std::array<double, 5> desired_{};          // desired positions n'_i
+  std::array<double, 5> desired_increment_{};
+};
+
+}  // namespace jmsperf::stats

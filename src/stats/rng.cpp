@@ -1,0 +1,85 @@
+#include "stats/rng.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::stats {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+RandomStream::RandomStream(std::uint64_t seed) : seed_(seed) {
+  // Expand the seed through SplitMix64 so close seeds give unrelated states.
+  std::uint64_t state = seed;
+  std::seed_seq seq{splitmix64(state), splitmix64(state), splitmix64(state),
+                    splitmix64(state)};
+  engine_.seed(seq);
+}
+
+RandomStream RandomStream::spawn() {
+  std::uint64_t state = seed_ ^ (0xd1b54a32d192ed03ull + ++spawn_counter_);
+  return RandomStream(splitmix64(state));
+}
+
+double RandomStream::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double RandomStream::uniform(double lo, double hi) {
+  if (!(hi > lo)) throw std::invalid_argument("RandomStream::uniform: hi must exceed lo");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t RandomStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (hi < lo) throw std::invalid_argument("RandomStream::uniform_int: hi < lo");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool RandomStream::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("RandomStream::bernoulli: p out of range");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double RandomStream::exponential(double rate) {
+  if (!(rate > 0.0)) throw std::invalid_argument("RandomStream::exponential: rate must be positive");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double RandomStream::gamma(double shape, double scale) {
+  if (!(shape > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument("RandomStream::gamma: parameters must be positive");
+  }
+  return std::gamma_distribution<double>(shape, scale)(engine_);
+}
+
+std::uint32_t RandomStream::binomial(std::uint32_t n, double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("RandomStream::binomial: p out of range");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  return static_cast<std::uint32_t>(
+      std::binomial_distribution<std::uint32_t>(n, p)(engine_));
+}
+
+std::uint32_t RandomStream::poisson(double mean) {
+  if (!(mean >= 0.0)) throw std::invalid_argument("RandomStream::poisson: mean must be >= 0");
+  if (mean == 0.0) return 0;
+  return static_cast<std::uint32_t>(
+      std::poisson_distribution<std::uint32_t>(mean)(engine_));
+}
+
+std::size_t RandomStream::discrete(const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("RandomStream::discrete: empty weights");
+  return std::discrete_distribution<std::size_t>(weights.begin(), weights.end())(engine_);
+}
+
+double RandomStream::normal(double mean, double stddev) {
+  if (!(stddev >= 0.0)) throw std::invalid_argument("RandomStream::normal: stddev must be >= 0");
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+}  // namespace jmsperf::stats

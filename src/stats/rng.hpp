@@ -1,0 +1,67 @@
+// Random-number infrastructure.
+//
+// A `RandomStream` wraps a 64-bit Mersenne Twister and exposes the variate
+// generators the toolkit needs (exponential inter-arrival times for the
+// Poisson publisher model, binomial / Bernoulli replication grades, gamma
+// service times, ...).  Independent child streams can be spawned
+// deterministically from a parent, so parallel simulation components get
+// reproducible, non-overlapping randomness.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace jmsperf::stats {
+
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Deterministically derives an independent child stream; successive
+  /// calls yield distinct streams.
+  RandomStream spawn();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Gamma variate with the given shape and scale.
+  double gamma(double shape, double scale);
+
+  /// Binomial variate: number of successes in n trials with probability p.
+  std::uint32_t binomial(std::uint32_t n, double p);
+
+  /// Poisson variate with the given mean.
+  std::uint32_t poisson(double mean);
+
+  /// Samples an index according to the given non-negative weights.
+  std::size_t discrete(const std::vector<double>& weights);
+
+  /// Normal variate.
+  double normal(double mean, double stddev);
+
+  /// Direct access for std <random> interoperability.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t spawn_counter_ = 0;
+  std::uint64_t seed_;
+};
+
+/// SplitMix64 step; used for seed derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace jmsperf::stats

@@ -1,0 +1,273 @@
+#include "stats/special_functions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace jmsperf::stats {
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-15;
+constexpr double kTiny = 1e-300;
+
+/// Series representation of P(a, x); converges fast for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) {
+      return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+    }
+  }
+  throw std::runtime_error("gamma_p: series failed to converge (a=" +
+                           std::to_string(a) + ", x=" + std::to_string(x) + ")");
+}
+
+/// Continued-fraction representation of Q(a, x); converges for x >= a + 1.
+/// Modified Lentz algorithm.
+double gamma_q_continued_fraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) {
+      return h * std::exp(-x + a * std::log(x) - log_gamma(a));
+    }
+  }
+  throw std::runtime_error("gamma_q: continued fraction failed to converge");
+}
+
+/// Continued fraction for the incomplete beta function (Lentz).
+double beta_continued_fraction(double a, double b, double x) {
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double dm = static_cast<double>(m);
+    const double m2 = 2.0 * dm;
+    double aa = dm * (b - dm) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + dm) * (qab + dm) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) return h;
+  }
+  throw std::runtime_error("beta_i: continued fraction failed to converge");
+}
+
+}  // namespace
+
+double log_gamma(double x) {
+  if (!(x > 0.0)) {
+    throw std::domain_error("log_gamma: argument must be positive");
+  }
+  return std::lgamma(x);
+}
+
+double gamma_p(double a, double x) {
+  if (!(a > 0.0)) throw std::domain_error("gamma_p: a must be positive");
+  if (x < 0.0) throw std::domain_error("gamma_p: x must be non-negative");
+  if (x == 0.0) return 0.0;
+  if (std::isinf(x)) return 1.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double gamma_q(double a, double x) {
+  if (!(a > 0.0)) throw std::domain_error("gamma_q: a must be positive");
+  if (x < 0.0) throw std::domain_error("gamma_q: x must be non-negative");
+  if (x == 0.0) return 1.0;
+  if (std::isinf(x)) return 0.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_continued_fraction(a, x);
+}
+
+double gamma_p_inv(double a, double p) {
+  if (!(a > 0.0)) throw std::domain_error("gamma_p_inv: a must be positive");
+  if (p < 0.0 || p >= 1.0) {
+    if (p == 1.0) return std::numeric_limits<double>::infinity();
+    throw std::domain_error("gamma_p_inv: p must be in [0, 1)");
+  }
+  if (p == 0.0) return 0.0;
+
+  // Wilson-Hilferty initial guess: Gamma(a,1) ~ a * (1 - 1/(9a) + z*sqrt(1/(9a)))^3.
+  const double z = normal_quantile(p);
+  const double t = 1.0 - 1.0 / (9.0 * a) + z * std::sqrt(1.0 / (9.0 * a));
+  double x = a * t * t * t;
+  if (!(x > 0.0) || !std::isfinite(x)) x = a * p;  // fallback for tiny a/p
+
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+  const double log_gamma_a = log_gamma(a);
+  for (int i = 0; i < 200; ++i) {
+    const double f = gamma_p(a, x) - p;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    if (std::fabs(f) < 1e-14) break;
+    // Newton step using the Gamma(a,1) density.
+    const double log_pdf = (a - 1.0) * std::log(x) - x - log_gamma_a;
+    const double pdf = std::exp(log_pdf);
+    double next = x;
+    if (pdf > 0.0 && std::isfinite(pdf)) next = x - f / pdf;
+    if (!(next > lo) || !(next < hi) || !std::isfinite(next)) {
+      // Bisection safeguard.
+      next = std::isinf(hi) ? x * 2.0 : 0.5 * (lo + hi);
+    }
+    if (next == x) break;
+    x = next;
+  }
+  return x;
+}
+
+double beta_i(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::domain_error("beta_i: a and b must be positive");
+  }
+  if (x < 0.0 || x > 1.0) throw std::domain_error("beta_i: x must be in [0, 1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                           a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(log_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double beta_i_inv(double a, double b, double p) {
+  if (p < 0.0 || p > 1.0) throw std::domain_error("beta_i_inv: p must be in [0, 1]");
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  double x = a / (a + b);  // mean as starting point
+  const double log_beta = log_gamma(a) + log_gamma(b) - log_gamma(a + b);
+  for (int i = 0; i < 200; ++i) {
+    const double f = beta_i(a, b, x) - p;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    if (std::fabs(f) < 1e-14) break;
+    const double log_pdf =
+        (a - 1.0) * std::log(x) + (b - 1.0) * std::log(1.0 - x) - log_beta;
+    const double pdf = std::exp(log_pdf);
+    double next = x;
+    if (pdf > 0.0 && std::isfinite(pdf)) next = x - f / pdf;
+    if (!(next > lo) || !(next < hi)) next = 0.5 * (lo + hi);
+    if (next == x) break;
+    x = next;
+  }
+  return x;
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::domain_error("normal_quantile: p must be in (0, 1)");
+  }
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double student_t_cdf(double t, double nu) {
+  if (!(nu > 0.0)) throw std::domain_error("student_t_cdf: nu must be positive");
+  const double x = nu / (nu + t * t);
+  const double half = 0.5 * beta_i(nu / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - half : half;
+}
+
+double student_t_quantile(double p, double nu) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::domain_error("student_t_quantile: p must be in (0, 1)");
+  }
+  if (p == 0.5) return 0.0;
+  const bool upper = p > 0.5;
+  const double tail = upper ? 1.0 - p : p;
+  const double x = beta_i_inv(nu / 2.0, 0.5, 2.0 * tail);
+  const double t = std::sqrt(nu * (1.0 - x) / x);
+  return upper ? t : -t;
+}
+
+double binomial_coefficient(unsigned n, unsigned k) {
+  if (k > n) return 0.0;
+  if (k == 0 || k == n) return 1.0;
+  const double log_c = log_gamma(static_cast<double>(n) + 1.0) -
+                       log_gamma(static_cast<double>(k) + 1.0) -
+                       log_gamma(static_cast<double>(n - k) + 1.0);
+  // Round to nearest integer when representable exactly.
+  const double value = std::exp(log_c);
+  return value < 1e15 ? std::round(value) : value;
+}
+
+}  // namespace jmsperf::stats

@@ -1,0 +1,59 @@
+// Special mathematical functions used throughout the toolkit.
+//
+// The waiting-time analysis (Gamma approximation of the M/G/1 waiting-time
+// distribution, Sec. IV-B of Menth & Henjes 2006) needs the regularized
+// incomplete gamma function and its inverse; the confidence-interval helpers
+// need the regularized incomplete beta function (Student-t distribution).
+//
+// All functions are deterministic, thread-safe and allocation-free.
+#pragma once
+
+namespace jmsperf::stats {
+
+/// Natural logarithm of the gamma function, ln Γ(x), for x > 0.
+/// Thin wrapper over std::lgamma kept here so callers depend on one header.
+double log_gamma(double x);
+
+/// Regularized lower incomplete gamma function
+///   P(a, x) = γ(a, x) / Γ(a),  a > 0, x >= 0.
+/// This is the CDF of a Gamma(shape=a, scale=1) random variable at x.
+/// Computed by the series expansion for x < a+1 and by the continued
+/// fraction for the complement otherwise (Lentz's algorithm).
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Inverse of the regularized lower incomplete gamma function:
+/// returns x such that P(a, x) = p, for a > 0 and p in [0, 1).
+/// Uses the Wilson-Hilferty starting guess refined by Halley iterations,
+/// with a bisection safeguard.
+double gamma_p_inv(double a, double p);
+
+/// Regularized incomplete beta function I_x(a, b) for a,b > 0, x in [0,1].
+/// Continued-fraction evaluation (Lentz) with the symmetry transformation.
+double beta_i(double a, double b, double x);
+
+/// Inverse of the regularized incomplete beta function:
+/// returns x with I_x(a, b) = p. Newton iterations with bisection safeguard.
+double beta_i_inv(double a, double b, double p);
+
+/// CDF of the standard normal distribution.
+double normal_cdf(double x);
+
+/// Quantile (inverse CDF) of the standard normal distribution, p in (0,1).
+/// Acklam's rational approximation refined by one Halley step; absolute
+/// error below 1e-12 over the full domain.
+double normal_quantile(double p);
+
+/// CDF of Student's t distribution with `nu` degrees of freedom.
+double student_t_cdf(double t, double nu);
+
+/// Quantile of Student's t distribution with `nu` degrees of freedom.
+double student_t_quantile(double p, double nu);
+
+/// Binomial coefficient C(n, k) as a double (exact for small arguments,
+/// computed in log space to avoid overflow for large ones).
+double binomial_coefficient(unsigned n, unsigned k);
+
+}  // namespace jmsperf::stats

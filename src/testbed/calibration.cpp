@@ -1,0 +1,85 @@
+#include "testbed/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/linalg.hpp"
+
+namespace jmsperf::testbed {
+
+double CalibrationFit::predicted_rate(double n_fltr, double replication) const {
+  return 1.0 / cost.mean_service_time(n_fltr, replication);
+}
+
+double CalibrationFit::max_relative_error(
+    const std::vector<CalibrationSample>& observed) const {
+  double worst = 0.0;
+  for (const auto& sample : observed) {
+    const double predicted = predicted_rate(sample.n_fltr, sample.replication);
+    worst = std::max(worst,
+                     std::fabs(predicted - sample.received_rate) / sample.received_rate);
+  }
+  return worst;
+}
+
+void CalibrationFitter::add(CalibrationSample sample) {
+  if (!(sample.received_rate > 0.0)) {
+    throw std::invalid_argument("CalibrationFitter: throughput must be positive");
+  }
+  if (sample.n_fltr < 0.0 || sample.replication < 0.0) {
+    throw std::invalid_argument("CalibrationFitter: negative scenario parameter");
+  }
+  samples_.push_back(sample);
+}
+
+void CalibrationFitter::add(double n_fltr, double replication, double received_rate) {
+  add(CalibrationSample{n_fltr, replication, received_rate});
+}
+
+CalibrationFit CalibrationFitter::fit() const {
+  if (samples_.size() < 3) {
+    throw std::logic_error("CalibrationFitter: need at least 3 samples");
+  }
+  stats::Matrix design(samples_.size(), 3);
+  std::vector<double> target(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    design(i, 0) = 1.0;
+    design(i, 1) = samples_[i].n_fltr;
+    design(i, 2) = samples_[i].replication;
+    target[i] = 1.0 / samples_[i].received_rate;  // measured E[B]
+  }
+  const auto ls = stats::least_squares(design, target);
+
+  CalibrationFit fit;
+  fit.cost.t_rcv = ls.coefficients[0];
+  fit.cost.t_fltr = ls.coefficients[1];
+  fit.cost.t_tx = ls.coefficients[2];
+  fit.r_squared = ls.r_squared;
+  fit.residual_sum_of_squares = ls.residual_sum_of_squares;
+  fit.samples = samples_.size();
+  return fit;
+}
+
+CampaignResult run_calibration_campaign(const CalibrationCampaign& campaign) {
+  CampaignResult result;
+  CalibrationFitter fitter;
+  for (const std::uint32_t r : campaign.replication_grades) {
+    for (const std::uint32_t n : campaign.non_matching) {
+      ThroughputExperiment experiment;
+      experiment.true_cost = campaign.true_cost;
+      experiment.non_matching = n;
+      experiment.replication = r;
+      const auto measured = run_throughput_measurement(experiment, campaign.measurement);
+      CalibrationSample sample;
+      sample.n_fltr = static_cast<double>(experiment.total_filters());
+      sample.replication = static_cast<double>(r);
+      sample.received_rate = measured.received_rate;
+      fitter.add(sample);
+      result.samples.push_back(sample);
+    }
+  }
+  result.fit = fitter.fit();
+  return result;
+}
+
+}  // namespace jmsperf::testbed

@@ -1,0 +1,77 @@
+// Calibration of the cost model from throughput measurements (Table I).
+//
+// Every saturated measurement with n_fltr installed filters and
+// replication grade R pins one linear equation
+//
+//   1 / received_throughput = E[B] = t_rcv + n_fltr * t_fltr + R * t_tx,
+//
+// so a campaign over a (n_fltr, R) grid determines (t_rcv, t_fltr, t_tx)
+// by linear least squares.  This reproduces the paper's Table I: we inject
+// ground-truth constants into the simulated server, re-measure, re-fit,
+// and check the fit recovers the injected values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "testbed/experiment.hpp"
+
+namespace jmsperf::testbed {
+
+/// One calibrated observation: scenario plus measured throughput.
+struct CalibrationSample {
+  double n_fltr = 0.0;
+  double replication = 0.0;
+  double received_rate = 0.0;  ///< msgs/s
+};
+
+/// Goodness of fit and the recovered constants.
+struct CalibrationFit {
+  core::CostModel cost;
+  double r_squared = 0.0;
+  double residual_sum_of_squares = 0.0;
+  std::size_t samples = 0;
+
+  /// Model-predicted received throughput for a scenario.
+  [[nodiscard]] double predicted_rate(double n_fltr, double replication) const;
+
+  /// Largest relative error of the model prediction over the samples.
+  [[nodiscard]] double max_relative_error(const std::vector<CalibrationSample>& samples) const;
+};
+
+class CalibrationFitter {
+ public:
+  void add(CalibrationSample sample);
+  void add(double n_fltr, double replication, double received_rate);
+
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<CalibrationSample>& samples() const { return samples_; }
+
+  /// Least-squares fit; requires at least 3 linearly independent samples.
+  /// Throws std::logic_error with fewer samples, std::runtime_error when
+  /// the design matrix is singular (degenerate grid).
+  [[nodiscard]] CalibrationFit fit() const;
+
+ private:
+  std::vector<CalibrationSample> samples_;
+};
+
+/// The paper's measurement grid (Sec. III-B.2a):
+/// R in {1,2,5,10,20,40} x n in {5,10,20,40,80,160}.
+struct CalibrationCampaign {
+  core::CostModel true_cost;                      ///< injected ground truth
+  std::vector<std::uint32_t> replication_grades = {1, 2, 5, 10, 20, 40};
+  std::vector<std::uint32_t> non_matching = {5, 10, 20, 40, 80, 160};
+  MeasurementConfig measurement;
+};
+
+struct CampaignResult {
+  std::vector<CalibrationSample> samples;
+  CalibrationFit fit;
+};
+
+/// Runs the full grid against the simulated server and fits the model.
+CampaignResult run_calibration_campaign(const CalibrationCampaign& campaign);
+
+}  // namespace jmsperf::testbed

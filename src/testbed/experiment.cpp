@@ -1,0 +1,139 @@
+#include "testbed/experiment.hpp"
+
+#include <stdexcept>
+
+#include "sim/simulation.hpp"
+
+namespace jmsperf::testbed {
+
+void MeasurementConfig::validate() const {
+  if (!(duration > 0.0)) throw std::invalid_argument("MeasurementConfig: duration must be positive");
+  if (trim < 0.0 || 2.0 * trim >= duration) {
+    throw std::invalid_argument("MeasurementConfig: trims must leave a measurement window");
+  }
+  if (repetitions == 0) throw std::invalid_argument("MeasurementConfig: need at least one repetition");
+  if (noise_cv < 0.0 || noise_cv > 1.0) {
+    throw std::invalid_argument("MeasurementConfig: noise_cv must be in [0, 1]");
+  }
+}
+
+ThroughputResult run_throughput_measurement(const ThroughputExperiment& experiment,
+                                            const MeasurementConfig& config) {
+  config.validate();
+  const double window_begin = config.trim;
+  const double window_end = config.duration - config.trim;
+  const double window = window_end - window_begin;
+
+  std::vector<double> received_rates;
+  std::vector<double> dispatched_rates;
+  received_rates.reserve(config.repetitions);
+
+  for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
+    sim::Simulation simulation;
+    ServerParameters parameters;
+    parameters.cost = experiment.true_cost;
+    parameters.n_fltr = static_cast<double>(experiment.total_filters());
+    parameters.noise_cv = config.noise_cv;
+    stats::RandomStream rng(config.seed + 1000ull * rep);
+    SimulatedJmsServer server(simulation, parameters, rng.spawn());
+
+    std::uint64_t received_in_window = 0;
+    std::uint64_t dispatched_in_window = 0;
+    server.set_completion_callback(
+        [&](const SimMessage& message, double /*start*/, double departure) {
+          if (departure >= window_begin && departure < window_end) {
+            ++received_in_window;
+            dispatched_in_window += message.replication;
+          }
+        });
+
+    SaturatedPublisherGroup publishers(server, experiment.replication);
+    publishers.start();
+    simulation.run_until(config.duration);
+
+    received_rates.push_back(static_cast<double>(received_in_window) / window);
+    dispatched_rates.push_back(static_cast<double>(dispatched_in_window) / window);
+  }
+
+  ThroughputResult result;
+  stats::MomentAccumulator received_acc;
+  stats::MomentAccumulator dispatched_acc;
+  for (const double r : received_rates) received_acc.add(r);
+  for (const double d : dispatched_rates) dispatched_acc.add(d);
+  result.received_rate = received_acc.mean();
+  result.dispatched_rate = dispatched_acc.mean();
+  if (received_rates.size() >= 2) {
+    result.received_ci = stats::mean_confidence_interval(received_rates);
+  } else {
+    result.received_ci = {result.received_rate, result.received_rate,
+                          result.received_rate, 0.95};
+  }
+  return result;
+}
+
+WaitingTimeResult run_waiting_time_measurement(const WaitingTimeExperiment& experiment,
+                                               const MeasurementConfig& config) {
+  config.validate();
+  if (!experiment.replication) {
+    throw std::invalid_argument("WaitingTimeExperiment: null replication model");
+  }
+  const double mean_service = experiment.true_cost.mean_service_time(
+      experiment.n_fltr, experiment.replication->mean());
+  double lambda = experiment.lambda;
+  if (lambda <= 0.0) {
+    if (!(experiment.rho > 0.0) || !(experiment.rho < 1.0)) {
+      throw std::invalid_argument("WaitingTimeExperiment: rho must be in (0, 1)");
+    }
+    lambda = experiment.rho / mean_service;
+  } else if (lambda * mean_service >= 1.0) {
+    throw std::invalid_argument("WaitingTimeExperiment: lambda overloads the server");
+  }
+
+  const double window_begin = config.trim;
+  const double window_end = config.duration - config.trim;
+
+  sim::Simulation simulation;
+  ServerParameters parameters;
+  parameters.cost = experiment.true_cost;
+  parameters.n_fltr = experiment.n_fltr;
+  parameters.noise_cv = config.noise_cv;
+  stats::RandomStream rng(config.seed);
+  SimulatedJmsServer server(simulation, parameters, rng.spawn());
+
+  WaitingTimeResult result;
+  double busy_time_in_window = 0.0;
+  std::uint64_t delayed = 0;
+  server.set_completion_callback(
+      [&](const SimMessage& message, double start_service, double departure) {
+        if (message.arrival_time >= window_begin && message.arrival_time < window_end) {
+          const double waiting = start_service - message.arrival_time;
+          result.waiting.add(waiting);
+          result.samples.push_back(waiting);
+          if (waiting > 1e-15) ++delayed;
+        }
+        const double busy_begin = std::max(start_service, window_begin);
+        const double busy_end = std::min(departure, window_end);
+        if (busy_end > busy_begin) busy_time_in_window += busy_end - busy_begin;
+      });
+
+  server.set_arrival_callback([&](std::size_t backlog) {
+    if (simulation.now() >= window_begin && simulation.now() < window_end) {
+      result.backlog.add(static_cast<double>(backlog));
+      result.max_backlog = std::max(result.max_backlog, backlog);
+    }
+  });
+
+  PoissonPublisher publisher(simulation, server, lambda, experiment.replication,
+                             rng.spawn());
+  publisher.start();
+  simulation.run_until(config.duration);
+
+  if (!result.waiting.empty()) {
+    result.waiting_probability =
+        static_cast<double>(delayed) / static_cast<double>(result.waiting.count());
+  }
+  result.measured_utilization = busy_time_in_window / (window_end - window_begin);
+  return result;
+}
+
+}  // namespace jmsperf::testbed

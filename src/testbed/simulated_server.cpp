@@ -1,0 +1,98 @@
+#include "testbed/simulated_server.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::testbed {
+
+void ServerParameters::validate() const {
+  cost.validate();
+  if (n_fltr < 0.0) throw std::invalid_argument("ServerParameters: negative filter count");
+  if (noise_cv < 0.0 || noise_cv > 1.0) {
+    throw std::invalid_argument("ServerParameters: noise_cv must be in [0, 1]");
+  }
+}
+
+SimulatedJmsServer::SimulatedJmsServer(sim::Simulation& simulation,
+                                       ServerParameters parameters,
+                                       stats::RandomStream rng)
+    : simulation_(simulation), parameters_(parameters), rng_(std::move(rng)) {
+  parameters_.validate();
+}
+
+double SimulatedJmsServer::draw_service_time(std::uint32_t replication) {
+  double service = parameters_.cost.mean_service_time(
+      parameters_.n_fltr, static_cast<double>(replication));
+  if (parameters_.noise_cv > 0.0) {
+    // Multiplicative Gamma noise with unit mean keeps the service time
+    // positive and the mean unbiased.
+    const double shape = 1.0 / (parameters_.noise_cv * parameters_.noise_cv);
+    service *= rng_.gamma(shape, 1.0 / shape);
+  }
+  return service;
+}
+
+void SimulatedJmsServer::submit(std::uint32_t replication) {
+  if (arrival_) arrival_(queue_.size());
+  queue_.push_back(SimMessage{simulation_.now(), replication});
+  if (!busy_) start_next();
+}
+
+void SimulatedJmsServer::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    if (idle_) idle_();
+    return;
+  }
+  busy_ = true;
+  SimMessage message = queue_.front();
+  queue_.pop_front();
+  const double start_service = simulation_.now();
+  const double service = draw_service_time(message.replication);
+  simulation_.schedule_in(service, [this, message, start_service] {
+    finish(message, start_service);
+  });
+}
+
+void SimulatedJmsServer::finish(SimMessage message, double start_service) {
+  ++received_;
+  dispatched_ += message.replication;
+  if (completion_) completion_(message, start_service, simulation_.now());
+  start_next();
+}
+
+SaturatedPublisherGroup::SaturatedPublisherGroup(SimulatedJmsServer& server,
+                                                 std::uint32_t replication)
+    : server_(server), replication_(replication) {
+  // Push-back: whenever the server drains, hand it the next message
+  // immediately (the publishers always have one ready).
+  server_.set_idle_callback([this] { server_.submit(replication_); });
+}
+
+void SaturatedPublisherGroup::start() { server_.submit(replication_); }
+
+PoissonPublisher::PoissonPublisher(
+    sim::Simulation& simulation, SimulatedJmsServer& server, double lambda,
+    std::shared_ptr<const queueing::ReplicationModel> replication,
+    stats::RandomStream rng)
+    : simulation_(simulation), server_(server), lambda_(lambda),
+      replication_(std::move(replication)), rng_(std::move(rng)) {
+  if (!(lambda > 0.0)) throw std::invalid_argument("PoissonPublisher: lambda must be positive");
+  if (!replication_) throw std::invalid_argument("PoissonPublisher: null replication model");
+}
+
+void PoissonPublisher::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void PoissonPublisher::schedule_next() {
+  if (!running_) return;
+  simulation_.schedule_in(rng_.exponential(lambda_), [this] {
+    if (!running_) return;
+    server_.submit(replication_->sample(rng_));
+    ++generated_;
+    schedule_next();
+  });
+}
+
+}  // namespace jmsperf::testbed

@@ -1,0 +1,152 @@
+// Discrete-event model of a FioranoMQ-like JMS server.
+//
+// This is the substitute for the paper's physical testbed: a single-CPU
+// server whose per-message processing cost follows the calibrated model
+//   B = t_rcv + n_fltr * t_fltr + R * t_tx    (+ optional noise),
+// driven either by saturated publishers (throughput measurements,
+// Sec. III) or by a Poisson arrival stream (waiting-time validation,
+// Sec. IV-B).  The DES regenerates the *measurement* side of the paper so
+// the calibrate-then-predict pipeline can be exercised end to end.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "core/cost_model.hpp"
+#include "queueing/replication.hpp"
+#include "sim/simulation.hpp"
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace jmsperf::testbed {
+
+/// Ground-truth server behaviour injected into the simulation.
+struct ServerParameters {
+  core::CostModel cost;        ///< true per-message overheads
+  double n_fltr = 0.0;         ///< installed filters on this server
+  /// Relative standard deviation of multiplicative service-time noise
+  /// (models OS jitter, JIT, cache effects).  0 = deterministic costs.
+  double noise_cv = 0.0;
+
+  void validate() const;
+};
+
+/// A message inside the simulated server.
+struct SimMessage {
+  double arrival_time = 0.0;
+  std::uint32_t replication = 0;  ///< number of matching filters (R)
+};
+
+/// Single-server FIFO queue with the model's service-time law.
+///
+/// The server notifies an optional completion callback for every message,
+/// reporting arrival time, service start, departure and R; measurement
+/// harnesses aggregate these into throughput and waiting-time statistics.
+class SimulatedJmsServer {
+ public:
+  using CompletionCallback =
+      std::function<void(const SimMessage&, double start_service, double departure)>;
+
+  SimulatedJmsServer(sim::Simulation& simulation, ServerParameters parameters,
+                     stats::RandomStream rng);
+
+  /// Enqueues a message at the current simulation time.
+  void submit(std::uint32_t replication);
+
+  /// True while the server is processing a message.
+  [[nodiscard]] bool busy() const { return busy_; }
+
+  /// Messages waiting (excluding the one in service).
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+  void set_completion_callback(CompletionCallback callback) {
+    completion_ = std::move(callback);
+  }
+
+  /// Callback fired on each arrival with the number of messages already
+  /// waiting (excluding the one in service); by PASTA, averaging these
+  /// arrival snapshots estimates the time-average backlog.
+  void set_arrival_callback(std::function<void(std::size_t)> callback) {
+    arrival_ = std::move(callback);
+  }
+
+  /// Callback fired whenever the server becomes idle (queue drained);
+  /// saturated sources use it to hand over the next message — this models
+  /// the publisher-side push-back (publishers are slowed to exactly the
+  /// service rate).
+  void set_idle_callback(std::function<void()> callback) {
+    idle_ = std::move(callback);
+  }
+
+  /// Draws one service time for a message with the given replication
+  /// grade (exposed for tests).
+  [[nodiscard]] double draw_service_time(std::uint32_t replication);
+
+  [[nodiscard]] const ServerParameters& parameters() const { return parameters_; }
+
+ private:
+  void start_next();
+  void finish(SimMessage message, double start_service);
+
+  sim::Simulation& simulation_;
+  ServerParameters parameters_;
+  stats::RandomStream rng_;
+  std::deque<SimMessage> queue_;
+  bool busy_ = false;
+  std::uint64_t received_ = 0;
+  std::uint64_t dispatched_ = 0;
+  CompletionCallback completion_;
+  std::function<void(std::size_t)> arrival_;
+  std::function<void()> idle_;
+};
+
+/// Saturated publisher group: keeps the server permanently busy, like the
+/// paper's publishers that "send messages as fast as possible" and are
+/// throttled only by push-back.  Every message has the same replication
+/// grade R (the paper's measurement setup: R matching + n non-matching
+/// filters).
+class SaturatedPublisherGroup {
+ public:
+  SaturatedPublisherGroup(SimulatedJmsServer& server, std::uint32_t replication);
+
+  /// Starts feeding the server (submits the first message).
+  void start();
+
+ private:
+  SimulatedJmsServer& server_;
+  std::uint32_t replication_;
+};
+
+/// Poisson source: open arrivals with rate lambda and R drawn from a
+/// replication model.
+class PoissonPublisher {
+ public:
+  PoissonPublisher(sim::Simulation& simulation, SimulatedJmsServer& server,
+                   double lambda,
+                   std::shared_ptr<const queueing::ReplicationModel> replication,
+                   stats::RandomStream rng);
+
+  /// Schedules the first arrival; arrivals continue until `stop()`.
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+
+ private:
+  void schedule_next();
+
+  sim::Simulation& simulation_;
+  SimulatedJmsServer& server_;
+  double lambda_;
+  std::shared_ptr<const queueing::ReplicationModel> replication_;
+  stats::RandomStream rng_;
+  bool running_ = false;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace jmsperf::testbed

@@ -1,0 +1,39 @@
+#include "workload/filter_population.hpp"
+
+namespace jmsperf::workload {
+
+jms::SubscriptionFilter make_key_filter(core::FilterClass filter_class,
+                                        std::int64_t key) {
+  switch (filter_class) {
+    case core::FilterClass::CorrelationId:
+      return jms::SubscriptionFilter::correlation_id("#" + std::to_string(key));
+    case core::FilterClass::ApplicationProperty:
+      return jms::SubscriptionFilter::application_property("key = " + std::to_string(key));
+  }
+  throw std::invalid_argument("make_key_filter: unknown filter class");
+}
+
+jms::Message make_keyed_message(const std::string& topic, std::int64_t key) {
+  jms::Message message;
+  message.set_destination(topic);
+  message.set_correlation_id("#" + std::to_string(key));
+  message.set_property("key", key);
+  return message;
+}
+
+std::vector<std::shared_ptr<jms::Subscription>> install_measurement_population(
+    jms::Broker& broker, const std::string& topic, core::FilterClass filter_class,
+    std::uint32_t non_matching, std::uint32_t replication) {
+  std::vector<std::shared_ptr<jms::Subscription>> subscriptions;
+  subscriptions.reserve(non_matching + replication);
+  for (std::uint32_t i = 0; i < replication; ++i) {
+    subscriptions.push_back(broker.subscribe(topic, make_key_filter(filter_class, 0)));
+  }
+  for (std::uint32_t i = 1; i <= non_matching; ++i) {
+    subscriptions.push_back(
+        broker.subscribe(topic, make_key_filter(filter_class, static_cast<std::int64_t>(i))));
+  }
+  return subscriptions;
+}
+
+}  // namespace jmsperf::workload

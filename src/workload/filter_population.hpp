@@ -1,0 +1,36 @@
+// Builders for the paper's canonical filter populations, usable both
+// against the real broker (src/jms) and as analytic scenarios (src/core).
+//
+// The measurement setup of Sec. III-B.2a: publishers send messages with
+// key #0; R subscribers filter for #0 (they match everything), n further
+// subscribers filter for #1..#n (they match nothing); hence n+R installed
+// filters and replication grade R.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "jms/broker.hpp"
+
+namespace jmsperf::workload {
+
+/// Creates the measurement filter population on a broker topic.
+/// Returns the subscriptions: the first `replication` ones match key 0,
+/// the remaining `non_matching` ones match keys 1..n.
+std::vector<std::shared_ptr<jms::Subscription>> install_measurement_population(
+    jms::Broker& broker, const std::string& topic, core::FilterClass filter_class,
+    std::uint32_t non_matching, std::uint32_t replication);
+
+/// Builds the message the measurement publishers send: key 0 encoded as
+/// correlation ID "#0" and as application property key = 0.
+[[nodiscard]] jms::Message make_keyed_message(const std::string& topic,
+                                              std::int64_t key);
+
+/// The filter a subscriber for `key` installs, in the requested class.
+[[nodiscard]] jms::SubscriptionFilter make_key_filter(core::FilterClass filter_class,
+                                                      std::int64_t key);
+
+}  // namespace jmsperf::workload

@@ -1,0 +1,125 @@
+#include "workload/presence.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace jmsperf::workload {
+
+void PresenceConfig::validate() const {
+  if (users < 2) throw std::invalid_argument("PresenceConfig: need at least 2 users");
+  if (mean_buddies < 0.0 || mean_buddies > static_cast<double>(users - 1)) {
+    throw std::invalid_argument("PresenceConfig: mean_buddies must be in [0, users-1]");
+  }
+}
+
+double PresenceWorkload::mean_replication() const {
+  if (followers.empty()) return 0.0;
+  const double total = std::accumulate(followers.begin(), followers.end(), 0.0);
+  return total / static_cast<double>(followers.size());
+}
+
+PresenceWorkload generate_presence_workload(const PresenceConfig& config) {
+  config.validate();
+  stats::RandomStream rng(config.seed);
+
+  PresenceWorkload workload;
+  workload.config = config;
+  workload.buddy_lists.resize(config.users);
+  workload.followers.assign(config.users, 0);
+
+  const double p = config.mean_buddies / static_cast<double>(config.users - 1);
+
+  for (std::uint32_t u = 0; u < config.users; ++u) {
+    auto& buddies = workload.buddy_lists[u];
+    if (config.filter_class == core::FilterClass::ApplicationProperty) {
+      // Independent follow decisions: binomial in-degrees.
+      for (std::uint32_t v = 0; v < config.users; ++v) {
+        if (v != u && rng.bernoulli(p)) buddies.push_back(v);
+      }
+    } else {
+      // Correlation-ID range filters can only express contiguous id
+      // windows; sample the window size binomially so in-degrees keep the
+      // same first moment.
+      const auto size = rng.binomial(config.users - 1, p);
+      if (size > 0) {
+        const auto max_start = config.users - size;
+        const auto start = static_cast<std::uint32_t>(rng.uniform_int(0, max_start));
+        for (std::uint32_t v = start; v < start + size; ++v) buddies.push_back(v);
+      }
+    }
+    for (const std::uint32_t v : buddies) ++workload.followers[v];
+  }
+  return workload;
+}
+
+std::shared_ptr<queueing::EmpiricalReplication> presence_replication(
+    const PresenceWorkload& workload) {
+  const std::uint32_t max_followers =
+      workload.followers.empty()
+          ? 0
+          : *std::max_element(workload.followers.begin(), workload.followers.end());
+  std::vector<double> pmf(max_followers + 1, 0.0);
+  for (const std::uint32_t f : workload.followers) pmf[f] += 1.0;
+  return std::make_shared<queueing::EmpiricalReplication>(std::move(pmf));
+}
+
+core::Scenario presence_scenario(const PresenceWorkload& workload) {
+  return core::Scenario(core::fiorano_cost_model(workload.config.filter_class),
+                        static_cast<double>(workload.config.users),
+                        presence_replication(workload),
+                        "presence(" + std::to_string(workload.config.users) + " users)");
+}
+
+namespace {
+
+jms::SubscriptionFilter buddy_filter(const PresenceWorkload& workload,
+                                     std::uint32_t user) {
+  const auto& buddies = workload.buddy_lists[user];
+  if (workload.config.filter_class == core::FilterClass::ApplicationProperty) {
+    if (buddies.empty()) {
+      // A selector that can never match: the user follows nobody.
+      return jms::SubscriptionFilter::application_property("FALSE");
+    }
+    std::string expression = "user IN (";
+    for (std::size_t i = 0; i < buddies.size(); ++i) {
+      if (i > 0) expression += ", ";
+      expression += "'u" + std::to_string(buddies[i]) + "'";
+    }
+    expression += ")";
+    return jms::SubscriptionFilter::application_property(expression);
+  }
+  if (buddies.empty()) {
+    return jms::SubscriptionFilter::correlation_id("__none__");
+  }
+  // Contiguous by construction.
+  return jms::SubscriptionFilter::correlation_id(
+      "[" + std::to_string(buddies.front()) + ";" + std::to_string(buddies.back()) + "]");
+}
+
+}  // namespace
+
+std::vector<std::shared_ptr<jms::Subscription>> install_presence_population(
+    const PresenceWorkload& workload, jms::Broker& broker, const std::string& topic) {
+  std::vector<std::shared_ptr<jms::Subscription>> subscriptions;
+  subscriptions.reserve(workload.config.users);
+  for (std::uint32_t u = 0; u < workload.config.users; ++u) {
+    subscriptions.push_back(broker.subscribe(topic, buddy_filter(workload, u)));
+  }
+  return subscriptions;
+}
+
+jms::Message make_presence_update(const std::string& topic, std::uint32_t user,
+                                  bool online) {
+  jms::Message message;
+  message.set_destination(topic);
+  message.set_correlation_id(std::to_string(user));
+  message.set_type("presence");
+  message.set_property("user", "u" + std::to_string(user));
+  message.set_property("status", online ? "online" : "offline");
+  return message;
+}
+
+}  // namespace jmsperf::workload

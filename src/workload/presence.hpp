@@ -1,0 +1,70 @@
+// Presence-service workload — the paper's motivating application
+// (Sec. I): devices publish presence information, users subscribe to the
+// presence of their buddies.
+//
+// Each user installs exactly one filter describing their buddy list.  A
+// presence update from user u is replicated to everyone following u, so
+// the replication grade of u's messages equals u's follower count
+// (in-degree).  With buddy lists sampled independently, in-degrees are
+// Binomial(users-1, mean_buddies/(users-1)) — exactly the paper's binomial
+// replication model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "jms/broker.hpp"
+#include "queueing/replication.hpp"
+
+namespace jmsperf::workload {
+
+struct PresenceConfig {
+  std::uint32_t users = 100;
+  double mean_buddies = 10.0;  ///< average buddy-list size
+  core::FilterClass filter_class = core::FilterClass::ApplicationProperty;
+  std::uint64_t seed = 7;
+
+  void validate() const;
+};
+
+/// A concrete sampled social graph.
+struct PresenceWorkload {
+  PresenceConfig config;
+  /// buddy_lists[u] = user ids u follows (u's single filter watches these).
+  std::vector<std::vector<std::uint32_t>> buddy_lists;
+  /// followers[u] = number of users following u (= replication grade of
+  /// u's presence updates).
+  std::vector<std::uint32_t> followers;
+
+  [[nodiscard]] double mean_replication() const;
+};
+
+/// Samples a workload.  With correlation-ID filtering each buddy list is a
+/// contiguous user-id range (the only set shape a [lo;hi] range filter can
+/// express); with application-property filtering it is a uniform random
+/// subset realized as an IN (...) selector.
+[[nodiscard]] PresenceWorkload generate_presence_workload(const PresenceConfig& config);
+
+/// Empirical replication model: R of a random presence update (publishers
+/// uniformly distributed over users).
+[[nodiscard]] std::shared_ptr<queueing::EmpiricalReplication> presence_replication(
+    const PresenceWorkload& workload);
+
+/// Analytic scenario: `users` installed filters plus the workload's
+/// empirical replication-grade distribution.
+[[nodiscard]] core::Scenario presence_scenario(const PresenceWorkload& workload);
+
+/// Installs all user subscriptions on a broker topic; subscription i
+/// belongs to user i.
+std::vector<std::shared_ptr<jms::Subscription>> install_presence_population(
+    const PresenceWorkload& workload, jms::Broker& broker, const std::string& topic);
+
+/// Builds the presence update message user `user` publishes.
+[[nodiscard]] jms::Message make_presence_update(const std::string& topic,
+                                                std::uint32_t user,
+                                                bool online = true);
+
+}  // namespace jmsperf::workload

@@ -1,0 +1,148 @@
+// Cross-layer property: the REAL broker's accounting must agree with the
+// ANALYTIC model's expectations for randomized filter populations.
+//
+// For a population of N subscribers whose filters each match a random key
+// with probability p (binomial replication model), the broker's counters
+// over M published messages must satisfy, exactly:
+//     filter_evaluations = N * M                        (Eq. 1's n_fltr term)
+// and, statistically:
+//     dispatched / M  ~= N * p = E[R]                   (binomial mean)
+// with the per-message match counts showing the binomial variance.
+#include <chrono>
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "jms/broker.hpp"
+#include "queueing/replication.hpp"
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+#include "workload/filter_population.hpp"
+
+using namespace std::chrono_literals;
+
+namespace jmsperf {
+namespace {
+
+struct AgreementCase {
+  std::uint32_t subscribers;
+  double match_probability;
+  std::uint64_t seed;
+};
+
+class BrokerModelAgreement : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(BrokerModelAgreement, CountersMatchBinomialModel) {
+  const auto [n, p, seed] = GetParam();
+  stats::RandomStream rng(seed);
+
+  // Each subscriber filters for a key drawn so that a uniformly random
+  // published key in [0, K) matches with probability p: the subscriber
+  // accepts keys below p*K via a correlation range filter.
+  const std::int64_t key_space = 1000;
+  const auto threshold = static_cast<std::int64_t>(p * key_space);
+  jms::Broker broker;
+  broker.create_topic("t");
+  std::vector<std::shared_ptr<jms::Subscription>> subs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    subs.push_back(broker.subscribe(
+        "t", jms::SubscriptionFilter::correlation_id(
+                 "[0;" + std::to_string(threshold - 1) + "]")));
+  }
+
+  const int messages = 400;
+  stats::MomentAccumulator replication_per_message;
+  std::uint64_t last_dispatched = 0;
+  for (int m = 0; m < messages; ++m) {
+    const auto key = rng.uniform_int(0, key_space - 1);
+    jms::Message msg;
+    msg.set_destination("t");
+    msg.set_correlation_id(std::to_string(key));
+    broker.publish(std::move(msg));
+    broker.wait_until_idle();
+    // Sample the per-message replication grade from the counter delta.
+    std::uint64_t dispatched;
+    do {
+      std::this_thread::sleep_for(100us);
+      dispatched = broker.stats().dispatched;
+    } while (broker.stats().received != static_cast<std::uint64_t>(m + 1));
+    replication_per_message.add(static_cast<double>(dispatched - last_dispatched));
+    last_dispatched = dispatched;
+  }
+
+  const auto stats = broker.stats();
+  // Exact identity: every installed filter is evaluated for every message.
+  EXPECT_EQ(stats.filter_evaluations,
+            static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(messages));
+
+  // Statistical agreement with the binomial replication model.  All
+  // subscribers share the same accept set here, so matches are perfectly
+  // correlated per message — the SCALED BERNOULLI law of the paper:
+  // R in {0, n} with P(n) = p.
+  const queueing::ScaledBernoulliReplication model(n, static_cast<double>(threshold) /
+                                                          static_cast<double>(key_space));
+  const double expected_mean = model.moments().m1;
+  const double expected_sd = model.moments().stddev();
+  EXPECT_NEAR(replication_per_message.mean(), expected_mean,
+              4.0 * expected_sd / std::sqrt(static_cast<double>(messages)) + 1e-9);
+  if (n > 1 && p > 0.1 && p < 0.9) {
+    // The sample standard deviation of 400 observations is itself noisy;
+    // 30% tolerance keeps this a shape check, not a flake.
+    EXPECT_NEAR(replication_per_message.stddev(), expected_sd, 0.3 * expected_sd);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Populations, BrokerModelAgreement,
+    ::testing::Values(AgreementCase{1, 0.5, 11}, AgreementCase{8, 0.25, 12},
+                      AgreementCase{20, 0.1, 13}, AgreementCase{5, 0.9, 14},
+                      AgreementCase{16, 0.5, 15}));
+
+TEST(BrokerModelAgreement, IndependentFiltersMatchBinomialLaw) {
+  // Truly independent matching: subscriber i selects on its own boolean
+  // property f<i>, and the publisher sets every property independently
+  // Bernoulli(p) per message.  Per-message match counts then follow the
+  // paper's BINOMIAL model.  (Range filters over a shared key would NOT
+  // qualify — overlapping accept sets correlate the matches.)
+  const std::uint32_t n = 12;
+  const double p = 0.3;
+  stats::RandomStream rng(99);
+
+  jms::Broker broker;
+  broker.create_topic("t");
+  for (std::uint32_t i = 0; i < n; ++i) {
+    broker.subscribe("t", jms::SubscriptionFilter::application_property(
+                              "f" + std::to_string(i) + " = TRUE"));
+  }
+
+  const int messages = 600;
+  stats::MomentAccumulator per_message;
+  std::uint64_t last = 0;
+  for (int m = 0; m < messages; ++m) {
+    jms::Message msg;
+    msg.set_destination("t");
+    for (std::uint32_t i = 0; i < n; ++i) {
+      msg.set_property("f" + std::to_string(i), rng.bernoulli(p));
+    }
+    broker.publish(std::move(msg));
+    broker.wait_until_idle();
+    while (broker.stats().received != static_cast<std::uint64_t>(m + 1)) {
+      std::this_thread::sleep_for(100us);
+    }
+    const auto dispatched = broker.stats().dispatched;
+    per_message.add(static_cast<double>(dispatched - last));
+    last = dispatched;
+  }
+
+  const queueing::BinomialReplication model(n, p);
+  const double se = model.moments().stddev() / std::sqrt(static_cast<double>(messages));
+  EXPECT_NEAR(per_message.mean(), model.moments().m1, 4.0 * se);
+  // Independent matching: variance near n p (1-p), far below the scaled
+  // Bernoulli variance n^2 p (1-p).
+  const queueing::ScaledBernoulliReplication bernoulli(n, p);
+  EXPECT_LT(per_message.variance(), 0.5 * bernoulli.moments().variance());
+  EXPECT_NEAR(per_message.variance(), model.moments().variance(),
+              0.35 * model.moments().variance());
+}
+
+}  // namespace
+}  // namespace jmsperf

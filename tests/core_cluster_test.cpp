@@ -1,0 +1,182 @@
+#include "core/cluster.hpp"
+#include "core/partitioning.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmsperf::core {
+namespace {
+
+ClusterScenario base_cluster(std::uint32_t servers, double n_fltr = 1000.0,
+                             double er = 1.0) {
+  ClusterScenario s;
+  s.cost = kFioranoCorrelationId;
+  s.servers = servers;
+  s.n_fltr = n_fltr;
+  s.mean_replication = er;
+  s.rho = 0.9;
+  return s;
+}
+
+TEST(Cluster, MessagePartitioningScalesLinearly) {
+  const double one = message_partitioned_capacity(base_cluster(1));
+  for (const std::uint32_t k : {2u, 4u, 16u}) {
+    EXPECT_NEAR(message_partitioned_capacity(base_cluster(k)), k * one, 1e-6);
+    EXPECT_DOUBLE_EQ(message_partitioned_speedup(base_cluster(k)), k);
+  }
+}
+
+TEST(Cluster, SubscriberPartitioningSpeedupSaturates) {
+  // E[B_k] -> t_rcv as k -> infinity: the receive overhead is replicated
+  // on every server and cannot be partitioned away.
+  const auto s1 = base_cluster(1);
+  const double limit = kFioranoCorrelationId.mean_service_time(1000.0, 1.0) /
+                       kFioranoCorrelationId.t_rcv;
+  double prev = 0.0;
+  for (const std::uint32_t k : {1u, 2u, 8u, 64u, 4096u}) {
+    const double speedup = subscriber_partitioned_speedup(base_cluster(k));
+    EXPECT_GT(speedup, prev);
+    EXPECT_LT(speedup, limit);
+    prev = speedup;
+  }
+  (void)s1;
+}
+
+class ClusterDominance
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double, double>> {};
+
+TEST_P(ClusterDominance, MessagePartitioningWeaklyDominatesOnCapacity) {
+  // The header's analytic result, checked as a property over the
+  // parameter space: t_rcv is replicated under subscriber partitioning,
+  // so message partitioning's capacity is never smaller.
+  const auto [k, n_fltr, er] = GetParam();
+  const auto s = base_cluster(k, n_fltr, er);
+  EXPECT_GE(message_partitioned_capacity(s),
+            subscriber_partitioned_capacity(s) * (1.0 - 1e-12));
+  EXPECT_GE(message_partitioning_capacity_advantage(s), 1.0 - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, ClusterDominance,
+    ::testing::Combine(::testing::Values(1u, 2u, 7u, 64u, 1024u),
+                       ::testing::Values(1.0, 100.0, 100000.0),
+                       ::testing::Values(1.0, 10.0, 1000.0)));
+
+TEST(Cluster, CapacityAdvantageShrinksWhenFiltersDominate) {
+  // With filter-dominated service, E[B_k] ~ E[B]/k and the two strategies
+  // converge; with receive-dominated service, message partitioning is
+  // nearly k-fold better.
+  const auto filter_heavy = base_cluster(8, 100000.0, 1.0);
+  EXPECT_NEAR(message_partitioning_capacity_advantage(filter_heavy), 1.0, 0.01);
+  const auto receive_heavy = base_cluster(8, 0.0, 0.0);
+  EXPECT_NEAR(message_partitioning_capacity_advantage(receive_heavy), 8.0, 1e-9);
+}
+
+TEST(Cluster, SubscriberPartitioningLatencyAdvantage) {
+  // Orthogonal merit: each message is served faster on a partitioned
+  // server (E[B] / E[B_k] > 1), approaching k for filter-heavy loads.
+  const auto s = base_cluster(8, 100000.0, 1.0);
+  const double advantage = subscriber_partitioning_latency_advantage(s);
+  EXPECT_GT(advantage, 7.0);
+  EXPECT_LT(advantage, 8.0);
+  EXPECT_DOUBLE_EQ(subscriber_partitioning_latency_advantage(base_cluster(1)), 1.0);
+}
+
+TEST(Cluster, WaitingTimePoolingEffect) {
+  // At equal per-server utilization, the pooled M/G/k cluster waits less
+  // than each subscriber-partitioned M/G/1 server.
+  const auto s = base_cluster(8, 1000.0, 1.0);
+  const double cap = message_partitioned_capacity(s);
+  const double lambda = 0.95 * cap * (0.8 / 0.9);  // ~80% utilization
+  const auto pooled = message_partitioned_waiting(s, lambda);
+  EXPECT_GT(pooled.mean_waiting_time(), 0.0);
+  EXPECT_LT(pooled.utilization(), 1.0);
+
+  // Same per-server load for the subscriber-partitioned variant.
+  const double lambda_sp = 0.8 * subscriber_partitioned_capacity(s) / 0.9;
+  const auto split = subscriber_partitioned_waiting(s, lambda_sp);
+  EXPECT_NEAR(split.utilization(), pooled.utilization(), 0.05);
+  EXPECT_LT(pooled.mean_waiting_time() / pooled.servers(),
+            split.mean_waiting_time());
+}
+
+TEST(Cluster, Validation) {
+  auto s = base_cluster(0);
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = base_cluster(2);
+  s.rho = 1.5;
+  EXPECT_THROW((void)message_partitioned_capacity(s), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ partitioning
+PartitioningScenario base_partitioning(std::uint32_t topics, double f = 0.0) {
+  PartitioningScenario s;
+  s.cost = kFioranoCorrelationId;
+  s.n_fltr = 1000.0;
+  s.mean_replication = 1.0;
+  s.topics = topics;
+  s.cross_topic_fraction = f;
+  return s;
+}
+
+TEST(Partitioning, PerfectPartitioningDividesFilters) {
+  const auto s = base_partitioning(10);
+  EXPECT_NEAR(effective_filters(s), 100.0, 1e-9);
+  EXPECT_NEAR(partitioned_service_time(s),
+              kFioranoCorrelationId.mean_service_time(100.0, 1.0), 1e-15);
+  EXPECT_GT(partitioning_speedup(s), 5.0);
+}
+
+TEST(Partitioning, SingleTopicIsIdentity) {
+  const auto s = base_partitioning(1);
+  EXPECT_DOUBLE_EQ(partitioning_speedup(s), 1.0);
+  EXPECT_NEAR(effective_filters(s), 1000.0, 1e-9);
+}
+
+TEST(Partitioning, CrossTopicSubscriptionsCapTheGain) {
+  // 20% unpartitionable: even infinitely many topics leave 200 filters.
+  const auto s = base_partitioning(1000000, 0.2);
+  EXPECT_NEAR(effective_filters(s), 200.0, 0.01);
+  const double limit = partitioning_speedup_limit(base_partitioning(4, 0.2));
+  EXPECT_NEAR(partitioning_speedup(s), limit, 0.01 * limit);
+}
+
+TEST(Partitioning, SpeedupIsMonotoneInTopics) {
+  double prev = 0.0;
+  for (const std::uint32_t t : {1u, 2u, 4u, 16u, 256u}) {
+    const double speedup = partitioning_speedup(base_partitioning(t, 0.05));
+    EXPECT_GE(speedup, prev);
+    prev = speedup;
+  }
+}
+
+TEST(Partitioning, TopicsForSpeedupFraction) {
+  const auto s = base_partitioning(1, 0.0);
+  const auto t90 = topics_for_speedup_fraction(s, 0.9);
+  ASSERT_GT(t90, 1u);
+  auto probe = s;
+  probe.topics = t90;
+  EXPECT_GE(partitioning_speedup(probe),
+            0.9 * partitioning_speedup_limit(s) - 1e-9);
+  probe.topics = t90 - 1;
+  EXPECT_LT(partitioning_speedup(probe), 0.9 * partitioning_speedup_limit(s));
+}
+
+TEST(Partitioning, Validation) {
+  auto s = base_partitioning(0);
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = base_partitioning(2, 1.5);
+  EXPECT_THROW((void)effective_filters(s), std::invalid_argument);
+  EXPECT_THROW((void)topics_for_speedup_fraction(base_partitioning(1), 0.0),
+               std::invalid_argument);
+}
+
+TEST(Partitioning, CapacityEquivalenceWithPaperModel) {
+  // Partitioning into T topics must equal the paper's Eq. 2 with the
+  // reduced filter count — the analysis is the same formula.
+  const auto s = base_partitioning(8);
+  EXPECT_NEAR(partitioned_capacity(s),
+              kFioranoCorrelationId.capacity(125.0, 1.0, 0.9), 1e-9);
+}
+
+}  // namespace
+}  // namespace jmsperf::core

@@ -1,0 +1,199 @@
+#include "core/cost_model.hpp"
+#include "core/distributed.hpp"
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+namespace jmsperf::core {
+namespace {
+
+TEST(CostModel, Equation1ServiceTime) {
+  const CostModel& c = kFioranoCorrelationId;
+  EXPECT_NEAR(c.mean_service_time(0.0, 0.0), c.t_rcv, 1e-18);
+  EXPECT_NEAR(c.mean_service_time(100.0, 5.0),
+              c.t_rcv + 100.0 * c.t_fltr + 5.0 * c.t_tx, 1e-18);
+  EXPECT_NEAR(c.deterministic_part(10.0), c.t_rcv + 10.0 * c.t_fltr, 1e-18);
+}
+
+TEST(CostModel, Equation2Capacity) {
+  const CostModel& c = kFioranoCorrelationId;
+  // Capacity = rho / E[B]; doubling rho doubles capacity.
+  EXPECT_NEAR(c.capacity(10.0, 1.0, 0.9),
+              0.9 / c.mean_service_time(10.0, 1.0), 1e-9);
+  EXPECT_NEAR(c.capacity(10.0, 1.0, 0.45), c.capacity(10.0, 1.0, 0.9) / 2.0, 1e-9);
+  EXPECT_THROW((void)c.capacity(10.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)c.capacity(10.0, 1.0, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)c.capacity(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(CostModel, UnfilteredCapacityOrderOfMagnitude) {
+  // Sanity: with one filter and R=1 the server handles tens of thousands
+  // of msgs/s (matches the paper's measured FioranoMQ regime).
+  const double cap = kFioranoCorrelationId.capacity(1.0, 1.0, 1.0);
+  EXPECT_GT(cap, 30000.0);
+  EXPECT_LT(cap, 70000.0);
+}
+
+TEST(CostModel, PaperEquivalenceExamples) {
+  // Sec. IV-A.2: E[R]=10 without filters costs the same capacity as
+  // E[R]=1 with ~22 filters; E[R]=100 as ~240 filters (corr.-ID values).
+  const CostModel& c = kFioranoCorrelationId;
+  const double eb_r10 = c.mean_service_time(0.0, 10.0);
+  const double n_equiv_10 = (eb_r10 - c.mean_service_time(0.0, 1.0)) / c.t_fltr;
+  EXPECT_NEAR(n_equiv_10, 22.0, 1.0);
+  const double eb_r100 = c.mean_service_time(0.0, 100.0);
+  const double n_equiv_100 = (eb_r100 - c.mean_service_time(0.0, 1.0)) / c.t_fltr;
+  EXPECT_NEAR(n_equiv_100, 240.0, 5.0);
+}
+
+TEST(CostModel, Equation3FilterBenefitThresholdsFromPaper) {
+  // Sec. IV-A.2: one/two correlation-ID filters pay off below 58.7% / 17.4%
+  // match probability; one application-property filter below 9.9%.
+  const CostModel& corr = kFioranoCorrelationId;
+  EXPECT_NEAR(corr.max_beneficial_match_probability(1.0), 0.587, 0.001);
+  EXPECT_NEAR(corr.max_beneficial_match_probability(2.0), 0.174, 0.001);
+  EXPECT_DOUBLE_EQ(corr.max_beneficial_match_probability(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(corr.max_beneficial_filters(), 2.0);
+
+  const CostModel& app = kFioranoApplicationProperty;
+  EXPECT_NEAR(app.max_beneficial_match_probability(1.0), 0.099, 0.001);
+  EXPECT_DOUBLE_EQ(app.max_beneficial_match_probability(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(app.max_beneficial_filters(), 1.0);
+}
+
+TEST(CostModel, FilterBenefitPredicateConsistentWithThreshold) {
+  const CostModel& c = kFioranoCorrelationId;
+  const double threshold = c.max_beneficial_match_probability(1.0);
+  EXPECT_TRUE(c.filters_increase_capacity(1.0, threshold - 0.01));
+  EXPECT_FALSE(c.filters_increase_capacity(1.0, threshold + 0.01));
+  EXPECT_THROW((void)c.filters_increase_capacity(1.0, 1.5), std::invalid_argument);
+}
+
+TEST(CostModel, Validation) {
+  CostModel bad{0.0, 1.0, 1.0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(kFioranoApplicationProperty.validate());
+}
+
+TEST(CostModel, FilterClassLookup) {
+  EXPECT_DOUBLE_EQ(fiorano_cost_model(FilterClass::CorrelationId).t_tx, 1.70e-5);
+  EXPECT_DOUBLE_EQ(fiorano_cost_model(FilterClass::ApplicationProperty).t_tx, 1.62e-5);
+  EXPECT_STREQ(to_string(FilterClass::CorrelationId), "correlation-id");
+}
+
+TEST(Scenario, DerivedMetrics) {
+  const auto scenario = measurement_scenario(FilterClass::CorrelationId, 20, 5);
+  EXPECT_DOUBLE_EQ(scenario.filters(), 25.0);
+  const CostModel& c = kFioranoCorrelationId;
+  EXPECT_NEAR(scenario.mean_service_time(), c.mean_service_time(25.0, 5.0), 1e-18);
+  EXPECT_NEAR(scenario.service_time_cv(), 0.0, 1e-6);  // deterministic R
+  EXPECT_NEAR(scenario.capacity(0.9), 0.9 / scenario.mean_service_time(), 1e-9);
+}
+
+TEST(Scenario, WaitingAnalysisStability) {
+  const auto scenario = measurement_scenario(FilterClass::CorrelationId, 10, 2);
+  const auto analysis = scenario.waiting_at_utilization(0.9);
+  EXPECT_NEAR(analysis.utilization(), 0.9, 1e-12);
+  EXPECT_GT(analysis.mean_waiting_time(), 0.0);
+  EXPECT_THROW((void)scenario.waiting_at_utilization(1.0), std::invalid_argument);
+  EXPECT_THROW((void)scenario.waiting_at_rate(2.0 * scenario.capacity(1.0)),
+               std::invalid_argument);
+}
+
+TEST(Scenario, Validation) {
+  EXPECT_THROW(Scenario(kFioranoCorrelationId, -1.0,
+                        std::make_shared<queueing::DeterministicReplication>(1)),
+               std::invalid_argument);
+  EXPECT_THROW(Scenario(kFioranoCorrelationId, 1.0, nullptr), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- PSR vs SSR
+DistributedScenario paper_fig15_scenario(std::uint64_t n, std::uint64_t m) {
+  DistributedScenario s;
+  s.cost = kFioranoCorrelationId;
+  s.publishers = n;
+  s.subscribers = m;
+  s.filters_per_subscriber = 10.0;
+  s.mean_replication = 1.0;
+  s.rho = 0.9;
+  return s;
+}
+
+TEST(Distributed, SsrIndependentOfNandM) {
+  const double base = ssr_capacity(paper_fig15_scenario(1, 1));
+  EXPECT_NEAR(ssr_capacity(paper_fig15_scenario(100, 10000)), base, 1e-9);
+  // Eq. (22) explicit value.
+  const CostModel& c = kFioranoCorrelationId;
+  EXPECT_NEAR(base, 0.9 / (c.t_rcv + 10.0 * c.t_fltr + c.t_tx), 1e-6);
+}
+
+TEST(Distributed, PsrScalesLinearlyInPublishers) {
+  const auto s1 = paper_fig15_scenario(1, 100);
+  const auto s10 = paper_fig15_scenario(10, 100);
+  EXPECT_NEAR(psr_capacity(s10), 10.0 * psr_capacity(s1), 1e-6);
+  EXPECT_NEAR(psr_capacity(s10), 10.0 * psr_per_server_capacity(s10), 1e-9);
+}
+
+TEST(Distributed, PsrDegradesWithSubscribers) {
+  EXPECT_GT(psr_capacity(paper_fig15_scenario(10, 10)),
+            psr_capacity(paper_fig15_scenario(10, 1000)));
+}
+
+TEST(Distributed, CrossoverEquation23) {
+  for (const std::uint64_t m : {10ull, 100ull, 1000ull}) {
+    const auto base = paper_fig15_scenario(1, m);
+    const double n_star = psr_crossover_publishers(base);
+    // Just below the crossover SSR wins; just above PSR wins.
+    auto below = base;
+    below.publishers = static_cast<std::uint64_t>(std::floor(n_star));
+    if (below.publishers >= 1 &&
+        static_cast<double>(below.publishers) < n_star - 1e-9) {
+      EXPECT_LT(psr_capacity(below), ssr_capacity(below)) << "m=" << m;
+    }
+    auto above = base;
+    above.publishers = static_cast<std::uint64_t>(std::ceil(n_star)) + 1;
+    EXPECT_GT(psr_capacity(above), ssr_capacity(above)) << "m=" << m;
+  }
+}
+
+TEST(Distributed, RecommendationMatchesCapacities) {
+  auto s = paper_fig15_scenario(1000, 10);
+  EXPECT_EQ(recommend_architecture(s), ArchitectureChoice::PublisherSideReplication);
+  s = paper_fig15_scenario(1, 10000);
+  EXPECT_EQ(recommend_architecture(s), ArchitectureChoice::SubscriberSideReplication);
+}
+
+TEST(Distributed, NetworkTrafficComparison) {
+  const auto s = paper_fig15_scenario(10, 500);
+  // SSR multicasts to every subscriber-side server: m-fold traffic.
+  EXPECT_NEAR(ssr_network_traffic(s, 100.0), 100.0 * 500.0, 1e-9);
+  EXPECT_NEAR(psr_network_traffic(s, 100.0), 100.0 * 1.0, 1e-9);
+  EXPECT_THROW((void)psr_network_traffic(s, -1.0), std::invalid_argument);
+}
+
+TEST(Distributed, LargeSubscriberCountStrangleSinglePsrServer) {
+  // Sec. IV-C.3: for m = 10^4 the per-server PSR capacity collapses to a
+  // few messages per second even though the system capacity stays large.
+  const auto s = paper_fig15_scenario(100000, 10000);
+  EXPECT_LT(psr_per_server_capacity(s), 10.0);
+  EXPECT_GT(psr_capacity(s), ssr_capacity(s));
+}
+
+TEST(Distributed, Validation) {
+  auto s = paper_fig15_scenario(1, 1);
+  s.publishers = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = paper_fig15_scenario(1, 1);
+  s.rho = 0.0;
+  EXPECT_THROW((void)psr_capacity(s), std::invalid_argument);
+}
+
+TEST(Distributed, ChoiceNames) {
+  EXPECT_STREQ(to_string(ArchitectureChoice::PublisherSideReplication), "PSR");
+  EXPECT_STREQ(to_string(ArchitectureChoice::SubscriberSideReplication), "SSR");
+  EXPECT_STREQ(to_string(ArchitectureChoice::Tie), "tie");
+}
+
+}  // namespace
+}  // namespace jmsperf::core

@@ -1,0 +1,92 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queueing/replication.hpp"
+
+namespace jmsperf::core {
+namespace {
+
+TEST(Sensitivity, SharesSumToOne) {
+  for (const double n : {0.0, 10.0, 1000.0}) {
+    for (const double er : {0.0, 1.0, 50.0}) {
+      const auto s = analyze_sensitivity(kFioranoCorrelationId, n, er);
+      EXPECT_NEAR(s.receive_share + s.filter_share + s.replication_share, 1.0,
+                  1e-12)
+          << n << " " << er;
+    }
+  }
+}
+
+TEST(Sensitivity, DominantRegimeMatchesFig5Narrative) {
+  // Small n_fltr: replication dominates; large n_fltr: filters dominate
+  // (the paper's reading of Fig. 5).
+  const auto fan_out = analyze_sensitivity(kFioranoCorrelationId, 1.0, 10.0);
+  EXPECT_EQ(fan_out.dominant(), CapacitySensitivity::Dominant::Replication);
+  const auto filter_heavy = analyze_sensitivity(kFioranoCorrelationId, 1000.0, 10.0);
+  EXPECT_EQ(filter_heavy.dominant(), CapacitySensitivity::Dominant::Filter);
+  const auto bare = analyze_sensitivity(kFioranoCorrelationId, 0.0, 0.0);
+  EXPECT_EQ(bare.dominant(), CapacitySensitivity::Dominant::Receive);
+  EXPECT_DOUBLE_EQ(bare.receive_share, 1.0);
+}
+
+TEST(Sensitivity, ElasticityIsMinusShare) {
+  const auto s = analyze_sensitivity(kFioranoCorrelationId, 100.0, 5.0);
+  EXPECT_DOUBLE_EQ(s.filter_elasticity(), -s.filter_share);
+  EXPECT_DOUBLE_EQ(s.receive_elasticity(), -s.receive_share);
+  EXPECT_DOUBLE_EQ(s.replication_elasticity(), -s.replication_share);
+}
+
+TEST(Sensitivity, ElasticityPredictsSmallPerturbation) {
+  // Numeric check: a 1% change in t_fltr changes capacity by
+  // approximately elasticity * 1%.
+  const double n = 200.0, er = 3.0;
+  const auto s = analyze_sensitivity(kFioranoCorrelationId, n, er);
+  CostModel bumped = kFioranoCorrelationId;
+  bumped.t_fltr *= 1.01;
+  const double before = kFioranoCorrelationId.capacity(n, er, 0.9);
+  const double after = bumped.capacity(n, er, 0.9);
+  const double measured_elasticity = (after / before - 1.0) / 0.01;
+  EXPECT_NEAR(measured_elasticity, s.filter_elasticity(), 0.01);
+}
+
+TEST(Sensitivity, GainFromReducingDominant) {
+  const auto s = analyze_sensitivity(kFioranoCorrelationId, 1000.0, 1.0);
+  // Eliminating the dominant (filter) term entirely: capacity multiplies
+  // by 1 / (1 - share).
+  const double gain = s.gain_from_reducing_dominant(1.0);
+  EXPECT_NEAR(gain, 1.0 / (1.0 - s.filter_share), 1e-12);
+  EXPECT_GT(gain, 50.0);  // filters are ~99% of this scenario
+  EXPECT_DOUBLE_EQ(s.gain_from_reducing_dominant(0.0), 1.0);
+  EXPECT_THROW((void)s.gain_from_reducing_dominant(1.5), std::invalid_argument);
+}
+
+TEST(Sensitivity, Validation) {
+  EXPECT_THROW((void)analyze_sensitivity(kFioranoCorrelationId, -1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_STREQ(to_string(CapacitySensitivity::Dominant::Filter), "filter");
+}
+
+TEST(ZipfReplication, MomentsAndSampling) {
+  const auto zipf = queueing::make_zipf_replication(100, 2.0);
+  const auto m = zipf->moments();
+  EXPECT_GT(m.m1, 1.0);
+  EXPECT_GT(m.coefficient_of_variation(), 1.0);  // heavy-ish tail
+  // Monotone pmf.
+  const auto& pmf = zipf->pmf();
+  EXPECT_DOUBLE_EQ(pmf[0], 0.0);
+  for (std::size_t k = 2; k < pmf.size(); ++k) EXPECT_LT(pmf[k], pmf[k - 1]);
+  EXPECT_THROW(queueing::make_zipf_replication(0, 2.0), std::invalid_argument);
+  EXPECT_THROW(queueing::make_zipf_replication(10, 0.0), std::invalid_argument);
+}
+
+TEST(ZipfReplication, HeavierTailLargerCv) {
+  const double cv_light = queueing::make_zipf_replication(1000, 3.0)
+                              ->moments().coefficient_of_variation();
+  const double cv_heavy = queueing::make_zipf_replication(1000, 1.5)
+                              ->moments().coefficient_of_variation();
+  EXPECT_GT(cv_heavy, cv_light);
+}
+
+}  // namespace
+}  // namespace jmsperf::core

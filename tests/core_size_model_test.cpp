@@ -1,0 +1,75 @@
+#include "core/size_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmsperf::core {
+namespace {
+
+SizeAwareCostModel model() {
+  SizeAwareCostModel m;
+  m.base = kFioranoCorrelationId;
+  m.b_rcv = 1.0e-9;
+  m.b_tx = 2.0e-9;
+  return m;
+}
+
+TEST(SizeModel, ReducesToEquation1AtZeroBytes) {
+  const auto m = model();
+  EXPECT_DOUBLE_EQ(m.mean_service_time(100.0, 5.0, 0.0),
+                   kFioranoCorrelationId.mean_service_time(100.0, 5.0));
+  EXPECT_DOUBLE_EQ(m.capacity(100.0, 5.0, 0.0, 0.9),
+                   kFioranoCorrelationId.capacity(100.0, 5.0, 0.9));
+}
+
+TEST(SizeModel, LinearInBodySize) {
+  const auto m = model();
+  const double at_0 = m.mean_service_time(10.0, 2.0, 0.0);
+  const double at_1k = m.mean_service_time(10.0, 2.0, 1000.0);
+  const double at_2k = m.mean_service_time(10.0, 2.0, 2000.0);
+  EXPECT_NEAR(at_2k - at_1k, at_1k - at_0, 1e-18);
+  // Slope = b_rcv + E[R] b_tx.
+  EXPECT_NEAR((at_1k - at_0) / 1000.0, 1.0e-9 + 2.0 * 2.0e-9, 1e-18);
+}
+
+TEST(SizeModel, ReplicationAmplifiesSizeCost) {
+  const auto m = model();
+  const double slope_r1 =
+      m.mean_service_time(0.0, 1.0, 1000.0) - m.mean_service_time(0.0, 1.0, 0.0);
+  const double slope_r10 =
+      m.mean_service_time(0.0, 10.0, 1000.0) - m.mean_service_time(0.0, 10.0, 0.0);
+  EXPECT_GT(slope_r10, 5.0 * slope_r1);
+}
+
+TEST(SizeModel, HalfCapacitySizeConsistent) {
+  const auto m = model();
+  const double s = m.body_size_for_capacity_fraction(10.0, 1.0, 0.5);
+  EXPECT_NEAR(m.capacity(10.0, 1.0, s), 0.5 * m.capacity(10.0, 1.0, 0.0),
+              1e-6 * m.capacity(10.0, 1.0, 0.0));
+  EXPECT_THROW((void)m.body_size_for_capacity_fraction(10.0, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.body_size_for_capacity_fraction(10.0, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(SizeModel, FoldedCostModelEquivalence) {
+  const auto m = model();
+  const auto folded = m.at_body_size(4096.0);
+  EXPECT_DOUBLE_EQ(folded.mean_service_time(50.0, 3.0),
+                   m.mean_service_time(50.0, 3.0, 4096.0));
+  EXPECT_DOUBLE_EQ(folded.t_fltr, m.base.t_fltr);  // filters read no body bytes
+}
+
+TEST(SizeModel, Validation) {
+  auto m = model();
+  m.b_rcv = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = model();
+  EXPECT_THROW((void)m.mean_service_time(1.0, 1.0, -5.0), std::invalid_argument);
+  m.b_rcv = 0.0;
+  m.b_tx = 0.0;
+  EXPECT_THROW((void)m.body_size_for_capacity_fraction(1.0, 1.0, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jmsperf::core

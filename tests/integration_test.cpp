@@ -1,0 +1,161 @@
+// End-to-end integration: the full calibrate -> model -> predict pipeline
+// across modules, plus real-broker vs analytic-model consistency.
+#include <chrono>
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "core/distributed.hpp"
+#include "core/scenario.hpp"
+#include "jms/broker.hpp"
+#include "queueing/lindley.hpp"
+#include "queueing/mg1.hpp"
+#include "testbed/calibration.hpp"
+#include "workload/filter_population.hpp"
+#include "workload/presence.hpp"
+
+using namespace std::chrono_literals;
+
+namespace jmsperf {
+namespace {
+
+TEST(Integration, CalibrateThenPredictUnseenScenario) {
+  // 1. Calibrate the cost model from simulated measurements on a coarse
+  //    grid; 2. predict the throughput of a scenario OUTSIDE the grid;
+  //    3. verify against a fresh measurement.
+  testbed::CalibrationCampaign campaign;
+  campaign.true_cost = core::kFioranoCorrelationId;
+  campaign.replication_grades = {1, 10, 40};
+  campaign.non_matching = {5, 40, 160};
+  campaign.measurement.duration = 10.0;
+  campaign.measurement.trim = 0.5;
+  campaign.measurement.repetitions = 1;
+  campaign.measurement.noise_cv = 0.02;
+  const auto calibrated = testbed::run_calibration_campaign(campaign);
+
+  testbed::ThroughputExperiment unseen;
+  unseen.true_cost = campaign.true_cost;
+  unseen.non_matching = 77;   // not on the calibration grid
+  unseen.replication = 13;
+  const auto measured = testbed::run_throughput_measurement(unseen, campaign.measurement);
+
+  const double predicted = calibrated.fit.predicted_rate(
+      static_cast<double>(unseen.total_filters()), 13.0);
+  EXPECT_NEAR(predicted, measured.received_rate, 0.03 * measured.received_rate);
+}
+
+TEST(Integration, RealBrokerMatchesAnalyticReplicationAccounting) {
+  // The real broker's counter arithmetic must match the model's structure:
+  // every received message triggers n_fltr filter evaluations and R sends.
+  jms::Broker broker;
+  broker.create_topic("t");
+  const std::uint32_t n = 12, r = 4;
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::ApplicationProperty, n, r);
+
+  const int messages = 200;
+  for (int i = 0; i < messages; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+  broker.wait_until_idle();
+  std::this_thread::sleep_for(100ms);
+
+  const auto stats = broker.stats();
+  EXPECT_EQ(stats.received, static_cast<std::uint64_t>(messages));
+  EXPECT_EQ(stats.filter_evaluations, static_cast<std::uint64_t>(messages * (n + r)));
+  EXPECT_EQ(stats.dispatched, static_cast<std::uint64_t>(messages * r));
+}
+
+TEST(Integration, PresenceScenarioAnalyticVsLindley) {
+  // Presence workload -> analytic scenario -> waiting time; cross-check
+  // the analytic result with an independent Lindley simulation driven by
+  // the same empirical replication distribution.
+  workload::PresenceConfig config;
+  config.users = 120;
+  config.mean_buddies = 9.0;
+  config.seed = 5;
+  const auto workload = workload::generate_presence_workload(config);
+  const auto scenario = workload::presence_scenario(workload);
+  const double rho = 0.85;
+  const auto analytic = scenario.waiting_at_utilization(rho);
+
+  const auto replication = workload::presence_replication(workload);
+  const double d = scenario.cost().deterministic_part(scenario.filters());
+  const double t_tx = scenario.cost().t_tx;
+  queueing::LindleyConfig sim_config;
+  sim_config.arrivals = 300000;
+  sim_config.warmup = 20000;
+  const auto sim = queueing::simulate_mg1_waiting(
+      rho / scenario.mean_service_time(),
+      [&](stats::RandomStream& rng) {
+        return d + t_tx * static_cast<double>(replication->sample(rng));
+      },
+      sim_config);
+
+  EXPECT_NEAR(sim.waiting.mean(), analytic.mean_waiting_time(),
+              0.08 * analytic.mean_waiting_time());
+}
+
+TEST(Integration, PresenceCapacityRankingAcrossFilterClasses) {
+  // Application-property filtering is roughly 2x as expensive per filter
+  // (Table I), so the correlation-ID variant must support more load.
+  workload::PresenceConfig config;
+  config.users = 300;
+  config.mean_buddies = 10.0;
+  config.filter_class = core::FilterClass::CorrelationId;
+  const auto corr = workload::presence_scenario(workload::generate_presence_workload(config));
+  config.filter_class = core::FilterClass::ApplicationProperty;
+  const auto app = workload::presence_scenario(workload::generate_presence_workload(config));
+  EXPECT_GT(corr.capacity(0.9), 1.5 * app.capacity(0.9));
+}
+
+TEST(Integration, DistributedRecommendationConsistentWithScenarioMath) {
+  // PSR per-server capacity must equal the single-server scenario capacity
+  // with m * n_fltr filters.
+  core::DistributedScenario dist;
+  dist.cost = core::kFioranoCorrelationId;
+  dist.publishers = 20;
+  dist.subscribers = 50;
+  dist.filters_per_subscriber = 10.0;
+  dist.mean_replication = 2.0;
+  dist.rho = 0.9;
+
+  const core::Scenario per_server(
+      dist.cost, 500.0, std::make_shared<queueing::DeterministicReplication>(2));
+  EXPECT_NEAR(core::psr_per_server_capacity(dist), per_server.capacity(0.9), 1e-6);
+}
+
+TEST(Integration, BrokerSurvivesChurnUnderLoad) {
+  // Failure-injection flavoured: subscribers joining/leaving while
+  // publishers run; broker must stay consistent and lose nothing destined
+  // to stable subscribers.
+  jms::Broker broker;
+  broker.create_topic("t");
+  auto stable = broker.subscribe("t", jms::SubscriptionFilter::none());
+
+  std::atomic<bool> done{false};
+  std::thread churn([&] {
+    while (!done.load()) {
+      auto s = broker.subscribe("t", jms::SubscriptionFilter::correlation_id("#0"));
+      std::this_thread::sleep_for(1ms);
+      broker.unsubscribe(s);
+    }
+  });
+
+  const int messages = 1000;
+  std::thread consumer([&] {
+    for (int i = 0; i < messages; ++i) {
+      auto m = stable->receive(5s);
+      ASSERT_TRUE(m.has_value()) << "lost message " << i;
+    }
+  });
+  for (int i = 0; i < messages; ++i) {
+    ASSERT_TRUE(broker.publish(workload::make_keyed_message("t", 0)));
+  }
+  consumer.join();
+  done.store(true);
+  churn.join();
+  EXPECT_EQ(stable->consumed(), static_cast<std::uint64_t>(messages));
+}
+
+}  // namespace
+}  // namespace jmsperf

@@ -1,0 +1,182 @@
+// Client-acknowledge / recover semantics and the request/reply pattern
+// (JMSReplyTo + temporary topics).
+#include <chrono>
+#include <gtest/gtest.h>
+
+#include "jms/connection.hpp"
+
+using namespace std::chrono_literals;
+
+namespace jmsperf::jms {
+namespace {
+
+class AckTest : public ::testing::Test {
+ protected:
+  AckTest() { broker_.create_topic("t"); }
+  Broker broker_;
+};
+
+Message numbered(int seq) {
+  Message m;
+  m.set_property("seq", seq);
+  return m;
+}
+
+TEST_F(AckTest, AutoModeIgnoresAcknowledge) {
+  Connection connection(broker_);
+  auto session = connection.create_session();  // Auto by default
+  EXPECT_EQ(session->acknowledge_mode(), AcknowledgeMode::Auto);
+  auto producer = session->create_producer("t");
+  auto consumer = session->create_consumer("t");
+  producer->send(numbered(1));
+  ASSERT_TRUE(consumer->receive(1s).has_value());
+  EXPECT_EQ(consumer->unacknowledged(), 0u);
+  consumer->acknowledge();  // harmless no-op
+  EXPECT_THROW(consumer->recover(), std::logic_error);
+}
+
+TEST_F(AckTest, RecoverRedeliversUnacknowledgedInOrder) {
+  Connection connection(broker_);
+  auto session = connection.create_session(AcknowledgeMode::Client);
+  auto producer = session->create_producer("t");
+  auto consumer = session->create_consumer("t");
+  for (int i = 1; i <= 3; ++i) producer->send(numbered(i));
+
+  for (int i = 1; i <= 3; ++i) {
+    auto m = consumer->receive(1s);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_FALSE((*m)->redelivered());
+  }
+  EXPECT_EQ(consumer->unacknowledged(), 3u);
+
+  consumer->recover();
+  EXPECT_EQ(consumer->unacknowledged(), 0u);
+  for (int i = 1; i <= 3; ++i) {
+    auto m = consumer->receive(1s);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ((*m)->get("seq").as_long(), i) << "redelivery order";
+    EXPECT_TRUE((*m)->redelivered());
+  }
+}
+
+TEST_F(AckTest, AcknowledgeConfirmsEverythingSoFar) {
+  Connection connection(broker_);
+  auto session = connection.create_session(AcknowledgeMode::Client);
+  auto producer = session->create_producer("t");
+  auto consumer = session->create_consumer("t");
+  producer->send(numbered(1));
+  producer->send(numbered(2));
+  ASSERT_TRUE(consumer->receive(1s).has_value());
+  consumer->acknowledge();
+  ASSERT_TRUE(consumer->receive(1s).has_value());
+  EXPECT_EQ(consumer->unacknowledged(), 1u);
+  consumer->recover();
+  auto m = consumer->receive(1s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)->get("seq").as_long(), 2);  // only #2 was unacked
+  EXPECT_FALSE(consumer->receive_no_wait().has_value());
+}
+
+TEST_F(AckTest, RedeliveredServedBeforeNewMessages) {
+  Connection connection(broker_);
+  auto session = connection.create_session(AcknowledgeMode::Client);
+  auto producer = session->create_producer("t");
+  auto consumer = session->create_consumer("t");
+  producer->send(numbered(1));
+  ASSERT_TRUE(consumer->receive(1s).has_value());
+  consumer->recover();
+  producer->send(numbered(2));
+  broker_.wait_until_idle();
+
+  auto first = consumer->receive(1s);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ((*first)->get("seq").as_long(), 1);
+  EXPECT_TRUE((*first)->redelivered());
+  auto second = consumer->receive(1s);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ((*second)->get("seq").as_long(), 2);
+}
+
+TEST_F(AckTest, RecoveredMessagesAreTrackedAgain) {
+  Connection connection(broker_);
+  auto session = connection.create_session(AcknowledgeMode::Client);
+  auto producer = session->create_producer("t");
+  auto consumer = session->create_consumer("t");
+  producer->send(numbered(1));
+  ASSERT_TRUE(consumer->receive(1s).has_value());
+  consumer->recover();
+  ASSERT_TRUE(consumer->receive(1s).has_value());
+  EXPECT_EQ(consumer->unacknowledged(), 1u);  // redelivery is unacked again
+}
+
+// ------------------------------------------------------------- reply-to
+TEST(RequestReply, TemporaryTopicRoundTrip) {
+  Broker broker;
+  broker.create_topic("service");
+
+  // Responder side.
+  auto requests = broker.subscribe("service", SubscriptionFilter::none());
+
+  // Requester side: a private temporary topic for the answer.
+  const std::string reply_topic = broker.create_temporary_topic();
+  EXPECT_TRUE(broker.has_topic(reply_topic));
+  auto replies = broker.subscribe(reply_topic, SubscriptionFilter::none());
+
+  Message request;
+  request.set_destination("service");
+  request.set_reply_to(reply_topic);
+  request.set_correlation_id("req-42");
+  request.set_property("question", "capacity?");
+  broker.publish(std::move(request));
+
+  // Responder receives, answers to JMSReplyTo with the correlation ID.
+  auto incoming = requests->receive(1s);
+  ASSERT_TRUE(incoming.has_value());
+  EXPECT_EQ((*incoming)->get("JMSReplyTo").as_string(), reply_topic);
+  Message response;
+  response.set_destination((*incoming)->reply_to());
+  response.set_correlation_id((*incoming)->correlation_id());
+  response.set_property("answer", 45);
+  broker.publish(std::move(response));
+
+  auto answer = replies->receive(1s);
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ((*answer)->correlation_id(), "req-42");
+  EXPECT_EQ((*answer)->get("answer").as_long(), 45);
+
+  // Tear down the temporary topic.
+  EXPECT_TRUE(broker.delete_topic(reply_topic));
+  EXPECT_FALSE(broker.has_topic(reply_topic));
+  EXPECT_TRUE(replies->closed());
+}
+
+TEST(RequestReply, TemporaryTopicNamesAreUnique) {
+  Broker broker;
+  const auto a = broker.create_temporary_topic();
+  const auto b = broker.create_temporary_topic();
+  EXPECT_NE(a, b);
+}
+
+TEST(RequestReply, DeleteUnknownTopic) {
+  Broker broker;
+  EXPECT_FALSE(broker.delete_topic("ghost"));
+}
+
+TEST(RequestReply, DeleteTopicRemovesDurables) {
+  Broker broker;
+  broker.create_topic("t");
+  auto durable = broker.subscribe_durable("d", "t", SubscriptionFilter::none());
+  EXPECT_TRUE(broker.delete_topic("t"));
+  EXPECT_FALSE(broker.has_durable("d"));
+  EXPECT_TRUE(durable->closed());
+}
+
+TEST(RequestReply, ReplyToVisibleToSelectors) {
+  Message m;
+  EXPECT_TRUE(m.get("JMSReplyTo").is_null());
+  m.set_reply_to("tmp.1");
+  EXPECT_EQ(m.get("JMSReplyTo").as_string(), "tmp.1");
+}
+
+}  // namespace
+}  // namespace jmsperf::jms

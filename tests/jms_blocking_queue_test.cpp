@@ -1,0 +1,141 @@
+// Direct tests of the bounded blocking queue — the mechanism behind the
+// paper's publisher push-back observation.
+#include <atomic>
+#include <chrono>
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "jms/blocking_queue.hpp"
+
+using namespace std::chrono_literals;
+
+namespace jmsperf::jms {
+namespace {
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, TryPushRespectsCapacity) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.capacity(), 2u);
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BlockingQueue, PushBlocksUntilSpace) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2);  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(pushed.load()) << "push should be blocked on a full queue";
+  EXPECT_EQ(*q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.pop(), 2);
+}
+
+TEST(BlockingQueue, PopBlocksUntilItem) {
+  BlockingQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(50ms);
+    q.push(42);
+  });
+  const auto v = q.pop();  // blocks
+  producer.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q(4);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(50ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 45ms);
+}
+
+TEST(BlockingQueue, CloseDrainsThenSignalsEnd) {
+  BlockingQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));      // rejected after close
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(*q.pop(), 1);       // remaining items drain
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // closed and empty: no block
+  EXPECT_FALSE(q.pop_for(10ms).has_value());
+}
+
+TEST(BlockingQueue, CloseWakesBlockedProducerAndConsumer) {
+  BlockingQueue<int> full(1);
+  full.push(1);
+  std::atomic<bool> producer_returned{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(full.push(2));  // blocked, then woken by close -> false
+    producer_returned.store(true);
+  });
+
+  BlockingQueue<int> empty(1);
+  std::atomic<bool> consumer_returned{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(empty.pop().has_value());
+    consumer_returned.store(true);
+  });
+
+  std::this_thread::sleep_for(50ms);
+  full.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(producer_returned.load());
+  EXPECT_TRUE(consumer_returned.load());
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumersNoLossNoDuplication) {
+  BlockingQueue<int> q(8);
+  const int producers = 4, per_producer = 5000;
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < per_producer; ++i) q.push(p * per_producer + i);
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(*v);
+        received.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < producers; ++p) threads[p].join();
+  q.close();
+  for (std::size_t c = producers; c < threads.size(); ++c) threads[c].join();
+
+  const int total = producers * per_producer;
+  EXPECT_EQ(received.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long>(total) * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace jmsperf::jms

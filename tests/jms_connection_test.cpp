@@ -1,0 +1,159 @@
+#include "jms/connection.hpp"
+
+#include <chrono>
+#include <gtest/gtest.h>
+
+using namespace std::chrono_literals;
+
+namespace jmsperf::jms {
+namespace {
+
+class ConnectionTest : public ::testing::Test {
+ protected:
+  ConnectionTest() {
+    broker_.create_topic("t");
+  }
+  Broker broker_;
+};
+
+TEST_F(ConnectionTest, ProducerConsumerRoundTrip) {
+  Connection connection(broker_, "client-a");
+  auto session = connection.create_session();
+  auto producer = session->create_producer("t");
+  auto consumer = session->create_consumer("t");
+
+  Message m;
+  m.set_property("k", 1);
+  EXPECT_TRUE(producer->send(std::move(m)));
+
+  auto received = consumer->receive(1s);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ((*received)->get("k").as_long(), 1);
+  EXPECT_EQ((*received)->destination(), "t");
+  EXPECT_EQ(consumer->received_count(), 1u);
+}
+
+TEST_F(ConnectionTest, ProducerStampsMessageIdAndTimestamp) {
+  Connection connection(broker_, "client-b");
+  auto session = connection.create_session();
+  auto producer = session->create_producer("t");
+  auto consumer = session->create_consumer("t");
+
+  producer->send(Message{});
+  producer->send(Message{});
+  auto first = consumer->receive(1s);
+  auto second = consumer->receive(1s);
+  ASSERT_TRUE(first && second);
+  EXPECT_FALSE((*first)->message_id().empty());
+  EXPECT_NE((*first)->message_id(), (*second)->message_id());
+  EXPECT_NE((*first)->message_id().find("client-b"), std::string::npos);
+  EXPECT_GT((*first)->timestamp(), 0.0);
+  EXPECT_EQ(producer->sent(), 2u);
+}
+
+TEST_F(ConnectionTest, ConsumerWithSelector) {
+  Connection connection(broker_);
+  auto session = connection.create_session();
+  auto producer = session->create_producer("t");
+  auto consumer = session->create_consumer_with_selector("t", "priority >= 5");
+
+  Message low;
+  low.set_property("priority", 1);
+  Message high;
+  high.set_property("priority", 9);
+  producer->send(std::move(low));
+  producer->send(std::move(high));
+
+  auto received = consumer->receive(1s);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ((*received)->get("priority").as_long(), 9);
+  EXPECT_FALSE(consumer->receive(100ms).has_value());
+}
+
+TEST_F(ConnectionTest, ReceiveNoWait) {
+  Connection connection(broker_);
+  auto session = connection.create_session();
+  auto consumer = session->create_consumer("t");
+  EXPECT_FALSE(consumer->receive_no_wait().has_value());
+  auto producer = session->create_producer("t");
+  producer->send(Message{});
+  broker_.wait_until_idle();
+  // Allow the dispatcher to finish routing.
+  auto m = consumer->receive(1s);
+  EXPECT_TRUE(m.has_value());
+}
+
+TEST_F(ConnectionTest, UnknownTopicThrows) {
+  Connection connection(broker_);
+  auto session = connection.create_session();
+  EXPECT_THROW(session->create_producer("missing"), std::invalid_argument);
+  EXPECT_THROW(session->create_consumer("missing"), std::invalid_argument);
+}
+
+TEST_F(ConnectionTest, ClosedSessionRejectsWork) {
+  Connection connection(broker_);
+  auto session = connection.create_session();
+  auto producer = session->create_producer("t");
+  session->close();
+  EXPECT_TRUE(session->closed());
+  EXPECT_THROW(session->create_producer("t"), std::logic_error);
+  EXPECT_THROW(session->create_consumer("t"), std::logic_error);
+  EXPECT_THROW(producer->send(Message{}), std::logic_error);
+}
+
+TEST_F(ConnectionTest, CloseConnectionClosesSessionsAndConsumers) {
+  Connection connection(broker_);
+  auto session = connection.create_session();
+  auto consumer = session->create_consumer("t");
+  connection.close();
+  EXPECT_TRUE(connection.closed());
+  EXPECT_TRUE(session->closed());
+  EXPECT_THROW(connection.create_session(), std::logic_error);
+  // Subscriptions were detached from the broker.
+  EXPECT_EQ(broker_.subscription_count("t"), 0u);
+}
+
+TEST_F(ConnectionTest, GeneratedClientIdsAreUnique) {
+  Connection a(broker_);
+  Connection b(broker_);
+  EXPECT_FALSE(a.client_id().empty());
+  EXPECT_NE(a.client_id(), b.client_id());
+}
+
+TEST_F(ConnectionTest, ProducerPriorityValidation) {
+  Connection connection(broker_);
+  auto session = connection.create_session();
+  auto producer = session->create_producer("t");
+  EXPECT_THROW(producer->set_priority(11), std::invalid_argument);
+  producer->set_priority(9);
+  auto consumer = session->create_consumer("t");
+  producer->send(Message{});
+  auto m = consumer->receive(1s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)->priority(), 9);
+}
+
+TEST_F(ConnectionTest, DeliveryModePropagates) {
+  Connection connection(broker_);
+  auto session = connection.create_session();
+  auto producer = session->create_producer("t");
+  producer->set_delivery_mode(DeliveryMode::NonPersistent);
+  auto consumer = session->create_consumer("t");
+  producer->send(Message{});
+  auto m = consumer->receive(1s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)->delivery_mode(), DeliveryMode::NonPersistent);
+}
+
+TEST_F(ConnectionTest, MultipleSessionsShareBroker) {
+  Connection connection(broker_);
+  auto s1 = connection.create_session();
+  auto s2 = connection.create_session();
+  auto producer = s1->create_producer("t");
+  auto consumer = s2->create_consumer("t");
+  producer->send(Message{});
+  EXPECT_TRUE(consumer->receive(1s).has_value());
+}
+
+}  // namespace
+}  // namespace jmsperf::jms

@@ -1,0 +1,287 @@
+// Tests of the JMS feature matrix beyond the paper's measured
+// configuration: durable subscriptions, point-to-point queues, and
+// wildcard (pattern) topic subscriptions.
+#include <chrono>
+#include <gtest/gtest.h>
+#include <set>
+#include <thread>
+
+#include "jms/broker.hpp"
+#include "jms/connection.hpp"
+
+using namespace std::chrono_literals;
+
+namespace jmsperf::jms {
+namespace {
+
+Message text_message(const std::string& topic, int seq) {
+  Message m;
+  m.set_destination(topic);
+  m.set_property("seq", seq);
+  return m;
+}
+
+// ------------------------------------------------------------ durable
+TEST(Durable, AccumulatesWhileConsumerOffline) {
+  Broker broker;
+  broker.create_topic("t");
+  auto sub = broker.subscribe_durable("reports", "t", SubscriptionFilter::none());
+  EXPECT_TRUE(broker.has_durable("reports"));
+
+  // "Offline": nobody consumes, messages pile up.
+  for (int i = 0; i < 5; ++i) broker.publish(text_message("t", i));
+  broker.wait_until_idle();
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(sub->backlog(), 5u);
+
+  // Reattach by name: same subscription, backlog intact.
+  auto again = broker.subscribe_durable("reports", "t", SubscriptionFilter::none());
+  EXPECT_EQ(again.get(), sub.get());
+  int drained = 0;
+  while (again->receive(100ms)) ++drained;
+  EXPECT_EQ(drained, 5);
+}
+
+TEST(Durable, ChangedFilterReplacesSubscriptionAndDiscardsBacklog) {
+  Broker broker;
+  broker.create_topic("t");
+  auto original =
+      broker.subscribe_durable("d", "t", SubscriptionFilter::correlation_id("#0"));
+  Message m = text_message("t", 1);
+  m.set_correlation_id("#0");
+  broker.publish(std::move(m));
+  broker.wait_until_idle();
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(original->backlog(), 1u);
+
+  auto replaced =
+      broker.subscribe_durable("d", "t", SubscriptionFilter::correlation_id("#1"));
+  EXPECT_NE(replaced.get(), original.get());
+  EXPECT_TRUE(original->closed());
+  EXPECT_EQ(broker.subscription_count("t"), 1u);
+}
+
+TEST(Durable, ChangedTopicReplacesSubscription) {
+  Broker broker;
+  broker.create_topic("a");
+  broker.create_topic("b");
+  auto on_a = broker.subscribe_durable("d", "a", SubscriptionFilter::none());
+  auto on_b = broker.subscribe_durable("d", "b", SubscriptionFilter::none());
+  EXPECT_NE(on_a.get(), on_b.get());
+  EXPECT_EQ(broker.subscription_count("a"), 0u);
+  EXPECT_EQ(broker.subscription_count("b"), 1u);
+}
+
+TEST(Durable, UnsubscribeRemoves) {
+  Broker broker;
+  broker.create_topic("t");
+  auto sub = broker.subscribe_durable("d", "t", SubscriptionFilter::none());
+  EXPECT_TRUE(broker.unsubscribe_durable("d"));
+  EXPECT_FALSE(broker.has_durable("d"));
+  EXPECT_TRUE(sub->closed());
+  EXPECT_EQ(broker.subscription_count("t"), 0u);
+  EXPECT_FALSE(broker.unsubscribe_durable("d"));  // idempotent
+}
+
+TEST(Durable, EmptyNameRejected) {
+  Broker broker;
+  broker.create_topic("t");
+  EXPECT_THROW(broker.subscribe_durable("", "t", SubscriptionFilter::none()),
+               std::invalid_argument);
+}
+
+TEST(Durable, ConsumerCloseDetachesWithoutDiscarding) {
+  Broker broker;
+  broker.create_topic("t");
+  Connection connection(broker);
+  auto session = connection.create_session();
+  auto producer = session->create_producer("t");
+  {
+    auto consumer = session->create_durable_consumer("t", "audit");
+    producer->send(text_message("t", 1));
+    auto m = consumer->receive(1s);
+    ASSERT_TRUE(m.has_value());
+  }  // consumer closed; durable subscription survives
+  EXPECT_TRUE(broker.has_durable("audit"));
+  producer->send(text_message("t", 2));
+  broker.wait_until_idle();
+
+  auto reattached = session->create_durable_consumer("t", "audit");
+  auto m = reattached->receive(1s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)->get("seq").as_long(), 2);
+  broker.unsubscribe_durable("audit");
+}
+
+TEST(Durable, SurvivesConnectionClose) {
+  Broker broker;
+  broker.create_topic("t");
+  {
+    Connection connection(broker);
+    auto session = connection.create_session();
+    auto consumer = session->create_durable_consumer("t", "survivor");
+  }  // connection closed
+  EXPECT_TRUE(broker.has_durable("survivor"));
+  broker.publish(text_message("t", 7));
+  broker.wait_until_idle();
+
+  Connection fresh(broker);
+  auto session = fresh.create_session();
+  auto consumer = session->create_durable_consumer("t", "survivor");
+  auto m = consumer->receive(1s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)->get("seq").as_long(), 7);
+}
+
+TEST(ClosedConsumer, OperationsThrow) {
+  Broker broker;
+  broker.create_topic("t");
+  Connection connection(broker);
+  auto session = connection.create_session();
+  auto consumer = session->create_consumer("t");
+  consumer->close();
+  EXPECT_THROW(consumer->receive(1ms), std::logic_error);
+  EXPECT_THROW(consumer->receive_no_wait(), std::logic_error);
+  EXPECT_THROW((void)consumer->received_count(), std::logic_error);
+}
+
+// --------------------------------------------------------------- queues
+TEST(Queue, BasicSendReceive) {
+  Broker broker;
+  broker.create_queue("work");
+  EXPECT_TRUE(broker.has_queue("work"));
+  auto receiver = broker.queue_receiver("work");
+  EXPECT_TRUE(broker.send_to_queue("work", text_message("", 1)));
+  auto m = receiver.receive(1s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)->get("seq").as_long(), 1);
+  EXPECT_EQ((*m)->destination(), "work");
+}
+
+TEST(Queue, CompetingConsumersEachMessageOnce) {
+  Broker broker;
+  broker.create_queue("work");
+  auto rx1 = broker.queue_receiver("work");
+  auto rx2 = broker.queue_receiver("work");
+  const int count = 200;
+  for (int i = 0; i < count; ++i) broker.send_to_queue("work", text_message("", i));
+
+  std::set<long> seen;
+  int received = 0;
+  while (received < count) {
+    auto m = rx1.try_receive();
+    if (!m) m = rx2.receive(1s);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(seen.insert((*m)->get("seq").as_long()).second)
+        << "duplicate delivery";
+    ++received;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(count));
+  EXPECT_EQ(broker.stats().dispatched, static_cast<std::uint64_t>(count));
+}
+
+TEST(Queue, DepthReflectsBacklog) {
+  Broker broker;
+  broker.create_queue("q");
+  for (int i = 0; i < 3; ++i) broker.send_to_queue("q", text_message("", i));
+  broker.wait_until_idle();
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(broker.queue_depth("q"), 3u);
+}
+
+TEST(Queue, NamespaceSharedWithTopics) {
+  Broker broker;
+  broker.create_topic("dest");
+  EXPECT_THROW(broker.create_queue("dest"), std::invalid_argument);
+  broker.create_queue("q");
+  EXPECT_THROW(broker.create_topic("q"), std::invalid_argument);
+  EXPECT_FALSE(broker.create_queue("q"));  // duplicate queue is not an error
+}
+
+TEST(Queue, UnknownQueueErrors) {
+  Broker broker;
+  EXPECT_THROW(broker.send_to_queue("nope", Message{}), std::invalid_argument);
+  EXPECT_THROW(broker.queue_receiver("nope"), std::invalid_argument);
+  EXPECT_THROW((void)broker.queue_depth("nope"), std::invalid_argument);
+}
+
+TEST(Queue, FifoOrderPreserved) {
+  Broker broker;
+  broker.create_queue("q");
+  auto rx = broker.queue_receiver("q");
+  for (int i = 0; i < 100; ++i) broker.send_to_queue("q", text_message("", i));
+  for (int i = 0; i < 100; ++i) {
+    auto m = rx.receive(1s);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ((*m)->get("seq").as_long(), i);
+  }
+}
+
+// -------------------------------------------------------------- patterns
+TEST(PatternSubscription, ReceivesFromMatchingTopicsOnly) {
+  Broker broker;
+  broker.create_topic("sports.soccer");
+  broker.create_topic("sports.tennis");
+  broker.create_topic("news.politics");
+  auto all_sports = broker.subscribe_pattern("sports.*", SubscriptionFilter::none());
+
+  broker.publish(text_message("sports.soccer", 1));
+  broker.publish(text_message("sports.tennis", 2));
+  broker.publish(text_message("news.politics", 3));
+  broker.wait_until_idle();
+
+  std::set<long> seen;
+  while (auto m = all_sports->receive(100ms)) seen.insert((*m)->get("seq").as_long());
+  EXPECT_EQ(seen, (std::set<long>{1, 2}));
+}
+
+TEST(PatternSubscription, CombinesWithMessageFilter) {
+  Broker broker;
+  broker.create_topic("sensors.roof");
+  broker.create_topic("sensors.cellar");
+  auto hot = broker.subscribe_pattern(
+      "sensors.#", SubscriptionFilter::application_property("temperature > 30"));
+
+  Message warm = text_message("sensors.roof", 1);
+  warm.set_property("temperature", 42);
+  Message cold = text_message("sensors.cellar", 2);
+  cold.set_property("temperature", 8);
+  broker.publish(std::move(warm));
+  broker.publish(std::move(cold));
+  broker.wait_until_idle();
+
+  auto m = hot->receive(1s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)->get("seq").as_long(), 1);
+  EXPECT_FALSE(hot->receive(100ms).has_value());
+}
+
+TEST(PatternSubscription, UnsubscribeDetaches) {
+  Broker broker;
+  broker.create_topic("a.b");
+  auto sub = broker.subscribe_pattern("a.#", SubscriptionFilter::none());
+  broker.unsubscribe(sub);
+  broker.publish(text_message("a.b", 1));
+  broker.wait_until_idle();
+  EXPECT_FALSE(sub->receive(100ms).has_value());
+}
+
+TEST(PatternSubscription, CountsAsFilterEvaluation) {
+  Broker broker;
+  broker.create_topic("x.y");
+  auto sub = broker.subscribe_pattern("x.*", SubscriptionFilter::none());
+  broker.publish(text_message("x.y", 1));
+  broker.wait_until_idle();
+  ASSERT_TRUE(sub->receive(1s).has_value());
+  EXPECT_EQ(broker.stats().filter_evaluations, 1u);
+}
+
+TEST(TopicNames, HierarchicalValidation) {
+  Broker broker;
+  EXPECT_TRUE(broker.create_topic("a.b.c"));
+  EXPECT_THROW(broker.create_topic("a..c"), std::invalid_argument);
+  EXPECT_THROW(broker.create_topic(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jmsperf::jms

@@ -1,0 +1,130 @@
+// Identical-filter index (paper reference [15]): grouped evaluation must
+// preserve delivery semantics exactly while reducing the number of filter
+// evaluations from "per subscriber" to "per distinct filter".
+#include <chrono>
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "jms/broker.hpp"
+#include "workload/filter_population.hpp"
+
+using namespace std::chrono_literals;
+
+namespace jmsperf::jms {
+namespace {
+
+BrokerConfig indexed_config() {
+  BrokerConfig config;
+  config.enable_identical_filter_index = true;
+  return config;
+}
+
+TEST(FilterIndex, DeliveryIdenticalToUnindexedBroker) {
+  // Same population and traffic on both brokers; per-subscription delivery
+  // counts must match exactly.
+  for (const bool indexed : {false, true}) {
+    Broker broker(indexed ? indexed_config() : BrokerConfig{});
+    broker.create_topic("t");
+    const auto subs = workload::install_measurement_population(
+        broker, "t", core::FilterClass::CorrelationId, 6, 3);
+    for (int i = 0; i < 10; ++i) {
+      broker.publish(workload::make_keyed_message("t", 0));
+      broker.publish(workload::make_keyed_message("t", 2));
+    }
+    broker.wait_until_idle();
+    std::this_thread::sleep_for(100ms);
+    // First 3 subs match key 0 (10 messages each); the key-2 subscriber
+    // gets the other 10; other key subscribers get nothing.
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_EQ(subs[s]->enqueued(), 10u) << "indexed=" << indexed;
+    }
+    std::uint64_t key2_total = 0;
+    for (std::size_t s = 3; s < subs.size(); ++s) key2_total += subs[s]->enqueued();
+    EXPECT_EQ(key2_total, 10u) << "indexed=" << indexed;
+    EXPECT_EQ(broker.stats().dispatched, 40u) << "indexed=" << indexed;
+  }
+}
+
+TEST(FilterIndex, EvaluationsPerDistinctFilter) {
+  Broker broker(indexed_config());
+  broker.create_topic("t");
+  // 10 subscribers but only 2 distinct filters.
+  std::vector<std::shared_ptr<Subscription>> subs;
+  for (int i = 0; i < 5; ++i) {
+    subs.push_back(broker.subscribe("t", SubscriptionFilter::correlation_id("#0")));
+  }
+  for (int i = 0; i < 5; ++i) {
+    subs.push_back(broker.subscribe("t", SubscriptionFilter::correlation_id("#1")));
+  }
+  for (int i = 0; i < 20; ++i) broker.publish(workload::make_keyed_message("t", 0));
+  broker.wait_until_idle();
+  std::this_thread::sleep_for(100ms);
+  const auto stats = broker.stats();
+  EXPECT_EQ(stats.filter_evaluations, 40u);  // 2 distinct x 20 messages
+  EXPECT_EQ(stats.dispatched, 100u);         // 5 matching subs x 20
+}
+
+TEST(FilterIndex, WithoutIndexEvaluationsPerSubscriber) {
+  // The FioranoMQ behaviour the paper measured: identical filters cost
+  // the same as distinct ones.
+  Broker broker;  // index disabled
+  broker.create_topic("t");
+  for (int i = 0; i < 10; ++i) {
+    broker.subscribe("t", SubscriptionFilter::correlation_id("#0"));
+  }
+  for (int i = 0; i < 20; ++i) broker.publish(workload::make_keyed_message("t", 0));
+  broker.wait_until_idle();
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(broker.stats().filter_evaluations, 200u);  // 10 x 20
+}
+
+TEST(FilterIndex, CacheInvalidatedOnTopologyChange) {
+  Broker broker(indexed_config());
+  broker.create_topic("t");
+  auto first = broker.subscribe("t", SubscriptionFilter::correlation_id("#0"));
+  broker.publish(workload::make_keyed_message("t", 0));
+  ASSERT_TRUE(first->receive(1s).has_value());
+
+  auto second = broker.subscribe("t", SubscriptionFilter::correlation_id("#0"));
+  broker.publish(workload::make_keyed_message("t", 0));
+  ASSERT_TRUE(first->receive(1s).has_value());
+  ASSERT_TRUE(second->receive(1s).has_value());
+
+  broker.unsubscribe(first);
+  broker.publish(workload::make_keyed_message("t", 0));
+  ASSERT_TRUE(second->receive(1s).has_value());
+  EXPECT_FALSE(first->receive(100ms).has_value());
+}
+
+TEST(FilterIndex, PatternSubscriptionsStillIndividual) {
+  Broker broker(indexed_config());
+  broker.create_topic("a.b");
+  auto plain = broker.subscribe("a.b", SubscriptionFilter::none());
+  auto pattern = broker.subscribe_pattern("a.*", SubscriptionFilter::none());
+  broker.publish(workload::make_keyed_message("a.b", 0));
+  ASSERT_TRUE(plain->receive(1s).has_value());
+  ASSERT_TRUE(pattern->receive(1s).has_value());
+  EXPECT_EQ(broker.stats().dispatched, 2u);
+}
+
+TEST(FilterIndex, MixedSelectorsGroupCorrectly) {
+  Broker broker(indexed_config());
+  broker.create_topic("t");
+  auto a1 = broker.subscribe("t", SubscriptionFilter::application_property("key = 0"));
+  auto a2 = broker.subscribe("t", SubscriptionFilter::application_property("key = 0"));
+  auto b = broker.subscribe("t", SubscriptionFilter::application_property("key > 5"));
+  auto all = broker.subscribe("t", SubscriptionFilter::none());
+
+  broker.publish(workload::make_keyed_message("t", 0));
+  broker.wait_until_idle();
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(a1->enqueued(), 1u);
+  EXPECT_EQ(a2->enqueued(), 1u);
+  EXPECT_EQ(b->enqueued(), 0u);
+  EXPECT_EQ(all->enqueued(), 1u);
+  // 3 distinct filters evaluated (key=0, key>5, match-all).
+  EXPECT_EQ(broker.stats().filter_evaluations, 3u);
+}
+
+}  // namespace
+}  // namespace jmsperf::jms

@@ -1,0 +1,137 @@
+#include "jms/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jms/filter.hpp"
+#include "selector/errors.hpp"
+#include "selector/selector.hpp"
+
+namespace jmsperf::jms {
+namespace {
+
+TEST(Message, Defaults) {
+  const Message m;
+  EXPECT_EQ(m.priority(), 4);  // JMS default
+  EXPECT_EQ(m.delivery_mode(), DeliveryMode::Persistent);
+  EXPECT_TRUE(m.body().empty());
+  EXPECT_EQ(m.body_size(), 0u);  // the paper's 0-byte default body
+  EXPECT_FALSE(m.redelivered());
+}
+
+TEST(Message, PriorityValidation) {
+  Message m;
+  m.set_priority(0);
+  m.set_priority(9);
+  EXPECT_THROW(m.set_priority(10), std::invalid_argument);
+  EXPECT_THROW(m.set_priority(-1), std::invalid_argument);
+}
+
+TEST(Message, PropertyTypesRoundTrip) {
+  Message m;
+  m.set_property("b", true);
+  m.set_property("i", 42);
+  m.set_property("l", std::int64_t{1} << 40);
+  m.set_property("d", 2.5);
+  m.set_property("s", "text");
+  EXPECT_TRUE(m.get("b").as_bool());
+  EXPECT_EQ(m.get("i").as_long(), 42);
+  EXPECT_EQ(m.get("l").as_long(), std::int64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(m.get("d").as_double(), 2.5);
+  EXPECT_EQ(m.get("s").as_string(), "text");
+  EXPECT_EQ(m.property_count(), 5u);
+  EXPECT_TRUE(m.has_property("b"));
+  EXPECT_FALSE(m.has_property("zz"));
+}
+
+TEST(Message, AbsentPropertyIsNull) {
+  const Message m;
+  EXPECT_TRUE(m.get("anything").is_null());
+}
+
+TEST(Message, PropertyOverwrite) {
+  Message m;
+  m.set_property("x", 1);
+  m.set_property("x", "now a string");
+  EXPECT_TRUE(m.get("x").is_string());
+  EXPECT_EQ(m.property_count(), 1u);
+}
+
+TEST(Message, HeaderFieldsVisibleToSelectors) {
+  Message m;
+  m.set_correlation_id("corr-7");
+  m.set_priority(8);
+  m.set_timestamp(123.5);
+  m.set_message_id("ID:42");
+  m.set_type("alert");
+  EXPECT_EQ(m.get("JMSCorrelationID").as_string(), "corr-7");
+  EXPECT_EQ(m.get("JMSPriority").as_long(), 8);
+  EXPECT_DOUBLE_EQ(m.get("JMSTimestamp").as_double(), 123.5);
+  EXPECT_EQ(m.get("JMSMessageID").as_string(), "ID:42");
+  EXPECT_EQ(m.get("JMSType").as_string(), "alert");
+  EXPECT_EQ(m.get("JMSDeliveryMode").as_string(), "PERSISTENT");
+  m.set_delivery_mode(DeliveryMode::NonPersistent);
+  EXPECT_EQ(m.get("JMSDeliveryMode").as_string(), "NON_PERSISTENT");
+}
+
+TEST(Message, UnsetHeaderFieldsAreNull) {
+  const Message m;
+  EXPECT_TRUE(m.get("JMSCorrelationID").is_null());
+  EXPECT_TRUE(m.get("JMSMessageID").is_null());
+  EXPECT_TRUE(m.get("JMSType").is_null());
+}
+
+TEST(Message, SelectorOnHeaderFields) {
+  Message m;
+  m.set_priority(7);
+  m.set_correlation_id("order-1");
+  const auto s =
+      selector::Selector::compile("JMSPriority > 5 AND JMSCorrelationID LIKE 'order-%'");
+  EXPECT_TRUE(s.matches(m));
+}
+
+TEST(SubscriptionFilter, NoneMatchesEverything) {
+  const auto f = SubscriptionFilter::none();
+  EXPECT_EQ(f.type(), FilterType::None);
+  EXPECT_TRUE(f.matches(Message{}));
+  EXPECT_EQ(f.description(), "(match all)");
+}
+
+TEST(SubscriptionFilter, CorrelationId) {
+  const auto f = SubscriptionFilter::correlation_id("#0");
+  EXPECT_EQ(f.type(), FilterType::CorrelationId);
+  Message hit;
+  hit.set_correlation_id("#0");
+  Message miss;
+  miss.set_correlation_id("#1");
+  EXPECT_TRUE(f.matches(hit));
+  EXPECT_FALSE(f.matches(miss));
+  EXPECT_NE(f.description().find("#0"), std::string::npos);
+}
+
+TEST(SubscriptionFilter, ApplicationProperty) {
+  const auto f = SubscriptionFilter::application_property("key = 0");
+  EXPECT_EQ(f.type(), FilterType::ApplicationProperty);
+  Message hit;
+  hit.set_property("key", 0);
+  Message miss;
+  miss.set_property("key", 1);
+  EXPECT_TRUE(f.matches(hit));
+  EXPECT_FALSE(f.matches(miss));
+  EXPECT_FALSE(f.matches(Message{}));  // NULL -> unknown -> no match
+}
+
+TEST(SubscriptionFilter, InvalidSelectorThrows) {
+  EXPECT_THROW(SubscriptionFilter::application_property("key = "),
+               selector::SelectorError);
+}
+
+TEST(SubscriptionFilter, FromCompiledSelector) {
+  auto compiled = selector::Selector::compile("x > 1");
+  const auto f = SubscriptionFilter::from_selector(std::move(compiled));
+  Message m;
+  m.set_property("x", 2);
+  EXPECT_TRUE(f.matches(m));
+}
+
+}  // namespace
+}  // namespace jmsperf::jms

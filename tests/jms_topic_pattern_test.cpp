@@ -1,0 +1,82 @@
+#include "jms/topic_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jmsperf::jms {
+namespace {
+
+struct PatternCase {
+  const char* pattern;
+  const char* topic;
+  bool expected;
+};
+
+class PatternCorpus : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(PatternCorpus, Matches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(TopicPattern(c.pattern).matches(c.topic), c.expected)
+      << "pattern='" << c.pattern << "' topic='" << c.topic << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PatternCorpus,
+    ::testing::Values(
+        // exact names
+        PatternCase{"sports", "sports", true},
+        PatternCase{"sports", "news", false},
+        PatternCase{"sports.soccer", "sports.soccer", true},
+        PatternCase{"sports.soccer", "sports", false},
+        PatternCase{"sports", "sports.soccer", false},
+        // single-token wildcard
+        PatternCase{"sports.*", "sports.soccer", true},
+        PatternCase{"sports.*", "sports.tennis", true},
+        PatternCase{"sports.*", "sports", false},
+        PatternCase{"sports.*", "sports.soccer.uk", false},
+        PatternCase{"*.soccer", "sports.soccer", true},
+        PatternCase{"*.soccer", "news.soccer", true},
+        PatternCase{"*.soccer", "soccer", false},
+        PatternCase{"sports.*.uk", "sports.soccer.uk", true},
+        PatternCase{"sports.*.uk", "sports.soccer.de", false},
+        PatternCase{"*", "anything", true},
+        PatternCase{"*", "two.tokens", false},
+        // trailing multi-token wildcard
+        PatternCase{"sports.#", "sports", true},
+        PatternCase{"sports.#", "sports.soccer", true},
+        PatternCase{"sports.#", "sports.soccer.uk.leeds", true},
+        PatternCase{"sports.#", "news.soccer", false},
+        PatternCase{"#", "anything", true},
+        PatternCase{"#", "a.b.c", true},
+        PatternCase{"sports.*.#", "sports.soccer", true},
+        PatternCase{"sports.*.#", "sports.soccer.uk", true},
+        PatternCase{"sports.*.#", "sports", false}));
+
+TEST(TopicPattern, ValidationErrors) {
+  EXPECT_THROW(TopicPattern(""), std::invalid_argument);
+  EXPECT_THROW(TopicPattern("a..b"), std::invalid_argument);
+  EXPECT_THROW(TopicPattern(".a"), std::invalid_argument);
+  EXPECT_THROW(TopicPattern("a."), std::invalid_argument);
+  EXPECT_THROW(TopicPattern("a.#.b"), std::invalid_argument);  // non-final '#'
+}
+
+TEST(TopicPattern, WildcardDetection) {
+  EXPECT_FALSE(TopicPattern("a.b").has_wildcards());
+  EXPECT_TRUE(TopicPattern("a.*").has_wildcards());
+  EXPECT_TRUE(TopicPattern("a.#").has_wildcards());
+}
+
+TEST(TopicPattern, MalformedTopicNamesNeverMatch) {
+  const TopicPattern p("a.#");
+  EXPECT_FALSE(p.matches(""));
+  EXPECT_FALSE(p.matches("a..b"));
+}
+
+TEST(TopicPattern, SplitTokens) {
+  EXPECT_EQ(TopicPattern::split("a.b.c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(TopicPattern::split("single"), (std::vector<std::string>{"single"}));
+  EXPECT_THROW(TopicPattern::split(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jmsperf::jms

@@ -1,0 +1,169 @@
+// Transacted sessions: commit/rollback over both the send and the
+// receive side.
+#include <chrono>
+#include <gtest/gtest.h>
+
+#include "jms/connection.hpp"
+
+using namespace std::chrono_literals;
+
+namespace jmsperf::jms {
+namespace {
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionTest() { broker_.create_topic("t"); }
+
+  Message numbered(int seq) {
+    Message m;
+    m.set_property("seq", seq);
+    return m;
+  }
+
+  Broker broker_;
+};
+
+TEST_F(TransactionTest, SendsInvisibleUntilCommit) {
+  Connection connection(broker_);
+  auto tx_session = connection.create_session(AcknowledgeMode::Transacted);
+  auto observer_session = connection.create_session();
+  auto producer = tx_session->create_producer("t");
+  auto observer = observer_session->create_consumer("t");
+
+  EXPECT_TRUE(tx_session->transacted());
+  producer->send(numbered(1));
+  producer->send(numbered(2));
+  EXPECT_EQ(tx_session->pending_sends(), 2u);
+  EXPECT_FALSE(observer->receive(150ms).has_value()) << "leaked before commit";
+  EXPECT_EQ(broker_.stats().published, 0u);
+
+  EXPECT_TRUE(tx_session->commit());
+  EXPECT_EQ(tx_session->pending_sends(), 0u);
+  for (int i = 1; i <= 2; ++i) {
+    auto m = observer->receive(1s);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ((*m)->get("seq").as_long(), i);  // send order preserved
+  }
+}
+
+TEST_F(TransactionTest, RollbackDiscardsSends) {
+  Connection connection(broker_);
+  auto tx_session = connection.create_session(AcknowledgeMode::Transacted);
+  auto observer_session = connection.create_session();
+  auto producer = tx_session->create_producer("t");
+  auto observer = observer_session->create_consumer("t");
+
+  producer->send(numbered(1));
+  tx_session->rollback();
+  EXPECT_EQ(tx_session->pending_sends(), 0u);
+  tx_session->commit();  // empty commit is fine
+  EXPECT_FALSE(observer->receive(150ms).has_value());
+  EXPECT_EQ(broker_.stats().published, 0u);
+}
+
+TEST_F(TransactionTest, RollbackRedeliversReceives) {
+  Connection connection(broker_);
+  auto plain = connection.create_session();
+  auto tx_session = connection.create_session(AcknowledgeMode::Transacted);
+  auto producer = plain->create_producer("t");
+  auto consumer = tx_session->create_consumer("t");
+
+  producer->send(numbered(1));
+  producer->send(numbered(2));
+  for (int i = 1; i <= 2; ++i) {
+    auto m = consumer->receive(1s);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_FALSE((*m)->redelivered());
+  }
+  EXPECT_EQ(consumer->unacknowledged(), 2u);
+
+  tx_session->rollback();
+  for (int i = 1; i <= 2; ++i) {
+    auto m = consumer->receive(1s);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ((*m)->get("seq").as_long(), i);
+    EXPECT_TRUE((*m)->redelivered());
+  }
+}
+
+TEST_F(TransactionTest, CommitFinalizesReceives) {
+  Connection connection(broker_);
+  auto plain = connection.create_session();
+  auto tx_session = connection.create_session(AcknowledgeMode::Transacted);
+  auto producer = plain->create_producer("t");
+  auto consumer = tx_session->create_consumer("t");
+
+  producer->send(numbered(1));
+  ASSERT_TRUE(consumer->receive(1s).has_value());
+  tx_session->commit();
+  EXPECT_EQ(consumer->unacknowledged(), 0u);
+  tx_session->rollback();  // nothing left to redeliver
+  EXPECT_FALSE(consumer->receive(150ms).has_value());
+}
+
+TEST_F(TransactionTest, ConsumeAndForwardAtomically) {
+  // The classic transacted pattern: receive from one topic, send to
+  // another, commit both together.
+  broker_.create_topic("out");
+  Connection connection(broker_);
+  auto feeder = connection.create_session();
+  auto tx_session = connection.create_session(AcknowledgeMode::Transacted);
+  auto observer_session = connection.create_session();
+
+  auto source = feeder->create_producer("t");
+  auto input = tx_session->create_consumer("t");
+  auto output = tx_session->create_producer("out");
+  auto observer = observer_session->create_consumer("out");
+
+  source->send(numbered(7));
+  auto m = input->receive(1s);
+  ASSERT_TRUE(m.has_value());
+  Message forwarded;
+  forwarded.set_property("seq", (*m)->get("seq"));
+  output->send(std::move(forwarded));
+
+  // First attempt fails: rollback returns the input and retracts the output.
+  tx_session->rollback();
+  EXPECT_FALSE(observer->receive(150ms).has_value());
+  m = input->receive(1s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE((*m)->redelivered());
+
+  // Second attempt succeeds.
+  Message again;
+  again.set_property("seq", (*m)->get("seq"));
+  output->send(std::move(again));
+  tx_session->commit();
+  auto delivered = observer->receive(1s);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ((*delivered)->get("seq").as_long(), 7);
+}
+
+TEST_F(TransactionTest, NonTransactedSessionsReject) {
+  Connection connection(broker_);
+  auto session = connection.create_session();
+  EXPECT_FALSE(session->transacted());
+  EXPECT_THROW(session->commit(), std::logic_error);
+  EXPECT_THROW(session->rollback(), std::logic_error);
+}
+
+TEST_F(TransactionTest, TransactedRecoverRejected) {
+  Connection connection(broker_);
+  auto tx_session = connection.create_session(AcknowledgeMode::Transacted);
+  auto consumer = tx_session->create_consumer("t");
+  EXPECT_THROW(consumer->recover(), std::logic_error);
+}
+
+TEST_F(TransactionTest, SessionCloseDropsPendingSends) {
+  Connection connection(broker_);
+  auto tx_session = connection.create_session(AcknowledgeMode::Transacted);
+  auto observer_session = connection.create_session();
+  auto observer = observer_session->create_consumer("t");
+  auto producer = tx_session->create_producer("t");
+  producer->send(numbered(1));
+  tx_session->close();
+  EXPECT_FALSE(observer->receive(150ms).has_value());
+}
+
+}  // namespace
+}  // namespace jmsperf::jms

@@ -1,0 +1,118 @@
+#include "queueing/gamma_dist.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace jmsperf::queueing {
+namespace {
+
+TEST(GammaDistribution, MomentFormulas) {
+  const GammaDistribution g(4.0, 0.5);
+  EXPECT_DOUBLE_EQ(g.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(g.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(g.coefficient_of_variation(), 0.5);
+}
+
+TEST(GammaDistribution, FitMeanCv) {
+  const auto g = GammaDistribution::fit_mean_cv(3.0, 0.25);
+  EXPECT_NEAR(g.mean(), 3.0, 1e-12);
+  EXPECT_NEAR(g.coefficient_of_variation(), 0.25, 1e-12);
+  EXPECT_NEAR(g.shape(), 16.0, 1e-12);
+}
+
+TEST(GammaDistribution, FitTwoMoments) {
+  const auto g = GammaDistribution::fit_two_moments(2.0, 5.0);  // var = 1
+  EXPECT_NEAR(g.mean(), 2.0, 1e-12);
+  EXPECT_NEAR(g.variance(), 1.0, 1e-12);
+}
+
+TEST(GammaDistribution, FitValidation) {
+  EXPECT_THROW(GammaDistribution::fit_mean_cv(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(GammaDistribution::fit_mean_cv(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(GammaDistribution::fit_two_moments(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GammaDistribution(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(GammaDistribution, ExponentialSpecialCase) {
+  // Gamma(1, 1/mu) is exponential(mu).
+  const GammaDistribution g(1.0, 0.5);
+  for (const double x : {0.1, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(g.cdf(x), 1.0 - std::exp(-2.0 * x), 1e-12);
+    EXPECT_NEAR(g.pdf(x), 2.0 * std::exp(-2.0 * x), 1e-12);
+  }
+  EXPECT_NEAR(g.quantile(0.5), std::log(2.0) / 2.0, 1e-10);
+}
+
+TEST(GammaDistribution, PdfBoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(GammaDistribution(2.0, 1.0).pdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(GammaDistribution(1.0, 2.0).pdf(0.0), 0.5);
+  EXPECT_TRUE(std::isinf(GammaDistribution(0.5, 1.0).pdf(0.0)));
+  EXPECT_DOUBLE_EQ(GammaDistribution(2.0, 1.0).pdf(-1.0), 0.0);
+}
+
+TEST(GammaDistribution, PdfIntegratesToCdf) {
+  // Trapezoidal integration of the density must reproduce the CDF.
+  const GammaDistribution g(2.5, 1.3);
+  const double upper = 6.0;
+  const int steps = 40000;
+  double integral = 0.0;
+  double prev = g.pdf(0.0);
+  for (int i = 1; i <= steps; ++i) {
+    const double x = upper * i / steps;
+    const double cur = g.pdf(x);
+    integral += 0.5 * (prev + cur) * (upper / steps);
+    prev = cur;
+  }
+  EXPECT_NEAR(integral, g.cdf(upper), 1e-6);
+}
+
+class GammaQuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaQuantileRoundTrip, CdfOfQuantile) {
+  const double p = GetParam();
+  for (const double shape : {0.5, 1.0, 3.0, 25.0}) {
+    const GammaDistribution g(shape, 2.0);
+    EXPECT_NEAR(g.cdf(g.quantile(p)), p, 1e-9) << "shape=" << shape;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, GammaQuantileRoundTrip,
+                         ::testing::Values(0.01, 0.1, 0.5, 0.9, 0.99, 0.9999));
+
+TEST(GammaDistribution, CdfIsMonotone) {
+  const GammaDistribution g(3.0, 1.0);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 10.0; x += 0.25) {
+    const double c = g.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(g.ccdf(2.0), 1.0 - g.cdf(2.0), 1e-15);
+}
+
+TEST(GammaDistribution, SamplingMatchesMoments) {
+  const GammaDistribution g(6.0, 0.7);
+  stats::RandomStream rng(55);
+  stats::MomentAccumulator acc;
+  for (int i = 0; i < 300000; ++i) acc.add(g.sample(rng));
+  EXPECT_NEAR(acc.mean(), g.mean(), 0.01 * g.mean());
+  EXPECT_NEAR(acc.variance(), g.variance(), 0.03 * g.variance());
+}
+
+TEST(GammaDistribution, SampleQuantilesMatchAnalytic) {
+  const GammaDistribution g(2.0, 1.5);
+  stats::RandomStream rng(56);
+  std::vector<double> xs;
+  for (int i = 0; i < 200000; ++i) xs.push_back(g.sample(rng));
+  std::sort(xs.begin(), xs.end());
+  for (const double p : {0.5, 0.9, 0.99}) {
+    const double empirical = xs[static_cast<std::size_t>(p * (xs.size() - 1))];
+    EXPECT_NEAR(empirical, g.quantile(p), 0.05 * g.quantile(p)) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace jmsperf::queueing

@@ -1,0 +1,212 @@
+#include "queueing/mg1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queueing/lindley.hpp"
+#include "queueing/reference_queues.hpp"
+#include "queueing/service_time.hpp"
+#include "stats/quantile.hpp"
+#include "stats/rng.hpp"
+
+namespace jmsperf::queueing {
+namespace {
+
+TEST(MG1Waiting, MatchesMM1ClosedForm) {
+  // With exponential service the P-K formula must reduce to the M/M/1
+  // result, and the Gamma approximation is exact (W1 is exponential).
+  const double lambda = 0.8, mu = 1.0;
+  const MG1Waiting mg1(lambda, exponential_service_moments(1.0 / mu));
+  EXPECT_NEAR(mg1.utilization(), 0.8, 1e-12);
+  EXPECT_NEAR(mg1.mean_waiting_time(), mm1_mean_waiting_time(lambda, mu), 1e-12);
+  for (const double t : {0.1, 1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(mg1.waiting_cdf(t), mm1_waiting_cdf(lambda, mu, t), 1e-9) << t;
+  }
+  for (const double p : {0.5, 0.9, 0.99, 0.9999}) {
+    EXPECT_NEAR(mg1.waiting_quantile(p), mm1_waiting_quantile(lambda, mu, p), 1e-6)
+        << p;
+  }
+}
+
+TEST(MG1Waiting, MatchesMD1MeanClosedForm) {
+  const double b = 2.0, lambda = 0.3;  // rho = 0.6
+  const MG1Waiting mg1(lambda, deterministic_service_moments(b));
+  EXPECT_NEAR(mg1.mean_waiting_time(), md1_mean_waiting_time(lambda, b), 1e-12);
+}
+
+TEST(MG1Waiting, DeterministicServiceHalvesExponentialWait) {
+  // Classic P-K consequence: E[W]_{M/D/1} = E[W]_{M/M/1} / 2 at equal rho.
+  const double lambda = 0.9;
+  const MG1Waiting md1(lambda, deterministic_service_moments(1.0));
+  const MG1Waiting mm1(lambda, exponential_service_moments(1.0));
+  EXPECT_NEAR(md1.mean_waiting_time(), mm1.mean_waiting_time() / 2.0, 1e-12);
+}
+
+TEST(MG1Waiting, Equation4And5) {
+  const stats::RawMoments b{1.0, 1.2, 2.0};
+  const double lambda = 0.5;
+  const MG1Waiting mg1(lambda, b);
+  const double rho = 0.5;
+  const double w1 = lambda * b.m2 / (2.0 * (1.0 - rho));
+  const double w2 = 2.0 * w1 * w1 + lambda * b.m3 / (3.0 * (1.0 - rho));
+  EXPECT_NEAR(mg1.mean_waiting_time(), w1, 1e-15);
+  EXPECT_NEAR(mg1.second_moment_waiting_time(), w2, 1e-15);
+  EXPECT_NEAR(mg1.waiting_probability(), rho, 1e-15);
+  EXPECT_NEAR(mg1.mean_delayed_waiting_time(), w1 / rho, 1e-15);
+  EXPECT_NEAR(mg1.mean_sojourn_time(), w1 + 1.0, 1e-15);
+}
+
+TEST(MG1Waiting, StabilityAndValidation) {
+  EXPECT_THROW(MG1Waiting(1.0, exponential_service_moments(1.0)),
+               std::invalid_argument);  // rho = 1
+  EXPECT_THROW(MG1Waiting(2.0, exponential_service_moments(1.0)),
+               std::invalid_argument);  // rho = 2
+  EXPECT_THROW(MG1Waiting(-1.0, exponential_service_moments(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(MG1Waiting(0.5, stats::RawMoments{1.0, 0.5, 1.0}),
+               std::invalid_argument);  // inconsistent moments
+}
+
+TEST(MG1Waiting, CdfBasicShape) {
+  const MG1Waiting mg1(0.9, exponential_service_moments(1.0));
+  EXPECT_DOUBLE_EQ(mg1.waiting_cdf(-1.0), 0.0);
+  EXPECT_NEAR(mg1.waiting_cdf(0.0), 1.0 - 0.9, 1e-12);  // P(W=0) = 1-rho
+  EXPECT_GT(mg1.waiting_cdf(1.0), mg1.waiting_cdf(0.5));
+  EXPECT_NEAR(mg1.waiting_cdf(1e6), 1.0, 1e-12);
+  EXPECT_NEAR(mg1.waiting_ccdf(2.0), 1.0 - mg1.waiting_cdf(2.0), 1e-15);
+}
+
+TEST(MG1Waiting, QuantileZeroBelowWaitingProbability) {
+  const MG1Waiting mg1(0.4, exponential_service_moments(1.0));  // rho=0.4
+  EXPECT_DOUBLE_EQ(mg1.waiting_quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mg1.waiting_quantile(0.6), 0.0);   // = 1-rho
+  EXPECT_GT(mg1.waiting_quantile(0.61), 0.0);
+  EXPECT_THROW((void)mg1.waiting_quantile(1.0), std::invalid_argument);
+}
+
+TEST(MG1Waiting, QuantileIsMonotoneInP) {
+  const MG1Waiting mg1(0.9, normalized_service_moments(0.4, ReplicationLaw::Binomial));
+  double prev = -1.0;
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double q = mg1.waiting_quantile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(MG1Waiting, MeanWaitGrowsWithUtilizationAndCv) {
+  // The paper's Fig. 10 qualitative claims.
+  double prev = 0.0;
+  for (const double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const MG1Waiting mg1(rho, normalized_service_moments(0.2, ReplicationLaw::Binomial));
+    EXPECT_GT(mg1.mean_waiting_time(), prev);
+    prev = mg1.mean_waiting_time();
+  }
+  const MG1Waiting low_cv(0.9, normalized_service_moments(0.0, ReplicationLaw::Deterministic));
+  const MG1Waiting high_cv(0.9, normalized_service_moments(0.4, ReplicationLaw::Binomial));
+  EXPECT_GT(high_cv.mean_waiting_time(), low_cv.mean_waiting_time());
+  // E[W]/E[B] = rho (1 + cv^2) / (2 (1 - rho)).
+  EXPECT_NEAR(low_cv.mean_waiting_time(), 0.9 / (2.0 * 0.1), 1e-9);
+  EXPECT_NEAR(high_cv.mean_waiting_time(), 0.9 * 1.16 / (2.0 * 0.1), 1e-9);
+}
+
+TEST(MG1Waiting, PaperQuasiUpperBoundAtRho09) {
+  // Sec. IV-B.5: at rho = 0.9 the 99.99% quantile stays around (the
+  // paper's rounded) 50 E[B] for the considered cv range: strictly below
+  // for cv <= 0.2, within a few percent for cv = 0.4.
+  for (const double cv : {0.0, 0.2}) {
+    const auto law = cv == 0.0 ? ReplicationLaw::Deterministic
+                               : ReplicationLaw::Binomial;
+    const MG1Waiting mg1(0.9, normalized_service_moments(cv, law));
+    EXPECT_LT(mg1.waiting_quantile(0.9999), 50.0) << "cv=" << cv;
+  }
+  const MG1Waiting worst(0.9, normalized_service_moments(0.4, ReplicationLaw::Binomial));
+  EXPECT_LT(worst.waiting_quantile(0.9999), 55.0);
+}
+
+TEST(MG1Waiting, LittleLawQueueLength) {
+  // M/M/1: L_q = rho^2 / (1 - rho).
+  const double lambda = 0.8, mu = 1.0;
+  const MG1Waiting mg1(lambda, exponential_service_moments(1.0 / mu));
+  EXPECT_NEAR(mg1.mean_queue_length(), 0.64 / 0.2, 1e-12);
+  // Buffer estimate is the arrival rate times the waiting quantile.
+  EXPECT_NEAR(mg1.required_buffer(0.99),
+              lambda * mg1.waiting_quantile(0.99), 1e-12);
+  EXPECT_DOUBLE_EQ(mg1.required_buffer(0.1), 0.0);  // below 1-rho
+}
+
+// ---- simulation cross-validation -----------------------------------------
+
+struct SimCase {
+  double rho;
+  double cv;
+};
+
+class MG1VersusLindley : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(MG1VersusLindley, MeanWaitAndWaitingProbability) {
+  const auto [rho, cv] = GetParam();
+  // Service: B = R * t with R scaled-Bernoulli, normalized scale E[B]=1.
+  const double p = cv > 0.0 ? 1.0 / (1.0 + cv * cv) : 1.0;
+  // Build sampler from the same construction as the analytic moments:
+  // R in {0, n} with P(n) = p and n*p = 1  =>  value n = 1/p.
+  const double n_value = 1.0 / p;
+  stats::RawMoments b{1.0, n_value, n_value * n_value};  // E[B^k] = p n^k
+  const MG1Waiting analytic(rho, b);
+
+  LindleyConfig config;
+  config.arrivals = 400000;
+  config.warmup = 20000;
+  config.seed = 99;
+  const auto sim = simulate_mg1_waiting(
+      rho,
+      [p, n_value](stats::RandomStream& rng) {
+        return rng.bernoulli(p) ? n_value : 0.0;
+      },
+      config);
+
+  EXPECT_NEAR(sim.waiting.mean(), analytic.mean_waiting_time(),
+              0.08 * analytic.mean_waiting_time() + 0.01)
+      << "rho=" << rho << " cv=" << cv;
+  EXPECT_NEAR(sim.waiting_probability, analytic.waiting_probability(), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MG1VersusLindley,
+                         ::testing::Values(SimCase{0.5, 0.0}, SimCase{0.5, 0.4},
+                                           SimCase{0.8, 0.2}, SimCase{0.9, 0.4},
+                                           SimCase{0.7, 0.6}));
+
+TEST(MG1VersusLindleyTail, GammaApproximationQuantiles) {
+  // Fig. 11/12 validation: the Gamma-approximated tail quantiles of W must
+  // be close to the simulated ones.  Service: B = 0.2 * Binomial(25, 0.2),
+  // so E[B] = 1 and cv[B] = sqrt(np(1-p)) * 0.2 = 0.4.
+  const double rho = 0.9;
+  const double t_tx = 0.2;
+  const BinomialReplication law(25, 0.2);
+  const ServiceTimeModel model(0.0, t_tx, law);
+  ASSERT_NEAR(model.mean(), 1.0, 1e-12);
+  ASSERT_NEAR(model.coefficient_of_variation(), 0.4, 1e-12);
+  const MG1Waiting analytic(rho, model.moments());
+
+  LindleyConfig config;
+  config.arrivals = 600000;
+  config.warmup = 30000;
+  config.seed = 7;
+  config.keep_samples = true;
+  const auto sim = simulate_mg1_waiting(
+      rho,
+      [&law, t_tx](stats::RandomStream& rng) {
+        return t_tx * static_cast<double>(law.sample(rng));
+      },
+      config);
+
+  for (const double p : {0.9, 0.99}) {
+    const double simulated = stats::sample_quantile(sim.samples, p);
+    const double approximated = analytic.waiting_quantile(p);
+    EXPECT_NEAR(simulated, approximated, 0.1 * approximated) << "p=" << p;
+  }
+  EXPECT_NEAR(sim.waiting.mean(), analytic.mean_waiting_time(),
+              0.05 * analytic.mean_waiting_time());
+}
+
+}  // namespace
+}  // namespace jmsperf::queueing

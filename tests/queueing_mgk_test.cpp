@@ -1,0 +1,129 @@
+#include "queueing/mgk.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "queueing/mg1.hpp"
+#include "queueing/reference_queues.hpp"
+
+namespace jmsperf::queueing {
+namespace {
+
+TEST(ErlangB, KnownValues) {
+  // B(a=1, c=1) = 1/2; B(a=2, c=2) = 2/5.
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b(2.0, 2), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(erlang_b(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_b(5.0, 0), 1.0);  // no servers: everything blocked
+}
+
+TEST(ErlangB, RecursionMatchesDirectFormula) {
+  // B(a, c) = (a^c / c!) / sum_k a^k/k!.
+  const double a = 3.7;
+  for (std::uint32_t c = 1; c <= 10; ++c) {
+    double num = 1.0, denom = 1.0, term = 1.0;
+    for (std::uint32_t k = 1; k <= c; ++k) {
+      term *= a / k;
+      denom += term;
+    }
+    num = term;
+    EXPECT_NEAR(erlang_b(a, c), num / denom, 1e-12) << c;
+  }
+}
+
+TEST(ErlangB, MonotoneInServers) {
+  double prev = 1.0;
+  for (std::uint32_t c = 1; c <= 20; ++c) {
+    const double b = erlang_b(8.0, c);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(ErlangC, KnownValues) {
+  // C(a, 1) = a for a < 1 (M/M/1 waiting probability = rho).
+  EXPECT_NEAR(erlang_c(0.7, 1), 0.7, 1e-12);
+  // Classic call-center value: a = 8 erlangs, c = 10 -> C ~ 0.409.
+  EXPECT_NEAR(erlang_c(8.0, 10), 0.409, 0.001);
+}
+
+TEST(ErlangC, Validation) {
+  EXPECT_THROW((void)erlang_c(2.0, 2), std::invalid_argument);  // rho = 1
+  EXPECT_THROW((void)erlang_c(1.0, 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(erlang_c(0.0, 4), 0.0);
+}
+
+TEST(MGcWaiting, ReducesToMM1) {
+  // c = 1, exponential service: exact M/M/1.
+  const double lambda = 0.8, mu = 1.0;
+  const MGcWaiting mgc(lambda, exponential_service_moments(1.0 / mu), 1);
+  EXPECT_NEAR(mgc.mean_waiting_time(), mm1_mean_waiting_time(lambda, mu), 1e-12);
+  EXPECT_NEAR(mgc.waiting_probability(), 0.8, 1e-12);
+  for (const double t : {0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(mgc.waiting_cdf(t), mm1_waiting_cdf(lambda, mu, t), 1e-12);
+  }
+  for (const double p : {0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(mgc.waiting_quantile(p), mm1_waiting_quantile(lambda, mu, p), 1e-9);
+  }
+}
+
+TEST(MGcWaiting, ReducesToPollaczekKhinchineForOneServer) {
+  // c = 1, general service: Allen-Cunneen equals P-K exactly
+  // (E[W] = rho E[B] (1+cv^2) / (2(1-rho))).
+  const stats::RawMoments b{1.0, 1.5, 3.0};  // cv^2 = 0.5
+  const double lambda = 0.6;
+  const MGcWaiting mgc(lambda, b, 1);
+  const MG1Waiting mg1(lambda, b);
+  EXPECT_NEAR(mgc.mean_waiting_time(), mg1.mean_waiting_time(), 1e-12);
+}
+
+TEST(MGcWaiting, MMcExactMeanWait) {
+  // M/M/c closed form (mu = 1): E[W] = C(a, c) / (c mu - lambda).
+  const double lambda = 3.0;
+  const std::uint32_t c = 4;
+  const MGcWaiting mgc(lambda, exponential_service_moments(1.0), c);
+  const double expected = erlang_c(3.0, 4) / (4.0 - 3.0);
+  EXPECT_NEAR(mgc.mean_waiting_time(), expected, 1e-12);
+  EXPECT_NEAR(mgc.utilization(), 0.75, 1e-12);
+  EXPECT_NEAR(mgc.offered_load(), 3.0, 1e-12);
+}
+
+TEST(MGcWaiting, DeterministicServiceHalvesExponentialWait) {
+  // Allen-Cunneen heritage: cv = 0 halves the M/M/c wait.
+  const double lambda = 3.0;
+  const MGcWaiting exp_service(lambda, exponential_service_moments(1.0), 4);
+  const MGcWaiting det_service(lambda, deterministic_service_moments(1.0), 4);
+  EXPECT_NEAR(det_service.mean_waiting_time(),
+              exp_service.mean_waiting_time() / 2.0, 1e-12);
+}
+
+TEST(MGcWaiting, MoreServersShorterWaitAtSameUtilization) {
+  // Classic pooling effect: at equal per-server rho, more servers wait less.
+  double prev = 1e9;
+  for (const std::uint32_t c : {1u, 2u, 4u, 8u, 16u}) {
+    const double lambda = 0.9 * c;  // rho = 0.9 each
+    const MGcWaiting mgc(lambda, exponential_service_moments(1.0), c);
+    EXPECT_LT(mgc.mean_waiting_time(), prev) << c;
+    prev = mgc.mean_waiting_time();
+  }
+}
+
+TEST(MGcWaiting, Validation) {
+  EXPECT_THROW(MGcWaiting(4.0, exponential_service_moments(1.0), 4),
+               std::invalid_argument);  // rho = 1
+  EXPECT_THROW(MGcWaiting(-1.0, exponential_service_moments(1.0), 2),
+               std::invalid_argument);
+  EXPECT_THROW(MGcWaiting(1.0, exponential_service_moments(1.0), 0),
+               std::invalid_argument);
+  const MGcWaiting ok(1.0, exponential_service_moments(1.0), 2);
+  EXPECT_THROW((void)ok.waiting_quantile(1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(ok.waiting_quantile(0.1), 0.0);  // below 1 - P(wait)
+}
+
+TEST(MGcWaiting, SojournIsWaitPlusService) {
+  const MGcWaiting mgc(2.0, exponential_service_moments(1.0), 3);
+  EXPECT_NEAR(mgc.mean_sojourn_time(), mgc.mean_waiting_time() + 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace jmsperf::queueing

@@ -1,0 +1,189 @@
+#include "queueing/replication.hpp"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace jmsperf::queueing {
+namespace {
+
+/// Monte-Carlo check: analytic raw moments vs sampled moments.
+void expect_moments_match_sampling(const ReplicationModel& model,
+                                   double tolerance = 0.03) {
+  stats::RandomStream rng(12345);
+  double s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const double r = model.sample(rng);
+    s1 += r;
+    s2 += r * r;
+    s3 += r * r * r;
+  }
+  const auto m = model.moments();
+  EXPECT_NEAR(s1 / n, m.m1, tolerance * std::max(1.0, m.m1)) << model.name();
+  EXPECT_NEAR(s2 / n, m.m2, tolerance * std::max(1.0, m.m2)) << model.name();
+  EXPECT_NEAR(s3 / n, m.m3, 2.0 * tolerance * std::max(1.0, m.m3)) << model.name();
+}
+
+TEST(Deterministic, MomentsArePowers) {
+  const DeterministicReplication d(7);
+  const auto m = d.moments();
+  EXPECT_DOUBLE_EQ(m.m1, 7.0);
+  EXPECT_DOUBLE_EQ(m.m2, 49.0);
+  EXPECT_DOUBLE_EQ(m.m3, 343.0);
+  EXPECT_DOUBLE_EQ(d.coefficient_of_variation(), 0.0);
+  stats::RandomStream rng(1);
+  EXPECT_EQ(d.sample(rng), 7u);
+}
+
+TEST(ScaledBernoulli, MomentsMatchTwoPointLaw) {
+  // Correct Eq. (14): E[R^2] = p n^2 (the printed p^2 n^2 is inconsistent
+  // with the paper's own inversion formulas; see DESIGN.md).
+  const ScaledBernoulliReplication b(10, 0.3);
+  const auto m = b.moments();
+  EXPECT_DOUBLE_EQ(m.m1, 3.0);
+  EXPECT_DOUBLE_EQ(m.m2, 30.0);
+  EXPECT_DOUBLE_EQ(m.m3, 300.0);
+  // Eq. (15): E[R^3] = E[R^2]^2 / E[R].
+  EXPECT_DOUBLE_EQ(m.m3, m.m2 * m.m2 / m.m1);
+}
+
+TEST(ScaledBernoulli, SamplingMatchesMoments) {
+  expect_moments_match_sampling(ScaledBernoulliReplication(20, 0.25));
+}
+
+TEST(ScaledBernoulli, MomentInversionRoundTrip) {
+  // Paper's recovery: n = E[R^2]/E[R], p = E[R]^2/E[R^2].
+  const ScaledBernoulliReplication original(16, 0.4);
+  const auto m = original.moments();
+  const auto recovered = ScaledBernoulliReplication::from_moments(m.m1, m.m2);
+  EXPECT_EQ(recovered.filters(), 16u);
+  EXPECT_NEAR(recovered.match_probability(), 0.4, 1e-12);
+}
+
+TEST(ScaledBernoulli, FromMomentsRejectsInfeasible) {
+  // p = m1^2/m2 > 1 is impossible for the two-point law.
+  EXPECT_THROW(ScaledBernoulliReplication::from_moments(2.0, 3.0),
+               std::invalid_argument);
+  EXPECT_THROW(ScaledBernoulliReplication::from_moments(0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ScaledBernoulli, RejectsBadProbability) {
+  EXPECT_THROW(ScaledBernoulliReplication(5, 1.5), std::invalid_argument);
+  EXPECT_THROW(ScaledBernoulliReplication(5, -0.1), std::invalid_argument);
+}
+
+TEST(Binomial, RawMomentsViaFactorialMoments) {
+  // n=2, p=0.5: E[R]=1, E[R^2]=1.5, E[R^3]=2.5 (direct enumeration:
+  // (0,1,2) with probs (1/4,1/2,1/4)).
+  const BinomialReplication b(2, 0.5);
+  const auto m = b.moments();
+  EXPECT_DOUBLE_EQ(m.m1, 1.0);
+  EXPECT_DOUBLE_EQ(m.m2, 1.5);
+  EXPECT_DOUBLE_EQ(m.m3, 2.5);
+}
+
+TEST(Binomial, VarianceIsNpq) {
+  const BinomialReplication b(40, 0.2);
+  EXPECT_NEAR(b.moments().variance(), 40 * 0.2 * 0.8, 1e-12);
+}
+
+TEST(Binomial, SamplingMatchesMoments) {
+  expect_moments_match_sampling(BinomialReplication(30, 0.15));
+}
+
+TEST(Binomial, PmfSumsToOneAndMatchesMoments) {
+  const BinomialReplication b(25, 0.35);
+  double sum = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+  for (std::uint32_t k = 0; k <= 25; ++k) {
+    const double p = b.pmf(k);
+    sum += p;
+    m1 += k * p;
+    m2 += static_cast<double>(k) * k * p;
+    m3 += static_cast<double>(k) * k * k * p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  const auto m = b.moments();
+  EXPECT_NEAR(m1, m.m1, 1e-10);
+  EXPECT_NEAR(m2, m.m2, 1e-9);
+  EXPECT_NEAR(m3, m.m3, 1e-8);
+  EXPECT_DOUBLE_EQ(b.pmf(26), 0.0);
+}
+
+TEST(Binomial, DegenerateProbabilities) {
+  const BinomialReplication zero(10, 0.0);
+  EXPECT_DOUBLE_EQ(zero.moments().m1, 0.0);
+  EXPECT_DOUBLE_EQ(zero.pmf(0), 1.0);
+  const BinomialReplication one(10, 1.0);
+  EXPECT_DOUBLE_EQ(one.moments().m1, 10.0);
+  EXPECT_DOUBLE_EQ(one.pmf(10), 1.0);
+  stats::RandomStream rng(3);
+  EXPECT_EQ(one.sample(rng), 10u);
+}
+
+TEST(Binomial, MomentsFromFirstTwoRecoversExactLaw) {
+  const BinomialReplication b(18, 0.4);
+  const auto m = b.moments();
+  const auto rec = BinomialReplication::moments_from_first_two(m.m1, m.m2);
+  EXPECT_NEAR(rec.m1, m.m1, 1e-10);
+  EXPECT_NEAR(rec.m2, m.m2, 1e-9);
+  EXPECT_NEAR(rec.m3, m.m3, 1e-8);
+}
+
+TEST(Binomial, MomentsFromFirstTwoRejectsOverdispersion) {
+  // Var > mean cannot come from a binomial.
+  EXPECT_THROW(BinomialReplication::moments_from_first_two(1.0, 3.0),
+               std::invalid_argument);
+}
+
+TEST(Empirical, NormalizesAndComputesMoments) {
+  const EmpiricalReplication e({1.0, 1.0, 2.0});  // P(0)=.25 P(1)=.25 P(2)=.5
+  const auto m = e.moments();
+  EXPECT_DOUBLE_EQ(m.m1, 0.25 + 1.0);
+  EXPECT_DOUBLE_EQ(m.m2, 0.25 + 2.0);
+  EXPECT_DOUBLE_EQ(m.m3, 0.25 + 4.0);
+}
+
+TEST(Empirical, SamplingMatchesMoments) {
+  expect_moments_match_sampling(EmpiricalReplication({0.1, 0.3, 0.2, 0.0, 0.4}));
+}
+
+TEST(Empirical, Validation) {
+  EXPECT_THROW(EmpiricalReplication({}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalReplication({-0.1, 1.0}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalReplication({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Empirical, MatchesBinomialWhenBuiltFromPmf) {
+  const BinomialReplication b(12, 0.3);
+  std::vector<double> pmf;
+  for (std::uint32_t k = 0; k <= 12; ++k) pmf.push_back(b.pmf(k));
+  const EmpiricalReplication e(pmf);
+  EXPECT_NEAR(e.moments().m1, b.moments().m1, 1e-10);
+  EXPECT_NEAR(e.moments().m2, b.moments().m2, 1e-9);
+  EXPECT_NEAR(e.moments().m3, b.moments().m3, 1e-8);
+}
+
+class BernoulliVsBinomialCv : public ::testing::TestWithParam<double> {};
+
+TEST_P(BernoulliVsBinomialCv, BernoulliIsAlwaysMoreVariable) {
+  // The all-or-nothing law has strictly larger variance than independent
+  // matching at the same (n, p): Var_bern = p(1-p) n^2 vs Var_bin = n p(1-p).
+  const double p = GetParam();
+  for (const std::uint32_t n : {2u, 5u, 20u, 100u}) {
+    const ScaledBernoulliReplication bern(n, p);
+    const BinomialReplication bin(n, p);
+    EXPECT_NEAR(bern.moments().variance(),
+                static_cast<double>(n) * bin.moments().variance(), 1e-6)
+        << "n=" << n << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, BernoulliVsBinomialCv,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace jmsperf::queueing

@@ -1,0 +1,138 @@
+#include "queueing/service_time.hpp"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "stats/rng.hpp"
+
+namespace jmsperf::queueing {
+namespace {
+
+// Table I correlation-ID constants for scenario-scale checks.
+constexpr double kTrcv = 8.52e-7;
+constexpr double kTfltr = 7.02e-6;
+constexpr double kTtx = 1.70e-5;
+
+TEST(ServiceTimeModel, Equation1Mean) {
+  const DeterministicReplication r(5);
+  const double d = kTrcv + 100.0 * kTfltr;
+  const ServiceTimeModel model(d, kTtx, r);
+  EXPECT_NEAR(model.mean(), kTrcv + 100.0 * kTfltr + 5.0 * kTtx, 1e-18);
+  EXPECT_DOUBLE_EQ(model.coefficient_of_variation(), 0.0);
+}
+
+TEST(ServiceTimeModel, CompositionMatchesEquations789) {
+  // Verify Eqs. (7)-(9) symbolically against a hand-expanded case.
+  const stats::RawMoments r{2.0, 6.0, 30.0};
+  const double d = 3.0, t = 0.5;
+  const ServiceTimeModel model(d, t, r);
+  const auto b = model.moments();
+  EXPECT_DOUBLE_EQ(b.m1, d + t * r.m1);
+  EXPECT_DOUBLE_EQ(b.m2, d * d + 2.0 * d * t * r.m1 + t * t * r.m2);
+  EXPECT_DOUBLE_EQ(b.m3, d * d * d + 3.0 * d * d * t * r.m1 +
+                             3.0 * d * t * t * r.m2 + t * t * t * r.m3);
+}
+
+TEST(ServiceTimeModel, CompositionMatchesMonteCarlo) {
+  const auto replication = std::make_shared<BinomialReplication>(20, 0.3);
+  const double d = 1.0, t = 0.25;
+  const ServiceTimeModel model(d, t, *replication);
+  ServiceTimeSampler sampler(d, t, replication);
+  stats::RandomStream rng(321);
+  double s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double b = sampler.sample(rng);
+    s1 += b;
+    s2 += b * b;
+    s3 += b * b * b;
+  }
+  EXPECT_NEAR(s1 / n, model.moments().m1, 0.01 * model.moments().m1);
+  EXPECT_NEAR(s2 / n, model.moments().m2, 0.02 * model.moments().m2);
+  EXPECT_NEAR(s3 / n, model.moments().m3, 0.03 * model.moments().m3);
+}
+
+TEST(ServiceTimeModel, RejectsNegativeParameters) {
+  EXPECT_THROW(ServiceTimeModel(-1.0, 1.0, stats::RawMoments::deterministic(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(ServiceTimeModel(1.0, -1.0, stats::RawMoments::deterministic(1.0)),
+               std::invalid_argument);
+}
+
+class CvRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, ReplicationLaw>> {};
+
+TEST_P(CvRoundTrip, MeanAndCvRecovered) {
+  const auto [cv, law] = GetParam();
+  const double d = kTrcv + 10.0 * kTfltr;
+  const double mean = 5.0 * d;
+  stats::RawMoments b;
+  try {
+    b = service_moments_for_cv(mean, cv, d, kTtx, law);
+  } catch (const std::invalid_argument&) {
+    // Some (cv, law) pairs are genuinely infeasible on this scale
+    // (binomial R cannot be over-dispersed); that is expected behaviour.
+    GTEST_SKIP() << "infeasible combination cv=" << cv
+                 << " law=" << to_string(law);
+  }
+  EXPECT_NEAR(b.m1, mean, 1e-12);
+  EXPECT_NEAR(b.coefficient_of_variation(), cv, 1e-9);
+  EXPECT_NO_THROW(b.validate());
+  // Third moment must be consistent (positive third raw moment).
+  EXPECT_GT(b.m3, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CvRoundTrip,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.2, 0.4, 0.6),
+                       ::testing::Values(ReplicationLaw::ScaledBernoulli,
+                                         ReplicationLaw::Binomial)));
+
+TEST(ServiceMomentsForCv, DeterministicLawOnlyZeroCv) {
+  const auto b = service_moments_for_cv(2.0, 0.0, 0.5, 1.0, ReplicationLaw::Deterministic);
+  EXPECT_DOUBLE_EQ(b.m1, 2.0);
+  EXPECT_NEAR(b.variance(), 0.0, 1e-12);
+  EXPECT_THROW((void)service_moments_for_cv(2.0, 0.3, 0.5, 1.0, ReplicationLaw::Deterministic),
+               std::invalid_argument);
+}
+
+TEST(ServiceMomentsForCv, MeanMustExceedDeterministicPart) {
+  EXPECT_THROW((void)service_moments_for_cv(1.0, 0.2, 2.0, 1.0, ReplicationLaw::Binomial),
+               std::invalid_argument);
+}
+
+TEST(NormalizedServiceMoments, UnitMeanAndRequestedCv) {
+  for (const double cv : {0.0, 0.2, 0.4}) {
+    for (const auto law : {ReplicationLaw::ScaledBernoulli, ReplicationLaw::Binomial}) {
+      if (cv == 0.0) continue;
+      const auto b = normalized_service_moments(cv, law);
+      EXPECT_NEAR(b.m1, 1.0, 1e-12);
+      EXPECT_NEAR(b.coefficient_of_variation(), cv, 1e-9);
+    }
+  }
+}
+
+TEST(NormalizedServiceMoments, LawsDifferOnlyInThirdMoment) {
+  // Figs. 10-12's insensitivity claim rests on this: the first two moments
+  // coincide across laws, only E[B^3] differs — and only slightly, which
+  // is why the waiting-time curves for the two laws nearly coincide.
+  const auto bern = normalized_service_moments(0.4, ReplicationLaw::ScaledBernoulli);
+  const auto bin = normalized_service_moments(0.4, ReplicationLaw::Binomial);
+  EXPECT_NEAR(bern.m1, bin.m1, 1e-12);
+  EXPECT_NEAR(bern.m2, bin.m2, 1e-12);
+  EXPECT_NE(bern.m3, bin.m3);
+  EXPECT_NEAR(bern.m3, bin.m3, 0.05 * bin.m3);
+}
+
+TEST(ServiceTimeSampler, RejectsNullModel) {
+  EXPECT_THROW(ServiceTimeSampler(1.0, 1.0, nullptr), std::invalid_argument);
+}
+
+TEST(ReplicationLawNames, AreStable) {
+  EXPECT_STREQ(to_string(ReplicationLaw::Deterministic), "deterministic");
+  EXPECT_STREQ(to_string(ReplicationLaw::ScaledBernoulli), "scaled-bernoulli");
+  EXPECT_STREQ(to_string(ReplicationLaw::Binomial), "binomial");
+}
+
+}  // namespace
+}  // namespace jmsperf::queueing

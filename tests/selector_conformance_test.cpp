@@ -1,0 +1,172 @@
+// Conformance corpus for the message-selector language against the JMS
+// 1.1 specification (§3.8.1): one table-driven sweep of
+// (selector, message properties, expected match) triples, including every
+// example expression the spec text itself uses.
+#include <gtest/gtest.h>
+#include <map>
+
+#include "jms/message.hpp"
+#include "selector/selector.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+using PropertyMap = std::map<std::string, Value>;
+
+struct ConformanceCase {
+  const char* name;
+  const char* selector;
+  PropertyMap properties;
+  bool matches;
+};
+
+jms::Message to_message(const PropertyMap& properties) {
+  jms::Message m;
+  for (const auto& [key, value] : properties) {
+    // JMSType resolves to the message-type header field, not a property.
+    if (key == "JMSType") {
+      m.set_type(value.as_string());
+    } else {
+      m.set_property(key, value);
+    }
+  }
+  return m;
+}
+
+class Conformance : public ::testing::TestWithParam<ConformanceCase> {};
+
+TEST_P(Conformance, SelectorAgainstMessage) {
+  const auto& c = GetParam();
+  const auto selector = Selector::compile(c.selector);
+  EXPECT_EQ(selector.matches(to_message(c.properties)), c.matches)
+      << "selector: " << c.selector;
+}
+
+Value L(std::int64_t v) { return Value(v); }
+Value D(double v) { return Value(v); }
+Value S(const char* v) { return Value(v); }
+Value B(bool v) { return Value(v); }
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecExamples, Conformance,
+    ::testing::Values(
+        // The JMS spec's canonical example.
+        ConformanceCase{"spec_example_match",
+                        "JMSType = 'car' AND color = 'blue' AND weight > 2500",
+                        {{"JMSType", S("car")}, {"color", S("blue")},
+                         {"weight", L(3000)}},
+                        true},
+        ConformanceCase{"spec_example_weight_too_low",
+                        "JMSType = 'car' AND color = 'blue' AND weight > 2500",
+                        {{"JMSType", S("car")}, {"color", S("blue")},
+                         {"weight", L(2000)}},
+                        false},
+        // "phone LIKE '12%3'" examples from the spec.
+        ConformanceCase{"spec_like_123", "phone LIKE '12%3'",
+                        {{"phone", S("123")}}, true},
+        ConformanceCase{"spec_like_12993", "phone LIKE '12%3'",
+                        {{"phone", S("12993")}}, true},
+        ConformanceCase{"spec_like_1234", "phone LIKE '12%3'",
+                        {{"phone", S("1234")}}, false},
+        // "word LIKE 'l_se'".
+        ConformanceCase{"spec_like_lose", "word LIKE 'l_se'",
+                        {{"word", S("lose")}}, true},
+        ConformanceCase{"spec_like_loose", "word LIKE 'l_se'",
+                        {{"word", S("loose")}}, false},
+        // "underscored LIKE '\_%' ESCAPE '\'".
+        ConformanceCase{"spec_like_escape_underscore",
+                        "underscored LIKE '\\_%' ESCAPE '\\'",
+                        {{"underscored", S("_foo")}}, true},
+        ConformanceCase{"spec_like_escape_bar",
+                        "underscored LIKE '\\_%' ESCAPE '\\'",
+                        {{"underscored", S("bar")}}, false},
+        // "age NOT BETWEEN 15 AND 19".
+        ConformanceCase{"spec_not_between_17", "age NOT BETWEEN 15 AND 19",
+                        {{"age", L(17)}}, false},
+        ConformanceCase{"spec_not_between_20", "age NOT BETWEEN 15 AND 19",
+                        {{"age", L(20)}}, true},
+        // "Country IN (' UK', 'US', 'France')" semantics.
+        ConformanceCase{"spec_in_uk", "Country IN ('UK', 'US', 'France')",
+                        {{"Country", S("UK")}}, true},
+        ConformanceCase{"spec_in_peru", "Country IN ('UK', 'US', 'France')",
+                        {{"Country", S("Peru")}}, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    NullSemantics, Conformance,
+    ::testing::Values(
+        // Spec: "property_name IS NULL" on absent property.
+        ConformanceCase{"is_null_absent", "prop_name IS NULL", {}, true},
+        ConformanceCase{"is_null_present", "prop_name IS NULL",
+                        {{"prop_name", L(1)}}, false},
+        ConformanceCase{"is_not_null_absent", "prop_name IS NOT NULL", {}, false},
+        // Comparisons with NULL are unknown -> no match, including via NOT.
+        ConformanceCase{"null_eq", "absent = 1", {}, false},
+        ConformanceCase{"null_ne", "absent <> 1", {}, false},
+        ConformanceCase{"not_null_eq", "NOT (absent = 1)", {}, false},
+        ConformanceCase{"null_in", "absent IN ('x')", {}, false},
+        ConformanceCase{"null_not_in", "absent NOT IN ('x')", {}, false},
+        ConformanceCase{"null_like", "absent LIKE 'x%'", {}, false},
+        ConformanceCase{"null_not_like", "absent NOT LIKE 'x%'", {}, false},
+        ConformanceCase{"null_between", "absent BETWEEN 1 AND 2", {}, false},
+        ConformanceCase{"null_arith", "absent + 2 > 1", {}, false},
+        // Unknown OR true = true; unknown AND false = false.
+        ConformanceCase{"unknown_or_true", "absent = 1 OR present = 2",
+                        {{"present", L(2)}}, true},
+        ConformanceCase{"unknown_and_false", "absent = 1 AND present = 2",
+                        {{"present", L(3)}}, false},
+        ConformanceCase{"unknown_and_true", "absent = 1 AND present = 2",
+                        {{"present", L(2)}}, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    NumericPromotion, Conformance,
+    ::testing::Values(
+        ConformanceCase{"long_vs_double_eq", "x = 5.0", {{"x", L(5)}}, true},
+        ConformanceCase{"double_vs_long_lt", "x < 5", {{"x", D(4.5)}}, true},
+        ConformanceCase{"int_division_truncates", "7 / 2 = 3", {}, true},
+        ConformanceCase{"mixed_division", "7 / 2.0 = 3.5", {}, true},
+        ConformanceCase{"unary_minus", "-x = -3", {{"x", L(3)}}, true},
+        ConformanceCase{"precedence", "2 + 3 * 4 = 14", {}, true},
+        ConformanceCase{"paren_precedence", "(2 + 3) * 4 = 20", {}, true},
+        ConformanceCase{"scientific_literal", "x > 1.5e2", {{"x", L(200)}}, true},
+        ConformanceCase{"between_inclusive_low", "x BETWEEN 5 AND 10",
+                        {{"x", L(5)}}, true},
+        ConformanceCase{"between_inclusive_high", "x BETWEEN 5 AND 10",
+                        {{"x", L(10)}}, true},
+        ConformanceCase{"between_float_bounds", "x BETWEEN 0.5 AND 1.5",
+                        {{"x", D(1.0)}}, true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    TypeStrictness, Conformance,
+    ::testing::Values(
+        // String/number comparisons are not true (unknown).
+        ConformanceCase{"string_vs_number", "s = 5", {{"s", S("5")}}, false},
+        ConformanceCase{"number_vs_string", "n = '5'", {{"n", L(5)}}, false},
+        ConformanceCase{"bool_vs_number", "b = 1", {{"b", B(true)}}, false},
+        // Booleans support equality only.
+        ConformanceCase{"bool_eq_true", "b = TRUE", {{"b", B(true)}}, true},
+        ConformanceCase{"bool_ne", "b <> TRUE", {{"b", B(false)}}, true},
+        ConformanceCase{"bare_bool_property", "b", {{"b", B(true)}}, true},
+        ConformanceCase{"bare_false_property", "b", {{"b", B(false)}}, false},
+        ConformanceCase{"not_bare_bool", "NOT b", {{"b", B(false)}}, true},
+        // String ordering is not part of the language.
+        ConformanceCase{"string_order", "s > 'a'", {{"s", S("b")}}, false},
+        // LIKE on non-string is unknown.
+        ConformanceCase{"like_on_number", "n LIKE '5%'", {{"n", L(55)}}, false},
+        // IN on non-string is unknown.
+        ConformanceCase{"in_on_number", "n IN ('5')", {{"n", L(5)}}, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    CaseSensitivity, Conformance,
+    ::testing::Values(
+        // Identifiers are case-sensitive, keywords are not.
+        ConformanceCase{"ident_case", "Color = 'red'",
+                        {{"color", S("red")}}, false},
+        ConformanceCase{"keyword_case", "color = 'red' and color is not null",
+                        {{"color", S("red")}}, true},
+        ConformanceCase{"true_keyword_case", "b = true", {{"b", B(true)}}, true},
+        // String literal content is case-sensitive.
+        ConformanceCase{"string_content_case", "color = 'Red'",
+                        {{"color", S("red")}}, false}));
+
+}  // namespace
+}  // namespace jmsperf::selector

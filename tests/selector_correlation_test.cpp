@@ -1,0 +1,98 @@
+#include "selector/correlation_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "selector/errors.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+TEST(CorrelationFilter, ExactMatch) {
+  const CorrelationIdFilter f("#0");
+  EXPECT_EQ(f.kind(), CorrelationIdFilter::Kind::Exact);
+  EXPECT_TRUE(f.matches("#0"));
+  EXPECT_FALSE(f.matches("#1"));
+  EXPECT_FALSE(f.matches("0"));
+  EXPECT_FALSE(f.matches(""));
+}
+
+TEST(CorrelationFilter, EmptyPatternMatchesEmptyId) {
+  const CorrelationIdFilter f("");
+  EXPECT_TRUE(f.matches(""));
+  EXPECT_FALSE(f.matches("x"));
+}
+
+TEST(CorrelationFilter, RangeFromPaper) {
+  // The paper's wildcard example: ranges like [7;13].
+  const CorrelationIdFilter f("[7;13]");
+  EXPECT_EQ(f.kind(), CorrelationIdFilter::Kind::Range);
+  EXPECT_TRUE(f.matches("7"));
+  EXPECT_TRUE(f.matches("13"));
+  EXPECT_TRUE(f.matches("10"));
+  EXPECT_FALSE(f.matches("6"));
+  EXPECT_FALSE(f.matches("14"));
+}
+
+TEST(CorrelationFilter, RangeUsesTrailingInteger) {
+  const CorrelationIdFilter f("[7;13]");
+  EXPECT_TRUE(f.matches("#9"));
+  EXPECT_TRUE(f.matches("id12"));
+  EXPECT_FALSE(f.matches("id99"));
+  EXPECT_FALSE(f.matches("no-digits"));
+  EXPECT_FALSE(f.matches(""));
+}
+
+TEST(CorrelationFilter, SingletonRange) {
+  const CorrelationIdFilter f("[5;5]");
+  EXPECT_TRUE(f.matches("5"));
+  EXPECT_FALSE(f.matches("4"));
+  EXPECT_FALSE(f.matches("6"));
+}
+
+TEST(CorrelationFilter, NegativeBoundsRange) {
+  const CorrelationIdFilter f("[-10;-5]");
+  // Trailing-digit extraction yields non-negative integers only, so the
+  // range can never match; but construction must succeed.
+  EXPECT_EQ(f.kind(), CorrelationIdFilter::Kind::Range);
+  EXPECT_FALSE(f.matches("7"));
+}
+
+TEST(CorrelationFilter, MalformedRangesThrow) {
+  EXPECT_THROW(CorrelationIdFilter("[7,13]"), ParseError);   // wrong separator
+  EXPECT_THROW(CorrelationIdFilter("[7;x]"), ParseError);    // non-integer
+  EXPECT_THROW(CorrelationIdFilter("[;13]"), ParseError);    // empty bound
+  EXPECT_THROW(CorrelationIdFilter("[13;7]"), ParseError);   // inverted
+}
+
+TEST(CorrelationFilter, PrefixWildcard) {
+  const CorrelationIdFilter f("order-*");
+  EXPECT_EQ(f.kind(), CorrelationIdFilter::Kind::Prefix);
+  EXPECT_TRUE(f.matches("order-1"));
+  EXPECT_TRUE(f.matches("order-"));
+  EXPECT_FALSE(f.matches("orde"));
+  EXPECT_FALSE(f.matches("xorder-1"));
+}
+
+TEST(CorrelationFilter, BareStarMatchesEverything) {
+  const CorrelationIdFilter f("*");
+  EXPECT_TRUE(f.matches(""));
+  EXPECT_TRUE(f.matches("anything"));
+}
+
+TEST(CorrelationFilter, ExposesPattern) {
+  EXPECT_EQ(CorrelationIdFilter("#7").pattern(), "#7");
+  EXPECT_EQ(CorrelationIdFilter("[1;2]").pattern(), "[1;2]");
+}
+
+class RangeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeSweep, MembershipMatchesArithmetic) {
+  const int id = GetParam();
+  const CorrelationIdFilter f("[10;20]");
+  EXPECT_EQ(f.matches(std::to_string(id)), id >= 10 && id <= 20) << id;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ids, RangeSweep, ::testing::Range(0, 31));
+
+}  // namespace
+}  // namespace jmsperf::selector

@@ -1,0 +1,241 @@
+#include "selector/evaluator.hpp"
+
+#include <gtest/gtest.h>
+#include <map>
+
+#include "selector/parser.hpp"
+#include "selector/selector.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+/// Simple map-backed property source for tests.
+class MapSource final : public PropertySource {
+ public:
+  MapSource() = default;
+  MapSource(std::initializer_list<std::pair<const std::string, Value>> init)
+      : values_(init) {}
+
+  [[nodiscard]] Value get(std::string_view name) const override {
+    const auto it = values_.find(std::string(name));
+    return it != values_.end() ? it->second : Value{};
+  }
+
+  std::map<std::string, Value> values_;
+};
+
+Tribool eval(const std::string& expr, const MapSource& source) {
+  return evaluate(*parse_selector(expr), source);
+}
+
+// ----------------------------------------------------------- three-valued
+TEST(Tribool, AndTruthTable) {
+  EXPECT_EQ(tribool_and(Tribool::True, Tribool::True), Tribool::True);
+  EXPECT_EQ(tribool_and(Tribool::True, Tribool::False), Tribool::False);
+  EXPECT_EQ(tribool_and(Tribool::True, Tribool::Unknown), Tribool::Unknown);
+  EXPECT_EQ(tribool_and(Tribool::False, Tribool::Unknown), Tribool::False);
+  EXPECT_EQ(tribool_and(Tribool::Unknown, Tribool::Unknown), Tribool::Unknown);
+}
+
+TEST(Tribool, OrTruthTable) {
+  EXPECT_EQ(tribool_or(Tribool::False, Tribool::False), Tribool::False);
+  EXPECT_EQ(tribool_or(Tribool::False, Tribool::True), Tribool::True);
+  EXPECT_EQ(tribool_or(Tribool::Unknown, Tribool::True), Tribool::True);
+  EXPECT_EQ(tribool_or(Tribool::Unknown, Tribool::False), Tribool::Unknown);
+  EXPECT_EQ(tribool_or(Tribool::Unknown, Tribool::Unknown), Tribool::Unknown);
+}
+
+TEST(Tribool, NotTruthTable) {
+  EXPECT_EQ(tribool_not(Tribool::True), Tribool::False);
+  EXPECT_EQ(tribool_not(Tribool::False), Tribool::True);
+  EXPECT_EQ(tribool_not(Tribool::Unknown), Tribool::Unknown);
+}
+
+// ------------------------------------------------------------ comparisons
+TEST(Evaluator, NumericComparisons) {
+  const MapSource props{{"x", Value(std::int64_t{5})}, {"y", Value(2.5)}};
+  EXPECT_EQ(eval("x = 5", props), Tribool::True);
+  EXPECT_EQ(eval("x <> 5", props), Tribool::False);
+  EXPECT_EQ(eval("x > 4", props), Tribool::True);
+  EXPECT_EQ(eval("x >= 5", props), Tribool::True);
+  EXPECT_EQ(eval("x < 5", props), Tribool::False);
+  EXPECT_EQ(eval("x <= 4", props), Tribool::False);
+  // Mixed exact/approximate comparison is allowed.
+  EXPECT_EQ(eval("y < x", props), Tribool::True);
+  EXPECT_EQ(eval("y = 2.5", props), Tribool::True);
+}
+
+TEST(Evaluator, StringComparisons) {
+  const MapSource props{{"color", Value("red")}};
+  EXPECT_EQ(eval("color = 'red'", props), Tribool::True);
+  EXPECT_EQ(eval("color <> 'blue'", props), Tribool::True);
+  EXPECT_EQ(eval("color = 'blue'", props), Tribool::False);
+  // Ordering on strings is not part of the JMS selector language.
+  EXPECT_EQ(eval("color > 'blue'", props), Tribool::Unknown);
+}
+
+TEST(Evaluator, BooleanComparisons) {
+  const MapSource props{{"flag", Value(true)}};
+  EXPECT_EQ(eval("flag = TRUE", props), Tribool::True);
+  EXPECT_EQ(eval("flag <> FALSE", props), Tribool::True);
+  EXPECT_EQ(eval("flag = FALSE", props), Tribool::False);
+  EXPECT_EQ(eval("flag", props), Tribool::True);
+  EXPECT_EQ(eval("NOT flag", props), Tribool::False);
+}
+
+TEST(Evaluator, TypeMismatchIsUnknown) {
+  const MapSource props{{"s", Value("abc")}, {"n", Value(std::int64_t{1})},
+                        {"b", Value(true)}};
+  EXPECT_EQ(eval("s = 1", props), Tribool::Unknown);
+  EXPECT_EQ(eval("n = 'abc'", props), Tribool::Unknown);
+  EXPECT_EQ(eval("b = 1", props), Tribool::Unknown);
+  EXPECT_EQ(eval("s = TRUE", props), Tribool::Unknown);
+}
+
+TEST(Evaluator, NullPropagatesThroughComparison) {
+  const MapSource props;  // everything NULL
+  EXPECT_EQ(eval("missing = 1", props), Tribool::Unknown);
+  EXPECT_EQ(eval("missing <> 1", props), Tribool::Unknown);
+  EXPECT_EQ(eval("missing = missing", props), Tribool::Unknown);
+}
+
+TEST(Evaluator, NullAbsorbedByLogic) {
+  const MapSource props{{"a", Value(std::int64_t{1})}};
+  // FALSE AND UNKNOWN = FALSE; TRUE OR UNKNOWN = TRUE (SQL-92).
+  EXPECT_EQ(eval("a = 2 AND missing = 1", props), Tribool::False);
+  EXPECT_EQ(eval("a = 1 OR missing = 1", props), Tribool::True);
+  EXPECT_EQ(eval("a = 1 AND missing = 1", props), Tribool::Unknown);
+  EXPECT_EQ(eval("a = 2 OR missing = 1", props), Tribool::Unknown);
+  EXPECT_EQ(eval("NOT (missing = 1)", props), Tribool::Unknown);
+}
+
+// ------------------------------------------------------------- arithmetic
+TEST(Evaluator, Arithmetic) {
+  const MapSource props{{"x", Value(std::int64_t{7})}, {"y", Value(2.0)}};
+  EXPECT_EQ(eval("x + 3 = 10", props), Tribool::True);
+  EXPECT_EQ(eval("x - 3 * 2 = 1", props), Tribool::True);
+  EXPECT_EQ(eval("x / 2 = 3", props), Tribool::True);    // integer division
+  EXPECT_EQ(eval("x / 2.0 = 3.5", props), Tribool::True);  // float division
+  EXPECT_EQ(eval("-x = -7", props), Tribool::True);
+  EXPECT_EQ(eval("+y = 2.0", props), Tribool::True);
+}
+
+TEST(Evaluator, DivisionByZeroIsUnknown) {
+  const MapSource props{{"x", Value(std::int64_t{7})}};
+  EXPECT_EQ(eval("x / 0 = 1", props), Tribool::Unknown);
+  EXPECT_EQ(eval("x / 0.0 = 1", props), Tribool::Unknown);
+}
+
+TEST(Evaluator, ArithmeticOnNonNumbersIsUnknown) {
+  const MapSource props{{"s", Value("abc")}};
+  EXPECT_EQ(eval("s + 1 = 2", props), Tribool::Unknown);
+  EXPECT_EQ(eval("-s = 1", props), Tribool::Unknown);
+  EXPECT_EQ(eval("missing + 1 = 2", props), Tribool::Unknown);
+}
+
+// ----------------------------------------------------- BETWEEN / IN / LIKE
+TEST(Evaluator, Between) {
+  const MapSource props{{"age", Value(std::int64_t{30})}};
+  EXPECT_EQ(eval("age BETWEEN 18 AND 65", props), Tribool::True);
+  EXPECT_EQ(eval("age BETWEEN 30 AND 30", props), Tribool::True);  // inclusive
+  EXPECT_EQ(eval("age BETWEEN 31 AND 65", props), Tribool::False);
+  EXPECT_EQ(eval("age NOT BETWEEN 31 AND 65", props), Tribool::True);
+  EXPECT_EQ(eval("missing BETWEEN 1 AND 2", props), Tribool::Unknown);
+  EXPECT_EQ(eval("missing NOT BETWEEN 1 AND 2", props), Tribool::Unknown);
+}
+
+TEST(Evaluator, InMembership) {
+  const MapSource props{{"region", Value("emea")}};
+  EXPECT_EQ(eval("region IN ('emea', 'apac')", props), Tribool::True);
+  EXPECT_EQ(eval("region IN ('amer')", props), Tribool::False);
+  EXPECT_EQ(eval("region NOT IN ('amer')", props), Tribool::True);
+  EXPECT_EQ(eval("missing IN ('a')", props), Tribool::Unknown);
+}
+
+TEST(Evaluator, InOnNonStringIsUnknown) {
+  const MapSource props{{"n", Value(std::int64_t{1})}};
+  EXPECT_EQ(eval("n IN ('1')", props), Tribool::Unknown);
+}
+
+TEST(Evaluator, Like) {
+  const MapSource props{{"name", Value("order-42")}};
+  EXPECT_EQ(eval("name LIKE 'order-%'", props), Tribool::True);
+  EXPECT_EQ(eval("name LIKE 'order-__'", props), Tribool::True);
+  EXPECT_EQ(eval("name LIKE 'order-_'", props), Tribool::False);
+  EXPECT_EQ(eval("name NOT LIKE 'x%'", props), Tribool::True);
+  EXPECT_EQ(eval("missing LIKE 'a%'", props), Tribool::Unknown);
+  EXPECT_EQ(eval("missing NOT LIKE 'a%'", props), Tribool::Unknown);
+}
+
+TEST(Evaluator, IsNullNeverUnknown) {
+  const MapSource props{{"present", Value(std::int64_t{1})}};
+  EXPECT_EQ(eval("present IS NULL", props), Tribool::False);
+  EXPECT_EQ(eval("present IS NOT NULL", props), Tribool::True);
+  EXPECT_EQ(eval("missing IS NULL", props), Tribool::True);
+  EXPECT_EQ(eval("missing IS NOT NULL", props), Tribool::False);
+}
+
+// ------------------------------------------------------- value evaluation
+TEST(EvaluateValue, Arithmetic) {
+  const MapSource props{{"x", Value(std::int64_t{6})}};
+  const auto v = evaluate_value(*parse_selector("x * 2 + 1"), props);
+  ASSERT_TRUE(v.is_long());
+  EXPECT_EQ(v.as_long(), 13);
+}
+
+TEST(EvaluateValue, PromotesToDouble) {
+  const MapSource props{{"x", Value(std::int64_t{6})}};
+  const auto v = evaluate_value(*parse_selector("x + 0.5"), props);
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_double(), 6.5);
+}
+
+TEST(EvaluateValue, BooleanContextMapsUnknownToNull) {
+  const MapSource props;
+  const auto v = evaluate_value(*parse_selector("missing = 1"), props);
+  EXPECT_TRUE(v.is_null());
+}
+
+// -------------------------------------------------------- Selector facade
+TEST(Selector, MatchesOnlyOnTrue) {
+  const auto selector = Selector::compile("x = 1");
+  EXPECT_TRUE(selector.matches(MapSource{{"x", Value(std::int64_t{1})}}));
+  EXPECT_FALSE(selector.matches(MapSource{{"x", Value(std::int64_t{2})}}));
+  EXPECT_FALSE(selector.matches(MapSource{}));  // UNKNOWN rejects
+}
+
+TEST(Selector, MatchAll) {
+  const auto selector = Selector::match_all();
+  EXPECT_TRUE(selector.is_match_all());
+  EXPECT_TRUE(selector.matches(MapSource{}));
+  EXPECT_TRUE(selector.identifiers().empty());
+}
+
+TEST(Selector, ExposesTextAndIdentifiers) {
+  const auto selector = Selector::compile("a = 1 AND b LIKE 'x%'");
+  EXPECT_EQ(selector.text(), "((a = 1) AND (b LIKE 'x%'))");
+  EXPECT_EQ(selector.identifiers(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Selector, CopiesShareCompiledTree) {
+  const auto a = Selector::compile("x > 3");
+  const auto b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(b.matches(MapSource{{"x", Value(std::int64_t{4})}}));
+}
+
+// The paper's complex AND/OR filter rules (Sec. III-B.1).
+TEST(Selector, ComplexAndOrFilters) {
+  const auto selector = Selector::compile(
+      "(category = 'sports' OR category = 'news') AND priority >= 3 "
+      "AND region IN ('eu', 'us') AND breaking = TRUE");
+  MapSource props{{"category", Value("news")},
+                  {"priority", Value(std::int64_t{5})},
+                  {"region", Value("eu")},
+                  {"breaking", Value(true)}};
+  EXPECT_TRUE(selector.matches(props));
+  props.values_["region"] = Value("asia");
+  EXPECT_FALSE(selector.matches(props));
+}
+
+}  // namespace
+}  // namespace jmsperf::selector

@@ -1,0 +1,138 @@
+// Randomized round-trip testing of the selector compiler: generate random
+// expression trees, print them, re-parse, and require print/parse
+// idempotence; also feed random token soup to the parser and require it
+// to either parse or throw SelectorError — never crash or hang.
+#include <gtest/gtest.h>
+
+#include "selector/errors.hpp"
+#include "selector/parser.hpp"
+#include "stats/rng.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+class RandomExpressionBuilder {
+ public:
+  explicit RandomExpressionBuilder(std::uint64_t seed) : rng_(seed) {}
+
+  std::string condition(int depth = 0) {
+    const int max_depth = 4;
+    const auto choice = depth >= max_depth ? rng_.uniform_int(0, 4)
+                                           : rng_.uniform_int(0, 7);
+    switch (choice) {
+      case 0:
+        return identifier() + " " + comparison_op() + " " + arithmetic(depth + 1);
+      case 1:
+        return identifier() + (rng_.bernoulli(0.5) ? " BETWEEN " : " NOT BETWEEN ") +
+               arithmetic(depth + 1) + " AND " + arithmetic(depth + 1);
+      case 2:
+        return identifier() + (rng_.bernoulli(0.5) ? " IS NULL" : " IS NOT NULL");
+      case 3:
+        return identifier() + (rng_.bernoulli(0.5) ? " LIKE " : " NOT LIKE ") +
+               string_literal();
+      case 4: {
+        std::string list = identifier() + (rng_.bernoulli(0.5) ? " IN (" : " NOT IN (");
+        const auto entries = rng_.uniform_int(1, 3);
+        for (int i = 0; i < entries; ++i) {
+          if (i > 0) list += ", ";
+          list += string_literal();
+        }
+        return list + ")";
+      }
+      case 5:
+        return "NOT " + condition(depth + 1);
+      case 6:
+        return "(" + condition(depth + 1) + " AND " + condition(depth + 1) + ")";
+      default:
+        return "(" + condition(depth + 1) + " OR " + condition(depth + 1) + ")";
+    }
+  }
+
+ private:
+  std::string comparison_op() {
+    static const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+    return ops[rng_.uniform_int(0, 5)];
+  }
+
+  std::string arithmetic(int depth) {
+    if (depth >= 5 || rng_.bernoulli(0.5)) return operand();
+    static const char* ops[] = {" + ", " - ", " * ", " / "};
+    return "(" + arithmetic(depth + 1) + ops[rng_.uniform_int(0, 3)] +
+           arithmetic(depth + 1) + ")";
+  }
+
+  std::string operand() {
+    switch (rng_.uniform_int(0, 3)) {
+      case 0: return identifier();
+      case 1: return std::to_string(rng_.uniform_int(0, 9999));
+      case 2: return std::to_string(rng_.uniform_int(1, 99)) + "." +
+                     std::to_string(rng_.uniform_int(0, 99));
+      default: return "-" + std::to_string(rng_.uniform_int(1, 500));
+    }
+  }
+
+  std::string identifier() {
+    static const char* names[] = {"alpha", "beta", "gamma_2", "_tmp", "$cost",
+                                  "JMSPriority", "x", "quantity"};
+    return names[rng_.uniform_int(0, 7)];
+  }
+
+  std::string string_literal() {
+    static const char* values[] = {"'red'", "'a%b'", "'x_y'", "''",
+                                   "'it''s'", "'end%'"};
+    return values[rng_.uniform_int(0, 5)];
+  }
+
+  stats::RandomStream rng_;
+};
+
+class SelectorRoundTripFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectorRoundTripFuzz, PrintParseIdempotent) {
+  RandomExpressionBuilder builder(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::string source = builder.condition();
+    ExprPtr first;
+    ASSERT_NO_THROW(first = parse_selector(source)) << source;
+    const std::string printed = to_string(*first);
+    ExprPtr second;
+    ASSERT_NO_THROW(second = parse_selector(printed)) << printed;
+    EXPECT_EQ(to_string(*second), printed) << "source: " << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectorRoundTripFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 11u, 42u, 2006u));
+
+class SelectorTokenSoup : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectorTokenSoup, ParseOrThrowNeverCrash) {
+  stats::RandomStream rng(GetParam());
+  static const char* fragments[] = {
+      "AND", "OR",  "NOT",  "BETWEEN", "LIKE", "IN",   "IS",    "NULL",
+      "(",   ")",   ",",    "=",       "<>",   "<",    ">=",    "+",
+      "-",   "*",   "/",    "5",       "2.5",  "'s'",  "ident", "TRUE",
+      "FALSE", "ESCAPE"};
+  for (int i = 0; i < 500; ++i) {
+    std::string soup;
+    const auto length = rng.uniform_int(1, 12);
+    for (int t = 0; t < length; ++t) {
+      soup += fragments[rng.uniform_int(0, 25)];
+      soup += " ";
+    }
+    try {
+      const auto expr = parse_selector(soup);
+      // If it parsed, the result must round-trip.
+      const std::string printed = to_string(*expr);
+      EXPECT_EQ(to_string(*parse_selector(printed)), printed) << soup;
+    } catch (const SelectorError&) {
+      // Expected for most random soups.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectorTokenSoup,
+                         ::testing::Values(7u, 13u, 99u, 12345u));
+
+}  // namespace
+}  // namespace jmsperf::selector

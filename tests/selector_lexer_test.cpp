@@ -1,0 +1,115 @@
+#include "selector/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "selector/errors.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view source) {
+  std::vector<TokenKind> out;
+  for (const auto& token : Lexer::tokenize(source)) out.push_back(token.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInput) {
+  EXPECT_EQ(kinds(""), (std::vector<TokenKind>{TokenKind::EndOfInput}));
+  EXPECT_EQ(kinds("   \t\n "), (std::vector<TokenKind>{TokenKind::EndOfInput}));
+}
+
+TEST(Lexer, IntegerLiteral) {
+  const auto tokens = Lexer::tokenize("42");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::IntegerLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+}
+
+TEST(Lexer, FloatLiterals) {
+  for (const auto& [text, value] : std::vector<std::pair<std::string, double>>{
+           {"3.14", 3.14}, {"2.", 2.0}, {"1e3", 1000.0}, {"2.5e-2", 0.025},
+           {"7E+2", 700.0}}) {
+    const auto tokens = Lexer::tokenize(text);
+    ASSERT_EQ(tokens[0].kind, TokenKind::FloatLiteral) << text;
+    EXPECT_DOUBLE_EQ(tokens[0].float_value, value) << text;
+  }
+}
+
+TEST(Lexer, IntegerFollowedByDotDigitIsFloat) {
+  const auto tokens = Lexer::tokenize("10.5");
+  EXPECT_EQ(tokens[0].kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 10.5);
+}
+
+TEST(Lexer, StringLiteralWithEscapedQuote) {
+  const auto tokens = Lexer::tokenize("'it''s'");
+  ASSERT_EQ(tokens[0].kind, TokenKind::StringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(Lexer::tokenize("'abc"), ParseError);
+}
+
+TEST(Lexer, KeywordsCaseInsensitive) {
+  EXPECT_EQ(kinds("AND and AnD"),
+            (std::vector<TokenKind>{TokenKind::KwAnd, TokenKind::KwAnd,
+                                    TokenKind::KwAnd, TokenKind::EndOfInput}));
+  EXPECT_EQ(kinds("between LIKE In is NULL escape TRUE false"),
+            (std::vector<TokenKind>{
+                TokenKind::KwBetween, TokenKind::KwLike, TokenKind::KwIn,
+                TokenKind::KwIs, TokenKind::KwNull, TokenKind::KwEscape,
+                TokenKind::KwTrue, TokenKind::KwFalse, TokenKind::EndOfInput}));
+}
+
+TEST(Lexer, IdentifiersAreCaseSensitive) {
+  const auto tokens = Lexer::tokenize("Price price PRICE_2 _x $y");
+  EXPECT_EQ(tokens[0].text, "Price");
+  EXPECT_EQ(tokens[1].text, "price");
+  EXPECT_EQ(tokens[2].text, "PRICE_2");
+  EXPECT_EQ(tokens[3].text, "_x");
+  EXPECT_EQ(tokens[4].text, "$y");
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(tokens[i].kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  EXPECT_EQ(kinds("= <> < <= > >= + - * / ( ) ,"),
+            (std::vector<TokenKind>{
+                TokenKind::Equal, TokenKind::NotEqual, TokenKind::Less,
+                TokenKind::LessEqual, TokenKind::Greater, TokenKind::GreaterEqual,
+                TokenKind::Plus, TokenKind::Minus, TokenKind::Star,
+                TokenKind::Slash, TokenKind::LeftParen, TokenKind::RightParen,
+                TokenKind::Comma, TokenKind::EndOfInput}));
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(Lexer::tokenize("a # b"), ParseError);
+  EXPECT_THROW(Lexer::tokenize("a ! b"), ParseError);
+}
+
+TEST(Lexer, PositionsReported) {
+  const auto tokens = Lexer::tokenize("ab = 12");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 3u);
+  EXPECT_EQ(tokens[2].position, 5u);
+}
+
+TEST(Lexer, ParseErrorCarriesPosition) {
+  try {
+    Lexer::tokenize("x = ~");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.position(), 4u);
+  }
+}
+
+TEST(Lexer, CompleteSelectorExpression) {
+  const auto tokens =
+      Lexer::tokenize("JMSPriority >= 5 AND color IN ('red', 'blue')");
+  EXPECT_EQ(tokens.size(), 12u);  // incl. EndOfInput
+  EXPECT_EQ(tokens[0].text, "JMSPriority");
+  EXPECT_EQ(tokens[5].kind, TokenKind::KwIn);
+}
+
+}  // namespace
+}  // namespace jmsperf::selector

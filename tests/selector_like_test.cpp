@@ -1,0 +1,100 @@
+#include "selector/like_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "selector/errors.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+struct LikeCase {
+  const char* pattern;
+  const char* input;
+  bool expected;
+};
+
+class LikeCorpus : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeCorpus, Matches) {
+  const auto& c = GetParam();
+  const LikeMatcher matcher(c.pattern);
+  EXPECT_EQ(matcher.matches(c.input), c.expected)
+      << "pattern='" << c.pattern << "' input='" << c.input << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Basic, LikeCorpus,
+    ::testing::Values(
+        LikeCase{"abc", "abc", true}, LikeCase{"abc", "abd", false},
+        LikeCase{"abc", "ab", false}, LikeCase{"abc", "abcd", false},
+        LikeCase{"", "", true}, LikeCase{"", "x", false},
+        // single-character wildcard
+        LikeCase{"a_c", "abc", true}, LikeCase{"a_c", "ac", false},
+        LikeCase{"a_c", "abbc", false}, LikeCase{"___", "abc", true},
+        LikeCase{"___", "ab", false},
+        // any-run wildcard
+        LikeCase{"%", "", true}, LikeCase{"%", "anything", true},
+        LikeCase{"a%", "a", true}, LikeCase{"a%", "abc", true},
+        LikeCase{"a%", "ba", false}, LikeCase{"%c", "abc", true},
+        LikeCase{"%c", "cab", false}, LikeCase{"a%c", "ac", true},
+        LikeCase{"a%c", "abbbc", true}, LikeCase{"a%c", "abcb", false},
+        LikeCase{"%b%", "abc", true}, LikeCase{"%b%", "aaa", false},
+        // combinations
+        LikeCase{"_%", "a", true}, LikeCase{"_%", "", false},
+        LikeCase{"a_%c", "axyc", true}, LikeCase{"a_%c", "ac", false},
+        // adjacent % collapse
+        LikeCase{"a%%c", "abc", true}, LikeCase{"%%", "", true},
+        // the JMS spec's own examples
+        LikeCase{"12%3", "123", true}, LikeCase{"12%3", "12993", true},
+        LikeCase{"12%3", "1234", false}, LikeCase{"l_se", "lose", true},
+        LikeCase{"l_se", "loose", false}));
+
+TEST(LikeMatcher, EscapeMakesWildcardLiteral) {
+  const LikeMatcher m("a!%b", '!');
+  EXPECT_TRUE(m.matches("a%b"));
+  EXPECT_FALSE(m.matches("axb"));
+  const LikeMatcher u("a!_b", '!');
+  EXPECT_TRUE(u.matches("a_b"));
+  EXPECT_FALSE(u.matches("axb"));
+}
+
+TEST(LikeMatcher, EscapedEscape) {
+  const LikeMatcher m("a!!b", '!');
+  EXPECT_TRUE(m.matches("a!b"));
+  EXPECT_FALSE(m.matches("a!!b"));
+}
+
+TEST(LikeMatcher, SpecEscapeExample) {
+  // "\_%" ESCAPE "\" matches "_foo" but not "bar".
+  const LikeMatcher m("\\_%", '\\');
+  EXPECT_TRUE(m.matches("_foo"));
+  EXPECT_FALSE(m.matches("bar"));
+}
+
+TEST(LikeMatcher, MalformedEscapeThrows) {
+  EXPECT_THROW(LikeMatcher("abc!", '!'), ParseError);   // escape at end
+  EXPECT_THROW(LikeMatcher("a!bc", '!'), ParseError);   // escaping ordinary char
+}
+
+TEST(LikeMatcher, NoEscapeConfiguredTreatsBangLiterally) {
+  const LikeMatcher m("a!%");
+  EXPECT_TRUE(m.matches("a!"));
+  EXPECT_TRUE(m.matches("a!xyz"));
+  EXPECT_FALSE(m.matches("ab"));
+}
+
+TEST(LikeMatcher, LongInputsTerminate) {
+  // Pathological pattern with many % segments must still match quickly.
+  const LikeMatcher m("%a%b%c%d%e%");
+  const std::string input(200, 'x');
+  EXPECT_FALSE(m.matches(input));
+  EXPECT_TRUE(m.matches("1a2b3c4d5e6"));
+}
+
+TEST(LikeMatcher, ExposesPattern) {
+  const LikeMatcher m("ab%");
+  EXPECT_EQ(m.pattern(), "ab%");
+}
+
+}  // namespace
+}  // namespace jmsperf::selector

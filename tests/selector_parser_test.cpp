@@ -1,0 +1,149 @@
+#include "selector/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "selector/errors.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+std::string normalized(std::string_view source) {
+  return to_string(*parse_selector(source));
+}
+
+TEST(Parser, PrecedenceArithmeticOverComparison) {
+  EXPECT_EQ(normalized("a + b * c = d"), "((a + (b * c)) = d)");
+  EXPECT_EQ(normalized("a - b / c > 2"), "((a - (b / c)) > 2)");
+}
+
+TEST(Parser, PrecedenceComparisonOverNotAndOr) {
+  EXPECT_EQ(normalized("NOT a = 1 AND b = 2 OR c = 3"),
+            "(((NOT (a = 1)) AND (b = 2)) OR (c = 3))");
+}
+
+TEST(Parser, AndBindsTighterThanOr) {
+  EXPECT_EQ(normalized("a = 1 OR b = 2 AND c = 3"),
+            "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(Parser, ParenthesesOverride) {
+  EXPECT_EQ(normalized("(a = 1 OR b = 2) AND c = 3"),
+            "(((a = 1) OR (b = 2)) AND (c = 3))");
+  EXPECT_EQ(normalized("(a + b) * c = 0"), "(((a + b) * c) = 0)");
+}
+
+TEST(Parser, UnaryOperators) {
+  EXPECT_EQ(normalized("-a < +b"), "((-a) < (+b))");
+  EXPECT_EQ(normalized("- -a = 1"), "((-(-a)) = 1)");
+  EXPECT_EQ(normalized("NOT NOT a = 1"), "(NOT (NOT (a = 1)))");
+}
+
+TEST(Parser, LeftAssociativeChains) {
+  EXPECT_EQ(normalized("a - b - c = 0"), "(((a - b) - c) = 0)");
+  EXPECT_EQ(normalized("a / b / c = 0"), "(((a / b) / c) = 0)");
+}
+
+TEST(Parser, BetweenForms) {
+  EXPECT_EQ(normalized("age BETWEEN 18 AND 65"), "(age BETWEEN 18 AND 65)");
+  EXPECT_EQ(normalized("age NOT BETWEEN 18 AND 65"), "(age NOT BETWEEN 18 AND 65)");
+  // BETWEEN bounds are additive expressions.
+  EXPECT_EQ(normalized("x BETWEEN a + 1 AND b * 2"), "(x BETWEEN (a + 1) AND (b * 2))");
+}
+
+TEST(Parser, BetweenInsideConjunction) {
+  EXPECT_EQ(normalized("a BETWEEN 1 AND 2 AND b = 3"),
+            "((a BETWEEN 1 AND 2) AND (b = 3))");
+}
+
+TEST(Parser, InLists) {
+  EXPECT_EQ(normalized("color IN ('red')"), "(color IN ('red'))");
+  EXPECT_EQ(normalized("color NOT IN ('red', 'blue')"),
+            "(color NOT IN ('red', 'blue'))");
+}
+
+TEST(Parser, LikeForms) {
+  EXPECT_EQ(normalized("name LIKE 'a%'"), "(name LIKE 'a%')");
+  EXPECT_EQ(normalized("name NOT LIKE '_b'"), "(name NOT LIKE '_b')");
+  EXPECT_EQ(normalized("name LIKE 'a!%' ESCAPE '!'"), "(name LIKE 'a!%' ESCAPE '!')");
+}
+
+TEST(Parser, IsNullForms) {
+  EXPECT_EQ(normalized("prop IS NULL"), "(prop IS NULL)");
+  EXPECT_EQ(normalized("prop IS NOT NULL"), "(prop IS NOT NULL)");
+}
+
+TEST(Parser, BooleanLiteralsAndIdentifiers) {
+  EXPECT_EQ(normalized("TRUE"), "TRUE");
+  EXPECT_EQ(normalized("flag = FALSE"), "(flag = FALSE)");
+  EXPECT_EQ(normalized("enabled"), "enabled");
+}
+
+TEST(Parser, StringLiteralEscapingRoundTrip) {
+  EXPECT_EQ(normalized("s = 'it''s'"), "(s = 'it''s')");
+}
+
+TEST(Parser, ReferencedIdentifiers) {
+  const auto expr = parse_selector("a = 1 AND b LIKE 'x%' OR c IS NULL AND a > 2");
+  EXPECT_EQ(referenced_identifiers(*expr),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+class InvalidSelector : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(InvalidSelector, Throws) {
+  EXPECT_THROW(parse_selector(GetParam()), SelectorError) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, InvalidSelector,
+    ::testing::Values(
+        "",                       // empty expression
+        "a =",                    // missing rhs
+        "= 1",                    // missing lhs
+        "a = 1 AND",              // dangling AND
+        "a BETWEEN 1",            // missing AND hi
+        "a BETWEEN 1 2",          // missing AND
+        "color IN ()",            // empty IN list
+        "color IN ('a',)",        // trailing comma
+        "color IN (1)",           // non-string IN entry
+        "name LIKE 5",            // non-string pattern
+        "name LIKE 'a' ESCAPE 'xy'",  // multi-char escape
+        "5 LIKE 'x'",             // LIKE needs identifier subject
+        "'lit' IN ('a')",         // IN needs identifier subject
+        "5 IS NULL",              // IS NULL needs identifier subject
+        "a IS 1",                 // IS must be followed by [NOT] NULL
+        "(a = 1",                 // unbalanced paren
+        "a = 1)",                 // trailing junk
+        "a NOT 5",                // NOT without BETWEEN/LIKE/IN
+        "a , b",                  // stray comma
+        "a = 1 1"));              // trailing token
+
+class ValidSelector : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ValidSelector, ParsesAndRoundTrips) {
+  const char* source = GetParam();
+  ExprPtr expr;
+  ASSERT_NO_THROW(expr = parse_selector(source)) << source;
+  // Normalized text must itself re-parse to the same normal form
+  // (idempotence of the printer/parser pair).
+  const std::string printed = to_string(*expr);
+  EXPECT_EQ(to_string(*parse_selector(printed)), printed) << source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ValidSelector,
+    ::testing::Values(
+        "JMSPriority >= 5",
+        "quantity + 1 > 10 AND price * 1.19 <= 100.0",
+        "region IN ('emea', 'apac') OR region IS NULL",
+        "JMSCorrelationID LIKE 'order-%' ESCAPE '\\'",
+        "NOT (a = 1 OR b = 2)",
+        "x BETWEEN -5 AND +5",
+        "flag = TRUE AND NOT done = FALSE",
+        "a <> b",
+        "weight / 2 - tare >= net",
+        "s = 'with ''quote'' inside'",
+        "p1 = 1 AND p2 = 2 AND p3 = 3 AND p4 = 4 AND p5 = 5"));
+
+}  // namespace
+}  // namespace jmsperf::selector

@@ -1,0 +1,169 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace jmsperf::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimestampOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsDelivery) {
+  EventQueue queue;
+  bool fired = false;
+  auto handle = queue.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());  // second cancel is a no-op
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelledHeadSkipped) {
+  EventQueue queue;
+  std::vector<int> order;
+  auto first = queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  first.cancel();
+  EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);
+  while (!queue.empty()) queue.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue queue;
+  EXPECT_THROW(queue.pop(), std::logic_error);
+  EXPECT_THROW((void)queue.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, NullCallbackRejected) {
+  EventQueue queue;
+  EXPECT_THROW(queue.schedule(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim;
+  std::vector<double> seen;
+  sim.schedule_at(1.5, [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(0.5, [&] { seen.push_back(sim.now()); });
+  const auto fired = sim.run_until();
+  EXPECT_EQ(fired, 2u);
+  EXPECT_EQ(seen, (std::vector<double>{0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(3.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run_until();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, RejectsPastAndNegative) {
+  Simulation sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run_until();
+  EXPECT_THROW(sim.schedule_at(0.5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, HorizonStopsAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_TRUE(sim.has_pending_events());
+  // A second bounded run picks up where we left off.
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulation, EventAtHorizonStillFires) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_at(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, StopEndsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run_until();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.has_pending_events());
+}
+
+TEST(Simulation, StepFiresSingleEvent) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.events_fired(), 2u);
+}
+
+TEST(Simulation, ResetClearsState) {
+  Simulation sim;
+  sim.schedule_at(1.0, [] {});
+  sim.schedule_at(9.0, [] {});
+  sim.run_until(2.0);
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_FALSE(sim.has_pending_events());
+  EXPECT_EQ(sim.events_fired(), 0u);
+}
+
+TEST(Simulation, CascadedEventsKeepOrder) {
+  // An event chain where each event schedules the next; the kernel must
+  // process them strictly in time order.
+  Simulation sim;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 100) sim.schedule_in(0.25, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run_until();
+  ASSERT_EQ(times.size(), 100u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_NEAR(times[i] - times[i - 1], 0.25, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace jmsperf::sim

@@ -1,0 +1,86 @@
+#include "stats/batch_means.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace jmsperf::stats {
+namespace {
+
+TEST(BatchMeans, BatchingArithmetic) {
+  BatchMeans bm(4);
+  for (int i = 1; i <= 8; ++i) bm.add(i);
+  ASSERT_EQ(bm.batch_count(), 2u);
+  EXPECT_DOUBLE_EQ(bm.batch_means()[0], 2.5);
+  EXPECT_DOUBLE_EQ(bm.batch_means()[1], 6.5);
+  EXPECT_DOUBLE_EQ(bm.mean(), 4.5);
+}
+
+TEST(BatchMeans, IncompleteBatchIgnored) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 9; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.batch_count(), 0u);
+  EXPECT_THROW((void)bm.mean(), std::logic_error);
+  bm.add(1.0);
+  EXPECT_EQ(bm.batch_count(), 1u);
+}
+
+TEST(BatchMeans, Validation) {
+  EXPECT_THROW(BatchMeans(0), std::invalid_argument);
+  BatchMeans bm(2);
+  bm.add(1.0);
+  bm.add(2.0);
+  EXPECT_THROW((void)bm.confidence_interval(), std::logic_error);  // needs 2 batches
+  EXPECT_THROW((void)bm.batch_autocorrelation(), std::logic_error);
+}
+
+TEST(BatchMeans, IidDataIntervalCoversTruth) {
+  RandomStream rng(17);
+  BatchMeans bm(1000);
+  for (int i = 0; i < 50000; ++i) bm.add(rng.exponential(2.0));  // mean 0.5
+  const auto ci = bm.confidence_interval(0.95);
+  EXPECT_TRUE(ci.contains(0.5));
+  EXPECT_LT(ci.relative_half_width(), 0.05);
+}
+
+TEST(BatchMeans, DetectsAutocorrelationWithSmallBatches) {
+  // AR(1) process with strong positive correlation: tiny batches leave
+  // visible correlation between batch means, large batches wash it out.
+  RandomStream rng(18);
+  auto run = [&](std::uint64_t batch_size) {
+    BatchMeans bm(batch_size);
+    double x = 0.0;
+    RandomStream local(19);
+    for (int i = 0; i < 200000; ++i) {
+      x = 0.95 * x + local.normal(0.0, 1.0);
+      bm.add(x);
+    }
+    return bm.batch_autocorrelation();
+  };
+  const double small_batches = run(10);
+  const double large_batches = run(5000);
+  EXPECT_GT(small_batches, 0.5);
+  EXPECT_LT(std::abs(large_batches), 0.3);
+  (void)rng;
+}
+
+TEST(BatchMeans, CorrelatedDataWiderIntervalThanNaive) {
+  // The whole point of batch means: for positively correlated data the
+  // batch-means interval is wider than the (invalid) i.i.d. interval over
+  // raw observations.
+  RandomStream rng(20);
+  std::vector<double> raw;
+  BatchMeans bm(2000);
+  double x = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    x = 0.9 * x + rng.normal(0.0, 1.0);
+    raw.push_back(x);
+    bm.add(x);
+  }
+  const auto naive = mean_confidence_interval(raw, 0.95);
+  const auto batched = bm.confidence_interval(0.95);
+  EXPECT_GT(batched.half_width(), 2.0 * naive.half_width());
+}
+
+}  // namespace
+}  // namespace jmsperf::stats

@@ -1,0 +1,63 @@
+#include "stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace jmsperf::stats {
+namespace {
+
+TEST(ConfidenceInterval, BasicProperties) {
+  const auto ci = mean_confidence_interval({1.0, 2.0, 3.0, 4.0, 5.0}, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_LT(ci.lower, 3.0);
+  EXPECT_GT(ci.upper, 3.0);
+  EXPECT_TRUE(ci.contains(3.0));
+  EXPECT_FALSE(ci.contains(100.0));
+  EXPECT_NEAR(ci.half_width(), (ci.upper - ci.lower) / 2.0, 1e-12);
+}
+
+TEST(ConfidenceInterval, KnownTValue) {
+  // n=5, s^2 = 2.5, se = sqrt(0.5); t_{0.975, 4} = 2.776.
+  const auto ci = mean_confidence_interval({1.0, 2.0, 3.0, 4.0, 5.0}, 0.95);
+  EXPECT_NEAR(ci.half_width(), 2.776 * std::sqrt(0.5), 0.01);
+}
+
+TEST(ConfidenceInterval, WiderConfidenceWiderInterval) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 7.0, 2.0};
+  const auto c90 = mean_confidence_interval(xs, 0.90);
+  const auto c99 = mean_confidence_interval(xs, 0.99);
+  EXPECT_LT(c90.half_width(), c99.half_width());
+}
+
+TEST(ConfidenceInterval, Errors) {
+  EXPECT_THROW(mean_confidence_interval({1.0}), std::invalid_argument);
+  EXPECT_THROW(mean_confidence_interval({1.0, 2.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(mean_confidence_interval({1.0, 2.0}, 1.0), std::invalid_argument);
+}
+
+TEST(ConfidenceInterval, RelativeHalfWidth) {
+  const auto ci = mean_confidence_interval({10.0, 10.0, 10.2, 9.8});
+  EXPECT_NEAR(ci.relative_half_width(), ci.half_width() / ci.mean, 1e-12);
+}
+
+TEST(ConfidenceInterval, CoverageProperty) {
+  // Repeatedly sample i.i.d. data with known mean; the 95% CI should
+  // contain the true mean roughly 95% of the time.
+  RandomStream rng(2024);
+  const double true_mean = 0.5;  // exponential(2)
+  int covered = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> sample;
+    for (int i = 0; i < 10; ++i) sample.push_back(rng.exponential(2.0));
+    if (mean_confidence_interval(sample, 0.95).contains(true_mean)) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  // Exponential data is skewed, so allow a generous band around 0.95.
+  EXPECT_GT(coverage, 0.88);
+  EXPECT_LT(coverage, 0.99);
+}
+
+}  // namespace
+}  // namespace jmsperf::stats

@@ -1,0 +1,113 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace jmsperf::stats {
+namespace {
+
+TEST(Histogram, BinArithmetic) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(4), 10.0);
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bin 0 (inclusive lower edge)
+  h.add(1.99);   // bin 0
+  h.add(2.0);    // bin 1
+  h.add(9.99);   // bin 4
+  h.add(10.0);   // overflow (exclusive upper edge)
+  h.add(50.0);   // overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, CdfAndCcdf) {
+  Histogram h(0.0, 4.0, 4);
+  for (const double x : {0.5, 1.5, 1.6, 2.5}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.ccdf_at_bin(1), 0.25);
+  EXPECT_THROW((void)h.cdf_at_bin(4), std::out_of_range);
+}
+
+TEST(Histogram, CdfCountsUnderflowBelow) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(-5.0);
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(0), 1.0);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  Histogram empty(0.0, 1.0, 2);
+  EXPECT_THROW((void)empty.cdf_at_bin(0), std::logic_error);
+}
+
+TEST(Histogram, UniformSampleIsFlat) {
+  RandomStream rng(31);
+  Histogram h(0.0, 1.0, 10);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) h.add(rng.uniform());
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    EXPECT_NEAR(static_cast<double>(h.count(b)) / n, 0.1, 0.01) << b;
+  }
+}
+
+TEST(LogHistogram, GeometricBins) {
+  LogHistogram h(1.0, 1000.0, 3);  // decades
+  EXPECT_NEAR(h.bin_lower(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bin_upper(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_upper(2), 1000.0, 1e-6);
+  EXPECT_NEAR(h.bin_center(0), std::sqrt(10.0), 1e-9);
+}
+
+TEST(LogHistogram, CountsAcrossDecades) {
+  LogHistogram h(1.0, 1000.0, 3);
+  h.add(0.5);    // underflow
+  h.add(2.0);    // decade 1
+  h.add(50.0);   // decade 2
+  h.add(500.0);  // decade 3
+  h.add(2000.0); // overflow
+  h.add(0.0);    // non-positive -> underflow
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(LogHistogram, Validation) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 2), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, ServiceTimeSpanUseCase) {
+  // The Fig. 5 use case: service times spanning orders of magnitude fall
+  // into distinct log bins.
+  LogHistogram h(1e-6, 1.0, 6);
+  h.add(1.8e-5);  // ~ unfiltered E[B]
+  h.add(7e-3);    // ~ 1000-filter E[B]
+  EXPECT_EQ(h.total(), 2u);
+  std::size_t populated = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) populated += h.count(b) > 0 ? 1 : 0;
+  EXPECT_EQ(populated, 2u);
+}
+
+}  // namespace
+}  // namespace jmsperf::stats

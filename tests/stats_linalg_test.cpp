@@ -1,0 +1,135 @@
+#include "stats/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace jmsperf::stats {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+}
+
+TEST(Matrix, InitializerListRejectsRagged) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(Matrix, MultiplyIdentity) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix i = Matrix::identity(2);
+  const Matrix p = m * i;
+  EXPECT_DOUBLE_EQ(p(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 3.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const auto v = m * std::vector<double>{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  EXPECT_THROW(a * std::vector<double>{1.0}, std::invalid_argument);
+}
+
+TEST(SolveLinearSystem, TwoByTwo) {
+  const auto x = solve_linear_system({{2.0, 1.0}, {1.0, 3.0}}, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  const auto x = solve_linear_system({{0.0, 1.0}, {1.0, 0.0}}, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  EXPECT_THROW(solve_linear_system({{1.0, 2.0}, {2.0, 4.0}}, {1.0, 2.0}),
+               std::runtime_error);
+}
+
+TEST(SolveLinearSystem, ShapeChecks) {
+  EXPECT_THROW(solve_linear_system(Matrix(2, 3), {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(solve_linear_system(Matrix(2, 2), {1.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, ExactFitRecovered) {
+  // y = 3 + 2 a - b, noiseless: residual must vanish, R^2 = 1.
+  Matrix design(6, 3);
+  std::vector<double> y(6);
+  const double as[] = {0, 1, 2, 3, 4, 5};
+  const double bs[] = {1, 0, 2, 1, 5, 3};
+  for (int i = 0; i < 6; ++i) {
+    design(i, 0) = 1.0;
+    design(i, 1) = as[i];
+    design(i, 2) = bs[i];
+    y[i] = 3.0 + 2.0 * as[i] - bs[i];
+  }
+  const auto fit = least_squares(design, y);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[2], -1.0, 1e-10);
+  EXPECT_NEAR(fit.residual_sum_of_squares, 0.0, 1e-16);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LeastSquares, NoisyFitCloseToTruth) {
+  RandomStream rng(11);
+  const int n = 500;
+  Matrix design(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 10.0);
+    design(i, 0) = 1.0;
+    design(i, 1) = a;
+    y[i] = 1.0 + 0.5 * a + rng.normal(0.0, 0.1);
+  }
+  const auto fit = least_squares(design, y);
+  EXPECT_NEAR(fit.coefficients[0], 1.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[1], 0.5, 0.01);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(LeastSquares, WeightsSuppressOutlier) {
+  // One wild outlier with near-zero weight should not disturb the fit.
+  Matrix design(4, 1);
+  for (int i = 0; i < 4; ++i) design(i, 0) = 1.0;
+  const std::vector<double> y = {1.0, 1.0, 1.0, 100.0};
+  const auto unweighted = least_squares(design, y);
+  EXPECT_NEAR(unweighted.coefficients[0], 25.75, 1e-10);
+  const auto weighted = least_squares(design, y, {1.0, 1.0, 1.0, 1e-12});
+  EXPECT_NEAR(weighted.coefficients[0], 1.0, 1e-6);
+}
+
+TEST(LeastSquares, Underdetermined) {
+  EXPECT_THROW(least_squares(Matrix(2, 3), {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, WeightCountMismatch) {
+  EXPECT_THROW(least_squares(Matrix(3, 1), {1.0, 2.0, 3.0}, {1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jmsperf::stats

@@ -1,0 +1,163 @@
+#include "stats/moments.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace jmsperf::stats {
+namespace {
+
+TEST(RawMoments, DeterministicConstruction) {
+  const auto m = RawMoments::deterministic(3.0);
+  EXPECT_DOUBLE_EQ(m.m1, 3.0);
+  EXPECT_DOUBLE_EQ(m.m2, 9.0);
+  EXPECT_DOUBLE_EQ(m.m3, 27.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.coefficient_of_variation(), 0.0);
+}
+
+TEST(RawMoments, ScaledMatchesAlgebra) {
+  const RawMoments r{2.0, 6.0, 30.0};
+  const auto s = r.scaled(3.0);
+  EXPECT_DOUBLE_EQ(s.m1, 6.0);
+  EXPECT_DOUBLE_EQ(s.m2, 54.0);
+  EXPECT_DOUBLE_EQ(s.m3, 810.0);
+  // The cv is scale-invariant.
+  EXPECT_NEAR(s.coefficient_of_variation(), r.coefficient_of_variation(), 1e-12);
+}
+
+TEST(RawMoments, ShiftedMatchesBinomialExpansion) {
+  const RawMoments r{2.0, 6.0, 30.0};
+  const double d = 1.5;
+  const auto s = r.shifted(d);
+  EXPECT_DOUBLE_EQ(s.m1, d + 2.0);
+  EXPECT_DOUBLE_EQ(s.m2, d * d + 2.0 * d * 2.0 + 6.0);
+  EXPECT_DOUBLE_EQ(s.m3, d * d * d + 3.0 * d * d * 2.0 + 3.0 * d * 6.0 + 30.0);
+  // Shifting preserves central moments.
+  EXPECT_NEAR(s.variance(), r.variance(), 1e-12);
+  EXPECT_NEAR(s.third_central(), r.third_central(), 1e-9);
+}
+
+TEST(RawMoments, ValidateDetectsInconsistency) {
+  EXPECT_THROW((RawMoments{-1.0, 1.0, 1.0}.validate()), std::invalid_argument);
+  EXPECT_THROW((RawMoments{2.0, 1.0, 1.0}.validate()), std::invalid_argument);
+  EXPECT_NO_THROW((RawMoments{1.0, 2.0, 6.0}.validate()));
+}
+
+TEST(MomentAccumulator, EmptyThrows) {
+  MomentAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_THROW((void)acc.mean(), std::logic_error);
+  EXPECT_THROW((void)acc.variance(), std::logic_error);
+  EXPECT_THROW((void)acc.min(), std::logic_error);
+}
+
+TEST(MomentAccumulator, SingleValue) {
+  MomentAccumulator acc;
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+  EXPECT_THROW((void)acc.sample_variance(), std::logic_error);
+}
+
+TEST(MomentAccumulator, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 4.0, 9.0, 16.0, 25.0, 2.0, 2.0, 8.0};
+  MomentAccumulator acc;
+  double sum = 0.0;
+  for (const double x : xs) {
+    acc.add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double m2 = 0.0, m3 = 0.0;
+  for (const double x : xs) {
+    m2 += (x - mean) * (x - mean);
+    m3 += std::pow(x - mean, 3);
+  }
+  EXPECT_NEAR(acc.mean(), mean, 1e-12);
+  EXPECT_NEAR(acc.variance(), m2 / xs.size(), 1e-10);
+  EXPECT_NEAR(acc.skewness(),
+              std::sqrt(static_cast<double>(xs.size())) * m3 / std::pow(m2, 1.5), 1e-10);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 25.0);
+  EXPECT_NEAR(acc.sum(), sum, 1e-10);
+}
+
+TEST(MomentAccumulator, MergeEqualsSequential) {
+  RandomStream rng(123);
+  MomentAccumulator whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_NEAR(left.skewness(), whole.skewness(), 1e-6);
+  EXPECT_NEAR(left.excess_kurtosis(), whole.excess_kurtosis(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(MomentAccumulator, MergeWithEmpty) {
+  MomentAccumulator a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(MomentAccumulator, RawMomentsRoundTrip) {
+  RandomStream rng(7);
+  MomentAccumulator acc;
+  double s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(0.5);
+    acc.add(x);
+    s1 += x;
+    s2 += x * x;
+    s3 += x * x * x;
+  }
+  const auto raw = acc.raw_moments();
+  EXPECT_NEAR(raw.m1, s1 / n, 1e-9);
+  EXPECT_NEAR(raw.m2, s2 / n, 1e-6);
+  EXPECT_NEAR(raw.m3, s3 / n, 1e-4 * raw.m3);
+}
+
+TEST(MomentAccumulator, ExponentialStatistics) {
+  // Exponential(rate 2): mean 0.5, cv 1, skewness 2, excess kurtosis 6.
+  RandomStream rng(99);
+  MomentAccumulator acc;
+  for (int i = 0; i < 400000; ++i) acc.add(rng.exponential(2.0));
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+  EXPECT_NEAR(acc.coefficient_of_variation(), 1.0, 0.02);
+  EXPECT_NEAR(acc.skewness(), 2.0, 0.1);
+  EXPECT_NEAR(acc.excess_kurtosis(), 6.0, 0.6);
+}
+
+TEST(MomentAccumulator, ResetClears) {
+  MomentAccumulator acc;
+  acc.add(1.0);
+  acc.reset();
+  EXPECT_TRUE(acc.empty());
+}
+
+TEST(MomentAccumulator, CvUndefinedForZeroMean) {
+  MomentAccumulator acc;
+  acc.add(-1.0);
+  acc.add(1.0);
+  EXPECT_THROW((void)acc.coefficient_of_variation(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace jmsperf::stats

@@ -1,0 +1,121 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "stats/special_functions.hpp"
+
+namespace jmsperf::stats {
+namespace {
+
+TEST(SampleQuantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(sample_quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(sample_quantile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(sample_quantile({7.0}, 1.0), 7.0);
+}
+
+TEST(SampleQuantile, MinMedianMax) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(sample_quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sample_quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(sample_quantile(xs, 1.0), 5.0);
+}
+
+TEST(SampleQuantile, LinearInterpolationType7) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  // h = 3 * 0.5 = 1.5 -> between x[1]=2 and x[2]=3.
+  EXPECT_DOUBLE_EQ(sample_quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(sample_quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(SampleQuantile, Errors) {
+  EXPECT_THROW(sample_quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(sample_quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(sample_quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(SampleQuantiles, BatchMatchesSingle) {
+  RandomStream rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform());
+  const std::vector<double> ps = {0.01, 0.25, 0.5, 0.75, 0.99};
+  const auto batch = sample_quantiles(xs, ps);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], sample_quantile(xs, ps[i]));
+  }
+}
+
+TEST(SampleQuantiles, Monotone) {
+  RandomStream rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.exponential(1.0));
+  const auto qs = sample_quantiles(xs, {0.1, 0.3, 0.5, 0.7, 0.9, 0.99});
+  EXPECT_TRUE(std::is_sorted(qs.begin(), qs.end()));
+}
+
+TEST(P2Quantile, NeedsFiveSamples) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 4; ++i) {
+    q.add(i);
+    EXPECT_THROW((void)q.value(), std::logic_error);
+  }
+  q.add(4.0);
+  EXPECT_NO_THROW((void)q.value());
+}
+
+TEST(P2Quantile, RejectsBadProbability) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+class P2VersusExact : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2VersusExact, UniformSample) {
+  const double p = GetParam();
+  RandomStream rng(42);
+  P2Quantile estimator(p);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.uniform();
+    estimator.add(x);
+    xs.push_back(x);
+  }
+  const double exact = sample_quantile(std::move(xs), p);
+  EXPECT_NEAR(estimator.value(), exact, 0.01) << "p=" << p;
+  // For Uniform(0,1), the p-quantile is p itself.
+  EXPECT_NEAR(estimator.value(), p, 0.01);
+}
+
+TEST_P(P2VersusExact, ExponentialSample) {
+  const double p = GetParam();
+  RandomStream rng(43);
+  P2Quantile estimator(p);
+  for (int i = 0; i < 200000; ++i) estimator.add(rng.exponential(1.0));
+  const double exact = -std::log(1.0 - p);
+  EXPECT_NEAR(estimator.value(), exact, 0.05 * std::max(1.0, exact)) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2VersusExact,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+TEST(P2Quantile, GammaTailQuantile) {
+  // Compare the streaming 99% quantile of a Gamma(2,1) stream with the
+  // analytic inverse CDF.
+  RandomStream rng(44);
+  P2Quantile estimator(0.99);
+  for (int i = 0; i < 300000; ++i) estimator.add(rng.gamma(2.0, 1.0));
+  const double exact = gamma_p_inv(2.0, 0.99);
+  EXPECT_NEAR(estimator.value(), exact, 0.05 * exact);
+}
+
+TEST(P2Quantile, TracksCount) {
+  P2Quantile q(0.9);
+  for (int i = 0; i < 17; ++i) q.add(i);
+  EXPECT_EQ(q.count(), 17u);
+  EXPECT_DOUBLE_EQ(q.probability(), 0.9);
+}
+
+}  // namespace
+}  // namespace jmsperf::stats

@@ -1,0 +1,143 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/moments.hpp"
+
+namespace jmsperf::stats {
+namespace {
+
+TEST(RandomStream, DeterministicForFixedSeed) {
+  RandomStream a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RandomStream, DifferentSeedsDiffer) {
+  RandomStream a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomStream, SpawnedStreamsAreIndependentAndReproducible) {
+  RandomStream parent1(77), parent2(77);
+  RandomStream childA = parent1.spawn();
+  RandomStream childB = parent1.spawn();
+  RandomStream childA2 = parent2.spawn();
+  // Same spawn index from same seed reproduces.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(childA.uniform(), childA2.uniform());
+  }
+  // Different spawn indices give different streams.
+  RandomStream childA3 = parent2.spawn();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (childB.uniform() == childA3.uniform()) ++equal;
+  }
+  EXPECT_EQ(equal, 100);  // childB is spawn #2 of parent1, childA3 spawn #2 of parent2
+}
+
+TEST(RandomStream, UniformRange) {
+  RandomStream rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(5.0, 2.0), std::invalid_argument);
+}
+
+TEST(RandomStream, UniformIntInclusive) {
+  RandomStream rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 1;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(RandomStream, ExponentialMoments) {
+  RandomStream rng(5);
+  MomentAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.exponential(4.0));
+  EXPECT_NEAR(acc.mean(), 0.25, 0.005);
+  EXPECT_NEAR(acc.coefficient_of_variation(), 1.0, 0.02);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RandomStream, GammaMoments) {
+  RandomStream rng(6);
+  MomentAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.gamma(4.0, 0.5));
+  EXPECT_NEAR(acc.mean(), 2.0, 0.02);
+  EXPECT_NEAR(acc.variance(), 1.0, 0.05);
+  EXPECT_THROW(rng.gamma(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(RandomStream, BinomialMomentsAndEdges) {
+  RandomStream rng(7);
+  MomentAccumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.binomial(20, 0.3));
+  EXPECT_NEAR(acc.mean(), 6.0, 0.05);
+  EXPECT_NEAR(acc.variance(), 4.2, 0.15);
+  EXPECT_EQ(rng.binomial(10, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(10, 1.0), 10u);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_THROW(rng.binomial(5, 1.5), std::invalid_argument);
+}
+
+TEST(RandomStream, PoissonMoments) {
+  RandomStream rng(8);
+  MomentAccumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.poisson(3.5));
+  EXPECT_NEAR(acc.mean(), 3.5, 0.05);
+  EXPECT_NEAR(acc.variance(), 3.5, 0.15);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(RandomStream, BernoulliFrequency) {
+  RandomStream rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.2) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.2, 0.01);
+  EXPECT_THROW(rng.bernoulli(-0.1), std::invalid_argument);
+}
+
+TEST(RandomStream, DiscreteWeights) {
+  RandomStream rng(10);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 60000; ++i) ++counts[rng.discrete({1.0, 2.0, 3.0})];
+  EXPECT_NEAR(counts[0] / 60000.0, 1.0 / 6.0, 0.01);
+  EXPECT_NEAR(counts[1] / 60000.0, 2.0 / 6.0, 0.01);
+  EXPECT_NEAR(counts[2] / 60000.0, 3.0 / 6.0, 0.01);
+  EXPECT_THROW(rng.discrete({}), std::invalid_argument);
+}
+
+TEST(RandomStream, NormalMoments) {
+  RandomStream rng(11);
+  MomentAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.02);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.02);
+  EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace jmsperf::stats

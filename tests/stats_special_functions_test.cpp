@@ -1,0 +1,197 @@
+#include "stats/special_functions.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace jmsperf::stats {
+namespace {
+
+TEST(LogGamma, KnownValues) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), std::domain_error);
+  EXPECT_THROW(log_gamma(-1.0), std::domain_error);
+}
+
+TEST(GammaP, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(gamma_p(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(2.0, 0.0), 1.0);
+  EXPECT_NEAR(gamma_p(1.0, 1e10), 1.0, 1e-12);
+}
+
+TEST(GammaP, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^{-x}: the Gamma(1) CDF is the exponential CDF.
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(GammaP, ErlangSpecialCase) {
+  // P(2, x) = 1 - e^{-x}(1 + x).
+  for (const double x : {0.1, 1.0, 3.0, 7.0}) {
+    EXPECT_NEAR(gamma_p(2.0, x), 1.0 - std::exp(-x) * (1.0 + x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(GammaP, ComplementIdentity) {
+  for (const double a : {0.3, 1.0, 2.5, 10.0, 100.0}) {
+    for (const double x : {0.01, 0.5, 1.0, 2.0, 10.0, 50.0, 200.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaP, MedianOfGammaShapeOne) {
+  EXPECT_NEAR(gamma_p(1.0, std::log(2.0)), 0.5, 1e-12);
+}
+
+TEST(GammaP, RejectsBadArguments) {
+  EXPECT_THROW(gamma_p(0.0, 1.0), std::domain_error);
+  EXPECT_THROW(gamma_p(1.0, -1.0), std::domain_error);
+  EXPECT_THROW(gamma_q(-2.0, 1.0), std::domain_error);
+}
+
+class GammaInverseRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GammaInverseRoundTrip, PInvThenPRecoversP) {
+  const auto [a, p] = GetParam();
+  const double x = gamma_p_inv(a, p);
+  EXPECT_NEAR(gamma_p(a, x), p, 1e-9) << "a=" << a << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GammaInverseRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(0.2, 0.5, 1.0, 2.0, 4.0, 16.0, 100.0, 1000.0),
+        ::testing::Values(1e-6, 0.01, 0.1, 0.5, 0.9, 0.99, 0.9999)));
+
+TEST(GammaInverse, Extremes) {
+  EXPECT_DOUBLE_EQ(gamma_p_inv(3.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(gamma_p_inv(3.0, 1.0)));
+  EXPECT_THROW(gamma_p_inv(3.0, 1.5), std::domain_error);
+  EXPECT_THROW(gamma_p_inv(3.0, -0.1), std::domain_error);
+}
+
+TEST(BetaI, BoundaryAndSymmetry) {
+  EXPECT_DOUBLE_EQ(beta_i(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(beta_i(2.0, 3.0, 1.0), 1.0);
+  for (const double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    // I_x(a,b) = 1 - I_{1-x}(b,a).
+    EXPECT_NEAR(beta_i(2.0, 5.0, x), 1.0 - beta_i(5.0, 2.0, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(BetaI, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (const double x : {0.0, 0.2, 0.5, 0.77, 1.0}) {
+    EXPECT_NEAR(beta_i(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(BetaI, KnownValue) {
+  // I_x(2,2) = x^2 (3 - 2x).
+  for (const double x : {0.1, 0.4, 0.6, 0.9}) {
+    EXPECT_NEAR(beta_i(2.0, 2.0, x), x * x * (3.0 - 2.0 * x), 1e-12);
+  }
+}
+
+class BetaInverseRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(BetaInverseRoundTrip, InvThenForwardRecovers) {
+  const auto [a, b, p] = GetParam();
+  const double x = beta_i_inv(a, b, p);
+  EXPECT_NEAR(beta_i(a, b, x), p, 1e-9) << "a=" << a << " b=" << b << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BetaInverseRoundTrip,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0, 10.0),
+                       ::testing::Values(0.5, 1.0, 3.0, 20.0),
+                       ::testing::Values(0.001, 0.1, 0.5, 0.9, 0.999)));
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+class NormalQuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileRoundTrip, CdfOfQuantile) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-11) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NormalQuantileRoundTrip,
+                         ::testing::Values(1e-10, 1e-6, 0.001, 0.025, 0.2, 0.5,
+                                           0.8, 0.975, 0.999, 1.0 - 1e-6));
+
+TEST(NormalQuantile, Symmetry) {
+  for (const double p : {0.01, 0.1, 0.3}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-10);
+  }
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+}
+
+TEST(StudentT, MatchesNormalForLargeNu) {
+  for (const double p : {0.9, 0.95, 0.99}) {
+    EXPECT_NEAR(student_t_quantile(p, 1e7), normal_quantile(p), 1e-4);
+  }
+}
+
+TEST(StudentT, KnownQuantiles) {
+  // Classic t-table values.
+  EXPECT_NEAR(student_t_quantile(0.975, 1.0), 12.706, 0.005);
+  EXPECT_NEAR(student_t_quantile(0.975, 2.0), 4.303, 0.002);
+  EXPECT_NEAR(student_t_quantile(0.975, 10.0), 2.228, 0.002);
+  EXPECT_NEAR(student_t_quantile(0.95, 5.0), 2.015, 0.002);
+}
+
+TEST(StudentT, CdfQuantileRoundTrip) {
+  for (const double nu : {1.0, 3.0, 10.0, 50.0}) {
+    for (const double p : {0.6, 0.9, 0.99}) {
+      EXPECT_NEAR(student_t_cdf(student_t_quantile(p, nu), nu), p, 1e-9);
+    }
+  }
+}
+
+TEST(StudentT, CauchySpecialCase) {
+  // nu = 1 is the Cauchy distribution: CDF(t) = 1/2 + atan(t)/pi.
+  for (const double t : {-2.0, 0.0, 1.0, 5.0}) {
+    EXPECT_NEAR(student_t_cdf(t, 1.0), 0.5 + std::atan(t) / M_PI, 1e-10);
+  }
+}
+
+TEST(BinomialCoefficient, SmallExactValues) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(10, 3), 120.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(3, 7), 0.0);
+}
+
+TEST(BinomialCoefficient, PascalIdentity) {
+  for (unsigned n = 2; n <= 30; ++n) {
+    for (unsigned k = 1; k < n; ++k) {
+      EXPECT_DOUBLE_EQ(binomial_coefficient(n, k),
+                       binomial_coefficient(n - 1, k - 1) +
+                           binomial_coefficient(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jmsperf::stats

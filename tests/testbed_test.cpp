@@ -1,0 +1,232 @@
+#include "testbed/calibration.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/simulated_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/service_time.hpp"
+#include "sim/simulation.hpp"
+#include "stats/quantile.hpp"
+
+namespace jmsperf::testbed {
+namespace {
+
+MeasurementConfig fast_config(double noise = 0.0) {
+  MeasurementConfig config;
+  config.duration = 10.0;
+  config.trim = 0.5;
+  config.repetitions = 2;
+  config.noise_cv = noise;
+  return config;
+}
+
+TEST(SimulatedServer, ServiceTimeFollowsCostModel) {
+  sim::Simulation simulation;
+  ServerParameters params;
+  params.cost = core::kFioranoCorrelationId;
+  params.n_fltr = 50.0;
+  SimulatedJmsServer server(simulation, params, stats::RandomStream(1));
+  const double expected =
+      params.cost.mean_service_time(50.0, 7.0);
+  EXPECT_NEAR(server.draw_service_time(7), expected, 1e-15);
+}
+
+TEST(SimulatedServer, NoisyServiceTimeIsUnbiased) {
+  sim::Simulation simulation;
+  ServerParameters params;
+  params.cost = core::kFioranoCorrelationId;
+  params.n_fltr = 10.0;
+  params.noise_cv = 0.3;
+  SimulatedJmsServer server(simulation, params, stats::RandomStream(2));
+  stats::MomentAccumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(server.draw_service_time(5));
+  const double expected = params.cost.mean_service_time(10.0, 5.0);
+  EXPECT_NEAR(acc.mean(), expected, 0.01 * expected);
+  EXPECT_NEAR(acc.coefficient_of_variation(), 0.3, 0.02);
+}
+
+TEST(SimulatedServer, ParameterValidation) {
+  ServerParameters params;
+  params.cost = core::kFioranoCorrelationId;
+  params.noise_cv = 2.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.noise_cv = 0.0;
+  params.n_fltr = -1.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(SimulatedServer, FifoServiceOrder) {
+  sim::Simulation simulation;
+  ServerParameters params;
+  params.cost = {1e-3, 1e-4, 1e-4};
+  SimulatedJmsServer server(simulation, params, stats::RandomStream(3));
+  std::vector<double> arrivals;
+  server.set_completion_callback(
+      [&](const SimMessage& m, double, double) { arrivals.push_back(m.arrival_time); });
+  simulation.schedule_at(0.0, [&] { server.submit(1); });
+  simulation.schedule_at(0.0001, [&] { server.submit(2); });
+  simulation.schedule_at(0.0002, [&] { server.submit(3); });
+  simulation.run_until(1.0);
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  EXPECT_EQ(server.received(), 3u);
+  EXPECT_EQ(server.dispatched(), 6u);
+}
+
+TEST(ThroughputMeasurement, SaturatedRateMatchesInverseServiceTime) {
+  // The core measurement identity: saturated received throughput = 1/E[B].
+  ThroughputExperiment experiment;
+  experiment.true_cost = core::kFioranoCorrelationId;
+  experiment.non_matching = 20;
+  experiment.replication = 5;
+  const auto result = run_throughput_measurement(experiment, fast_config());
+  const double expected_rate =
+      1.0 / experiment.true_cost.mean_service_time(25.0, 5.0);
+  EXPECT_NEAR(result.received_rate, expected_rate, 0.005 * expected_rate);
+  EXPECT_NEAR(result.dispatched_rate, 5.0 * result.received_rate,
+              0.005 * result.dispatched_rate);
+  EXPECT_NEAR(result.overall_rate(), result.received_rate + result.dispatched_rate,
+              1e-9);
+}
+
+TEST(ThroughputMeasurement, NarrowConfidenceIntervals) {
+  // The paper: "confidence intervals are very narrow even for a few runs".
+  ThroughputExperiment experiment;
+  experiment.true_cost = core::kFioranoApplicationProperty;
+  experiment.non_matching = 10;
+  experiment.replication = 2;
+  MeasurementConfig config = fast_config(0.05);
+  config.repetitions = 5;
+  const auto result = run_throughput_measurement(experiment, config);
+  EXPECT_LT(result.received_ci.relative_half_width(), 0.01);
+}
+
+TEST(ThroughputMeasurement, ConfigValidation) {
+  ThroughputExperiment experiment;
+  experiment.true_cost = core::kFioranoCorrelationId;
+  MeasurementConfig config;
+  config.duration = 5.0;
+  config.trim = 3.0;  // trims exceed duration
+  EXPECT_THROW(run_throughput_measurement(experiment, config), std::invalid_argument);
+  config = {};
+  config.repetitions = 0;
+  EXPECT_THROW(run_throughput_measurement(experiment, config), std::invalid_argument);
+}
+
+TEST(WaitingTimeMeasurement, MatchesMG1Analysis) {
+  WaitingTimeExperiment experiment;
+  experiment.true_cost = core::kFioranoCorrelationId;
+  experiment.n_fltr = 100.0;
+  experiment.replication = std::make_shared<queueing::BinomialReplication>(100, 0.05);
+  experiment.rho = 0.8;
+
+  MeasurementConfig config;
+  config.duration = 400.0;  // virtual seconds; ~450k arrivals
+  config.trim = 5.0;
+  config.noise_cv = 0.0;
+  const auto result = run_waiting_time_measurement(experiment, config);
+
+  const queueing::ServiceTimeModel service(
+      experiment.true_cost.deterministic_part(100.0), experiment.true_cost.t_tx,
+      *experiment.replication);
+  const queueing::MG1Waiting analytic(0.8 / service.mean(), service.moments());
+
+  EXPECT_NEAR(result.measured_utilization, 0.8, 0.02);
+  EXPECT_NEAR(result.waiting.mean(), analytic.mean_waiting_time(),
+              0.08 * analytic.mean_waiting_time());
+  EXPECT_NEAR(result.waiting_probability, analytic.waiting_probability(), 0.03);
+  // Gamma-approximated 99% quantile vs empirical.
+  const double q99 = stats::sample_quantile(result.samples, 0.99);
+  EXPECT_NEAR(q99, analytic.waiting_quantile(0.99), 0.12 * analytic.waiting_quantile(0.99));
+
+  // Buffer occupancy: arrival-averaged backlog obeys Little's law, and
+  // the quantile-based buffer estimate covers the observed peak within a
+  // reasonable factor.
+  EXPECT_NEAR(result.backlog.mean(), analytic.mean_queue_length(),
+              0.1 * analytic.mean_queue_length());
+  EXPECT_GT(static_cast<double>(result.max_backlog),
+            analytic.required_buffer(0.99));
+  EXPECT_LT(static_cast<double>(result.max_backlog),
+            5.0 * analytic.required_buffer(0.9999));
+}
+
+TEST(WaitingTimeMeasurement, Validation) {
+  WaitingTimeExperiment experiment;
+  experiment.true_cost = core::kFioranoCorrelationId;
+  experiment.replication = nullptr;
+  EXPECT_THROW(run_waiting_time_measurement(experiment, fast_config()),
+               std::invalid_argument);
+  experiment.replication = std::make_shared<queueing::DeterministicReplication>(1);
+  experiment.rho = 1.2;
+  EXPECT_THROW(run_waiting_time_measurement(experiment, fast_config()),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ calibration
+TEST(CalibrationFitter, RecoversExactModelFromNoiselessData) {
+  const core::CostModel truth = core::kFioranoCorrelationId;
+  CalibrationFitter fitter;
+  for (const double n : {5.0, 10.0, 40.0, 160.0}) {
+    for (const double r : {1.0, 5.0, 20.0}) {
+      fitter.add(n + r, r, 1.0 / truth.mean_service_time(n + r, r));
+    }
+  }
+  const auto fit = fitter.fit();
+  EXPECT_NEAR(fit.cost.t_rcv, truth.t_rcv, 1e-12);
+  EXPECT_NEAR(fit.cost.t_fltr, truth.t_fltr, 1e-12);
+  EXPECT_NEAR(fit.cost.t_tx, truth.t_tx, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-10);
+}
+
+TEST(CalibrationFitter, RequiresThreeSamplesAndNonDegenerateGrid) {
+  CalibrationFitter fitter;
+  fitter.add(5.0, 1.0, 1000.0);
+  fitter.add(6.0, 1.0, 990.0);
+  EXPECT_THROW((void)fitter.fit(), std::logic_error);
+  // Degenerate: n_fltr always equals replication -> singular design.
+  CalibrationFitter degenerate;
+  degenerate.add(1.0, 1.0, 1000.0);
+  degenerate.add(2.0, 2.0, 900.0);
+  degenerate.add(3.0, 3.0, 800.0);
+  EXPECT_THROW((void)degenerate.fit(), std::runtime_error);
+}
+
+TEST(CalibrationFitter, InputValidation) {
+  CalibrationFitter fitter;
+  EXPECT_THROW(fitter.add(1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(fitter.add(-1.0, 1.0, 10.0), std::invalid_argument);
+}
+
+class CalibrationCampaignPerFilterClass
+    : public ::testing::TestWithParam<core::FilterClass> {};
+
+TEST_P(CalibrationCampaignPerFilterClass, RecoversTableIConstants) {
+  // The Table I pipeline: inject ground truth, measure on the simulated
+  // testbed (with noise), re-fit, recover within tight tolerance.
+  CalibrationCampaign campaign;
+  campaign.true_cost = core::fiorano_cost_model(GetParam());
+  campaign.replication_grades = {1, 5, 20};
+  campaign.non_matching = {5, 20, 80};
+  campaign.measurement = fast_config(0.02);
+  campaign.measurement.repetitions = 1;
+
+  const auto result = run_calibration_campaign(campaign);
+  EXPECT_EQ(result.samples.size(), 9u);
+  EXPECT_NEAR(result.fit.cost.t_rcv, campaign.true_cost.t_rcv,
+              0.15 * campaign.true_cost.t_rcv);
+  EXPECT_NEAR(result.fit.cost.t_fltr, campaign.true_cost.t_fltr,
+              0.02 * campaign.true_cost.t_fltr);
+  EXPECT_NEAR(result.fit.cost.t_tx, campaign.true_cost.t_tx,
+              0.02 * campaign.true_cost.t_tx);
+  EXPECT_GT(result.fit.r_squared, 0.999);
+  EXPECT_LT(result.fit.max_relative_error(result.samples), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(FilterClasses, CalibrationCampaignPerFilterClass,
+                         ::testing::Values(core::FilterClass::CorrelationId,
+                                           core::FilterClass::ApplicationProperty));
+
+}  // namespace
+}  // namespace jmsperf::testbed

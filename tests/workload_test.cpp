@@ -1,0 +1,170 @@
+#include "workload/filter_population.hpp"
+#include "workload/presence.hpp"
+
+#include <chrono>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <set>
+
+using namespace std::chrono_literals;
+
+namespace jmsperf::workload {
+namespace {
+
+TEST(FilterPopulation, KeyFiltersMatchOnlyTheirKey) {
+  for (const auto filter_class : {core::FilterClass::CorrelationId,
+                                  core::FilterClass::ApplicationProperty}) {
+    const auto filter = make_key_filter(filter_class, 3);
+    EXPECT_TRUE(filter.matches(make_keyed_message("t", 3)));
+    EXPECT_FALSE(filter.matches(make_keyed_message("t", 4)));
+    EXPECT_FALSE(filter.matches(make_keyed_message("t", 0)));
+  }
+}
+
+TEST(FilterPopulation, MeasurementPopulationReplicationGrade) {
+  jms::Broker broker;
+  broker.create_topic("t");
+  const auto subs = install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 7, 3);
+  ASSERT_EQ(subs.size(), 10u);
+  EXPECT_EQ(broker.subscription_count("t"), 10u);
+
+  for (int i = 0; i < 5; ++i) broker.publish(make_keyed_message("t", 0));
+  broker.wait_until_idle();
+
+  // First 3 subscriptions match everything, rest match nothing.
+  int delivered = 0;
+  for (std::size_t s = 0; s < subs.size(); ++s) {
+    while (subs[s]->receive(100ms)) ++delivered;
+  }
+  EXPECT_EQ(delivered, 15);
+  EXPECT_EQ(broker.stats().dispatched, 15u);
+  EXPECT_EQ(broker.stats().filter_evaluations, 50u);
+}
+
+TEST(PresenceConfig, Validation) {
+  PresenceConfig config;
+  config.users = 1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.users = 10;
+  config.mean_buddies = 20.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(PresenceWorkload, FollowerCountsConsistent) {
+  PresenceConfig config;
+  config.users = 200;
+  config.mean_buddies = 12.0;
+  const auto workload = generate_presence_workload(config);
+  ASSERT_EQ(workload.buddy_lists.size(), 200u);
+  ASSERT_EQ(workload.followers.size(), 200u);
+
+  // Sum of buddy-list sizes equals sum of follower counts (graph identity).
+  std::size_t edges_out = 0;
+  for (const auto& list : workload.buddy_lists) edges_out += list.size();
+  const std::size_t edges_in =
+      std::accumulate(workload.followers.begin(), workload.followers.end(), 0u);
+  EXPECT_EQ(edges_out, edges_in);
+
+  // Mean in-degree close to mean_buddies.
+  EXPECT_NEAR(workload.mean_replication(), 12.0, 1.5);
+
+  // Nobody follows themselves in the property variant.
+  for (std::uint32_t u = 0; u < config.users; ++u) {
+    for (const auto v : workload.buddy_lists[u]) EXPECT_NE(v, u);
+  }
+}
+
+TEST(PresenceWorkload, DeterministicForSeed) {
+  PresenceConfig config;
+  config.seed = 99;
+  const auto a = generate_presence_workload(config);
+  const auto b = generate_presence_workload(config);
+  EXPECT_EQ(a.buddy_lists, b.buddy_lists);
+}
+
+TEST(PresenceWorkload, CorrelationVariantUsesContiguousRanges) {
+  PresenceConfig config;
+  config.filter_class = core::FilterClass::CorrelationId;
+  config.users = 100;
+  config.mean_buddies = 8.0;
+  const auto workload = generate_presence_workload(config);
+  for (const auto& list : workload.buddy_lists) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_EQ(list[i], list[i - 1] + 1);  // contiguous
+    }
+  }
+}
+
+TEST(PresenceWorkload, ReplicationModelMatchesInDegrees) {
+  PresenceConfig config;
+  config.users = 150;
+  config.mean_buddies = 10.0;
+  const auto workload = generate_presence_workload(config);
+  const auto replication = presence_replication(workload);
+  EXPECT_NEAR(replication->moments().m1, workload.mean_replication(), 1e-9);
+}
+
+TEST(PresenceWorkload, ScenarioUsesUserCountAsFilters) {
+  PresenceConfig config;
+  config.users = 50;
+  const auto workload = generate_presence_workload(config);
+  const auto scenario = presence_scenario(workload);
+  EXPECT_DOUBLE_EQ(scenario.filters(), 50.0);
+  EXPECT_GT(scenario.capacity(0.9), 0.0);
+}
+
+class PresenceDeliveryOnBroker
+    : public ::testing::TestWithParam<core::FilterClass> {};
+
+TEST_P(PresenceDeliveryOnBroker, ExactlyFollowersReceiveUpdates) {
+  PresenceConfig config;
+  config.users = 40;
+  config.mean_buddies = 6.0;
+  config.filter_class = GetParam();
+  config.seed = 11;
+  const auto workload = generate_presence_workload(config);
+
+  jms::Broker broker;
+  broker.create_topic("presence");
+  auto subs = install_presence_population(workload, broker, "presence");
+
+  // Every user publishes one update.
+  for (std::uint32_t u = 0; u < config.users; ++u) {
+    broker.publish(make_presence_update("presence", u));
+  }
+  broker.wait_until_idle();
+
+  // Subscriber u must receive exactly its buddy list (as publishers).
+  std::size_t total = 0;
+  for (std::uint32_t u = 0; u < config.users; ++u) {
+    std::set<std::string> expected;
+    for (const auto v : workload.buddy_lists[u]) {
+      expected.insert("u" + std::to_string(v));
+    }
+    std::set<std::string> got;
+    while (auto m = subs[u]->receive(100ms)) {
+      got.insert((*m)->get("user").as_string());
+    }
+    EXPECT_EQ(got, expected) << "user " << u;
+    total += got.size();
+  }
+  EXPECT_EQ(broker.stats().dispatched, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(FilterClasses, PresenceDeliveryOnBroker,
+                         ::testing::Values(core::FilterClass::CorrelationId,
+                                           core::FilterClass::ApplicationProperty));
+
+TEST(PresenceUpdateMessage, CarriesUserAndStatus) {
+  const auto online = make_presence_update("p", 7, true);
+  EXPECT_EQ(online.get("user").as_string(), "u7");
+  EXPECT_EQ(online.get("status").as_string(), "online");
+  EXPECT_EQ(online.correlation_id(), "7");
+  EXPECT_EQ(online.type(), "presence");
+  const auto offline = make_presence_update("p", 7, false);
+  EXPECT_EQ(offline.get("status").as_string(), "offline");
+}
+
+}  // namespace
+}  // namespace jmsperf::workload
