@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_filter_index.dir/ablation_filter_index.cpp.o"
+  "CMakeFiles/ablation_filter_index.dir/ablation_filter_index.cpp.o.d"
+  "ablation_filter_index"
+  "ablation_filter_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_filter_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

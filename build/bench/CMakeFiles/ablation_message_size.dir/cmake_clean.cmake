@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_message_size.dir/ablation_message_size.cpp.o"
+  "CMakeFiles/ablation_message_size.dir/ablation_message_size.cpp.o.d"
+  "ablation_message_size"
+  "ablation_message_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_message_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pushback.dir/ablation_pushback.cpp.o"
+  "CMakeFiles/ablation_pushback.dir/ablation_pushback.cpp.o.d"
+  "ablation_pushback"
+  "ablation_pushback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pushback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq3_filter_benefit.dir/eq3_filter_benefit.cpp.o"
+  "CMakeFiles/eq3_filter_benefit.dir/eq3_filter_benefit.cpp.o.d"
+  "eq3_filter_benefit"
+  "eq3_filter_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq3_filter_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

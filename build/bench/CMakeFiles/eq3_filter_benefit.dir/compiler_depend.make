@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eq3_filter_benefit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cluster_scaling.dir/ext_cluster_scaling.cpp.o"
+  "CMakeFiles/ext_cluster_scaling.dir/ext_cluster_scaling.cpp.o.d"
+  "ext_cluster_scaling"
+  "ext_cluster_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cluster_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

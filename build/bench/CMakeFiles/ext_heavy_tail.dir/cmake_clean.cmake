@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_heavy_tail.dir/ext_heavy_tail.cpp.o"
+  "CMakeFiles/ext_heavy_tail.dir/ext_heavy_tail.cpp.o.d"
+  "ext_heavy_tail"
+  "ext_heavy_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_heavy_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

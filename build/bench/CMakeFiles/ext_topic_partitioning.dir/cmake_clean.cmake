@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_topic_partitioning.dir/ext_topic_partitioning.cpp.o"
+  "CMakeFiles/ext_topic_partitioning.dir/ext_topic_partitioning.cpp.o.d"
+  "ext_topic_partitioning"
+  "ext_topic_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_topic_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mean_waiting.dir/fig10_mean_waiting.cpp.o"
+  "CMakeFiles/fig10_mean_waiting.dir/fig10_mean_waiting.cpp.o.d"
+  "fig10_mean_waiting"
+  "fig10_mean_waiting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mean_waiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

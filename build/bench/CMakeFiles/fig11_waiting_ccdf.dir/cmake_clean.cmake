@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_waiting_ccdf.dir/fig11_waiting_ccdf.cpp.o"
+  "CMakeFiles/fig11_waiting_ccdf.dir/fig11_waiting_ccdf.cpp.o.d"
+  "fig11_waiting_ccdf"
+  "fig11_waiting_ccdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_waiting_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_quantiles.dir/fig12_quantiles.cpp.o"
+  "CMakeFiles/fig12_quantiles.dir/fig12_quantiles.cpp.o.d"
+  "fig12_quantiles"
+  "fig12_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_psr_ssr.dir/fig15_psr_ssr.cpp.o"
+  "CMakeFiles/fig15_psr_ssr.dir/fig15_psr_ssr.cpp.o.d"
+  "fig15_psr_ssr"
+  "fig15_psr_ssr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_psr_ssr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

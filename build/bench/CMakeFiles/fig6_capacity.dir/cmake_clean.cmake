@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_capacity.dir/fig6_capacity.cpp.o"
+  "CMakeFiles/fig6_capacity.dir/fig6_capacity.cpp.o.d"
+  "fig6_capacity"
+  "fig6_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cvar_bernoulli.dir/fig8_cvar_bernoulli.cpp.o"
+  "CMakeFiles/fig8_cvar_bernoulli.dir/fig8_cvar_bernoulli.cpp.o.d"
+  "fig8_cvar_bernoulli"
+  "fig8_cvar_bernoulli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cvar_bernoulli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cvar_binomial.dir/fig9_cvar_binomial.cpp.o"
+  "CMakeFiles/fig9_cvar_binomial.dir/fig9_cvar_binomial.cpp.o.d"
+  "fig9_cvar_binomial"
+  "fig9_cvar_binomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cvar_binomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_broker.dir/micro_broker.cpp.o"
+  "CMakeFiles/micro_broker.dir/micro_broker.cpp.o.d"
+  "micro_broker"
+  "micro_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

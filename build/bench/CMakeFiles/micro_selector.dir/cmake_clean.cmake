@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_selector.dir/micro_selector.cpp.o"
+  "CMakeFiles/micro_selector.dir/micro_selector.cpp.o.d"
+  "micro_selector"
+  "micro_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_live_broker.dir/table1_live_broker.cpp.o"
+  "CMakeFiles/table1_live_broker.dir/table1_live_broker.cpp.o.d"
+  "table1_live_broker"
+  "table1_live_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_live_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

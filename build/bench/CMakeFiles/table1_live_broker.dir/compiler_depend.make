@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_live_broker.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_report.dir/bottleneck_report.cpp.o"
+  "CMakeFiles/bottleneck_report.dir/bottleneck_report.cpp.o.d"
+  "bottleneck_report"
+  "bottleneck_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_replication.dir/distributed_replication.cpp.o"
+  "CMakeFiles/distributed_replication.dir/distributed_replication.cpp.o.d"
+  "distributed_replication"
+  "distributed_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

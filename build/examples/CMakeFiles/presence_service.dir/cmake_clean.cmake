@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presence_service.dir/presence_service.cpp.o"
+  "CMakeFiles/presence_service.dir/presence_service.cpp.o.d"
+  "presence_service"
+  "presence_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presence_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waiting_time_study.dir/waiting_time_study.cpp.o"
+  "CMakeFiles/waiting_time_study.dir/waiting_time_study.cpp.o.d"
+  "waiting_time_study"
+  "waiting_time_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waiting_time_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/jmsperf_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/jmsperf_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/jmsperf_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/jmsperf_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/distributed.cpp" "src/core/CMakeFiles/jmsperf_core.dir/distributed.cpp.o" "gcc" "src/core/CMakeFiles/jmsperf_core.dir/distributed.cpp.o.d"
+  "/root/repo/src/core/partitioning.cpp" "src/core/CMakeFiles/jmsperf_core.dir/partitioning.cpp.o" "gcc" "src/core/CMakeFiles/jmsperf_core.dir/partitioning.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/jmsperf_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/jmsperf_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/jmsperf_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/jmsperf_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/size_model.cpp" "src/core/CMakeFiles/jmsperf_core.dir/size_model.cpp.o" "gcc" "src/core/CMakeFiles/jmsperf_core.dir/size_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queueing/CMakeFiles/jmsperf_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jmsperf_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

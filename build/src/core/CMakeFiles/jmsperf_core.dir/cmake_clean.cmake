@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmsperf_core.dir/cluster.cpp.o"
+  "CMakeFiles/jmsperf_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/jmsperf_core.dir/cost_model.cpp.o"
+  "CMakeFiles/jmsperf_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/jmsperf_core.dir/distributed.cpp.o"
+  "CMakeFiles/jmsperf_core.dir/distributed.cpp.o.d"
+  "CMakeFiles/jmsperf_core.dir/partitioning.cpp.o"
+  "CMakeFiles/jmsperf_core.dir/partitioning.cpp.o.d"
+  "CMakeFiles/jmsperf_core.dir/scenario.cpp.o"
+  "CMakeFiles/jmsperf_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/jmsperf_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/jmsperf_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/jmsperf_core.dir/size_model.cpp.o"
+  "CMakeFiles/jmsperf_core.dir/size_model.cpp.o.d"
+  "libjmsperf_core.a"
+  "libjmsperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmsperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

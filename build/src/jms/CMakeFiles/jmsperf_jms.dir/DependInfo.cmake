@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jms/broker.cpp" "src/jms/CMakeFiles/jmsperf_jms.dir/broker.cpp.o" "gcc" "src/jms/CMakeFiles/jmsperf_jms.dir/broker.cpp.o.d"
+  "/root/repo/src/jms/connection.cpp" "src/jms/CMakeFiles/jmsperf_jms.dir/connection.cpp.o" "gcc" "src/jms/CMakeFiles/jmsperf_jms.dir/connection.cpp.o.d"
+  "/root/repo/src/jms/filter.cpp" "src/jms/CMakeFiles/jmsperf_jms.dir/filter.cpp.o" "gcc" "src/jms/CMakeFiles/jmsperf_jms.dir/filter.cpp.o.d"
+  "/root/repo/src/jms/message.cpp" "src/jms/CMakeFiles/jmsperf_jms.dir/message.cpp.o" "gcc" "src/jms/CMakeFiles/jmsperf_jms.dir/message.cpp.o.d"
+  "/root/repo/src/jms/subscription.cpp" "src/jms/CMakeFiles/jmsperf_jms.dir/subscription.cpp.o" "gcc" "src/jms/CMakeFiles/jmsperf_jms.dir/subscription.cpp.o.d"
+  "/root/repo/src/jms/topic_pattern.cpp" "src/jms/CMakeFiles/jmsperf_jms.dir/topic_pattern.cpp.o" "gcc" "src/jms/CMakeFiles/jmsperf_jms.dir/topic_pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/selector/CMakeFiles/jmsperf_selector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

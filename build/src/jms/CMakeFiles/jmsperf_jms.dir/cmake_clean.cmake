@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmsperf_jms.dir/broker.cpp.o"
+  "CMakeFiles/jmsperf_jms.dir/broker.cpp.o.d"
+  "CMakeFiles/jmsperf_jms.dir/connection.cpp.o"
+  "CMakeFiles/jmsperf_jms.dir/connection.cpp.o.d"
+  "CMakeFiles/jmsperf_jms.dir/filter.cpp.o"
+  "CMakeFiles/jmsperf_jms.dir/filter.cpp.o.d"
+  "CMakeFiles/jmsperf_jms.dir/message.cpp.o"
+  "CMakeFiles/jmsperf_jms.dir/message.cpp.o.d"
+  "CMakeFiles/jmsperf_jms.dir/subscription.cpp.o"
+  "CMakeFiles/jmsperf_jms.dir/subscription.cpp.o.d"
+  "CMakeFiles/jmsperf_jms.dir/topic_pattern.cpp.o"
+  "CMakeFiles/jmsperf_jms.dir/topic_pattern.cpp.o.d"
+  "libjmsperf_jms.a"
+  "libjmsperf_jms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmsperf_jms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jmsperf_jms.
+# This may be replaced when dependencies are built.

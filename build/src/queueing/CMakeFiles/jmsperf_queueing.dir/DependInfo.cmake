@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/gamma_dist.cpp" "src/queueing/CMakeFiles/jmsperf_queueing.dir/gamma_dist.cpp.o" "gcc" "src/queueing/CMakeFiles/jmsperf_queueing.dir/gamma_dist.cpp.o.d"
+  "/root/repo/src/queueing/lindley.cpp" "src/queueing/CMakeFiles/jmsperf_queueing.dir/lindley.cpp.o" "gcc" "src/queueing/CMakeFiles/jmsperf_queueing.dir/lindley.cpp.o.d"
+  "/root/repo/src/queueing/mg1.cpp" "src/queueing/CMakeFiles/jmsperf_queueing.dir/mg1.cpp.o" "gcc" "src/queueing/CMakeFiles/jmsperf_queueing.dir/mg1.cpp.o.d"
+  "/root/repo/src/queueing/mgk.cpp" "src/queueing/CMakeFiles/jmsperf_queueing.dir/mgk.cpp.o" "gcc" "src/queueing/CMakeFiles/jmsperf_queueing.dir/mgk.cpp.o.d"
+  "/root/repo/src/queueing/reference_queues.cpp" "src/queueing/CMakeFiles/jmsperf_queueing.dir/reference_queues.cpp.o" "gcc" "src/queueing/CMakeFiles/jmsperf_queueing.dir/reference_queues.cpp.o.d"
+  "/root/repo/src/queueing/replication.cpp" "src/queueing/CMakeFiles/jmsperf_queueing.dir/replication.cpp.o" "gcc" "src/queueing/CMakeFiles/jmsperf_queueing.dir/replication.cpp.o.d"
+  "/root/repo/src/queueing/service_time.cpp" "src/queueing/CMakeFiles/jmsperf_queueing.dir/service_time.cpp.o" "gcc" "src/queueing/CMakeFiles/jmsperf_queueing.dir/service_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/jmsperf_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmsperf_queueing.dir/gamma_dist.cpp.o"
+  "CMakeFiles/jmsperf_queueing.dir/gamma_dist.cpp.o.d"
+  "CMakeFiles/jmsperf_queueing.dir/lindley.cpp.o"
+  "CMakeFiles/jmsperf_queueing.dir/lindley.cpp.o.d"
+  "CMakeFiles/jmsperf_queueing.dir/mg1.cpp.o"
+  "CMakeFiles/jmsperf_queueing.dir/mg1.cpp.o.d"
+  "CMakeFiles/jmsperf_queueing.dir/mgk.cpp.o"
+  "CMakeFiles/jmsperf_queueing.dir/mgk.cpp.o.d"
+  "CMakeFiles/jmsperf_queueing.dir/reference_queues.cpp.o"
+  "CMakeFiles/jmsperf_queueing.dir/reference_queues.cpp.o.d"
+  "CMakeFiles/jmsperf_queueing.dir/replication.cpp.o"
+  "CMakeFiles/jmsperf_queueing.dir/replication.cpp.o.d"
+  "CMakeFiles/jmsperf_queueing.dir/service_time.cpp.o"
+  "CMakeFiles/jmsperf_queueing.dir/service_time.cpp.o.d"
+  "libjmsperf_queueing.a"
+  "libjmsperf_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmsperf_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

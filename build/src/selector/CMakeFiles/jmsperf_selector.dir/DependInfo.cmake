@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selector/ast.cpp" "src/selector/CMakeFiles/jmsperf_selector.dir/ast.cpp.o" "gcc" "src/selector/CMakeFiles/jmsperf_selector.dir/ast.cpp.o.d"
+  "/root/repo/src/selector/correlation_filter.cpp" "src/selector/CMakeFiles/jmsperf_selector.dir/correlation_filter.cpp.o" "gcc" "src/selector/CMakeFiles/jmsperf_selector.dir/correlation_filter.cpp.o.d"
+  "/root/repo/src/selector/evaluator.cpp" "src/selector/CMakeFiles/jmsperf_selector.dir/evaluator.cpp.o" "gcc" "src/selector/CMakeFiles/jmsperf_selector.dir/evaluator.cpp.o.d"
+  "/root/repo/src/selector/lexer.cpp" "src/selector/CMakeFiles/jmsperf_selector.dir/lexer.cpp.o" "gcc" "src/selector/CMakeFiles/jmsperf_selector.dir/lexer.cpp.o.d"
+  "/root/repo/src/selector/like_matcher.cpp" "src/selector/CMakeFiles/jmsperf_selector.dir/like_matcher.cpp.o" "gcc" "src/selector/CMakeFiles/jmsperf_selector.dir/like_matcher.cpp.o.d"
+  "/root/repo/src/selector/parser.cpp" "src/selector/CMakeFiles/jmsperf_selector.dir/parser.cpp.o" "gcc" "src/selector/CMakeFiles/jmsperf_selector.dir/parser.cpp.o.d"
+  "/root/repo/src/selector/selector.cpp" "src/selector/CMakeFiles/jmsperf_selector.dir/selector.cpp.o" "gcc" "src/selector/CMakeFiles/jmsperf_selector.dir/selector.cpp.o.d"
+  "/root/repo/src/selector/token.cpp" "src/selector/CMakeFiles/jmsperf_selector.dir/token.cpp.o" "gcc" "src/selector/CMakeFiles/jmsperf_selector.dir/token.cpp.o.d"
+  "/root/repo/src/selector/value.cpp" "src/selector/CMakeFiles/jmsperf_selector.dir/value.cpp.o" "gcc" "src/selector/CMakeFiles/jmsperf_selector.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

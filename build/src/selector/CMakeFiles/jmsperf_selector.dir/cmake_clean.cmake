@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmsperf_selector.dir/ast.cpp.o"
+  "CMakeFiles/jmsperf_selector.dir/ast.cpp.o.d"
+  "CMakeFiles/jmsperf_selector.dir/correlation_filter.cpp.o"
+  "CMakeFiles/jmsperf_selector.dir/correlation_filter.cpp.o.d"
+  "CMakeFiles/jmsperf_selector.dir/evaluator.cpp.o"
+  "CMakeFiles/jmsperf_selector.dir/evaluator.cpp.o.d"
+  "CMakeFiles/jmsperf_selector.dir/lexer.cpp.o"
+  "CMakeFiles/jmsperf_selector.dir/lexer.cpp.o.d"
+  "CMakeFiles/jmsperf_selector.dir/like_matcher.cpp.o"
+  "CMakeFiles/jmsperf_selector.dir/like_matcher.cpp.o.d"
+  "CMakeFiles/jmsperf_selector.dir/parser.cpp.o"
+  "CMakeFiles/jmsperf_selector.dir/parser.cpp.o.d"
+  "CMakeFiles/jmsperf_selector.dir/selector.cpp.o"
+  "CMakeFiles/jmsperf_selector.dir/selector.cpp.o.d"
+  "CMakeFiles/jmsperf_selector.dir/token.cpp.o"
+  "CMakeFiles/jmsperf_selector.dir/token.cpp.o.d"
+  "CMakeFiles/jmsperf_selector.dir/value.cpp.o"
+  "CMakeFiles/jmsperf_selector.dir/value.cpp.o.d"
+  "libjmsperf_selector.a"
+  "libjmsperf_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmsperf_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmsperf_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/jmsperf_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/jmsperf_sim.dir/simulation.cpp.o"
+  "CMakeFiles/jmsperf_sim.dir/simulation.cpp.o.d"
+  "libjmsperf_sim.a"
+  "libjmsperf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmsperf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/batch_means.cpp" "src/stats/CMakeFiles/jmsperf_stats.dir/batch_means.cpp.o" "gcc" "src/stats/CMakeFiles/jmsperf_stats.dir/batch_means.cpp.o.d"
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/jmsperf_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/jmsperf_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/jmsperf_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/jmsperf_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/linalg.cpp" "src/stats/CMakeFiles/jmsperf_stats.dir/linalg.cpp.o" "gcc" "src/stats/CMakeFiles/jmsperf_stats.dir/linalg.cpp.o.d"
+  "/root/repo/src/stats/moments.cpp" "src/stats/CMakeFiles/jmsperf_stats.dir/moments.cpp.o" "gcc" "src/stats/CMakeFiles/jmsperf_stats.dir/moments.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/stats/CMakeFiles/jmsperf_stats.dir/quantile.cpp.o" "gcc" "src/stats/CMakeFiles/jmsperf_stats.dir/quantile.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/jmsperf_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/jmsperf_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/jmsperf_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/jmsperf_stats.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmsperf_stats.dir/batch_means.cpp.o"
+  "CMakeFiles/jmsperf_stats.dir/batch_means.cpp.o.d"
+  "CMakeFiles/jmsperf_stats.dir/confidence.cpp.o"
+  "CMakeFiles/jmsperf_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/jmsperf_stats.dir/histogram.cpp.o"
+  "CMakeFiles/jmsperf_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/jmsperf_stats.dir/linalg.cpp.o"
+  "CMakeFiles/jmsperf_stats.dir/linalg.cpp.o.d"
+  "CMakeFiles/jmsperf_stats.dir/moments.cpp.o"
+  "CMakeFiles/jmsperf_stats.dir/moments.cpp.o.d"
+  "CMakeFiles/jmsperf_stats.dir/quantile.cpp.o"
+  "CMakeFiles/jmsperf_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/jmsperf_stats.dir/rng.cpp.o"
+  "CMakeFiles/jmsperf_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/jmsperf_stats.dir/special_functions.cpp.o"
+  "CMakeFiles/jmsperf_stats.dir/special_functions.cpp.o.d"
+  "libjmsperf_stats.a"
+  "libjmsperf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmsperf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmsperf_testbed.dir/calibration.cpp.o"
+  "CMakeFiles/jmsperf_testbed.dir/calibration.cpp.o.d"
+  "CMakeFiles/jmsperf_testbed.dir/experiment.cpp.o"
+  "CMakeFiles/jmsperf_testbed.dir/experiment.cpp.o.d"
+  "CMakeFiles/jmsperf_testbed.dir/simulated_server.cpp.o"
+  "CMakeFiles/jmsperf_testbed.dir/simulated_server.cpp.o.d"
+  "libjmsperf_testbed.a"
+  "libjmsperf_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmsperf_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

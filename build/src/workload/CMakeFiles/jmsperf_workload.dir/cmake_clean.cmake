@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jmsperf_workload.dir/filter_population.cpp.o"
+  "CMakeFiles/jmsperf_workload.dir/filter_population.cpp.o.d"
+  "CMakeFiles/jmsperf_workload.dir/presence.cpp.o"
+  "CMakeFiles/jmsperf_workload.dir/presence.cpp.o.d"
+  "libjmsperf_workload.a"
+  "libjmsperf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jmsperf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

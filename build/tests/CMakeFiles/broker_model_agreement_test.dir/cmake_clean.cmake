@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_model_agreement_test.dir/broker_model_agreement_test.cpp.o"
+  "CMakeFiles/broker_model_agreement_test.dir/broker_model_agreement_test.cpp.o.d"
+  "broker_model_agreement_test"
+  "broker_model_agreement_test.pdb"
+  "broker_model_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_model_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

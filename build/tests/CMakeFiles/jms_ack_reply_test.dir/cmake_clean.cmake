@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_ack_reply_test.dir/jms_ack_reply_test.cpp.o"
+  "CMakeFiles/jms_ack_reply_test.dir/jms_ack_reply_test.cpp.o.d"
+  "jms_ack_reply_test"
+  "jms_ack_reply_test.pdb"
+  "jms_ack_reply_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_ack_reply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_blocking_queue_test.dir/jms_blocking_queue_test.cpp.o"
+  "CMakeFiles/jms_blocking_queue_test.dir/jms_blocking_queue_test.cpp.o.d"
+  "jms_blocking_queue_test"
+  "jms_blocking_queue_test.pdb"
+  "jms_blocking_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_blocking_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_connection_test.dir/jms_connection_test.cpp.o"
+  "CMakeFiles/jms_connection_test.dir/jms_connection_test.cpp.o.d"
+  "jms_connection_test"
+  "jms_connection_test.pdb"
+  "jms_connection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_durable_queue_test.dir/jms_durable_queue_test.cpp.o"
+  "CMakeFiles/jms_durable_queue_test.dir/jms_durable_queue_test.cpp.o.d"
+  "jms_durable_queue_test"
+  "jms_durable_queue_test.pdb"
+  "jms_durable_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_durable_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_filter_index_test.dir/jms_filter_index_test.cpp.o"
+  "CMakeFiles/jms_filter_index_test.dir/jms_filter_index_test.cpp.o.d"
+  "jms_filter_index_test"
+  "jms_filter_index_test.pdb"
+  "jms_filter_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_filter_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

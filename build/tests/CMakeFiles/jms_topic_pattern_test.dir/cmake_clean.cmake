@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_topic_pattern_test.dir/jms_topic_pattern_test.cpp.o"
+  "CMakeFiles/jms_topic_pattern_test.dir/jms_topic_pattern_test.cpp.o.d"
+  "jms_topic_pattern_test"
+  "jms_topic_pattern_test.pdb"
+  "jms_topic_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_topic_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

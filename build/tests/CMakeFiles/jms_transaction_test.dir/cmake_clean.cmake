@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_transaction_test.dir/jms_transaction_test.cpp.o"
+  "CMakeFiles/jms_transaction_test.dir/jms_transaction_test.cpp.o.d"
+  "jms_transaction_test"
+  "jms_transaction_test.pdb"
+  "jms_transaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_transaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_mgk_test.dir/queueing_mgk_test.cpp.o"
+  "CMakeFiles/queueing_mgk_test.dir/queueing_mgk_test.cpp.o.d"
+  "queueing_mgk_test"
+  "queueing_mgk_test.pdb"
+  "queueing_mgk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_mgk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

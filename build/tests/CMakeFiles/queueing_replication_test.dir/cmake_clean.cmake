@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_replication_test.dir/queueing_replication_test.cpp.o"
+  "CMakeFiles/queueing_replication_test.dir/queueing_replication_test.cpp.o.d"
+  "queueing_replication_test"
+  "queueing_replication_test.pdb"
+  "queueing_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

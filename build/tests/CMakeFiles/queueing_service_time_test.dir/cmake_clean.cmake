@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_service_time_test.dir/queueing_service_time_test.cpp.o"
+  "CMakeFiles/queueing_service_time_test.dir/queueing_service_time_test.cpp.o.d"
+  "queueing_service_time_test"
+  "queueing_service_time_test.pdb"
+  "queueing_service_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_service_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

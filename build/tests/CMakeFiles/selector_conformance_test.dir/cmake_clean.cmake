@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_conformance_test.dir/selector_conformance_test.cpp.o"
+  "CMakeFiles/selector_conformance_test.dir/selector_conformance_test.cpp.o.d"
+  "selector_conformance_test"
+  "selector_conformance_test.pdb"
+  "selector_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_correlation_test.dir/selector_correlation_test.cpp.o"
+  "CMakeFiles/selector_correlation_test.dir/selector_correlation_test.cpp.o.d"
+  "selector_correlation_test"
+  "selector_correlation_test.pdb"
+  "selector_correlation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_correlation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

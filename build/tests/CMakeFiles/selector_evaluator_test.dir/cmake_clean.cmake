@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_evaluator_test.dir/selector_evaluator_test.cpp.o"
+  "CMakeFiles/selector_evaluator_test.dir/selector_evaluator_test.cpp.o.d"
+  "selector_evaluator_test"
+  "selector_evaluator_test.pdb"
+  "selector_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_fuzz_test.dir/selector_fuzz_test.cpp.o"
+  "CMakeFiles/selector_fuzz_test.dir/selector_fuzz_test.cpp.o.d"
+  "selector_fuzz_test"
+  "selector_fuzz_test.pdb"
+  "selector_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

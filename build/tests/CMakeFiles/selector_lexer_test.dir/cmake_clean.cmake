@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_lexer_test.dir/selector_lexer_test.cpp.o"
+  "CMakeFiles/selector_lexer_test.dir/selector_lexer_test.cpp.o.d"
+  "selector_lexer_test"
+  "selector_lexer_test.pdb"
+  "selector_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

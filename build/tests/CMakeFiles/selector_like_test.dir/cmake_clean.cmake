@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_like_test.dir/selector_like_test.cpp.o"
+  "CMakeFiles/selector_like_test.dir/selector_like_test.cpp.o.d"
+  "selector_like_test"
+  "selector_like_test.pdb"
+  "selector_like_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_parser_test.dir/selector_parser_test.cpp.o"
+  "CMakeFiles/selector_parser_test.dir/selector_parser_test.cpp.o.d"
+  "selector_parser_test"
+  "selector_parser_test.pdb"
+  "selector_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_batch_means_test.dir/stats_batch_means_test.cpp.o"
+  "CMakeFiles/stats_batch_means_test.dir/stats_batch_means_test.cpp.o.d"
+  "stats_batch_means_test"
+  "stats_batch_means_test.pdb"
+  "stats_batch_means_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_batch_means_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_linalg_test.dir/stats_linalg_test.cpp.o"
+  "CMakeFiles/stats_linalg_test.dir/stats_linalg_test.cpp.o.d"
+  "stats_linalg_test"
+  "stats_linalg_test.pdb"
+  "stats_linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_rng_test.dir/stats_rng_test.cpp.o"
+  "CMakeFiles/stats_rng_test.dir/stats_rng_test.cpp.o.d"
+  "stats_rng_test"
+  "stats_rng_test.pdb"
+  "stats_rng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
