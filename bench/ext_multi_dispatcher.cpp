@@ -1,0 +1,300 @@
+// Extension: multi-dispatcher scaling of the live broker, validated
+// against the M/G/k machinery of queueing/mgk.hpp.
+//
+// Part 1 sweeps k in {1, 2, 4, 8} dispatcher threads over a
+// replication-grade-1 workload (every message is delivered to exactly one
+// subscriber after facing n_fltr filters) and reports the saturated
+// throughput of the Partitioned and SharedQueue modes.
+//
+// Part 2 drives the SharedQueue broker — the literal M/G/k system — with
+// paced Poisson arrivals at utilization rho and compares the MEASURED
+// mean ingress waiting time (BrokerStats::ingress_wait_ns) against the
+// Allen-Cunneen prediction of queueing::MGcWaiting; the Partitioned mode
+// is compared against its own model, k independent M/G/1 queues at
+// lambda/k each.
+//
+// NOTE: real parallel speedup and tight waiting-time agreement need at
+// least k+1 hardware threads; the harness prints the host's core count so
+// a reader can judge the numbers.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "harness_util.hpp"
+#include "jms/broker.hpp"
+#include "queueing/mgk.hpp"
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+#include "workload/filter_population.hpp"
+
+using namespace jmsperf;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::uint32_t kNonMatching = 1024;  // n_fltr - 1 per topic
+constexpr int kThroughputTopics = 32;
+constexpr int kThroughputMessages = 40000;
+
+jms::BrokerConfig base_config(std::uint32_t dispatchers, jms::DispatchMode mode) {
+  jms::BrokerConfig config;
+  config.num_dispatchers = dispatchers;
+  config.dispatch_mode = mode;
+  config.ingress_capacity = 1 << 14;
+  config.subscription_queue_capacity = 1 << 17;
+  config.drop_on_subscriber_overflow = true;  // keep dispatchers unblocked
+  return config;
+}
+
+/// Saturated throughput (messages/s) with `dispatchers` dispatcher
+/// threads: 4 publisher threads blast a replication-grade-1 population
+/// spread over 32 topics.
+double measure_throughput(std::uint32_t dispatchers, jms::DispatchMode mode) {
+  jms::Broker broker(base_config(dispatchers, mode));
+  std::vector<std::string> topics;
+  for (int t = 0; t < kThroughputTopics; ++t) {
+    topics.push_back("mdisp.t" + std::to_string(t));
+    broker.create_topic(topics.back());
+    workload::install_measurement_population(broker, topics.back(),
+                                             core::FilterClass::CorrelationId,
+                                             kNonMatching, /*replication=*/1);
+  }
+
+  const int publishers = 4;
+  const int per_publisher = kThroughputMessages / publishers;
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int p = 0; p < publishers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int m = 0; m < per_publisher; ++m) {
+        broker.publish(workload::make_keyed_message(
+            topics[static_cast<std::size_t>(p + m) % topics.size()], 0));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  broker.wait_until_idle();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(publishers) * per_publisher;
+  while (broker.stats().received < expected) {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(expected) / elapsed;
+}
+
+/// Per-message service-time moments of the routing work used below:
+/// mean from a saturated run (free of condvar wake-up latency), squared
+/// coefficient of variation from per-message samples.
+stats::RawMoments calibrate_service_moments() {
+  jms::Broker broker(base_config(1, jms::DispatchMode::Partitioned));
+  broker.create_topic("cal");
+  workload::install_measurement_population(broker, "cal",
+                                           core::FilterClass::CorrelationId,
+                                           kNonMatching, 1);
+  for (int i = 0; i < 2000; ++i) {
+    broker.publish(workload::make_keyed_message("cal", 0));
+  }
+  broker.wait_until_idle();
+
+  const int saturated = 20000;
+  const auto start = Clock::now();
+  for (int i = 0; i < saturated; ++i) {
+    broker.publish(workload::make_keyed_message("cal", 0));
+  }
+  broker.wait_until_idle();
+  const double mean =
+      std::chrono::duration<double>(Clock::now() - start).count() / saturated;
+
+  std::vector<double> raw;
+  for (int i = 0; i < 2000; ++i) {
+    const auto t0 = Clock::now();
+    broker.publish(workload::make_keyed_message("cal", 0));
+    broker.wait_until_idle();
+    raw.push_back(std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  // Trim the top 5%: preemption outliers would otherwise dominate cv^2.
+  std::sort(raw.begin(), raw.end());
+  stats::MomentAccumulator samples;
+  for (std::size_t i = 0; i < raw.size() - raw.size() / 20; ++i) {
+    samples.add(raw[i]);
+  }
+  const double cv2 = samples.coefficient_of_variation() *
+                     samples.coefficient_of_variation();
+  stats::RawMoments moments;
+  moments.m1 = mean;
+  moments.m2 = mean * mean * (1.0 + cv2);
+  moments.m3 = moments.m2 * mean * (1.0 + 3.0 * cv2);  // Gamma-shape heuristic
+  return moments;
+}
+
+struct WaitingPoint {
+  double rho;
+  double measured_wait;
+  double predicted_wait;
+};
+
+/// Paced Poisson arrivals at per-server utilization rho against k
+/// dispatchers; returns measured vs predicted mean waiting time.
+WaitingPoint measure_waiting(std::uint32_t dispatchers, jms::DispatchMode mode,
+                             double rho, const stats::RawMoments& service,
+                             std::uint64_t seed) {
+  jms::Broker broker(base_config(dispatchers, mode));
+  std::vector<std::string> topics;
+  // Many topics so Partitioned mode spreads arrivals over all shards.
+  for (std::uint32_t t = 0; t < 4 * dispatchers; ++t) {
+    topics.push_back("wait.t" + std::to_string(t));
+    broker.create_topic(topics.back());
+    workload::install_measurement_population(broker, topics.back(),
+                                             core::FilterClass::CorrelationId,
+                                             kNonMatching, 1);
+  }
+
+  const double lambda = rho * static_cast<double>(dispatchers) / service.m1;
+  const int messages = 15000;
+  stats::RandomStream rng(seed);
+  auto next_arrival = Clock::now();
+  for (int m = 0; m < messages; ++m) {
+    next_arrival += std::chrono::nanoseconds(
+        static_cast<std::int64_t>(1e9 * rng.exponential(lambda)));
+    while (Clock::now() < next_arrival) {
+      // Microsecond-scale inter-arrival gaps are below sleep granularity;
+      // yield instead of a hard spin so dispatchers still run on hosts
+      // with fewer than k+1 cores.
+      std::this_thread::yield();
+    }
+    broker.publish(workload::make_keyed_message(
+        topics[static_cast<std::size_t>(m) % topics.size()], 0));
+  }
+  broker.wait_until_idle();
+  while (broker.stats().received < static_cast<std::uint64_t>(messages)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+
+  WaitingPoint point;
+  point.rho = rho;
+  point.measured_wait = broker.stats().mean_ingress_wait_seconds();
+  if (mode == jms::DispatchMode::SharedQueue) {
+    // One shared queue, k servers: the M/G/k system itself.
+    point.predicted_wait =
+        queueing::MGcWaiting(lambda, service, dispatchers).mean_waiting_time();
+  } else {
+    // Hash-partitioned: k independent M/G/1 queues at lambda/k each.
+    point.predicted_wait =
+        queueing::MGcWaiting(lambda / dispatchers, service, 1)
+            .mean_waiting_time();
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  harness::print_title("EXT multi-dispatcher",
+                       "sharded broker scaling vs the M/G/k model");
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("# hardware threads on this host: %u\n", hardware);
+  // Live validation of k parallel dispatchers needs k dispatcher cores
+  // plus one for the publisher; below that the single CPU caps total
+  // service capacity at 1/E[B] and any lambda = rho * k / E[B] with
+  // rho * k > 1 is physically overloaded regardless of the software.
+  const bool can_run_parallel = hardware >= 5;
+
+  // --- Part 1: saturated throughput -----------------------------------
+  harness::print_note("Part 1: saturated throughput, replication grade 1, "
+                      "n_fltr = 1025 per topic, 4 publisher threads");
+  harness::print_columns({"k", "partitioned_msg_s", "sharedq_msg_s",
+                          "part_speedup", "sharedq_speedup"});
+  double base_partitioned = 0.0, base_shared = 0.0;
+  double partitioned_at_4 = 0.0;
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    const double partitioned =
+        measure_throughput(k, jms::DispatchMode::Partitioned);
+    const double shared = measure_throughput(k, jms::DispatchMode::SharedQueue);
+    if (k == 1) {
+      base_partitioned = partitioned;
+      base_shared = shared;
+    }
+    if (k == 4) partitioned_at_4 = partitioned;
+    harness::print_row({static_cast<double>(k), partitioned, shared,
+                        partitioned / base_partitioned, shared / base_shared});
+  }
+  if (can_run_parallel) {
+    harness::print_claim(
+        "k = 4 partitioned throughput >= 2x the single-dispatcher throughput",
+        partitioned_at_4 >= 2.0 * base_partitioned);
+  } else {
+    std::printf("# SKIPPED claim (needs >= 5 hardware threads, host has %u): "
+                "parallel speedup is not observable when publishers and "
+                "dispatchers time-share one core; the table above then only "
+                "shows that sharding adds no overhead\n",
+                hardware);
+  }
+
+  // --- Part 2: waiting time vs the analytic models ---------------------
+  const auto service = calibrate_service_moments();
+  std::printf("# calibrated service time: E[B] = %.3e s, cv^2 = %.3f\n",
+              service.m1, service.variance() / (service.m1 * service.m1));
+
+  if (can_run_parallel) {
+    harness::print_note(
+        "Part 2: Poisson arrivals; measured mean ingress wait "
+        "vs model (SharedQueue -> M/G/k, Partitioned -> k x M/G/1)");
+    harness::print_columns(
+        {"mode", "k", "rho", "measured_us", "predicted_us", "ratio"});
+    bool within_15_percent = true;
+    std::uint64_t seed = 1000;
+    for (const auto mode :
+         {jms::DispatchMode::SharedQueue, jms::DispatchMode::Partitioned}) {
+      for (const std::uint32_t k : {2u, 4u}) {
+        for (const double rho : {0.5, 0.7, 0.9}) {
+          const auto point = measure_waiting(k, mode, rho, service, ++seed);
+          const double ratio = point.measured_wait / point.predicted_wait;
+          harness::print_row(
+              {mode == jms::DispatchMode::SharedQueue ? 0.0 : 1.0,
+               static_cast<double>(k), rho, 1e6 * point.measured_wait,
+               1e6 * point.predicted_wait, ratio});
+          if (mode == jms::DispatchMode::SharedQueue &&
+              (ratio < 0.85 || ratio > 1.15)) {
+            within_15_percent = false;
+          }
+        }
+      }
+    }
+    harness::print_note("mode column: 0 = SharedQueue (M/G/k), 1 = "
+                        "Partitioned (k x M/G/1)");
+    harness::print_claim(
+        "SharedQueue mean waiting time within 15% of the M/G/k prediction "
+        "for rho <= 0.9",
+        within_15_percent);
+  } else {
+    // Model-only fallback: with the calibrated service moments, tabulate
+    // what the live sweep would be compared against — the pooled M/G/k
+    // wait of SharedQueue mode vs the k independent M/G/1 queues of
+    // Partitioned mode at the same per-server utilization.  The pooling
+    // ratio > 1 is the resource-pooling law the live broker must follow
+    // (asserted at count level by broker_model_agreement_test).
+    std::printf("# SKIPPED live waiting-time sweep (needs >= 5 hardware "
+                "threads, host has %u); printing the analytic targets\n",
+                hardware);
+    harness::print_note("Part 2 (model only): mean wait, M/G/k pooled vs "
+                        "k x M/G/1 partitioned, calibrated service moments");
+    harness::print_columns(
+        {"k", "rho", "mgk_us", "split_mg1_us", "pooling_gain"});
+    for (const std::uint32_t k : {2u, 4u, 8u}) {
+      for (const double rho : {0.5, 0.7, 0.9}) {
+        const double lambda = rho * static_cast<double>(k) / service.m1;
+        const double pooled =
+            queueing::MGcWaiting(lambda, service, k).mean_waiting_time();
+        const double split =
+            queueing::MGcWaiting(lambda / k, service, 1).mean_waiting_time();
+        harness::print_row({static_cast<double>(k), rho, 1e6 * pooled,
+                            1e6 * split, split / pooled});
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_multi_dispatcher.cpp" "bench/CMakeFiles/ext_multi_dispatcher.dir/ext_multi_dispatcher.cpp.o" "gcc" "bench/CMakeFiles/ext_multi_dispatcher.dir/ext_multi_dispatcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jmsperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/jmsperf_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jmsperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/jms/CMakeFiles/jmsperf_jms.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/jmsperf_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/selector/CMakeFiles/jmsperf_selector.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jmsperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jmsperf_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

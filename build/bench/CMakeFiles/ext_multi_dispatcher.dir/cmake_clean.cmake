@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_dispatcher.dir/ext_multi_dispatcher.cpp.o"
+  "CMakeFiles/ext_multi_dispatcher.dir/ext_multi_dispatcher.cpp.o.d"
+  "ext_multi_dispatcher"
+  "ext_multi_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -304,6 +304,9 @@ tests/CMakeFiles/broker_model_agreement_test.dir/broker_model_agreement_test.cpp
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/core/../core/partitioning.hpp \
+ /root/repo/src/core/../core/cost_model.hpp \
+ /root/repo/src/core/../stats/moments.hpp \
  /root/repo/src/core/../jms/broker.hpp /usr/include/c++/12/shared_mutex \
  /root/repo/src/core/../jms/blocking_queue.hpp \
  /usr/include/c++/12/condition_variable \
@@ -319,8 +322,8 @@ tests/CMakeFiles/broker_model_agreement_test.dir/broker_model_agreement_test.cpp
  /root/repo/src/core/../selector/correlation_filter.hpp \
  /root/repo/src/core/../selector/selector.hpp \
  /root/repo/src/core/../jms/topic_pattern.hpp \
+ /root/repo/src/core/../queueing/mgk.hpp \
  /root/repo/src/core/../queueing/replication.hpp \
- /root/repo/src/core/../stats/moments.hpp \
  /root/repo/src/core/../stats/rng.hpp /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -349,5 +352,4 @@ tests/CMakeFiles/broker_model_agreement_test.dir/broker_model_agreement_test.cpp
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/core/../workload/filter_population.hpp \
- /root/repo/src/core/../core/cost_model.hpp
+ /root/repo/src/core/../workload/filter_population.hpp

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/jms_broker_stress_test.cpp" "tests/CMakeFiles/jms_broker_stress_test.dir/jms_broker_stress_test.cpp.o" "gcc" "tests/CMakeFiles/jms_broker_stress_test.dir/jms_broker_stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jmsperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/jmsperf_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jmsperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/jms/CMakeFiles/jmsperf_jms.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/jmsperf_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/selector/CMakeFiles/jmsperf_selector.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jmsperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jmsperf_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_broker_stress_test.dir/jms_broker_stress_test.cpp.o"
+  "CMakeFiles/jms_broker_stress_test.dir/jms_broker_stress_test.cpp.o.d"
+  "jms_broker_stress_test"
+  "jms_broker_stress_test.pdb"
+  "jms_broker_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_broker_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

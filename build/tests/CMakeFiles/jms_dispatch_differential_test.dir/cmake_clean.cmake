@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_dispatch_differential_test.dir/jms_dispatch_differential_test.cpp.o"
+  "CMakeFiles/jms_dispatch_differential_test.dir/jms_dispatch_differential_test.cpp.o.d"
+  "jms_dispatch_differential_test"
+  "jms_dispatch_differential_test.pdb"
+  "jms_dispatch_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_dispatch_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

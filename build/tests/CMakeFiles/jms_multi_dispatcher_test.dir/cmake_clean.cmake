@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jms_multi_dispatcher_test.dir/jms_multi_dispatcher_test.cpp.o"
+  "CMakeFiles/jms_multi_dispatcher_test.dir/jms_multi_dispatcher_test.cpp.o.d"
+  "jms_multi_dispatcher_test"
+  "jms_multi_dispatcher_test.pdb"
+  "jms_multi_dispatcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jms_multi_dispatcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

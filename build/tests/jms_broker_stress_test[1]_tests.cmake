@@ -1,0 +1,3 @@
+add_test([=[BrokerStress.ConservationUnderPublisherSubscriberQueueLoad]=]  /root/repo/build/tests/jms_broker_stress_test [==[--gtest_filter=BrokerStress.ConservationUnderPublisherSubscriberQueueLoad]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[BrokerStress.ConservationUnderPublisherSubscriberQueueLoad]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] LABELS concurrency)
+set(  jms_broker_stress_test_TESTS BrokerStress.ConservationUnderPublisherSubscriberQueueLoad)

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full pre-merge check: the tier-1 suite in Release, then the
+# concurrency-labeled tests (sharded broker, blocking queue) under
+# ThreadSanitizer.  Usage: scripts/check.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== [1/2] Release build + tier-1 tests =="
+cmake --preset release > /dev/null
+cmake --build --preset release -j "$JOBS"
+ctest --preset release -j "$JOBS"
+
+echo "== [2/2] ThreadSanitizer build + concurrency tests =="
+cmake --preset tsan > /dev/null
+cmake --build --preset tsan -j "$JOBS"
+ctest --preset tsan -j "$JOBS"
+
+echo "== all checks passed =="

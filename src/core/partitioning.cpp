@@ -47,6 +47,13 @@ double partitioning_speedup_limit(const PartitioningScenario& s) {
   return partitioned_service_time(flat) / limit_service;
 }
 
+double sharded_capacity(const PartitioningScenario& s, std::uint32_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("sharded_capacity: need at least one shard");
+  }
+  return static_cast<double>(shards) * partitioned_capacity(s);
+}
+
 std::uint32_t topics_for_speedup_fraction(const PartitioningScenario& s,
                                           double target_fraction,
                                           std::uint32_t max_topics) {

@@ -11,10 +11,39 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "core/cost_model.hpp"
 
 namespace jmsperf::core {
+
+// --- topic -> shard hash contract -------------------------------------
+//
+// The live broker (jms::Broker with num_dispatchers = k) and the analytic
+// sharding model below MUST agree on which dispatcher shard owns a topic,
+// so that model predictions can be checked against per-shard broker
+// counters.  The contract is: FNV-1a 64-bit over the topic name, reduced
+// modulo the shard count.  Both sides call these functions; change them
+// only together.  (constexpr + header-only so the jms layer can share the
+// contract without a link dependency on jmsperf_core.)
+
+/// FNV-1a 64-bit hash of a destination name.
+[[nodiscard]] constexpr std::uint64_t topic_hash64(std::string_view name) {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+/// Shard owning `name` among `num_shards` dispatcher shards.
+[[nodiscard]] constexpr std::uint32_t topic_shard(std::string_view name,
+                                                  std::uint32_t num_shards) {
+  return num_shards <= 1
+             ? 0u
+             : static_cast<std::uint32_t>(topic_hash64(name) % num_shards);
+}
 
 struct PartitioningScenario {
   CostModel cost;
@@ -51,5 +80,12 @@ struct PartitioningScenario {
 [[nodiscard]] std::uint32_t topics_for_speedup_fraction(
     const PartitioningScenario& s, double target_fraction,
     std::uint32_t max_topics = 1u << 20);
+
+/// Aggregate capacity of `shards` dispatcher shards serving the scenario's
+/// partitioned topics, assuming the topic->shard hash balances load: each
+/// shard is an independent M/GI/1 server at utilization rho, so capacity
+/// scales linearly in the shard count.
+[[nodiscard]] double sharded_capacity(const PartitioningScenario& s,
+                                      std::uint32_t shards);
 
 }  // namespace jmsperf::core

@@ -53,8 +53,10 @@ class BlockingQueue {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
+    const bool drained = items_.empty();
     lock.unlock();
     not_full_.notify_one();
+    if (drained) drained_.notify_all();
     return item;
   }
 
@@ -68,8 +70,10 @@ class BlockingQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    const bool drained = items_.empty();
     lock.unlock();
     not_full_.notify_one();
+    if (drained) drained_.notify_all();
     return item;
   }
 
@@ -79,20 +83,37 @@ class BlockingQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    const bool drained = items_.empty();
     lock.unlock();
     not_full_.notify_one();
+    if (drained) drained_.notify_all();
     return item;
   }
 
+  /// Blocks until the queue is momentarily empty (every queued item has
+  /// been popped).  Used to wait for a dispatcher to take up all pending
+  /// work across the broker's per-shard ingress queues; a concurrent push
+  /// after the empty instant is not detected (same contract as polling
+  /// size() == 0).
+  void wait_empty() const {
+    std::unique_lock lock(mutex_);
+    drained_.wait(lock, [&] { return items_.empty(); });
+  }
+
   /// Closes the queue: pending pops drain remaining items, further pushes
-  /// fail, blocked producers and consumers wake up.
+  /// fail, blocked producers and consumers wake up.  Safe to call while
+  /// any number of producers are blocked on a full queue (the push-back /
+  /// close race): every blocked push returns false without enqueueing.
   void close() {
+    bool drained;
     {
       std::lock_guard lock(mutex_);
       closed_ = true;
+      drained = items_.empty();
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+    if (drained) drained_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
@@ -112,6 +133,7 @@ class BlockingQueue {
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
+  mutable std::condition_variable drained_;  ///< signalled when items_ empties
   std::deque<T> items_;
   bool closed_ = false;
 };

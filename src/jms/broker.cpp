@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "core/partitioning.hpp"  // topic_shard: the shared hash contract
+
 namespace jmsperf::jms {
 
 struct QueueReceiver::QueueState {
@@ -24,9 +26,23 @@ std::optional<MessagePtr> QueueReceiver::try_receive() {
   return message;
 }
 
-Broker::Broker(BrokerConfig config)
-    : config_(config), ingress_(config.ingress_capacity) {
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+Broker::Broker(BrokerConfig config) : config_(config) {
+  if (config_.num_dispatchers == 0) {
+    throw std::invalid_argument("BrokerConfig: num_dispatchers must be >= 1");
+  }
+  shards_.reserve(config_.num_dispatchers);
+  for (std::uint32_t i = 0; i < config_.num_dispatchers; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.ingress_capacity));
+  }
+  // In SharedQueue mode every dispatcher competes for shard 0's ingress
+  // queue (the single M/G/k waiting room); in Partitioned mode dispatcher
+  // i serves its own shard's queue.
+  const bool shared = config_.dispatch_mode == DispatchMode::SharedQueue;
+  for (std::uint32_t i = 0; i < config_.num_dispatchers; ++i) {
+    auto& source = shared ? shards_.front()->ingress : shards_[i]->ingress;
+    shards_[i]->dispatcher =
+        std::thread([this, i, &source] { dispatch_loop(*shards_[i], source); });
+  }
 }
 
 Broker::~Broker() { shutdown(); }
@@ -109,10 +125,7 @@ bool Broker::send_to_queue(const std::string& queue, Message message) {
   }
   if (shutdown_requested_.load(std::memory_order_acquire)) return false;
   message.set_destination(queue);
-  auto shared = std::make_shared<const Message>(std::move(message));
-  if (!ingress_.push(std::move(shared))) return false;
-  published_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  return enqueue_for_dispatch(std::make_shared<const Message>(std::move(message)));
 }
 
 QueueReceiver Broker::queue_receiver(const std::string& queue) {
@@ -259,35 +272,56 @@ std::size_t Broker::subscription_count(const std::string& topic) const {
   return it == topics_.end() ? 0 : it->second.size();
 }
 
+std::size_t Broker::shard_of(const std::string& destination) const {
+  if (shards_.size() == 1 || config_.dispatch_mode == DispatchMode::SharedQueue) {
+    return 0;
+  }
+  return core::topic_shard(destination,
+                           static_cast<std::uint32_t>(shards_.size()));
+}
+
+bool Broker::enqueue_for_dispatch(MessagePtr message) {
+  auto& shard = *shards_[shard_of(message->destination())];
+  if (!shard.ingress.push(
+          {std::move(message), std::chrono::steady_clock::now()})) {
+    return false;  // closed during push (the push-back / shutdown race)
+  }
+  published_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 bool Broker::publish(Message message) {
   if (message.destination().empty()) {
     throw std::invalid_argument("Broker::publish: message has no destination topic");
   }
   if (shutdown_requested_.load(std::memory_order_acquire)) return false;
   require_topic(message.destination());
-  auto shared = std::make_shared<const Message>(std::move(message));
-  if (!ingress_.push(std::move(shared))) return false;  // closed during push
-  published_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  return enqueue_for_dispatch(std::make_shared<const Message>(std::move(message)));
 }
 
-void Broker::dispatch_loop() {
+void Broker::dispatch_loop(Shard& self, BlockingQueue<Shard::Item>& source) {
   while (true) {
-    auto message = ingress_.pop();
-    if (!message) break;  // closed and drained
-    received_.fetch_add(1, std::memory_order_relaxed);
-    route(*message);
+    auto item = source.pop();
+    if (!item) break;  // closed and drained
+    const auto wait = std::chrono::steady_clock::now() - item->enqueued;
+    self.ingress_wait_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()),
+        std::memory_order_relaxed);
+    self.received.fetch_add(1, std::memory_order_relaxed);
+    route(self, item->message);
   }
 }
 
-void Broker::deliver(const std::shared_ptr<Subscription>& subscription,
+void Broker::deliver(Shard& shard,
+                     const std::shared_ptr<Subscription>& subscription,
                      const MessagePtr& message, std::uint64_t& copies) {
   if (config_.drop_on_subscriber_overflow) {
     if (subscription->try_offer(message)) {
       ++copies;
-      dispatched_.fetch_add(1, std::memory_order_relaxed);
+      shard.dispatched.fetch_add(1, std::memory_order_relaxed);
     } else {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      shard.dropped.fetch_add(1, std::memory_order_relaxed);
     }
     return;
   }
@@ -295,15 +329,15 @@ void Broker::deliver(const std::shared_ptr<Subscription>& subscription,
   // copy always observes it in stats(); roll back on the rare
   // concurrent-close failure (the copy is then simply not delivered —
   // non-durable semantics).
-  dispatched_.fetch_add(1, std::memory_order_relaxed);
+  shard.dispatched.fetch_add(1, std::memory_order_relaxed);
   if (subscription->offer(message)) {
     ++copies;
   } else {
-    dispatched_.fetch_sub(1, std::memory_order_relaxed);
+    shard.dispatched.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
-void Broker::route(const MessagePtr& message) {
+void Broker::route(Shard& shard, const MessagePtr& message) {
   // Point-to-point destination?
   std::shared_ptr<QueueReceiver::QueueState> queue;
   {
@@ -313,9 +347,9 @@ void Broker::route(const MessagePtr& message) {
   }
   if (queue) {
     if (queue->store.push(message)) {
-      dispatched_.fetch_add(1, std::memory_order_relaxed);
+      shard.dispatched.fetch_add(1, std::memory_order_relaxed);
     } else {
-      dropped_.fetch_add(1, std::memory_order_relaxed);  // closed at shutdown
+      shard.dropped.fetch_add(1, std::memory_order_relaxed);  // closed at shutdown
     }
     return;
   }
@@ -342,31 +376,34 @@ void Broker::route(const MessagePtr& message) {
 
   std::uint64_t copies = 0;
   if (config_.enable_identical_filter_index) {
-    copies += route_with_filter_index(message);
+    copies += route_with_filter_index(shard, message);
   } else {
     for (const auto& subscription : subscribers) {
       if (subscription->closed()) continue;
-      filter_evaluations_.fetch_add(1, std::memory_order_relaxed);
+      shard.filter_evaluations.fetch_add(1, std::memory_order_relaxed);
       if (!subscription->filter().matches(*message)) continue;
-      deliver(subscription, message, copies);
+      deliver(shard, subscription, message, copies);
     }
   }
   // Pattern subscriptions are always evaluated individually: their
   // applicability depends on the concrete topic name, not just the filter.
   for (const auto& subscription : pattern_matches) {
     if (subscription->closed()) continue;
-    filter_evaluations_.fetch_add(1, std::memory_order_relaxed);
+    shard.filter_evaluations.fetch_add(1, std::memory_order_relaxed);
     if (!subscription->filter().matches(*message)) continue;
-    deliver(subscription, message, copies);
+    deliver(shard, subscription, message, copies);
   }
   if (copies == 0) {
-    discarded_no_subscriber_.fetch_add(1, std::memory_order_relaxed);
+    shard.discarded_no_subscriber.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-std::uint64_t Broker::route_with_filter_index(const MessagePtr& message) {
+std::uint64_t Broker::route_with_filter_index(Shard& shard,
+                                              const MessagePtr& message) {
   // Rebuild the per-topic groups when the subscription topology changed.
-  auto& cache = filter_group_cache_[message->destination()];
+  // The cache is private to this shard's dispatcher thread; in SharedQueue
+  // mode each dispatcher maintains its own copy of the groups it touches.
+  auto& cache = shard.filter_groups[message->destination()];
   const auto current_version = topology_version_.load(std::memory_order_acquire);
   if (cache.version != current_version || !cache.built) {
     cache.version = current_version;
@@ -389,11 +426,11 @@ std::uint64_t Broker::route_with_filter_index(const MessagePtr& message) {
   std::uint64_t copies = 0;
   for (const auto& group : cache.groups) {
     // One evaluation per DISTINCT filter (this is the whole optimization).
-    filter_evaluations_.fetch_add(1, std::memory_order_relaxed);
+    shard.filter_evaluations.fetch_add(1, std::memory_order_relaxed);
     if (!group.front()->filter().matches(*message)) continue;
     for (const auto& subscription : group) {
       if (subscription->closed()) continue;
-      deliver(subscription, message, copies);
+      deliver(shard, subscription, message, copies);
     }
   }
   return copies;
@@ -402,9 +439,17 @@ std::uint64_t Broker::route_with_filter_index(const MessagePtr& message) {
 void Broker::shutdown() {
   const bool already = shutdown_requested_.exchange(true);
   if (!already) {
-    ingress_.close();
+    // Closing the ingress queues wakes every producer blocked in
+    // push-back (their push returns false) and lets the dispatchers
+    // drain what was already accepted.
+    for (auto& shard : shards_) shard->ingress.close();
   }
-  if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    std::lock_guard join_lock(shutdown_mutex_);
+    for (auto& shard : shards_) {
+      if (shard->dispatcher.joinable()) shard->dispatcher.join();
+    }
+  }
   std::unique_lock lock(topics_mutex_);
   for (auto& [name, subs] : topics_) {
     for (auto& subscription : subs) subscription->close();
@@ -416,17 +461,49 @@ void Broker::shutdown() {
 BrokerStats Broker::stats() const {
   BrokerStats s;
   s.published = published_.load(std::memory_order_relaxed);
-  s.received = received_.load(std::memory_order_relaxed);
-  s.dispatched = dispatched_.load(std::memory_order_relaxed);
-  s.filter_evaluations = filter_evaluations_.load(std::memory_order_relaxed);
-  s.dropped = dropped_.load(std::memory_order_relaxed);
-  s.discarded_no_subscriber = discarded_no_subscriber_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    s.received += shard->received.load(std::memory_order_relaxed);
+    s.dispatched += shard->dispatched.load(std::memory_order_relaxed);
+    s.filter_evaluations +=
+        shard->filter_evaluations.load(std::memory_order_relaxed);
+    s.dropped += shard->dropped.load(std::memory_order_relaxed);
+    s.discarded_no_subscriber +=
+        shard->discarded_no_subscriber.load(std::memory_order_relaxed);
+    s.ingress_wait_ns += shard->ingress_wait_ns.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+ShardStats Broker::shard_stats(std::size_t i) const {
+  if (i >= shards_.size()) {
+    throw std::out_of_range("Broker::shard_stats: no such shard");
+  }
+  const auto& shard = *shards_[i];
+  ShardStats s;
+  s.received = shard.received.load(std::memory_order_relaxed);
+  s.dispatched = shard.dispatched.load(std::memory_order_relaxed);
+  s.filter_evaluations = shard.filter_evaluations.load(std::memory_order_relaxed);
+  s.dropped = shard.dropped.load(std::memory_order_relaxed);
+  s.discarded_no_subscriber =
+      shard.discarded_no_subscriber.load(std::memory_order_relaxed);
+  s.ingress_wait_ns = shard.ingress_wait_ns.load(std::memory_order_relaxed);
+  s.ingress_backlog = shard.ingress.size();
   return s;
 }
 
 void Broker::wait_until_idle() const {
-  while (ingress_.size() > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  // A single pass can miss a message published to an earlier queue while
+  // we waited on a later one; repeat until one pass observes all empty.
+  while (true) {
+    for (const auto& shard : shards_) shard->ingress.wait_empty();
+    bool all_empty = true;
+    for (const auto& shard : shards_) {
+      if (shard->ingress.size() != 0) {
+        all_empty = false;
+        break;
+      }
+    }
+    if (all_empty) return;
   }
 }
 

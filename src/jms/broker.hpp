@@ -1,20 +1,33 @@
 // The in-memory publish/subscribe broker.
 //
-// Architecture (mirrors the paper's single-CPU FioranoMQ server):
+// Architecture (generalizing the paper's single-CPU FioranoMQ server):
 //
-//   publishers --> bounded ingress queue --> dispatcher thread --> per-
-//                                           (sequential service)  subscriber
-//                                                                 queues
+//   publishers --> per-shard bounded ingress queues --> k dispatcher --> per-
+//                  (topic -> shard hash)                threads         subscriber
+//                                                       (sequential     queues
+//                                                        per shard)
 //
-// * Publishing blocks while the ingress queue is full — the "push-back"
-//   that throttles saturated publishers (paper Sec. IV-B.1).
-// * One dispatcher thread serves messages sequentially, exactly like the
-//   M/GI/1 model: for each received message it evaluates EVERY installed
-//   filter of the topic (FioranoMQ performs no identical-filter
-//   optimization, Sec. III-B) and forwards one copy per match.
+// * Publishing blocks while the destination shard's ingress queue is full
+//   — the "push-back" that throttles saturated publishers (paper
+//   Sec. IV-B.1).
+// * With the default `num_dispatchers = 1` a single dispatcher thread
+//   serves every message sequentially, exactly like the paper's M/GI/1
+//   model: for each received message it evaluates EVERY installed filter
+//   of the topic (FioranoMQ performs no identical-filter optimization,
+//   Sec. III-B) and forwards one copy per match.
+// * With `num_dispatchers = k > 1` the broker runs k dispatcher shards.
+//   In the default Partitioned mode each shard owns a hash-partition of
+//   the destination namespace (the topic->shard contract is
+//   core::topic_shard, shared with the analytic model in
+//   core/partitioning.hpp) and has its own bounded ingress queue and
+//   filter-group cache; per-topic / per-publisher FIFO order is preserved
+//   because a topic is always served by the same shard.  Analytically the
+//   broker is then k independent M/GI/1 sub-servers.
+//   In SharedQueue mode all k dispatchers compete for one ingress queue —
+//   the literal M/G/k system of queueing::MGcWaiting — at the price of
+//   per-topic ordering for k > 1.
 // * Delivery to each subscription queue also applies backpressure, so no
-//   message is ever lost (persistent mode); per-publisher FIFO order is
-//   preserved end to end.
+//   message is ever lost (persistent mode).
 //
 // Beyond the paper's measured configuration (persistent / non-durable /
 // topic domain) the broker implements the rest of the JMS feature matrix
@@ -27,6 +40,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -42,8 +56,22 @@
 
 namespace jmsperf::jms {
 
+/// How messages are handed to the k dispatcher threads when
+/// `num_dispatchers > 1`.
+enum class DispatchMode {
+  /// Each dispatcher owns a hash-partition of the destination namespace
+  /// (core::topic_shard) with its own ingress queue.  Per-topic FIFO is
+  /// preserved; the system behaves as k independent M/GI/1 servers.
+  Partitioned,
+  /// All dispatchers pop from ONE shared ingress queue — the literal
+  /// M/G/k queueing system.  Maximum work-conservation, but per-topic
+  /// ordering is not guaranteed for k > 1.
+  SharedQueue,
+};
+
 struct BrokerConfig {
-  /// Capacity of the server's ingress buffer.
+  /// Capacity of each dispatcher shard's ingress buffer (in SharedQueue
+  /// mode: of the single shared buffer).
   std::size_t ingress_capacity = 4096;
   /// Capacity of each subscriber's delivery queue.
   std::size_t subscription_queue_capacity = 4096;
@@ -60,19 +88,49 @@ struct BrokerConfig {
   /// does NOT implement this (paper Sec. III-B: identical and different
   /// filters cost the same); default false reproduces that behaviour.
   bool enable_identical_filter_index = false;
+  /// Number of dispatcher threads (shards).  The default 1 reproduces the
+  /// paper's single-server M/GI/1 calibration exactly; k > 1 enables the
+  /// multi-dispatcher path validated against queueing::MGcWaiting.
+  std::uint32_t num_dispatchers = 1;
+  /// Ingress hand-off policy for num_dispatchers > 1 (ignored for k = 1,
+  /// where both modes coincide).
+  DispatchMode dispatch_mode = DispatchMode::Partitioned;
 };
 
 /// Monotonic counters describing broker activity (paper terminology:
 /// received / dispatched / overall throughput, Sec. III-A.2).
 struct BrokerStats {
   std::uint64_t published = 0;           ///< accepted from producers
-  std::uint64_t received = 0;            ///< taken up by the dispatcher
+  std::uint64_t received = 0;            ///< taken up by a dispatcher
   std::uint64_t dispatched = 0;          ///< copies delivered to consumers
   std::uint64_t filter_evaluations = 0;  ///< individual filter checks
   std::uint64_t dropped = 0;             ///< copies dropped on overflow
   std::uint64_t discarded_no_subscriber = 0;  ///< messages matching nobody
+  /// Total time messages spent waiting in ingress queues before a
+  /// dispatcher took them up — the live counterpart of the paper's
+  /// waiting time W (sum over received messages, nanoseconds).
+  std::uint64_t ingress_wait_ns = 0;
 
   [[nodiscard]] std::uint64_t overall() const { return received + dispatched; }
+
+  /// Mean ingress waiting time per received message, in seconds.
+  [[nodiscard]] double mean_ingress_wait_seconds() const {
+    return received == 0 ? 0.0
+                         : 1e-9 * static_cast<double>(ingress_wait_ns) /
+                               static_cast<double>(received);
+  }
+};
+
+/// Per-shard slice of the broker counters (BrokerStats is the sum of the
+/// shard slices plus the producer-side `published`).
+struct ShardStats {
+  std::uint64_t received = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t filter_evaluations = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t discarded_no_subscriber = 0;
+  std::uint64_t ingress_wait_ns = 0;
+  std::size_t ingress_backlog = 0;  ///< current depth of the shard's queue
 };
 
 /// Receiving endpoint of a point-to-point queue.  Multiple receivers on
@@ -97,7 +155,7 @@ class Broker {
  public:
   explicit Broker(BrokerConfig config = {});
 
-  /// Stops the dispatcher and closes all subscriptions.
+  /// Stops the dispatchers and closes all subscriptions.
   ~Broker();
 
   Broker(const Broker&) = delete;
@@ -171,20 +229,32 @@ class Broker {
 
   // --- publishing -------------------------------------------------------
   /// Publishes a message to its destination topic.  Blocks while the
-  /// ingress queue is full; returns false after shutdown.
-  /// Throws std::invalid_argument for an unknown topic (unless
+  /// destination shard's ingress queue is full; returns false after
+  /// shutdown.  Throws std::invalid_argument for an unknown topic (unless
   /// auto_create_topics is set) or an empty destination.
   bool publish(Message message);
 
   // --- lifecycle & stats -------------------------------------------------
-  /// Stops accepting messages, drains the ingress queue, then closes all
-  /// subscriptions.  Idempotent.
+  /// Stops accepting messages, drains every ingress queue, then closes
+  /// all subscriptions.  Idempotent and safe while producers are blocked
+  /// in push-back.
   void shutdown();
 
   [[nodiscard]] BrokerStats stats() const;
 
-  /// Blocks until the ingress queue is empty (all published messages have
-  /// been taken up by the dispatcher).  Useful in tests.
+  /// Number of dispatcher shards (== config.num_dispatchers).
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+  /// Counter slice of dispatcher shard `i` (i < num_shards()).
+  [[nodiscard]] ShardStats shard_stats(std::size_t i) const;
+
+  /// Shard that owns `destination` under the current configuration: the
+  /// core::topic_shard hash contract in Partitioned mode, always 0 in
+  /// SharedQueue mode or with a single dispatcher.
+  [[nodiscard]] std::size_t shard_of(const std::string& destination) const;
+
+  /// Blocks until all ingress queues are empty (every published message
+  /// has been taken up by a dispatcher).  Useful in tests.
   void wait_until_idle() const;
 
  private:
@@ -193,18 +263,49 @@ class Broker {
     std::shared_ptr<Subscription> subscription;
   };
 
-  void dispatch_loop();
-  void route(const MessagePtr& message);
-  std::uint64_t route_with_filter_index(const MessagePtr& message);
-  void deliver(const std::shared_ptr<Subscription>& subscription,
+  // Identical-filter groups, rebuilt lazily by a shard's dispatcher
+  // whenever the subscription topology changed.  Each shard has its own
+  // cache, touched only by that shard's dispatcher thread.
+  struct FilterGroupCache {
+    std::uint64_t version = 0;
+    bool built = false;
+    std::vector<std::vector<std::shared_ptr<Subscription>>> groups;
+  };
+
+  /// One dispatcher shard: a bounded ingress queue, the dispatcher thread
+  /// serving it, the thread's private filter-group cache, and the shard's
+  /// slice of the broker counters.
+  struct Shard {
+    struct Item {
+      MessagePtr message;
+      std::chrono::steady_clock::time_point enqueued;
+    };
+
+    explicit Shard(std::size_t capacity) : ingress(capacity) {}
+
+    BlockingQueue<Item> ingress;
+    std::unordered_map<std::string, FilterGroupCache> filter_groups;
+    std::atomic<std::uint64_t> received{0};
+    std::atomic<std::uint64_t> dispatched{0};
+    std::atomic<std::uint64_t> filter_evaluations{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> discarded_no_subscriber{0};
+    std::atomic<std::uint64_t> ingress_wait_ns{0};
+    std::thread dispatcher;
+  };
+
+  void dispatch_loop(Shard& self, BlockingQueue<Shard::Item>& source);
+  void route(Shard& shard, const MessagePtr& message);
+  std::uint64_t route_with_filter_index(Shard& shard, const MessagePtr& message);
+  void deliver(Shard& shard, const std::shared_ptr<Subscription>& subscription,
                const MessagePtr& message, std::uint64_t& copies);
+  bool enqueue_for_dispatch(MessagePtr message);
   void require_topic(const std::string& name);
   void bump_topology_version() {
     topology_version_.fetch_add(1, std::memory_order_relaxed);
   }
 
   BrokerConfig config_;
-  BlockingQueue<MessagePtr> ingress_;
 
   mutable std::shared_mutex topics_mutex_;
   std::unordered_map<std::string, std::vector<std::shared_ptr<Subscription>>> topics_;
@@ -215,25 +316,13 @@ class Broker {
   std::atomic<std::uint64_t> next_subscription_id_{1};
   std::atomic<std::uint64_t> next_temporary_id_{1};
   std::atomic<bool> shutdown_requested_{false};
+  std::mutex shutdown_mutex_;  ///< serializes the join phase of shutdown()
 
-  // Identical-filter groups, rebuilt lazily by the dispatcher whenever the
-  // subscription topology changed.  Touched only by the dispatcher thread.
-  struct FilterGroupCache {
-    std::uint64_t version = 0;
-    bool built = false;
-    std::vector<std::vector<std::shared_ptr<Subscription>>> groups;
-  };
   std::atomic<std::uint64_t> topology_version_{0};
-  std::unordered_map<std::string, FilterGroupCache> filter_group_cache_;
-
   std::atomic<std::uint64_t> published_{0};
-  std::atomic<std::uint64_t> received_{0};
-  std::atomic<std::uint64_t> dispatched_{0};
-  std::atomic<std::uint64_t> filter_evaluations_{0};
-  std::atomic<std::uint64_t> dropped_{0};
-  std::atomic<std::uint64_t> discarded_no_subscriber_{0};
 
-  std::thread dispatcher_;  // last member: joins before the rest dies
+  // Last member: the shards' dispatcher threads join before the rest dies.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace jmsperf::jms

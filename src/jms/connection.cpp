@@ -140,6 +140,10 @@ void MessageProducer::set_priority(int priority) {
   priority_ = priority;
 }
 
+std::size_t MessageProducer::shard() const {
+  return session_.connection_.broker().shard_of(topic_);
+}
+
 bool MessageProducer::send(Message message) {
   session_.require_open();
   message.set_destination(topic_);

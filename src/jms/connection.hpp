@@ -140,6 +140,11 @@ class MessageProducer {
   [[nodiscard]] const std::string& topic() const { return topic_; }
   [[nodiscard]] std::uint64_t sent() const { return sent_; }
 
+  /// Dispatcher shard serving this producer's topic (Broker::shard_of):
+  /// all messages of one producer are routed through the same shard, which
+  /// is what preserves per-producer FIFO order in multi-dispatcher mode.
+  [[nodiscard]] std::size_t shard() const;
+
   void set_delivery_mode(DeliveryMode mode) { delivery_mode_ = mode; }
   [[nodiscard]] DeliveryMode delivery_mode() const { return delivery_mode_; }
 

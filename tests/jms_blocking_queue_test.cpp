@@ -108,6 +108,99 @@ TEST(BlockingQueue, CloseWakesBlockedProducerAndConsumer) {
   EXPECT_TRUE(consumer_returned.load());
 }
 
+TEST(BlockingQueue, CloseWhileManyProducersBlockedOnFullQueue) {
+  // The push-back / close race the multi-shard broker shutdown exercises:
+  // producers sit blocked in push() on a full queue when close() arrives.
+  // Every blocked push must wake, return false and enqueue NOTHING; the
+  // items accepted before the close stay drainable.
+  BlockingQueue<int> q(2);
+  ASSERT_TRUE(q.push(100));
+  ASSERT_TRUE(q.push(101));
+
+  const int producers = 8;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      if (!q.push(p)) rejected.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(50ms);
+  q.close();
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(rejected.load(), producers);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(*q.pop(), 100);
+  EXPECT_EQ(*q.pop(), 101);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, CloseProducerRaceNeverLosesAcceptedItems) {
+  // Repeated race: producers hammer push() while another thread closes.
+  // Whatever push() accepted (returned true) must be popped exactly once;
+  // whatever it rejected must not appear.  Catches lost-wakeup and
+  // accept-after-close bugs in the close path.
+  for (int round = 0; round < 20; ++round) {
+    BlockingQueue<int> q(4);
+    const int producers = 4, per_producer = 64;
+    std::atomic<long> accepted_sum{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        for (int i = 0; i < per_producer; ++i) {
+          const int value = p * per_producer + i + 1;
+          if (q.push(value)) accepted_sum.fetch_add(value);
+        }
+      });
+    }
+    long popped_sum = 0;
+    std::thread consumer([&] {
+      while (auto v = q.pop()) popped_sum += *v;
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * (round % 5)));
+    q.close();
+    for (auto& thread : threads) thread.join();
+    consumer.join();
+    // close() drains: the consumer's pop() loop only ends after the queue
+    // is both closed and empty, so the sums must match exactly.
+    EXPECT_EQ(popped_sum, accepted_sum.load()) << "round " << round;
+  }
+}
+
+TEST(BlockingQueue, WaitEmptyBlocksUntilDrained) {
+  BlockingQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) q.push(i);
+
+  std::atomic<bool> drained{false};
+  std::thread waiter([&] {
+    q.wait_empty();
+    drained.store(true);
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(drained.load()) << "wait_empty returned with items queued";
+  for (int i = 0; i < 5; ++i) q.pop();
+  waiter.join();
+  EXPECT_TRUE(drained.load());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueue, WaitEmptyReturnsImmediatelyOnEmptyOrClosedDrainedQueue) {
+  BlockingQueue<int> empty(4);
+  empty.wait_empty();  // must not block
+
+  BlockingQueue<int> closing(4);
+  closing.push(7);
+  closing.close();
+  std::thread drainer([&] {
+    std::this_thread::sleep_for(20ms);
+    closing.pop();
+  });
+  closing.wait_empty();  // returns once the drainer empties it
+  drainer.join();
+  EXPECT_EQ(closing.size(), 0u);
+}
+
 TEST(BlockingQueue, ManyProducersManyConsumersNoLossNoDuplication) {
   BlockingQueue<int> q(8);
   const int producers = 4, per_producer = 5000;
