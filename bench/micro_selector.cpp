@@ -1,12 +1,23 @@
 // Microbenchmarks of the filter engine — the real-hardware analog of the
 // paper's per-filter cost t_fltr (Table I): how long does one filter
 // evaluation take on THIS machine, per filter kind and complexity?
+//
+// Two parts: google-benchmark microbenchmarks (compiled Program vs the
+// AST-walking reference engine on fixed shapes), then — custom main — a
+// chrono sweep over filter complexity reporting the effective t_fltr of
+// both engines side by side and their ratio.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "jms/filter.hpp"
 #include "jms/message.hpp"
 #include "selector/correlation_filter.hpp"
 #include "selector/selector.hpp"
+#include "testbed/filter_cost_probe.hpp"
 
 using namespace jmsperf;
 
@@ -20,6 +31,9 @@ jms::Message sample_message() {
   m.set_property("region", "emea");
   m.set_property("price", 19.99);
   m.set_property("name", "order-4711");
+  m.set_property("qty", 12);
+  m.set_property("code", "Q-7");
+  m.set_property("flag", true);
   return m;
 }
 
@@ -65,6 +79,26 @@ void BM_SelectorEvalComplex(benchmark::State& state) {
 }
 BENCHMARK(BM_SelectorEvalComplex);
 
+// Same shapes through the AST reference engine — the pre-compilation code
+// path — for a direct compiled-vs-AST comparison within one report.
+void BM_SelectorEvalEquality_Ast(benchmark::State& state) {
+  const auto s = selector::Selector::compile("key = 0");
+  const auto m = sample_message();
+  for (auto _ : state) benchmark::DoNotOptimize(s.evaluate_ast(m));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectorEvalEquality_Ast);
+
+void BM_SelectorEvalComplex_Ast(benchmark::State& state) {
+  const auto s = selector::Selector::compile(
+      "(key = 0 OR priority > 5) AND region IN ('emea', 'apac') AND "
+      "price BETWEEN 10.0 AND 20.0 AND name LIKE 'order-%'");
+  const auto m = sample_message();
+  for (auto _ : state) benchmark::DoNotOptimize(s.evaluate_ast(m));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectorEvalComplex_Ast);
+
 void BM_SelectorEvalLike(benchmark::State& state) {
   const auto s = selector::Selector::compile("name LIKE '%-47__'");
   const auto m = sample_message();
@@ -108,4 +142,91 @@ void BM_FilterKindComparison_AppProp(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterKindComparison_AppProp);
 
+// ------------------------- AST vs compiled complexity sweep (custom main)
+
+volatile std::uint64_t g_sweep_sink = 0;
+
+/// ns per evaluation of `eval_one` over `iterations` runs (after warmup).
+template <typename EvalOne>
+double ns_per_eval(std::uint64_t iterations, EvalOne&& eval_one) {
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < iterations / 10 + 1; ++i) hits += eval_one();
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < iterations; ++i) hits += eval_one();
+  const auto stop = Clock::now();
+  g_sweep_sink += hits;
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(iterations);
+}
+
+/// Conjunction of the first `terms` filter terms; every term matches
+/// sample_message(), so evaluation always walks the whole conjunction.
+std::string conjunction_of(std::size_t terms) {
+  static const char* kTerms[] = {
+      "key = 0",
+      "priority > 5",
+      "region IN ('emea', 'apac')",
+      "price BETWEEN 10.0 AND 20.0",
+      "name LIKE 'order-%'",
+      "qty * 2 >= 10",
+      "code IS NOT NULL",
+      "flag <> FALSE",
+  };
+  std::string expression;
+  for (std::size_t i = 0; i < terms && i < 8; ++i) {
+    if (!expression.empty()) expression += " AND ";
+    expression += kTerms[i];
+  }
+  return expression;
+}
+
+/// Sweeps filter complexity (number of conjunct terms) and reports the
+/// effective per-evaluation t_fltr of the AST engine vs the compiled
+/// Program — the per-filter constant of paper Eq. 1 before/after the
+// compilation refactor.
+void run_complexity_sweep() {
+  const auto message = sample_message();
+  constexpr std::uint64_t kIterations = 2000000;
+
+  std::printf("\n== effective t_fltr: AST walker vs compiled Program ==\n");
+  std::printf("%-8s %-12s %-14s %-10s  %s\n", "terms", "ast[ns]", "compiled[ns]",
+              "speedup", "selector");
+  for (const std::size_t terms : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                  std::size_t{8}}) {
+    const std::string expression = conjunction_of(terms);
+    const auto selector = selector::Selector::compile(expression);
+    const double ast = ns_per_eval(kIterations / terms, [&] {
+      return selector.evaluate_ast(message) == selector::Tribool::True ? 1u : 0u;
+    });
+    const double compiled = ns_per_eval(kIterations / terms, [&] {
+      return selector.matches(message) ? 1u : 0u;
+    });
+    std::printf("%-8zu %-12.1f %-14.1f %-10.2f  %s\n", terms, ast, compiled,
+                ast / compiled, expression.c_str());
+  }
+
+  // The paper's measurement filter shape (Table I, application-property
+  // row) through the shared testbed probe: a 64-filter bank, one match.
+  const auto probe = testbed::probe_filter_cost(
+      core::FilterClass::ApplicationProperty, 64, 1000000);
+  std::printf(
+      "\npaper shape 'key = i' bank (testbed probe): ast %.1f ns, compiled "
+      "%.1f ns, speedup %.2fx\n",
+      probe.t_fltr_ast * 1e9, probe.t_fltr_compiled * 1e9, probe.speedup());
+  const auto corr = testbed::probe_filter_cost(core::FilterClass::CorrelationId,
+                                               64, 1000000);
+  std::printf("correlation-id bank (always pre-compiled): %.1f ns/eval\n",
+              corr.t_fltr_compiled * 1e9);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_complexity_sweep();
+  return 0;
+}

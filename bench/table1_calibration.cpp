@@ -5,11 +5,17 @@
 // (R x n sweep, saturated publishers, warmup/cooldown trimming), and re-fit
 // the three constants by least squares.  The fitted values are compared
 // against the injected (paper) values.
+//
+// A third campaign replaces the paper's t_fltr with a value probed from
+// THIS build's compiled filter engine (testbed/filter_cost_probe.hpp),
+// demonstrating that the calibrate-then-predict pipeline recovers
+// engine-grounded constants just as well as the published ones.
 #include <cstdio>
 
 #include "harness_util.hpp"
 #include "core/cost_model.hpp"
 #include "testbed/calibration.hpp"
+#include "testbed/filter_cost_probe.hpp"
 
 using namespace jmsperf;
 
@@ -42,12 +48,41 @@ void run(core::FilterClass filter_class) {
                        result.fit.max_relative_error(result.samples) < 0.05);
 }
 
+void run_probe_grounded() {
+  const auto probe = testbed::probe_filter_cost(
+      core::FilterClass::ApplicationProperty, 64, 300000);
+  std::printf("# filter type: %s, t_fltr probed from this build's engine\n",
+              core::to_string(probe.filter_class));
+  std::printf("#   compiled %.3e s/eval, AST reference %.3e s/eval "
+              "(compile speedup %.2fx)\n",
+              probe.t_fltr_compiled, probe.t_fltr_ast, probe.speedup());
+
+  testbed::CalibrationCampaign campaign;
+  campaign.true_cost =
+      probe.cost_model(core::fiorano_cost_model(core::FilterClass::ApplicationProperty));
+  campaign.measurement.duration = 10.0;
+  campaign.measurement.trim = 0.5;
+  campaign.measurement.repetitions = 2;
+  campaign.measurement.noise_cv = 0.02;
+
+  const auto result = testbed::run_calibration_campaign(campaign);
+  const auto& fit = result.fit.cost;
+  const double rel_err =
+      std::abs(fit.t_fltr - campaign.true_cost.t_fltr) / campaign.true_cost.t_fltr;
+  harness::print_columns({"constant", "probed_s", "fitted_s", "rel_err"});
+  std::printf("  %16s %16.3e %16.3e %16.4f\n", "t_fltr",
+              campaign.true_cost.t_fltr, fit.t_fltr, rel_err);
+  harness::print_claim("fit recovers the engine-probed filter constant",
+                       rel_err < 0.05);
+}
+
 }  // namespace
 
 int main() {
   harness::print_title("Table I", "message processing overheads per filter type");
   run(core::FilterClass::CorrelationId);
   run(core::FilterClass::ApplicationProperty);
+  run_probe_grounded();
   harness::print_note(
       "measurements come from the DES substitute for the FioranoMQ testbed; "
       "the pipeline (saturate -> trim -> count -> least-squares fit) is the "

@@ -1,20 +1,27 @@
 #!/usr/bin/env bash
-# Full pre-merge check: the tier-1 suite in Release, then the
+# Full pre-merge check: the tier-1 suite in Release, the
 # concurrency-labeled tests (sharded broker, blocking queue) under
-# ThreadSanitizer.  Usage: scripts/check.sh [jobs]
+# ThreadSanitizer, and the selector-labeled tests (compiled program
+# engine + differential fuzz) under ASan+UBSan.
+# Usage: scripts/check.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/2] Release build + tier-1 tests =="
+echo "== [1/3] Release build + tier-1 tests =="
 cmake --preset release > /dev/null
 cmake --build --preset release -j "$JOBS"
 ctest --preset release -j "$JOBS"
 
-echo "== [2/2] ThreadSanitizer build + concurrency tests =="
+echo "== [2/3] ThreadSanitizer build + concurrency tests =="
 cmake --preset tsan > /dev/null
 cmake --build --preset tsan -j "$JOBS"
 ctest --preset tsan -j "$JOBS"
+
+echo "== [3/3] ASan+UBSan build + selector tests =="
+cmake --preset asan > /dev/null
+cmake --build --preset asan -j "$JOBS"
+ctest --preset asan -j "$JOBS"
 
 echo "== all checks passed =="

@@ -381,7 +381,7 @@ void Broker::route(Shard& shard, const MessagePtr& message) {
     for (const auto& subscription : subscribers) {
       if (subscription->closed()) continue;
       shard.filter_evaluations.fetch_add(1, std::memory_order_relaxed);
-      if (!subscription->filter().matches(*message)) continue;
+      if (!subscription->matches(*message)) continue;
       deliver(shard, subscription, message, copies);
     }
   }
@@ -390,7 +390,7 @@ void Broker::route(Shard& shard, const MessagePtr& message) {
   for (const auto& subscription : pattern_matches) {
     if (subscription->closed()) continue;
     shard.filter_evaluations.fetch_add(1, std::memory_order_relaxed);
-    if (!subscription->filter().matches(*message)) continue;
+    if (!subscription->matches(*message)) continue;
     deliver(shard, subscription, message, copies);
   }
   if (copies == 0) {
@@ -418,17 +418,23 @@ std::uint64_t Broker::route_with_filter_index(Shard& shard,
         const std::string key = subscription->filter().description();
         const auto [entry, inserted] = group_of.try_emplace(key, cache.groups.size());
         if (inserted) cache.groups.emplace_back();
-        cache.groups[entry->second].push_back(subscription);
+        cache.groups[entry->second].subscriptions.push_back(subscription);
+      }
+      // Resolve each group's compiled filter once; the pointer targets
+      // the Subscription object (kept alive by the group), not the vector.
+      for (auto& group : cache.groups) {
+        group.filter = &group.subscriptions.front()->filter();
       }
     }
   }
 
   std::uint64_t copies = 0;
   for (const auto& group : cache.groups) {
-    // One evaluation per DISTINCT filter (this is the whole optimization).
+    // One evaluation per DISTINCT filter (this is the whole optimization),
+    // straight on the group's pre-compiled program.
     shard.filter_evaluations.fetch_add(1, std::memory_order_relaxed);
-    if (!group.front()->filter().matches(*message)) continue;
-    for (const auto& subscription : group) {
+    if (!group.filter->matches(*message)) continue;
+    for (const auto& subscription : group.subscriptions) {
       if (subscription->closed()) continue;
       deliver(shard, subscription, message, copies);
     }

@@ -263,13 +263,25 @@ class Broker {
     std::shared_ptr<Subscription> subscription;
   };
 
+  // One identical-filter group: the subscriptions sharing one
+  // byte-identical filter, plus a borrowed pointer to that filter's
+  // pre-compiled form.  `filter` aliases subscriptions.front()->filter()
+  // — stable because the shared_ptr in the group keeps the subscription
+  // (and therefore the compiled selector::Program inside the filter)
+  // alive for the cache's lifetime.
+  struct FilterGroup {
+    const SubscriptionFilter* filter = nullptr;
+    std::vector<std::shared_ptr<Subscription>> subscriptions;
+  };
+
   // Identical-filter groups, rebuilt lazily by a shard's dispatcher
   // whenever the subscription topology changed.  Each shard has its own
-  // cache, touched only by that shard's dispatcher thread.
+  // cache, touched only by that shard's dispatcher thread.  Routing a
+  // message evaluates each group's compiled filter exactly once.
   struct FilterGroupCache {
     std::uint64_t version = 0;
     bool built = false;
-    std::vector<std::vector<std::shared_ptr<Subscription>>> groups;
+    std::vector<FilterGroup> groups;
   };
 
   /// One dispatcher shard: a bounded ingress queue, the dispatcher thread

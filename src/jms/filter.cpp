@@ -13,64 +13,42 @@ const char* to_string(FilterType type) {
 
 SubscriptionFilter SubscriptionFilter::none() {
   SubscriptionFilter f;
+  f.type_ = FilterType::None;
   f.impl_ = MatchAll{};
   return f;
 }
 
 SubscriptionFilter SubscriptionFilter::correlation_id(std::string_view pattern) {
   SubscriptionFilter f;
+  f.type_ = FilterType::CorrelationId;
   f.impl_ = selector::CorrelationIdFilter(pattern);
   return f;
 }
 
 SubscriptionFilter SubscriptionFilter::application_property(std::string_view expression) {
   SubscriptionFilter f;
+  f.type_ = FilterType::ApplicationProperty;
   f.impl_ = selector::Selector::compile(expression);
   return f;
 }
 
 SubscriptionFilter SubscriptionFilter::from_selector(selector::Selector compiled) {
   SubscriptionFilter f;
+  f.type_ = FilterType::ApplicationProperty;
   f.impl_ = std::move(compiled);
   return f;
 }
 
-FilterType SubscriptionFilter::type() const {
-  if (std::holds_alternative<MatchAll>(impl_)) return FilterType::None;
-  if (std::holds_alternative<selector::CorrelationIdFilter>(impl_)) {
-    return FilterType::CorrelationId;
-  }
-  return FilterType::ApplicationProperty;
-}
-
-bool SubscriptionFilter::matches(const Message& message) const {
-  return std::visit(
-      [&](const auto& filter) -> bool {
-        using T = std::decay_t<decltype(filter)>;
-        if constexpr (std::is_same_v<T, MatchAll>) {
-          return true;
-        } else if constexpr (std::is_same_v<T, selector::CorrelationIdFilter>) {
-          return filter.matches(message.correlation_id());
-        } else {
-          return filter.matches(message);
-        }
-      },
-      impl_);
-}
-
 std::string SubscriptionFilter::description() const {
-  return std::visit(
-      [](const auto& filter) -> std::string {
-        using T = std::decay_t<decltype(filter)>;
-        if constexpr (std::is_same_v<T, MatchAll>) {
-          return "(match all)";
-        } else if constexpr (std::is_same_v<T, selector::CorrelationIdFilter>) {
-          return "correlation-id: " + filter.pattern();
-        } else {
-          return "selector: " + filter.text();
-        }
-      },
-      impl_);
+  switch (type_) {
+    case FilterType::None:
+      return "(match all)";
+    case FilterType::CorrelationId:
+      return "correlation-id: " + std::get<selector::CorrelationIdFilter>(impl_).pattern();
+    case FilterType::ApplicationProperty:
+      return "selector: " + std::get<selector::Selector>(impl_).text();
+  }
+  return "?";
 }
 
 }  // namespace jmsperf::jms

@@ -5,6 +5,12 @@
 // (cheap), and application-property filters (full selector expressions,
 // expensive).  A `SubscriptionFilter` models the per-subscriber choice;
 // topics are modeled by the destination a subscription attaches to.
+//
+// All filter forms are compiled exactly once, when the filter is built
+// (i.e. at subscribe time): application-property filters into a postfix
+// selector::Program, correlation filters into their kind/prefix/range
+// form, so matches() — the broker's per-message inner loop — runs fully
+// pre-compiled code with no per-call allocation.
 #pragma once
 
 #include <string>
@@ -36,10 +42,33 @@ class SubscriptionFilter {
   /// Wraps an already-compiled selector.
   static SubscriptionFilter from_selector(selector::Selector compiled);
 
-  [[nodiscard]] FilterType type() const;
+  [[nodiscard]] FilterType type() const { return type_; }
 
-  /// True when the message passes this filter.
-  [[nodiscard]] bool matches(const Message& message) const;
+  /// True when the message passes this filter.  Hot path: dispatch on the
+  /// cached type, then run the pre-compiled matcher.
+  [[nodiscard]] bool matches(const Message& message) const {
+    switch (type_) {
+      case FilterType::None:
+        return true;
+      case FilterType::CorrelationId:
+        return std::get<selector::CorrelationIdFilter>(impl_).matches(
+            message.correlation_id());
+      case FilterType::ApplicationProperty:
+        return std::get<selector::Selector>(impl_).matches(message);
+    }
+    return true;
+  }
+
+  /// The compiled selector behind an application-property filter, null
+  /// otherwise (introspection for the bench and the filter-group cache).
+  [[nodiscard]] const selector::Selector* selector() const {
+    return std::get_if<selector::Selector>(&impl_);
+  }
+
+  /// The compiled correlation filter, null otherwise.
+  [[nodiscard]] const selector::CorrelationIdFilter* correlation() const {
+    return std::get_if<selector::CorrelationIdFilter>(&impl_);
+  }
 
   /// Human-readable description (pattern or selector text).
   [[nodiscard]] std::string description() const;
@@ -47,6 +76,7 @@ class SubscriptionFilter {
  private:
   struct MatchAll {};
   SubscriptionFilter() = default;
+  FilterType type_ = FilterType::None;
   std::variant<MatchAll, selector::CorrelationIdFilter, selector::Selector> impl_;
 };
 

@@ -4,6 +4,8 @@
 
 namespace jmsperf::jms {
 
+namespace wk = selector::well_known;
+
 void Message::set_priority(int priority) {
   if (priority < 0 || priority > 9) {
     throw std::invalid_argument("Message::set_priority: JMS priority must be 0..9");
@@ -11,31 +13,72 @@ void Message::set_priority(int priority) {
   priority_ = priority;
 }
 
-selector::Value Message::get(std::string_view name) const {
-  // Standard header identifiers (JMS 1.1 §3.8.1.1).
-  if (name.size() > 3 && name.substr(0, 3) == "JMS") {
-    if (name == "JMSCorrelationID") {
+void Message::set_property(selector::SymbolId id, selector::Value value) {
+  for (auto& property : properties_) {
+    if (property.id == id) {
+      property.value = std::move(value);
+      return;
+    }
+  }
+  properties_.push_back(Property{id, std::move(value)});
+}
+
+const selector::Value* Message::find_property(selector::SymbolId id) const {
+  for (const auto& property : properties_) {
+    if (property.id == id) return &property.value;
+  }
+  return nullptr;
+}
+
+bool Message::has_property(std::string_view name) const {
+  const auto id = selector::SymbolTable::global().find(name);
+  return id != selector::kNoSymbol && find_property(id) != nullptr;
+}
+
+selector::Value Message::get(selector::SymbolId id) const {
+  // The well-known header ids are dense and small by construction
+  // (pre-interned first), so this switch resolves headers without any
+  // string inspection.
+  switch (id) {
+    case wk::kJmsCorrelationId:
       return correlation_id_.empty() ? selector::Value{} : selector::Value(correlation_id_);
-    }
-    if (name == "JMSPriority") return selector::Value(static_cast<std::int64_t>(priority_));
-    if (name == "JMSTimestamp") return selector::Value(timestamp_);
-    if (name == "JMSMessageID") {
+    case wk::kJmsPriority:
+      return selector::Value(static_cast<std::int64_t>(priority_));
+    case wk::kJmsTimestamp:
+      return selector::Value(timestamp_);
+    case wk::kJmsMessageId:
       return message_id_.empty() ? selector::Value{} : selector::Value(message_id_);
-    }
-    if (name == "JMSType") {
+    case wk::kJmsType:
       return type_.empty() ? selector::Value{} : selector::Value(type_);
-    }
-    if (name == "JMSReplyTo") {
+    case wk::kJmsReplyTo:
       return reply_to_.empty() ? selector::Value{} : selector::Value(reply_to_);
-    }
-    if (name == "JMSDeliveryMode") {
+    case wk::kJmsDeliveryMode:
       return selector::Value(delivery_mode_ == DeliveryMode::Persistent ? "PERSISTENT"
                                                                         : "NON_PERSISTENT");
+    default: {
+      // JMSX* and unknown JMS headers resolve as ordinary properties.
+      const auto* value = find_property(id);
+      return value ? *value : selector::Value{};
+    }
+  }
+}
+
+selector::Value Message::get(std::string_view name) const {
+  // Standard header identifiers (JMS 1.1 §3.8.1.1) take precedence over
+  // same-named application properties, exactly like the indexed path.
+  if (name.size() > 3 && name.substr(0, 3) == "JMS") {
+    const auto header = selector::SymbolTable::global().find(name);
+    if (header != selector::kNoSymbol && header < wk::kFirstUserSymbol) {
+      return get(header);
     }
     // Fall through: JMSX* and unknown JMS headers resolve as properties.
   }
-  const auto it = properties_.find(std::string(name));
-  return it != properties_.end() ? it->second : selector::Value{};
+  // Non-interning lookup: a name nobody ever interned cannot be a
+  // property of any message; no temporary std::string is built.
+  const auto id = selector::SymbolTable::global().find(name);
+  if (id == selector::kNoSymbol) return selector::Value{};
+  const auto* value = find_property(id);
+  return value ? *value : selector::Value{};
 }
 
 }  // namespace jmsperf::jms

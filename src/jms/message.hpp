@@ -4,15 +4,23 @@
 // The header fields mirror the JMS 1.1 spec; selector evaluation can see
 // the standard JMSxxx header identifiers in addition to the application
 // properties, as required by §3.8.1.1 of the spec.
+//
+// Properties are stored in a small flat vector keyed by interned
+// SymbolIds (selector/symbol_table.hpp) rather than a string-keyed map:
+// compiled selector programs pre-resolve identifiers to the same ids, so
+// the per-message filter hot path (paper Eq. 1's n_fltr * t_fltr term)
+// never hashes or compares property-name strings.  The string-keyed
+// setters/getters remain as thin wrappers over the interner.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "selector/evaluator.hpp"
+#include "selector/symbol_table.hpp"
 #include "selector/value.hpp"
 
 namespace jmsperf::jms {
@@ -57,25 +65,33 @@ class Message final : public selector::PropertySource {
   void set_redelivered(bool r) { redelivered_ = r; }
 
   // --- application properties -----------------------------------------
-  void set_property(std::string name, selector::Value value) {
-    properties_[std::move(name)] = std::move(value);
+  /// Sets a property, interning the name; overwrites an existing value.
+  void set_property(std::string_view name, selector::Value value) {
+    set_property(selector::SymbolTable::global().intern(name), std::move(value));
   }
-  void set_property(std::string name, bool v) { set_property(std::move(name), selector::Value(v)); }
-  void set_property(std::string name, std::int64_t v) { set_property(std::move(name), selector::Value(v)); }
-  void set_property(std::string name, int v) { set_property(std::move(name), selector::Value(static_cast<std::int64_t>(v))); }
-  void set_property(std::string name, double v) { set_property(std::move(name), selector::Value(v)); }
-  void set_property(std::string name, std::string v) { set_property(std::move(name), selector::Value(std::move(v))); }
-  void set_property(std::string name, const char* v) { set_property(std::move(name), selector::Value(v)); }
+  /// Sets a property by pre-interned id (the zero-string-work fast path).
+  void set_property(selector::SymbolId id, selector::Value value);
 
-  [[nodiscard]] bool has_property(const std::string& name) const {
-    return properties_.count(name) != 0;
-  }
+  void set_property(std::string_view name, bool v) { set_property(name, selector::Value(v)); }
+  void set_property(std::string_view name, std::int64_t v) { set_property(name, selector::Value(v)); }
+  void set_property(std::string_view name, int v) { set_property(name, selector::Value(static_cast<std::int64_t>(v))); }
+  void set_property(std::string_view name, double v) { set_property(name, selector::Value(v)); }
+  void set_property(std::string_view name, std::string v) { set_property(name, selector::Value(std::move(v))); }
+  void set_property(std::string_view name, const char* v) { set_property(name, selector::Value(v)); }
+
+  /// Heterogeneous lookup: never constructs a temporary std::string.
+  [[nodiscard]] bool has_property(std::string_view name) const;
   [[nodiscard]] std::size_t property_count() const { return properties_.size(); }
 
   /// Property lookup for selector evaluation.  Resolves the standard
   /// JMSxxx header identifiers as well as user properties; absent names
   /// yield NULL.
   [[nodiscard]] selector::Value get(std::string_view name) const override;
+
+  /// Interned-id lookup used by compiled selector programs: resolves the
+  /// pre-interned JMS header ids with a switch and user properties with a
+  /// scan of the flat store — no string hashing on the match hot path.
+  [[nodiscard]] selector::Value get(selector::SymbolId id) const override;
 
   // --- payload ---------------------------------------------------------
   /// The paper's experiments use a 0-byte body ("the full information is
@@ -85,13 +101,21 @@ class Message final : public selector::PropertySource {
   [[nodiscard]] std::size_t body_size() const { return body_.size(); }
 
  private:
+  struct Property {
+    selector::SymbolId id;
+    selector::Value value;
+  };
+
+  /// Stored property by id, or nullptr (headers are NOT in this store).
+  [[nodiscard]] const selector::Value* find_property(selector::SymbolId id) const;
+
   std::string message_id_;
   std::string correlation_id_;
   std::string type_;
   std::string destination_;
   std::string reply_to_;
   std::string body_;
-  std::map<std::string, selector::Value> properties_;
+  std::vector<Property> properties_;  // unique ids, insertion order
   double timestamp_ = 0.0;
   int priority_ = 4;
   DeliveryMode delivery_mode_ = DeliveryMode::Persistent;

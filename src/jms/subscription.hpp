@@ -44,6 +44,13 @@ class Subscription {
   [[nodiscard]] const std::string& topic() const { return topic_; }
   [[nodiscard]] const SubscriptionFilter& filter() const { return filter_; }
 
+  /// True when the message passes this subscription's filter — the
+  /// broker's per-message inner loop; runs the filter's pre-compiled form
+  /// (selector::Program for application-property filters).
+  [[nodiscard]] bool matches(const Message& message) const {
+    return filter_.matches(message);
+  }
+
   /// Messages enqueued to this subscriber so far.
   [[nodiscard]] std::uint64_t enqueued() const { return enqueued_.load(std::memory_order_relaxed); }
   /// Messages the consumer has taken out so far.

@@ -1,0 +1,122 @@
+// Shared semantic kernel of selector evaluation.
+//
+// The JMS/SQL-92 value rules — three-valued comparison, NULL-propagating
+// arithmetic, and the value<->condition bridge — are implemented ONCE here
+// and used by both the AST reference evaluator (evaluator.cpp) and the
+// compiled stack machine (program.cpp).  A behavioural change in either
+// path must come through this header, so the two evaluators can only
+// diverge structurally (which the differential fuzz test covers), never
+// in the per-operator semantics.
+#pragma once
+
+#include <cmath>
+
+#include "selector/ast.hpp"
+#include "selector/value.hpp"
+
+namespace jmsperf::selector::eval {
+
+/// A value in condition position: booleans map to True/False, everything
+/// else (NULL, numbers, strings) is Unknown.
+[[nodiscard]] inline Tribool value_as_condition(const Value& v) {
+  if (v.is_bool()) return v.as_bool() ? Tribool::True : Tribool::False;
+  return Tribool::Unknown;
+}
+
+/// A tribool in value position: UNKNOWN becomes NULL.
+[[nodiscard]] inline Value tribool_to_value(Tribool t) {
+  switch (t) {
+    case Tribool::True: return Value(true);
+    case Tribool::False: return Value(false);
+    case Tribool::Unknown: return Value{};
+  }
+  return Value{};
+}
+
+/// Three-valued comparison of two runtime values under JMS rules:
+///  * NULL on either side -> Unknown;
+///  * numerics compare numerically (exact/approximate freely mixed);
+///  * strings and booleans support only = and <>;
+///  * any other type combination -> Unknown.
+[[nodiscard]] inline Tribool compare(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Tribool::Unknown;
+
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    // Compare exactly when both are longs to avoid rounding surprises.
+    int cmp;
+    if (lhs.is_long() && rhs.is_long()) {
+      const auto a = lhs.as_long();
+      const auto b = rhs.as_long();
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else {
+      const double a = lhs.numeric();
+      const double b = rhs.numeric();
+      if (std::isnan(a) || std::isnan(b)) return Tribool::Unknown;
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    }
+    switch (op) {
+      case BinaryOp::Equal: return cmp == 0 ? Tribool::True : Tribool::False;
+      case BinaryOp::NotEqual: return cmp != 0 ? Tribool::True : Tribool::False;
+      case BinaryOp::Less: return cmp < 0 ? Tribool::True : Tribool::False;
+      case BinaryOp::LessEqual: return cmp <= 0 ? Tribool::True : Tribool::False;
+      case BinaryOp::Greater: return cmp > 0 ? Tribool::True : Tribool::False;
+      case BinaryOp::GreaterEqual: return cmp >= 0 ? Tribool::True : Tribool::False;
+      default: return Tribool::Unknown;
+    }
+  }
+
+  const bool equality_only = op == BinaryOp::Equal || op == BinaryOp::NotEqual;
+  if (lhs.is_string() && rhs.is_string() && equality_only) {
+    const bool eq = lhs.as_string() == rhs.as_string();
+    return (op == BinaryOp::Equal) == eq ? Tribool::True : Tribool::False;
+  }
+  if (lhs.is_bool() && rhs.is_bool() && equality_only) {
+    const bool eq = lhs.as_bool() == rhs.as_bool();
+    return (op == BinaryOp::Equal) == eq ? Tribool::True : Tribool::False;
+  }
+  return Tribool::Unknown;
+}
+
+/// NULL-propagating arithmetic; division by zero yields NULL.
+[[nodiscard]] inline Value arithmetic(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (!lhs.is_numeric() || !rhs.is_numeric()) return Value{};
+  if (lhs.is_long() && rhs.is_long()) {
+    const std::int64_t a = lhs.as_long();
+    const std::int64_t b = rhs.as_long();
+    switch (op) {
+      case BinaryOp::Add: return Value(a + b);
+      case BinaryOp::Subtract: return Value(a - b);
+      case BinaryOp::Multiply: return Value(a * b);
+      case BinaryOp::Divide:
+        if (b == 0) return Value{};  // division by zero -> NULL
+        return Value(a / b);
+      default: return Value{};
+    }
+  }
+  const double a = lhs.numeric();
+  const double b = rhs.numeric();
+  switch (op) {
+    case BinaryOp::Add: return Value(a + b);
+    case BinaryOp::Subtract: return Value(a - b);
+    case BinaryOp::Multiply: return Value(a * b);
+    case BinaryOp::Divide:
+      if (b == 0.0) return Value{};
+      return Value(a / b);
+    default: return Value{};
+  }
+}
+
+/// Unary minus: numeric negation preserving exactness, NULL otherwise.
+[[nodiscard]] inline Value negate(const Value& v) {
+  if (v.is_long()) return Value(-v.as_long());
+  if (v.is_double()) return Value(-v.as_double());
+  return Value{};
+}
+
+/// Unary plus: numeric identity, NULL otherwise.
+[[nodiscard]] inline Value unary_plus(const Value& v) {
+  if (v.is_numeric()) return v;
+  return Value{};
+}
+
+}  // namespace jmsperf::selector::eval

@@ -1,99 +1,31 @@
 #include "selector/evaluator.hpp"
 
 #include <algorithm>
-#include <cmath>
+
+#include "selector/eval_ops.hpp"
 
 namespace jmsperf::selector {
+
+Value PropertySource::get(SymbolId id) const {
+  // Generic fallback: resolve the interned name and dispatch to the
+  // string-keyed lookup.  Sources with an indexed store (jms::Message)
+  // override this with a direct lookup.
+  return get(SymbolTable::global().name(id));
+}
+
 namespace {
 
-/// Value-mode evaluation visitor: computes the arithmetic value of a
-/// subtree.  Boolean-only constructs evaluated in value context yield their
-/// tribool mapped to a boolean Value (UNKNOWN -> NULL).
-class ValueEvaluator;
-
-/// Boolean-mode evaluation visitor.
-class BoolEvaluator;
+using eval::arithmetic;
+using eval::compare;
+using eval::tribool_to_value;
+using eval::value_as_condition;
 
 Tribool eval_bool(const Expr& expr, const PropertySource& properties);
 Value eval_value(const Expr& expr, const PropertySource& properties);
 
-Tribool value_as_condition(const Value& v) {
-  if (v.is_bool()) return v.as_bool() ? Tribool::True : Tribool::False;
-  return Tribool::Unknown;  // NULL, numbers and strings are not conditions
-}
-
-/// Three-valued comparison of two runtime values under JMS rules:
-///  * NULL on either side -> Unknown;
-///  * numerics compare numerically (exact/approximate freely mixed);
-///  * strings and booleans support only = and <>;
-///  * any other type combination -> Unknown.
-Tribool compare(BinaryOp op, const Value& lhs, const Value& rhs) {
-  if (lhs.is_null() || rhs.is_null()) return Tribool::Unknown;
-
-  if (lhs.is_numeric() && rhs.is_numeric()) {
-    // Compare exactly when both are longs to avoid rounding surprises.
-    int cmp;
-    if (lhs.is_long() && rhs.is_long()) {
-      const auto a = lhs.as_long();
-      const auto b = rhs.as_long();
-      cmp = a < b ? -1 : (a > b ? 1 : 0);
-    } else {
-      const double a = lhs.numeric();
-      const double b = rhs.numeric();
-      if (std::isnan(a) || std::isnan(b)) return Tribool::Unknown;
-      cmp = a < b ? -1 : (a > b ? 1 : 0);
-    }
-    switch (op) {
-      case BinaryOp::Equal: return cmp == 0 ? Tribool::True : Tribool::False;
-      case BinaryOp::NotEqual: return cmp != 0 ? Tribool::True : Tribool::False;
-      case BinaryOp::Less: return cmp < 0 ? Tribool::True : Tribool::False;
-      case BinaryOp::LessEqual: return cmp <= 0 ? Tribool::True : Tribool::False;
-      case BinaryOp::Greater: return cmp > 0 ? Tribool::True : Tribool::False;
-      case BinaryOp::GreaterEqual: return cmp >= 0 ? Tribool::True : Tribool::False;
-      default: return Tribool::Unknown;
-    }
-  }
-
-  const bool equality_only = op == BinaryOp::Equal || op == BinaryOp::NotEqual;
-  if (lhs.is_string() && rhs.is_string() && equality_only) {
-    const bool eq = lhs.as_string() == rhs.as_string();
-    return (op == BinaryOp::Equal) == eq ? Tribool::True : Tribool::False;
-  }
-  if (lhs.is_bool() && rhs.is_bool() && equality_only) {
-    const bool eq = lhs.as_bool() == rhs.as_bool();
-    return (op == BinaryOp::Equal) == eq ? Tribool::True : Tribool::False;
-  }
-  return Tribool::Unknown;
-}
-
-Value arithmetic(BinaryOp op, const Value& lhs, const Value& rhs) {
-  if (!lhs.is_numeric() || !rhs.is_numeric()) return Value{};
-  if (lhs.is_long() && rhs.is_long()) {
-    const std::int64_t a = lhs.as_long();
-    const std::int64_t b = rhs.as_long();
-    switch (op) {
-      case BinaryOp::Add: return Value(a + b);
-      case BinaryOp::Subtract: return Value(a - b);
-      case BinaryOp::Multiply: return Value(a * b);
-      case BinaryOp::Divide:
-        if (b == 0) return Value{};  // division by zero -> NULL
-        return Value(a / b);
-      default: return Value{};
-    }
-  }
-  const double a = lhs.numeric();
-  const double b = rhs.numeric();
-  switch (op) {
-    case BinaryOp::Add: return Value(a + b);
-    case BinaryOp::Subtract: return Value(a - b);
-    case BinaryOp::Multiply: return Value(a * b);
-    case BinaryOp::Divide:
-      if (b == 0.0) return Value{};
-      return Value(a / b);
-    default: return Value{};
-  }
-}
-
+/// Value-mode evaluation visitor: computes the arithmetic value of a
+/// subtree.  Boolean-only constructs evaluated in value context yield their
+/// tribool mapped to a boolean Value (UNKNOWN -> NULL).
 class ValueEvaluator final : public Visitor {
  public:
   explicit ValueEvaluator(const PropertySource& properties) : properties_(properties) {}
@@ -110,17 +42,8 @@ class ValueEvaluator final : public Visitor {
       return;
     }
     const Value operand = eval_value(node.operand(), properties_);
-    if (!operand.is_numeric()) {
-      result_ = Value{};
-      return;
-    }
-    if (node.op() == UnaryOp::Plus) {
-      result_ = operand;
-    } else if (operand.is_long()) {
-      result_ = Value(-operand.as_long());
-    } else {
-      result_ = Value(-operand.as_double());
-    }
+    result_ = node.op() == UnaryOp::Plus ? eval::unary_plus(operand)
+                                         : eval::negate(operand);
   }
 
   void visit(const BinaryExpr& node) override {
@@ -152,19 +75,11 @@ class ValueEvaluator final : public Visitor {
   }
 
  private:
-  static Value tribool_to_value(Tribool t) {
-    switch (t) {
-      case Tribool::True: return Value(true);
-      case Tribool::False: return Value(false);
-      case Tribool::Unknown: return Value{};
-    }
-    return Value{};
-  }
-
   const PropertySource& properties_;
   Value result_;
 };
 
+/// Boolean-mode evaluation visitor.
 class BoolEvaluator final : public Visitor {
  public:
   explicit BoolEvaluator(const PropertySource& properties) : properties_(properties) {}
@@ -193,7 +108,7 @@ class BoolEvaluator final : public Visitor {
       case BinaryOp::And:
         // SQL three-valued AND; short-circuits only on FALSE.
         result_ = tribool_and(eval_bool(node.lhs(), properties_),
-                              node_rhs_if_needed(node));
+                              eval_bool(node.rhs(), properties_));
         return;
       case BinaryOp::Or:
         result_ = tribool_or(eval_bool(node.lhs(), properties_),
@@ -255,10 +170,6 @@ class BoolEvaluator final : public Visitor {
   }
 
  private:
-  Tribool node_rhs_if_needed(const BinaryExpr& node) {
-    return eval_bool(node.rhs(), properties_);
-  }
-
   const PropertySource& properties_;
   Tribool result_ = Tribool::Unknown;
 };

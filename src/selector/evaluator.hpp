@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "selector/ast.hpp"
+#include "selector/symbol_table.hpp"
 #include "selector/value.hpp"
 
 namespace jmsperf::selector {
@@ -19,6 +20,12 @@ class PropertySource {
  public:
   virtual ~PropertySource() = default;
   [[nodiscard]] virtual Value get(std::string_view name) const = 0;
+
+  /// Interned-name lookup used by compiled selector programs, which
+  /// pre-resolve every identifier to a SymbolId.  The default resolves
+  /// the name through the global SymbolTable and defers to the
+  /// string-keyed overload; indexed sources (jms::Message) override it.
+  [[nodiscard]] virtual Value get(SymbolId id) const;
 };
 
 /// Adapter for evaluating against an in-place lambda or function object.
@@ -26,6 +33,7 @@ template <typename F>
 class FunctionPropertySource final : public PropertySource {
  public:
   explicit FunctionPropertySource(F f) : f_(std::move(f)) {}
+  using PropertySource::get;  // keep the SymbolId overload visible
   [[nodiscard]] Value get(std::string_view name) const override { return f_(name); }
 
  private:

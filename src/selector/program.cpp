@@ -1,0 +1,302 @@
+#include "selector/program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "selector/eval_ops.hpp"
+
+namespace jmsperf::selector {
+
+const char* to_string(OpCode op) {
+  switch (op) {
+    case OpCode::PushConst: return "push";
+    case OpCode::LoadProp: return "load";
+    case OpCode::Not: return "not";
+    case OpCode::And: return "and";
+    case OpCode::Or: return "or";
+    case OpCode::CmpEq: return "cmp_eq";
+    case OpCode::CmpNe: return "cmp_ne";
+    case OpCode::CmpLt: return "cmp_lt";
+    case OpCode::CmpLe: return "cmp_le";
+    case OpCode::CmpGt: return "cmp_gt";
+    case OpCode::CmpGe: return "cmp_ge";
+    case OpCode::Add: return "add";
+    case OpCode::Sub: return "sub";
+    case OpCode::Mul: return "mul";
+    case OpCode::Div: return "div";
+    case OpCode::Neg: return "neg";
+    case OpCode::Pos: return "pos";
+    case OpCode::Between: return "between";
+    case OpCode::NotBetween: return "not_between";
+    case OpCode::InSet: return "in";
+    case OpCode::NotInSet: return "not_in";
+    case OpCode::Like: return "like";
+    case OpCode::NotLike: return "not_like";
+    case OpCode::IsNull: return "is_null";
+    case OpCode::IsNotNull: return "is_not_null";
+  }
+  return "?";
+}
+
+bool Program::StringSet::contains(const std::string& s) const {
+  return std::binary_search(values.begin(), values.end(), s);
+}
+
+/// Postfix flattening visitor.  Tracks the running stack depth so run()
+/// can pre-size its evaluation stack exactly.
+class ProgramCompiler final : public Visitor {
+ public:
+  Program take() {
+    program_.max_stack_ = max_depth_;
+    return std::move(program_);
+  }
+
+  void visit(const LiteralExpr& node) override {
+    emit({OpCode::PushConst, pool_constant(node.value())}, +1);
+  }
+
+  void visit(const IdentifierExpr& node) override { emit_load(node.name()); }
+
+  void visit(const UnaryExpr& node) override {
+    node.operand().accept(*this);
+    switch (node.op()) {
+      case UnaryOp::Not: emit({OpCode::Not}, 0); break;
+      case UnaryOp::Minus: emit({OpCode::Neg}, 0); break;
+      case UnaryOp::Plus: emit({OpCode::Pos}, 0); break;
+    }
+  }
+
+  void visit(const BinaryExpr& node) override {
+    node.lhs().accept(*this);
+    node.rhs().accept(*this);
+    emit({binary_opcode(node.op())}, -1);
+  }
+
+  void visit(const BetweenExpr& node) override {
+    node.subject().accept(*this);
+    node.lo().accept(*this);
+    node.hi().accept(*this);
+    emit({node.negated() ? OpCode::NotBetween : OpCode::Between}, -2);
+  }
+
+  void visit(const InExpr& node) override {
+    emit_load(node.identifier());
+    Program::StringSet set;
+    set.values = node.values();
+    std::sort(set.values.begin(), set.values.end());
+    set.values.erase(std::unique(set.values.begin(), set.values.end()),
+                     set.values.end());
+    const auto index = static_cast<std::uint32_t>(program_.sets_.size());
+    program_.sets_.push_back(std::move(set));
+    emit({node.negated() ? OpCode::NotInSet : OpCode::InSet, index}, 0);
+  }
+
+  void visit(const LikeExpr& node) override {
+    emit_load(node.identifier());
+    const auto index = static_cast<std::uint32_t>(program_.likes_.size());
+    program_.likes_.push_back(node.matcher());
+    emit({node.negated() ? OpCode::NotLike : OpCode::Like, index}, 0);
+  }
+
+  void visit(const IsNullExpr& node) override {
+    emit_load(node.identifier());
+    emit({node.negated() ? OpCode::IsNotNull : OpCode::IsNull}, 0);
+  }
+
+ private:
+  static OpCode binary_opcode(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::Add: return OpCode::Add;
+      case BinaryOp::Subtract: return OpCode::Sub;
+      case BinaryOp::Multiply: return OpCode::Mul;
+      case BinaryOp::Divide: return OpCode::Div;
+      case BinaryOp::Equal: return OpCode::CmpEq;
+      case BinaryOp::NotEqual: return OpCode::CmpNe;
+      case BinaryOp::Less: return OpCode::CmpLt;
+      case BinaryOp::LessEqual: return OpCode::CmpLe;
+      case BinaryOp::Greater: return OpCode::CmpGt;
+      case BinaryOp::GreaterEqual: return OpCode::CmpGe;
+      case BinaryOp::And: return OpCode::And;
+      case BinaryOp::Or: return OpCode::Or;
+    }
+    throw std::logic_error("ProgramCompiler: unknown binary operator");
+  }
+
+  void emit(Instruction instruction, int delta) {
+    program_.code_.push_back(instruction);
+    depth_ += delta;
+    max_depth_ = std::max(max_depth_, static_cast<std::size_t>(depth_));
+  }
+
+  void emit_load(const std::string& name) {
+    emit({OpCode::LoadProp, SymbolTable::global().intern(name)}, +1);
+  }
+
+  std::uint32_t pool_constant(const Value& value) {
+    // Structural dedup; Value::operator== distinguishes 1 from 1.0, which
+    // matters for the exact-vs-approximate comparison rules.
+    for (std::size_t i = 0; i < program_.constants_.size(); ++i) {
+      if (program_.constants_[i] == value) return static_cast<std::uint32_t>(i);
+    }
+    program_.constants_.push_back(value);
+    return static_cast<std::uint32_t>(program_.constants_.size() - 1);
+  }
+
+  Program program_;
+  int depth_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+Program Program::compile(const Expr& root) {
+  ProgramCompiler compiler;
+  root.accept(compiler);
+  return compiler.take();
+}
+
+Tribool Program::run(const PropertySource& properties) const {
+  using eval::tribool_to_value;
+  using eval::value_as_condition;
+
+  // Per-thread evaluation stack, grown to the largest program seen on
+  // this thread and then reused: steady-state evaluation allocates
+  // nothing.  run() never re-enters itself, so one scratch per thread
+  // suffices.
+  thread_local std::vector<Value> stack;
+  if (stack.size() < max_stack_) stack.resize(max_stack_);
+  std::size_t sp = 0;
+
+  for (const auto& instruction : code_) {
+    switch (instruction.op) {
+      case OpCode::PushConst:
+        stack[sp++] = constants_[instruction.arg];
+        break;
+      case OpCode::LoadProp:
+        stack[sp++] = properties.get(static_cast<SymbolId>(instruction.arg));
+        break;
+      case OpCode::Not:
+        stack[sp - 1] =
+            tribool_to_value(tribool_not(value_as_condition(stack[sp - 1])));
+        break;
+      case OpCode::And:
+        stack[sp - 2] = tribool_to_value(
+            tribool_and(value_as_condition(stack[sp - 2]),
+                        value_as_condition(stack[sp - 1])));
+        --sp;
+        break;
+      case OpCode::Or:
+        stack[sp - 2] = tribool_to_value(
+            tribool_or(value_as_condition(stack[sp - 2]),
+                       value_as_condition(stack[sp - 1])));
+        --sp;
+        break;
+      case OpCode::CmpEq:
+      case OpCode::CmpNe:
+      case OpCode::CmpLt:
+      case OpCode::CmpLe:
+      case OpCode::CmpGt:
+      case OpCode::CmpGe: {
+        static constexpr BinaryOp kCmp[] = {
+            BinaryOp::Equal,     BinaryOp::NotEqual, BinaryOp::Less,
+            BinaryOp::LessEqual, BinaryOp::Greater,  BinaryOp::GreaterEqual};
+        const auto op = kCmp[static_cast<int>(instruction.op) -
+                             static_cast<int>(OpCode::CmpEq)];
+        stack[sp - 2] =
+            tribool_to_value(eval::compare(op, stack[sp - 2], stack[sp - 1]));
+        --sp;
+        break;
+      }
+      case OpCode::Add:
+      case OpCode::Sub:
+      case OpCode::Mul:
+      case OpCode::Div: {
+        static constexpr BinaryOp kArith[] = {BinaryOp::Add, BinaryOp::Subtract,
+                                              BinaryOp::Multiply, BinaryOp::Divide};
+        const auto op = kArith[static_cast<int>(instruction.op) -
+                               static_cast<int>(OpCode::Add)];
+        stack[sp - 2] = eval::arithmetic(op, stack[sp - 2], stack[sp - 1]);
+        --sp;
+        break;
+      }
+      case OpCode::Neg:
+        stack[sp - 1] = eval::negate(stack[sp - 1]);
+        break;
+      case OpCode::Pos:
+        stack[sp - 1] = eval::unary_plus(stack[sp - 1]);
+        break;
+      case OpCode::Between:
+      case OpCode::NotBetween: {
+        const Tribool ge =
+            eval::compare(BinaryOp::GreaterEqual, stack[sp - 3], stack[sp - 2]);
+        const Tribool le =
+            eval::compare(BinaryOp::LessEqual, stack[sp - 3], stack[sp - 1]);
+        Tribool between = tribool_and(ge, le);
+        if (instruction.op == OpCode::NotBetween) between = tribool_not(between);
+        sp -= 2;
+        stack[sp - 1] = tribool_to_value(between);
+        break;
+      }
+      case OpCode::InSet:
+      case OpCode::NotInSet: {
+        const Value& subject = stack[sp - 1];
+        Tribool in = Tribool::Unknown;
+        if (subject.is_string()) {
+          in = sets_[instruction.arg].contains(subject.as_string())
+                   ? Tribool::True
+                   : Tribool::False;
+          if (instruction.op == OpCode::NotInSet) in = tribool_not(in);
+        }
+        stack[sp - 1] = tribool_to_value(in);
+        break;
+      }
+      case OpCode::Like:
+      case OpCode::NotLike: {
+        const Value& subject = stack[sp - 1];
+        Tribool like = Tribool::Unknown;
+        if (subject.is_string()) {
+          like = likes_[instruction.arg].matches(subject.as_string())
+                     ? Tribool::True
+                     : Tribool::False;
+          if (instruction.op == OpCode::NotLike) like = tribool_not(like);
+        }
+        stack[sp - 1] = tribool_to_value(like);
+        break;
+      }
+      case OpCode::IsNull:
+        stack[sp - 1] = Value(stack[sp - 1].is_null());
+        break;
+      case OpCode::IsNotNull:
+        stack[sp - 1] = Value(!stack[sp - 1].is_null());
+        break;
+    }
+  }
+  return value_as_condition(stack[0]);
+}
+
+std::string Program::disassemble() const {
+  std::string out;
+  for (const auto& instruction : code_) {
+    out += to_string(instruction.op);
+    switch (instruction.op) {
+      case OpCode::PushConst:
+        out += ' ';
+        out += constants_[instruction.arg].to_string();
+        break;
+      case OpCode::LoadProp:
+        out += ' ';
+        out += SymbolTable::global().name(static_cast<SymbolId>(instruction.arg));
+        break;
+      case OpCode::Like:
+      case OpCode::NotLike:
+        out += " '";
+        out += likes_[instruction.arg].pattern();
+        out += '\'';
+        break;
+      default:
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,116 @@
+// Compiled selector programs: the AST flattened into a postfix
+// instruction array executed by a small stack machine.
+//
+// Rationale (paper Eq. 1): the broker evaluates every installed filter
+// for every received message, so n_fltr * t_fltr dominates the service
+// time and filter evaluation IS the hot path.  Walking the Expr tree per
+// evaluation costs two visitor objects and a virtual dispatch per node
+// plus string-keyed property lookups.  A Program is built once per
+// selector (at subscribe time) and pays none of that per message:
+//
+//   * identifiers are pre-resolved to dense SymbolIds (symbol_table.hpp),
+//     so property loads are integer-keyed;
+//   * literal constants are pooled and deduplicated;
+//   * LIKE patterns are pre-compiled LikeMatchers, IN lists pre-sorted
+//     for binary search;
+//   * evaluation is a loop over a flat instruction vector with a
+//     pre-sized per-thread value stack — no allocation in steady state.
+//
+// Semantics are EXACTLY the AST evaluator's (three-valued logic, NULL
+// propagation, type rules): both run on the shared kernel in
+// eval_ops.hpp, and the unified stack domain is the value-mode domain
+// with booleans bridged through eval::value_as_condition — provably
+// equivalent to the evaluator's mutual bool/value recursion because every
+// boolean construct's value-mode result round-trips through
+// tribool_to_value/value_as_condition unchanged.  evaluate() on the AST
+// stays as the reference oracle for differential testing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "selector/ast.hpp"
+#include "selector/evaluator.hpp"
+#include "selector/like_matcher.hpp"
+#include "selector/symbol_table.hpp"
+#include "selector/value.hpp"
+
+namespace jmsperf::selector {
+
+/// Stack-machine instruction set.  Operands live on the value stack;
+/// `arg` indexes the constant / matcher / set pools or holds a SymbolId.
+enum class OpCode : std::uint8_t {
+  PushConst,   ///< push constants()[arg]
+  LoadProp,    ///< push properties.get(SymbolId(arg))
+  Not,         ///< tribool NOT of the top (as condition)
+  And,         ///< three-valued AND of the top two (as conditions)
+  Or,          ///< three-valued OR of the top two (as conditions)
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,  ///< three-valued comparison
+  Add, Sub, Mul, Div,                        ///< NULL-propagating arithmetic
+  Neg,         ///< unary minus (numeric, else NULL)
+  Pos,         ///< unary plus (numeric identity, else NULL)
+  Between,     ///< pops hi, lo, subject; pushes lo <= subject <= hi
+  NotBetween,
+  InSet,       ///< pops subject; arg = index into the string-set pool
+  NotInSet,
+  Like,        ///< pops subject; arg = index into the matcher pool
+  NotLike,
+  IsNull,      ///< pops subject; pushes TRUE iff NULL
+  IsNotNull,
+};
+
+[[nodiscard]] const char* to_string(OpCode op);
+
+struct Instruction {
+  OpCode op;
+  std::uint32_t arg = 0;
+};
+
+/// An immutable compiled selector.  Cheap to copy would be wasteful —
+/// share via shared_ptr (Selector does); safe to run concurrently from
+/// multiple threads.
+class Program {
+ public:
+  /// Flattens a parsed expression.  The identifiers it references are
+  /// interned into the global SymbolTable as a side effect.
+  static Program compile(const Expr& root);
+
+  /// Executes the program; the result is the selector's three-valued
+  /// verdict (a message matches iff this returns Tribool::True).
+  [[nodiscard]] Tribool run(const PropertySource& properties) const;
+
+  /// True iff run() == Tribool::True.
+  [[nodiscard]] bool matches(const PropertySource& properties) const {
+    return run(properties) == Tribool::True;
+  }
+
+  // --- introspection (tests, disassembly, bench) -----------------------
+  [[nodiscard]] const std::vector<Instruction>& instructions() const { return code_; }
+  [[nodiscard]] const std::vector<Value>& constants() const { return constants_; }
+  [[nodiscard]] std::size_t like_matcher_count() const { return likes_.size(); }
+  [[nodiscard]] std::size_t in_set_count() const { return sets_.size(); }
+  [[nodiscard]] std::size_t max_stack_depth() const { return max_stack_; }
+
+  /// Human-readable listing, one instruction per line ("load key",
+  /// "push 5", "cmp_eq", ...).
+  [[nodiscard]] std::string disassemble() const;
+
+ private:
+  friend class ProgramCompiler;
+  Program() = default;
+
+  /// Sorted, deduplicated IN list; membership by binary search.
+  struct StringSet {
+    std::vector<std::string> values;
+    [[nodiscard]] bool contains(const std::string& s) const;
+  };
+
+  std::vector<Instruction> code_;
+  std::vector<Value> constants_;
+  std::vector<LikeMatcher> likes_;
+  std::vector<StringSet> sets_;
+  std::size_t max_stack_ = 0;
+};
+
+}  // namespace jmsperf::selector

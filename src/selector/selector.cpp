@@ -7,6 +7,7 @@ namespace jmsperf::selector {
 Selector Selector::compile(std::string_view expression) {
   Selector s;
   s.root_ = std::shared_ptr<const Expr>(parse_selector(expression));
+  s.program_ = std::make_shared<const Program>(Program::compile(*s.root_));
   s.text_ = to_string(*s.root_);
   s.identifiers_ = referenced_identifiers(*s.root_);
   return s;
@@ -14,11 +15,7 @@ Selector Selector::compile(std::string_view expression) {
 
 Selector Selector::match_all() { return Selector{}; }
 
-bool Selector::matches(const PropertySource& properties) const {
-  return evaluate(properties) == Tribool::True;
-}
-
-Tribool Selector::evaluate(const PropertySource& properties) const {
+Tribool Selector::evaluate_ast(const PropertySource& properties) const {
   if (!root_) return Tribool::True;
   return selector::evaluate(*root_, properties);
 }

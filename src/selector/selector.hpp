@@ -8,13 +8,18 @@
 
 #include "selector/ast.hpp"
 #include "selector/evaluator.hpp"
+#include "selector/program.hpp"
 
 namespace jmsperf::selector {
 
 /// A compiled, immutable message selector.
 ///
-/// Selectors are cheap to copy (they share the compiled expression tree)
-/// and safe to evaluate concurrently from multiple threads.
+/// Selectors are cheap to copy (they share the expression tree and the
+/// compiled program) and safe to evaluate concurrently from multiple
+/// threads.  compile() flattens the parsed AST into a postfix Program
+/// (see program.hpp) — matches()/evaluate() run that program; the AST is
+/// kept for normalized text, identifier introspection, and as the
+/// reference oracle (evaluate_ast) of the differential tests.
 class Selector {
  public:
   /// Compiles a selector expression.
@@ -27,10 +32,20 @@ class Selector {
 
   /// True iff the expression evaluates to TRUE for the given properties
   /// (UNKNOWN and FALSE both reject, per JMS).
-  [[nodiscard]] bool matches(const PropertySource& properties) const;
+  [[nodiscard]] bool matches(const PropertySource& properties) const {
+    return !program_ || program_->matches(properties);
+  }
 
   /// Three-valued result, for callers that care about UNKNOWN.
-  [[nodiscard]] Tribool evaluate(const PropertySource& properties) const;
+  [[nodiscard]] Tribool evaluate(const PropertySource& properties) const {
+    return program_ ? program_->run(properties) : Tribool::True;
+  }
+
+  /// Reference evaluation by walking the AST (the pre-compilation code
+  /// path).  Kept as the oracle for differential tests and the
+  /// AST-vs-compiled microbenchmarks; results always agree with
+  /// evaluate().
+  [[nodiscard]] Tribool evaluate_ast(const PropertySource& properties) const;
 
   /// Normalized text of the compiled expression (empty for match-all).
   [[nodiscard]] const std::string& text() const { return text_; }
@@ -42,10 +57,17 @@ class Selector {
 
   [[nodiscard]] bool is_match_all() const { return root_ == nullptr; }
 
+  /// The compiled program; null for match-all.
+  [[nodiscard]] const Program* program() const { return program_.get(); }
+
+  /// The parsed expression tree; null for match-all.
+  [[nodiscard]] const Expr* ast() const { return root_.get(); }
+
  private:
   Selector() = default;
 
-  std::shared_ptr<const Expr> root_;  // null => match-all
+  std::shared_ptr<const Expr> root_;        // null => match-all
+  std::shared_ptr<const Program> program_;  // null => match-all
   std::string text_;
   std::vector<std::string> identifiers_;
 };

@@ -1,0 +1,57 @@
+#include "selector/symbol_table.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace jmsperf::selector {
+
+SymbolTable::SymbolTable() {
+  // Keep this list in sync with the constants in `well_known` — the fixed
+  // interning order IS the id assignment.
+  for (const char* header :
+       {"JMSCorrelationID", "JMSPriority", "JMSTimestamp", "JMSMessageID",
+        "JMSType", "JMSReplyTo", "JMSDeliveryMode"}) {
+    intern(header);
+  }
+}
+
+SymbolTable& SymbolTable::global() {
+  static SymbolTable table;
+  return table;
+}
+
+SymbolId SymbolTable::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  const auto it = ids_.find(name);  // re-check: raced with another intern
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::find(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = ids_.find(name);
+  return it != ids_.end() ? it->second : kNoSymbol;
+}
+
+const std::string& SymbolTable::name(SymbolId id) const {
+  std::shared_lock lock(mutex_);
+  if (id >= names_.size()) {
+    throw std::out_of_range("SymbolTable::name: unknown SymbolId");
+  }
+  return names_[id];
+}
+
+std::size_t SymbolTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace jmsperf::selector

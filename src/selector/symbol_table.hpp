@@ -1,0 +1,88 @@
+// Global interning of property / header identifier names.
+//
+// The selector compiler resolves every identifier to a dense `SymbolId`
+// once, at selector-compile time, and `jms::Message` stores application
+// properties keyed by the same ids — so the per-message match hot path
+// (paper Eq. 1's n_fltr * t_fltr term) compares small integers instead of
+// hashing strings.  The table is a process-wide append-only registry:
+// symbols are never removed, so a SymbolId stays valid for the process
+// lifetime and `name()` may hand out stable references.
+//
+// The standard JMS header identifiers (JMS 1.1 §3.8.1.1) are pre-interned
+// in a fixed order; their ids are compile-time constants (see
+// `well_known`) which lets `Message::get(SymbolId)` resolve headers with
+// a dense switch instead of string prefix tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace jmsperf::selector {
+
+/// Dense identifier of an interned name.  Ids are allocated sequentially
+/// from 0 in interning order.
+using SymbolId = std::uint32_t;
+
+/// Sentinel returned by `SymbolTable::find` for names never interned.
+inline constexpr SymbolId kNoSymbol = 0xFFFFFFFFu;
+
+/// Fixed ids of the pre-interned JMS header identifiers.
+namespace well_known {
+inline constexpr SymbolId kJmsCorrelationId = 0;
+inline constexpr SymbolId kJmsPriority = 1;
+inline constexpr SymbolId kJmsTimestamp = 2;
+inline constexpr SymbolId kJmsMessageId = 3;
+inline constexpr SymbolId kJmsType = 4;
+inline constexpr SymbolId kJmsReplyTo = 5;
+inline constexpr SymbolId kJmsDeliveryMode = 6;
+/// First id handed out to ordinary (non-header) identifiers.
+inline constexpr SymbolId kFirstUserSymbol = 7;
+}  // namespace well_known
+
+/// Thread-safe append-only name interner.
+class SymbolTable {
+ public:
+  /// The process-wide table shared by the selector compiler and
+  /// `jms::Message`.
+  static SymbolTable& global();
+
+  /// Returns the id of `name`, interning it on first sight.
+  SymbolId intern(std::string_view name);
+
+  /// Non-interning lookup: the id of `name`, or kNoSymbol if the name was
+  /// never interned.  Heterogeneous (no temporary std::string).
+  [[nodiscard]] SymbolId find(std::string_view name) const;
+
+  /// The name behind an id.  The reference is stable for the process
+  /// lifetime (symbols are never removed).  Throws std::out_of_range for
+  /// an id this table never handed out.
+  [[nodiscard]] const std::string& name(SymbolId id) const;
+
+  /// Number of interned symbols.
+  [[nodiscard]] std::size_t size() const;
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Constructs an empty table with the well-known JMS header names
+  /// pre-interned.  Exposed for tests; production code shares global().
+  SymbolTable();
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, SymbolId, TransparentHash, std::equal_to<>> ids_;
+  std::deque<std::string> names_;  // deque: stable references under append
+};
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,54 @@
+// Host calibration of the per-filter cost t_fltr from the REAL filter
+// engine.
+//
+// The paper obtains t_fltr by fitting throughput measurements of the
+// closed FioranoMQ server (Table I).  With our own broker we can also
+// probe the constant directly: build the paper's measurement filter bank
+// (R matching key-#0 filters + n non-matching), run it against the keyed
+// message, and time the per-evaluation cost of
+//   * the compiled selector::Program path (what the broker executes), and
+//   * the AST-walking reference path (the pre-compilation engine),
+// giving both a host-grounded t_fltr for the simulated testbed
+// (SimulatedJmsServer::set_service_time_model / CostModel injection) and
+// the compiled-vs-AST speedup that bench/micro_selector reports.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost_model.hpp"
+#include "jms/filter.hpp"
+#include "jms/message.hpp"
+
+namespace jmsperf::testbed {
+
+/// Measured per-evaluation filter costs on this host, in seconds.
+struct FilterCostProbe {
+  core::FilterClass filter_class = core::FilterClass::ApplicationProperty;
+  double t_fltr_compiled = 0.0;  ///< s/eval via the compiled engine
+  double t_fltr_ast = 0.0;       ///< s/eval via the AST reference engine
+                                 ///< (== compiled for correlation filters,
+                                 ///< which have no AST form)
+
+  /// Compiled-path speedup over the AST path (>= 1 expected).
+  [[nodiscard]] double speedup() const {
+    return t_fltr_compiled > 0.0 ? t_fltr_ast / t_fltr_compiled : 0.0;
+  }
+
+  /// `base` with t_fltr replaced by the host-probed compiled-engine value
+  /// — lets the DES testbed and the analytic model run on a service-time
+  /// law whose filter term comes from the real compiled engine.
+  [[nodiscard]] core::CostModel cost_model(core::CostModel base) const {
+    base.t_fltr = t_fltr_compiled;
+    return base;
+  }
+};
+
+/// Times the real filter engine: `n_filters` installed filters of the
+/// given class evaluated round-robin against the paper's keyed message
+/// until ~`evaluations` evaluations ran.  Wall-clock; call from a quiet
+/// process for stable numbers.
+[[nodiscard]] FilterCostProbe probe_filter_cost(core::FilterClass filter_class,
+                                                std::uint32_t n_filters = 64,
+                                                std::uint64_t evaluations = 400000);
+
+}  // namespace jmsperf::testbed

@@ -20,8 +20,10 @@ SimulatedJmsServer::SimulatedJmsServer(sim::Simulation& simulation,
 }
 
 double SimulatedJmsServer::draw_service_time(std::uint32_t replication) {
-  double service = parameters_.cost.mean_service_time(
-      parameters_.n_fltr, static_cast<double>(replication));
+  double service = service_model_
+                       ? service_model_(parameters_.n_fltr, replication)
+                       : parameters_.cost.mean_service_time(
+                             parameters_.n_fltr, static_cast<double>(replication));
   if (parameters_.noise_cv > 0.0) {
     // Multiplicative Gamma noise with unit mean keeps the service time
     // positive and the mean unbiased.

@@ -49,6 +49,12 @@ class SimulatedJmsServer {
   using CompletionCallback =
       std::function<void(const SimMessage&, double start_service, double departure)>;
 
+  /// Mean service time for a message: (n_fltr, replication) -> seconds.
+  /// Defaults to the cost model's Eq. 1; override to drive the DES with a
+  /// service-time law grounded in the real filter engine (see
+  /// testbed/filter_cost_probe.hpp) or an arbitrary alternative law.
+  using ServiceTimeModel = std::function<double(double n_fltr, std::uint32_t replication)>;
+
   SimulatedJmsServer(sim::Simulation& simulation, ServerParameters parameters,
                      stats::RandomStream rng);
 
@@ -83,6 +89,13 @@ class SimulatedJmsServer {
     idle_ = std::move(callback);
   }
 
+  /// Replaces the mean-service-time law (Eq. 1 by default).  Noise, if
+  /// configured, still multiplies the model's output.  Pass an empty
+  /// function to restore the default.
+  void set_service_time_model(ServiceTimeModel model) {
+    service_model_ = std::move(model);
+  }
+
   /// Draws one service time for a message with the given replication
   /// grade (exposed for tests).
   [[nodiscard]] double draw_service_time(std::uint32_t replication);
@@ -95,6 +108,7 @@ class SimulatedJmsServer {
 
   sim::Simulation& simulation_;
   ServerParameters parameters_;
+  ServiceTimeModel service_model_;
   stats::RandomStream rng_;
   std::deque<SimMessage> queue_;
   bool busy_ = false;

@@ -1,0 +1,188 @@
+// Differential fuzzing of the compiled selector pipeline: random selector
+// expressions x random messages, asserting that the postfix Program
+// (production path) and the AST walker (reference oracle) give the same
+// three-valued verdict — on a generic map-backed PropertySource AND on the
+// interned jms::Message fast path, which must also agree with each other.
+//
+// Numeric operands are bounded to |9|: the generated arithmetic nests at
+// most 4 binary levels, so intermediate int64 magnitudes stay below 9^16
+// ~ 1.9e15 and the fuzz is free of signed-overflow UB (this suite runs
+// under the asan preset's UBSan).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "jms/message.hpp"
+#include "selector/parser.hpp"
+#include "selector/selector.hpp"
+#include "stats/rng.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+constexpr int kSelectorsPerSeed = 250;
+constexpr int kMessagesPerSelector = 100;
+
+const char* const kIdentifiers[] = {"alpha", "beta",     "gamma_2", "_tmp",
+                                    "$cost", "x",        "quantity", "key",
+                                    "JMSPriority"};
+constexpr int kIdentifierCount = 9;
+
+const char* const kStringValues[] = {"red", "a%b", "x_y", "", "it's", "abc"};
+
+class BoundedExpressionBuilder {
+ public:
+  explicit BoundedExpressionBuilder(stats::RandomStream& rng) : rng_(rng) {}
+
+  std::string condition(int depth = 0) {
+    const int max_depth = 4;
+    const auto choice = depth >= max_depth ? rng_.uniform_int(0, 4)
+                                           : rng_.uniform_int(0, 7);
+    switch (choice) {
+      case 0:
+        return identifier() + " " + comparison_op() + " " + arithmetic(depth + 1);
+      case 1:
+        return identifier() + (rng_.bernoulli(0.5) ? " BETWEEN " : " NOT BETWEEN ") +
+               arithmetic(depth + 1) + " AND " + arithmetic(depth + 1);
+      case 2:
+        return identifier() + (rng_.bernoulli(0.5) ? " IS NULL" : " IS NOT NULL");
+      case 3:
+        return identifier() + (rng_.bernoulli(0.5) ? " LIKE " : " NOT LIKE ") +
+               string_literal();
+      case 4: {
+        std::string list = identifier() + (rng_.bernoulli(0.5) ? " IN (" : " NOT IN (");
+        const auto entries = rng_.uniform_int(1, 3);
+        for (int i = 0; i < entries; ++i) {
+          if (i > 0) list += ", ";
+          list += string_literal();
+        }
+        return list + ")";
+      }
+      case 5:
+        return "NOT " + condition(depth + 1);
+      case 6:
+        return "(" + condition(depth + 1) + " AND " + condition(depth + 1) + ")";
+      default:
+        return "(" + condition(depth + 1) + " OR " + condition(depth + 1) + ")";
+    }
+  }
+
+ private:
+  std::string comparison_op() {
+    static const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+    return ops[rng_.uniform_int(0, 5)];
+  }
+
+  std::string arithmetic(int depth) {
+    if (depth >= 5 || rng_.bernoulli(0.5)) return operand();
+    static const char* ops[] = {" + ", " - ", " * ", " / "};
+    return "(" + arithmetic(depth + 1) + ops[rng_.uniform_int(0, 3)] +
+           arithmetic(depth + 1) + ")";
+  }
+
+  std::string operand() {
+    switch (rng_.uniform_int(0, 3)) {
+      case 0: return identifier();
+      case 1: return std::to_string(rng_.uniform_int(0, 9));
+      case 2: return std::to_string(rng_.uniform_int(0, 9)) + "." +
+                     std::to_string(rng_.uniform_int(0, 9));
+      default: return "-" + std::to_string(rng_.uniform_int(1, 9));
+    }
+  }
+
+  std::string identifier() {
+    return kIdentifiers[rng_.uniform_int(0, kIdentifierCount - 1)];
+  }
+
+  std::string string_literal() {
+    static const char* literals[] = {"'red'", "'a%b'", "'x_y'", "''",
+                                     "'it''s'", "'abc'"};
+    return literals[rng_.uniform_int(0, 5)];
+  }
+
+  stats::RandomStream& rng_;
+};
+
+class MapSource final : public PropertySource {
+ public:
+  [[nodiscard]] Value get(std::string_view name) const override {
+    const auto it = values.find(std::string(name));
+    return it != values.end() ? it->second : Value{};
+  }
+
+  std::map<std::string, Value> values;
+};
+
+Value random_value(stats::RandomStream& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0: return Value(static_cast<std::int64_t>(rng.uniform_int(-9, 9)));
+    case 1: return Value(static_cast<double>(rng.uniform_int(-90, 90)) / 10.0);
+    case 2: return Value(kStringValues[rng.uniform_int(0, 5)]);
+    default: return Value(rng.bernoulli(0.5));
+  }
+}
+
+/// Builds a random message and a map-backed mirror with identical
+/// observable properties (including the one JMS header the fuzz uses).
+void random_message(stats::RandomStream& rng, jms::Message& message,
+                    MapSource& mirror) {
+  message = jms::Message{};
+  mirror.values.clear();
+  const int priority = rng.uniform_int(0, 9);
+  message.set_priority(priority);
+  mirror.values.emplace("JMSPriority", Value(static_cast<std::int64_t>(priority)));
+  for (int i = 0; i < kIdentifierCount - 1; ++i) {  // all but JMSPriority
+    if (rng.bernoulli(0.3)) continue;  // absent => NULL
+    const Value value = random_value(rng);
+    message.set_property(kIdentifiers[i], value);
+    mirror.values.emplace(kIdentifiers[i], value);
+  }
+}
+
+std::string describe(const MapSource& mirror) {
+  std::string out;
+  for (const auto& [name, value] : mirror.values) {
+    out += name + "=" + value.to_string() + " ";
+  }
+  return out;
+}
+
+class ProgramDifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProgramDifferentialFuzz, CompiledMatchesAstOnRandomPairs) {
+  stats::RandomStream rng(GetParam());
+  BoundedExpressionBuilder builder(rng);
+  jms::Message message;
+  MapSource mirror;
+  for (int s = 0; s < kSelectorsPerSeed; ++s) {
+    const std::string source = builder.condition();
+    Selector selector = Selector::match_all();
+    ASSERT_NO_THROW(selector = Selector::compile(source)) << source;
+    for (int m = 0; m < kMessagesPerSelector; ++m) {
+      random_message(rng, message, mirror);
+      const Tribool ast_map = selector.evaluate_ast(mirror);
+      const Tribool run_map = selector.evaluate(mirror);
+      const Tribool ast_msg = selector.evaluate_ast(message);
+      const Tribool run_msg = selector.evaluate(message);
+      ASSERT_EQ(run_map, ast_map)
+          << "compiled vs AST (map source)\nselector: " << source
+          << "\nproperties: " << describe(mirror)
+          << "\nprogram:\n" << selector.program()->disassemble();
+      ASSERT_EQ(run_msg, ast_msg)
+          << "compiled vs AST (jms::Message)\nselector: " << source
+          << "\nproperties: " << describe(mirror)
+          << "\nprogram:\n" << selector.program()->disassemble();
+      ASSERT_EQ(run_msg, run_map)
+          << "message fast path vs map source\nselector: " << source
+          << "\nproperties: " << describe(mirror);
+    }
+  }
+}
+
+// 5 seeds x 250 selectors x 100 messages = 125,000 differential pairs.
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramDifferentialFuzz,
+                         ::testing::Values(1u, 2u, 3u, 42u, 2006u));
+
+}  // namespace
+}  // namespace jmsperf::selector

@@ -1,0 +1,210 @@
+// Unit tests for the compiled selector pipeline: symbol interning, the
+// postfix compiler's instruction shapes and pools (constants, LIKE
+// matchers, IN sets), the stack machine's three-valued semantics, and the
+// interned fast path through jms::Message.
+#include "selector/program.hpp"
+
+#include <gtest/gtest.h>
+#include <map>
+
+#include "jms/message.hpp"
+#include "selector/parser.hpp"
+#include "selector/selector.hpp"
+#include "selector/symbol_table.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+class MapSource final : public PropertySource {
+ public:
+  MapSource() = default;
+  MapSource(std::initializer_list<std::pair<const std::string, Value>> init)
+      : values_(init) {}
+
+  [[nodiscard]] Value get(std::string_view name) const override {
+    const auto it = values_.find(std::string(name));
+    return it != values_.end() ? it->second : Value{};
+  }
+
+  std::map<std::string, Value> values_;
+};
+
+Program compile(const std::string& expression) {
+  return Program::compile(*parse_selector(expression));
+}
+
+Tribool run(const std::string& expression, const PropertySource& source) {
+  return compile(expression).run(source);
+}
+
+// ------------------------------------------------------------ symbol table
+TEST(SymbolTable, WellKnownHeaderIdsAreFixed) {
+  auto& table = SymbolTable::global();
+  EXPECT_EQ(table.find("JMSCorrelationID"), well_known::kJmsCorrelationId);
+  EXPECT_EQ(table.find("JMSPriority"), well_known::kJmsPriority);
+  EXPECT_EQ(table.find("JMSTimestamp"), well_known::kJmsTimestamp);
+  EXPECT_EQ(table.find("JMSMessageID"), well_known::kJmsMessageId);
+  EXPECT_EQ(table.find("JMSType"), well_known::kJmsType);
+  EXPECT_EQ(table.find("JMSReplyTo"), well_known::kJmsReplyTo);
+  EXPECT_EQ(table.find("JMSDeliveryMode"), well_known::kJmsDeliveryMode);
+  EXPECT_GE(table.size(), static_cast<std::size_t>(well_known::kFirstUserSymbol));
+}
+
+TEST(SymbolTable, InternIsIdempotentAndNameRoundTrips) {
+  auto& table = SymbolTable::global();
+  const SymbolId id = table.intern("program_test_prop");
+  EXPECT_EQ(table.intern("program_test_prop"), id);
+  EXPECT_EQ(table.find("program_test_prop"), id);
+  EXPECT_EQ(table.name(id), "program_test_prop");
+  EXPECT_GE(id, well_known::kFirstUserSymbol);
+}
+
+TEST(SymbolTable, FindMissReturnsNoSymbol) {
+  EXPECT_EQ(SymbolTable::global().find("definitely-not-interned-~~"), kNoSymbol);
+}
+
+// --------------------------------------------------------------- compiler
+TEST(ProgramCompiler, PaperFilterShapeCompilesToThreeInstructions) {
+  // "key = 0" is the paper's measurement filter (Sec. III-B.1).
+  const Program program = compile("key = 0");
+  ASSERT_EQ(program.instructions().size(), 3u);
+  EXPECT_EQ(program.instructions()[0].op, OpCode::LoadProp);
+  EXPECT_EQ(program.instructions()[0].arg, SymbolTable::global().find("key"));
+  EXPECT_EQ(program.instructions()[1].op, OpCode::PushConst);
+  EXPECT_EQ(program.instructions()[2].op, OpCode::CmpEq);
+  EXPECT_EQ(program.max_stack_depth(), 2u);
+  ASSERT_EQ(program.constants().size(), 1u);
+  EXPECT_EQ(program.constants()[0], Value(std::int64_t{0}));
+}
+
+TEST(ProgramCompiler, IdenticalConstantsArePooled) {
+  const Program program = compile("x = 5 OR y = 5 OR z = 5");
+  EXPECT_EQ(program.constants().size(), 1u);
+}
+
+TEST(ProgramCompiler, ExactAndApproximateLiteralsStayDistinct) {
+  // 5 and 5.0 compare equal under SQL comparison but are different
+  // constants (exact vs approximate) — pooling must not conflate them.
+  const Program program = compile("x = 5 OR x = 5.0");
+  EXPECT_EQ(program.constants().size(), 2u);
+}
+
+TEST(ProgramCompiler, LikePatternsArePrecompiled) {
+  const Program program = compile("name LIKE 'a%' AND city NOT LIKE '_x'");
+  EXPECT_EQ(program.like_matcher_count(), 2u);
+  // The pattern text never appears in the constant pool: matching uses
+  // only the pre-compiled matchers.
+  EXPECT_TRUE(program.constants().empty());
+}
+
+TEST(ProgramCompiler, InListsBecomeSortedSets) {
+  const Program program = compile("color IN ('red', 'green', 'red', 'blue')");
+  EXPECT_EQ(program.in_set_count(), 1u);
+  const MapSource red{{"color", Value("red")}};
+  const MapSource mauve{{"color", Value("mauve")}};
+  EXPECT_EQ(program.run(red), Tribool::True);
+  EXPECT_EQ(program.run(mauve), Tribool::False);
+}
+
+TEST(ProgramCompiler, DisassembleListsEveryInstruction) {
+  const Program program = compile("key = 0");
+  const std::string listing = program.disassemble();
+  EXPECT_NE(listing.find("load"), std::string::npos);
+  EXPECT_NE(listing.find("key"), std::string::npos);
+  EXPECT_NE(listing.find("cmp_eq"), std::string::npos);
+}
+
+// ------------------------------------------------- three-valued execution
+TEST(ProgramRun, NullPropertyYieldsUnknown) {
+  const MapSource empty;
+  EXPECT_EQ(run("missing = 1", empty), Tribool::Unknown);
+  EXPECT_EQ(run("NOT missing = 1", empty), Tribool::Unknown);
+  EXPECT_EQ(run("missing IS NULL", empty), Tribool::True);
+  EXPECT_EQ(run("missing IS NOT NULL", empty), Tribool::False);
+}
+
+TEST(ProgramRun, UnknownPropagatesThroughConnectives) {
+  const MapSource props{{"key", Value(std::int64_t{0})}};
+  EXPECT_EQ(run("missing = 1 OR key = 0", props), Tribool::True);
+  EXPECT_EQ(run("missing = 1 AND key = 0", props), Tribool::Unknown);
+  EXPECT_EQ(run("missing = 1 AND key = 1", props), Tribool::False);
+  EXPECT_EQ(run("missing = 1 OR key = 1", props), Tribool::Unknown);
+}
+
+TEST(ProgramRun, TypeMismatchYieldsUnknown) {
+  const MapSource props{{"name", Value("red")}};
+  EXPECT_EQ(run("name = 5", props), Tribool::Unknown);
+  EXPECT_EQ(run("name > 'apple'", props), Tribool::Unknown);  // strings: = / <> only
+  EXPECT_EQ(run("name = 'red'", props), Tribool::True);
+}
+
+TEST(ProgramRun, ArithmeticNullPropagationAndDivisionByZero) {
+  const MapSource props{{"key", Value(std::int64_t{6})}};
+  EXPECT_EQ(run("key / 2 = 3", props), Tribool::True);
+  EXPECT_EQ(run("key / 0 = 3", props), Tribool::Unknown);
+  EXPECT_EQ(run("key + missing = 6", props), Tribool::Unknown);
+  EXPECT_EQ(run("-key = -6", props), Tribool::True);
+}
+
+TEST(ProgramRun, BetweenMatchesInclusiveBounds) {
+  const MapSource props{{"key", Value(std::int64_t{3})}};
+  EXPECT_EQ(run("key BETWEEN 1 AND 3", props), Tribool::True);
+  EXPECT_EQ(run("key BETWEEN 4 AND 9", props), Tribool::False);
+  EXPECT_EQ(run("key NOT BETWEEN 4 AND 9", props), Tribool::True);
+  EXPECT_EQ(run("missing BETWEEN 1 AND 3", props), Tribool::Unknown);
+}
+
+TEST(ProgramRun, LikeOnNonStringIsUnknown) {
+  const MapSource props{{"key", Value(std::int64_t{1})}};
+  EXPECT_EQ(run("key LIKE '1%'", props), Tribool::Unknown);
+  EXPECT_EQ(run("key IN ('1')", props), Tribool::Unknown);
+}
+
+// ----------------------------------------------- interned message fast path
+TEST(ProgramMessage, HeaderIdentifiersResolveThroughMessage) {
+  jms::Message message;  // default priority 4, persistent
+  message.set_correlation_id("#7");
+  message.set_type("quote");
+  EXPECT_EQ(run("JMSPriority = 4", message), Tribool::True);
+  EXPECT_EQ(run("JMSCorrelationID = '#7'", message), Tribool::True);
+  EXPECT_EQ(run("JMSType = 'quote'", message), Tribool::True);
+  EXPECT_EQ(run("JMSDeliveryMode = 'PERSISTENT'", message), Tribool::True);
+}
+
+TEST(ProgramMessage, UserPropertiesResolveBySymbolId) {
+  jms::Message message;
+  const SymbolId key = SymbolTable::global().intern("key");
+  message.set_property(key, Value(std::int64_t{0}));
+  EXPECT_EQ(message.get(key), Value(std::int64_t{0}));
+  EXPECT_TRUE(message.has_property("key"));
+  EXPECT_EQ(run("key = 0", message), Tribool::True);
+  EXPECT_EQ(run("key = 1", message), Tribool::False);
+
+  // Overwrite through the string wrapper; the id-keyed store must agree.
+  message.set_property("key", std::int64_t{2});
+  EXPECT_EQ(message.get(key), Value(std::int64_t{2}));
+  EXPECT_EQ(message.property_count(), 1u);
+}
+
+// -------------------------------------------------------- selector facade
+TEST(SelectorFacade, CompiledAndAstPathsAgree) {
+  const auto selector =
+      Selector::compile("key = 0 AND (name LIKE 'a%' OR missing IS NULL)");
+  ASSERT_NE(selector.program(), nullptr);
+  ASSERT_NE(selector.ast(), nullptr);
+  const MapSource props{{"key", Value(std::int64_t{0})}, {"name", Value("abc")}};
+  EXPECT_EQ(selector.evaluate(props), selector.evaluate_ast(props));
+  EXPECT_EQ(selector.evaluate(props), Tribool::True);
+  EXPECT_TRUE(selector.matches(props));
+}
+
+TEST(SelectorFacade, MatchAllHasNoProgram) {
+  const auto all = Selector::match_all();
+  EXPECT_EQ(all.program(), nullptr);
+  const MapSource empty;
+  EXPECT_TRUE(all.matches(empty));
+  EXPECT_EQ(all.evaluate(empty), Tribool::True);
+}
+
+}  // namespace
+}  // namespace jmsperf::selector

@@ -1,5 +1,6 @@
 #include "testbed/calibration.hpp"
 #include "testbed/experiment.hpp"
+#include "testbed/filter_cost_probe.hpp"
 #include "testbed/simulated_server.hpp"
 
 #include <gtest/gtest.h>
@@ -45,6 +46,40 @@ TEST(SimulatedServer, NoisyServiceTimeIsUnbiased) {
   const double expected = params.cost.mean_service_time(10.0, 5.0);
   EXPECT_NEAR(acc.mean(), expected, 0.01 * expected);
   EXPECT_NEAR(acc.coefficient_of_variation(), 0.3, 0.02);
+}
+
+TEST(SimulatedServer, ServiceTimeModelOverridesEq1) {
+  sim::Simulation simulation;
+  ServerParameters params;
+  params.cost = core::kFioranoCorrelationId;
+  params.n_fltr = 50.0;
+  SimulatedJmsServer server(simulation, params, stats::RandomStream(3));
+  server.set_service_time_model(
+      [](double n_fltr, std::uint32_t replication) {
+        return 1e-6 * n_fltr + 1e-5 * static_cast<double>(replication);
+      });
+  EXPECT_NEAR(server.draw_service_time(7), 1e-6 * 50.0 + 1e-5 * 7.0, 1e-15);
+  // An empty model restores Eq. 1.
+  server.set_service_time_model({});
+  EXPECT_NEAR(server.draw_service_time(7),
+              params.cost.mean_service_time(50.0, 7.0), 1e-15);
+}
+
+TEST(FilterCostProbeTest, ProbesPositiveCostsAndPatchesCostModel) {
+  // Tiny evaluation budget: correctness of the plumbing, not timing.
+  const auto probe = probe_filter_cost(core::FilterClass::ApplicationProperty,
+                                       4, 2000);
+  EXPECT_GT(probe.t_fltr_compiled, 0.0);
+  EXPECT_GT(probe.t_fltr_ast, 0.0);
+  EXPECT_GT(probe.speedup(), 0.0);
+  const auto patched = probe.cost_model(core::kFioranoApplicationProperty);
+  EXPECT_EQ(patched.t_fltr, probe.t_fltr_compiled);
+  EXPECT_EQ(patched.t_rcv, core::kFioranoApplicationProperty.t_rcv);
+  EXPECT_EQ(patched.t_tx, core::kFioranoApplicationProperty.t_tx);
+
+  const auto corr = probe_filter_cost(core::FilterClass::CorrelationId, 4, 2000);
+  EXPECT_GT(corr.t_fltr_compiled, 0.0);
+  EXPECT_EQ(corr.t_fltr_ast, corr.t_fltr_compiled);
 }
 
 TEST(SimulatedServer, ParameterValidation) {
