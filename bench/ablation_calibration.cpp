@@ -108,5 +108,6 @@ int main() {
       "t_rcv is the intercept of a regression whose other terms are orders "
       "of magnitude larger at big n_fltr/R; its absolute error is tiny and "
       "barely affects E[B], which is why predictions survive");
+  harness::write_json("ablation_calibration");
   return 0;
 }

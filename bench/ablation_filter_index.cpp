@@ -84,5 +84,6 @@ int main() {
   harness::print_note(
       "wall-clock numbers depend on the host; the claims are about shape, "
       "mirroring how the paper reasons about its own testbed");
+  harness::write_json("ablation_filter_index");
   return 0;
 }

@@ -72,5 +72,6 @@ int main() {
   harness::print_note(
       "per-byte constants are synthetic (the paper reports none); the point "
       "is the methodology: two size points suffice to calibrate b_rcv/b_tx");
+  harness::write_json("ablation_message_size");
   return 0;
 }

@@ -98,5 +98,6 @@ int main() {
                        dropping.dropped > 0 &&
                            dropping.consumed + dropping.dropped ==
                                dropping.published);
+  harness::write_json("ablation_pushback");
   return 0;
 }

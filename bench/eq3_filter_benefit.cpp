@@ -39,5 +39,6 @@ int main() {
                        std::abs(app.max_beneficial_match_probability(1.0) - 0.099) < 0.001);
   harness::print_claim("2+ app-property filters never increase capacity",
                        app.max_beneficial_match_probability(2.0) == 0.0);
+  harness::write_json("eq3_filter_benefit");
   return 0;
 }

@@ -82,5 +82,6 @@ int main() {
       "unlike PSR/SSR (Fig. 15), a load-balanced cluster scales in BOTH the "
       "publisher and subscriber dimension — the 'true scalability' the paper "
       "calls for, at the price of a message-partitioning front end");
+  harness::write_json("ext_cluster_scaling");
   return 0;
 }

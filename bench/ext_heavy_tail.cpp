@@ -79,5 +79,6 @@ int main() {
   harness::print_note(
       "the paper's 'variability is marginal' conclusion is a property of its "
       "filter-driven replication models, not of M/GI/1 in general");
+  harness::write_json("ext_heavy_tail");
   return 0;
 }

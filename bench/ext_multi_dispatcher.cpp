@@ -296,5 +296,6 @@ int main() {
       }
     }
   }
+  harness::write_json("ext_multi_dispatcher");
   return 0;
 }

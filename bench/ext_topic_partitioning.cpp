@@ -76,5 +76,6 @@ int main() {
         s.cross_topic_fraction = 0.3;
         return s;
       }()) < 5.0);
+  harness::write_json("ext_topic_partitioning");
   return 0;
 }

@@ -43,5 +43,6 @@ int main() {
       "processing-time variability plays only a marginal role (cv=0.4 adds "
       "just 16% over deterministic service)",
       std::abs(high.mean_waiting_time() / det.mean_waiting_time() - 1.16) < 0.001);
+  harness::write_json("fig10_mean_waiting");
   return 0;
 }

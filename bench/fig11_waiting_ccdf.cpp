@@ -79,5 +79,6 @@ int main() {
   }
   harness::print_claim("Gamma approximation matches simulation within 0.01",
                        worst < 0.01);
+  harness::write_json("fig11_waiting_ccdf");
   return 0;
 }

@@ -75,5 +75,6 @@ int main() {
   harness::print_claim("~1 s waiting bound at E[B] = 20 ms", q9999 * eb <= 1.1);
   harness::print_claim("but capacity is then only ~45 msgs/s",
                        std::abs(capacity - 45.0) < 1.0);
+  harness::write_json("fig12_quantiles");
   return 0;
 }

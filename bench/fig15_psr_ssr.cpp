@@ -107,5 +107,6 @@ int main() {
   harness::print_note(
       "neither architecture scales in both n and m — the paper's motivation "
       "for future clustered designs");
+  harness::write_json("fig15_psr_ssr");
   return 0;
 }

@@ -69,5 +69,6 @@ int main() {
       "application-property throughput is roughly 50% of correlation-ID",
       app / corr > 0.3 && app / corr < 0.7);
   harness::print_claim("throughput decreases with number of installed filters", true);
+  harness::write_json("fig4_throughput");
   return 0;
 }

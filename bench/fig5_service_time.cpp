@@ -48,5 +48,6 @@ int main() {
   harness::print_claim(
       "service times span several orders of magnitude across scenarios",
       large_n_r100 / small_n_r1 > 1000.0);
+  harness::write_json("fig5_service_time");
   return 0;
 }

@@ -45,5 +45,6 @@ int main() {
       "capacity decreases with both n_fltr and E[R]",
       cost.capacity(10.0, 1.0, rho) > cost.capacity(100.0, 1.0, rho) &&
           cost.capacity(10.0, 1.0, rho) > cost.capacity(10.0, 10.0, rho));
+  harness::write_json("fig6_capacity");
   return 0;
 }

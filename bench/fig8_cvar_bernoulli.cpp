@@ -70,5 +70,6 @@ int main() {
   harness::print_claim("c_var[B] converges for increasing n_fltr", true);
   harness::print_claim("c_var[B] is at most ~0.65 (paper's bound)",
                        supremum < 0.66 && global_max < 0.66);
+  harness::write_json("fig8_cvar_bernoulli");
   return 0;
 }

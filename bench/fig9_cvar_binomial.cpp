@@ -71,5 +71,6 @@ int main() {
   harness::print_claim(
       "binomial cv at n=100 is an order of magnitude below Bernoulli cv",
       corr100 < 0.15 * bern_model.coefficient_of_variation());
+  harness::write_json("fig9_cvar_binomial");
   return 0;
 }

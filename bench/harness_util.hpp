@@ -4,38 +4,184 @@
 // regenerates, (b) the series as aligned columns (CSV-compatible with
 // '#'-comment headers), and (c) the prose claims the paper attaches to the
 // artifact, so EXPERIMENTS.md can record paper-vs-measured side by side.
+//
+// Everything printed is also captured by a hidden recorder; a harness
+// calls write_json("<name>") last to emit the same content as
+// machine-readable BENCH_<name>.json (into $JMSPERF_BENCH_JSON_DIR when
+// set, the working directory otherwise), so plots and regression checks
+// can consume the series without scraping stdout.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace jmsperf::harness {
 
+namespace detail {
+
+struct Claim {
+  std::string text;
+  bool holds = false;
+};
+
+/// One title + its columns/rows/notes/claims.  A harness that prints
+/// several titled blocks (e.g. one per operating point) gets one section
+/// per print_title call.
+struct Section {
+  std::string artifact;
+  std::string what;
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> notes;
+  std::vector<Claim> claims;
+};
+
+struct Recorder {
+  std::vector<Section> sections;
+
+  static Recorder& instance() {
+    static Recorder recorder;
+    return recorder;
+  }
+
+  Section& current() {
+    if (sections.empty()) sections.emplace_back();
+    return sections.back();
+  }
+};
+
+inline void json_escape(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+inline void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  json_escape(out, s);
+  out += '"';
+}
+
+inline void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace detail
+
 inline void print_title(const std::string& artifact, const std::string& what) {
   std::printf("# ============================================================\n");
   std::printf("# %s — %s\n", artifact.c_str(), what.c_str());
   std::printf("# ============================================================\n");
+  auto& recorder = detail::Recorder::instance();
+  recorder.sections.emplace_back();
+  recorder.sections.back().artifact = artifact;
+  recorder.sections.back().what = what;
 }
 
 inline void print_columns(const std::vector<std::string>& names) {
   std::printf("#");
   for (const auto& n : names) std::printf(" %16s", n.c_str());
   std::printf("\n");
+  detail::Recorder::instance().current().columns = names;
 }
 
 inline void print_row(const std::vector<double>& values) {
   std::printf(" ");
   for (const double v : values) std::printf(" %16.6g", v);
   std::printf("\n");
+  detail::Recorder::instance().current().rows.push_back(values);
 }
 
 inline void print_note(const std::string& note) {
   std::printf("# NOTE: %s\n", note.c_str());
+  detail::Recorder::instance().current().notes.push_back(note);
 }
 
 inline void print_claim(const std::string& claim, bool holds) {
   std::printf("# CLAIM [%s]: %s\n", holds ? "OK" : "VIOLATED", claim.c_str());
+  detail::Recorder::instance().current().claims.push_back({claim, holds});
+}
+
+/// Serializes everything printed so far to BENCH_<name>.json.  Returns
+/// the path written, or an empty string when the file could not be
+/// opened (the harness's stdout output is unaffected either way).
+inline std::string write_json(const std::string& name) {
+  const char* dir = std::getenv("JMSPERF_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/BENCH_" + name + ".json"
+                         : "BENCH_" + name + ".json";
+
+  std::string out = "{\n  \"name\": ";
+  detail::append_string(out, name);
+  out += ",\n  \"sections\": [\n";
+  const auto& sections = detail::Recorder::instance().sections;
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    const auto& section = sections[s];
+    out += "    {\n      \"artifact\": ";
+    detail::append_string(out, section.artifact);
+    out += ",\n      \"what\": ";
+    detail::append_string(out, section.what);
+    out += ",\n      \"columns\": [";
+    for (std::size_t i = 0; i < section.columns.size(); ++i) {
+      if (i != 0) out += ", ";
+      detail::append_string(out, section.columns[i]);
+    }
+    out += "],\n      \"rows\": [";
+    for (std::size_t r = 0; r < section.rows.size(); ++r) {
+      out += (r == 0) ? "\n        [" : ",\n        [";
+      for (std::size_t i = 0; i < section.rows[r].size(); ++i) {
+        if (i != 0) out += ", ";
+        detail::append_double(out, section.rows[r][i]);
+      }
+      out += "]";
+    }
+    out += section.rows.empty() ? "],\n" : "\n      ],\n";
+    out += "      \"notes\": [";
+    for (std::size_t i = 0; i < section.notes.size(); ++i) {
+      if (i != 0) out += ", ";
+      detail::append_string(out, section.notes[i]);
+    }
+    out += "],\n      \"claims\": [";
+    for (std::size_t i = 0; i < section.claims.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "{\"claim\": ";
+      detail::append_string(out, section.claims[i].text);
+      out += ", \"holds\": ";
+      out += section.claims[i].holds ? "true" : "false";
+      out += "}";
+    }
+    out += "]\n    }";
+    if (s + 1 != sections.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "harness: cannot write %s\n", path.c_str());
+    return {};
+  }
+  std::fwrite(out.data(), 1, out.size(), file);
+  std::fclose(file);
+  std::printf("# JSON: %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace jmsperf::harness

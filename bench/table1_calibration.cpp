@@ -87,5 +87,6 @@ int main() {
       "measurements come from the DES substitute for the FioranoMQ testbed; "
       "the pipeline (saturate -> trim -> count -> least-squares fit) is the "
       "paper's methodology");
+  harness::write_json("table1_calibration");
   return 0;
 }

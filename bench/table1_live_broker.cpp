@@ -90,5 +90,6 @@ int main() {
   harness::print_note(
       "absolute values reflect this host and an in-memory (no TCP) delivery "
       "path; only the structure is comparable to the paper");
+  harness::write_json("table1_live_broker");
   return 0;
 }

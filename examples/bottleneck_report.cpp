@@ -2,13 +2,20 @@
 // (core/sensitivity.hpp) to tell an operator WHERE a scenario's capacity
 // goes and which remedy pays: fewer/cheaper filters (topic partitioning,
 // filter index), smaller fan-out, or faster receive path (clustering).
+// Ends with a LIVE section: a paced k = 1 broker run whose telemetry
+// histogram is compared quantile-by-quantile against the Eq. 19-20
+// Gamma fit (pass --no-live to skip the measurement).
 //
 // Build & run:  ./build/examples/bottleneck_report
 #include <cstdio>
+#include <cstring>
+#include <exception>
 #include <vector>
 
 #include "core/partitioning.hpp"
 #include "core/sensitivity.hpp"
+#include "obs/model_comparison.hpp"
+#include "testbed/live_load.hpp"
 
 using namespace jmsperf;
 
@@ -49,14 +56,48 @@ void report(const char* name, core::FilterClass filter_class, double n_fltr,
   std::printf("\n");
 }
 
+// Drives the real broker at the target utilization and prints the
+// measured ingress-wait quantiles next to what the two-moment Gamma fit
+// (Eq. 19-20) predicts from the calibrated service moments.
+void live_model_vs_measured() {
+  std::printf("live model-vs-measured check (k = 1, rho target 0.9)\n");
+  std::printf("----------------------------------------------------\n");
+  testbed::LiveLoadConfig config;
+  config.target_utilization = 0.9;
+  // Heavy filter population -> E[B] ~ 300 us, so the pacer can sleep
+  // between arrivals (accurate even on a single-core host).
+  config.non_matching = 16384;
+  config.replication = 1;
+  config.warmup_messages = 500;
+  config.calibration_messages = 1500;
+  config.messages = 4000;
+  try {
+    const auto live = testbed::run_live_load(config);
+    std::printf("calibrated E[B] = %.2f us, offered lambda = %.0f/s, "
+                "achieved = %.0f/s, measured rho = %.2f\n",
+                1e6 * live.calibrated_service_mean, live.offered_lambda,
+                live.achieved_lambda, live.measured_utilization);
+    const auto report = obs::ModelComparisonReport::build(
+        live.achieved_lambda, live.service_moments,
+        live.telemetry.ingress_wait);
+    std::printf("%s", report.to_text().c_str());
+  } catch (const std::exception& error) {
+    std::printf("live run unavailable: %s\n", error.what());
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("capacity bottleneck reports (Menth/Henjes cost model)\n");
   std::printf("=====================================================\n\n");
   report("selector-heavy routing platform", core::FilterClass::ApplicationProperty,
          2000.0, 2.0);
   report("fan-out alerting hub", core::FilterClass::CorrelationId, 20.0, 60.0);
   report("lean unicast pipeline", core::FilterClass::CorrelationId, 1.0, 1.0);
+  const bool skip_live =
+      argc > 1 && std::strcmp(argv[1], "--no-live") == 0;
+  if (!skip_live) live_model_vs_measured();
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -26,10 +27,22 @@ class BlockingQueue {
   /// Blocks until space is available or the queue is closed.
   /// Returns false when the queue was closed (item not enqueued).
   bool push(T item) {
+    return push(std::move(item), [](T&) {});
+  }
+
+  /// push() variant that invokes `on_admit(item)` under the queue lock
+  /// immediately before the item enters the buffer.  Lets the caller
+  /// stamp the exact admission instant (after any push-back blocking),
+  /// so ingress waiting time excludes the time spent blocked in push().
+  template <typename OnAdmit>
+  bool push(T item, OnAdmit&& on_admit) {
     std::unique_lock lock(mutex_);
     not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
+    on_admit(item);
     items_.push_back(std::move(item));
+    ++total_pushed_;
+    if (items_.size() > max_depth_) max_depth_ = items_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -41,6 +54,8 @@ class BlockingQueue {
       std::lock_guard lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      ++total_pushed_;
+      if (items_.size() > max_depth_) max_depth_ = items_.size();
     }
     not_empty_.notify_one();
     return true;
@@ -128,6 +143,21 @@ class BlockingQueue {
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// High-watermark: the largest depth the queue ever reached.  Compare
+  /// with the model's required-buffer estimate (MG1Waiting::required_buffer).
+  [[nodiscard]] std::size_t max_depth() const {
+    std::lock_guard lock(mutex_);
+    return max_depth_;
+  }
+
+  /// Lifetime count of successfully enqueued items.  Together with a
+  /// consumer-side processed counter this lets a quiesce loop distinguish
+  /// "queue empty" from "queue empty AND the popped work is finished".
+  [[nodiscard]] std::uint64_t total_pushed() const {
+    std::lock_guard lock(mutex_);
+    return total_pushed_;
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mutex_;
@@ -135,6 +165,8 @@ class BlockingQueue {
   std::condition_variable not_full_;
   mutable std::condition_variable drained_;  ///< signalled when items_ empties
   std::deque<T> items_;
+  std::size_t max_depth_ = 0;       ///< depth high-watermark
+  std::uint64_t total_pushed_ = 0;  ///< lifetime successful pushes
   bool closed_ = false;
 };
 

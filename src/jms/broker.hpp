@@ -53,6 +53,8 @@
 #include "jms/message.hpp"
 #include "jms/subscription.hpp"
 #include "jms/topic_pattern.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace jmsperf::jms {
 
@@ -95,10 +97,25 @@ struct BrokerConfig {
   /// Ingress hand-off policy for num_dispatchers > 1 (ignored for k = 1,
   /// where both modes coincide).
   DispatchMode dispatch_mode = DispatchMode::Partitioned;
+  /// Fraction of published messages traced end-to-end through the
+  /// lifecycle-trace ring (obs/trace.hpp).  0 disables the sampler — one
+  /// predicted branch on the publish path.
+  double trace_sample_rate = 0.0;
+  /// Capacity of the trace ring (rounded up to a power of two).
+  std::size_t trace_ring_capacity = 1024;
+  /// Time individual filter evaluations for every N-th received message
+  /// per shard (feeds the filter-eval latency histogram); 0 = never.
+  std::uint32_t filter_timing_every = 0;
 };
 
 /// Monotonic counters describing broker activity (paper terminology:
 /// received / dispatched / overall throughput, Sec. III-A.2).
+///
+/// A BrokerStats value is ONE pipeline-consistent snapshot of the
+/// telemetry registry (obs/metrics_registry.hpp): even while dispatchers
+/// are running, `published >= received` and the other downstream
+/// inequalities hold within a single returned value — field-by-field
+/// torn reads cannot happen.
 struct BrokerStats {
   std::uint64_t published = 0;           ///< accepted from producers
   std::uint64_t received = 0;            ///< taken up by a dispatcher
@@ -242,6 +259,24 @@ class Broker {
 
   [[nodiscard]] BrokerStats stats() const;
 
+  /// The broker's telemetry bundle: metrics registry, latency histograms
+  /// (ingress wait / service time / filter eval), sampled trace ring and
+  /// gauges.  Feed `telemetry_snapshot()` to obs::prometheus_text /
+  /// obs::to_json / obs::ModelComparisonReport.
+  [[nodiscard]] obs::BrokerTelemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] const obs::BrokerTelemetry& telemetry() const { return telemetry_; }
+
+  /// One coherent read of the whole telemetry state.
+  [[nodiscard]] obs::TelemetrySnapshot telemetry_snapshot() const {
+    return telemetry_.snapshot();
+  }
+
+  /// Consistent copies of the retained lifecycle traces, oldest first
+  /// (empty unless config.trace_sample_rate > 0).
+  [[nodiscard]] std::vector<obs::TraceRecord> trace_records() const {
+    return telemetry_.traces().snapshot();
+  }
+
   /// Number of dispatcher shards (== config.num_dispatchers).
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
 
@@ -285,30 +320,47 @@ class Broker {
   };
 
   /// One dispatcher shard: a bounded ingress queue, the dispatcher thread
-  /// serving it, the thread's private filter-group cache, and the shard's
-  /// slice of the broker counters.
+  /// serving it, and the thread's private filter-group cache.  The
+  /// shard's counter slice lives in the telemetry registry (slot ==
+  /// shard index).
   struct Shard {
     struct Item {
       MessagePtr message;
-      std::chrono::steady_clock::time_point enqueued;
+      /// Producer entered enqueue_for_dispatch (stamped only for traced
+      /// messages — separates push-back blocking from queue waiting).
+      std::chrono::steady_clock::time_point published{};
+      /// Ingress queue accepted the item (stamped under the queue lock).
+      std::chrono::steady_clock::time_point admitted{};
+      std::uint64_t trace_id = 0;  ///< non-zero when sampled for tracing
     };
 
-    explicit Shard(std::size_t capacity) : ingress(capacity) {}
+    Shard(std::size_t shard_index, std::size_t capacity)
+        : index(shard_index), ingress(capacity) {}
 
+    const std::size_t index;  ///< telemetry registry slot of this shard
     BlockingQueue<Item> ingress;
     std::unordered_map<std::string, FilterGroupCache> filter_groups;
-    std::atomic<std::uint64_t> received{0};
-    std::atomic<std::uint64_t> dispatched{0};
-    std::atomic<std::uint64_t> filter_evaluations{0};
-    std::atomic<std::uint64_t> dropped{0};
-    std::atomic<std::uint64_t> discarded_no_subscriber{0};
-    std::atomic<std::uint64_t> ingress_wait_ns{0};
+    std::uint64_t local_received = 0;  ///< dispatcher-private pickup count
+    /// Items fully routed (counters recorded, copies delivered).  Paired
+    /// with ingress.total_pushed() so wait_until_idle() can tell an empty
+    /// queue apart from a popped-but-still-routing item.
+    std::atomic<std::uint64_t> processed{0};
     std::thread dispatcher;
   };
 
   void dispatch_loop(Shard& self, BlockingQueue<Shard::Item>& source);
-  void route(Shard& shard, const MessagePtr& message);
-  std::uint64_t route_with_filter_index(Shard& shard, const MessagePtr& message);
+  void route(Shard& shard, const MessagePtr& message, obs::TraceRecord* trace,
+             bool time_filters);
+  /// Filter-timing is a compile-time parameter so the untimed routing
+  /// loop (the common case — filter_timing_every-th messages excepted)
+  /// carries no per-filter branch at all.
+  template <bool Timed>
+  void route_impl(Shard& shard, const MessagePtr& message,
+                  obs::TraceRecord* trace);
+  template <bool Timed>
+  std::uint64_t route_with_filter_index(
+      Shard& shard, const MessagePtr& message, std::uint64_t& evaluations,
+      std::vector<std::shared_ptr<Subscription>>* collect);
   void deliver(Shard& shard, const std::shared_ptr<Subscription>& subscription,
                const MessagePtr& message, std::uint64_t& copies);
   bool enqueue_for_dispatch(MessagePtr message);
@@ -331,7 +383,10 @@ class Broker {
   std::mutex shutdown_mutex_;  ///< serializes the join phase of shutdown()
 
   std::atomic<std::uint64_t> topology_version_{0};
-  std::atomic<std::uint64_t> published_{0};
+
+  // All counters, histograms and traces live here (one registry slot per
+  // shard).  Declared before shards_ so it outlives the dispatchers.
+  obs::BrokerTelemetry telemetry_;
 
   // Last member: the shards' dispatcher threads join before the rest dies.
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,62 @@
+// Broker counter catalogue for the telemetry layer.
+//
+// The enum is declared in PIPELINE ORDER: a message is Published before a
+// dispatcher counts it Received, Received before any FilterEvaluations /
+// Dispatched / Dropped / DiscardedNoSubscriber attributed to it, and a
+// trace is Sampled before it can be Dropped by the ring.  MetricsRegistry
+// snapshots exploit this: counters are read in REVERSE declaration order
+// (downstream first), so pipeline inequalities like
+// published >= received >= dispatched-per-message hold inside one
+// snapshot even while dispatchers are running (no torn reads).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace jmsperf::obs {
+
+enum class Counter : std::size_t {
+  /// Messages accepted from producers (counted BEFORE the ingress
+  /// enqueue, rolled back on a failed/closed push, so it never lags a
+  /// concurrent Received increment).
+  Published,
+  /// Traces selected by the sampler at publish time.
+  TracesSampled,
+  /// Messages taken up by a dispatcher.
+  Received,
+  /// Nanoseconds spent in ingress queues, accumulated at dispatcher
+  /// pickup (the live counterpart of the paper's waiting time W).
+  IngressWaitNs,
+  /// Individual filter checks (batched per message).
+  FilterEvaluations,
+  /// Copies delivered to consumers.
+  Dispatched,
+  /// Copies dropped on subscriber-queue overflow / shutdown.
+  Dropped,
+  /// Messages that matched no subscriber.
+  DiscardedNoSubscriber,
+  /// Sampled traces lost to ring-slot contention.
+  TracesDropped,
+  kCount,
+};
+
+inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount);
+
+/// Prometheus-style snake_case name of a counter.
+[[nodiscard]] constexpr std::string_view counter_name(Counter c) {
+  switch (c) {
+    case Counter::Published: return "published";
+    case Counter::TracesSampled: return "traces_sampled";
+    case Counter::Received: return "received";
+    case Counter::IngressWaitNs: return "ingress_wait_ns";
+    case Counter::FilterEvaluations: return "filter_evaluations";
+    case Counter::Dispatched: return "dispatched";
+    case Counter::Dropped: return "dropped";
+    case Counter::DiscardedNoSubscriber: return "discarded_no_subscriber";
+    case Counter::TracesDropped: return "traces_dropped";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace jmsperf::obs

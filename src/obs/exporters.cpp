@@ -1,0 +1,132 @@
+#include "obs/exporters.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <string_view>
+
+namespace jmsperf::obs {
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+std::string sanitized(std::string_view name) {
+  std::string s(name);
+  for (char& c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return s;
+}
+
+void append_histogram_prometheus(std::string& out, const std::string& prefix,
+                                 const char* name,
+                                 const HistogramSnapshot& hist) {
+  append_fmt(out, "# TYPE %s_%s_seconds histogram\n", prefix.c_str(), name);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+    if (hist.counts[i] == 0) continue;
+    cumulative += hist.counts[i];
+    append_fmt(out, "%s_%s_seconds_bucket{le=\"%.9g\"} %llu\n", prefix.c_str(),
+               name, 1e-9 * static_cast<double>(LatencyHistogram::bucket_upper(i)),
+               static_cast<unsigned long long>(cumulative));
+  }
+  append_fmt(out, "%s_%s_seconds_bucket{le=\"+Inf\"} %llu\n", prefix.c_str(),
+             name, static_cast<unsigned long long>(hist.total));
+  append_fmt(out, "%s_%s_seconds_sum %.9g\n", prefix.c_str(), name,
+             1e-9 * static_cast<double>(hist.sum_ns));
+  append_fmt(out, "%s_%s_seconds_count %llu\n", prefix.c_str(), name,
+             static_cast<unsigned long long>(hist.total));
+}
+
+void append_histogram_json(std::string& out, const char* name,
+                           const HistogramSnapshot& hist, bool trailing_comma) {
+  append_fmt(out,
+             "    \"%s\": {\"count\": %llu, \"mean_s\": %.9g, \"min_s\": %.9g, "
+             "\"max_s\": %.9g, \"p50_s\": %.9g, \"p90_s\": %.9g, "
+             "\"p99_s\": %.9g, \"p9999_s\": %.9g}%s\n",
+             name, static_cast<unsigned long long>(hist.total),
+             hist.mean_seconds(), 1e-9 * static_cast<double>(hist.min_ns()),
+             1e-9 * static_cast<double>(hist.max_ns()),
+             hist.quantile_seconds(0.50), hist.quantile_seconds(0.90),
+             hist.quantile_seconds(0.99), hist.quantile_seconds(0.9999),
+             trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+std::string prometheus_text(const TelemetrySnapshot& snapshot,
+                            const std::string& prefix) {
+  std::string out;
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    const auto counter = static_cast<Counter>(c);
+    const std::string name = sanitized(counter_name(counter));
+    append_fmt(out, "# TYPE %s_%s_total counter\n", prefix.c_str(), name.c_str());
+    append_fmt(out, "%s_%s_total %llu\n", prefix.c_str(), name.c_str(),
+               static_cast<unsigned long long>(snapshot.totals[counter]));
+    if (snapshot.shards.size() > 1) {
+      for (std::size_t s = 0; s < snapshot.shards.size(); ++s) {
+        append_fmt(out, "%s_%s_total{shard=\"%zu\"} %llu\n", prefix.c_str(),
+                   name.c_str(), s,
+                   static_cast<unsigned long long>(snapshot.shards[s][counter]));
+      }
+    }
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string gauge = sanitized(name);
+    append_fmt(out, "# TYPE %s_%s gauge\n", prefix.c_str(), gauge.c_str());
+    append_fmt(out, "%s_%s %.9g\n", prefix.c_str(), gauge.c_str(), value);
+  }
+  append_histogram_prometheus(out, prefix, "ingress_wait", snapshot.ingress_wait);
+  append_histogram_prometheus(out, prefix, "service_time", snapshot.service_time);
+  append_histogram_prometheus(out, prefix, "filter_eval", snapshot.filter_eval);
+  return out;
+}
+
+std::string to_json(const TelemetrySnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    const auto counter = static_cast<Counter>(c);
+    append_fmt(out, "%s\"%s\": %llu", c == 0 ? "" : ", ",
+               std::string(counter_name(counter)).c_str(),
+               static_cast<unsigned long long>(snapshot.totals[counter]));
+  }
+  out += "},\n  \"shards\": [";
+  for (std::size_t s = 0; s < snapshot.shards.size(); ++s) {
+    out += s == 0 ? "{" : ", {";
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+      const auto counter = static_cast<Counter>(c);
+      append_fmt(out, "%s\"%s\": %llu", c == 0 ? "" : ", ",
+                 std::string(counter_name(counter)).c_str(),
+                 static_cast<unsigned long long>(snapshot.shards[s][counter]));
+    }
+    out += "}";
+  }
+  out += "],\n  \"histograms\": {\n";
+  append_histogram_json(out, "ingress_wait", snapshot.ingress_wait, true);
+  append_histogram_json(out, "service_time", snapshot.service_time, true);
+  append_histogram_json(out, "filter_eval", snapshot.filter_eval, false);
+  out += "  },\n  \"gauges\": {";
+  for (std::size_t g = 0; g < snapshot.gauges.size(); ++g) {
+    append_fmt(out, "%s\"%s\": %.9g", g == 0 ? "" : ", ",
+               sanitized(snapshot.gauges[g].first).c_str(),
+               snapshot.gauges[g].second);
+  }
+  append_fmt(out,
+             "},\n  \"traces\": {\"capacity\": %zu, \"pushed\": %llu, "
+             "\"dropped\": %llu}\n}\n",
+             snapshot.trace_capacity,
+             static_cast<unsigned long long>(snapshot.traces_pushed),
+             static_cast<unsigned long long>(snapshot.traces_dropped));
+  return out;
+}
+
+}  // namespace jmsperf::obs

@@ -1,0 +1,25 @@
+// Snapshot emitters: Prometheus text exposition format and a JSON
+// document, both rendered from one TelemetrySnapshot (no I/O here — the
+// caller decides where the text goes).
+#pragma once
+
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace jmsperf::obs {
+
+/// Prometheus text exposition (version 0.0.4): counters as
+/// `<prefix>_<name>_total` (aggregate plus per-shard `{shard="i"}`
+/// series), gauges as `<prefix>_<name>`, and the three latency
+/// histograms as native Prometheus histograms in seconds with
+/// cumulative `le` buckets at the non-empty bucket edges.
+[[nodiscard]] std::string prometheus_text(const TelemetrySnapshot& snapshot,
+                                          const std::string& prefix = "jmsperf");
+
+/// JSON snapshot: counters (totals and per shard), gauges, and per
+/// histogram count/mean/min/max plus the standard quantile ladder
+/// (p50/p90/p99/p99.99), all time values in seconds.
+[[nodiscard]] std::string to_json(const TelemetrySnapshot& snapshot);
+
+}  // namespace jmsperf::obs

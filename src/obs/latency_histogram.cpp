@@ -1,0 +1,98 @@
+#include "obs/latency_histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jmsperf::obs {
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.counts.empty()) return;
+  if (counts.empty()) {
+    *this = other;
+    return;
+  }
+  if (counts.size() != other.counts.size()) {
+    throw std::invalid_argument("HistogramSnapshot::merge: layout mismatch");
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  total += other.total;
+  sum_ns += other.sum_ns;
+}
+
+double HistogramSnapshot::quantile_ns(double p) const {
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const double lower =
+          static_cast<double>(LatencyHistogram::bucket_lower(i));
+      const double upper =
+          static_cast<double>(LatencyHistogram::bucket_upper(i));
+      const double fraction =
+          std::clamp((target - before) / static_cast<double>(counts[i]), 0.0, 1.0);
+      return lower + fraction * (upper - lower);
+    }
+  }
+  return static_cast<double>(max_ns());
+}
+
+std::uint64_t HistogramSnapshot::max_ns() const {
+  for (std::size_t i = counts.size(); i-- > 0;) {
+    if (counts[i] != 0) return LatencyHistogram::bucket_upper(i);
+  }
+  return 0;
+}
+
+std::uint64_t HistogramSnapshot::min_ns() const {
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] != 0) return LatencyHistogram::bucket_lower(i);
+  }
+  return 0;
+}
+
+stats::RawMoments HistogramSnapshot::raw_moments_seconds() const {
+  stats::RawMoments m;
+  if (total == 0) return m;
+  m.m1 = 1e-9 * mean_ns();
+  double m2 = 0.0, m3 = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double mid =
+        0.5e-9 * (static_cast<double>(LatencyHistogram::bucket_lower(i)) +
+                  static_cast<double>(LatencyHistogram::bucket_upper(i)));
+    const double weight =
+        static_cast<double>(counts[i]) / static_cast<double>(total);
+    m2 += weight * mid * mid;
+    m3 += weight * mid * mid * mid;
+  }
+  m.m2 = m2;
+  m.m3 = m3;
+  // Midpoint rounding can leave m2 slightly below m1^2 for near-constant
+  // data; clamp to a consistent (zero-variance) moment sequence.
+  if (m.m2 < m.m1 * m.m1) m.m2 = m.m1 * m.m1;
+  if (m.m3 < m.m2 * m.m1) m.m3 = m.m2 * m.m1;
+  return m;
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot s;
+  s.counts.resize(kBucketCount);
+  // Sum first (acquire pairs with nothing here — relaxed writers — but
+  // reading the sum before the buckets keeps mean <= bucket-implied
+  // upper bounds under concurrent recording).
+  s.sum_ns = sum_ns_.load(std::memory_order_acquire);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_acquire);
+    total += s.counts[i];
+  }
+  s.total = total;
+  return s;
+}
+
+}  // namespace jmsperf::obs

@@ -1,0 +1,42 @@
+#include "obs/metrics_registry.hpp"
+
+#include <stdexcept>
+
+namespace jmsperf::obs {
+
+MetricsRegistry::MetricsRegistry(std::size_t slots) : slots_(slots) {
+  if (slots == 0) {
+    throw std::invalid_argument("MetricsRegistry: need at least one slot");
+  }
+}
+
+std::vector<CounterSnapshot> MetricsRegistry::all_slots() const {
+  std::vector<CounterSnapshot> result(slots_.size());
+  // Counter-major, reverse pipeline order: every downstream counter is
+  // read (acquire) before any upstream one, across ALL slots, so the
+  // aggregate inequalities hold no matter how producers/dispatchers are
+  // spread over slots (SharedQueue mode included).
+  for (std::size_t c = kCounterCount; c-- > 0;) {
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      result[s].values[c] =
+          slots_[s].cells[c].v.load(std::memory_order_acquire);
+    }
+  }
+  return result;
+}
+
+CounterSnapshot MetricsRegistry::snapshot() const {
+  CounterSnapshot total;
+  for (const auto& slot : all_slots()) total += slot;
+  return total;
+}
+
+CounterSnapshot MetricsRegistry::slot_snapshot(std::size_t slot) const {
+  CounterSnapshot s;
+  for (std::size_t c = kCounterCount; c-- > 0;) {
+    s.values[c] = slots_.at(slot).cells[c].v.load(std::memory_order_acquire);
+  }
+  return s;
+}
+
+}  // namespace jmsperf::obs

@@ -1,0 +1,101 @@
+// Lock-free broker metrics registry.
+//
+// One write slot per dispatcher shard; every counter lives on its own
+// cache line inside its slot, so the write path is a single uncontended
+// atomic RMW (release order, which costs nothing over relaxed on x86 and
+// keeps the per-slot increment history ordered for readers).  Reads
+// aggregate the slots on demand.
+//
+// Snapshot consistency contract: `snapshot()` / `all_slots()` read the
+// counters in REVERSE pipeline order (see counters.hpp) with acquire
+// loads.  Because every writer increments the upstream counter of a
+// message before any downstream one (release RMWs), a snapshot can only
+// over-count upstream relative to downstream — never the reverse — so
+// monotone pipeline invariants (published >= received, received >= one
+// delivery attempt per message, ...) hold within a single snapshot even
+// under full dispatcher load.  This is what fixes the torn
+// field-by-field reads the pre-obs BrokerStats suffered from.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace jmsperf::obs {
+
+/// One coherent read of every counter (either one slot or the aggregate).
+struct CounterSnapshot {
+  std::array<std::uint64_t, kCounterCount> values{};
+
+  [[nodiscard]] std::uint64_t operator[](Counter c) const {
+    return values[static_cast<std::size_t>(c)];
+  }
+
+  CounterSnapshot& operator+=(const CounterSnapshot& other) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) values[i] += other.values[i];
+    return *this;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// `slots` = number of independent writer slots (dispatcher shards).
+  explicit MetricsRegistry(std::size_t slots);
+
+  [[nodiscard]] std::size_t slots() const { return slots_.size(); }
+
+  /// Write path: one release RMW on a slot-private cache line.
+  void add(std::size_t slot, Counter c, std::uint64_t delta = 1) noexcept {
+    cell(slot, c).fetch_add(delta, std::memory_order_release);
+  }
+
+  /// Rollback for the rare failed-enqueue paths (push into a closed
+  /// queue).  Only ever undoes this thread's own prior `add`.
+  void sub(std::size_t slot, Counter c, std::uint64_t delta = 1) noexcept {
+    cell(slot, c).fetch_sub(delta, std::memory_order_release);
+  }
+
+  /// Single relaxed read of one cell (no cross-counter consistency).
+  [[nodiscard]] std::uint64_t value(std::size_t slot, Counter c) const noexcept {
+    return cell(slot, c).load(std::memory_order_relaxed);
+  }
+
+  /// Pipeline-consistent per-slot snapshots (one ordered read pass over
+  /// the whole matrix; counter-major, downstream first).
+  [[nodiscard]] std::vector<CounterSnapshot> all_slots() const;
+
+  /// Pipeline-consistent aggregate: the sum of one `all_slots()` pass.
+  [[nodiscard]] CounterSnapshot snapshot() const;
+
+  /// Pipeline-consistent read of a single slot.  Per-slot invariants only
+  /// hold when the slot's counters are written by the threads of that
+  /// shard (Partitioned mode); in SharedQueue mode producers and
+  /// dispatchers split across slots and only the aggregate is ordered.
+  [[nodiscard]] CounterSnapshot slot_snapshot(std::size_t slot) const;
+
+ private:
+  // One counter per cache line: producers (Published) and the shard's
+  // dispatcher write different cells of the same slot without false
+  // sharing.
+  struct PaddedCounter {
+    alignas(64) std::atomic<std::uint64_t> v{0};
+  };
+  struct Slot {
+    std::array<PaddedCounter, kCounterCount> cells;
+  };
+
+  [[nodiscard]] std::atomic<std::uint64_t>& cell(std::size_t slot, Counter c) noexcept {
+    return slots_[slot].cells[static_cast<std::size_t>(c)].v;
+  }
+  [[nodiscard]] const std::atomic<std::uint64_t>& cell(std::size_t slot,
+                                                       Counter c) const noexcept {
+    return slots_[slot].cells[static_cast<std::size_t>(c)].v;
+  }
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace jmsperf::obs

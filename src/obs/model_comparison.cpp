@@ -1,0 +1,117 @@
+#include "obs/model_comparison.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "queueing/service_time.hpp"
+
+namespace jmsperf::obs {
+
+namespace {
+
+double bucket_width_seconds(double seconds) {
+  const auto nanos =
+      static_cast<std::uint64_t>(std::max(0.0, seconds) * 1e9);
+  const std::size_t index = LatencyHistogram::bucket_index(nanos);
+  return 1e-9 * static_cast<double>(LatencyHistogram::bucket_upper(index) -
+                                    LatencyHistogram::bucket_lower(index) + 1);
+}
+
+}  // namespace
+
+ModelComparisonReport ModelComparisonReport::build(
+    double lambda, const stats::RawMoments& service_moments,
+    const HistogramSnapshot& measured_wait, std::vector<double> probabilities) {
+  queueing::MG1Waiting model(lambda, service_moments);
+  std::vector<Row> rows;
+  rows.reserve(probabilities.size());
+  for (double p : probabilities) {
+    Row row;
+    row.probability = p;
+    row.measured_seconds = measured_wait.quantile_seconds(p);
+    row.predicted_seconds = model.waiting_quantile(p);
+    const double scale = std::max(row.predicted_seconds,
+                                  bucket_width_seconds(row.measured_seconds));
+    row.relative_error =
+        scale > 0.0
+            ? std::abs(row.measured_seconds - row.predicted_seconds) / scale
+            : 0.0;
+    rows.push_back(row);
+  }
+  return ModelComparisonReport(model, std::move(rows),
+                               measured_wait.mean_seconds(),
+                               measured_wait.total);
+}
+
+ModelComparisonReport ModelComparisonReport::from_cost_model(
+    double lambda, double t_rcv, double t_fltr, std::size_t n_fltr,
+    double t_tx, const stats::RawMoments& replication_moments,
+    const HistogramSnapshot& measured_wait, std::vector<double> probabilities) {
+  const double d = t_rcv + static_cast<double>(n_fltr) * t_fltr;
+  queueing::ServiceTimeModel service(d, t_tx, replication_moments);
+  return build(lambda, service.moments(), measured_wait,
+               std::move(probabilities));
+}
+
+bool ModelComparisonReport::within(double tolerance) const {
+  return std::all_of(rows_.begin(), rows_.end(), [tolerance](const Row& row) {
+    return row.relative_error <= tolerance;
+  });
+}
+
+double ModelComparisonReport::max_relative_error() const {
+  double worst = 0.0;
+  for (const Row& row : rows_) worst = std::max(worst, row.relative_error);
+  return worst;
+}
+
+std::string ModelComparisonReport::to_text() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "model-vs-measured waiting time  (lambda=%.1f/s rho=%.3f "
+                "samples=%llu)\n",
+                model_.lambda(), model_.utilization(),
+                static_cast<unsigned long long>(sample_count_));
+  out += line;
+  std::snprintf(line, sizeof(line), "  %-10s %14s %14s %10s\n", "quantile",
+                "measured_us", "predicted_us", "rel_err");
+  out += line;
+  std::snprintf(line, sizeof(line), "  %-10s %14.2f %14.2f %10s\n", "mean",
+                1e6 * measured_mean_, 1e6 * model_.mean_waiting_time(), "-");
+  out += line;
+  for (const Row& row : rows_) {
+    std::snprintf(line, sizeof(line), "  p%-9.7g %14.2f %14.2f %9.1f%%\n",
+                  100.0 * row.probability, 1e6 * row.measured_seconds,
+                  1e6 * row.predicted_seconds, 100.0 * row.relative_error);
+    out += line;
+  }
+  return out;
+}
+
+std::string ModelComparisonReport::to_json() const {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"lambda\": %.9g, \"rho\": %.9g, \"samples\": %llu,\n"
+                "  \"measured_mean_s\": %.9g, \"predicted_mean_s\": %.9g,\n"
+                "  \"rows\": [",
+                model_.lambda(), model_.utilization(),
+                static_cast<unsigned long long>(sample_count_), measured_mean_,
+                model_.mean_waiting_time());
+  out += buf;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& row = rows_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"p\": %.9g, \"measured_s\": %.9g, "
+                  "\"predicted_s\": %.9g, \"relative_error\": %.9g}",
+                  i == 0 ? "" : ",", row.probability, row.measured_seconds,
+                  row.predicted_seconds, row.relative_error);
+    out += buf;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace jmsperf::obs

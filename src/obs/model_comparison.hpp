@@ -1,0 +1,79 @@
+// Online model-vs-measured report (paper Sec. IV-B applied to live data):
+// feeds a measured waiting-time histogram plus calibrated service-time
+// moments into the M/GI/1 machinery and tabulates measured against
+// predicted (Gamma-fit, Eqs. 19-20) quantiles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/latency_histogram.hpp"
+#include "queueing/mg1.hpp"
+#include "stats/moments.hpp"
+
+namespace jmsperf::obs {
+
+class ModelComparisonReport {
+ public:
+  struct Row {
+    double probability = 0.0;
+    double measured_seconds = 0.0;   ///< histogram quantile
+    double predicted_seconds = 0.0;  ///< Eq. 20 Gamma-fit quantile
+    /// |measured - predicted| relative to max(predicted, one histogram
+    /// bucket width at the measured value) — the floor keeps quantization
+    /// noise from dominating near-zero quantiles.
+    double relative_error = 0.0;
+  };
+
+  /// Builds the report from an arrival rate (per second), the calibrated
+  /// service-time raw moments (seconds), and the measured ingress-wait
+  /// histogram.  Throws (via queueing::MG1Waiting) when the implied
+  /// system is unstable (rho >= 1).
+  static ModelComparisonReport build(
+      double lambda, const stats::RawMoments& service_moments,
+      const HistogramSnapshot& measured_wait,
+      std::vector<double> probabilities = {0.5, 0.9, 0.99, 0.9999});
+
+  /// Convenience: composes the service moments from the paper's cost
+  /// decomposition B = (t_rcv + n_fltr t_fltr) + R t_tx first (Eqs. 7-9).
+  static ModelComparisonReport from_cost_model(
+      double lambda, double t_rcv, double t_fltr, std::size_t n_fltr,
+      double t_tx, const stats::RawMoments& replication_moments,
+      const HistogramSnapshot& measured_wait,
+      std::vector<double> probabilities = {0.5, 0.9, 0.99, 0.9999});
+
+  [[nodiscard]] const queueing::MG1Waiting& model() const { return model_; }
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+  [[nodiscard]] double lambda() const { return model_.lambda(); }
+  [[nodiscard]] double utilization() const { return model_.utilization(); }
+  [[nodiscard]] double measured_mean_seconds() const { return measured_mean_; }
+  [[nodiscard]] double predicted_mean_seconds() const {
+    return model_.mean_waiting_time();
+  }
+  [[nodiscard]] std::uint64_t sample_count() const { return sample_count_; }
+
+  /// True when every row's relative error is within `tolerance`.
+  [[nodiscard]] bool within(double tolerance) const;
+
+  /// Largest relative error across the rows (0 when there are none).
+  [[nodiscard]] double max_relative_error() const;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  ModelComparisonReport(queueing::MG1Waiting model, std::vector<Row> rows,
+                        double measured_mean, std::uint64_t samples)
+      : model_(model),
+        rows_(std::move(rows)),
+        measured_mean_(measured_mean),
+        sample_count_(samples) {}
+
+  queueing::MG1Waiting model_;
+  std::vector<Row> rows_;
+  double measured_mean_;
+  std::uint64_t sample_count_;
+};
+
+}  // namespace jmsperf::obs

@@ -1,0 +1,54 @@
+#include "obs/telemetry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jmsperf::obs {
+
+BrokerTelemetry::BrokerTelemetry(std::size_t shards, TelemetryConfig config)
+    : config_(config),
+      filter_timing_every_(config.filter_timing_every),
+      registry_(shards),
+      traces_(config.trace_ring_capacity) {
+  if (config.trace_sample_rate < 0.0 || config.trace_sample_rate > 1.0) {
+    throw std::invalid_argument(
+        "BrokerTelemetry: trace_sample_rate must be in [0, 1]");
+  }
+  if (config.trace_sample_rate > 0.0) {
+    sample_every_ = static_cast<std::uint64_t>(
+        std::llround(std::max(1.0, 1.0 / config.trace_sample_rate)));
+  }
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<ShardHistograms>());
+  }
+}
+
+void BrokerTelemetry::register_gauge(std::string name, std::function<double()> fn) {
+  std::lock_guard lock(gauges_mutex_);
+  gauges_.emplace_back(std::move(name), std::move(fn));
+}
+
+TelemetrySnapshot BrokerTelemetry::snapshot() const {
+  TelemetrySnapshot s;
+  // Downstream state first (histograms record at dispatcher pickup or
+  // later), then the counter matrix in its own reverse-pipeline pass.
+  for (const auto& shard : shards_) {
+    s.ingress_wait.merge(shard->ingress_wait.snapshot());
+    s.service_time.merge(shard->service_time.snapshot());
+    s.filter_eval.merge(shard->filter_eval.snapshot());
+  }
+  s.shards = registry_.all_slots();
+  for (const auto& slot : s.shards) s.totals += slot;
+  s.trace_capacity = traces_.capacity();
+  s.traces_pushed = traces_.pushed();
+  s.traces_dropped = traces_.dropped();
+  {
+    std::lock_guard lock(gauges_mutex_);
+    s.gauges.reserve(gauges_.size());
+    for (const auto& [name, fn] : gauges_) s.gauges.emplace_back(name, fn());
+  }
+  return s;
+}
+
+}  // namespace jmsperf::obs

@@ -1,0 +1,122 @@
+// The per-broker telemetry bundle: metrics registry + per-shard latency
+// histograms + sampled trace ring + gauge callbacks, with one coherent
+// `snapshot()` for the exporters and the model-comparison report.
+//
+// Write-path cost model (metrics on, tracing off), per message:
+//   1 release RMW  Published                      (producer thread)
+//   2 release RMWs Received + IngressWaitNs       (dispatcher)
+//   1 release RMW  FilterEvaluations (batched per message, not per filter)
+//   2 relaxed RMWs ingress-wait histogram record
+//   2 relaxed RMWs service-time histogram record
+//   1 extra steady_clock::now() for the service-time end stamp
+// — no locks, no allocation, each cell on its own cache line.  Tracing
+// (rate > 0) adds one relaxed RMW per publish for the sampling counter
+// and, for sampled messages only, the trace assembly + ring push.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/latency_histogram.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace jmsperf::obs {
+
+struct TelemetryConfig {
+  /// Fraction of published messages to trace end-to-end; 0 disables the
+  /// sampler entirely (one predicted branch on the publish path).  A
+  /// rate r > 0 traces every round(1/r)-th message deterministically.
+  double trace_sample_rate = 0.0;
+  /// Slots in the lifecycle-trace ring (rounded up to a power of two).
+  std::size_t trace_ring_capacity = 1024;
+  /// Time individual filter evaluations for every N-th received message
+  /// per shard (feeds the filter-eval histogram); 0 = never.
+  std::uint32_t filter_timing_every = 0;
+};
+
+/// One coherent read of the whole telemetry state.
+struct TelemetrySnapshot {
+  CounterSnapshot totals;               ///< sum of `shards` (same read pass)
+  std::vector<CounterSnapshot> shards;  ///< pipeline-consistent per-slot reads
+  HistogramSnapshot ingress_wait;       ///< merged over shards
+  HistogramSnapshot service_time;       ///< merged over shards
+  HistogramSnapshot filter_eval;        ///< merged over shards
+  std::vector<std::pair<std::string, double>> gauges;
+  std::size_t trace_capacity = 0;
+  std::uint64_t traces_pushed = 0;
+  std::uint64_t traces_dropped = 0;
+};
+
+class BrokerTelemetry {
+ public:
+  explicit BrokerTelemetry(std::size_t shards, TelemetryConfig config = {});
+
+  [[nodiscard]] const TelemetryConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+
+  [[nodiscard]] LatencyHistogram& ingress_wait(std::size_t shard) {
+    return shards_[shard]->ingress_wait;
+  }
+  [[nodiscard]] LatencyHistogram& service_time(std::size_t shard) {
+    return shards_[shard]->service_time;
+  }
+  [[nodiscard]] LatencyHistogram& filter_eval(std::size_t shard) {
+    return shards_[shard]->filter_eval;
+  }
+
+  [[nodiscard]] TraceRing& traces() { return traces_; }
+  [[nodiscard]] const TraceRing& traces() const { return traces_; }
+
+  [[nodiscard]] bool tracing_enabled() const { return sample_every_ != 0; }
+
+  /// Publish-path sampling decision: returns a non-zero trace id when
+  /// this message should be traced, 0 otherwise.
+  [[nodiscard]] std::uint64_t sample_trace() noexcept {
+    if (sample_every_ == 0) return 0;
+    const std::uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+    return seq % sample_every_ == 0 ? seq + 1 : 0;
+  }
+
+  /// Dispatcher-side decision to time individual filter evaluations for
+  /// the `received_seq`-th message of a shard (shard-local counter).
+  [[nodiscard]] bool should_time_filters(std::uint64_t received_seq) const noexcept {
+    return filter_timing_every_ != 0 && received_seq % filter_timing_every_ == 0;
+  }
+
+  /// Registers a named gauge evaluated lazily at snapshot time.
+  void register_gauge(std::string name, std::function<double()> fn);
+
+  [[nodiscard]] TelemetrySnapshot snapshot() const;
+
+ private:
+  // Histograms are heap-allocated per shard so each shard's hot counters
+  // sit in distinct allocations (no cross-shard false sharing).
+  struct ShardHistograms {
+    LatencyHistogram ingress_wait;
+    LatencyHistogram service_time;
+    LatencyHistogram filter_eval;
+  };
+
+  TelemetryConfig config_;
+  std::uint64_t sample_every_ = 0;
+  std::uint32_t filter_timing_every_ = 0;
+  MetricsRegistry registry_;
+  std::vector<std::unique_ptr<ShardHistograms>> shards_;
+  TraceRing traces_;
+  std::atomic<std::uint64_t> trace_seq_{0};
+
+  mutable std::mutex gauges_mutex_;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges_;
+};
+
+}  // namespace jmsperf::obs

@@ -1,0 +1,134 @@
+// Sampled per-message lifecycle tracing.
+//
+// A traced message produces one fixed-size TraceRecord covering its whole
+// lifecycle: publish() call -> ingress-queue admission (separates
+// push-back blocking from queueing) -> dispatcher pickup -> end of the
+// filter loop -> last subscriber delivery.  Records are assembled
+// entirely on the dispatcher thread that served the message and pushed
+// once into a bounded lock-free ring, so the broker's hot path never
+// takes a lock for tracing and an idle sampler (rate 0) costs one
+// predicted branch.
+//
+// The ring is a fixed array of seqlock slots.  Writers claim a ticket
+// with one fetch_add and publish the record with per-word relaxed atomic
+// stores guarded by the slot's sequence number; a writer that finds its
+// slot mid-write (ring wrapped onto an active writer) drops the record
+// and counts it instead of blocking.  Readers validate the sequence
+// before and after copying, so they never observe a torn record — and
+// because every shared word is a std::atomic, the scheme is clean under
+// ThreadSanitizer, not just on x86.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace jmsperf::obs {
+
+/// POD lifecycle record; timestamps are nanosecond offsets from the
+/// owning ring's epoch (steady_clock at ring construction).
+struct TraceRecord {
+  std::uint64_t id = 0;                  ///< sampler sequence number + 1
+  std::uint32_t shard = 0;               ///< dispatcher shard that served it
+  std::uint32_t filter_evaluations = 0;  ///< filter checks for this message
+  std::uint32_t copies = 0;              ///< subscriber copies delivered
+  char destination[44] = {};             ///< topic/queue name (truncated)
+  std::int64_t published_ns = 0;         ///< producer entered publish()
+  std::int64_t admitted_ns = 0;          ///< ingress queue accepted it
+  std::int64_t pickup_ns = 0;            ///< dispatcher popped it
+  std::int64_t filters_done_ns = 0;      ///< filter loop finished
+  std::int64_t done_ns = 0;              ///< last delivery finished
+
+  void set_destination(const std::string& name) {
+    const std::size_t n = std::min(name.size(), sizeof(destination) - 1);
+    std::memcpy(destination, name.data(), n);
+    destination[n] = '\0';
+  }
+
+  /// Push-back blocking before the ingress queue accepted the message.
+  [[nodiscard]] double pushback_seconds() const {
+    return 1e-9 * static_cast<double>(admitted_ns - published_ns);
+  }
+  /// Ingress-queue waiting time (the paper's W for this message).
+  [[nodiscard]] double wait_seconds() const {
+    return 1e-9 * static_cast<double>(pickup_ns - admitted_ns);
+  }
+  /// Filter-loop span.
+  [[nodiscard]] double filter_seconds() const {
+    return 1e-9 * static_cast<double>(filters_done_ns - pickup_ns);
+  }
+  /// Per-subscriber delivery span.
+  [[nodiscard]] double delivery_seconds() const {
+    return 1e-9 * static_cast<double>(done_ns - filters_done_ns);
+  }
+  /// publish() -> last delivery.
+  [[nodiscard]] double total_seconds() const {
+    return 1e-9 * static_cast<double>(done_ns - published_ns);
+  }
+};
+static_assert(std::is_trivially_copyable_v<TraceRecord>);
+
+class TraceRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit TraceRing(std::size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  /// Nanoseconds since the ring's epoch for a steady_clock time point.
+  [[nodiscard]] std::int64_t since_epoch_ns(
+      std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_).count();
+  }
+
+  /// Lock-free publish; returns false (and counts the drop) when the
+  /// claimed slot is still being written by a lapped writer.
+  bool push(const TraceRecord& record) noexcept;
+
+  /// Consistent copies of the retained records, oldest first.  Skips
+  /// slots that are mid-write; never blocks writers.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  /// Total records accepted / dropped so far.
+  [[nodiscard]] std::uint64_t pushed() const {
+    return head_.load(std::memory_order_relaxed) -
+           dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kWords = (sizeof(TraceRecord) + 7) / 8;
+
+  struct Slot {
+    // seq = 0: virgin; odd = write in progress; even 2t+2: record of
+    // ticket t is published.
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, kWords> words{};
+  };
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Human-readable multi-line dump of trace records (one span breakdown
+/// per line, microsecond units).
+[[nodiscard]] std::string format_traces_text(const std::vector<TraceRecord>& records);
+
+/// JSON array of trace records (ns offsets, span breakdown in seconds).
+[[nodiscard]] std::string traces_to_json(const std::vector<TraceRecord>& records);
+
+}  // namespace jmsperf::obs

@@ -1,0 +1,61 @@
+// Paced Poisson load against the REAL broker (not the simulated server):
+// calibrate the saturated service rate first, then offer lambda =
+// target_utilization / E[B]_sat with exponential inter-arrival times and
+// hand the resulting telemetry (waiting-time histogram, measured service
+// moments) to obs::ModelComparisonReport for the live model-vs-measured
+// check (paper Sec. IV-B on this host).
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost_model.hpp"
+#include "jms/broker.hpp"
+#include "obs/telemetry.hpp"
+#include "stats/moments.hpp"
+
+namespace jmsperf::testbed {
+
+struct LiveLoadConfig {
+  /// Target utilization rho of the single dispatcher.
+  double target_utilization = 0.9;
+  /// Filter population (Sec. III-B.2a): `non_matching` never-matching
+  /// filters plus `replication` match-all filters.
+  std::uint32_t non_matching = 32;
+  std::uint32_t replication = 1;
+  core::FilterClass filter_class = core::FilterClass::CorrelationId;
+  /// Saturated messages published (and discarded from the histogram)
+  /// before calibration starts, to warm caches and branch predictors.
+  int warmup_messages = 2000;
+  /// Saturated messages used to calibrate E[B] before the paced run.
+  int calibration_messages = 20000;
+  /// Paced messages in the measured run.
+  int messages = 50000;
+  std::uint64_t seed = 42;
+  /// Forwarded to the measurement broker (0 = tracing off).
+  double trace_sample_rate = 0.0;
+};
+
+struct LiveLoadResult {
+  /// Saturated per-message service time from the calibration phase (s).
+  double calibrated_service_mean = 0.0;
+  /// Arrival rate the pacer aimed for: target_utilization / E[B]_sat.
+  double offered_lambda = 0.0;
+  /// Messages / wall-clock span actually achieved by the pacer.
+  double achieved_lambda = 0.0;
+  /// achieved_lambda * measured mean service time — the utilization the
+  /// dispatcher actually saw (use to gate flaky-host runs).
+  double measured_utilization = 0.0;
+  /// First three raw moments of the measured per-message service time
+  /// (from the service-time histogram; feeds queueing::MG1Waiting).
+  stats::RawMoments service_moments;
+  /// Full telemetry of the measurement broker after the run.
+  obs::TelemetrySnapshot telemetry;
+  jms::BrokerStats stats;
+};
+
+/// Runs calibration + paced measurement on fresh brokers.  The returned
+/// telemetry contains ONLY the paced phase (the calibration phase uses a
+/// separate broker instance).
+LiveLoadResult run_live_load(const LiveLoadConfig& config);
+
+}  // namespace jmsperf::testbed

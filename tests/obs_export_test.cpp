@@ -1,0 +1,144 @@
+// Exporter tests: Prometheus text and JSON rendering of a live broker's
+// telemetry snapshot, plus trace sampling end-to-end through the broker.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "jms/broker.hpp"
+#include "obs/exporters.hpp"
+#include "workload/filter_population.hpp"
+
+namespace jmsperf::obs {
+namespace {
+
+jms::BrokerConfig traced_config() {
+  jms::BrokerConfig config;
+  config.trace_sample_rate = 1.0;  // trace everything
+  config.trace_ring_capacity = 64;
+  config.filter_timing_every = 1;
+  return config;
+}
+
+TEST(Exporters, PrometheusTextContainsCountersGaugesAndHistograms) {
+  jms::Broker broker(traced_config());
+  broker.create_topic("t");
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 4, 2);
+  for (int i = 0; i < 100; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+  broker.wait_until_idle();
+
+  const std::string text = prometheus_text(broker.telemetry_snapshot());
+  EXPECT_NE(text.find("# TYPE jmsperf_published_total counter"), std::string::npos);
+  EXPECT_NE(text.find("jmsperf_published_total 100"), std::string::npos);
+  EXPECT_NE(text.find("jmsperf_received_total 100"), std::string::npos);
+  EXPECT_NE(text.find("jmsperf_dispatched_total 200"), std::string::npos);
+  EXPECT_NE(text.find("jmsperf_filter_evaluations_total 600"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE jmsperf_ingress_backlog gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE jmsperf_ingress_wait_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("jmsperf_ingress_wait_seconds_count 100"), std::string::npos);
+  EXPECT_NE(text.find("jmsperf_service_time_seconds_count 100"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  // k = 1: no per-shard series (they would duplicate the totals).
+  EXPECT_EQ(text.find("{shard="), std::string::npos);
+}
+
+TEST(Exporters, PrometheusEmitsPerShardSeriesForMultipleShards) {
+  jms::BrokerConfig config;
+  config.num_dispatchers = 2;
+  config.auto_create_topics = true;
+  jms::Broker broker(config);
+  auto sub_a = broker.subscribe("a", jms::SubscriptionFilter::none());
+  for (int i = 0; i < 10; ++i) {
+    jms::Message m;
+    m.set_destination("a");
+    broker.publish(std::move(m));
+  }
+  broker.wait_until_idle();
+  const std::string text = prometheus_text(broker.telemetry_snapshot());
+  EXPECT_NE(text.find("jmsperf_published_total{shard=\"0\"}"), std::string::npos);
+  EXPECT_NE(text.find("jmsperf_published_total{shard=\"1\"}"), std::string::npos);
+}
+
+TEST(Exporters, JsonSnapshotRoundTripsTheCounters) {
+  jms::Broker broker(traced_config());
+  broker.create_topic("t");
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 4, 1);
+  for (int i = 0; i < 50; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+  broker.wait_until_idle();
+
+  const std::string json = to_json(broker.telemetry_snapshot());
+  EXPECT_NE(json.find("\"published\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"received\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"dispatched\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ingress_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"traces\""), std::string::npos);
+  // Balanced braces (cheap well-formedness check without a JSON parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Tracing, SampledTracesCoverTheLifecycle) {
+  jms::Broker broker(traced_config());
+  broker.create_topic("t");
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 8, 2);
+  for (int i = 0; i < 30; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+  broker.wait_until_idle();
+
+  const auto records = broker.trace_records();
+  ASSERT_FALSE(records.empty());
+  EXPECT_LE(records.size(), 64u);
+  for (const auto& r : records) {
+    EXPECT_STREQ(r.destination, "t");
+    EXPECT_EQ(r.shard, 0u);
+    EXPECT_EQ(r.filter_evaluations, 10u);  // 8 non-matching + 2 matching
+    EXPECT_EQ(r.copies, 2u);
+    // Lifecycle timestamps are monotone.
+    EXPECT_LE(r.published_ns, r.admitted_ns);
+    EXPECT_LE(r.admitted_ns, r.pickup_ns);
+    EXPECT_LE(r.pickup_ns, r.filters_done_ns);
+    EXPECT_LE(r.filters_done_ns, r.done_ns);
+  }
+  const auto snapshot = broker.telemetry_snapshot();
+  EXPECT_EQ(snapshot.totals[Counter::TracesSampled], 30u);
+  // filter_timing_every = 1: every received message timed all 10 filters.
+  EXPECT_EQ(snapshot.filter_eval.total, 300u);
+}
+
+TEST(Tracing, RateZeroProducesNoTraces) {
+  jms::BrokerConfig config;
+  config.auto_create_topics = true;
+  jms::Broker broker(config);
+  auto sub = broker.subscribe("t", jms::SubscriptionFilter::none());
+  for (int i = 0; i < 20; ++i) {
+    jms::Message m;
+    m.set_destination("t");
+    broker.publish(std::move(m));
+  }
+  broker.wait_until_idle();
+  EXPECT_TRUE(broker.trace_records().empty());
+  const auto snapshot = broker.telemetry_snapshot();
+  EXPECT_EQ(snapshot.totals[Counter::TracesSampled], 0u);
+  EXPECT_EQ(snapshot.traces_pushed, 0u);
+}
+
+TEST(Tracing, InvalidSampleRateThrows) {
+  jms::BrokerConfig config;
+  config.trace_sample_rate = 1.5;
+  EXPECT_THROW(jms::Broker broker(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jmsperf::obs

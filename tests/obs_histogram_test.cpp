@@ -1,0 +1,181 @@
+// Latency-histogram unit tests: exact bucket-boundary behaviour, merge
+// associativity, quantile agreement with the exact sample quantile, and a
+// concurrent-record stress (labelled obs + concurrency for the tsan run).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/latency_histogram.hpp"
+#include "stats/quantile.hpp"
+#include "stats/rng.hpp"
+
+namespace jmsperf::obs {
+namespace {
+
+using H = LatencyHistogram;
+
+TEST(LatencyHistogramLayout, FirstSixtyFourBucketsAreExact) {
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(H::bucket_index(v), v);
+    EXPECT_EQ(H::bucket_lower(v), v);
+    EXPECT_EQ(H::bucket_upper(v), v + 1);
+  }
+}
+
+TEST(LatencyHistogramLayout, BucketEdgesAreExactAndContiguous) {
+  // Every value maps into a bucket whose [lower, upper) range contains it,
+  // and consecutive buckets tile the axis with no gaps or overlaps.
+  for (std::size_t i = 0; i + 1 < H::kBucketCount; ++i) {
+    EXPECT_EQ(H::bucket_upper(i), H::bucket_lower(i + 1)) << "bucket " << i;
+    EXPECT_EQ(H::bucket_index(H::bucket_lower(i)), i) << "bucket " << i;
+    EXPECT_EQ(H::bucket_index(H::bucket_upper(i) - 1), i) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogramLayout, OctaveBoundariesLandInFreshBuckets) {
+  // Powers of two start a new octave: 64 -> index 64, 128 -> 96, ...
+  EXPECT_EQ(H::bucket_index(63), 63u);
+  EXPECT_EQ(H::bucket_index(64), 64u);
+  EXPECT_EQ(H::bucket_index(127), 95u);
+  EXPECT_EQ(H::bucket_index(128), 96u);
+  EXPECT_EQ(H::bucket_index(255), 127u);
+  EXPECT_EQ(H::bucket_index(256), 128u);
+}
+
+TEST(LatencyHistogramLayout, RelativeBucketWidthBounded) {
+  // Above the exact range the relative width of any bucket is <= 1/32.
+  stats::RandomStream rng(7);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const auto v = static_cast<std::uint64_t>(
+        std::exp(rng.uniform(std::log(64.0), std::log(1e12))));
+    const std::size_t i = H::bucket_index(v);
+    const double width = static_cast<double>(H::bucket_upper(i) - H::bucket_lower(i));
+    EXPECT_LE(width / static_cast<double>(H::bucket_lower(i)), 1.0 / 32.0 + 1e-12)
+        << "value " << v;
+  }
+}
+
+TEST(LatencyHistogramLayout, HugeValuesClampIntoLastBucket) {
+  EXPECT_EQ(H::bucket_index(~0ull), H::kBucketCount - 1);
+  LatencyHistogram h;
+  h.record(~0ull);
+  EXPECT_EQ(h.snapshot().total, 1u);
+}
+
+TEST(LatencyHistogramMerge, MergeIsExactlyAssociative) {
+  stats::RandomStream rng(11);
+  LatencyHistogram a, b, c;
+  for (int i = 0; i < 5000; ++i) {
+    a.record(static_cast<std::uint64_t>(rng.exponential(1e-4)));
+    b.record(static_cast<std::uint64_t>(rng.exponential(1e-6)));
+    c.record(static_cast<std::uint64_t>(rng.uniform(0.0, 1e7)));
+  }
+  // (a + b) + c == a + (b + c), element-wise exact.
+  HistogramSnapshot left = a.snapshot();
+  left.merge(b.snapshot());
+  left.merge(c.snapshot());
+  HistogramSnapshot bc = b.snapshot();
+  bc.merge(c.snapshot());
+  HistogramSnapshot right = a.snapshot();
+  right.merge(bc);
+  EXPECT_EQ(left.total, right.total);
+  EXPECT_EQ(left.sum_ns, right.sum_ns);
+  EXPECT_EQ(left.counts, right.counts);
+  EXPECT_DOUBLE_EQ(left.quantile_ns(0.99), right.quantile_ns(0.99));
+}
+
+TEST(LatencyHistogramMerge, MergingEmptyIsIdentity) {
+  LatencyHistogram h;
+  h.record(1000);
+  HistogramSnapshot s = h.snapshot();
+  s.merge(HistogramSnapshot{});
+  EXPECT_EQ(s.total, 1u);
+  HistogramSnapshot empty;
+  empty.merge(h.snapshot());
+  EXPECT_EQ(empty.total, 1u);
+  EXPECT_EQ(empty.sum_ns, 1000u);
+}
+
+TEST(LatencyHistogramQuantile, AgreesWithExactSampleQuantileWithinBucketWidth) {
+  stats::RandomStream rng(23);
+  LatencyHistogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 40000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.exponential(1.0 / 50000.0));
+    h.record(v);
+    values.push_back(static_cast<double>(v));
+  }
+  const HistogramSnapshot s = h.snapshot();
+  for (const double p : {0.5, 0.9, 0.99, 0.9999}) {
+    const double exact = stats::sample_quantile(values, p);
+    const double approx = s.quantile_ns(p);
+    // The histogram quantile is exact up to one bucket (~3.1% relative
+    // width) plus sampling granularity at the extreme tail.
+    EXPECT_NEAR(approx, exact, std::max(2.0, 0.05 * exact))
+        << "p = " << p;
+  }
+}
+
+TEST(LatencyHistogramQuantile, EmptyAndDegenerateCases) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.quantile_ns(0.99), 0.0);
+  EXPECT_EQ(empty.mean_ns(), 0.0);
+  EXPECT_EQ(empty.max_ns(), 0u);
+
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(42);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.min_ns(), 42u);
+  EXPECT_EQ(s.max_ns(), 43u);  // exclusive upper edge of the exact bucket
+  EXPECT_DOUBLE_EQ(s.mean_ns(), 42.0);
+  EXPECT_NEAR(s.quantile_ns(0.5), 42.5, 0.51);
+}
+
+TEST(LatencyHistogramMoments, MatchExactMomentsWithinBucketResolution) {
+  stats::RandomStream rng(31);
+  LatencyHistogram h;
+  double m1 = 0.0, m2 = 0.0, m3 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.exponential(1e-5));
+    h.record(v);
+    const double s = 1e-9 * static_cast<double>(v);
+    m1 += s;
+    m2 += s * s;
+    m3 += s * s * s;
+  }
+  m1 /= n;
+  m2 /= n;
+  m3 /= n;
+  const auto moments = h.snapshot().raw_moments_seconds();
+  EXPECT_NEAR(moments.m1, m1, 1e-12 + 0.001 * m1);  // m1 exact from sum_ns
+  EXPECT_NEAR(moments.m2, m2, 0.07 * m2);           // midpoint approximation
+  EXPECT_NEAR(moments.m3, m3, 0.12 * m3);
+}
+
+TEST(LatencyHistogramConcurrent, ParallelRecordersLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      stats::RandomStream rng(100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(rng.exponential(1e-4)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (const auto c : s.counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, s.total);
+}
+
+}  // namespace
+}  // namespace jmsperf::obs
