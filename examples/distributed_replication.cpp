@@ -2,13 +2,23 @@
 //
 // For a set of deployment shapes (publishers n x subscribers m) the tool
 // prints both architectures' system capacities, the crossover point of
-// Eq. (23), the interconnect traffic, and a recommendation.
+// Eq. (23), the interconnect traffic, and a recommendation.  Ends with a
+// LIVE section: small PSR and SSR clusters of real brokers are saturated
+// and obs::ClusterTelemetry's merged-telemetry capacity report is held
+// against the analytic Eq. 21-23 prediction (pass --no-live to skip).
 //
 // Build & run:  ./build/examples/distributed_replication
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/distributed.hpp"
+#include "jms/broker.hpp"
+#include "obs/cluster_telemetry.hpp"
+#include "testbed/calibration.hpp"
+#include "workload/filter_population.hpp"
 
 using namespace jmsperf;
 
@@ -43,9 +53,102 @@ void advise(std::uint64_t n, std::uint64_t m) {
               core::ssr_network_traffic(s, lambda));
 }
 
+// One saturated real broker: `filters` installed filters of which
+// `replication` match, telemetry left populated for cluster merging.
+struct SaturatedNode {
+  std::unique_ptr<jms::Broker> broker;
+  std::vector<std::shared_ptr<jms::Subscription>> subs;
+};
+
+SaturatedNode saturated_node(std::uint32_t filters, std::uint32_t replication,
+                             int messages) {
+  SaturatedNode node;
+  jms::BrokerConfig config;
+  config.subscription_queue_capacity = 1 << 17;
+  config.drop_on_subscriber_overflow = true;
+  node.broker = std::make_unique<jms::Broker>(config);
+  node.broker->create_topic("t");
+  node.subs = workload::install_measurement_population(
+      *node.broker, "t", core::FilterClass::CorrelationId,
+      filters - replication, replication);
+  for (int i = 0; i < messages; ++i) {
+    node.broker->publish(workload::make_keyed_message("t", 0));
+  }
+  node.broker->wait_until_idle();
+  return node;
+}
+
+// Stands up small live PSR (n brokers, all filters each) and SSR
+// (m brokers, own filters each) clusters, merges their telemetry with
+// obs::ClusterTelemetry, and prints the measured-vs-Eq. 21-23 report.
+void live_cluster_capacity() {
+  constexpr std::uint64_t kPublishers = 3;
+  constexpr std::uint64_t kSubscribers = 2;
+  constexpr std::uint32_t kFiltersPerSubscriber = 8;
+  constexpr int kMessages = 5000;
+
+  std::printf("\nlive cluster check: PSR (n=%llu) vs SSR (m=%llu), "
+              "%u filters/subscriber\n",
+              static_cast<unsigned long long>(kPublishers),
+              static_cast<unsigned long long>(kSubscribers),
+              kFiltersPerSubscriber);
+  std::printf("----------------------------------------------------------\n");
+
+  // Calibrate this host's cost model from a small saturated grid, so
+  // the analytic side predicts THIS machine, not the paper's 2005 box.
+  testbed::CalibrationFitter fitter;
+  for (const std::uint32_t n_fltr : {8u, 32u}) {
+    for (const std::uint32_t replication : {1u, 4u}) {
+      const SaturatedNode node =
+          saturated_node(n_fltr + replication, replication, kMessages);
+      const double mean =
+          node.broker->telemetry_snapshot().service_time.mean_seconds();
+      if (mean <= 0.0) {
+        std::printf("calibration run produced no samples; skipping\n");
+        return;
+      }
+      fitter.add(n_fltr + replication, replication, 1.0 / mean);
+    }
+  }
+  core::DistributedScenario scenario;
+  scenario.cost = fitter.fit().cost;
+  scenario.publishers = kPublishers;
+  scenario.subscribers = kSubscribers;
+  scenario.filters_per_subscriber = kFiltersPerSubscriber;
+  scenario.mean_replication = 1.0;
+  scenario.rho = 0.9;
+
+  obs::ClusterTelemetry psr_cluster;
+  std::vector<SaturatedNode> psr_nodes;
+  for (std::uint64_t i = 0; i < kPublishers; ++i) {
+    psr_nodes.push_back(saturated_node(
+        static_cast<std::uint32_t>(kSubscribers) * kFiltersPerSubscriber, 1,
+        kMessages));
+    psr_cluster.add_node("psr-" + std::to_string(i),
+                         psr_nodes.back().broker->telemetry());
+  }
+  obs::ClusterTelemetry ssr_cluster;
+  std::vector<SaturatedNode> ssr_nodes;
+  for (std::uint64_t i = 0; i < kSubscribers; ++i) {
+    ssr_nodes.push_back(saturated_node(kFiltersPerSubscriber, 1, kMessages));
+    ssr_cluster.add_node("ssr-" + std::to_string(i),
+                         ssr_nodes.back().broker->telemetry());
+  }
+
+  const auto psr = psr_cluster.capacity_report(
+      core::ArchitectureChoice::PublisherSideReplication, scenario);
+  const auto ssr = ssr_cluster.capacity_report(
+      core::ArchitectureChoice::SubscriberSideReplication, scenario);
+  std::printf("%s%s", psr.to_text().c_str(), ssr.to_text().c_str());
+  std::printf("live ranking: %s wins (measured %.0f vs %.0f msgs/s)\n",
+              psr.measured_system_capacity > ssr.measured_system_capacity
+                  ? "PSR" : "SSR",
+              psr.measured_system_capacity, ssr.measured_system_capacity);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("PSR vs SSR capacity advisor (E[R]=1, 10 corr-ID filters per "
               "subscriber, rho=0.9)\n");
   std::printf("--------------------------------------------------------------"
@@ -59,5 +162,8 @@ int main() {
   std::printf("\ntakeaway (paper Sec. IV-C): PSR scales with publishers but "
               "chokes on many subscribers;\nSSR scales with subscribers but "
               "not with publishers — neither solves general scalability.\n");
+
+  const bool skip_live = argc > 1 && std::strcmp(argv[1], "--no-live") == 0;
+  if (!skip_live) live_cluster_capacity();
   return 0;
 }

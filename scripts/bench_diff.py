@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Compare freshly produced bench JSON against the committed baselines.
+
+Every harness in bench/ ends with harness::write_json("<name>"), which
+drops BENCH_<name>.json (schema: name, sections[].{artifact, what,
+columns, rows, notes, claims[].{claim, holds}}) into
+$JMSPERF_BENCH_JSON_DIR.  This script diffs a directory of such files
+against bench/baselines/ and reports, per harness:
+
+  * structural drift  — sections, columns, or row counts changed
+                        (the harness was edited; refresh the baseline),
+  * numeric drift     — a cell moved beyond the tolerance band
+                        |cur - base| > atol + rtol * |base|,
+  * claim flips       — a paper claim that held in the baseline no
+                        longer holds (the serious one), or vice versa.
+
+Exit status is 0 unless --strict is given, in which case any regression
+(numeric drift, claim flip to false, or a baseline with no current run)
+exits 1.  The default mode is a report stage: visibility, not a gate —
+the committed baselines cover the analytic harnesses, whose output is
+deterministic, so even tiny drift there means the model changed.
+
+Refresh workflow (after an intentional model change):
+    cmake --build build -j --target <harnesses>
+    JMSPERF_BENCH_JSON_DIR=bench/baselines ./build/bench/<harness> ...
+    git add bench/baselines && git commit
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def load_documents(directory):
+    """Map harness name -> parsed BENCH_<name>.json document."""
+    documents = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping unreadable {path}: {err}", file=sys.stderr)
+            continue
+        name = doc.get("name") or path.stem[len("BENCH_"):]
+        documents[name] = doc
+    return documents
+
+
+def cell_drifts(base, current, rtol, atol):
+    """True when `current` sits outside the tolerance band around `base`."""
+    if base == current:  # covers equal infinities and exact zeros
+        return False
+    if math.isnan(base) and math.isnan(current):
+        return False
+    if not (math.isfinite(base) and math.isfinite(current)):
+        return True
+    return abs(current - base) > atol + rtol * abs(base)
+
+
+class HarnessDiff:
+    def __init__(self, name):
+        self.name = name
+        self.structural = []      # human-readable structural mismatches
+        self.drifted_cells = []   # (section, row, column, base, current)
+        self.cells_compared = 0
+        self.claims_broken = []   # held in baseline, fails now
+        self.claims_fixed = []    # failed in baseline, holds now
+
+    @property
+    def regressed(self):
+        return bool(self.structural or self.drifted_cells or self.claims_broken)
+
+
+def diff_documents(name, base_doc, cur_doc, rtol, atol):
+    diff = HarnessDiff(name)
+    base_sections = base_doc.get("sections", [])
+    cur_sections = cur_doc.get("sections", [])
+    if len(base_sections) != len(cur_sections):
+        diff.structural.append(
+            f"section count {len(base_sections)} -> {len(cur_sections)}")
+        return diff
+
+    for base_sec, cur_sec in zip(base_sections, cur_sections):
+        label = base_sec.get("artifact", "?")
+        if base_sec.get("artifact") != cur_sec.get("artifact"):
+            diff.structural.append(
+                f"artifact '{label}' -> '{cur_sec.get('artifact', '?')}'")
+            continue
+        if base_sec.get("columns") != cur_sec.get("columns"):
+            diff.structural.append(f"[{label}] column set changed")
+            continue
+        base_rows = base_sec.get("rows", [])
+        cur_rows = cur_sec.get("rows", [])
+        if len(base_rows) != len(cur_rows):
+            diff.structural.append(
+                f"[{label}] row count {len(base_rows)} -> {len(cur_rows)}")
+            continue
+        columns = base_sec.get("columns", [])
+        for r, (base_row, cur_row) in enumerate(zip(base_rows, cur_rows)):
+            if len(base_row) != len(cur_row):
+                diff.structural.append(f"[{label}] row {r} width changed")
+                continue
+            for c, (b, v) in enumerate(zip(base_row, cur_row)):
+                diff.cells_compared += 1
+                if cell_drifts(b, v, rtol, atol):
+                    column = columns[c] if c < len(columns) else f"col{c}"
+                    diff.drifted_cells.append((label, r, column, b, v))
+
+        base_claims = {c.get("claim"): bool(c.get("holds"))
+                       for c in base_sec.get("claims", [])}
+        for claim in cur_sec.get("claims", []):
+            text, holds = claim.get("claim"), bool(claim.get("holds"))
+            if text not in base_claims:
+                continue  # new claim: nothing to regress against
+            if base_claims[text] and not holds:
+                diff.claims_broken.append((label, text))
+            elif not base_claims[text] and holds:
+                diff.claims_fixed.append((label, text))
+    return diff
+
+
+def print_report(diffs, missing_current, extra_current, rtol, atol):
+    print(f"bench diff: tolerance |cur-base| <= {atol:g} + {rtol:g}*|base|")
+    for diff in diffs:
+        if not diff.regressed and not diff.claims_fixed:
+            print(f"  OK    {diff.name}: {diff.cells_compared} cells within "
+                  "tolerance, all claims as committed")
+            continue
+        status = "DRIFT" if diff.regressed else "note "
+        print(f"  {status} {diff.name}:")
+        for message in diff.structural:
+            print(f"          structure: {message}")
+        for label, r, column, base, cur in diff.drifted_cells[:8]:
+            rel = abs(cur - base) / abs(base) if base else math.inf
+            print(f"          [{label}] row {r} {column}: "
+                  f"{base:.6g} -> {cur:.6g} (rel {rel:.2%})")
+        if len(diff.drifted_cells) > 8:
+            print(f"          ... and {len(diff.drifted_cells) - 8} "
+                  "more drifted cells")
+        for label, text in diff.claims_broken:
+            print(f"          CLAIM BROKEN [{label}]: {text}")
+        for label, text in diff.claims_fixed:
+            print(f"          claim now holds [{label}]: {text}")
+    for name in missing_current:
+        print(f"  MISS  {name}: baseline committed but no current run found")
+    for name in extra_current:
+        print(f"  new   {name}: no baseline committed (not compared)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=__doc__[__doc__.index("\n"):])
+    parser.add_argument("--baselines", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "bench" / "baselines",
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="directory holding the fresh BENCH_*.json runs")
+    parser.add_argument("--rtol", type=float, default=1e-6,
+                        help="relative tolerance per cell (default 1e-6: the "
+                        "baselined harnesses are analytic and deterministic)")
+    parser.add_argument("--atol", type=float, default=1e-12,
+                        help="absolute tolerance per cell")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any regression or missing run")
+    args = parser.parse_args()
+
+    if not args.baselines.is_dir():
+        print(f"error: baseline directory {args.baselines} does not exist",
+              file=sys.stderr)
+        return 2
+    if not args.current.is_dir():
+        print(f"error: current directory {args.current} does not exist",
+              file=sys.stderr)
+        return 2
+
+    baselines = load_documents(args.baselines)
+    current = load_documents(args.current)
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines under {args.baselines}",
+              file=sys.stderr)
+        return 2
+
+    shared = sorted(set(baselines) & set(current))
+    missing = sorted(set(baselines) - set(current))
+    extra = sorted(set(current) - set(baselines))
+    diffs = [diff_documents(name, baselines[name], current[name],
+                            args.rtol, args.atol) for name in shared]
+    print_report(diffs, missing, extra, args.rtol, args.atol)
+
+    regressed = any(d.regressed for d in diffs) or bool(missing)
+    if regressed:
+        print("result: REGRESSION" + ("" if args.strict else " (non-strict: exit 0)"))
+    else:
+        print(f"result: {len(shared)} harnesses clean")
+    return 1 if args.strict and regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

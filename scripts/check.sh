@@ -3,8 +3,10 @@
 # concurrency-labeled tests (sharded broker, blocking queue, telemetry)
 # under ThreadSanitizer, the selector-labeled tests (compiled program
 # engine + differential fuzz) under ASan+UBSan, the obs-labeled
-# telemetry tests, and the telemetry write-path overhead gate
-# (micro_obs vs its JMSPERF_OBS_STRIPPED baseline).
+# telemetry tests, the telemetry write-path overhead gate (micro_obs vs
+# its JMSPERF_OBS_STRIPPED baseline), the monitor-labeled live
+# alerting scenarios, and a non-fatal bench-regression report (analytic
+# harnesses vs bench/baselines).
 # Usage: scripts/check.sh [jobs]
 #   OBS_OVERHEAD_BUDGET  allowed fractional overhead for stage 5
 #                        (default 0.05; the true cost is ~3%, the rest
@@ -14,25 +16,25 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/5] Release build + tier-1 tests =="
+echo "== [1/7] Release build + tier-1 tests =="
 cmake --preset release > /dev/null
 cmake --build --preset release -j "$JOBS"
 ctest --preset release -j "$JOBS"
 
-echo "== [2/5] ThreadSanitizer build + concurrency tests =="
+echo "== [2/7] ThreadSanitizer build + concurrency tests =="
 cmake --preset tsan > /dev/null
 cmake --build --preset tsan -j "$JOBS"
 ctest --preset tsan -j "$JOBS"
 
-echo "== [3/5] ASan+UBSan build + selector tests =="
+echo "== [3/7] ASan+UBSan build + selector tests =="
 cmake --preset asan > /dev/null
 cmake --build --preset asan -j "$JOBS"
 ctest --preset asan -j "$JOBS"
 
-echo "== [4/5] Observability tests (Release) =="
+echo "== [4/7] Observability tests (Release) =="
 ctest --preset obs -j "$JOBS"
 
-echo "== [5/5] Telemetry overhead gate (metrics on, tracing off) =="
+echo "== [5/7] Telemetry overhead gate (metrics on, tracing off) =="
 cmake --build --preset release -j "$JOBS" --target micro_obs micro_obs_baseline
 BUDGET="${OBS_OVERHEAD_BUDGET:-0.05}"
 # Best of three runs per binary: each --gate run is itself best-of-trials,
@@ -56,5 +58,29 @@ awk -v inst="$INSTRUMENTED" -v base="$STRIPPED" -v budget="$BUDGET" 'BEGIN {
   printf "overhead ratio: %.3f (budget %.3f)\n", ratio, 1.0 + budget;
   exit !(ratio <= 1.0 + budget);
 }'
+
+echo "== [6/7] Monitor-labeled live alerting scenarios (Release) =="
+# Serial on purpose: the scenarios pace real load and skip themselves
+# when a contended host pushes rho off target, so parallelism here
+# only converts signal into skips.
+ctest --preset monitor
+
+echo "== [7/7] Bench-regression report vs bench/baselines (non-fatal) =="
+# Only the deterministic analytic harnesses are baselined; timing
+# harnesses (fig4/fig5, micro_*, table1_live_broker, ...) are excluded.
+BASELINED_HARNESSES=()
+for f in bench/baselines/BENCH_*.json; do
+  h="$(basename "$f")"; h="${h#BENCH_}"; h="${h%.json}"
+  BASELINED_HARNESSES+=("$h")
+done
+cmake --build --preset release -j "$JOBS" --target "${BASELINED_HARNESSES[@]}"
+BENCH_OUT="$(mktemp -d)"
+trap 'rm -rf "$BENCH_OUT"' EXIT
+for h in "${BASELINED_HARNESSES[@]}"; do
+  JMSPERF_BENCH_JSON_DIR="$BENCH_OUT" "./build/bench/$h" > /dev/null
+done
+# Report stage, not a gate: pass --strict (and a refreshed baseline
+# workflow, see scripts/bench_diff.py --help) to make drift fatal.
+python3 scripts/bench_diff.py --current "$BENCH_OUT" || true
 
 echo "== all checks passed =="

@@ -53,10 +53,14 @@ Broker::Broker(BrokerConfig config)
       telemetry_(std::max<std::uint32_t>(1, config.num_dispatchers),
                  obs::TelemetryConfig{config.trace_sample_rate,
                                       config.trace_ring_capacity,
-                                      config.filter_timing_every}) {
+                                      config.filter_timing_every}),
+      window_(config.telemetry_window_capacity) {
   if (config_.num_dispatchers == 0) {
     throw std::invalid_argument("BrokerConfig: num_dispatchers must be >= 1");
   }
+  // Anchor the window at broker start so the first rotation measures the
+  // first real epoch instead of [epoch start of the process, now).
+  window_.prime(telemetry_.snapshot(), Clock::now());
   shards_.reserve(config_.num_dispatchers);
   for (std::uint32_t i = 0; i < config_.num_dispatchers; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, config_.ingress_capacity));
@@ -663,6 +667,49 @@ ShardStats Broker::shard_stats(std::size_t i) const {
   s.ingress_wait_ns = snapshot[Counter::IngressWaitNs];
   s.ingress_backlog = shards_[i]->ingress.size();
   return s;
+}
+
+void Broker::rotate_window() {
+  window_.rotate(telemetry_.snapshot(), Clock::now());
+}
+
+RecentBrokerStats Broker::recent_stats(std::size_t epochs) const {
+  const obs::WindowView view = window_.view(epochs);
+  RecentBrokerStats r;
+  r.epochs = view.epochs;
+  r.window_seconds = view.seconds;
+  r.published = view.counters[Counter::Published];
+  r.received = view.counters[Counter::Received];
+  r.dispatched = view.counters[Counter::Dispatched];
+  r.publish_rate_per_s = view.rate(Counter::Published);
+  r.receive_rate_per_s = view.rate(Counter::Received);
+  r.dispatch_rate_per_s = view.rate(Counter::Dispatched);
+  r.mean_wait_seconds = view.ingress_wait.mean_seconds();
+  r.p50_wait_seconds = view.ingress_wait.quantile_seconds(0.50);
+  r.p99_wait_seconds = view.ingress_wait.quantile_seconds(0.99);
+  r.mean_service_seconds = view.service_time.mean_seconds();
+  // Live Eq. 2: rho-hat = lambda-hat * E-hat[B] over the same window.
+  r.utilization = r.publish_rate_per_s * r.mean_service_seconds;
+  return r;
+}
+
+obs::TelemetrySnapshot Broker::telemetry_snapshot() const {
+  obs::TelemetrySnapshot snapshot = telemetry_.snapshot();
+  if (window_.epoch_count() > 0) {
+    const RecentBrokerStats r = recent_stats();
+    snapshot.recent = {
+        {"recent_window_seconds", r.window_seconds},
+        {"recent_publish_rate_per_s", r.publish_rate_per_s},
+        {"recent_receive_rate_per_s", r.receive_rate_per_s},
+        {"recent_dispatch_rate_per_s", r.dispatch_rate_per_s},
+        {"recent_mean_wait_seconds", r.mean_wait_seconds},
+        {"recent_p50_wait_seconds", r.p50_wait_seconds},
+        {"recent_p99_wait_seconds", r.p99_wait_seconds},
+        {"recent_mean_service_seconds", r.mean_service_seconds},
+        {"recent_utilization", r.utilization},
+    };
+  }
+  return snapshot;
 }
 
 void Broker::wait_until_idle() const {

@@ -55,6 +55,7 @@
 #include "jms/topic_pattern.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "obs/windowed.hpp"
 
 namespace jmsperf::jms {
 
@@ -106,6 +107,12 @@ struct BrokerConfig {
   /// Time individual filter evaluations for every N-th received message
   /// per shard (feeds the filter-eval latency histogram); 0 = never.
   std::uint32_t filter_timing_every = 0;
+  /// Epochs retained by the rolling telemetry window (obs/windowed.hpp).
+  /// Each `rotate_window()` (or obs::Monitor tick) closes one epoch;
+  /// `recent_stats()` aggregates over the retained ring.  Rotation is a
+  /// cold-path snapshot diff — the publish/dispatch hot path is untouched
+  /// whatever the value.
+  std::size_t telemetry_window_capacity = 8;
 };
 
 /// Monotonic counters describing broker activity (paper terminology:
@@ -136,6 +143,27 @@ struct BrokerStats {
                          : 1e-9 * static_cast<double>(ingress_wait_ns) /
                                static_cast<double>(received);
   }
+};
+
+/// Rolling-window broker statistics: rates and latency quantiles over
+/// the most recent telemetry-window epochs (not since broker start).
+/// All values are deltas/aggregates of the window covered by
+/// `window_seconds`; `utilization` is the live Eq. 2 estimate
+/// rho-hat = lambda-hat * E-hat[B] over that window.
+struct RecentBrokerStats {
+  std::size_t epochs = 0;        ///< epochs merged into this view
+  double window_seconds = 0.0;   ///< wall-clock span they cover
+  std::uint64_t published = 0;   ///< accepted from producers in-window
+  std::uint64_t received = 0;    ///< taken up by a dispatcher in-window
+  std::uint64_t dispatched = 0;  ///< copies delivered in-window
+  double publish_rate_per_s = 0.0;
+  double receive_rate_per_s = 0.0;
+  double dispatch_rate_per_s = 0.0;
+  double mean_wait_seconds = 0.0;     ///< windowed mean ingress wait
+  double p50_wait_seconds = 0.0;      ///< windowed median ingress wait
+  double p99_wait_seconds = 0.0;      ///< windowed p99 ingress wait
+  double mean_service_seconds = 0.0;  ///< windowed E-hat[B]
+  double utilization = 0.0;           ///< rho-hat = lambda-hat * E-hat[B]
 };
 
 /// Per-shard slice of the broker counters (BrokerStats is the sum of the
@@ -266,10 +294,27 @@ class Broker {
   [[nodiscard]] obs::BrokerTelemetry& telemetry() { return telemetry_; }
   [[nodiscard]] const obs::BrokerTelemetry& telemetry() const { return telemetry_; }
 
-  /// One coherent read of the whole telemetry state.
-  [[nodiscard]] obs::TelemetrySnapshot telemetry_snapshot() const {
-    return telemetry_.snapshot();
-  }
+  /// One coherent read of the whole telemetry state, including the
+  /// per-shard histogram slices and — once the window has at least one
+  /// epoch — the rolling `recent_*` series rendered by the exporters.
+  [[nodiscard]] obs::TelemetrySnapshot telemetry_snapshot() const;
+
+  /// The broker's rolling telemetry window (capacity =
+  /// config.telemetry_window_capacity epochs).  Hand it to an
+  /// obs::Monitor, or drive it manually via rotate_window().
+  [[nodiscard]] obs::TelemetryWindow& window() { return window_; }
+  [[nodiscard]] const obs::TelemetryWindow& window() const { return window_; }
+
+  /// Closes the current telemetry epoch: snapshots the cumulative
+  /// telemetry and appends the delta since the previous rotation to the
+  /// window ring.  Cold path; call it on whatever cadence the caller's
+  /// dashboards want (an attached obs::Monitor rotates instead).
+  void rotate_window();
+
+  /// Rates and latency quantiles over the last `epochs` window epochs
+  /// (all retained epochs by default).  Zeroes before the first rotation.
+  [[nodiscard]] RecentBrokerStats recent_stats(
+      std::size_t epochs = obs::kAllEpochs) const;
 
   /// Consistent copies of the retained lifecycle traces, oldest first
   /// (empty unless config.trace_sample_rate > 0).
@@ -387,6 +432,10 @@ class Broker {
   // All counters, histograms and traces live here (one registry slot per
   // shard).  Declared before shards_ so it outlives the dispatchers.
   obs::BrokerTelemetry telemetry_;
+
+  // Rolling-window epochs over telemetry_ (cold path only; present in
+  // the JMSPERF_OBS_STRIPPED build too so the class layout is shared).
+  obs::TelemetryWindow window_;
 
   // Last member: the shards' dispatcher threads join before the rest dies.
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,148 @@
+#include "obs/cluster_telemetry.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace jmsperf::obs {
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+void ClusterTelemetry::add_node(std::string name,
+                                const BrokerTelemetry& telemetry) {
+  for (const Entry& node : nodes_) {
+    if (node.name == name) {
+      throw std::invalid_argument("ClusterTelemetry: duplicate node name: " +
+                                  name);
+    }
+  }
+  nodes_.push_back({std::move(name), &telemetry});
+}
+
+std::vector<std::string> ClusterTelemetry::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const Entry& node : nodes_) names.push_back(node.name);
+  return names;
+}
+
+ClusterTelemetry::ClusterSnapshot ClusterTelemetry::snapshot() const {
+  ClusterSnapshot s;
+  s.nodes.reserve(nodes_.size());
+  for (const Entry& node : nodes_) {
+    NodeSnapshot& n = s.nodes.emplace_back();
+    n.name = node.name;
+    n.telemetry = node.telemetry->snapshot();
+    s.totals += n.telemetry.totals;
+    s.ingress_wait.merge(n.telemetry.ingress_wait);
+    s.service_time.merge(n.telemetry.service_time);
+    s.filter_eval.merge(n.telemetry.filter_eval);
+  }
+  return s;
+}
+
+ClusterCapacityReport ClusterTelemetry::capacity_report(
+    core::ArchitectureChoice architecture,
+    const core::DistributedScenario& scenario) const {
+  if (architecture == core::ArchitectureChoice::Tie) {
+    throw std::invalid_argument(
+        "ClusterTelemetry::capacity_report: pass the topology the brokers "
+        "form, not Tie");
+  }
+  scenario.validate();
+  const bool psr =
+      architecture == core::ArchitectureChoice::PublisherSideReplication;
+
+  ClusterCapacityReport report;
+  report.architecture = architecture;
+  report.rho = scenario.rho;
+  report.predicted_system_capacity =
+      psr ? core::psr_capacity(scenario) : core::ssr_capacity(scenario);
+  report.predicted_crossover = core::psr_crossover_publishers(scenario);
+
+  double sum = 0.0;
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (const Entry& node : nodes_) {
+    const TelemetrySnapshot t = node.telemetry->snapshot();
+    ClusterCapacityReport::Node n;
+    n.name = node.name;
+    n.received = t.totals[Counter::Received];
+    n.service_mean_seconds = t.service_time.mean_seconds();
+    n.capacity = n.service_mean_seconds > 0.0
+                     ? scenario.rho / n.service_mean_seconds
+                     : 0.0;
+    sum += n.capacity;
+    bottleneck = std::min(bottleneck, n.capacity);
+    report.nodes.push_back(std::move(n));
+  }
+  if (report.nodes.empty()) bottleneck = 0.0;
+  // PSR: each server only carries its own publisher's rate, so the
+  // system sustains the sum (Eq. 21).  SSR: every published message
+  // visits every server, so the slowest node caps the system (Eq. 22).
+  report.measured_system_capacity = psr ? sum : bottleneck;
+  return report;
+}
+
+std::string ClusterCapacityReport::to_text() const {
+  std::string out;
+  append_fmt(out, "cluster capacity report (%s, rho=%.2f)\n",
+             core::to_string(architecture), rho);
+  append_fmt(out, "  %-12s %12s %16s %16s\n", "node", "received",
+             "E[B] (us)", "capacity (1/s)");
+  for (const Node& n : nodes) {
+    append_fmt(out, "  %-12s %12llu %16.2f %16.0f\n", n.name.c_str(),
+               static_cast<unsigned long long>(n.received),
+               1e6 * n.service_mean_seconds, n.capacity);
+  }
+  append_fmt(out, "  measured system capacity:  %12.0f /s\n",
+             measured_system_capacity);
+  append_fmt(out, "  predicted (Eq. %s):        %12.0f /s  (rel. error %+.1f%%)\n",
+             architecture == core::ArchitectureChoice::PublisherSideReplication
+                 ? "21"
+                 : "22",
+             predicted_system_capacity, 100.0 * relative_error());
+  append_fmt(out, "  Eq. 23 crossover n*:       %12.2f publishers\n",
+             predicted_crossover);
+  return out;
+}
+
+std::string ClusterCapacityReport::to_json() const {
+  std::string out;
+  append_fmt(out,
+             "{\n  \"architecture\": \"%s\",\n  \"rho\": %.9g,\n"
+             "  \"nodes\": [",
+             core::to_string(architecture), rho);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    append_fmt(out,
+               "%s\n    {\"name\": \"%s\", \"received\": %llu, "
+               "\"service_mean_s\": %.9g, \"capacity_per_s\": %.9g}",
+               i == 0 ? "" : ",", n.name.c_str(),
+               static_cast<unsigned long long>(n.received),
+               n.service_mean_seconds, n.capacity);
+  }
+  append_fmt(out,
+             "%s],\n  \"measured_system_capacity_per_s\": %.9g,\n"
+             "  \"predicted_system_capacity_per_s\": %.9g,\n"
+             "  \"predicted_crossover_publishers\": %.9g,\n"
+             "  \"relative_error\": %.9g\n}\n",
+             nodes.empty() ? "" : "\n  ", measured_system_capacity,
+             predicted_system_capacity, predicted_crossover, relative_error());
+  return out;
+}
+
+}  // namespace jmsperf::obs

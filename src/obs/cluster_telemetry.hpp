@@ -1,0 +1,106 @@
+// Cluster-level telemetry aggregation for the paper's distributed
+// architectures (Sec. IV-C, Eqs. 21-23).
+//
+// A PSR deployment runs one broker per publisher (each carrying every
+// subscriber's filters); an SSR deployment runs one broker per
+// subscriber (each carrying the aggregate publish rate).  Either way the
+// cluster is just N live brokers, and because the counter matrix and the
+// histogram layout merge element-wise and exactly, cluster-wide series
+// are the plain sum of the per-node snapshots — same math as merging
+// dispatcher shards inside one broker, one level up.
+//
+// `capacity_report()` closes the Eq. 21-23 loop against measurement the
+// way ModelComparisonReport does for Eqs. 4-9: per node it estimates the
+// live capacity rho / E-hat[B] (Eq. 2 with the node's measured service
+// mean), combines the nodes per the architecture's scaling law (PSR: the
+// sum over servers, Eq. 21; SSR: every server carries all traffic, so
+// the bottleneck node, Eq. 22), and prints it against the analytic
+// prediction from the scenario's cost model plus the Eq. 23 crossover.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distributed.hpp"
+#include "obs/telemetry.hpp"
+
+namespace jmsperf::obs {
+
+/// Live measured-vs-predicted system capacity of one cluster topology.
+struct ClusterCapacityReport {
+  struct Node {
+    std::string name;
+    std::uint64_t received = 0;           ///< service-time samples behind E-hat[B]
+    double service_mean_seconds = 0.0;    ///< measured E-hat[B]
+    double capacity = 0.0;                ///< rho / E-hat[B] (Eq. 2, live)
+  };
+
+  core::ArchitectureChoice architecture =
+      core::ArchitectureChoice::PublisherSideReplication;
+  double rho = 0.0;  ///< per-server utilization bound used for capacities
+  std::vector<Node> nodes;
+  /// Combined live capacity: PSR sums the nodes (Eq. 21), SSR is limited
+  /// by the slowest node because every server sees every message (Eq. 22).
+  double measured_system_capacity = 0.0;
+  /// Analytic Eq. 21 / Eq. 22 capacity from the scenario's cost model.
+  double predicted_system_capacity = 0.0;
+  /// Eq. 23 crossover n* of the scenario (PSR wins for n > n*).
+  double predicted_crossover = 0.0;
+
+  [[nodiscard]] double relative_error() const {
+    return predicted_system_capacity > 0.0
+               ? (measured_system_capacity - predicted_system_capacity) /
+                     predicted_system_capacity
+               : 0.0;
+  }
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Aggregates the telemetry of several live brokers into cluster-wide
+/// series and capacity reports.  Registered telemetry objects must
+/// outlive this aggregator; registration is not thread-safe (build the
+/// cluster first, then snapshot from anywhere).
+class ClusterTelemetry {
+ public:
+  struct NodeSnapshot {
+    std::string name;
+    TelemetrySnapshot telemetry;
+  };
+
+  /// Everything merged across the cluster in one pass.
+  struct ClusterSnapshot {
+    std::vector<NodeSnapshot> nodes;
+    CounterSnapshot totals;          ///< summed over nodes
+    HistogramSnapshot ingress_wait;  ///< merged over nodes (exact)
+    HistogramSnapshot service_time;
+    HistogramSnapshot filter_eval;
+  };
+
+  void add_node(std::string name, const BrokerTelemetry& telemetry);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::vector<std::string> node_names() const;
+
+  [[nodiscard]] ClusterSnapshot snapshot() const;
+
+  /// Live Eq. 21-23 validation: `architecture` names the topology the
+  /// registered brokers form, `scenario` supplies the analytic side
+  /// (cost model, n, m, n_fltr, E[R], rho).  Nodes with an empty
+  /// service histogram contribute zero capacity.
+  [[nodiscard]] ClusterCapacityReport capacity_report(
+      core::ArchitectureChoice architecture,
+      const core::DistributedScenario& scenario) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    const BrokerTelemetry* telemetry = nullptr;
+  };
+
+  std::vector<Entry> nodes_;
+};
+
+}  // namespace jmsperf::obs

@@ -59,4 +59,21 @@ inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::k
   return "unknown";
 }
 
+/// One-line description of a counter (the Prometheus `# HELP` text).
+[[nodiscard]] constexpr std::string_view counter_help(Counter c) {
+  switch (c) {
+    case Counter::Published: return "Messages accepted from producers.";
+    case Counter::TracesSampled: return "Lifecycle traces selected by the sampler at publish time.";
+    case Counter::Received: return "Messages taken up by a dispatcher.";
+    case Counter::IngressWaitNs: return "Nanoseconds messages spent waiting in ingress queues.";
+    case Counter::FilterEvaluations: return "Individual subscription-filter evaluations.";
+    case Counter::Dispatched: return "Message copies delivered to consumers.";
+    case Counter::Dropped: return "Copies dropped on subscriber-queue overflow or shutdown.";
+    case Counter::DiscardedNoSubscriber: return "Messages that matched no subscriber.";
+    case Counter::TracesDropped: return "Sampled traces lost to trace-ring slot contention.";
+    case Counter::kCount: break;
+  }
+  return "Unknown counter.";
+}
+
 }  // namespace jmsperf::obs

@@ -1,0 +1,71 @@
+// Small change detectors for the monitoring plane (obs/monitor.hpp).
+//
+// EwmaDetector smooths a noisy per-epoch signal (the live utilization
+// estimate) so a single scheduler hiccup does not trip the overload
+// threshold; CusumDetector accumulates EXCESS over an allowance (the
+// classic one-sided CUSUM statistic S = max(0, S + x)), so model drift
+// must be sustained across epochs to alarm, while a drift large enough
+// saturates the statistic within one or two epochs.  Header-only plain
+// value types — deterministic and trivially unit-testable.
+#pragma once
+
+#include <algorithm>
+
+namespace jmsperf::obs {
+
+/// Exponentially weighted moving average.  The first update primes the
+/// average to the observation itself (no bias toward zero).
+class EwmaDetector {
+ public:
+  explicit EwmaDetector(double alpha) : alpha_(std::clamp(alpha, 0.0, 1.0)) {}
+
+  double update(double x) {
+    value_ = primed_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    primed_ = true;
+    return value_;
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool primed() const { return primed_; }
+
+  void reset() {
+    value_ = 0.0;
+    primed_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// One-sided CUSUM: feed the EXCESS of a score over its allowance; the
+/// statistic S accumulates positive excess, drains on negative excess,
+/// and never goes below zero.  `update` returns true while S exceeds
+/// the threshold.  Scores are clipped to `max_step` per epoch so the
+/// statistic stays interpretable (and drains in bounded time) even when
+/// a single epoch is wildly off.
+class CusumDetector {
+ public:
+  explicit CusumDetector(double threshold, double max_step = 10.0)
+      : threshold_(threshold), max_step_(max_step) {}
+
+  bool update(double excess) {
+    statistic_ = std::max(
+        0.0, statistic_ + std::clamp(excess, -max_step_, max_step_));
+    return statistic_ > threshold_;
+  }
+
+  [[nodiscard]] double statistic() const { return statistic_; }
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] bool alarmed() const { return statistic_ > threshold_; }
+
+  void reset() { statistic_ = 0.0; }
+
+ private:
+  double threshold_;
+  double max_step_;
+  double statistic_ = 0.0;
+};
+
+}  // namespace jmsperf::obs

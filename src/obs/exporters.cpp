@@ -27,24 +27,73 @@ std::string sanitized(std::string_view name) {
   return s;
 }
 
-void append_histogram_prometheus(std::string& out, const std::string& prefix,
-                                 const char* name,
-                                 const HistogramSnapshot& hist) {
-  append_fmt(out, "# TYPE %s_%s_seconds histogram\n", prefix.c_str(), name);
+struct HistogramHelp {
+  const char* name;
+  const char* help;
+};
+
+constexpr HistogramHelp kHistogramHelp[] = {
+    {"ingress_wait", "Time messages waited in ingress queues before dispatcher pickup."},
+    {"service_time", "Per-message dispatcher service time (pickup to delivered)."},
+    {"filter_eval", "Individual filter-evaluation latency (sampled via filter_timing_every)."},
+};
+
+const char* histogram_help(const char* name) {
+  for (const HistogramHelp& h : kHistogramHelp) {
+    if (std::string_view(h.name) == name) return h.help;
+  }
+  return "Latency histogram.";
+}
+
+/// Emits one histogram's sample series; `labels` is either empty or a
+/// ready-made label like `shard="0"`, composed with `le` on buckets.
+void append_histogram_series(std::string& out, const std::string& prefix,
+                             const char* name, const std::string& labels,
+                             const HistogramSnapshot& hist) {
+  const char* separator = labels.empty() ? "" : ",";
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < hist.counts.size(); ++i) {
     if (hist.counts[i] == 0) continue;
     cumulative += hist.counts[i];
-    append_fmt(out, "%s_%s_seconds_bucket{le=\"%.9g\"} %llu\n", prefix.c_str(),
-               name, 1e-9 * static_cast<double>(LatencyHistogram::bucket_upper(i)),
+    append_fmt(out, "%s_%s_seconds_bucket{%s%sle=\"%.9g\"} %llu\n",
+               prefix.c_str(), name, labels.c_str(), separator,
+               1e-9 * static_cast<double>(LatencyHistogram::bucket_upper(i)),
                static_cast<unsigned long long>(cumulative));
   }
-  append_fmt(out, "%s_%s_seconds_bucket{le=\"+Inf\"} %llu\n", prefix.c_str(),
-             name, static_cast<unsigned long long>(hist.total));
-  append_fmt(out, "%s_%s_seconds_sum %.9g\n", prefix.c_str(), name,
-             1e-9 * static_cast<double>(hist.sum_ns));
-  append_fmt(out, "%s_%s_seconds_count %llu\n", prefix.c_str(), name,
+  append_fmt(out, "%s_%s_seconds_bucket{%s%sle=\"+Inf\"} %llu\n",
+             prefix.c_str(), name, labels.c_str(), separator,
              static_cast<unsigned long long>(hist.total));
+  if (labels.empty()) {
+    append_fmt(out, "%s_%s_seconds_sum %.9g\n", prefix.c_str(), name,
+               1e-9 * static_cast<double>(hist.sum_ns));
+    append_fmt(out, "%s_%s_seconds_count %llu\n", prefix.c_str(), name,
+               static_cast<unsigned long long>(hist.total));
+  } else {
+    append_fmt(out, "%s_%s_seconds_sum{%s} %.9g\n", prefix.c_str(), name,
+               labels.c_str(), 1e-9 * static_cast<double>(hist.sum_ns));
+    append_fmt(out, "%s_%s_seconds_count{%s} %llu\n", prefix.c_str(), name,
+               labels.c_str(), static_cast<unsigned long long>(hist.total));
+  }
+}
+
+/// One histogram family: HELP + TYPE once, the aggregate series, then a
+/// `shard="i"` series per shard when the broker runs several.
+void append_histogram_family(
+    std::string& out, const std::string& prefix, const char* name,
+    const HistogramSnapshot& merged,
+    const std::vector<ShardHistogramSnapshots>& shards,
+    HistogramSnapshot ShardHistogramSnapshots::* member) {
+  append_fmt(out, "# HELP %s_%s_seconds %s\n", prefix.c_str(), name,
+             histogram_help(name));
+  append_fmt(out, "# TYPE %s_%s_seconds histogram\n", prefix.c_str(), name);
+  append_histogram_series(out, prefix, name, "", merged);
+  if (shards.size() > 1) {
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "shard=\"%zu\"", s);
+      append_histogram_series(out, prefix, name, label, shards[s].*member);
+    }
+  }
 }
 
 void append_histogram_json(std::string& out, const char* name,
@@ -69,6 +118,8 @@ std::string prometheus_text(const TelemetrySnapshot& snapshot,
   for (std::size_t c = 0; c < kCounterCount; ++c) {
     const auto counter = static_cast<Counter>(c);
     const std::string name = sanitized(counter_name(counter));
+    append_fmt(out, "# HELP %s_%s_total %s\n", prefix.c_str(), name.c_str(),
+               std::string(counter_help(counter)).c_str());
     append_fmt(out, "# TYPE %s_%s_total counter\n", prefix.c_str(), name.c_str());
     append_fmt(out, "%s_%s_total %llu\n", prefix.c_str(), name.c_str(),
                static_cast<unsigned long long>(snapshot.totals[counter]));
@@ -82,12 +133,29 @@ std::string prometheus_text(const TelemetrySnapshot& snapshot,
   }
   for (const auto& [name, value] : snapshot.gauges) {
     const std::string gauge = sanitized(name);
+    append_fmt(out, "# HELP %s_%s Gauge %s (evaluated at snapshot time).\n",
+               prefix.c_str(), gauge.c_str(), gauge.c_str());
     append_fmt(out, "# TYPE %s_%s gauge\n", prefix.c_str(), gauge.c_str());
     append_fmt(out, "%s_%s %.9g\n", prefix.c_str(), gauge.c_str(), value);
   }
-  append_histogram_prometheus(out, prefix, "ingress_wait", snapshot.ingress_wait);
-  append_histogram_prometheus(out, prefix, "service_time", snapshot.service_time);
-  append_histogram_prometheus(out, prefix, "filter_eval", snapshot.filter_eval);
+  for (const auto& [name, value] : snapshot.recent) {
+    const std::string gauge = sanitized(name);
+    append_fmt(out,
+               "# HELP %s_%s Rolling-window series %s from the telemetry "
+               "window.\n",
+               prefix.c_str(), gauge.c_str(), gauge.c_str());
+    append_fmt(out, "# TYPE %s_%s gauge\n", prefix.c_str(), gauge.c_str());
+    append_fmt(out, "%s_%s %.9g\n", prefix.c_str(), gauge.c_str(), value);
+  }
+  append_histogram_family(out, prefix, "ingress_wait", snapshot.ingress_wait,
+                          snapshot.shard_histograms,
+                          &ShardHistogramSnapshots::ingress_wait);
+  append_histogram_family(out, prefix, "service_time", snapshot.service_time,
+                          snapshot.shard_histograms,
+                          &ShardHistogramSnapshots::service_time);
+  append_histogram_family(out, prefix, "filter_eval", snapshot.filter_eval,
+                          snapshot.shard_histograms,
+                          &ShardHistogramSnapshots::filter_eval);
   return out;
 }
 
@@ -120,8 +188,20 @@ std::string to_json(const TelemetrySnapshot& snapshot) {
                sanitized(snapshot.gauges[g].first).c_str(),
                snapshot.gauges[g].second);
   }
+  out += "}";
+  // No closed window epoch yet -> no rolling-window object at all; an
+  // empty "recent" would read as "the window reported zeros".
+  if (!snapshot.recent.empty()) {
+    out += ",\n  \"recent\": {";
+    for (std::size_t g = 0; g < snapshot.recent.size(); ++g) {
+      append_fmt(out, "%s\"%s\": %.9g", g == 0 ? "" : ", ",
+                 sanitized(snapshot.recent[g].first).c_str(),
+                 snapshot.recent[g].second);
+    }
+    out += "}";
+  }
   append_fmt(out,
-             "},\n  \"traces\": {\"capacity\": %zu, \"pushed\": %llu, "
+             ",\n  \"traces\": {\"capacity\": %zu, \"pushed\": %llu, "
              "\"dropped\": %llu}\n}\n",
              snapshot.trace_capacity,
              static_cast<unsigned long long>(snapshot.traces_pushed),

@@ -9,17 +9,21 @@
 
 namespace jmsperf::obs {
 
-/// Prometheus text exposition (version 0.0.4): counters as
-/// `<prefix>_<name>_total` (aggregate plus per-shard `{shard="i"}`
-/// series), gauges as `<prefix>_<name>`, and the three latency
-/// histograms as native Prometheus histograms in seconds with
+/// Prometheus text exposition (version 0.0.4).  Every metric family is
+/// announced with a `# HELP` and `# TYPE` line before its samples:
+/// counters as `<prefix>_<name>_total` (aggregate plus per-shard
+/// `{shard="i"}` series when the broker runs several dispatchers),
+/// gauges and rolling-window `recent` series as `<prefix>_<name>`, and
+/// the three latency histograms as native Prometheus histograms in
+/// seconds — aggregate and per-shard series within one family — with
 /// cumulative `le` buckets at the non-empty bucket edges.
 [[nodiscard]] std::string prometheus_text(const TelemetrySnapshot& snapshot,
                                           const std::string& prefix = "jmsperf");
 
-/// JSON snapshot: counters (totals and per shard), gauges, and per
-/// histogram count/mean/min/max plus the standard quantile ladder
-/// (p50/p90/p99/p99.99), all time values in seconds.
+/// JSON snapshot: counters (totals and per shard), gauges, the
+/// rolling-window `recent` series, and per histogram count/mean/min/max
+/// plus the standard quantile ladder (p50/p90/p99/p99.99), all time
+/// values in seconds.
 [[nodiscard]] std::string to_json(const TelemetrySnapshot& snapshot);
 
 }  // namespace jmsperf::obs

@@ -5,6 +5,14 @@
 
 namespace jmsperf::obs {
 
+namespace {
+
+constexpr std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > ~b ? ~std::uint64_t{0} : a + b;
+}
+
+}  // namespace
+
 void HistogramSnapshot::merge(const HistogramSnapshot& other) {
   if (other.counts.empty()) return;
   if (counts.empty()) {
@@ -14,9 +22,29 @@ void HistogramSnapshot::merge(const HistogramSnapshot& other) {
   if (counts.size() != other.counts.size()) {
     throw std::invalid_argument("HistogramSnapshot::merge: layout mismatch");
   }
-  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
-  total += other.total;
-  sum_ns += other.sum_ns;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = sat_add(counts[i], other.counts[i]);
+  }
+  total = sat_add(total, other.total);
+  sum_ns = sat_add(sum_ns, other.sum_ns);
+}
+
+HistogramSnapshot HistogramSnapshot::delta_since(
+    const HistogramSnapshot& earlier) const {
+  if (earlier.counts.empty()) return *this;
+  if (counts.size() != earlier.counts.size()) {
+    throw std::invalid_argument("HistogramSnapshot::delta_since: layout mismatch");
+  }
+  HistogramSnapshot delta;
+  delta.counts.resize(counts.size());
+  std::uint64_t total_delta = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    delta.counts[i] = counts[i] >= earlier.counts[i] ? counts[i] - earlier.counts[i] : 0;
+    total_delta += delta.counts[i];
+  }
+  delta.total = total_delta;
+  delta.sum_ns = sum_ns >= earlier.sum_ns ? sum_ns - earlier.sum_ns : 0;
+  return delta;
 }
 
 double HistogramSnapshot::quantile_ns(double p) const {

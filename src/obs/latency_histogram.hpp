@@ -14,6 +14,7 @@
 // arithmetic (quantiles, mean, moments, merge).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
@@ -30,8 +31,18 @@ struct HistogramSnapshot {
   std::uint64_t total = 0;            ///< number of recorded values
   std::uint64_t sum_ns = 0;           ///< exact sum of recorded values
 
-  /// Element-wise addition (associative and commutative).
+  /// Element-wise addition (associative and commutative).  Counts and
+  /// sums saturate at UINT64_MAX instead of wrapping, which keeps the
+  /// merge order-independent even at the saturation boundary
+  /// (min(a+b+c, MAX) is the same however the adds are grouped).
   void merge(const HistogramSnapshot& other);
+
+  /// Element-wise difference against an EARLIER snapshot of the same
+  /// (or an identically merged) histogram: the per-epoch delta that
+  /// powers the rolling telemetry window.  Exact because the layout is
+  /// fixed and cumulative bucket counts are monotone; any bucket that
+  /// appears to have decreased (a rolled-back counter) clamps to 0.
+  [[nodiscard]] HistogramSnapshot delta_since(const HistogramSnapshot& earlier) const;
 
   [[nodiscard]] double mean_ns() const {
     return total == 0 ? 0.0
@@ -108,7 +119,16 @@ class LatencyHistogram {
   }
 
   void record_seconds(double seconds) noexcept {
-    record(seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9));
+    // Negative and NaN inputs record as 0; huge inputs clamp BEFORE the
+    // cast (casting a double >= 2^64 ns is undefined behaviour).  The
+    // clamp point is far inside the overflow bucket, so the bucketing is
+    // unchanged for any value the layout can distinguish.
+    constexpr double kMaxNanos = 9.0e18;  // < 2^63, exactly castable
+    if (!(seconds > 0.0)) {
+      record(0);
+      return;
+    }
+    record(static_cast<std::uint64_t>(std::min(seconds * 1e9, kMaxNanos)));
   }
 
   [[nodiscard]] HistogramSnapshot snapshot() const;

@@ -1,0 +1,294 @@
+#include "obs/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "queueing/mg1.hpp"
+
+namespace jmsperf::obs {
+
+namespace {
+
+std::string strfmt(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// Relative error with a floor on the denominator: predictions near zero
+/// (or below the histogram's resolution) must not turn measurement noise
+/// into infinite drift scores.
+double relative_error(double measured, double predicted, double floor) {
+  const double denominator = std::max(predicted, floor);
+  return denominator > 0.0 ? std::abs(measured - predicted) / denominator : 0.0;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+}
+
+}  // namespace
+
+Monitor::Monitor(BrokerTelemetry& telemetry, TelemetryWindow& window,
+                 MonitorConfig config)
+    : telemetry_(telemetry),
+      window_(window),
+      config_(config),
+      rho_ewma_(config.overload_ewma_alpha),
+      drift_cusum_(config.drift_cusum_threshold),
+      gauge_state_(std::make_shared<GaugeState>()) {
+  // The closures own a shared_ptr to the state, so they stay valid in
+  // BrokerTelemetry even after this monitor is destroyed (and a later
+  // monitor's registration replaces them by name, never duplicates).
+  telemetry_.register_gauge("monitor_rho_ewma", [state = gauge_state_] {
+    return state->rho_ewma.load(std::memory_order_relaxed);
+  });
+  telemetry_.register_gauge("monitor_drift_statistic", [state = gauge_state_] {
+    return state->drift_statistic.load(std::memory_order_relaxed);
+  });
+  telemetry_.register_gauge("monitor_alerts_raised", [state = gauge_state_] {
+    return state->alerts_raised.load(std::memory_order_relaxed);
+  });
+}
+
+Monitor::~Monitor() { stop(); }
+
+EpochReport Monitor::tick() {
+  std::lock_guard lock(mutex_);
+  window_.rotate(telemetry_.snapshot(), std::chrono::steady_clock::now());
+  const WindowView view = window_.view(config_.window_epochs);
+
+  EpochReport r;
+  r.epoch = ++epoch_;
+  r.window_seconds = view.seconds;
+  r.received = view.counters[Counter::Received];
+  r.lambda_hat = view.rate(Counter::Published);
+  const stats::RawMoments measured_moments =
+      view.service_time.raw_moments_seconds();
+  r.mean_service_seconds = measured_moments.m1;
+  r.rho_hat = r.lambda_hat * measured_moments.m1;
+  r.measured_mean_wait = view.ingress_wait.mean_seconds();
+  r.measured_p99_wait = view.ingress_wait.quantile_seconds(0.99);
+  r.rho_ewma = rho_ewma_.value();
+
+  if (r.received >= config_.min_window_received && view.seconds > 0.0) {
+    r.detectors_ran = true;
+
+    // (b) overload: EWMA-smoothed rho-hat against the Eq. 2 wall.
+    r.rho_ewma = rho_ewma_.update(r.rho_hat);
+    if (r.rho_ewma >= config_.overload_utilization) {
+      if (!overload_active_) {
+        overload_active_ = true;
+        raise(AlertSeverity::Critical, AlertCause::Overload, r.rho_ewma,
+              config_.overload_utilization, r.rho_hat,
+              strfmt("utilization rho_ewma=%.3f >= %.2f (lambda=%.0f/s, "
+                     "E[B]=%.1f us): approaching the capacity wall",
+                     r.rho_ewma, config_.overload_utilization, r.lambda_hat,
+                     1e6 * r.mean_service_seconds));
+      }
+    } else {
+      overload_active_ = false;
+    }
+
+    // (a) model drift: measured vs M/GI/1-predicted waiting time, from
+    // the calibrated model if one was given, else self-consistency.
+    const stats::RawMoments model_moments =
+        config_.model_service_moments.value_or(measured_moments);
+    const double floor =
+        std::max(1e-9, 0.25 * std::max(measured_moments.m1, model_moments.m1));
+    // Self-check mode holds the live queue against its own M/GI/1 fit,
+    // which cannot account for the fixed OS wakeup latency in every
+    // measured wait; score drift only above the noise deadband.  With a
+    // calibrated model the comparison is strict.
+    const bool above_deadband =
+        config_.model_service_moments.has_value() ||
+        r.measured_mean_wait >= config_.self_check_min_wait_seconds;
+    if (const auto mg1 =
+            queueing::MG1Waiting::try_build(r.lambda_hat, model_moments)) {
+      r.model_stable = true;
+      r.predicted_mean_wait = mg1->mean_waiting_time();
+      r.predicted_p99_wait = mg1->waiting_quantile(0.99);
+      if (above_deadband) {
+        r.drift_score = std::max(
+            relative_error(r.measured_mean_wait, r.predicted_mean_wait, floor),
+            relative_error(r.measured_p99_wait, r.predicted_p99_wait, floor));
+      }
+    } else if (config_.model_service_moments && r.rho_hat < 1.0) {
+      // The calibrated model calls this load unstable, yet the live
+      // queue is serving it: maximal drift.
+      r.drift_score = drift_cusum_.threshold() + config_.drift_tolerance + 1.0;
+    }
+    const bool drift_alarm =
+        drift_cusum_.update(r.drift_score - config_.drift_tolerance);
+    r.drift_statistic = drift_cusum_.statistic();
+    if (drift_alarm) {
+      if (!drift_active_) {
+        drift_active_ = true;
+        raise(AlertSeverity::Warning, AlertCause::ModelDrift,
+              r.measured_mean_wait, r.predicted_mean_wait, r.drift_statistic,
+              strfmt("measured mean wait %.1f us vs predicted %.1f us "
+                     "(p99 %.1f vs %.1f us, cusum=%.2f): model drift",
+                     1e6 * r.measured_mean_wait, 1e6 * r.predicted_mean_wait,
+                     1e6 * r.measured_p99_wait, 1e6 * r.predicted_p99_wait,
+                     r.drift_statistic));
+      }
+    } else {
+      drift_active_ = false;
+    }
+
+    // (c) shard imbalance (Partitioned mode, k > 1): hottest shard's
+    // windowed arrivals against the fair share.
+    if (config_.check_shard_imbalance && view.shards.size() > 1) {
+      std::uint64_t hottest = 0;
+      for (const auto& shard : view.shards) {
+        hottest = std::max(hottest, shard[Counter::Received]);
+      }
+      const double fair = static_cast<double>(r.received) /
+                          static_cast<double>(view.shards.size());
+      r.imbalance = fair > 0.0 ? static_cast<double>(hottest) / fair : 0.0;
+      if (r.imbalance > config_.imbalance_ratio) {
+        ++imbalance_streak_;
+        if (imbalance_streak_ >= config_.imbalance_epochs &&
+            !imbalance_active_) {
+          imbalance_active_ = true;
+          raise(AlertSeverity::Warning, AlertCause::ShardImbalance,
+                r.imbalance, config_.imbalance_ratio,
+                static_cast<double>(imbalance_streak_),
+                strfmt("hottest shard carries %.2fx the fair share of "
+                       "arrivals (limit %.2fx, %zu shards): partition skew",
+                       r.imbalance, config_.imbalance_ratio,
+                       view.shards.size()));
+        }
+      } else {
+        imbalance_streak_ = 0;
+        imbalance_active_ = false;
+      }
+    }
+  }
+
+  gauge_state_->rho_ewma.store(rho_ewma_.value(), std::memory_order_relaxed);
+  gauge_state_->drift_statistic.store(drift_cusum_.statistic(),
+                                      std::memory_order_relaxed);
+  gauge_state_->alerts_raised.store(static_cast<double>(raised_),
+                                    std::memory_order_relaxed);
+  report_ = r;
+  return r;
+}
+
+void Monitor::raise(AlertSeverity severity, AlertCause cause, double measured,
+                    double reference, double statistic, std::string message) {
+  Alert alert;
+  alert.severity = severity;
+  alert.cause = cause;
+  alert.epoch = epoch_;
+  alert.measured = measured;
+  alert.reference = reference;
+  alert.statistic = statistic;
+  alert.message = std::move(message);
+  ++raised_;
+  alerts_.push_back(alert);
+  while (alerts_.size() > config_.max_alerts) {
+    alerts_.pop_front();
+    ++evicted_;
+  }
+  if (callback_) callback_(alert);
+}
+
+void Monitor::start(std::chrono::milliseconds period) {
+  stop();
+  running_.store(true);
+  thread_ = std::thread([this, period] {
+    while (true) {
+      std::unique_lock lk(stop_mutex_);
+      if (stop_cv_.wait_for(lk, period, [this] { return !running_.load(); })) {
+        return;
+      }
+      lk.unlock();
+      tick();
+    }
+  });
+}
+
+void Monitor::stop() {
+  {
+    std::lock_guard lk(stop_mutex_);
+    running_.store(false);
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<Alert> Monitor::alerts() const {
+  std::lock_guard lock(mutex_);
+  return {alerts_.begin(), alerts_.end()};
+}
+
+std::uint64_t Monitor::alerts_raised() const {
+  std::lock_guard lock(mutex_);
+  return raised_;
+}
+
+std::uint64_t Monitor::alerts_evicted() const {
+  std::lock_guard lock(mutex_);
+  return evicted_;
+}
+
+void Monitor::clear_alerts() {
+  std::lock_guard lock(mutex_);
+  alerts_.clear();
+}
+
+void Monitor::on_alert(std::function<void(const Alert&)> callback) {
+  std::lock_guard lock(mutex_);
+  callback_ = std::move(callback);
+}
+
+EpochReport Monitor::last_report() const {
+  std::lock_guard lock(mutex_);
+  return report_;
+}
+
+std::string alerts_to_json(const std::vector<Alert>& alerts) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    const Alert& a = alerts[i];
+    out += strfmt(
+        "%s\n  {\"severity\": \"%s\", \"cause\": \"%s\", \"epoch\": %llu, "
+        "\"measured\": %.9g, \"reference\": %.9g, \"statistic\": %.9g, "
+        "\"message\": \"",
+        i == 0 ? "" : ",", std::string(to_string(a.severity)).c_str(),
+        std::string(to_string(a.cause)).c_str(),
+        static_cast<unsigned long long>(a.epoch), a.measured, a.reference,
+        a.statistic);
+    json_escape_into(out, a.message);
+    out += "\"}";
+  }
+  out += alerts.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::string format_alerts_text(const std::vector<Alert>& alerts) {
+  if (alerts.empty()) return "no alerts\n";
+  std::string out;
+  for (const Alert& a : alerts) {
+    out += strfmt("[%s] %s (epoch %llu): %s\n",
+                  std::string(to_string(a.severity)).c_str(),
+                  std::string(to_string(a.cause)).c_str(),
+                  static_cast<unsigned long long>(a.epoch), a.message.c_str());
+  }
+  return out;
+}
+
+}  // namespace jmsperf::obs

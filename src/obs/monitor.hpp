@@ -1,0 +1,214 @@
+// Continuous model-drift / overload / imbalance monitoring.
+//
+// Each `tick()` closes a telemetry epoch (TelemetryWindow rotation),
+// recomputes the live service-time moments from the windowed service
+// histogram, feeds them through the M/GI/1 analysis (Eqs. 4-9/19-20),
+// and runs three detectors over the result:
+//
+//   (a) model drift  — measured vs predicted mean/p99 ingress wait.  A
+//       CUSUM over the relative error fires only on SUSTAINED excess
+//       beyond `drift_tolerance`, so one noisy epoch stays silent while
+//       a mis-calibrated cost model (`model_service_moments`) alarms
+//       within a few epochs.
+//   (b) overload     — rho-hat = lambda-hat * E-hat[B] (the live Eq. 2
+//       estimate) smoothed by an EWMA and compared against the
+//       `overload_utilization` wall.
+//   (c) imbalance    — in Partitioned mode, the hottest shard's share of
+//       windowed arrivals vs the fair share (a skewed topic->shard hash
+//       starves the capacity model's k-server assumption).
+//
+// Alerts are structured (severity, cause, the offending numbers) and go
+// into a bounded sink plus an optional callback; `alerts_to_json` /
+// `format_alerts_text` render them for the exporters.  The monitor
+// never touches the hot path: a tick costs one telemetry snapshot.
+//
+// Drive ticks manually (deterministic tests) or via `start(period)`,
+// which runs them from a background thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/detectors.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/windowed.hpp"
+#include "stats/moments.hpp"
+
+namespace jmsperf::obs {
+
+enum class AlertCause { Overload, ModelDrift, ShardImbalance };
+enum class AlertSeverity { Warning, Critical };
+
+[[nodiscard]] constexpr std::string_view to_string(AlertCause cause) {
+  switch (cause) {
+    case AlertCause::Overload: return "overload";
+    case AlertCause::ModelDrift: return "model_drift";
+    case AlertCause::ShardImbalance: return "shard_imbalance";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(AlertSeverity severity) {
+  switch (severity) {
+    case AlertSeverity::Warning: return "warning";
+    case AlertSeverity::Critical: return "critical";
+  }
+  return "unknown";
+}
+
+/// One raised alarm with the numbers that tripped it.
+struct Alert {
+  AlertSeverity severity = AlertSeverity::Warning;
+  AlertCause cause = AlertCause::Overload;
+  std::uint64_t epoch = 0;   ///< monitor epoch index at trigger
+  double measured = 0.0;     ///< offending measured value
+  double reference = 0.0;    ///< prediction / threshold it violated
+  double statistic = 0.0;    ///< detector statistic at trigger
+  std::string message;       ///< one line with the numbers, for humans
+};
+
+struct MonitorConfig {
+  /// Epochs merged per evaluation (rolling window inside the ring).
+  std::size_t window_epochs = 4;
+  /// Detectors only run on windows with at least this many received
+  /// messages — thin epochs carry no statistical weight.
+  std::uint64_t min_window_received = 200;
+  /// Overload wall for the EWMA-smoothed rho-hat (Eq. 2 proximity).
+  double overload_utilization = 0.95;
+  double overload_ewma_alpha = 0.5;
+  /// Allowed relative error between measured and predicted waiting time
+  /// before the drift CUSUM starts accumulating.
+  double drift_tolerance = 0.75;
+  /// CUSUM alarm threshold on the accumulated excess relative error.
+  double drift_cusum_threshold = 1.5;
+  /// Hottest shard may receive up to this multiple of the fair share.
+  double imbalance_ratio = 2.0;
+  /// Consecutive offending epochs before an imbalance alert.
+  std::size_t imbalance_epochs = 2;
+  bool check_shard_imbalance = true;
+  /// Bounded alert sink: oldest alerts are evicted (and counted) beyond
+  /// this size.
+  std::size_t max_alerts = 64;
+  /// Calibrated service moments to hold the live broker against (e.g.
+  /// from core::CostModel / a calibration run).  Absent = self-check:
+  /// predict from the window's own measured moments.
+  std::optional<stats::RawMoments> model_service_moments;
+  /// Self-check deadband: without a calibrated model, drift only scores
+  /// when the measured mean wait exceeds this floor.  Live waits carry a
+  /// fixed scheduler/condition-variable wakeup cost (~100 us scale) that
+  /// an M/GI/1 fit of microsecond services cannot predict; below the
+  /// floor that noise would read as permanent drift.  A calibrated
+  /// model bypasses the deadband — its predictions are held as given.
+  double self_check_min_wait_seconds = 2e-3;
+};
+
+/// What one tick measured and predicted (also exposed as gauges).
+struct EpochReport {
+  std::uint64_t epoch = 0;
+  double window_seconds = 0.0;
+  std::uint64_t received = 0;
+  double lambda_hat = 0.0;           ///< windowed publish rate
+  double mean_service_seconds = 0.0; ///< windowed E-hat[B]
+  double rho_hat = 0.0;              ///< lambda-hat * E-hat[B]
+  double rho_ewma = 0.0;
+  double measured_mean_wait = 0.0;
+  double measured_p99_wait = 0.0;
+  bool model_stable = false;         ///< M/GI/1 prediction available
+  double predicted_mean_wait = 0.0;
+  double predicted_p99_wait = 0.0;
+  double drift_score = 0.0;          ///< max relative error (mean, p99)
+  double drift_statistic = 0.0;      ///< CUSUM statistic after update
+  double imbalance = 0.0;            ///< hottest shard / fair share
+  bool detectors_ran = false;        ///< false when the window was thin
+};
+
+class Monitor {
+ public:
+  /// Both references must outlive the monitor.  Registers its own
+  /// `monitor_*` gauges with `telemetry` (replacing same-name gauges of
+  /// an earlier monitor, never duplicating them).
+  Monitor(BrokerTelemetry& telemetry, TelemetryWindow& window,
+          MonitorConfig config = {});
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Rotates the window and evaluates the detectors once.
+  EpochReport tick();
+
+  /// Runs tick() from a background thread every `period` until stop().
+  void start(std::chrono::milliseconds period);
+  void stop();
+
+  [[nodiscard]] const MonitorConfig& config() const { return config_; }
+
+  [[nodiscard]] std::vector<Alert> alerts() const;
+  /// Total alerts ever raised (including evicted ones).
+  [[nodiscard]] std::uint64_t alerts_raised() const;
+  /// Alerts evicted from the bounded sink.
+  [[nodiscard]] std::uint64_t alerts_evicted() const;
+  void clear_alerts();
+
+  /// Invoked synchronously from tick() for every raised alert.
+  void on_alert(std::function<void(const Alert&)> callback);
+
+  [[nodiscard]] EpochReport last_report() const;
+
+ private:
+  void raise(AlertSeverity severity, AlertCause cause, double measured,
+             double reference, double statistic, std::string message);
+
+  BrokerTelemetry& telemetry_;
+  TelemetryWindow& window_;
+  const MonitorConfig config_;
+
+  mutable std::mutex mutex_;  ///< serializes ticks and sink access
+  EwmaDetector rho_ewma_;
+  CusumDetector drift_cusum_;
+  std::size_t imbalance_streak_ = 0;
+  // Edge-triggered alarm latches: an alert is raised when a condition
+  // first trips and again only after it has cleared in between.
+  bool overload_active_ = false;
+  bool drift_active_ = false;
+  bool imbalance_active_ = false;
+  std::uint64_t epoch_ = 0;
+  std::deque<Alert> alerts_;
+  std::uint64_t raised_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::function<void(const Alert&)> callback_;
+  EpochReport report_;
+
+  // Gauge state outlives the monitor (BrokerTelemetry keeps the
+  // closures): shared and atomic, written at the end of each tick.
+  struct GaugeState {
+    std::atomic<double> rho_ewma{0.0};
+    std::atomic<double> drift_statistic{0.0};
+    std::atomic<double> alerts_raised{0.0};
+  };
+  std::shared_ptr<GaugeState> gauge_state_;
+
+  std::thread thread_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  std::atomic<bool> running_{false};
+};
+
+/// JSON array of alerts (for dashboards / the exporters).
+[[nodiscard]] std::string alerts_to_json(const std::vector<Alert>& alerts);
+
+/// One line per alert, severity-first, for terminal output.
+[[nodiscard]] std::string format_alerts_text(const std::vector<Alert>& alerts);
+
+}  // namespace jmsperf::obs

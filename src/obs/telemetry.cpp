@@ -1,6 +1,8 @@
 #include "obs/telemetry.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace jmsperf::obs {
@@ -15,8 +17,15 @@ BrokerTelemetry::BrokerTelemetry(std::size_t shards, TelemetryConfig config)
         "BrokerTelemetry: trace_sample_rate must be in [0, 1]");
   }
   if (config.trace_sample_rate > 0.0) {
-    sample_every_ = static_cast<std::uint64_t>(
-        std::llround(std::max(1.0, 1.0 / config.trace_sample_rate)));
+    // round(1/rate) exceeds the uint64 range for denormal rates, and
+    // llround on such a value is undefined; clamp the stride explicitly.
+    // rate == 1 gives stride 1 (every message); a clamped stride of
+    // UINT64_MAX means "first message of each 2^64 sequence only".
+    constexpr double kTwoPow64 = 18446744073709551616.0;
+    const double stride = std::max(1.0, std::round(1.0 / config.trace_sample_rate));
+    sample_every_ = stride >= kTwoPow64
+                        ? std::numeric_limits<std::uint64_t>::max()
+                        : static_cast<std::uint64_t>(stride);
   }
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
@@ -26,6 +35,12 @@ BrokerTelemetry::BrokerTelemetry(std::size_t shards, TelemetryConfig config)
 
 void BrokerTelemetry::register_gauge(std::string name, std::function<double()> fn) {
   std::lock_guard lock(gauges_mutex_);
+  for (auto& gauge : gauges_) {
+    if (gauge.first == name) {
+      gauge.second = std::move(fn);
+      return;
+    }
+  }
   gauges_.emplace_back(std::move(name), std::move(fn));
 }
 
@@ -33,10 +48,17 @@ TelemetrySnapshot BrokerTelemetry::snapshot() const {
   TelemetrySnapshot s;
   // Downstream state first (histograms record at dispatcher pickup or
   // later), then the counter matrix in its own reverse-pipeline pass.
+  // The merged histograms are built from the SAME per-shard copies that
+  // the snapshot exposes, so aggregate and shard series always agree.
+  s.shard_histograms.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    s.ingress_wait.merge(shard->ingress_wait.snapshot());
-    s.service_time.merge(shard->service_time.snapshot());
-    s.filter_eval.merge(shard->filter_eval.snapshot());
+    auto& per_shard = s.shard_histograms.emplace_back();
+    per_shard.ingress_wait = shard->ingress_wait.snapshot();
+    per_shard.service_time = shard->service_time.snapshot();
+    per_shard.filter_eval = shard->filter_eval.snapshot();
+    s.ingress_wait.merge(per_shard.ingress_wait);
+    s.service_time.merge(per_shard.service_time);
+    s.filter_eval.merge(per_shard.filter_eval);
   }
   s.shards = registry_.all_slots();
   for (const auto& slot : s.shards) s.totals += slot;

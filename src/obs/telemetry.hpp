@@ -41,6 +41,13 @@ struct TelemetryConfig {
   std::uint32_t filter_timing_every = 0;
 };
 
+/// The three latency histograms of one dispatcher shard.
+struct ShardHistogramSnapshots {
+  HistogramSnapshot ingress_wait;
+  HistogramSnapshot service_time;
+  HistogramSnapshot filter_eval;
+};
+
 /// One coherent read of the whole telemetry state.
 struct TelemetrySnapshot {
   CounterSnapshot totals;               ///< sum of `shards` (same read pass)
@@ -48,7 +55,14 @@ struct TelemetrySnapshot {
   HistogramSnapshot ingress_wait;       ///< merged over shards
   HistogramSnapshot service_time;       ///< merged over shards
   HistogramSnapshot filter_eval;        ///< merged over shards
+  /// Per-shard histograms (the exporters label them `shard="i"`); the
+  /// merged fields above are their element-wise sum from the same pass.
+  std::vector<ShardHistogramSnapshots> shard_histograms;
   std::vector<std::pair<std::string, double>> gauges;
+  /// Rolling-window series (`recent_*`) filled by holders of a
+  /// TelemetryWindow (jms::Broker::telemetry_snapshot); empty before the
+  /// first window rotation.
+  std::vector<std::pair<std::string, double>> recent;
   std::size_t trace_capacity = 0;
   std::uint64_t traces_pushed = 0;
   std::uint64_t traces_dropped = 0;
@@ -79,6 +93,12 @@ class BrokerTelemetry {
 
   [[nodiscard]] bool tracing_enabled() const { return sample_every_ != 0; }
 
+  /// Sampling stride derived from trace_sample_rate: 0 = tracing off,
+  /// 1 = every message, UINT64_MAX = rate so small that only the first
+  /// message of each 2^64-long sequence is traced (denormal rates clamp
+  /// here instead of overflowing the round-trip through double).
+  [[nodiscard]] std::uint64_t sample_stride() const { return sample_every_; }
+
   /// Publish-path sampling decision: returns a non-zero trace id when
   /// this message should be traced, 0 otherwise.
   [[nodiscard]] std::uint64_t sample_trace() noexcept {
@@ -94,6 +114,8 @@ class BrokerTelemetry {
   }
 
   /// Registers a named gauge evaluated lazily at snapshot time.
+  /// Re-registering an existing name replaces its callback (so repeated
+  /// attach/detach cycles never produce duplicate exporter series).
   void register_gauge(std::string name, std::function<double()> fn);
 
   [[nodiscard]] TelemetrySnapshot snapshot() const;

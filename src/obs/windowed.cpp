@@ -1,0 +1,182 @@
+#include "obs/windowed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace jmsperf::obs {
+
+namespace {
+
+std::size_t checked_capacity(std::size_t capacity, const char* who) {
+  if (capacity == 0) {
+    throw std::invalid_argument(std::string(who) + ": capacity must be >= 1");
+  }
+  return capacity;
+}
+
+}  // namespace
+
+WindowedCounter::WindowedCounter(std::size_t capacity)
+    : ring_(checked_capacity(capacity, "WindowedCounter")) {}
+
+void WindowedCounter::observe(std::uint64_t cumulative, double epoch_seconds) {
+  Epoch& epoch = ring_[next_];
+  epoch.delta = cumulative >= previous_ ? cumulative - previous_ : 0;
+  epoch.seconds = std::max(epoch_seconds, 0.0);
+  previous_ = cumulative;
+  next_ = (next_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+}
+
+std::uint64_t WindowedCounter::delta(std::size_t epochs) const {
+  const std::size_t n = std::min(epochs, size_);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += ring_[(next_ + ring_.size() - 1 - i) % ring_.size()].delta;
+  }
+  return sum;
+}
+
+double WindowedCounter::seconds(std::size_t epochs) const {
+  const std::size_t n = std::min(epochs, size_);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += ring_[(next_ + ring_.size() - 1 - i) % ring_.size()].seconds;
+  }
+  return sum;
+}
+
+double WindowedCounter::rate(std::size_t epochs) const {
+  const double span = seconds(epochs);
+  return span > 0.0 ? static_cast<double>(delta(epochs)) / span : 0.0;
+}
+
+WindowedHistogram::WindowedHistogram(std::size_t capacity)
+    : ring_(checked_capacity(capacity, "WindowedHistogram")) {}
+
+void WindowedHistogram::observe(const HistogramSnapshot& cumulative,
+                                double epoch_seconds) {
+  Epoch& epoch = ring_[next_];
+  epoch.delta = cumulative.delta_since(previous_);
+  epoch.seconds = std::max(epoch_seconds, 0.0);
+  previous_ = cumulative;
+  next_ = (next_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+}
+
+HistogramSnapshot WindowedHistogram::window(std::size_t epochs) const {
+  const std::size_t n = std::min(epochs, size_);
+  HistogramSnapshot merged;
+  for (std::size_t i = 0; i < n; ++i) {
+    merged.merge(ring_[(next_ + ring_.size() - 1 - i) % ring_.size()].delta);
+  }
+  return merged;
+}
+
+double WindowedHistogram::seconds(std::size_t epochs) const {
+  const std::size_t n = std::min(epochs, size_);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += ring_[(next_ + ring_.size() - 1 - i) % ring_.size()].seconds;
+  }
+  return sum;
+}
+
+TelemetryWindow::TelemetryWindow(std::size_t capacity)
+    : capacity_(checked_capacity(capacity, "TelemetryWindow")),
+      totals_(kCounterCount, WindowedCounter(capacity_)),
+      ingress_wait_(capacity_),
+      service_time_(capacity_),
+      filter_eval_(capacity_),
+      shard_ring_(capacity_) {}
+
+void TelemetryWindow::prime(const TelemetrySnapshot& cumulative, TimePoint now) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    totals_[c].prime(cumulative.totals.values[c]);
+  }
+  ingress_wait_.prime(cumulative.ingress_wait);
+  service_time_.prime(cumulative.service_time);
+  filter_eval_.prime(cumulative.filter_eval);
+  previous_shards_ = cumulative.shards;
+  primed_ = true;
+  previous_time_ = now;
+}
+
+void TelemetryWindow::rotate(const TelemetrySnapshot& cumulative, TimePoint now) {
+  std::lock_guard lock(mutex_);
+  if (!primed_) {
+    // First rotation without a prior prime(): anchor only.
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+      totals_[c].prime(cumulative.totals.values[c]);
+    }
+    ingress_wait_.prime(cumulative.ingress_wait);
+    service_time_.prime(cumulative.service_time);
+    filter_eval_.prime(cumulative.filter_eval);
+    previous_shards_ = cumulative.shards;
+    primed_ = true;
+    previous_time_ = now;
+    return;
+  }
+  const double seconds =
+      std::chrono::duration<double>(now - previous_time_).count();
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    totals_[c].observe(cumulative.totals.values[c], seconds);
+  }
+  ingress_wait_.observe(cumulative.ingress_wait, seconds);
+  service_time_.observe(cumulative.service_time, seconds);
+  filter_eval_.observe(cumulative.filter_eval, seconds);
+
+  ShardEpoch& shard_epoch = shard_ring_[shard_next_];
+  shard_epoch.deltas.assign(cumulative.shards.size(), CounterSnapshot{});
+  for (std::size_t s = 0; s < cumulative.shards.size(); ++s) {
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+      const std::uint64_t later = cumulative.shards[s].values[c];
+      const std::uint64_t earlier =
+          s < previous_shards_.size() ? previous_shards_[s].values[c] : 0;
+      shard_epoch.deltas[s].values[c] = later >= earlier ? later - earlier : 0;
+    }
+  }
+  previous_shards_ = cumulative.shards;
+  shard_next_ = (shard_next_ + 1) % capacity_;
+  shard_size_ = std::min(shard_size_ + 1, capacity_);
+  previous_time_ = now;
+  ++rotations_;
+}
+
+WindowView TelemetryWindow::view(std::size_t epochs) const {
+  std::lock_guard lock(mutex_);
+  WindowView view;
+  view.epochs = std::min(epochs, shard_size_);
+  view.seconds = ingress_wait_.seconds(epochs);
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    view.counters.values[c] = totals_[c].delta(epochs);
+  }
+  view.ingress_wait = ingress_wait_.window(epochs);
+  view.service_time = service_time_.window(epochs);
+  view.filter_eval = filter_eval_.window(epochs);
+  for (std::size_t i = 0; i < view.epochs; ++i) {
+    const ShardEpoch& epoch =
+        shard_ring_[(shard_next_ + capacity_ - 1 - i) % capacity_];
+    if (epoch.deltas.size() > view.shards.size()) {
+      view.shards.resize(epoch.deltas.size());
+    }
+    for (std::size_t s = 0; s < epoch.deltas.size(); ++s) {
+      view.shards[s] += epoch.deltas[s];
+    }
+  }
+  return view;
+}
+
+std::size_t TelemetryWindow::epoch_count() const {
+  std::lock_guard lock(mutex_);
+  return shard_size_;
+}
+
+std::uint64_t TelemetryWindow::rotations() const {
+  std::lock_guard lock(mutex_);
+  return rotations_;
+}
+
+}  // namespace jmsperf::obs

@@ -1,0 +1,166 @@
+// Rolling-window telemetry on top of the cumulative primitives.
+//
+// Counters and histograms are cumulative-since-start; operators ask
+// "what is the p99 waiting time NOW".  Windowing here works by
+// DIFFERENCING cumulative snapshots instead of double-writing the hot
+// path: `rotate()`/`observe()` reads the cumulative state, subtracts the
+// previous rotation's reading (exact, because the histogram layout
+// merges — and therefore subtracts — element-wise), and stores the
+// per-epoch delta in a ring of the last N epochs.  A rolling-window view
+// is then the merge of the most recent deltas.  Recording threads never
+// see any of this: rotation and reads are cold-path and mutex-guarded,
+// the hot path stays the same relaxed fetch_adds, and the micro_obs
+// overhead gate is unaffected.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/latency_histogram.hpp"
+#include "obs/telemetry.hpp"
+
+namespace jmsperf::obs {
+
+/// "All retained epochs" sentinel for the window-view accessors.
+inline constexpr std::size_t kAllEpochs = std::numeric_limits<std::size_t>::max();
+
+/// Ring of per-epoch deltas of ONE cumulative counter.  `observe()`
+/// closes an epoch with a fresh cumulative reading; `delta()`/`rate()`
+/// aggregate the most recent epochs.  Not thread-safe on its own —
+/// TelemetryWindow wraps its instances under one mutex.
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(std::size_t capacity = 8);
+
+  /// Re-anchors the baseline reading without producing an epoch.
+  void prime(std::uint64_t cumulative) { previous_ = cumulative; }
+
+  /// Closes an epoch spanning `epoch_seconds` with the counter's new
+  /// cumulative value.  A reading below the previous one (a rolled-back
+  /// counter) contributes a zero delta.
+  void observe(std::uint64_t cumulative, double epoch_seconds);
+
+  /// Sum of the deltas of the last `epochs` epochs.
+  [[nodiscard]] std::uint64_t delta(std::size_t epochs = kAllEpochs) const;
+  /// Wall-clock span covered by the last `epochs` epochs.
+  [[nodiscard]] double seconds(std::size_t epochs = kAllEpochs) const;
+  /// delta / seconds; 0 when the span is empty.
+  [[nodiscard]] double rate(std::size_t epochs = kAllEpochs) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  struct Epoch {
+    std::uint64_t delta = 0;
+    double seconds = 0.0;
+  };
+
+  std::vector<Epoch> ring_;
+  std::size_t next_ = 0;  ///< slot the next epoch will overwrite
+  std::size_t size_ = 0;  ///< retained epochs (<= capacity)
+  std::uint64_t previous_ = 0;
+};
+
+/// Ring of per-epoch HistogramSnapshot deltas of one cumulative
+/// LatencyHistogram; `window()` merges the most recent deltas into one
+/// snapshot with full quantile math.  Not thread-safe on its own.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(std::size_t capacity = 8);
+
+  /// Re-anchors the baseline snapshot without producing an epoch.
+  void prime(HistogramSnapshot cumulative) { previous_ = std::move(cumulative); }
+
+  /// Closes an epoch with a fresh cumulative snapshot of the histogram.
+  void observe(const HistogramSnapshot& cumulative, double epoch_seconds);
+
+  /// Merged deltas of the last `epochs` epochs.
+  [[nodiscard]] HistogramSnapshot window(std::size_t epochs = kAllEpochs) const;
+  [[nodiscard]] double seconds(std::size_t epochs = kAllEpochs) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  struct Epoch {
+    HistogramSnapshot delta;
+    double seconds = 0.0;
+  };
+
+  std::vector<Epoch> ring_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+  HistogramSnapshot previous_;
+};
+
+/// Merged view over the most recent epochs of a TelemetryWindow.
+struct WindowView {
+  std::size_t epochs = 0;   ///< epochs merged into this view
+  double seconds = 0.0;     ///< wall-clock span they cover
+  CounterSnapshot counters;             ///< per-counter deltas (totals)
+  std::vector<CounterSnapshot> shards;  ///< per-shard deltas
+  HistogramSnapshot ingress_wait;
+  HistogramSnapshot service_time;
+  HistogramSnapshot filter_eval;
+
+  /// Windowed throughput of one counter in events/second.
+  [[nodiscard]] double rate(Counter c) const {
+    return seconds > 0.0 ? static_cast<double>(counters[c]) / seconds : 0.0;
+  }
+};
+
+/// Thread-safe bundle of windowed series for one BrokerTelemetry: one
+/// `rotate()` closes the epoch for every counter (per shard and total)
+/// and all three latency histograms from a single cumulative
+/// TelemetrySnapshot, so the view stays internally consistent.
+class TelemetryWindow {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// `capacity` = number of retained epochs N (>= 1).
+  explicit TelemetryWindow(std::size_t capacity = 8);
+
+  /// Re-anchors the baseline reading without producing an epoch (called
+  /// by jms::Broker at construction so the first rotation measures from
+  /// broker start).
+  void prime(const TelemetrySnapshot& cumulative, TimePoint now);
+
+  /// Closes the epoch [previous rotation, now).  The first call without
+  /// a prior `prime()` only anchors the baseline.
+  void rotate(const TelemetrySnapshot& cumulative, TimePoint now);
+
+  /// Merged view over the last `epochs` rotations.
+  [[nodiscard]] WindowView view(std::size_t epochs = kAllEpochs) const;
+
+  [[nodiscard]] std::size_t epoch_count() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Total rotations that produced an epoch (monotone, not capped).
+  [[nodiscard]] std::uint64_t rotations() const;
+
+ private:
+  struct ShardEpoch {
+    std::vector<CounterSnapshot> deltas;
+  };
+
+  const std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::vector<WindowedCounter> totals_;  ///< one ring per Counter
+  WindowedHistogram ingress_wait_;
+  WindowedHistogram service_time_;
+  WindowedHistogram filter_eval_;
+  std::vector<ShardEpoch> shard_ring_;  ///< per-epoch per-shard deltas
+  std::size_t shard_next_ = 0;
+  std::size_t shard_size_ = 0;
+  std::vector<CounterSnapshot> previous_shards_;
+  bool primed_ = false;
+  TimePoint previous_time_{};
+  std::uint64_t rotations_ = 0;
+};
+
+}  // namespace jmsperf::obs

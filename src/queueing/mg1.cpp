@@ -27,6 +27,18 @@ MG1Waiting::MG1Waiting(double lambda, stats::RawMoments service_moments)
   }
 }
 
+std::optional<MG1Waiting> MG1Waiting::try_build(
+    double lambda, const stats::RawMoments& service_moments) {
+  // Mirror the constructor's checks without exception control flow.
+  if (!(lambda > 0.0) || !(service_moments.m1 > 0.0)) return std::nullopt;
+  if (!(lambda * service_moments.m1 < 1.0)) return std::nullopt;
+  try {
+    return MG1Waiting(lambda, service_moments);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // inconsistent moment sequence
+  }
+}
+
 double MG1Waiting::waiting_time_cv() const {
   if (!(w1_ > 0.0)) throw std::logic_error("MG1Waiting: cv undefined for zero mean wait");
   return std::sqrt(waiting_time_variance()) / w1_;

@@ -27,6 +27,13 @@ class MG1Waiting {
   /// consistent, and the queue is stable (rho = lambda*E[B] < 1).
   MG1Waiting(double lambda, stats::RawMoments service_moments);
 
+  /// Non-throwing factory for live monitoring: nullopt whenever the
+  /// constructor would throw (lambda <= 0, inconsistent moments, or an
+  /// unstable queue).  An overloaded live broker routinely feeds
+  /// rho >= 1 here — that is a signal to report, not an error.
+  [[nodiscard]] static std::optional<MG1Waiting> try_build(
+      double lambda, const stats::RawMoments& service_moments);
+
   [[nodiscard]] double lambda() const { return lambda_; }
   [[nodiscard]] const stats::RawMoments& service_moments() const { return service_; }
 

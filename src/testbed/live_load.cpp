@@ -14,11 +14,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-jms::BrokerConfig measurement_broker_config(double trace_sample_rate) {
+jms::BrokerConfig measurement_broker_config(const LiveLoadConfig& config,
+                                            double trace_sample_rate) {
   jms::BrokerConfig broker_config;
   broker_config.subscription_queue_capacity = 1 << 17;
   broker_config.drop_on_subscriber_overflow = true;  // keep dispatcher unblocked
   broker_config.trace_sample_rate = trace_sample_rate;
+  broker_config.telemetry_window_capacity = config.telemetry_window_capacity;
   return broker_config;
 }
 
@@ -45,7 +47,7 @@ LiveLoadResult run_live_load(const LiveLoadConfig& config) {
   // so 1/throughput would overestimate the service time and phase 2
   // would then undershoot the target utilization.
   {
-    jms::Broker broker(measurement_broker_config(0.0));
+    jms::Broker broker(measurement_broker_config(config, 0.0));
     const auto subs = install_population(broker, config);
     for (int i = 0; i < config.warmup_messages; ++i) {
       broker.publish(workload::make_keyed_message("t", 0));
@@ -74,15 +76,15 @@ LiveLoadResult run_live_load(const LiveLoadConfig& config) {
 
   // --- Phase 2: paced Poisson arrivals on a fresh broker ---------------
   {
-    jms::Broker broker(measurement_broker_config(config.trace_sample_rate));
+    jms::Broker broker(measurement_broker_config(config, config.trace_sample_rate));
     const auto subs = install_population(broker, config);
     stats::RandomStream rng(config.seed);
+    if (config.on_measurement_start) config.on_measurement_start(broker);
 
-    // Absolute exponential schedule: each send targets start + sum of the
-    // sampled inter-arrival gaps, so pacing error does not accumulate.
-    //
-    // How the wait is realized matters on a single-core host, where the
-    // publisher and the dispatcher fight for the same CPU:
+    // PoissonPacer owns the absolute exponential schedule and the
+    // stall-reset guard (see its header comment).  What remains here is
+    // how the wait is realized, which matters on a single-core host
+    // where the publisher and the dispatcher fight for the same CPU:
     //  * For gaps long enough to sleep, sleep_until puts the publisher
     //    truly off-CPU — the dispatcher serves uninterrupted and the
     //    hrtimer wakeup preempts it with microsecond precision at the
@@ -93,19 +95,12 @@ LiveLoadResult run_live_load(const LiveLoadConfig& config) {
     //    accurate when a spare core exists: on one core the spinning
     //    publisher and the serving dispatcher alternate at scheduler-tick
     //    granularity, which batches arrivals.
-    // If the host steals the CPU for much longer than the sleep
-    // granularity, do NOT replay the missed arrivals as a back-to-back
-    // burst — that would measure the steal, not the queue.  Shift the
-    // schedule forward and keep offering Poisson arrivals from "now".
     const auto sleep_granularity = std::chrono::microseconds(150);
-    const auto stall_slack = std::chrono::milliseconds(2);
     const auto start = Clock::now();
-    auto next = start;
+    PoissonPacer pacer(result.offered_lambda, rng, start);
     for (int i = 0; i < config.messages; ++i) {
-      next += std::chrono::nanoseconds(static_cast<std::int64_t>(
-          1e9 * rng.exponential(result.offered_lambda)));
       const auto now = Clock::now();
-      if (now > next + stall_slack) next = now;
+      const auto next = pacer.schedule_next(now);
       if (next - now > sleep_granularity) {
         std::this_thread::sleep_until(next);
       } else {
@@ -115,7 +110,9 @@ LiveLoadResult run_live_load(const LiveLoadConfig& config) {
     }
     const auto last = Clock::now();
     broker.wait_until_idle();
+    if (config.on_measurement_done) config.on_measurement_done(broker);
 
+    result.pacer_stall_resets = pacer.stall_resets();
     result.achieved_lambda =
         config.messages / std::chrono::duration<double>(last - start).count();
     result.telemetry = broker.telemetry_snapshot();

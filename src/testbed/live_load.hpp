@@ -6,14 +6,66 @@
 // check (paper Sec. IV-B on this host).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 
 #include "core/cost_model.hpp"
 #include "jms/broker.hpp"
 #include "obs/telemetry.hpp"
 #include "stats/moments.hpp"
+#include "stats/rng.hpp"
 
 namespace jmsperf::testbed {
+
+/// Absolute-schedule Poisson pacer with a stall-reset guard.
+///
+/// Each `schedule_next()` advances the schedule by one exponential gap
+/// (so pacing error does not accumulate: send i targets start + the sum
+/// of i sampled gaps) and returns the arrival deadline the caller should
+/// wait for.  If the caller reports a `now` more than `stall_slack` past
+/// the deadline — the host stole the CPU — the schedule is shifted
+/// forward to `now` instead of replaying the missed arrivals as a
+/// back-to-back burst (which would measure the steal, not the queue);
+/// each such shift is counted in `stall_resets()`.
+///
+/// Taking `now` as a parameter keeps the pacer clock-free: tests inject
+/// synthetic stalls by passing fabricated timestamps.
+class PoissonPacer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// One exponential gap with rate `lambda` is drawn from `rng` per
+  /// schedule_next() call; `rng` must outlive the pacer.
+  PoissonPacer(double lambda, stats::RandomStream& rng,
+               Clock::time_point start,
+               Clock::duration stall_slack = std::chrono::milliseconds(2))
+      : lambda_(lambda), rng_(&rng), stall_slack_(stall_slack), next_(start) {}
+
+  /// Advances the schedule by one sampled gap, applies the stall-reset
+  /// guard against `now`, and returns the resulting arrival deadline.
+  Clock::time_point schedule_next(Clock::time_point now) {
+    next_ += std::chrono::nanoseconds(
+        static_cast<std::int64_t>(1e9 * rng_->exponential(lambda_)));
+    if (now > next_ + stall_slack_) {
+      next_ = now;
+      ++stall_resets_;
+    }
+    return next_;
+  }
+
+  /// Deadline of the most recently scheduled arrival.
+  [[nodiscard]] Clock::time_point deadline() const { return next_; }
+  /// Schedule shifts forced by host stalls so far.
+  [[nodiscard]] std::uint64_t stall_resets() const { return stall_resets_; }
+
+ private:
+  double lambda_;
+  stats::RandomStream* rng_;
+  Clock::duration stall_slack_;
+  Clock::time_point next_;
+  std::uint64_t stall_resets_ = 0;
+};
 
 struct LiveLoadConfig {
   /// Target utilization rho of the single dispatcher.
@@ -33,6 +85,16 @@ struct LiveLoadConfig {
   std::uint64_t seed = 42;
   /// Forwarded to the measurement broker (0 = tracing off).
   double trace_sample_rate = 0.0;
+  /// Epochs retained by the measurement broker's telemetry window.
+  std::size_t telemetry_window_capacity = 8;
+  /// Called on the measurement broker after the filter population is
+  /// installed, just before pacing starts — attach an obs::Monitor or
+  /// prime dashboards here.  Null = no-op.
+  std::function<void(jms::Broker&)> on_measurement_start;
+  /// Called after the paced run drained (wait_until_idle) while the
+  /// measurement broker is still alive — final monitor tick, alert
+  /// collection.  Null = no-op.
+  std::function<void(jms::Broker&)> on_measurement_done;
 };
 
 struct LiveLoadResult {
@@ -48,6 +110,9 @@ struct LiveLoadResult {
   /// First three raw moments of the measured per-message service time
   /// (from the service-time histogram; feeds queueing::MG1Waiting).
   stats::RawMoments service_moments;
+  /// Schedule shifts the pacer's stall-reset guard had to apply (host
+  /// stole the CPU past the slack); a noisy host shows up here.
+  std::uint64_t pacer_stall_resets = 0;
   /// Full telemetry of the measurement broker after the run.
   obs::TelemetrySnapshot telemetry;
   jms::BrokerStats stats;

@@ -1,0 +1,144 @@
+// Live Eq. 21-23 validation (ctest -L monitor): calibrate this host's
+// cost model from saturated runs over a (n_fltr, R) grid, stand up a PSR
+// cluster (one broker per publisher, each carrying every subscriber's
+// filters) and an SSR cluster (one broker per subscriber, each carrying
+// only its own filters), saturate every node, and check that the
+// capacity ranking ClusterTelemetry measures from merged live telemetry
+// matches the analytic psr_capacity/ssr_capacity prediction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distributed.hpp"
+#include "jms/broker.hpp"
+#include "obs/cluster_telemetry.hpp"
+#include "testbed/calibration.hpp"
+#include "workload/filter_population.hpp"
+
+namespace jmsperf::obs {
+namespace {
+
+struct SaturatedNode {
+  std::unique_ptr<jms::Broker> broker;
+  std::vector<std::shared_ptr<jms::Subscription>> subs;
+};
+
+/// Runs a saturated burst against a fresh broker with `filters`
+/// installed filters and `replication` matching ones, returning the
+/// node with its telemetry populated.
+SaturatedNode saturated_node(std::uint32_t filters, std::uint32_t replication,
+                             int messages) {
+  SaturatedNode node;
+  jms::BrokerConfig config;
+  config.subscription_queue_capacity = 1 << 17;
+  config.drop_on_subscriber_overflow = true;
+  node.broker = std::make_unique<jms::Broker>(config);
+  node.broker->create_topic("t");
+  node.subs = workload::install_measurement_population(
+      *node.broker, "t", core::FilterClass::CorrelationId,
+      filters - replication, replication);
+  // Warmup outside the measured histogram is not needed here: the grid
+  // spans large bursts, so cold-cache services are noise in the mean.
+  for (int i = 0; i < messages; ++i) {
+    node.broker->publish(workload::make_keyed_message("t", 0));
+  }
+  node.broker->wait_until_idle();
+  return node;
+}
+
+TEST(ClusterLive, MeasuredPsrSsrRankingMatchesEq21To23) {
+  constexpr std::uint64_t kPublishers = 4;   // n
+  constexpr std::uint64_t kSubscribers = 2;  // m
+  constexpr std::uint32_t kFiltersPerSubscriber = 8;  // n_fltr
+  constexpr int kMessages = 6000;
+
+  // --- Calibrate this host's cost model from a saturated grid ----------
+  testbed::CalibrationFitter fitter;
+  for (const std::uint32_t n_fltr : {8u, 32u}) {
+    for (const std::uint32_t replication : {1u, 4u}) {
+      const SaturatedNode node =
+          saturated_node(n_fltr + replication, replication, kMessages);
+      const double mean =
+          node.broker->telemetry_snapshot().service_time.mean_seconds();
+      ASSERT_GT(mean, 0.0);
+      fitter.add(n_fltr + replication, replication, 1.0 / mean);
+    }
+  }
+  const testbed::CalibrationFit fit = fitter.fit();
+
+  core::DistributedScenario scenario;
+  scenario.cost = fit.cost;
+  scenario.publishers = kPublishers;
+  scenario.subscribers = kSubscribers;
+  scenario.filters_per_subscriber = kFiltersPerSubscriber;
+  scenario.mean_replication = 1.0;
+  scenario.rho = 0.9;
+  if (!(scenario.cost.t_rcv > 0.0 && scenario.cost.t_fltr > 0.0 &&
+        scenario.cost.t_tx > 0.0)) {
+    GTEST_SKIP() << "host too noisy for a meaningful cost-model fit "
+                 << "(t_rcv=" << scenario.cost.t_rcv
+                 << ", t_fltr=" << scenario.cost.t_fltr
+                 << ", t_tx=" << scenario.cost.t_tx << ")";
+  }
+
+  const double predicted_psr = core::psr_capacity(scenario);
+  const double predicted_ssr = core::ssr_capacity(scenario);
+  // Only a decisive analytic margin makes the live ranking testable.
+  if (std::abs(predicted_psr - predicted_ssr) <
+      0.15 * std::max(predicted_psr, predicted_ssr)) {
+    GTEST_SKIP() << "predicted PSR/SSR capacities within 15% on this host";
+  }
+
+  // --- PSR cluster: n brokers, each carrying all m * n_fltr filters ----
+  ClusterTelemetry psr_cluster;
+  std::vector<SaturatedNode> psr_nodes;
+  for (std::uint64_t i = 0; i < kPublishers; ++i) {
+    psr_nodes.push_back(saturated_node(
+        static_cast<std::uint32_t>(kSubscribers) * kFiltersPerSubscriber, 1,
+        kMessages));
+    psr_cluster.add_node("psr-" + std::to_string(i),
+                         psr_nodes.back().broker->telemetry());
+  }
+  // --- SSR cluster: m brokers, each carrying its own n_fltr filters ----
+  ClusterTelemetry ssr_cluster;
+  std::vector<SaturatedNode> ssr_nodes;
+  for (std::uint64_t i = 0; i < kSubscribers; ++i) {
+    ssr_nodes.push_back(saturated_node(kFiltersPerSubscriber, 1, kMessages));
+    ssr_cluster.add_node("ssr-" + std::to_string(i),
+                         ssr_nodes.back().broker->telemetry());
+  }
+
+  const ClusterCapacityReport psr = psr_cluster.capacity_report(
+      core::ArchitectureChoice::PublisherSideReplication, scenario);
+  const ClusterCapacityReport ssr = ssr_cluster.capacity_report(
+      core::ArchitectureChoice::SubscriberSideReplication, scenario);
+  ASSERT_EQ(psr.nodes.size(), kPublishers);
+  ASSERT_EQ(ssr.nodes.size(), kSubscribers);
+  for (const auto& node : psr.nodes) EXPECT_GT(node.capacity, 0.0);
+  for (const auto& node : ssr.nodes) EXPECT_GT(node.capacity, 0.0);
+
+  // The live ranking must agree with the analytic one (Eqs. 21-22).
+  EXPECT_EQ(psr.measured_system_capacity > ssr.measured_system_capacity,
+            predicted_psr > predicted_ssr)
+      << psr.to_text() << ssr.to_text();
+  // And with the Eq. 23 crossover: our n sits on the same side of n* as
+  // the recommendation.
+  const auto recommended = core::recommend_architecture(scenario);
+  if (recommended == core::ArchitectureChoice::PublisherSideReplication) {
+    EXPECT_GT(static_cast<double>(kPublishers), psr.predicted_crossover);
+  } else if (recommended ==
+             core::ArchitectureChoice::SubscriberSideReplication) {
+    EXPECT_LT(static_cast<double>(kPublishers), psr.predicted_crossover);
+  }
+  // The measured system capacities should live in the same decade as the
+  // prediction (host noise allowing) — this is a sanity bound, not a fit.
+  EXPECT_GT(psr.measured_system_capacity, 0.1 * psr.predicted_system_capacity);
+  EXPECT_LT(psr.measured_system_capacity, 10.0 * psr.predicted_system_capacity);
+}
+
+}  // namespace
+}  // namespace jmsperf::obs

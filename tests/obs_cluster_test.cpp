@@ -1,0 +1,151 @@
+// ClusterTelemetry unit tests: exact cross-broker merging of counters
+// and histograms, capacity-report plumbing, and the error paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jms/broker.hpp"
+#include "obs/cluster_telemetry.hpp"
+#include "workload/filter_population.hpp"
+
+namespace jmsperf::obs {
+namespace {
+
+core::DistributedScenario test_scenario() {
+  core::DistributedScenario scenario;
+  scenario.cost.t_rcv = 10e-6;
+  scenario.cost.t_fltr = 1e-6;
+  scenario.cost.t_tx = 5e-6;
+  scenario.publishers = 4;
+  scenario.subscribers = 2;
+  scenario.filters_per_subscriber = 8.0;
+  scenario.mean_replication = 1.0;
+  scenario.rho = 0.9;
+  return scenario;
+}
+
+TEST(ClusterTelemetry, MergesNodeSnapshotsExactly) {
+  jms::Broker a{jms::BrokerConfig{}}, b{jms::BrokerConfig{}};
+  for (jms::Broker* broker : {&a, &b}) broker->create_topic("t");
+  auto subs_a = workload::install_measurement_population(
+      a, "t", core::FilterClass::CorrelationId, 4, 1);
+  auto subs_b = workload::install_measurement_population(
+      b, "t", core::FilterClass::CorrelationId, 4, 1);
+  for (int i = 0; i < 120; ++i) a.publish(workload::make_keyed_message("t", 0));
+  for (int i = 0; i < 80; ++i) b.publish(workload::make_keyed_message("t", 0));
+  a.wait_until_idle();
+  b.wait_until_idle();
+
+  ClusterTelemetry cluster;
+  cluster.add_node("node-a", a.telemetry());
+  cluster.add_node("node-b", b.telemetry());
+  EXPECT_EQ(cluster.node_count(), 2u);
+  EXPECT_EQ(cluster.node_names(),
+            (std::vector<std::string>{"node-a", "node-b"}));
+
+  const auto snapshot = cluster.snapshot();
+  ASSERT_EQ(snapshot.nodes.size(), 2u);
+  EXPECT_EQ(snapshot.totals[Counter::Published], 200u);
+  EXPECT_EQ(snapshot.totals[Counter::Received], 200u);
+  EXPECT_EQ(snapshot.service_time.total, 200u);
+  EXPECT_EQ(snapshot.ingress_wait.total, 200u);
+  // Merging is element-wise exact: the cluster histogram equals the sum
+  // of the per-node buckets.
+  const auto sa = a.telemetry_snapshot().service_time;
+  const auto sb = b.telemetry_snapshot().service_time;
+  EXPECT_EQ(snapshot.service_time.sum_ns, sa.sum_ns + sb.sum_ns);
+  for (std::size_t i = 0; i < snapshot.service_time.counts.size(); ++i) {
+    EXPECT_EQ(snapshot.service_time.counts[i], sa.counts[i] + sb.counts[i])
+        << "bucket " << i;
+  }
+}
+
+TEST(ClusterTelemetry, DuplicateNodeNameThrows) {
+  jms::Broker broker{jms::BrokerConfig{}};
+  ClusterTelemetry cluster;
+  cluster.add_node("n", broker.telemetry());
+  EXPECT_THROW(cluster.add_node("n", broker.telemetry()),
+               std::invalid_argument);
+}
+
+TEST(ClusterTelemetry, CapacityReportCombinesPerArchitecture) {
+  jms::Broker a{jms::BrokerConfig{}}, b{jms::BrokerConfig{}};
+  for (jms::Broker* broker : {&a, &b}) broker->create_topic("t");
+  auto subs_a = workload::install_measurement_population(
+      a, "t", core::FilterClass::CorrelationId, 16, 1);
+  auto subs_b = workload::install_measurement_population(
+      b, "t", core::FilterClass::CorrelationId, 16, 1);
+  for (jms::Broker* broker : {&a, &b}) {
+    for (int i = 0; i < 2000; ++i) {
+      broker->publish(workload::make_keyed_message("t", 0));
+    }
+    broker->wait_until_idle();
+  }
+
+  ClusterTelemetry cluster;
+  cluster.add_node("a", a.telemetry());
+  cluster.add_node("b", b.telemetry());
+  const auto scenario = test_scenario();
+
+  const ClusterCapacityReport psr = cluster.capacity_report(
+      core::ArchitectureChoice::PublisherSideReplication, scenario);
+  const ClusterCapacityReport ssr = cluster.capacity_report(
+      core::ArchitectureChoice::SubscriberSideReplication, scenario);
+  ASSERT_EQ(psr.nodes.size(), 2u);
+  for (const auto& node : psr.nodes) {
+    EXPECT_GT(node.service_mean_seconds, 0.0);
+    EXPECT_GT(node.capacity, 0.0);
+    EXPECT_EQ(node.received, 2000u);
+  }
+  // PSR sums the nodes (Eq. 21); SSR is capped by the bottleneck (Eq. 22).
+  const double sum = psr.nodes[0].capacity + psr.nodes[1].capacity;
+  const double bottleneck =
+      std::min(ssr.nodes[0].capacity, ssr.nodes[1].capacity);
+  EXPECT_DOUBLE_EQ(psr.measured_system_capacity, sum);
+  EXPECT_DOUBLE_EQ(ssr.measured_system_capacity, bottleneck);
+  EXPECT_DOUBLE_EQ(psr.predicted_system_capacity,
+                   core::psr_capacity(scenario));
+  EXPECT_DOUBLE_EQ(ssr.predicted_system_capacity,
+                   core::ssr_capacity(scenario));
+  EXPECT_DOUBLE_EQ(psr.predicted_crossover,
+                   core::psr_crossover_publishers(scenario));
+
+  const std::string text = psr.to_text();
+  EXPECT_NE(text.find("Eq. 21"), std::string::npos);
+  EXPECT_NE(text.find("Eq. 23"), std::string::npos);
+  const std::string json = ssr.to_json();
+  EXPECT_NE(json.find("\"architecture\""), std::string::npos);
+  EXPECT_NE(json.find("\"measured_system_capacity_per_s\""),
+            std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ClusterTelemetry, TieArchitectureAndEmptyClusterAreRejected) {
+  ClusterTelemetry cluster;
+  EXPECT_THROW(cluster.capacity_report(core::ArchitectureChoice::Tie,
+                                       test_scenario()),
+               std::invalid_argument);
+  const ClusterCapacityReport report = cluster.capacity_report(
+      core::ArchitectureChoice::SubscriberSideReplication, test_scenario());
+  EXPECT_TRUE(report.nodes.empty());
+  EXPECT_DOUBLE_EQ(report.measured_system_capacity, 0.0);  // no nodes, no rate
+  EXPECT_DOUBLE_EQ(report.relative_error(), -1.0);  // prediction, nothing live
+}
+
+TEST(ClusterTelemetry, NodeWithoutSamplesContributesZeroCapacity) {
+  jms::Broker idle{jms::BrokerConfig{}};
+  ClusterTelemetry cluster;
+  cluster.add_node("idle", idle.telemetry());
+  const ClusterCapacityReport report = cluster.capacity_report(
+      core::ArchitectureChoice::PublisherSideReplication, test_scenario());
+  ASSERT_EQ(report.nodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.nodes[0].capacity, 0.0);
+  EXPECT_DOUBLE_EQ(report.measured_system_capacity, 0.0);
+}
+
+}  // namespace
+}  // namespace jmsperf::obs

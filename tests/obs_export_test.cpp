@@ -3,6 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "jms/broker.hpp"
 #include "obs/exporters.hpp"
@@ -10,6 +19,199 @@
 
 namespace jmsperf::obs {
 namespace {
+
+// --- Prometheus exposition-format conformance checker --------------------
+// Hand-rolled validator for the subset of the text format we emit: every
+// sample line parses, belongs to a family announced by # HELP and # TYPE
+// BEFORE its first sample, counters end in _total, label syntax is
+// well-formed, and histogram buckets are cumulative with le="+Inf" equal
+// to the matching _count series.  Returns the violations (empty = clean).
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const unsigned char head = static_cast<unsigned char>(name[0]);
+  if (!(std::isalpha(head) || name[0] == '_' || name[0] == ':')) return false;
+  for (const char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (!(std::isalnum(u) || c == '_' || c == ':')) return false;
+  }
+  return true;
+}
+
+bool parse_labels(const std::string& labels,
+                  std::map<std::string, std::string>& out) {
+  std::size_t pos = 0;
+  while (pos < labels.size()) {
+    const std::size_t eq = labels.find("=\"", pos);
+    if (eq == std::string::npos) return false;
+    const std::string key = labels.substr(pos, eq - pos);
+    if (!valid_metric_name(key)) return false;
+    const std::size_t close = labels.find('"', eq + 2);
+    if (close == std::string::npos) return false;
+    out[key] = labels.substr(eq + 2, close - eq - 2);
+    pos = close + 1;
+    if (pos < labels.size()) {
+      if (labels[pos] != ',') return false;
+      ++pos;
+    }
+  }
+  return true;
+}
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+bool parse_sample(const std::string& line, Sample& out) {
+  const std::size_t name_end = line.find_first_of("{ ");
+  if (name_end == std::string::npos || name_end == 0) return false;
+  out.name = line.substr(0, name_end);
+  if (!valid_metric_name(out.name)) return false;
+  std::size_t value_start = 0;
+  if (line[name_end] == '{') {
+    const std::size_t close = line.find('}', name_end);
+    if (close == std::string::npos || close + 1 >= line.size() ||
+        line[close + 1] != ' ') {
+      return false;
+    }
+    if (!parse_labels(line.substr(name_end + 1, close - name_end - 1),
+                      out.labels)) {
+      return false;
+    }
+    value_start = close + 2;
+  } else {
+    value_start = name_end + 1;
+  }
+  const std::string value = line.substr(value_start);
+  if (value.empty()) return false;
+  char* end = nullptr;
+  out.value = std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::vector<std::string> conformance_errors(const std::string& text) {
+  std::vector<std::string> errors;
+  std::map<std::string, std::string> types;
+  std::set<std::string> helped;
+  struct BucketSeries {
+    double last_le = -std::numeric_limits<double>::infinity();
+    double last_count = -1.0;
+    bool saw_inf = false;
+    double inf_count = 0.0;
+  };
+  std::map<std::string, BucketSeries> buckets;  // family + non-le labels
+  std::map<std::string, double> counts;         // family + labels
+
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      if (space == std::string::npos || space + 1 >= rest.size()) {
+        errors.push_back("HELP without text: " + line);
+      } else {
+        helped.insert(rest.substr(0, space));
+      }
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family, type;
+      fields >> family >> type;
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        errors.push_back("unknown TYPE: " + line);
+      }
+      if (!types.emplace(family, type).second) {
+        errors.push_back("duplicate TYPE for " + family);
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments are legal
+
+    Sample s;
+    if (!parse_sample(line, s)) {
+      errors.push_back("malformed sample: " + line);
+      continue;
+    }
+    std::string family = s.name;
+    for (const std::string suffix : {"_bucket", "_sum", "_count"}) {
+      if (s.name.size() > suffix.size() && s.name.ends_with(suffix)) {
+        const std::string stripped =
+            s.name.substr(0, s.name.size() - suffix.size());
+        const auto it = types.find(stripped);
+        if (it != types.end() && it->second == "histogram") {
+          family = stripped;
+          break;
+        }
+      }
+    }
+    const auto type_it = types.find(family);
+    if (type_it == types.end()) {
+      errors.push_back("sample before its # TYPE: " + line);
+      continue;
+    }
+    if (helped.count(family) == 0) {
+      errors.push_back("sample before its # HELP: " + line);
+    }
+    if (type_it->second == "counter" && !family.ends_with("_total")) {
+      errors.push_back("counter not named *_total: " + line);
+    }
+    if (type_it->second != "histogram") continue;
+
+    std::string key = family;
+    for (const auto& [k, v] : s.labels) {
+      if (k != "le") key += "|" + k + "=" + v;
+    }
+    if (s.name == family + "_bucket") {
+      const auto le_it = s.labels.find("le");
+      if (le_it == s.labels.end()) {
+        errors.push_back("bucket without le: " + line);
+        continue;
+      }
+      char* end = nullptr;
+      const double le = std::strtod(le_it->second.c_str(), &end);
+      BucketSeries& series = buckets[key];
+      if (end == nullptr || *end != '\0') {
+        errors.push_back("unparsable le: " + line);
+      } else if (le <= series.last_le) {
+        errors.push_back("le not increasing: " + line);
+      } else if (std::isinf(le)) {
+        series.saw_inf = true;
+        series.inf_count = s.value;
+      }
+      if (s.value < series.last_count) {
+        errors.push_back("bucket counts not cumulative: " + line);
+      }
+      series.last_le = le;
+      series.last_count = s.value;
+    } else if (s.name == family + "_count") {
+      counts[key] = s.value;
+    }
+  }
+  for (const auto& [key, series] : buckets) {
+    if (!series.saw_inf) {
+      errors.push_back("histogram series missing le=\"+Inf\": " + key);
+      continue;
+    }
+    const auto it = counts.find(key);
+    if (it == counts.end()) {
+      errors.push_back("histogram series missing _count: " + key);
+    } else if (series.inf_count != it->second) {
+      errors.push_back("le=\"+Inf\" bucket != _count for " + key);
+    }
+  }
+  return errors;
+}
+
+std::string join_errors(const std::vector<std::string>& errors) {
+  std::string out;
+  for (const auto& e : errors) out += e + "\n";
+  return out;
+}
 
 jms::BrokerConfig traced_config() {
   jms::BrokerConfig config;
@@ -60,6 +262,115 @@ TEST(Exporters, PrometheusEmitsPerShardSeriesForMultipleShards) {
   const std::string text = prometheus_text(broker.telemetry_snapshot());
   EXPECT_NE(text.find("jmsperf_published_total{shard=\"0\"}"), std::string::npos);
   EXPECT_NE(text.find("jmsperf_published_total{shard=\"1\"}"), std::string::npos);
+}
+
+TEST(PrometheusConformance, SingleShardDocumentIsClean) {
+  jms::Broker broker(traced_config());
+  broker.create_topic("t");
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 4, 2);
+  for (int i = 0; i < 200; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+  broker.wait_until_idle();
+  broker.rotate_window();  // the recent_* series join the document
+
+  const std::string text = prometheus_text(broker.telemetry_snapshot());
+  const auto errors = conformance_errors(text);
+  EXPECT_TRUE(errors.empty()) << join_errors(errors);
+  // The rolling-window series are announced like every other family.
+  EXPECT_NE(text.find("# HELP jmsperf_recent_p99_wait_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE jmsperf_recent_utilization gauge"),
+            std::string::npos);
+}
+
+TEST(PrometheusConformance, MultiShardHistogramSeriesAreLabelledAndCumulative) {
+  jms::BrokerConfig config;
+  config.num_dispatchers = 2;
+  config.auto_create_topics = true;
+  jms::Broker broker(config);
+  std::vector<std::shared_ptr<jms::Subscription>> subs;
+  for (const char* topic : {"a", "b", "c", "d"}) {
+    subs.push_back(broker.subscribe(topic, jms::SubscriptionFilter::none()));
+    for (int i = 0; i < 50; ++i) {
+      jms::Message m;
+      m.set_destination(topic);
+      broker.publish(std::move(m));
+    }
+  }
+  broker.wait_until_idle();
+
+  const std::string text = prometheus_text(broker.telemetry_snapshot());
+  const auto errors = conformance_errors(text);
+  EXPECT_TRUE(errors.empty()) << join_errors(errors);
+  // Per-shard histogram series carry the shard label next to le, and
+  // every shard gets its own _count.
+  for (const char* shard : {"0", "1"}) {
+    const std::string bucket = std::string(
+        "jmsperf_ingress_wait_seconds_bucket{shard=\"") + shard + "\",le=\"";
+    EXPECT_NE(text.find(bucket), std::string::npos) << bucket;
+    const std::string count = std::string(
+        "jmsperf_ingress_wait_seconds_count{shard=\"") + shard + "\"}";
+    EXPECT_NE(text.find(count), std::string::npos) << count;
+  }
+}
+
+TEST(PrometheusConformance, CheckerCatchesBrokenDocuments) {
+  // The checker itself must not be vacuous: feed it known violations.
+  EXPECT_FALSE(conformance_errors("jmsperf_orphan_total 1\n").empty())
+      << "sample without HELP/TYPE must be flagged";
+  EXPECT_FALSE(conformance_errors("# HELP g x\n# TYPE g gauge\n"
+                                  "g{shard=0} 1\n")
+                   .empty())
+      << "unquoted label value must be flagged";
+  const std::string non_cumulative =
+      "# HELP f_seconds h\n# TYPE f_seconds histogram\n"
+      "f_seconds_bucket{le=\"1\"} 5\n"
+      "f_seconds_bucket{le=\"2\"} 3\n"
+      "f_seconds_bucket{le=\"+Inf\"} 5\n"
+      "f_seconds_sum 1\nf_seconds_count 5\n";
+  EXPECT_FALSE(conformance_errors(non_cumulative).empty());
+  const std::string inf_mismatch =
+      "# HELP f_seconds h\n# TYPE f_seconds histogram\n"
+      "f_seconds_bucket{le=\"1\"} 4\n"
+      "f_seconds_bucket{le=\"+Inf\"} 4\n"
+      "f_seconds_sum 1\nf_seconds_count 5\n";
+  EXPECT_FALSE(conformance_errors(inf_mismatch).empty());
+  const std::string no_inf =
+      "# HELP f_seconds h\n# TYPE f_seconds histogram\n"
+      "f_seconds_bucket{le=\"1\"} 4\n"
+      "f_seconds_sum 1\nf_seconds_count 4\n";
+  EXPECT_FALSE(conformance_errors(no_inf).empty());
+  // And a minimal clean document passes.
+  const std::string clean =
+      "# HELP ok_total fine\n# TYPE ok_total counter\nok_total 3\n";
+  EXPECT_TRUE(conformance_errors(clean).empty());
+}
+
+TEST(Exporters, RecentSeriesAppearOnlyAfterTheFirstRotation) {
+  jms::Broker broker(jms::BrokerConfig{});
+  broker.create_topic("t");
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 4, 1);
+  for (int i = 0; i < 50; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+  broker.wait_until_idle();
+
+  // Before the first rotation there is no closed epoch to report on.
+  EXPECT_EQ(prometheus_text(broker.telemetry_snapshot())
+                .find("jmsperf_recent_"),
+            std::string::npos);
+  EXPECT_EQ(to_json(broker.telemetry_snapshot()).find("\"recent\""),
+            std::string::npos);
+
+  broker.rotate_window();
+  const std::string text = prometheus_text(broker.telemetry_snapshot());
+  EXPECT_NE(text.find("jmsperf_recent_p99_wait_seconds"), std::string::npos);
+  EXPECT_NE(text.find("jmsperf_recent_utilization"), std::string::npos);
+  EXPECT_NE(to_json(broker.telemetry_snapshot()).find("\"recent\""),
+            std::string::npos);
 }
 
 TEST(Exporters, JsonSnapshotRoundTripsTheCounters) {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -96,6 +98,120 @@ TEST(LatencyHistogramMerge, MergingEmptyIsIdentity) {
   empty.merge(h.snapshot());
   EXPECT_EQ(empty.total, 1u);
   EXPECT_EQ(empty.sum_ns, 1000u);
+}
+
+TEST(LatencyHistogramMerge, SaturatesInsteadOfWrapping) {
+  const std::uint64_t kMax = ~std::uint64_t{0};
+  LatencyHistogram h;
+  h.record(100);
+  HistogramSnapshot near_full = h.snapshot();
+  near_full.total = kMax - 5;
+  near_full.sum_ns = kMax - 5;
+  near_full.counts.front() = kMax - 5;
+
+  HistogramSnapshot other = h.snapshot();
+  other.total = 10;
+  other.sum_ns = 10;
+  other.counts.front() = 10;
+
+  near_full.merge(other);
+  EXPECT_EQ(near_full.total, kMax);     // clamped, not wrapped to 4
+  EXPECT_EQ(near_full.sum_ns, kMax);
+  EXPECT_EQ(near_full.counts.front(), kMax);
+}
+
+TEST(LatencyHistogramMerge, SaturatedMergeStaysAssociativeAndCommutative) {
+  const std::uint64_t kMax = ~std::uint64_t{0};
+  LatencyHistogram h;
+  h.record(100);
+  auto with_count = [&](std::uint64_t count) {
+    HistogramSnapshot s = h.snapshot();
+    s.total = count;
+    s.sum_ns = count;
+    s.counts.front() = count;
+    return s;
+  };
+  // a + b already saturates; c pushes further.  min(a+b+c, MAX) is the
+  // result under EVERY grouping and ordering.
+  const auto a = with_count(kMax - 3), b = with_count(7), c = with_count(9);
+  HistogramSnapshot left = a;
+  left.merge(b);
+  left.merge(c);
+  HistogramSnapshot bc = b;
+  bc.merge(c);
+  HistogramSnapshot right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.counts, right.counts);
+  EXPECT_EQ(left.total, right.total);
+  EXPECT_EQ(left.sum_ns, right.sum_ns);
+  HistogramSnapshot swapped = c;
+  swapped.merge(b);
+  swapped.merge(a);
+  EXPECT_EQ(left.counts, swapped.counts);
+  EXPECT_EQ(left.total, swapped.total);
+  EXPECT_EQ(left.sum_ns, swapped.sum_ns);
+  EXPECT_EQ(left.counts.front(), kMax);
+}
+
+TEST(LatencyHistogramDelta, DeltaSinceRecoversTheEpoch) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000);
+  const HistogramSnapshot earlier = h.snapshot();
+  for (int i = 0; i < 40; ++i) h.record(5000);
+  const HistogramSnapshot later = h.snapshot();
+
+  const HistogramSnapshot delta = later.delta_since(earlier);
+  EXPECT_EQ(delta.total, 40u);
+  EXPECT_EQ(delta.sum_ns, 40u * 5000u);
+  EXPECT_DOUBLE_EQ(delta.mean_ns(), 5000.0);
+  EXPECT_EQ(delta.counts[H::bucket_index(1000)], 0u);
+  EXPECT_EQ(delta.counts[H::bucket_index(5000)], 40u);
+}
+
+TEST(LatencyHistogramDelta, EmptyEarlierIsIdentityAndMismatchThrows) {
+  LatencyHistogram h;
+  h.record(42);
+  const HistogramSnapshot s = h.snapshot();
+  const HistogramSnapshot delta = s.delta_since(HistogramSnapshot{});
+  EXPECT_EQ(delta.total, 1u);
+  EXPECT_EQ(delta.counts, s.counts);
+
+  HistogramSnapshot malformed = s;
+  malformed.counts.resize(3);
+  EXPECT_THROW((void)s.delta_since(malformed), std::invalid_argument);
+}
+
+TEST(LatencyHistogramDelta, RegressedBucketsClampToZero) {
+  // A "later" snapshot with a smaller bucket than "earlier" cannot occur
+  // from one histogram, but the subtraction must stay safe if it does.
+  LatencyHistogram h;
+  h.record(1000);
+  h.record(1000);
+  const HistogramSnapshot later = h.snapshot();
+  HistogramSnapshot earlier = later;
+  earlier.counts[H::bucket_index(1000)] = 5;  // more than later has
+  earlier.sum_ns = 1u << 30;
+  const HistogramSnapshot delta = later.delta_since(earlier);
+  EXPECT_EQ(delta.counts[H::bucket_index(1000)], 0u);
+  EXPECT_EQ(delta.total, 0u);
+  EXPECT_EQ(delta.sum_ns, 0u);
+}
+
+TEST(LatencyHistogramRecord, RecordSecondsClampsNonFiniteAndHugeInputs) {
+  LatencyHistogram h;
+  h.record_seconds(-1.0);                 // negative -> bucket 0
+  h.record_seconds(0.0);                  // zero -> bucket 0
+  h.record_seconds(std::nan(""));         // NaN -> bucket 0, not UB
+  h.record_seconds(1e300);                // astronomically large
+  h.record_seconds(std::numeric_limits<double>::infinity());
+  h.record_seconds(1e-9);                 // 1 ns, the smallest resolvable
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.total, 6u);  // nothing lost, nothing crashed
+  EXPECT_EQ(s.counts[0], 3u);
+  EXPECT_EQ(s.counts[H::bucket_index(1)], 1u);
+  // The huge inputs landed in the last bucket via the pre-cast clamp
+  // (casting seconds * 1e9 > 2^63 to uint64 would be UB).
+  EXPECT_EQ(s.counts[H::kBucketCount - 1], 2u);
 }
 
 TEST(LatencyHistogramQuantile, AgreesWithExactSampleQuantileWithinBucketWidth) {

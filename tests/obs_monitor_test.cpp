@@ -1,0 +1,349 @@
+// Monitor unit tests: the EWMA/CUSUM detectors, MG1Waiting::try_build,
+// and the alert machinery (edge-triggered latches, bounded sink,
+// callback, gauges, renderers) driven by deterministic broker bursts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "jms/broker.hpp"
+#include "obs/detectors.hpp"
+#include "obs/monitor.hpp"
+#include "queueing/mg1.hpp"
+#include "workload/filter_population.hpp"
+
+namespace jmsperf::obs {
+namespace {
+
+TEST(EwmaDetector, FirstUpdatePrimesToTheObservation) {
+  EwmaDetector ewma(0.25);
+  EXPECT_FALSE(ewma.primed());
+  EXPECT_DOUBLE_EQ(ewma.update(0.8), 0.8);  // no bias toward zero
+  EXPECT_TRUE(ewma.primed());
+  EXPECT_DOUBLE_EQ(ewma.update(0.4), 0.25 * 0.4 + 0.75 * 0.8);
+  ewma.reset();
+  EXPECT_FALSE(ewma.primed());
+  EXPECT_DOUBLE_EQ(ewma.update(0.1), 0.1);
+}
+
+TEST(EwmaDetector, AlphaOneTracksTheSignalExactly) {
+  EwmaDetector ewma(1.0);
+  ewma.update(0.3);
+  EXPECT_DOUBLE_EQ(ewma.update(0.97), 0.97);
+}
+
+TEST(CusumDetector, AccumulatesExcessAndDrainsOnSlack) {
+  CusumDetector cusum(1.0);
+  EXPECT_FALSE(cusum.update(0.6));  // S = 0.6
+  EXPECT_TRUE(cusum.update(0.6));   // S = 1.2 > 1.0
+  EXPECT_TRUE(cusum.alarmed());
+  EXPECT_FALSE(cusum.update(-0.5));  // S = 0.7
+  EXPECT_FALSE(cusum.update(-5.0));  // clamps at zero
+  EXPECT_DOUBLE_EQ(cusum.statistic(), 0.0);
+}
+
+TEST(CusumDetector, ClipsWildEpochsToMaxStep) {
+  CusumDetector cusum(1.0, /*max_step=*/2.0);
+  EXPECT_TRUE(cusum.update(1e9));
+  EXPECT_DOUBLE_EQ(cusum.statistic(), 2.0);  // one epoch adds at most 2
+  cusum.reset();
+  EXPECT_DOUBLE_EQ(cusum.statistic(), 0.0);
+  EXPECT_FALSE(cusum.alarmed());
+}
+
+TEST(MG1TryBuild, MatchesTheThrowingConstructorOnValidInput) {
+  const stats::RawMoments exp_service{1e-3, 2e-6, 6e-9};  // exponential, 1ms
+  const auto mg1 = queueing::MG1Waiting::try_build(500.0, exp_service);
+  ASSERT_TRUE(mg1.has_value());
+  const queueing::MG1Waiting direct(500.0, exp_service);
+  EXPECT_DOUBLE_EQ(mg1->mean_waiting_time(), direct.mean_waiting_time());
+  EXPECT_DOUBLE_EQ(mg1->utilization(), 0.5);
+}
+
+TEST(MG1TryBuild, RejectsUnstableAndDegenerateLoads) {
+  const stats::RawMoments exp_service{1e-3, 2e-6, 6e-9};
+  EXPECT_FALSE(queueing::MG1Waiting::try_build(0.0, exp_service));
+  EXPECT_FALSE(queueing::MG1Waiting::try_build(-1.0, exp_service));
+  EXPECT_FALSE(queueing::MG1Waiting::try_build(1000.0, exp_service));  // rho = 1
+  EXPECT_FALSE(queueing::MG1Waiting::try_build(2000.0, exp_service));  // rho = 2
+  EXPECT_FALSE(
+      queueing::MG1Waiting::try_build(100.0, stats::RawMoments{0.0, 0.0, 0.0}));
+  // Jensen-violating moment sequence (m2 < m1^2) is rejected, not thrown.
+  EXPECT_FALSE(
+      queueing::MG1Waiting::try_build(100.0, stats::RawMoments{1e-3, 1e-8, 1e-9}));
+}
+
+void saturated_burst(jms::Broker& broker, int messages) {
+  for (int i = 0; i < messages; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+}
+
+/// Saturated bursts outrun the (undrained) matching subscriber; dropping
+/// on overflow keeps the dispatcher — and hence the publisher — moving.
+jms::BrokerConfig saturable_config() {
+  jms::BrokerConfig config;
+  config.subscription_queue_capacity = 1 << 17;
+  config.drop_on_subscriber_overflow = true;
+  return config;
+}
+
+TEST(Monitor, ThinWindowSkipsTheDetectors) {
+  jms::Broker broker(jms::BrokerConfig{});
+  broker.create_topic("t");
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 8, 1);
+  Monitor monitor(broker.telemetry(), broker.window());
+
+  saturated_burst(broker, 50);  // below min_window_received = 200
+  broker.wait_until_idle();
+  const EpochReport report = monitor.tick();
+  EXPECT_FALSE(report.detectors_ran);
+  EXPECT_EQ(report.received, 50u);
+  EXPECT_TRUE(monitor.alerts().empty());
+  EXPECT_EQ(monitor.alerts_raised(), 0u);
+}
+
+std::size_t count_cause(const std::vector<Alert>& alerts, AlertCause cause) {
+  std::size_t n = 0;
+  for (const Alert& a : alerts) n += a.cause == cause ? 1 : 0;
+  return n;
+}
+
+TEST(Monitor, SaturationRaisesOneEdgeTriggeredOverloadAlert) {
+  jms::Broker broker(saturable_config());
+  broker.create_topic("t");
+  // Heavy filter load: the per-message service time has to dwarf the
+  // publisher-side cost of building a message, or the dispatcher idles
+  // between arrivals and rho-hat lands well below 1 even "saturated".
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 512, 1);
+  MonitorConfig config;
+  config.window_epochs = 1;           // judge each burst on its own
+  config.overload_ewma_alpha = 1.0;   // no smoothing lag in the unit test
+  config.overload_utilization = 0.8;  // saturation sits far above this
+  Monitor monitor(broker.telemetry(), broker.window(), config);
+
+  // Tick BEFORE the drain so the epoch covers only the saturated span
+  // (push-back keeps the publisher locked to the service rate).
+  saturated_burst(broker, 10000);
+  EpochReport report = monitor.tick();
+  broker.wait_until_idle();
+  ASSERT_TRUE(report.detectors_ran);
+  EXPECT_GT(report.rho_hat, 0.8);
+  EXPECT_EQ(count_cause(monitor.alerts(), AlertCause::Overload), 1u);
+  const std::vector<Alert> alerts = monitor.alerts();
+  const Alert& overload = alerts[0];
+  EXPECT_EQ(overload.cause, AlertCause::Overload);
+  EXPECT_EQ(overload.severity, AlertSeverity::Critical);
+  EXPECT_GT(overload.measured, 0.8);
+  EXPECT_NE(overload.message.find("utilization"), std::string::npos);
+
+  // Still saturated: the latch holds, no duplicate alert.
+  saturated_burst(broker, 10000);
+  monitor.tick();
+  broker.wait_until_idle();
+  EXPECT_EQ(count_cause(monitor.alerts(), AlertCause::Overload), 1u);
+}
+
+TEST(Monitor, MiscalibratedModelRaisesDriftAlert) {
+  jms::Broker broker(saturable_config());
+  broker.create_topic("t");
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 32, 1);
+
+  // Calibrate the "model" from a first saturated burst, then shrink it
+  // 10x: the monitor should see measured waits far beyond prediction.
+  saturated_burst(broker, 5000);
+  broker.wait_until_idle();
+  const stats::RawMoments measured =
+      broker.telemetry_snapshot().service_time.raw_moments_seconds();
+  broker.rotate_window();  // keep the calibration burst out of the window
+
+  MonitorConfig config;
+  config.window_epochs = 1;
+  config.model_service_moments = measured.scaled(0.1);
+  config.overload_utilization = 2.0;  // mute the overload detector here
+  Monitor monitor(broker.telemetry(), broker.window(), config);
+
+  std::vector<Alert> via_callback;
+  monitor.on_alert([&](const Alert& a) { via_callback.push_back(a); });
+
+  saturated_burst(broker, 10000);
+  EpochReport report = monitor.tick();
+  broker.wait_until_idle();
+  ASSERT_TRUE(report.detectors_ran);
+  // A few epochs at most: the CUSUM accumulates (score - tolerance).
+  for (int i = 0; i < 3 && count_cause(monitor.alerts(),
+                                       AlertCause::ModelDrift) == 0; ++i) {
+    saturated_burst(broker, 10000);
+    monitor.tick();
+    broker.wait_until_idle();
+  }
+  ASSERT_EQ(count_cause(monitor.alerts(), AlertCause::ModelDrift), 1u);
+  EXPECT_EQ(count_cause(via_callback, AlertCause::ModelDrift), 1u);
+  for (const Alert& a : monitor.alerts()) {
+    if (a.cause != AlertCause::ModelDrift) continue;
+    EXPECT_EQ(a.severity, AlertSeverity::Warning);
+    EXPECT_NE(a.message.find("model drift"), std::string::npos);
+  }
+}
+
+TEST(Monitor, PartitionSkewRaisesImbalanceAfterStreak) {
+  jms::BrokerConfig broker_config;
+  broker_config.num_dispatchers = 2;
+  broker_config.auto_create_topics = true;
+  jms::Broker broker(broker_config);
+  std::string on_zero, on_one;
+  for (int i = 0; on_zero.empty() || on_one.empty(); ++i) {
+    const std::string name = "t" + std::to_string(i);
+    (broker.shard_of(name) == 0 ? on_zero : on_one) = name;
+  }
+  auto sub_zero = broker.subscribe(on_zero, jms::SubscriptionFilter::none());
+  auto sub_one = broker.subscribe(on_one, jms::SubscriptionFilter::none());
+
+  MonitorConfig config;
+  config.min_window_received = 100;
+  config.imbalance_ratio = 1.5;  // all-on-one-shard scores exactly 2.0
+  config.imbalance_epochs = 2;
+  Monitor monitor(broker.telemetry(), broker.window(), config);
+
+  auto skewed_burst = [&] {
+    for (int i = 0; i < 400; ++i) {
+      jms::Message m;
+      m.set_destination(on_zero);
+      broker.publish(std::move(m));
+    }
+    broker.wait_until_idle();
+  };
+  skewed_burst();
+  monitor.tick();
+  EXPECT_EQ(count_cause(monitor.alerts(), AlertCause::ShardImbalance), 0u)
+      << "one skewed epoch must not alarm";
+  skewed_burst();
+  const EpochReport report = monitor.tick();
+  EXPECT_NEAR(report.imbalance, 2.0, 1e-9);
+  EXPECT_EQ(count_cause(monitor.alerts(), AlertCause::ShardImbalance), 1u);
+  // Still skewed: latched, no duplicate.
+  skewed_burst();
+  monitor.tick();
+  EXPECT_EQ(count_cause(monitor.alerts(), AlertCause::ShardImbalance), 1u);
+}
+
+TEST(Monitor, BoundedSinkEvictsOldestAndCountsThem) {
+  jms::BrokerConfig broker_config;
+  broker_config.num_dispatchers = 2;
+  broker_config.auto_create_topics = true;
+  jms::Broker broker(broker_config);
+  std::string on_zero, on_one;
+  for (int i = 0; on_zero.empty() || on_one.empty(); ++i) {
+    const std::string name = "t" + std::to_string(i);
+    (broker.shard_of(name) == 0 ? on_zero : on_one) = name;
+  }
+  auto sub_zero = broker.subscribe(on_zero, jms::SubscriptionFilter::none());
+  auto sub_one = broker.subscribe(on_one, jms::SubscriptionFilter::none());
+
+  MonitorConfig config;
+  config.window_epochs = 1;
+  config.min_window_received = 100;
+  config.imbalance_ratio = 1.5;
+  config.imbalance_epochs = 1;  // alarm on every skewed epoch
+  config.max_alerts = 2;
+  // Mute the other detectors: this test counts alerts across causes.
+  config.overload_utilization = 2.0;
+  config.drift_cusum_threshold = 1e9;
+  Monitor monitor(broker.telemetry(), broker.window(), config);
+
+  auto burst = [&](bool skewed) {
+    for (int i = 0; i < 400; ++i) {
+      jms::Message m;
+      m.set_destination(skewed ? on_zero : (i % 2 == 0 ? on_zero : on_one));
+      broker.publish(std::move(m));
+    }
+    broker.wait_until_idle();
+  };
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    burst(/*skewed=*/true);
+    monitor.tick();  // raises (fresh edge each cycle)
+    burst(/*skewed=*/false);
+    monitor.tick();  // balanced epoch clears the latch
+  }
+  EXPECT_EQ(monitor.alerts_raised(), 3u);
+  EXPECT_EQ(monitor.alerts().size(), 2u);  // bounded sink kept the newest
+  EXPECT_EQ(monitor.alerts_evicted(), 1u);
+  monitor.clear_alerts();
+  EXPECT_TRUE(monitor.alerts().empty());
+  EXPECT_EQ(monitor.alerts_raised(), 3u);  // lifetime count survives clear
+}
+
+TEST(Monitor, GaugesAreRegisteredOnceAndSurviveReplacement) {
+  jms::Broker broker(jms::BrokerConfig{});
+  auto count_gauge = [&](const std::string& name) {
+    std::size_t n = 0;
+    for (const auto& [gauge, value] : broker.telemetry_snapshot().gauges) {
+      n += gauge == name ? 1 : 0;
+    }
+    return n;
+  };
+  {
+    Monitor first(broker.telemetry(), broker.window());
+    EXPECT_EQ(count_gauge("monitor_rho_ewma"), 1u);
+  }
+  // A successor monitor replaces the gauges by name — no duplicates —
+  // and reading after the first monitor died must not crash.
+  Monitor second(broker.telemetry(), broker.window());
+  EXPECT_EQ(count_gauge("monitor_rho_ewma"), 1u);
+  EXPECT_EQ(count_gauge("monitor_drift_statistic"), 1u);
+  EXPECT_EQ(count_gauge("monitor_alerts_raised"), 1u);
+}
+
+TEST(Monitor, AlertRenderersProduceParsableOutput) {
+  std::vector<Alert> alerts(1);
+  alerts[0].severity = AlertSeverity::Critical;
+  alerts[0].cause = AlertCause::Overload;
+  alerts[0].epoch = 7;
+  alerts[0].measured = 0.97;
+  alerts[0].reference = 0.95;
+  alerts[0].message = "rho \"hot\"\npath";  // exercises escaping
+
+  const std::string json = alerts_to_json(alerts);
+  EXPECT_NE(json.find("\"severity\": \"critical\""), std::string::npos);
+  EXPECT_NE(json.find("\"cause\": \"overload\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"hot\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+
+  const std::string text = format_alerts_text(alerts);
+  EXPECT_NE(text.find("[critical] overload (epoch 7)"), std::string::npos);
+  EXPECT_EQ(format_alerts_text({}), "no alerts\n");
+  EXPECT_EQ(alerts_to_json({}), "[]\n");
+}
+
+TEST(Monitor, BackgroundTickingStartsAndStops) {
+  jms::BrokerConfig config = saturable_config();
+  config.auto_create_topics = true;
+  jms::Broker broker(config);
+  auto sub = broker.subscribe("t", jms::SubscriptionFilter::none());
+  Monitor monitor(broker.telemetry(), broker.window());
+  monitor.start(std::chrono::milliseconds(5));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (monitor.last_report().epoch < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    jms::Message m;
+    m.set_destination("t");
+    broker.publish(std::move(m));
+  }
+  monitor.stop();
+  EXPECT_GE(monitor.last_report().epoch, 2u);
+  const std::uint64_t epochs_after_stop = monitor.last_report().epoch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(monitor.last_report().epoch, epochs_after_stop);
+}
+
+}  // namespace
+}  // namespace jmsperf::obs

@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace jmsperf::obs {
@@ -81,6 +85,68 @@ TEST(TraceRing, EmptySnapshotAndJson) {
   TraceRing ring(4);
   EXPECT_TRUE(ring.snapshot().empty());
   EXPECT_EQ(traces_to_json({}), "[\n]");
+}
+
+BrokerTelemetry telemetry_with_rate(double rate) {
+  TelemetryConfig config;
+  config.trace_sample_rate = rate;
+  return BrokerTelemetry(1, config);
+}
+
+TEST(TraceSampling, RateZeroDisablesTheSamplerEntirely) {
+  BrokerTelemetry t = telemetry_with_rate(0.0);
+  EXPECT_FALSE(t.tracing_enabled());
+  EXPECT_EQ(t.sample_stride(), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample_trace(), 0u);
+}
+
+TEST(TraceSampling, RateOneTracesEveryMessage) {
+  BrokerTelemetry t = telemetry_with_rate(1.0);
+  EXPECT_TRUE(t.tracing_enabled());
+  EXPECT_EQ(t.sample_stride(), 1u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.sample_trace(), i + 1);  // every message, id = seq + 1
+  }
+}
+
+TEST(TraceSampling, FractionalRateRoundsToTheNearestStride) {
+  EXPECT_EQ(telemetry_with_rate(0.5).sample_stride(), 2u);
+  EXPECT_EQ(telemetry_with_rate(0.1).sample_stride(), 10u);
+  EXPECT_EQ(telemetry_with_rate(0.3).sample_stride(), 3u);   // round(3.33)
+  // A rate just above 0.5 still strides every 2nd message, never 0 or 1.5.
+  EXPECT_EQ(telemetry_with_rate(0.66).sample_stride(), 2u);
+  BrokerTelemetry t = telemetry_with_rate(0.25);
+  std::uint64_t traced = 0;
+  for (int i = 0; i < 1000; ++i) traced += t.sample_trace() != 0 ? 1 : 0;
+  EXPECT_EQ(traced, 250u);
+}
+
+TEST(TraceSampling, DenormalRateClampsInsteadOfOverflowing) {
+  // round(1/rate) for a denormal rate exceeds the uint64 range; the
+  // stride must clamp to UINT64_MAX, not wrap through the double cast.
+  const double denormal = std::numeric_limits<double>::denorm_min();
+  BrokerTelemetry t = telemetry_with_rate(denormal);
+  EXPECT_TRUE(t.tracing_enabled());
+  EXPECT_EQ(t.sample_stride(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_NE(t.sample_trace(), 0u);  // the first message of the sequence...
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample_trace(), 0u);  // ...only
+
+  // The smallest normal-ish rates behave the same way.
+  EXPECT_EQ(telemetry_with_rate(1e-300).sample_stride(),
+            std::numeric_limits<std::uint64_t>::max());
+  // A tiny-but-normal rate like 1e-18 must NOT clamp: the stride is
+  // round(1/1e-18) with double rounding, within one ulp of 1e18.
+  const double tiny_stride =
+      static_cast<double>(telemetry_with_rate(1e-18).sample_stride());
+  EXPECT_NEAR(tiny_stride, 1e18, 1e4);
+}
+
+TEST(TraceSampling, OutOfRangeRatesThrow) {
+  TelemetryConfig config;
+  config.trace_sample_rate = -0.1;
+  EXPECT_THROW(BrokerTelemetry(1, config), std::invalid_argument);
+  config.trace_sample_rate = 1.5;
+  EXPECT_THROW(BrokerTelemetry(1, config), std::invalid_argument);
 }
 
 // Writers race each other (and lap the ring) while a reader snapshots

@@ -1,0 +1,261 @@
+// Rolling-window telemetry tests: the per-epoch counter/histogram rings,
+// the TelemetryWindow bundle driven by a live broker, and the broker's
+// recent_stats() / `recent_*` exporter series.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "jms/broker.hpp"
+#include "obs/exporters.hpp"
+#include "obs/windowed.hpp"
+#include "stats/rng.hpp"
+#include "workload/filter_population.hpp"
+
+namespace jmsperf::obs {
+namespace {
+
+using std::chrono::steady_clock;
+
+TEST(WindowedCounter, DeltasAndRatesOverRecentEpochs) {
+  WindowedCounter c(4);
+  c.observe(10, 1.0);  // epoch deltas: 10, 20, 30
+  c.observe(30, 2.0);
+  c.observe(60, 1.0);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.delta(1), 30u);
+  EXPECT_EQ(c.delta(2), 50u);
+  EXPECT_EQ(c.delta(), 60u);
+  EXPECT_DOUBLE_EQ(c.seconds(1), 1.0);
+  EXPECT_DOUBLE_EQ(c.seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(c.rate(1), 30.0);
+  EXPECT_DOUBLE_EQ(c.rate(), 15.0);
+}
+
+TEST(WindowedCounter, RingEvictsOldestEpoch) {
+  WindowedCounter c(2);
+  c.observe(1, 1.0);
+  c.observe(3, 1.0);
+  c.observe(6, 1.0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.capacity(), 2u);
+  EXPECT_EQ(c.delta(), 5u);  // deltas 2 + 3; the first epoch's 1 evicted
+  EXPECT_DOUBLE_EQ(c.seconds(), 2.0);
+}
+
+TEST(WindowedCounter, PrimeAnchorsWithoutProducingAnEpoch) {
+  WindowedCounter c(4);
+  c.prime(100);
+  EXPECT_EQ(c.size(), 0u);
+  c.observe(130, 1.0);
+  EXPECT_EQ(c.delta(), 30u);
+}
+
+TEST(WindowedCounter, RolledBackReadingContributesZeroDelta) {
+  WindowedCounter c(4);
+  c.observe(50, 1.0);
+  c.observe(40, 1.0);  // cumulative went backwards (rolled-back publish)
+  EXPECT_EQ(c.delta(1), 0u);
+  c.observe(45, 1.0);  // measured against the lower reading
+  EXPECT_EQ(c.delta(1), 5u);
+}
+
+TEST(WindowedCounter, RequestingMoreEpochsThanRetainedClamps) {
+  WindowedCounter c(4);
+  c.observe(7, 1.0);
+  EXPECT_EQ(c.delta(100), 7u);
+  EXPECT_EQ(c.delta(kAllEpochs), 7u);
+  EXPECT_EQ(c.delta(0), 0u);
+  EXPECT_DOUBLE_EQ(c.rate(0), 0.0);
+}
+
+TEST(WindowedCounter, ZeroCapacityThrows) {
+  EXPECT_THROW(WindowedCounter c(0), std::invalid_argument);
+  EXPECT_THROW(WindowedHistogram h(0), std::invalid_argument);
+  EXPECT_THROW(TelemetryWindow w(0), std::invalid_argument);
+}
+
+TEST(WindowedHistogram, WindowIsolatesEpochRecordings) {
+  LatencyHistogram h;
+  WindowedHistogram w(4);
+  for (int i = 0; i < 100; ++i) h.record(1000);
+  w.observe(h.snapshot(), 1.0);
+  for (int i = 0; i < 50; ++i) h.record(5000);
+  w.observe(h.snapshot(), 1.0);
+
+  const HistogramSnapshot last = w.window(1);
+  EXPECT_EQ(last.total, 50u);
+  EXPECT_NEAR(last.mean_ns(), 5000.0, 1e-9);  // only the second epoch
+  const HistogramSnapshot all = w.window();
+  EXPECT_EQ(all.total, 150u);
+  EXPECT_EQ(all.sum_ns, 100u * 1000u + 50u * 5000u);
+}
+
+TEST(WindowedHistogram, RingEvictsOldestEpoch) {
+  LatencyHistogram h;
+  WindowedHistogram w(2);
+  h.record(100);
+  w.observe(h.snapshot(), 1.0);
+  h.record(200);
+  w.observe(h.snapshot(), 1.0);
+  h.record(300);
+  w.observe(h.snapshot(), 1.0);
+  const HistogramSnapshot all = w.window();
+  EXPECT_EQ(all.total, 2u);  // the epoch holding the 100 ns record evicted
+  EXPECT_EQ(all.sum_ns, 500u);
+}
+
+TEST(TelemetryWindow, FirstRotateOnlyAnchorsTheBaseline) {
+  jms::Broker broker(jms::BrokerConfig{});
+  TelemetryWindow window(4);  // separate from the broker's own window
+  window.rotate(broker.telemetry_snapshot(), steady_clock::now());
+  EXPECT_EQ(window.epoch_count(), 0u);
+  EXPECT_EQ(window.rotations(), 0u);
+  window.rotate(broker.telemetry_snapshot(), steady_clock::now());
+  EXPECT_EQ(window.epoch_count(), 1u);
+  EXPECT_EQ(window.rotations(), 1u);
+}
+
+TEST(TelemetryWindow, ViewSeparatesPublishBursts) {
+  jms::BrokerConfig config;
+  config.auto_create_topics = true;
+  jms::Broker broker(config);
+  auto sub = broker.subscribe("t", jms::SubscriptionFilter::none());
+
+  for (int i = 0; i < 100; ++i) {
+    jms::Message m;
+    m.set_destination("t");
+    broker.publish(std::move(m));
+  }
+  broker.wait_until_idle();
+  broker.rotate_window();
+  for (int i = 0; i < 40; ++i) {
+    jms::Message m;
+    m.set_destination("t");
+    broker.publish(std::move(m));
+  }
+  broker.wait_until_idle();
+  broker.rotate_window();
+
+  const WindowView last = broker.window().view(1);
+  EXPECT_EQ(last.epochs, 1u);
+  EXPECT_EQ(last.counters[Counter::Published], 40u);
+  EXPECT_EQ(last.counters[Counter::Received], 40u);
+  EXPECT_EQ(last.ingress_wait.total, 40u);  // histogram delta, not cumulative
+  const WindowView all = broker.window().view();
+  EXPECT_EQ(all.epochs, 2u);
+  EXPECT_EQ(all.counters[Counter::Published], 140u);
+  EXPECT_GT(all.rate(Counter::Published), 0.0);
+  ASSERT_EQ(all.shards.size(), 1u);
+  EXPECT_EQ(all.shards[0][Counter::Received], 140u);
+}
+
+TEST(TelemetryWindow, PerShardDeltasFollowThePartitioning) {
+  jms::BrokerConfig config;
+  config.num_dispatchers = 2;
+  config.auto_create_topics = true;
+  jms::Broker broker(config);
+  // Pick a destination owned by each shard so the expected split is exact.
+  std::string on_zero, on_one;
+  for (int i = 0; on_zero.empty() || on_one.empty(); ++i) {
+    const std::string name = "t" + std::to_string(i);
+    (broker.shard_of(name) == 0 ? on_zero : on_one) = name;
+  }
+  auto sub_zero = broker.subscribe(on_zero, jms::SubscriptionFilter::none());
+  auto sub_one = broker.subscribe(on_one, jms::SubscriptionFilter::none());
+  for (int i = 0; i < 30; ++i) {
+    jms::Message m;
+    m.set_destination(i % 3 == 0 ? on_one : on_zero);
+    broker.publish(std::move(m));
+  }
+  broker.wait_until_idle();
+  broker.rotate_window();
+
+  const WindowView view = broker.window().view();
+  ASSERT_EQ(view.shards.size(), 2u);
+  EXPECT_EQ(view.shards[0][Counter::Received], 20u);
+  EXPECT_EQ(view.shards[1][Counter::Received], 10u);
+}
+
+TEST(TelemetryWindow, WindowCapacityEvictsOldEpochs) {
+  jms::BrokerConfig config;
+  config.auto_create_topics = true;
+  config.telemetry_window_capacity = 2;
+  jms::Broker broker(config);
+  auto sub = broker.subscribe("t", jms::SubscriptionFilter::none());
+  for (int burst = 0; burst < 3; ++burst) {
+    for (int i = 0; i < 10 * (burst + 1); ++i) {
+      jms::Message m;
+      m.set_destination("t");
+      broker.publish(std::move(m));
+    }
+    broker.wait_until_idle();
+    broker.rotate_window();
+  }
+  EXPECT_EQ(broker.window().capacity(), 2u);
+  EXPECT_EQ(broker.window().epoch_count(), 2u);
+  EXPECT_EQ(broker.window().rotations(), 3u);
+  // First burst (10 messages) evicted: 20 + 30 remain.
+  EXPECT_EQ(broker.window().view().counters[Counter::Published], 50u);
+}
+
+TEST(RecentStats, ReportsWindowedRatesAndQuantiles) {
+  jms::Broker broker(jms::BrokerConfig{});
+  broker.create_topic("t");
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 8, 1);
+
+  const jms::RecentBrokerStats before = broker.recent_stats();
+  EXPECT_EQ(before.epochs, 0u);
+  EXPECT_EQ(before.published, 0u);
+  EXPECT_DOUBLE_EQ(before.utilization, 0.0);
+
+  for (int i = 0; i < 500; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+  broker.wait_until_idle();
+  broker.rotate_window();
+
+  const jms::RecentBrokerStats r = broker.recent_stats();
+  EXPECT_EQ(r.epochs, 1u);
+  EXPECT_EQ(r.published, 500u);
+  EXPECT_EQ(r.received, 500u);
+  EXPECT_GT(r.window_seconds, 0.0);
+  EXPECT_GT(r.publish_rate_per_s, 0.0);
+  EXPECT_GT(r.mean_service_seconds, 0.0);
+  EXPECT_GE(r.p99_wait_seconds, r.p50_wait_seconds);
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_NEAR(r.utilization, r.publish_rate_per_s * r.mean_service_seconds,
+              1e-12);
+}
+
+TEST(RecentStats, RecentSeriesReachTheExporters) {
+  jms::BrokerConfig config;
+  config.auto_create_topics = true;
+  jms::Broker broker(config);
+  auto sub = broker.subscribe("t", jms::SubscriptionFilter::none());
+
+  // Before the first rotation the snapshot carries no recent series.
+  EXPECT_TRUE(broker.telemetry_snapshot().recent.empty());
+
+  for (int i = 0; i < 50; ++i) {
+    jms::Message m;
+    m.set_destination("t");
+    broker.publish(std::move(m));
+  }
+  broker.wait_until_idle();
+  broker.rotate_window();
+
+  const auto snapshot = broker.telemetry_snapshot();
+  ASSERT_FALSE(snapshot.recent.empty());
+  const std::string text = prometheus_text(snapshot);
+  EXPECT_NE(text.find("# TYPE jmsperf_recent_p99_wait_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("jmsperf_recent_publish_rate_per_s"), std::string::npos);
+  EXPECT_NE(text.find("jmsperf_recent_utilization"), std::string::npos);
+  const std::string json = to_json(snapshot);
+  EXPECT_NE(json.find("\"recent\""), std::string::npos);
+  EXPECT_NE(json.find("\"recent_mean_wait_seconds\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jmsperf::obs

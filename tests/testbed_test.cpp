@@ -1,9 +1,13 @@
 #include "testbed/calibration.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/filter_cost_probe.hpp"
+#include "testbed/live_load.hpp"
 #include "testbed/simulated_server.hpp"
 
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
 
 #include "core/cost_model.hpp"
 #include "queueing/mg1.hpp"
@@ -197,6 +201,86 @@ TEST(WaitingTimeMeasurement, Validation) {
   experiment.rho = 1.2;
   EXPECT_THROW(run_waiting_time_measurement(experiment, fast_config()),
                std::invalid_argument);
+}
+
+// ------------------------------------------------------------ pacer
+// PoissonPacer takes `now` as a parameter, so these tests drive it on a
+// synthetic clock: deterministic schedules, injected stalls, no sleeping.
+TEST(PoissonPacer, ScheduleReplaysTheExponentialStreamExactly) {
+  using Clock = PoissonPacer::Clock;
+  const Clock::time_point start{};
+  const double lambda = 1000.0;
+
+  stats::RandomStream pacer_rng(42);
+  PoissonPacer pacer(lambda, pacer_rng, start);
+  stats::RandomStream replay_rng(42);
+
+  Clock::time_point expected = start;
+  for (int i = 0; i < 1000; ++i) {
+    expected += std::chrono::nanoseconds(
+        static_cast<std::int64_t>(1e9 * replay_rng.exponential(lambda)));
+    // The caller keeps up: `now` is always at the previous deadline.
+    const Clock::time_point next = pacer.schedule_next(pacer.deadline());
+    EXPECT_EQ(next, expected) << "arrival " << i;
+    EXPECT_EQ(pacer.deadline(), expected);
+  }
+  EXPECT_EQ(pacer.stall_resets(), 0u);
+}
+
+TEST(PoissonPacer, MeanInterarrivalMatchesLambda) {
+  using Clock = PoissonPacer::Clock;
+  const Clock::time_point start{};
+  stats::RandomStream rng(7);
+  PoissonPacer pacer(2000.0, rng, start);
+  constexpr int kArrivals = 200000;
+  Clock::time_point last = start;
+  for (int i = 0; i < kArrivals; ++i) last = pacer.schedule_next(last);
+  const double span = 1e-9 * static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(last - start).count());
+  EXPECT_NEAR(static_cast<double>(kArrivals) / span, 2000.0, 20.0);
+}
+
+TEST(PoissonPacer, InjectedStallResetsTheScheduleInsteadOfBursting) {
+  using Clock = PoissonPacer::Clock;
+  const Clock::time_point start{};
+  stats::RandomStream rng(11);
+  // Mean gap 1 ms, slack 2 ms (the default).
+  PoissonPacer pacer(1000.0, rng, start);
+  for (int i = 0; i < 10; ++i) pacer.schedule_next(pacer.deadline());
+  EXPECT_EQ(pacer.stall_resets(), 0u);
+
+  // The caller blocks for a full second (GC pause, scheduler stall, ...).
+  // Without the reset the pacer would fire ~1000 sends back-to-back to
+  // "catch up", turning the Poisson stream into a burst.
+  const Clock::time_point after_stall =
+      pacer.deadline() + std::chrono::seconds(1);
+  const Clock::time_point next = pacer.schedule_next(after_stall);
+  EXPECT_EQ(pacer.stall_resets(), 1u);
+  EXPECT_GE(next, after_stall);  // re-anchored at `now`, no replayed backlog
+  EXPECT_LT(next - after_stall, std::chrono::milliseconds(100));
+
+  // Subsequent on-time arrivals accumulate no further resets.
+  for (int i = 0; i < 10; ++i) pacer.schedule_next(pacer.deadline());
+  EXPECT_EQ(pacer.stall_resets(), 1u);
+}
+
+TEST(PoissonPacer, LatenessWithinTheSlackDoesNotReset) {
+  using Clock = PoissonPacer::Clock;
+  const Clock::time_point start{};
+  stats::RandomStream rng(13);
+  PoissonPacer pacer(1000.0, rng, start,
+                     /*stall_slack=*/std::chrono::milliseconds(2));
+  for (int i = 0; i < 200; ++i) {
+    // Always 1.5 ms late — inside the slack, so the schedule must hold
+    // its absolute timeline (lateness repairs itself on short gaps).
+    pacer.schedule_next(pacer.deadline() + std::chrono::microseconds(1500));
+  }
+  EXPECT_EQ(pacer.stall_resets(), 0u);
+  // Far past the slack on the next arrival: exactly one reset.  (The
+  // boundary is slack + the fresh exponential draw, so a decisive
+  // overshoot keeps this deterministic.)
+  pacer.schedule_next(pacer.deadline() + std::chrono::seconds(1));
+  EXPECT_EQ(pacer.stall_resets(), 1u);
 }
 
 // ------------------------------------------------------------ calibration
