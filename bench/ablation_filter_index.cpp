@@ -1,16 +1,33 @@
-// ABLATION: identical-filter optimization on the REAL broker.
+// ABLATION: filter-matching strategy on the REAL broker.
 //
-// The paper observed (Sec. III-B) that FioranoMQ gains nothing from
-// identical filters — it evaluates every installed filter per message,
-// which is exactly why E[B] grows linearly in n_fltr (Eq. 1).  Our broker
-// reproduces that behaviour by default and optionally implements the
-// optimization of the paper's reference [15].  This harness measures the
-// end-to-end routing time per message for N identical subscribers, with
-// and without the index, on the host machine.
+// The paper observed (Sec. III-B) that FioranoMQ evaluates every
+// installed filter per message — E[B] grows linearly in n_fltr (Eq. 1)
+// and identical filters gain nothing.  The broker reproduces that
+// behaviour in FilterIndexMode::None, implements the identical-filter
+// grouping of the paper's reference [15] (IdenticalGroups), and the
+// predicate index over compiled selector guards (Predicate).
+//
+// Three sections:
+//   A. identical subscribers — the original reference-[15] ablation,
+//      now across all three modes;
+//   B. DISTINCT `key = i` equality selectors swept to 1M installed
+//      filters: linear scan vs predicate index (hash-bucket probe);
+//   C. Eq. 3 revisited — the indexed effective per-filter cost
+//      t_fltr^idx = matching_ns / n feeds the paper's cost model, and
+//      the filter-benefit inequality n_q * t_fltr < (1 - p_match) * t_tx
+//      flips from "filters rarely pay" to "filters almost always pay".
+//
+// Env knobs: JMSPERF_ABLATION_MAX_SELECTORS caps the section-B sweep
+// (default 1000000; set lower for quick runs).
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "core/cost_model.hpp"
 #include "harness_util.hpp"
 #include "jms/broker.hpp"
 #include "workload/filter_population.hpp"
@@ -20,24 +37,33 @@ using namespace std::chrono_literals;
 
 namespace {
 
-/// Routes `messages` messages through a broker with `identical` identical
-/// matching subscribers (+1 reference consumer) and returns ns/message.
-double measure(bool indexed, std::uint32_t identical, int messages) {
+struct Measurement {
+  double ns_per_message = 0.0;
+  double evals_per_message = 0.0;
+};
+
+std::uint64_t max_selectors() {
+  if (const char* env = std::getenv("JMSPERF_ABLATION_MAX_SELECTORS")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<std::uint64_t>(parsed);
+  }
+  return 1000000;
+}
+
+jms::BrokerConfig bench_config(jms::FilterIndexMode mode) {
   jms::BrokerConfig config;
   config.subscription_queue_capacity = 1 << 16;
   config.drop_on_subscriber_overflow = true;  // avoid drain coordination
-  config.enable_identical_filter_index = indexed;
-  jms::Broker broker(config);
-  broker.create_topic("t");
-  std::vector<std::shared_ptr<jms::Subscription>> subs;
-  for (std::uint32_t i = 0; i < identical; ++i) {
-    // All identical, none matching the published key: pure filter cost.
-    subs.push_back(
-        broker.subscribe("t", jms::SubscriptionFilter::correlation_id("#999")));
+  config.filter_index_mode = mode;
+  return config;
+}
+
+Measurement run_traffic(jms::Broker& broker, int messages) {
+  for (int i = 0; i < 200; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
   }
-  // Warmup (builds the group cache).
-  for (int i = 0; i < 1000; ++i) broker.publish(workload::make_keyed_message("t", 0));
   broker.wait_until_idle();
+  const auto before = broker.stats();
 
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < messages; ++i) {
@@ -45,45 +71,174 @@ double measure(bool indexed, std::uint32_t identical, int messages) {
   }
   broker.wait_until_idle();
   const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::nano>(end - start).count() / messages;
+
+  const auto after = broker.stats();
+  Measurement m;
+  m.ns_per_message =
+      std::chrono::duration<double, std::nano>(end - start).count() / messages;
+  m.evals_per_message =
+      static_cast<double>(after.filter_evaluations - before.filter_evaluations) /
+      static_cast<double>(messages);
+  return m;
+}
+
+/// Section A: `identical` byte-identical non-matching correlation filters
+/// (+ the key-0 traffic they all reject): pure filter cost.
+Measurement measure_identical(jms::FilterIndexMode mode, std::uint32_t identical,
+                              int messages) {
+  jms::Broker broker(bench_config(mode));
+  broker.create_topic("t");
+  std::vector<std::shared_ptr<jms::Subscription>> subs;
+  subs.reserve(identical);
+  for (std::uint32_t i = 0; i < identical; ++i) {
+    subs.push_back(
+        broker.subscribe("t", jms::SubscriptionFilter::correlation_id("#999")));
+  }
+  return run_traffic(broker, messages);
+}
+
+/// Section B: n DISTINCT equality selectors `key = i`; messages carry
+/// key 0, so exactly one subscriber matches whatever n is.
+Measurement measure_distinct(jms::FilterIndexMode mode, std::uint64_t n,
+                             int messages) {
+  jms::Broker broker(bench_config(mode));
+  broker.create_topic("t");
+  std::vector<std::shared_ptr<jms::Subscription>> subs;
+  subs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    subs.push_back(broker.subscribe(
+        "t", jms::SubscriptionFilter::application_property("key = " + std::to_string(i))));
+  }
+  return run_traffic(broker, messages);
 }
 
 }  // namespace
 
 int main() {
-  harness::print_title("Ablation: identical-filter index",
+  // ---- Section A -------------------------------------------------------
+  harness::print_title("Ablation: identical-filter matching",
                        "routing ns/message vs identical subscriber count");
   const int messages = 20000;
-  harness::print_columns({"identical_subs", "no_index_ns", "indexed_ns", "speedup"});
-  double unindexed_slope_lo = 0.0, unindexed_slope_hi = 0.0;
-  double indexed_lo = 0.0, indexed_hi = 0.0;
+  harness::print_columns(
+      {"identical_subs", "no_index_ns", "groups_ns", "predicate_ns", "speedup"});
+  double unindexed_lo = 0.0, unindexed_hi = 0.0;
+  double predicate_lo = 0.0, predicate_hi = 0.0;
   for (const std::uint32_t n : {16u, 64u, 256u, 1024u}) {
-    const double plain = measure(false, n, messages);
-    const double indexed = measure(true, n, messages);
+    const double plain =
+        measure_identical(jms::FilterIndexMode::None, n, messages).ns_per_message;
+    const double grouped =
+        measure_identical(jms::FilterIndexMode::IdenticalGroups, n, messages)
+            .ns_per_message;
+    const double predicate =
+        measure_identical(jms::FilterIndexMode::Predicate, n, messages).ns_per_message;
     if (n == 16) {
-      unindexed_slope_lo = plain;
-      indexed_lo = indexed;
+      unindexed_lo = plain;
+      predicate_lo = predicate;
     }
     if (n == 1024) {
-      unindexed_slope_hi = plain;
-      indexed_hi = indexed;
+      unindexed_hi = plain;
+      predicate_hi = predicate;
     }
-    harness::print_row({static_cast<double>(n), plain, indexed, plain / indexed});
+    harness::print_row(
+        {static_cast<double>(n), plain, grouped, predicate, plain / predicate});
   }
-
   harness::print_claim(
-      "without the index, per-message cost grows strongly with identical "
+      "without an index, per-message cost grows strongly with identical "
       "filters (the FioranoMQ behaviour behind Eq. 1)",
-      unindexed_slope_hi > 5.0 * unindexed_slope_lo);
+      unindexed_hi > 5.0 * unindexed_lo);
   harness::print_claim(
-      "with the index, per-message cost is nearly flat in the identical count",
-      indexed_hi < 3.0 * indexed_lo);
+      "with the predicate index, per-message cost is nearly flat in the "
+      "identical count",
+      predicate_hi < 3.0 * predicate_lo);
+  harness::print_claim("the index pays off by >5x at 1024 identical subscribers",
+                       unindexed_hi > 5.0 * predicate_hi);
+
+  // ---- Section B -------------------------------------------------------
+  harness::print_title("Ablation: distinct-selector sweep",
+                       "linear scan vs predicate index, n distinct `key = i` filters");
+  harness::print_columns({"selectors", "linear_ns", "linear_evals", "predicate_ns",
+                          "predicate_evals", "speedup"});
+  const std::uint64_t cap = max_selectors();
+  std::vector<std::uint64_t> sweep;
+  for (const std::uint64_t n : {std::uint64_t{1000}, std::uint64_t{10000},
+                                std::uint64_t{100000}, std::uint64_t{1000000}}) {
+    if (n <= cap) sweep.push_back(n);
+  }
+  double predicate_sweep_lo = 0.0, predicate_sweep_hi = 0.0;
+  double speedup_at_max = 0.0;
+  double effective_t_fltr_s = 0.0;  // fitted indexed per-filter cost at max n
+  bool zero_predicate_evals = true;
+  for (const std::uint64_t n : sweep) {
+    // The linear scan costs O(n) per message: shrink its message budget
+    // as n grows so the sweep stays tractable; the claims compare
+    // per-message normalized numbers.
+    const int linear_messages =
+        static_cast<int>(std::max<std::uint64_t>(30, 30000000 / n));
+    const auto linear =
+        measure_distinct(jms::FilterIndexMode::None, n, linear_messages);
+    const auto predicate =
+        measure_distinct(jms::FilterIndexMode::Predicate, n, 20000);
+    if (predicate.evals_per_message != 0.0) zero_predicate_evals = false;
+    if (n == sweep.front()) predicate_sweep_lo = predicate.ns_per_message;
+    if (n == sweep.back()) {
+      predicate_sweep_hi = predicate.ns_per_message;
+      speedup_at_max = linear.ns_per_message / predicate.ns_per_message;
+      effective_t_fltr_s =
+          predicate.ns_per_message / static_cast<double>(n) * 1e-9;
+    }
+    harness::print_row({static_cast<double>(n), linear.ns_per_message,
+                        linear.evals_per_message, predicate.ns_per_message,
+                        predicate.evals_per_message,
+                        linear.ns_per_message / predicate.ns_per_message});
+  }
   harness::print_claim(
-      "the optimization pays off by >5x at 1024 identical subscribers",
-      unindexed_slope_hi > 5.0 * indexed_hi);
+      "hash-bucket guards resolve distinct equality selectors with ZERO "
+      "program evaluations per message",
+      zero_predicate_evals);
+  harness::print_claim(
+      "at the largest swept population the predicate index routes >= 20x "
+      "faster than the linear scan",
+      speedup_at_max >= 20.0);
+  harness::print_claim(
+      "indexed routing cost is near-flat across three decades of installed "
+      "selectors",
+      predicate_sweep_hi < 5.0 * predicate_sweep_lo);
+
+  // ---- Section C -------------------------------------------------------
+  harness::print_title("Eq. 3 under indexing",
+                       "filter-benefit inequality with the fitted effective t_fltr");
+  // Paper Eq. 3: n_q filters pay off iff n_q * t_fltr < (1 - p_match) *
+  // t_tx, i.e. p* = 1 - n_q * t_fltr / t_tx.  Under the index the
+  // per-filter cost is the measured matching time divided by the
+  // installed count — it falls like 1/n, so p* -> 1 and the inequality
+  // effectively always holds.
+  const core::CostModel paper = core::kFioranoApplicationProperty;
+  core::CostModel indexed_model = paper;
+  if (effective_t_fltr_s > 0.0) indexed_model.t_fltr = effective_t_fltr_s;
+  harness::print_columns({"n_q", "p_star_paper", "p_star_indexed"});
+  double paper_p1 = 0.0, indexed_p1 = 0.0;
+  for (const double n_q : {1.0, 2.0, 4.0, 8.0}) {
+    const double p_paper = paper.max_beneficial_match_probability(n_q);
+    const double p_indexed = indexed_model.max_beneficial_match_probability(n_q);
+    if (n_q == 1.0) {
+      paper_p1 = p_paper;
+      indexed_p1 = p_indexed;
+    }
+    harness::print_row({n_q, p_paper, p_indexed});
+  }
+  harness::print_claim(
+      "on the paper's constants a single filter pays off only below "
+      "p_match ~ 0.1 (Eq. 3, Table I application properties)",
+      paper_p1 > 0.0 && paper_p1 < 0.15);
+  harness::print_claim(
+      "with the fitted indexed t_fltr the same inequality admits almost "
+      "any match probability — the Eq. 3 trade-off flips",
+      indexed_p1 > 0.9);
   harness::print_note(
       "wall-clock numbers depend on the host; the claims are about shape, "
-      "mirroring how the paper reasons about its own testbed");
+      "mirroring how the paper reasons about its own testbed.  Refresh the "
+      "committed baseline with: JMSPERF_BENCH_JSON_DIR=bench/baselines "
+      "./build/bench/ablation_filter_index");
   harness::write_json("ablation_filter_index");
   return 0;
 }

@@ -5,36 +5,39 @@
 # engine + differential fuzz) under ASan+UBSan, the obs-labeled
 # telemetry tests, the telemetry write-path overhead gate (micro_obs vs
 # its JMSPERF_OBS_STRIPPED baseline), the monitor-labeled live
-# alerting scenarios, and a non-fatal bench-regression report (analytic
-# harnesses vs bench/baselines).
+# alerting scenarios, a non-fatal bench-regression report (analytic
+# harnesses vs bench/baselines), and the predicate-index differential
+# fuzz + churn tests at large case count.
 # Usage: scripts/check.sh [jobs]
 #   OBS_OVERHEAD_BUDGET  allowed fractional overhead for stage 5
 #                        (default 0.05; the true cost is ~3%, the rest
 #                        is headroom for timer noise on shared hosts)
+#   JMSPERF_FUZZ_CASES   broker-routed fuzz cases for stage 8
+#                        (default 120000)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/7] Release build + tier-1 tests =="
+echo "== [1/8] Release build + tier-1 tests =="
 cmake --preset release > /dev/null
 cmake --build --preset release -j "$JOBS"
 ctest --preset release -j "$JOBS"
 
-echo "== [2/7] ThreadSanitizer build + concurrency tests =="
+echo "== [2/8] ThreadSanitizer build + concurrency tests =="
 cmake --preset tsan > /dev/null
 cmake --build --preset tsan -j "$JOBS"
 ctest --preset tsan -j "$JOBS"
 
-echo "== [3/7] ASan+UBSan build + selector tests =="
+echo "== [3/8] ASan+UBSan build + selector/index tests =="
 cmake --preset asan > /dev/null
 cmake --build --preset asan -j "$JOBS"
 ctest --preset asan -j "$JOBS"
 
-echo "== [4/7] Observability tests (Release) =="
+echo "== [4/8] Observability tests (Release) =="
 ctest --preset obs -j "$JOBS"
 
-echo "== [5/7] Telemetry overhead gate (metrics on, tracing off) =="
+echo "== [5/8] Telemetry overhead gate (metrics on, tracing off) =="
 cmake --build --preset release -j "$JOBS" --target micro_obs micro_obs_baseline
 BUDGET="${OBS_OVERHEAD_BUDGET:-0.05}"
 # Best of three runs per binary: each --gate run is itself best-of-trials,
@@ -59,13 +62,13 @@ awk -v inst="$INSTRUMENTED" -v base="$STRIPPED" -v budget="$BUDGET" 'BEGIN {
   exit !(ratio <= 1.0 + budget);
 }'
 
-echo "== [6/7] Monitor-labeled live alerting scenarios (Release) =="
+echo "== [6/8] Monitor-labeled live alerting scenarios (Release) =="
 # Serial on purpose: the scenarios pace real load and skip themselves
 # when a contended host pushes rho off target, so parallelism here
 # only converts signal into skips.
 ctest --preset monitor
 
-echo "== [7/7] Bench-regression report vs bench/baselines (non-fatal) =="
+echo "== [7/8] Bench-regression report vs bench/baselines (non-fatal) =="
 # Only the deterministic analytic harnesses are baselined; timing
 # harnesses (fig4/fig5, micro_*, table1_live_broker, ...) are excluded.
 BASELINED_HARNESSES=()
@@ -82,5 +85,12 @@ done
 # Report stage, not a gate: pass --strict (and a refreshed baseline
 # workflow, see scripts/bench_diff.py --help) to make drift fatal.
 python3 scripts/bench_diff.py --current "$BENCH_OUT" || true
+
+echo "== [8/8] Predicate-index differential fuzz + churn (large case count) =="
+# The index-labeled tests already ran in tier-1 with the default case
+# count; this stage re-runs them at fuzz scale.  JMSPERF_FUZZ_CASES
+# overrides the per-run budget (default 120000 broker-routed messages
+# checked against the AST-oracle linear scan).
+JMSPERF_FUZZ_CASES="${JMSPERF_FUZZ_CASES:-120000}" ctest --preset index -j "$JOBS"
 
 echo "== all checks passed =="

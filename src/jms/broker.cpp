@@ -28,6 +28,18 @@ std::uint64_t elapsed_ns(Clock::time_point from, Clock::time_point to) {
       0, std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count()));
 }
 
+// The matching strategy is frozen here, once, at construction: the paper
+// models (and the tests assert) a broker whose per-message cost structure
+// does not silently change mid-run.  The legacy bool maps onto the enum
+// for configs written before FilterIndexMode existed.
+FilterIndexMode resolve_index_mode(const BrokerConfig& config) {
+  if (config.filter_index_mode != FilterIndexMode::None) {
+    return config.filter_index_mode;
+  }
+  return config.enable_identical_filter_index ? FilterIndexMode::IdenticalGroups
+                                              : FilterIndexMode::None;
+}
+
 }  // namespace
 
 struct QueueReceiver::QueueState {
@@ -50,6 +62,7 @@ std::optional<MessagePtr> QueueReceiver::try_receive() {
 
 Broker::Broker(BrokerConfig config)
     : config_(config),
+      index_mode_(resolve_index_mode(config)),
       telemetry_(std::max<std::uint32_t>(1, config.num_dispatchers),
                  obs::TelemetryConfig{config.trace_sample_rate,
                                       config.trace_ring_capacity,
@@ -78,6 +91,19 @@ Broker::Broker(BrokerConfig config)
       }
       return static_cast<double>(peak);
     });
+    if (index_mode_ == FilterIndexMode::Predicate) {
+      // Live index selectivity: mean candidate subscriptions per routed
+      // message.  Near 0 = the probes rule almost everything out; near
+      // n_fltr = the index degenerated to the linear scan.
+      telemetry_.register_gauge("filter_index_mean_candidates", [this] {
+        const obs::CounterSnapshot snapshot = telemetry_.registry().snapshot();
+        const std::uint64_t received = snapshot[Counter::Received];
+        return received == 0
+                   ? 0.0
+                   : static_cast<double>(snapshot[Counter::IndexCandidates]) /
+                         static_cast<double>(received);
+      });
+    }
   }
   // In SharedQueue mode every dispatcher competes for shard 0's ingress
   // queue (the single M/G/k waiting room); in Partitioned mode dispatcher
@@ -110,7 +136,7 @@ std::vector<std::string> Broker::topics() const {
   std::shared_lock lock(topics_mutex_);
   std::vector<std::string> names;
   names.reserve(topics_.size());
-  for (const auto& [name, subs] : topics_) names.push_back(name);
+  for (const auto& [name, entry] : topics_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
 }
@@ -129,8 +155,8 @@ bool Broker::delete_topic(const std::string& name) {
     std::unique_lock lock(topics_mutex_);
     const auto it = topics_.find(name);
     if (it == topics_.end()) return false;
-    orphaned = std::move(it->second);
-    topics_.erase(it);
+    orphaned = std::move(it->second.subscriptions);
+    topics_.erase(it);  // the topic's predicate index dies with the entry
     for (auto durable = durables_.begin(); durable != durables_.end();) {
       if (durable->second->topic() == name) {
         durable = durables_.erase(durable);
@@ -212,8 +238,16 @@ std::shared_ptr<Subscription> Broker::subscribe(const std::string& topic,
   auto subscription = std::shared_ptr<Subscription>(
       new Subscription(next_subscription_id_.fetch_add(1), topic,
                        std::move(filter), config_.subscription_queue_capacity));
+  const bool indexed = index_mode_ == FilterIndexMode::Predicate;
+  // Analyze OUTSIDE the topology lock: plan analysis clones and
+  // recompiles residual conjuncts, which must not stall the dispatchers'
+  // shared-lock readers.
+  PredicateIndex::Plan plan;
+  if (indexed) plan = PredicateIndex::Plan::analyze(subscription->filter());
   std::unique_lock lock(topics_mutex_);
-  topics_[topic].push_back(subscription);
+  TopicEntry& entry = topics_[topic];
+  entry.subscriptions.push_back(subscription);
+  if (indexed) entry.index.insert(subscription, std::move(plan));
   bump_topology_version();
   return subscription;
 }
@@ -225,6 +259,7 @@ std::shared_ptr<Subscription> Broker::subscribe_pattern(const std::string& patte
       new Subscription(next_subscription_id_.fetch_add(1), pattern,
                        std::move(filter), config_.subscription_queue_capacity));
   std::unique_lock lock(topics_mutex_);
+  pattern_trie_.insert(compiled, subscription);
   pattern_subscriptions_.push_back({std::move(compiled), subscription});
   return subscription;
 }
@@ -236,6 +271,7 @@ std::shared_ptr<Subscription> Broker::subscribe_durable(const std::string& name,
     throw std::invalid_argument("Broker::subscribe_durable: empty subscription name");
   }
   require_topic(topic);
+  const bool indexed = index_mode_ == FilterIndexMode::Predicate;
   {
     std::unique_lock lock(topics_mutex_);
     const auto it = durables_.find(name);
@@ -247,9 +283,11 @@ std::shared_ptr<Subscription> Broker::subscribe_durable(const std::string& name,
       }
       // Changed topic or filter: JMS replaces the durable subscription.
       existing->close();
-      auto& topic_subs = topics_[existing->topic()];
+      TopicEntry& old_entry = topics_[existing->topic()];
+      auto& topic_subs = old_entry.subscriptions;
       topic_subs.erase(std::remove(topic_subs.begin(), topic_subs.end(), existing),
                        topic_subs.end());
+      if (indexed) old_entry.index.erase(existing);
       durables_.erase(it);
       bump_topology_version();
     }
@@ -257,8 +295,12 @@ std::shared_ptr<Subscription> Broker::subscribe_durable(const std::string& name,
   auto subscription = std::shared_ptr<Subscription>(
       new Subscription(next_subscription_id_.fetch_add(1), topic,
                        std::move(filter), config_.subscription_queue_capacity));
+  PredicateIndex::Plan plan;
+  if (indexed) plan = PredicateIndex::Plan::analyze(subscription->filter());
   std::unique_lock lock(topics_mutex_);
-  topics_[topic].push_back(subscription);
+  TopicEntry& entry = topics_[topic];
+  entry.subscriptions.push_back(subscription);
+  if (indexed) entry.index.insert(subscription, std::move(plan));
   durables_.emplace(name, subscription);
   bump_topology_version();
   return subscription;
@@ -272,9 +314,13 @@ bool Broker::unsubscribe_durable(const std::string& name) {
     if (it == durables_.end()) return false;
     subscription = it->second;
     durables_.erase(it);
-    auto& topic_subs = topics_[subscription->topic()];
+    TopicEntry& entry = topics_[subscription->topic()];
+    auto& topic_subs = entry.subscriptions;
     topic_subs.erase(std::remove(topic_subs.begin(), topic_subs.end(), subscription),
                      topic_subs.end());
+    if (index_mode_ == FilterIndexMode::Predicate) {
+      entry.index.erase(subscription);
+    }
   }
   subscription->close();
   bump_topology_version();
@@ -292,15 +338,21 @@ void Broker::unsubscribe(const std::shared_ptr<Subscription>& subscription) {
   std::unique_lock lock(topics_mutex_);
   auto it = topics_.find(subscription->topic());
   if (it != topics_.end()) {
-    auto& subs = it->second;
+    auto& subs = it->second.subscriptions;
     subs.erase(std::remove(subs.begin(), subs.end(), subscription), subs.end());
+    if (index_mode_ == FilterIndexMode::Predicate) {
+      it->second.index.erase(subscription);
+    }
   }
-  pattern_subscriptions_.erase(
-      std::remove_if(pattern_subscriptions_.begin(), pattern_subscriptions_.end(),
-                     [&](const PatternSubscription& p) {
-                       return p.subscription == subscription;
-                     }),
-      pattern_subscriptions_.end());
+  for (auto pattern = pattern_subscriptions_.begin();
+       pattern != pattern_subscriptions_.end();) {
+    if (pattern->subscription == subscription) {
+      pattern_trie_.erase(pattern->pattern, pattern->subscription);
+      pattern = pattern_subscriptions_.erase(pattern);
+    } else {
+      ++pattern;
+    }
+  }
   for (auto durable = durables_.begin(); durable != durables_.end();) {
     if (durable->second == subscription) {
       durable = durables_.erase(durable);
@@ -314,7 +366,13 @@ void Broker::unsubscribe(const std::shared_ptr<Subscription>& subscription) {
 std::size_t Broker::subscription_count(const std::string& topic) const {
   std::shared_lock lock(topics_mutex_);
   const auto it = topics_.find(topic);
-  return it == topics_.end() ? 0 : it->second.size();
+  return it == topics_.end() ? 0 : it->second.subscriptions.size();
+}
+
+PredicateIndex::Shape Broker::index_shape(const std::string& topic) const {
+  std::shared_lock lock(topics_mutex_);
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? PredicateIndex::Shape{} : it->second.index.shape();
 }
 
 std::size_t Broker::shard_of(const std::string& destination) const {
@@ -465,26 +523,6 @@ void Broker::route_impl(Shard& shard, const MessagePtr& message,
     return;
   }
 
-  // Snapshot the subscriber lists so filter evaluation happens without
-  // holding the topic lock (subscribe/unsubscribe stay responsive).  With
-  // the filter index enabled the per-topic snapshot is skipped entirely
-  // unless the topology changed — copying thousands of shared_ptrs per
-  // message would otherwise dominate the routing cost.
-  std::vector<std::shared_ptr<Subscription>> subscribers;
-  std::vector<std::shared_ptr<Subscription>> pattern_matches;
-  {
-    std::shared_lock lock(topics_mutex_);
-    if (!config_.enable_identical_filter_index) {
-      const auto it = topics_.find(message->destination());
-      if (it != topics_.end()) subscribers = it->second;
-    }
-    for (const auto& pattern : pattern_subscriptions_) {
-      if (pattern.pattern.matches(message->destination())) {
-        pattern_matches.push_back(pattern.subscription);
-      }
-    }
-  }
-
   // Evaluates one filter, timing it into the filter-eval histogram only
   // in the Timed instantiation (the sampled every-N-th message of the
   // shard) — the common untimed loop carries no per-filter branch.
@@ -502,6 +540,62 @@ void Broker::route_impl(Shard& shard, const MessagePtr& message,
 
   std::uint64_t copies = 0;
   std::uint64_t evaluations = 0;
+  PredicateIndex::ProbeStats probe_stats;
+
+  // Snapshot the subscriber lists so filter evaluation happens without
+  // holding the topic lock (subscribe/unsubscribe stay responsive).
+  // IdenticalGroups skips the per-topic snapshot entirely unless the
+  // topology changed — copying thousands of shared_ptrs per message would
+  // otherwise dominate the routing cost.  Predicate mode probes the index
+  // UNDER the shared lock (pure reads; the probe plus a handful of
+  // residual programs is far cheaper than snapshotting would be) and
+  // collects only the matched subscriptions; delivery — which can block
+  // on subscriber backpressure — happens after the lock is released.
+  std::vector<std::shared_ptr<Subscription>> subscribers;
+  std::vector<std::shared_ptr<Subscription>> index_matches;
+  std::vector<std::shared_ptr<Subscription>> pattern_matches;
+  {
+    std::shared_lock lock(topics_mutex_);
+    switch (index_mode_) {
+      case FilterIndexMode::None: {
+        const auto it = topics_.find(message->destination());
+        if (it != topics_.end()) subscribers = it->second.subscriptions;
+        break;
+      }
+      case FilterIndexMode::IdenticalGroups:
+        break;  // the per-shard group cache handles the snapshot
+      case FilterIndexMode::Predicate: {
+        const auto it = topics_.find(message->destination());
+        if (it != topics_.end()) {
+          probe_stats = it->second.index.match(
+              *message,
+              [&](PredicateIndex::GroupView view) {
+                ++evaluations;
+                const auto run = [&] {
+                  return view.residual != nullptr
+                             ? view.residual->matches(*message)
+                             : view.filter->matches(*message);
+                };
+                if constexpr (kObsEnabled && Timed) {
+                  const auto start = Clock::now();
+                  const bool matched = run();
+                  telemetry_.filter_eval(shard.index)
+                      .record(elapsed_ns(start, Clock::now()));
+                  return matched;
+                } else {
+                  return run();
+                }
+              },
+              [&](const std::shared_ptr<Subscription>& subscription) {
+                index_matches.push_back(subscription);
+              });
+        }
+        break;
+      }
+    }
+    pattern_trie_.collect(message->destination(), pattern_matches);
+  }
+
   // Traced messages route in two phases — evaluate every filter first,
   // stamp the phase boundary, then deliver — so the trace's filter and
   // delivery spans do not interleave.  Untraced messages keep the
@@ -515,17 +609,23 @@ void Broker::route_impl(Shard& shard, const MessagePtr& message,
     }
   };
 
-  if (config_.enable_identical_filter_index) {
-    copies += route_with_filter_index<Timed>(
-        shard, message, evaluations,
-        trace != nullptr ? &traced_matches : nullptr);
-  } else {
-    for (const auto& subscription : subscribers) {
-      if (subscription->closed()) continue;
-      ++evaluations;
-      if (!evaluate(*subscription)) continue;
-      hit(subscription);
-    }
+  switch (index_mode_) {
+    case FilterIndexMode::None:
+      for (const auto& subscription : subscribers) {
+        if (subscription->closed()) continue;
+        ++evaluations;
+        if (!evaluate(*subscription)) continue;
+        hit(subscription);
+      }
+      break;
+    case FilterIndexMode::IdenticalGroups:
+      copies += route_with_filter_index<Timed>(
+          shard, message, evaluations,
+          trace != nullptr ? &traced_matches : nullptr);
+      break;
+    case FilterIndexMode::Predicate:
+      for (const auto& subscription : index_matches) hit(subscription);
+      break;
   }
   // Pattern subscriptions are always evaluated individually: their
   // applicability depends on the concrete topic name, not just the filter.
@@ -551,6 +651,13 @@ void Broker::route_impl(Shard& shard, const MessagePtr& message,
     if (evaluations != 0) {
       registry.add(shard.index, Counter::FilterEvaluations, evaluations);
     }
+    if (probe_stats.probes != 0) {
+      registry.add(shard.index, Counter::IndexProbes, probe_stats.probes);
+    }
+    if (probe_stats.candidates != 0) {
+      registry.add(shard.index, Counter::IndexCandidates,
+                   probe_stats.candidates);
+    }
     if (copies == 0) {
       registry.add(shard.index, Counter::DiscardedNoSubscriber);
     }
@@ -574,7 +681,7 @@ std::uint64_t Broker::route_with_filter_index(
     std::shared_lock lock(topics_mutex_);
     const auto it = topics_.find(message->destination());
     if (it != topics_.end()) {
-      for (const auto& subscription : it->second) {
+      for (const auto& subscription : it->second.subscriptions) {
         if (subscription->closed()) continue;
         const std::string key = subscription->filter().description();
         const auto [entry, inserted] = group_of.try_emplace(key, cache.groups.size());
@@ -630,8 +737,8 @@ void Broker::shutdown() {
     }
   }
   std::unique_lock lock(topics_mutex_);
-  for (auto& [name, subs] : topics_) {
-    for (auto& subscription : subs) subscription->close();
+  for (auto& [name, entry] : topics_) {
+    for (auto& subscription : entry.subscriptions) subscription->close();
   }
   for (auto& pattern : pattern_subscriptions_) pattern.subscription->close();
   for (auto& [name, queue] : queues_) queue->store.close();
@@ -649,6 +756,8 @@ BrokerStats Broker::stats() const {
   s.filter_evaluations = snapshot[Counter::FilterEvaluations];
   s.dropped = snapshot[Counter::Dropped];
   s.discarded_no_subscriber = snapshot[Counter::DiscardedNoSubscriber];
+  s.index_probes = snapshot[Counter::IndexProbes];
+  s.index_candidates = snapshot[Counter::IndexCandidates];
   s.ingress_wait_ns = snapshot[Counter::IngressWaitNs];
   return s;
 }
@@ -664,6 +773,8 @@ ShardStats Broker::shard_stats(std::size_t i) const {
   s.filter_evaluations = snapshot[Counter::FilterEvaluations];
   s.dropped = snapshot[Counter::Dropped];
   s.discarded_no_subscriber = snapshot[Counter::DiscardedNoSubscriber];
+  s.index_probes = snapshot[Counter::IndexProbes];
+  s.index_candidates = snapshot[Counter::IndexCandidates];
   s.ingress_wait_ns = snapshot[Counter::IngressWaitNs];
   s.ingress_backlog = shards_[i]->ingress.size();
   return s;

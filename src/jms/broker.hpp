@@ -51,8 +51,10 @@
 
 #include "jms/blocking_queue.hpp"
 #include "jms/message.hpp"
+#include "jms/predicate_index.hpp"
 #include "jms/subscription.hpp"
 #include "jms/topic_pattern.hpp"
+#include "jms/topic_trie.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "obs/windowed.hpp"
@@ -70,6 +72,23 @@ enum class DispatchMode {
   /// M/G/k queueing system.  Maximum work-conservation, but per-topic
   /// ordering is not guaranteed for k > 1.
   SharedQueue,
+};
+
+/// How the broker matches a received message against the installed
+/// filters of its destination topic.
+enum class FilterIndexMode {
+  /// Linear scan: evaluate EVERY installed filter per message — the
+  /// FioranoMQ behaviour the paper measured (Eq. 1's n_fltr * t_fltr).
+  None,
+  /// Identical-filter grouping (paper reference [15]): byte-identical
+  /// filters are evaluated once per message; distinct filters still scan.
+  IdenticalGroups,
+  /// Predicate index: equality hash buckets and interval lists over the
+  /// analyzed selector guards (jms/predicate_index.hpp), a topic-pattern
+  /// trie for wildcard subscriptions, and per-message memoization of
+  /// shared residual programs.  Matching cost is sublinear in the number
+  /// of installed filters.
+  Predicate,
 };
 
 struct BrokerConfig {
@@ -90,7 +109,14 @@ struct BrokerConfig {
   /// filter ONCE per message instead of once per subscriber.  FioranoMQ
   /// does NOT implement this (paper Sec. III-B: identical and different
   /// filters cost the same); default false reproduces that behaviour.
+  /// Legacy alias for `filter_index_mode = IdenticalGroups` (kept so
+  /// existing configs keep working); ignored when filter_index_mode is
+  /// set to anything other than None.
   bool enable_identical_filter_index = false;
+  /// Matching strategy (see FilterIndexMode).  Resolved ONCE at broker
+  /// construction — mutating the config object afterwards has no effect
+  /// (query the live value via Broker::filter_index_mode()).
+  FilterIndexMode filter_index_mode = FilterIndexMode::None;
   /// Number of dispatcher threads (shards).  The default 1 reproduces the
   /// paper's single-server M/GI/1 calibration exactly; k > 1 enables the
   /// multi-dispatcher path validated against queueing::MGcWaiting.
@@ -130,6 +156,11 @@ struct BrokerStats {
   std::uint64_t filter_evaluations = 0;  ///< individual filter checks
   std::uint64_t dropped = 0;             ///< copies dropped on overflow
   std::uint64_t discarded_no_subscriber = 0;  ///< messages matching nobody
+  /// Predicate-index lookups issued (FilterIndexMode::Predicate only).
+  std::uint64_t index_probes = 0;
+  /// Subscriptions in candidate groups the probes admitted;
+  /// index_candidates / received is the realized index selectivity.
+  std::uint64_t index_candidates = 0;
   /// Total time messages spent waiting in ingress queues before a
   /// dispatcher took them up — the live counterpart of the paper's
   /// waiting time W (sum over received messages, nanoseconds).
@@ -174,6 +205,8 @@ struct ShardStats {
   std::uint64_t filter_evaluations = 0;
   std::uint64_t dropped = 0;
   std::uint64_t discarded_no_subscriber = 0;
+  std::uint64_t index_probes = 0;
+  std::uint64_t index_candidates = 0;
   std::uint64_t ingress_wait_ns = 0;
   std::size_t ingress_backlog = 0;  ///< current depth of the shard's queue
 };
@@ -322,6 +355,17 @@ class Broker {
     return telemetry_.traces().snapshot();
   }
 
+  /// The matching strategy this broker runs, resolved once at
+  /// construction (the legacy enable_identical_filter_index bool maps to
+  /// IdenticalGroups).  Immutable for the broker's lifetime: changing the
+  /// original BrokerConfig after construction has no effect.
+  [[nodiscard]] FilterIndexMode filter_index_mode() const { return index_mode_; }
+
+  /// Shape of the predicate index of `topic` (groups, buckets, interval
+  /// entries); all-zero unless filter_index_mode() == Predicate.
+  /// Introspection for tests and the bench.
+  [[nodiscard]] PredicateIndex::Shape index_shape(const std::string& topic) const;
+
   /// Number of dispatcher shards (== config.num_dispatchers).
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
 
@@ -341,6 +385,15 @@ class Broker {
   struct PatternSubscription {
     TopicPattern pattern;
     std::shared_ptr<Subscription> subscription;
+  };
+
+  /// Everything the broker keeps per topic: the flat subscriber list
+  /// (source of truth, used by the None and IdenticalGroups modes) and
+  /// the predicate index over the same subscriptions (maintained
+  /// incrementally, only in Predicate mode).
+  struct TopicEntry {
+    std::vector<std::shared_ptr<Subscription>> subscriptions;
+    PredicateIndex index;
   };
 
   // One identical-filter group: the subscriptions sharing one
@@ -415,10 +468,15 @@ class Broker {
   }
 
   BrokerConfig config_;
+  /// Matching strategy, frozen at construction (see filter_index_mode()).
+  const FilterIndexMode index_mode_;
 
   mutable std::shared_mutex topics_mutex_;
-  std::unordered_map<std::string, std::vector<std::shared_ptr<Subscription>>> topics_;
+  std::unordered_map<std::string, TopicEntry> topics_;
   std::vector<PatternSubscription> pattern_subscriptions_;
+  /// Wildcard patterns, indexed structurally: collect() replaces the
+  /// linear pattern scan in every mode.  Guarded by topics_mutex_.
+  TopicTrie pattern_trie_;
   std::unordered_map<std::string, std::shared_ptr<Subscription>> durables_;
   std::unordered_map<std::string, std::shared_ptr<QueueReceiver::QueueState>> queues_;
 

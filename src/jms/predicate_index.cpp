@@ -1,0 +1,183 @@
+#include "jms/predicate_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jmsperf::jms {
+
+namespace {
+
+/// Removes one occurrence of `id` from `list`; true if the list emptied.
+bool remove_id(std::vector<PredicateIndex::GroupId>& list,
+               PredicateIndex::GroupId id) {
+  list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  return list.empty();
+}
+
+}  // namespace
+
+PredicateIndex::Plan PredicateIndex::Plan::analyze(
+    const SubscriptionFilter& filter) {
+  Plan plan;
+  switch (filter.type()) {
+    case FilterType::None:
+      plan.access = Access::Unconditional;
+      plan.signature = "all";
+      return plan;
+    case FilterType::CorrelationId: {
+      const auto* correlation = filter.correlation();
+      if (correlation->kind() == selector::CorrelationIdFilter::Kind::Exact) {
+        plan.access = Access::CorrelationExact;
+        plan.correlation_key = correlation->pattern();
+        plan.signature = "corr:" + correlation->pattern();
+      } else {
+        // Range patterns match on the TRAILING INTEGER of the header and
+        // prefixes on its head — neither maps onto a value probe, so
+        // they stay in the scan set.
+        plan.access = Access::Scan;
+        plan.signature = "scan:corr:" + correlation->pattern();
+      }
+      return plan;
+    }
+    case FilterType::ApplicationProperty:
+      break;
+  }
+  selector::IndexPlan selector_plan =
+      selector::analyze_selector(*filter.selector());
+  switch (selector_plan.access) {
+    case selector::IndexPlan::Access::Unconditional:
+      plan.access = Access::Unconditional;
+      break;
+    case selector::IndexPlan::Access::Scan:
+      plan.access = Access::Scan;
+      break;
+    case selector::IndexPlan::Access::Equality:
+      plan.access = Access::Equality;
+      break;
+    case selector::IndexPlan::Access::Range:
+      plan.access = Access::Range;
+      break;
+  }
+  plan.guard = std::move(selector_plan.guard);
+  plan.residual = std::move(selector_plan.residual);
+  plan.signature = "sel:" + selector_plan.signature;
+  return plan;
+}
+
+void PredicateIndex::link_group(GroupId id, const Plan& plan) {
+  switch (plan.access) {
+    case Access::Unconditional:
+    case Access::Scan:
+      scan_.push_back(id);
+      break;
+    case Access::CorrelationExact:
+      correlation_exact_[plan.correlation_key].push_back(id);
+      break;
+    case Access::Equality:
+      for (const auto& key : plan.guard.keys) {
+        equality_[plan.guard.symbol][key].push_back(id);
+      }
+      break;
+    case Access::Range:
+      ranges_[plan.guard.symbol].push_back(id);
+      break;
+  }
+}
+
+void PredicateIndex::unlink_group(GroupId id, const Plan& plan) {
+  switch (plan.access) {
+    case Access::Unconditional:
+    case Access::Scan:
+      remove_id(scan_, id);
+      break;
+    case Access::CorrelationExact: {
+      const auto it = correlation_exact_.find(plan.correlation_key);
+      if (it != correlation_exact_.end() && remove_id(it->second, id)) {
+        correlation_exact_.erase(it);
+      }
+      break;
+    }
+    case Access::Equality: {
+      const auto symbol_it = equality_.find(plan.guard.symbol);
+      if (symbol_it == equality_.end()) break;
+      for (const auto& key : plan.guard.keys) {
+        const auto bucket_it = symbol_it->second.find(key);
+        if (bucket_it != symbol_it->second.end() &&
+            remove_id(bucket_it->second, id)) {
+          symbol_it->second.erase(bucket_it);
+        }
+      }
+      if (symbol_it->second.empty()) equality_.erase(symbol_it);
+      break;
+    }
+    case Access::Range: {
+      const auto it = ranges_.find(plan.guard.symbol);
+      if (it != ranges_.end() && remove_id(it->second, id)) ranges_.erase(it);
+      break;
+    }
+  }
+}
+
+void PredicateIndex::insert(const std::shared_ptr<Subscription>& subscription,
+                            Plan plan) {
+  if (group_of_.count(subscription.get()) != 0) {
+    throw std::logic_error("PredicateIndex: subscription inserted twice");
+  }
+  const auto [sig_it, is_new_group] =
+      group_by_signature_.try_emplace(plan.signature, 0);
+  GroupId id;
+  if (is_new_group) {
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+      groups_[id] = std::make_unique<Group>();
+    } else {
+      id = static_cast<GroupId>(groups_.size());
+      groups_.push_back(std::make_unique<Group>());
+    }
+    sig_it->second = id;
+    groups_[id]->plan = std::move(plan);
+    link_group(id, groups_[id]->plan);
+  } else {
+    id = sig_it->second;
+  }
+  groups_[id]->subscriptions.push_back(subscription);
+  group_of_.emplace(subscription.get(), id);
+  ++subscription_count_;
+}
+
+bool PredicateIndex::erase(const std::shared_ptr<Subscription>& subscription) {
+  const auto it = group_of_.find(subscription.get());
+  if (it == group_of_.end()) return false;
+  const GroupId id = it->second;
+  group_of_.erase(it);
+  --subscription_count_;
+  Group& group = *groups_[id];
+  auto& subs = group.subscriptions;
+  subs.erase(std::remove(subs.begin(), subs.end(), subscription), subs.end());
+  if (subs.empty()) {
+    unlink_group(id, group.plan);
+    group_by_signature_.erase(group.plan.signature);
+    groups_[id].reset();
+    free_list_.push_back(id);
+  }
+  return true;
+}
+
+PredicateIndex::Shape PredicateIndex::shape() const {
+  Shape shape;
+  shape.groups = groups_.size() - free_list_.size();
+  shape.scan_groups = scan_.size();
+  shape.equality_symbols = equality_.size();
+  for (const auto& [symbol, buckets] : equality_) {
+    shape.equality_buckets += buckets.size();
+  }
+  shape.range_symbols = ranges_.size();
+  for (const auto& [symbol, list] : ranges_) {
+    shape.range_entries += list.size();
+  }
+  shape.correlation_buckets = correlation_exact_.size();
+  return shape;
+}
+
+}  // namespace jmsperf::jms

@@ -1,0 +1,218 @@
+// Per-topic predicate index over compiled subscription filters.
+//
+// Generalizes the identical-filter cache (paper reference [15]) into a
+// real index: instead of evaluating every installed filter per message
+// (Eq. 1's n_fltr * t_fltr), a published message
+//
+//   1. probes ONE equality hash bucket per indexed SymbolId,
+//   2. walks the (typically short) interval lists of range-guarded
+//      symbols,
+//   3. probes the correlation-ID exact-match table, and
+//   4. linearly evaluates only the filters the analysis could not index
+//      (Access::Scan) plus the RESIDUAL programs of admitted groups.
+//
+// Subscriptions whose selector-analysis signatures coincide share one
+// group — the shared-subexpression optimization: a group's residual is
+// evaluated once per message no matter how many subscribers sit behind
+// it, and structurally-equal residuals of DIFFERENT groups are memoized
+// per message via pointer identity on the shared Program.
+//
+// Thread-safety: mutations (insert/erase/clear) require exclusive access;
+// match() is a pure read and may run concurrently with other readers.
+// The broker serializes via topics_mutex_ exactly like the plain
+// subscriber lists.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "jms/filter.hpp"
+#include "jms/message.hpp"
+#include "jms/subscription.hpp"
+#include "selector/index_analysis.hpp"
+
+namespace jmsperf::jms {
+
+class PredicateIndex {
+ public:
+  using GroupId = std::uint32_t;
+
+  /// How the index reaches a group of subscriptions.
+  enum class Access {
+    Unconditional,     ///< match-all filter: every message matches
+    Scan,              ///< not index-able: evaluate the full filter
+    CorrelationExact,  ///< exact JMSCorrelationID: hash probe, no eval
+    Equality,          ///< selector equality guard: hash probe + residual
+    Range,             ///< selector range guard: interval check + residual
+  };
+
+  /// Filter-level index plan: the selector analysis lifted onto the
+  /// SubscriptionFilter taxonomy.  Exact correlation-ID patterns become a
+  /// dedicated string-keyed probe (CorrelationIdFilter compares the raw
+  /// header string, so it cannot share the selector equality buckets —
+  /// those see an EMPTY correlation ID as NULL).
+  struct Plan {
+    Access access = Access::Scan;
+    selector::IndexGuard guard;                        ///< Equality / Range
+    std::shared_ptr<const selector::Program> residual; ///< optional
+    std::string correlation_key;                       ///< CorrelationExact
+    std::string signature;
+
+    [[nodiscard]] static Plan analyze(const SubscriptionFilter& filter);
+  };
+
+  /// Probe telemetry for one match() call: `probes` counts index lookups
+  /// (hash probes + interval-list walks), `candidates` the subscriptions
+  /// in every group the probes could not rule out — candidates/published
+  /// is the live selectivity the exporters report.
+  struct ProbeStats {
+    std::uint64_t probes = 0;
+    std::uint64_t candidates = 0;
+  };
+
+  /// One admitted group as seen by the caller's evaluate hook.  Exactly
+  /// one pointer is set: `residual` for a guard's leftover conjuncts,
+  /// `filter` for an un-indexable (Scan) filter.  A group whose guard is
+  /// the whole predicate passes neither — the probe already proved the
+  /// match and the hook is not called at all.
+  struct GroupView {
+    const selector::Program* residual = nullptr;
+    const SubscriptionFilter* filter = nullptr;
+  };
+
+  /// Shape summary for tests and the bench.
+  struct Shape {
+    std::size_t groups = 0;
+    std::size_t scan_groups = 0;
+    std::size_t equality_symbols = 0;
+    std::size_t equality_buckets = 0;
+    std::size_t range_symbols = 0;
+    std::size_t range_entries = 0;
+    std::size_t correlation_buckets = 0;
+  };
+
+  /// Adds a subscription, analyzing its filter.
+  void insert(const std::shared_ptr<Subscription>& subscription) {
+    insert(subscription, Plan::analyze(subscription->filter()));
+  }
+
+  /// Adds a subscription under a pre-computed plan (the broker analyzes
+  /// outside the topology lock).
+  void insert(const std::shared_ptr<Subscription>& subscription, Plan plan);
+
+  /// Removes a subscription; returns false if it was never inserted.
+  bool erase(const std::shared_ptr<Subscription>& subscription);
+
+  [[nodiscard]] std::size_t subscription_count() const {
+    return subscription_count_;
+  }
+  [[nodiscard]] bool empty() const { return subscription_count_ == 0; }
+  [[nodiscard]] Shape shape() const;
+
+  /// Routes one message through the index.
+  ///
+  /// `evaluate(GroupView) -> bool` runs a residual program or a full
+  /// filter (each distinct residual runs at most once per call — verdicts
+  /// are memoized by Program identity); `sink(subscription)` receives
+  /// every open subscription of every matched group.
+  template <typename Evaluate, typename Sink>
+  ProbeStats match(const Message& message, Evaluate&& evaluate,
+                   Sink&& sink) const {
+    ProbeStats stats;
+    // Verdict memo keyed by Program identity (signature-grouped plans
+    // share the Program object).  Tiny and linear: a message admits few
+    // groups, and the memo only holds distinct residuals among them.
+    std::vector<std::pair<const selector::Program*, bool>> memo;
+
+    const auto admit = [&](const Group& group) {
+      stats.candidates += group.subscriptions.size();
+      bool matched = true;
+      if (group.plan.residual != nullptr) {
+        const selector::Program* program = group.plan.residual.get();
+        bool found = false;
+        for (const auto& [known, verdict] : memo) {
+          if (known == program) {
+            matched = verdict;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          matched = evaluate(GroupView{program, nullptr});
+          memo.emplace_back(program, matched);
+        }
+      } else if (group.plan.access == Access::Scan) {
+        matched = evaluate(
+            GroupView{nullptr, &group.subscriptions.front()->filter()});
+      }
+      if (!matched) return;
+      for (const auto& subscription : group.subscriptions) {
+        if (!subscription->closed()) sink(subscription);
+      }
+    };
+
+    // Un-indexable filters: the probe cannot rule them out.
+    for (const GroupId id : scan_) admit(*groups_[id]);
+
+    if (!correlation_exact_.empty()) {
+      ++stats.probes;
+      const auto it = correlation_exact_.find(message.correlation_id());
+      if (it != correlation_exact_.end()) {
+        for (const GroupId id : it->second) admit(*groups_[id]);
+      }
+    }
+
+    for (const auto& [symbol, buckets] : equality_) {
+      ++stats.probes;
+      const auto key =
+          selector::PredicateKey::from_value(message.get(symbol));
+      if (!key) continue;  // NULL / NaN property: no equality can be True
+      const auto it = buckets.find(*key);
+      if (it != buckets.end()) {
+        for (const GroupId id : it->second) admit(*groups_[id]);
+      }
+    }
+
+    for (const auto& [symbol, list] : ranges_) {
+      ++stats.probes;
+      const selector::Value value = message.get(symbol);
+      if (value.is_null()) continue;
+      for (const GroupId id : list) {
+        if (groups_[id]->plan.guard.admits(value)) admit(*groups_[id]);
+      }
+    }
+    return stats;
+  }
+
+ private:
+  /// All subscriptions sharing one plan signature.
+  struct Group {
+    Plan plan;
+    std::vector<std::shared_ptr<Subscription>> subscriptions;
+  };
+
+  void link_group(GroupId id, const Plan& plan);
+  void unlink_group(GroupId id, const Plan& plan);
+
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::vector<GroupId> free_list_;
+  std::unordered_map<std::string, GroupId> group_by_signature_;
+  std::unordered_map<const Subscription*, GroupId> group_of_;
+
+  std::unordered_map<
+      selector::SymbolId,
+      std::unordered_map<selector::PredicateKey, std::vector<GroupId>,
+                         selector::PredicateKey::Hash>>
+      equality_;
+  std::unordered_map<selector::SymbolId, std::vector<GroupId>> ranges_;
+  std::unordered_map<std::string, std::vector<GroupId>> correlation_exact_;
+  std::vector<GroupId> scan_;
+
+  std::size_t subscription_count_ = 0;
+};
+
+}  // namespace jmsperf::jms

@@ -33,6 +33,13 @@ class TopicPattern {
   /// True when the pattern contains a wildcard token.
   [[nodiscard]] bool has_wildcards() const { return has_wildcards_; }
 
+  /// The pattern's tokens, including a final "#" when present (used by
+  /// the broker's TopicTrie to index patterns structurally).
+  [[nodiscard]] const std::vector<std::string>& tokens() const { return tokens_; }
+
+  /// True when the pattern ends in the multi-token wildcard '#'.
+  [[nodiscard]] bool trailing_hash() const { return trailing_hash_; }
+
   /// Splits a topic name into tokens (shared with the broker's validation).
   /// Throws std::invalid_argument on empty names or empty tokens.
   static std::vector<std::string> split(std::string_view name);

@@ -1,0 +1,135 @@
+#include "jms/topic_trie.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace jmsperf::jms {
+
+struct TopicTrie::Node {
+  std::unordered_map<std::string, std::unique_ptr<Node>> children;
+  std::unique_ptr<Node> star;  ///< the '*' single-token wildcard edge
+  /// Patterns whose fixed tokens END here without a trailing '#'.
+  std::vector<std::shared_ptr<Subscription>> exact;
+  /// Patterns whose fixed tokens end here WITH a trailing '#'.
+  std::vector<std::shared_ptr<Subscription>> hash;
+
+  [[nodiscard]] bool empty() const {
+    return children.empty() && star == nullptr && exact.empty() && hash.empty();
+  }
+};
+
+namespace {
+
+bool remove_one(std::vector<std::shared_ptr<Subscription>>& list,
+                const std::shared_ptr<Subscription>& subscription) {
+  const auto it = std::find(list.begin(), list.end(), subscription);
+  if (it == list.end()) return false;
+  list.erase(it);
+  return true;
+}
+
+}  // namespace
+
+TopicTrie::TopicTrie() : root_(std::make_unique<Node>()) {}
+TopicTrie::~TopicTrie() = default;
+
+void TopicTrie::insert(const TopicPattern& pattern,
+                       std::shared_ptr<Subscription> subscription) {
+  const auto& tokens = pattern.tokens();
+  const std::size_t fixed =
+      pattern.trailing_hash() ? tokens.size() - 1 : tokens.size();
+  Node* node = root_.get();
+  for (std::size_t i = 0; i < fixed; ++i) {
+    if (tokens[i] == "*") {
+      if (node->star == nullptr) node->star = std::make_unique<Node>();
+      node = node->star.get();
+    } else {
+      auto& child = node->children[tokens[i]];
+      if (child == nullptr) child = std::make_unique<Node>();
+      node = child.get();
+    }
+  }
+  (pattern.trailing_hash() ? node->hash : node->exact)
+      .push_back(std::move(subscription));
+  ++size_;
+}
+
+bool TopicTrie::erase(const TopicPattern& pattern,
+                      const std::shared_ptr<Subscription>& subscription) {
+  const auto& tokens = pattern.tokens();
+  const std::size_t fixed =
+      pattern.trailing_hash() ? tokens.size() - 1 : tokens.size();
+  // Record the path so empty nodes can be pruned bottom-up afterwards.
+  std::vector<Node*> path{root_.get()};
+  for (std::size_t i = 0; i < fixed; ++i) {
+    Node* node = path.back();
+    Node* next = nullptr;
+    if (tokens[i] == "*") {
+      next = node->star.get();
+    } else {
+      const auto it = node->children.find(tokens[i]);
+      if (it != node->children.end()) next = it->second.get();
+    }
+    if (next == nullptr) return false;
+    path.push_back(next);
+  }
+  if (!remove_one(pattern.trailing_hash() ? path.back()->hash
+                                          : path.back()->exact,
+                  subscription)) {
+    return false;
+  }
+  --size_;
+  for (std::size_t depth = fixed; depth > 0; --depth) {
+    Node* node = path[depth];
+    if (!node->empty()) break;
+    Node* parent = path[depth - 1];
+    if (tokens[depth - 1] == "*") {
+      parent->star.reset();
+    } else {
+      parent->children.erase(tokens[depth - 1]);
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void collect_walk(const TopicTrie::Node& node,
+                  const std::vector<std::string>& tokens, std::size_t depth,
+                  std::vector<std::shared_ptr<Subscription>>& out);
+
+}  // namespace
+
+void TopicTrie::collect(std::string_view topic,
+                        std::vector<std::shared_ptr<Subscription>>& out) const {
+  if (size_ == 0) return;
+  std::vector<std::string> tokens;
+  try {
+    tokens = TopicPattern::split(topic);
+  } catch (const std::invalid_argument&) {
+    return;  // malformed names match nothing (mirrors TopicPattern::matches)
+  }
+  collect_walk(*root_, tokens, 0, out);
+}
+
+namespace {
+
+void collect_walk(const TopicTrie::Node& node,
+                  const std::vector<std::string>& tokens, std::size_t depth,
+                  std::vector<std::shared_ptr<Subscription>>& out) {
+  // '#' matches zero or more trailing tokens: every node on a matching
+  // prefix path fires its hash-terminals, the exact-depth node included.
+  out.insert(out.end(), node.hash.begin(), node.hash.end());
+  if (depth == tokens.size()) {
+    out.insert(out.end(), node.exact.begin(), node.exact.end());
+    return;
+  }
+  const auto it = node.children.find(tokens[depth]);
+  if (it != node.children.end()) collect_walk(*it->second, tokens, depth + 1, out);
+  if (node.star != nullptr) collect_walk(*node.star, tokens, depth + 1, out);
+}
+
+}  // namespace
+
+}  // namespace jmsperf::jms

@@ -1,0 +1,66 @@
+// Token trie over wildcard topic patterns.
+//
+// The broker used to test EVERY pattern subscription against every
+// published destination (one TopicPattern::matches per pattern per
+// message).  The trie stores the patterns structurally instead — one node
+// per fixed token, a dedicated edge for the single-token wildcard '*',
+// and per-node terminal lists for exact-depth and trailing-'#' patterns —
+// so a lookup walks at most the destination's token count times the
+// (tiny) wildcard branching, independent of how many patterns are
+// installed.
+//
+// collect() reproduces TopicPattern::matches exactly:
+//   * a fixed token matches only itself, '*' exactly one token;
+//   * '#' is final-only and matches ZERO or more trailing tokens, so a
+//     node's hash-terminals fire at every prefix depth, including the
+//     exact one ("sports.#" matches "sports" itself).
+//
+// Thread-safety: none; the broker guards the trie with topics_mutex_
+// (shared for collect, exclusive for insert/erase) like the rest of the
+// subscription topology.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "jms/subscription.hpp"
+#include "jms/topic_pattern.hpp"
+
+namespace jmsperf::jms {
+
+class TopicTrie {
+ public:
+  TopicTrie();
+  ~TopicTrie();
+  TopicTrie(const TopicTrie&) = delete;
+  TopicTrie& operator=(const TopicTrie&) = delete;
+
+  /// Registers `subscription` under `pattern`.
+  void insert(const TopicPattern& pattern,
+              std::shared_ptr<Subscription> subscription);
+
+  /// Removes one registration of `subscription` under `pattern`, pruning
+  /// nodes that become empty.  Returns false if it was not registered.
+  bool erase(const TopicPattern& pattern,
+             const std::shared_ptr<Subscription>& subscription);
+
+  /// Appends every subscription whose pattern matches `topic` to `out`
+  /// (order: '#' terminals shallow-to-deep, then exact-depth terminals).
+  void collect(std::string_view topic,
+               std::vector<std::shared_ptr<Subscription>>& out) const;
+
+  /// Number of registered (pattern, subscription) entries.
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Opaque trie node (defined in the .cpp).
+  struct Node;
+
+ private:
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace jmsperf::jms

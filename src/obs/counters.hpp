@@ -27,6 +27,12 @@ enum class Counter : std::size_t {
   /// Nanoseconds spent in ingress queues, accumulated at dispatcher
   /// pickup (the live counterpart of the paper's waiting time W).
   IngressWaitNs,
+  /// Predicate-index lookups (hash probes + interval-list walks) issued
+  /// while routing received messages (predicate-index mode only).
+  IndexProbes,
+  /// Subscriptions in the candidate groups the index probes could not
+  /// rule out; candidates/received is the live index selectivity.
+  IndexCandidates,
   /// Individual filter checks (batched per message).
   FilterEvaluations,
   /// Copies delivered to consumers.
@@ -49,6 +55,8 @@ inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::k
     case Counter::TracesSampled: return "traces_sampled";
     case Counter::Received: return "received";
     case Counter::IngressWaitNs: return "ingress_wait_ns";
+    case Counter::IndexProbes: return "index_probes";
+    case Counter::IndexCandidates: return "index_candidates";
     case Counter::FilterEvaluations: return "filter_evaluations";
     case Counter::Dispatched: return "dispatched";
     case Counter::Dropped: return "dropped";
@@ -66,6 +74,8 @@ inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::k
     case Counter::TracesSampled: return "Lifecycle traces selected by the sampler at publish time.";
     case Counter::Received: return "Messages taken up by a dispatcher.";
     case Counter::IngressWaitNs: return "Nanoseconds messages spent waiting in ingress queues.";
+    case Counter::IndexProbes: return "Predicate-index lookups issued while routing messages.";
+    case Counter::IndexCandidates: return "Subscriptions in candidate groups the index probes admitted.";
     case Counter::FilterEvaluations: return "Individual subscription-filter evaluations.";
     case Counter::Dispatched: return "Message copies delivered to consumers.";
     case Counter::Dropped: return "Copies dropped on subscriber-queue overflow or shutdown.";

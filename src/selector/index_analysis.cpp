@@ -1,0 +1,411 @@
+#include "selector/index_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "selector/eval_ops.hpp"
+#include "selector/selector.hpp"
+
+namespace jmsperf::selector {
+
+namespace {
+
+// Largest magnitude at which int64 <-> double equality is injective: every
+// integer in [-2^53, 2^53] has exactly one double representation, so an
+// integral double and the equal int64 may share one hash bucket without
+// ever diverging from eval::compare.  Beyond it, distinct int64s collapse
+// onto one double and a bucket could admit a value the comparison rejects.
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+std::string format_double(double d) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", d);
+  return buffer;
+}
+
+}  // namespace
+
+std::optional<PredicateKey> PredicateKey::from_value(const Value& v) {
+  if (v.is_null()) return std::nullopt;
+  if (v.is_bool()) return PredicateKey(Data(std::in_place_type<bool>, v.as_bool()));
+  if (v.is_string()) {
+    return PredicateKey(Data(std::in_place_type<std::string>, v.as_string()));
+  }
+  if (v.is_long()) {
+    const std::int64_t i = v.as_long();
+    // Compare in the integer domain: casting 2^53 + 1 to double rounds
+    // it back onto 2^53 and would slip past a floating-point check.
+    constexpr std::int64_t kMaxExact = 9007199254740992;  // 2^53
+    if (i > kMaxExact || i < -kMaxExact) return std::nullopt;
+    return PredicateKey(Data(std::in_place_type<std::int64_t>, i));
+  }
+  const double d = v.as_double();
+  if (std::isnan(d)) return std::nullopt;  // NaN equals nothing
+  if (std::nearbyint(d) == d) {
+    // Integral double: canonicalize onto the int64 key so `x = 3` and
+    // `x = 3.0` share a bucket (eval::compare treats them as equal).
+    if (std::abs(d) > kMaxExactInteger) return std::nullopt;
+    return PredicateKey(Data(std::in_place_type<std::int64_t>,
+                             static_cast<std::int64_t>(d)));
+  }
+  // Every double with |d| >= 2^52 is integral, so non-integral keys are
+  // automatically inside the exact window.
+  return PredicateKey(Data(std::in_place_type<double>, d));
+}
+
+std::size_t PredicateKey::Hash::operator()(const PredicateKey& key) const noexcept {
+  const std::size_t salt = key.data_.index() * 0x9e3779b97f4a7c15ull;
+  return salt ^ std::visit(
+                    [](const auto& v) {
+                      using T = std::decay_t<decltype(v)>;
+                      return std::hash<T>{}(v);
+                    },
+                    key.data_);
+}
+
+std::string PredicateKey::repr() const {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, bool>) {
+          return v ? "b:true" : "b:false";
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          return "i:" + std::to_string(v);
+        } else if constexpr (std::is_same_v<T, double>) {
+          return "d:" + format_double(v);
+        } else {
+          // Length-prefixed so embedded separators cannot collide.
+          return "s:" + std::to_string(v.size()) + ":" + v;
+        }
+      },
+      data_);
+}
+
+bool IndexGuard::admits(const Value& value) const {
+  if (kind == Kind::Equality) {
+    const auto key = PredicateKey::from_value(value);
+    if (!key) return false;
+    return std::find(keys.begin(), keys.end(), *key) != keys.end();
+  }
+  // Range: True verdicts only, straight from the shared comparison kernel
+  // (NULL and type-mismatched values yield Unknown there -> rejected).
+  if (value.is_null()) return false;
+  if (!lo.is_null() &&
+      eval::compare(lo_strict ? BinaryOp::Greater : BinaryOp::GreaterEqual,
+                    value, lo) != Tribool::True) {
+    return false;
+  }
+  if (!hi.is_null() &&
+      eval::compare(hi_strict ? BinaryOp::Less : BinaryOp::LessEqual,
+                    value, hi) != Tribool::True) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Canonical rendering of a range bound (folds 3 vs 3.0 like the keys do).
+std::string bound_repr(const Value& bound) {
+  if (bound.is_null()) return "_";
+  if (const auto key = PredicateKey::from_value(bound)) return key->repr();
+  return bound.to_string();
+}
+
+}  // namespace
+
+std::string IndexGuard::repr() const {
+  std::string out;
+  if (kind == Kind::Equality) {
+    out = "eq:" + std::to_string(symbol) + ":{";
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (i > 0) out += ",";
+      out += keys[i].repr();
+    }
+    out += "}";
+    return out;
+  }
+  out = "rng:" + std::to_string(symbol) + ":";
+  out += lo_strict ? "(" : "[";
+  out += bound_repr(lo);
+  out += ";";
+  out += bound_repr(hi);
+  out += hi_strict ? ")" : "]";
+  return out;
+}
+
+namespace {
+
+/// Deep copy via the visitor (Expr is deliberately non-copyable).
+class CloneVisitor final : public Visitor {
+ public:
+  ExprPtr take() { return std::move(result_); }
+
+  void visit(const LiteralExpr& node) override {
+    result_ = std::make_unique<LiteralExpr>(node.value());
+  }
+  void visit(const IdentifierExpr& node) override {
+    result_ = std::make_unique<IdentifierExpr>(node.name());
+  }
+  void visit(const UnaryExpr& node) override {
+    result_ = std::make_unique<UnaryExpr>(node.op(), clone_expr(node.operand()));
+  }
+  void visit(const BinaryExpr& node) override {
+    result_ = std::make_unique<BinaryExpr>(node.op(), clone_expr(node.lhs()),
+                                           clone_expr(node.rhs()));
+  }
+  void visit(const BetweenExpr& node) override {
+    result_ = std::make_unique<BetweenExpr>(
+        clone_expr(node.subject()), clone_expr(node.lo()), clone_expr(node.hi()),
+        node.negated());
+  }
+  void visit(const InExpr& node) override {
+    result_ = std::make_unique<InExpr>(node.identifier(), node.values(),
+                                       node.negated());
+  }
+  void visit(const LikeExpr& node) override {
+    result_ = std::make_unique<LikeExpr>(node.identifier(), node.pattern(),
+                                         node.escape(), node.negated());
+  }
+  void visit(const IsNullExpr& node) override {
+    result_ = std::make_unique<IsNullExpr>(node.identifier(), node.negated());
+  }
+
+ private:
+  ExprPtr result_;
+};
+
+/// Flattens the top-level AND spine into conjuncts, left to right.
+void split_and(const Expr& expr, std::vector<const Expr*>& out) {
+  if (const auto* binary = dynamic_cast<const BinaryExpr*>(&expr);
+      binary != nullptr && binary->op() == BinaryOp::And) {
+    split_and(binary->lhs(), out);
+    split_and(binary->rhs(), out);
+    return;
+  }
+  out.push_back(&expr);
+}
+
+/// A compile-time constant operand: a literal, possibly under unary +/-
+/// (the parser represents negative literals that way).
+std::optional<Value> constant_of(const Expr& expr) {
+  if (const auto* literal = dynamic_cast<const LiteralExpr*>(&expr)) {
+    return literal->value();
+  }
+  if (const auto* unary = dynamic_cast<const UnaryExpr*>(&expr)) {
+    const auto inner = constant_of(unary->operand());
+    if (!inner) return std::nullopt;
+    const Value folded = unary->op() == UnaryOp::Minus ? eval::negate(*inner)
+                         : unary->op() == UnaryOp::Plus ? eval::unary_plus(*inner)
+                                                        : Value{};
+    if (folded.is_null()) return std::nullopt;
+    return folded;
+  }
+  return std::nullopt;
+}
+
+const IdentifierExpr* as_identifier(const Expr& expr) {
+  return dynamic_cast<const IdentifierExpr*>(&expr);
+}
+
+/// `ident = constant` in either operand order (with a canonicalizable
+/// constant), as (identifier name, key).
+struct EqualityLeaf {
+  const std::string* identifier;
+  PredicateKey key;
+};
+
+std::optional<EqualityLeaf> as_equality_leaf(const Expr& expr) {
+  const auto* binary = dynamic_cast<const BinaryExpr*>(&expr);
+  if (binary == nullptr || binary->op() != BinaryOp::Equal) return std::nullopt;
+  const IdentifierExpr* ident = as_identifier(binary->lhs());
+  const Expr* constant_side = &binary->rhs();
+  if (ident == nullptr) {  // try the flipped `3 = x` form
+    ident = as_identifier(binary->rhs());
+    constant_side = &binary->lhs();
+  }
+  if (ident == nullptr) return std::nullopt;
+  const auto constant = constant_of(*constant_side);
+  if (!constant) return std::nullopt;
+  auto key = PredicateKey::from_value(*constant);
+  if (!key) return std::nullopt;
+  return EqualityLeaf{&ident->name(), std::move(*key)};
+}
+
+/// One conjunct recognized as a disjunction of equalities on a single
+/// identifier: `x = 3`, `x IN ('a','b')`, `x = 1 OR 2 = x OR ...`.
+struct EqualityGuardDraft {
+  const std::string* identifier = nullptr;
+  std::vector<PredicateKey> keys;
+};
+
+bool collect_equalities(const Expr& expr, EqualityGuardDraft& draft) {
+  if (const auto* binary = dynamic_cast<const BinaryExpr*>(&expr);
+      binary != nullptr && binary->op() == BinaryOp::Or) {
+    return collect_equalities(binary->lhs(), draft) &&
+           collect_equalities(binary->rhs(), draft);
+  }
+  if (const auto* in = dynamic_cast<const InExpr*>(&expr);
+      in != nullptr && !in->negated()) {
+    if (draft.identifier != nullptr && *draft.identifier != in->identifier()) {
+      return false;
+    }
+    draft.identifier = &in->identifier();
+    for (const auto& value : in->values()) {
+      auto key = PredicateKey::from_value(Value(value));
+      if (!key) return false;
+      draft.keys.push_back(std::move(*key));
+    }
+    return true;
+  }
+  auto leaf = as_equality_leaf(expr);
+  if (!leaf) return false;
+  if (draft.identifier != nullptr && *draft.identifier != *leaf->identifier) {
+    return false;
+  }
+  draft.identifier = leaf->identifier;
+  draft.keys.push_back(std::move(leaf->key));
+  return true;
+}
+
+std::optional<IndexGuard> as_equality_guard(const Expr& expr) {
+  EqualityGuardDraft draft;
+  if (!collect_equalities(expr, draft) || draft.identifier == nullptr) {
+    return std::nullopt;
+  }
+  IndexGuard guard;
+  guard.kind = IndexGuard::Kind::Equality;
+  guard.symbol = SymbolTable::global().intern(*draft.identifier);
+  guard.keys = std::move(draft.keys);
+  // Canonical key order (and deduplication) so `x IN ('a','b')` and
+  // `x = 'b' OR x = 'a'` produce identical guards.
+  std::sort(guard.keys.begin(), guard.keys.end(),
+            [](const PredicateKey& a, const PredicateKey& b) {
+              return a.repr() < b.repr();
+            });
+  guard.keys.erase(std::unique(guard.keys.begin(), guard.keys.end()),
+                   guard.keys.end());
+  return guard;
+}
+
+std::optional<IndexGuard> as_range_guard(const Expr& expr) {
+  if (const auto* between = dynamic_cast<const BetweenExpr*>(&expr);
+      between != nullptr && !between->negated()) {
+    const auto* subject = as_identifier(between->subject());
+    const auto lo = constant_of(between->lo());
+    const auto hi = constant_of(between->hi());
+    if (subject == nullptr || !lo || !hi || !lo->is_numeric() ||
+        !hi->is_numeric()) {
+      return std::nullopt;
+    }
+    IndexGuard guard;
+    guard.kind = IndexGuard::Kind::Range;
+    guard.symbol = SymbolTable::global().intern(subject->name());
+    guard.lo = *lo;
+    guard.hi = *hi;
+    return guard;
+  }
+  const auto* binary = dynamic_cast<const BinaryExpr*>(&expr);
+  if (binary == nullptr) return std::nullopt;
+  BinaryOp op = binary->op();
+  if (op != BinaryOp::Less && op != BinaryOp::LessEqual &&
+      op != BinaryOp::Greater && op != BinaryOp::GreaterEqual) {
+    return std::nullopt;
+  }
+  const IdentifierExpr* ident = as_identifier(binary->lhs());
+  const Expr* constant_side = &binary->rhs();
+  if (ident == nullptr) {
+    // `3 < x` is `x > 3`: mirror the operator.
+    ident = as_identifier(binary->rhs());
+    constant_side = &binary->lhs();
+    switch (op) {
+      case BinaryOp::Less: op = BinaryOp::Greater; break;
+      case BinaryOp::LessEqual: op = BinaryOp::GreaterEqual; break;
+      case BinaryOp::Greater: op = BinaryOp::Less; break;
+      case BinaryOp::GreaterEqual: op = BinaryOp::LessEqual; break;
+      default: break;
+    }
+  }
+  if (ident == nullptr) return std::nullopt;
+  const auto constant = constant_of(*constant_side);
+  if (!constant || !constant->is_numeric()) return std::nullopt;
+  IndexGuard guard;
+  guard.kind = IndexGuard::Kind::Range;
+  guard.symbol = SymbolTable::global().intern(ident->name());
+  switch (op) {
+    case BinaryOp::Less: guard.hi = *constant; guard.hi_strict = true; break;
+    case BinaryOp::LessEqual: guard.hi = *constant; break;
+    case BinaryOp::Greater: guard.lo = *constant; guard.lo_strict = true; break;
+    case BinaryOp::GreaterEqual: guard.lo = *constant; break;
+    default: return std::nullopt;
+  }
+  return guard;
+}
+
+}  // namespace
+
+ExprPtr clone_expr(const Expr& expr) {
+  CloneVisitor cloner;
+  expr.accept(cloner);
+  return cloner.take();
+}
+
+IndexPlan analyze_selector(const Selector& selector) {
+  IndexPlan plan;
+  if (selector.is_match_all()) {
+    plan.access = IndexPlan::Access::Unconditional;
+    plan.signature = "all";
+    return plan;
+  }
+
+  std::vector<const Expr*> conjuncts;
+  split_and(*selector.ast(), conjuncts);
+
+  // One conjunct becomes the access guard; equality beats range (a hash
+  // probe touches exactly one bucket, an interval list is still linear in
+  // the number of DISTINCT intervals on the symbol).
+  std::size_t guard_at = conjuncts.size();
+  for (std::size_t i = 0; i < conjuncts.size() && guard_at == conjuncts.size();
+       ++i) {
+    if (auto guard = as_equality_guard(*conjuncts[i])) {
+      plan.guard = std::move(*guard);
+      plan.access = IndexPlan::Access::Equality;
+      guard_at = i;
+    }
+  }
+  for (std::size_t i = 0; i < conjuncts.size() && guard_at == conjuncts.size();
+       ++i) {
+    if (auto guard = as_range_guard(*conjuncts[i])) {
+      plan.guard = std::move(*guard);
+      plan.access = IndexPlan::Access::Range;
+      guard_at = i;
+    }
+  }
+  if (guard_at == conjuncts.size()) {
+    plan.access = IndexPlan::Access::Scan;
+    plan.signature = "scan:" + selector.text();
+    return plan;
+  }
+
+  // Residual: AND of the remaining conjuncts, cloned and recompiled.
+  // Three-valued AND is associative and commutative, so re-folding the
+  // spine left to right preserves the original verdict exactly.
+  ExprPtr residual;
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i == guard_at) continue;
+    ExprPtr piece = clone_expr(*conjuncts[i]);
+    residual = residual ? std::make_unique<BinaryExpr>(
+                              BinaryOp::And, std::move(residual), std::move(piece))
+                        : std::move(piece);
+  }
+  if (residual) {
+    plan.residual_text = to_string(*residual);
+    plan.residual = std::make_shared<const Program>(Program::compile(*residual));
+  }
+  plan.signature = plan.guard.repr() + "|" + plan.residual_text;
+  return plan;
+}
+
+}  // namespace jmsperf::selector

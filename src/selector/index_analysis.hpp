@@ -1,0 +1,137 @@
+// Index-ability analysis of compiled selectors.
+//
+// The broker's predicate index (jms/predicate_index.hpp) wants to replace
+// the per-message linear scan over every installed filter (paper Eq. 1's
+// n_fltr * t_fltr term) with a hash/interval probe.  That is only sound if
+// the probe provably agrees with the three-valued selector semantics, so
+// this module does the selector-side half of the work:
+//
+//   * AND-decompose a selector's expression tree into conjuncts;
+//   * recognize index-able conjuncts — `ident = literal` (either operand
+//     order), OR-chains / IN lists of equalities on one identifier, and
+//     numeric range comparisons / BETWEEN — as an IndexGuard;
+//   * compile the remaining conjuncts into a residual Program that is
+//     evaluated only for messages the guard admits.
+//
+// Soundness rests on AND's three-valued truth table: the whole selector is
+// True iff EVERY conjunct is True, so "guard admits" (conjunct True) and
+// "residual matches" (all other conjuncts True) together are exactly the
+// original verdict, and a guard miss (conjunct False or Unknown) rejects
+// the message just like the full evaluation would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "selector/ast.hpp"
+#include "selector/program.hpp"
+#include "selector/symbol_table.hpp"
+#include "selector/value.hpp"
+
+namespace jmsperf::selector {
+
+class Selector;
+
+/// A canonical, hashable key for equality-indexed constants.
+///
+/// Canonicalization folds the exact/approximate split of eval::compare:
+/// an integral double with |v| <= 2^53 maps to the SAME key as the equal
+/// int64 (`x = 3` and `x = 3.0` land in one bucket, as the semantics
+/// demand).  Values for which a hash bucket cannot reproduce the compare
+/// semantics exactly — NULL, NaN, and magnitudes beyond 2^53 where
+/// int64<->double equality is no longer injective — yield nullopt, and
+/// the analysis falls back to a linear scan for such constants.
+class PredicateKey {
+ public:
+  [[nodiscard]] static std::optional<PredicateKey> from_value(const Value& v);
+
+  bool operator==(const PredicateKey& other) const { return data_ == other.data_; }
+  bool operator!=(const PredicateKey& other) const { return !(*this == other); }
+
+  struct Hash {
+    std::size_t operator()(const PredicateKey& key) const noexcept;
+  };
+
+  /// Stable textual form, used to build canonical group signatures.
+  [[nodiscard]] std::string repr() const;
+
+ private:
+  using Data = std::variant<bool, std::int64_t, double, std::string>;
+  explicit PredicateKey(Data data) : data_(std::move(data)) {}
+  Data data_;
+};
+
+/// The index-able part of one conjunct: either a disjunction of equality
+/// keys on one identifier (`x = 3`, `x IN ('a','b')`, `x = 1 OR x = 2`),
+/// or a numeric interval (`x > 3`, `x BETWEEN 2 AND 7`).
+struct IndexGuard {
+  enum class Kind { Equality, Range };
+
+  Kind kind = Kind::Equality;
+  SymbolId symbol = kNoSymbol;
+
+  /// Equality: the admissible keys (sorted by repr(), deduplicated).
+  std::vector<PredicateKey> keys;
+
+  /// Range: bounds (NULL Value = unbounded on that side); `*_strict`
+  /// selects < / > over <= / >=.
+  Value lo;
+  Value hi;
+  bool lo_strict = false;
+  bool hi_strict = false;
+
+  /// True iff the guarded conjunct evaluates to True for a message whose
+  /// property has this value — computed with the exact eval::compare
+  /// semantics (NULL or a type-mismatched value is never admitted, which
+  /// matches the Unknown verdict of the full evaluation).
+  [[nodiscard]] bool admits(const Value& value) const;
+
+  /// Canonical text (part of the group signature).
+  [[nodiscard]] std::string repr() const;
+};
+
+/// Result of analyzing one selector: how the index may access it.
+struct IndexPlan {
+  enum class Access {
+    /// Match-all selector: every message matches, nothing to evaluate.
+    Unconditional,
+    /// No index-able conjunct: the index must linearly scan this one.
+    Scan,
+    /// Probe the equality hash index on guard.symbol.
+    Equality,
+    /// Probe the interval list on guard.symbol.
+    Range,
+  };
+
+  Access access = Access::Scan;
+  IndexGuard guard;  ///< valid for Equality / Range
+
+  /// Conjuncts not covered by the guard, compiled; null when the guard is
+  /// the whole selector (a guard hit then needs no further evaluation).
+  std::shared_ptr<const Program> residual;
+
+  /// Normalized text of the residual (group-signature component; empty
+  /// when residual is null).
+  std::string residual_text;
+
+  /// Canonical grouping key: selectors with equal signatures are
+  /// structurally interchangeable — same access path, same keys/bounds,
+  /// same residual — so the index evaluates their shared residual once
+  /// per message for the whole group.
+  std::string signature;
+};
+
+/// Analyzes a compiled selector for index-ability.  Never fails: selectors
+/// without an index-able conjunct come back as Access::Scan.
+[[nodiscard]] IndexPlan analyze_selector(const Selector& selector);
+
+/// Deep-copies an expression tree (AST nodes are intentionally
+/// non-copyable; the analysis uses this to assemble residual trees from
+/// the conjuncts it did not consume).
+[[nodiscard]] ExprPtr clone_expr(const Expr& expr);
+
+}  // namespace jmsperf::selector

@@ -1,0 +1,161 @@
+// Concurrent churn over the predicate index: subscribe/unsubscribe races
+// against live publishing, under both dispatch modes with k = 4
+// dispatchers.  Run under the tsan preset (concurrency label) and the
+// asan preset (index label).
+//
+// Invariants checked:
+//   * a stable subscription receives EXACTLY its matching messages —
+//     index maintenance never drops a live match;
+//   * a churned subscription's enqueued() count is frozen the moment
+//     unsubscribe() returns — the index never routes to a removed
+//     subscription;
+//   * every message a churned subscription did receive satisfies its
+//     filter — bucket relinking never misroutes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "jms/broker.hpp"
+
+namespace jmsperf::jms {
+namespace {
+
+constexpr int kPublishers = 3;
+constexpr int kMessagesPerPublisher = 400;
+constexpr int kChurners = 2;
+constexpr int kChurnCycles = 40;
+
+Message churn_message(int publisher, int seq) {
+  Message m;
+  m.set_destination("top.a");
+  m.set_correlation_id("#" + std::to_string(seq % 3));
+  m.set_property("key", static_cast<std::int64_t>(seq % 2));
+  m.set_property("weight", static_cast<std::int64_t>((publisher * 37 + seq) % 100));
+  return m;
+}
+
+class IndexChurnTest : public ::testing::TestWithParam<DispatchMode> {};
+
+TEST_P(IndexChurnTest, ChurnNeverMisroutes) {
+  BrokerConfig config;
+  config.filter_index_mode = FilterIndexMode::Predicate;
+  config.num_dispatchers = 4;
+  config.dispatch_mode = GetParam();
+  config.auto_create_topics = true;
+  Broker broker(config);
+  broker.create_topic("top.a");
+
+  // Stable population, installed before traffic starts.  Expected counts
+  // are derived from the deterministic message stream below.
+  auto all = broker.subscribe("top.a", SubscriptionFilter::none());
+  auto key0 = broker.subscribe("top.a", SubscriptionFilter::application_property("key = 0"));
+  auto key0_dup = broker.subscribe("top.a", SubscriptionFilter::application_property("0 = key"));
+  auto heavy = broker.subscribe("top.a", SubscriptionFilter::application_property("weight >= 50"));
+  auto guarded = broker.subscribe(
+      "top.a", SubscriptionFilter::application_property("key = 1 AND weight < 50"));
+  auto corr = broker.subscribe("top.a", SubscriptionFilter::correlation_id("#1"));
+  auto pattern = broker.subscribe_pattern("top.#", SubscriptionFilter::none());
+
+  std::uint64_t expect_key0 = 0, expect_heavy = 0, expect_guarded = 0, expect_corr = 0;
+  for (int p = 0; p < kPublishers; ++p) {
+    for (int s = 0; s < kMessagesPerPublisher; ++s) {
+      const int key = s % 2;
+      const int weight = (p * 37 + s) % 100;
+      if (key == 0) ++expect_key0;
+      if (weight >= 50) ++expect_heavy;
+      if (key == 1 && weight < 50) ++expect_guarded;
+      if (s % 3 == 1) ++expect_corr;
+    }
+  }
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kPublishers) * kMessagesPerPublisher;
+
+  std::atomic<bool> publishing_done{false};
+  std::vector<std::thread> publishers;
+  publishers.reserve(kPublishers);
+  for (int p = 0; p < kPublishers; ++p) {
+    publishers.emplace_back([&broker, p] {
+      for (int s = 0; s < kMessagesPerPublisher; ++s) {
+        ASSERT_TRUE(broker.publish(churn_message(p, s)));
+      }
+    });
+  }
+
+  // Churners: subscribe, let traffic flow, unsubscribe, then verify the
+  // drained backlog and the frozen count.
+  std::vector<std::thread> churners;
+  churners.reserve(kChurners);
+  for (int c = 0; c < kChurners; ++c) {
+    churners.emplace_back([&broker, &publishing_done, c] {
+      std::mt19937 rng(static_cast<unsigned>(7919 * (c + 1)));
+      const std::vector<std::string> filters = {
+          "key = 0", "key = 1", "weight > 80", "key = 0 AND weight < 30",
+          "key = 0 OR key = 1", "color = 'none'"};
+      for (int cycle = 0; cycle < kChurnCycles; ++cycle) {
+        std::uniform_int_distribution<std::size_t> pick(0, filters.size() - 1);
+        const std::string& expression = filters[pick(rng)];
+        std::shared_ptr<Subscription> sub;
+        const bool as_pattern = cycle % 5 == 4;
+        if (as_pattern) {
+          sub = broker.subscribe_pattern(
+              "top.*", SubscriptionFilter::application_property(expression));
+        } else {
+          sub = broker.subscribe(
+              "top.a", SubscriptionFilter::application_property(expression));
+        }
+        std::this_thread::yield();
+        broker.unsubscribe(sub);
+        const std::uint64_t frozen = sub->enqueued();
+
+        // Drain: every delivered message must satisfy the filter.
+        std::uint64_t drained = 0;
+        while (auto message = sub->try_receive()) {
+          ++drained;
+          EXPECT_TRUE(sub->matches(**message))
+              << "churned subscription [" << expression
+              << "] received a non-matching message";
+        }
+        EXPECT_EQ(drained, frozen);
+        // The count must stay frozen: no post-unsubscribe routing.
+        EXPECT_EQ(sub->enqueued(), frozen)
+            << "index routed to a removed subscription [" << expression << "]";
+        if (publishing_done.load(std::memory_order_acquire) && cycle > kChurnCycles / 2) {
+          break;  // publishers finished; later cycles see no traffic
+        }
+      }
+    });
+  }
+
+  for (auto& t : publishers) t.join();
+  publishing_done.store(true, std::memory_order_release);
+  for (auto& t : churners) t.join();
+  broker.wait_until_idle();
+
+  EXPECT_EQ(all->enqueued(), kTotal);
+  EXPECT_EQ(key0->enqueued(), expect_key0);
+  EXPECT_EQ(key0_dup->enqueued(), expect_key0);
+  EXPECT_EQ(heavy->enqueued(), expect_heavy);
+  EXPECT_EQ(guarded->enqueued(), expect_guarded);
+  EXPECT_EQ(corr->enqueued(), expect_corr);
+  EXPECT_EQ(pattern->enqueued(), kTotal);
+  EXPECT_EQ(broker.stats().published, kTotal);
+
+  broker.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, IndexChurnTest,
+                         ::testing::Values(DispatchMode::Partitioned,
+                                           DispatchMode::SharedQueue),
+                         [](const ::testing::TestParamInfo<DispatchMode>& info) {
+                           return info.param == DispatchMode::Partitioned
+                                      ? "Partitioned"
+                                      : "SharedQueue";
+                         });
+
+}  // namespace
+}  // namespace jmsperf::jms

@@ -1,0 +1,303 @@
+// Predicate-index matching (FilterIndexMode::Predicate): bucket probes
+// and interval lists must preserve delivery semantics exactly while
+// cutting per-message filter evaluations from "per subscriber" to "per
+// admitted group".  Also pins the satellite fix: the matching strategy
+// is resolved ONCE at broker construction — mutating the config object
+// mid-run has no effect.
+#include <chrono>
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "jms/broker.hpp"
+#include "workload/filter_population.hpp"
+
+using namespace std::chrono_literals;
+
+namespace jmsperf::jms {
+namespace {
+
+BrokerConfig predicate_config() {
+  BrokerConfig config;
+  config.filter_index_mode = FilterIndexMode::Predicate;
+  return config;
+}
+
+Message property_message(const std::string& topic,
+                         std::int64_t key, std::int64_t weight) {
+  Message m;
+  m.set_destination(topic);
+  m.set_property("key", key);
+  m.set_property("weight", weight);
+  return m;
+}
+
+void settle(Broker& broker) {
+  broker.wait_until_idle();
+  std::this_thread::sleep_for(100ms);
+}
+
+TEST(PredicateIndex, DeliveryIdenticalAcrossAllThreeModes) {
+  // Same population and traffic under None / IdenticalGroups / Predicate;
+  // per-subscription delivery counts must match exactly.
+  for (const auto mode : {FilterIndexMode::None, FilterIndexMode::IdenticalGroups,
+                          FilterIndexMode::Predicate}) {
+    BrokerConfig config;
+    config.filter_index_mode = mode;
+    Broker broker(config);
+    broker.create_topic("t");
+    const auto subs = workload::install_measurement_population(
+        broker, "t", core::FilterClass::ApplicationProperty, 6, 3);
+    for (int i = 0; i < 10; ++i) {
+      broker.publish(workload::make_keyed_message("t", 0));
+      broker.publish(workload::make_keyed_message("t", 2));
+    }
+    settle(broker);
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_EQ(subs[s]->enqueued(), 10u) << "mode=" << static_cast<int>(mode);
+    }
+    std::uint64_t key2_total = 0;
+    for (std::size_t s = 3; s < subs.size(); ++s) key2_total += subs[s]->enqueued();
+    EXPECT_EQ(key2_total, 10u) << "mode=" << static_cast<int>(mode);
+    EXPECT_EQ(broker.stats().dispatched, 40u) << "mode=" << static_cast<int>(mode);
+  }
+}
+
+TEST(PredicateIndex, GuardOnlySelectorsNeedNoEvaluation) {
+  // 50 distinct `key = i` filters: a hash probe resolves each message
+  // without running a single compiled program.
+  Broker broker(predicate_config());
+  broker.create_topic("t");
+  std::vector<std::shared_ptr<Subscription>> subs;
+  for (std::int64_t i = 0; i < 50; ++i) {
+    subs.push_back(broker.subscribe(
+        "t", SubscriptionFilter::application_property("key = " + std::to_string(i))));
+  }
+  for (int i = 0; i < 20; ++i) broker.publish(property_message("t", 7, 0));
+  settle(broker);
+  EXPECT_EQ(subs[7]->enqueued(), 20u);
+  const auto stats = broker.stats();
+  EXPECT_EQ(stats.dispatched, 20u);
+  EXPECT_EQ(stats.filter_evaluations, 0u);       // pure bucket hits
+  EXPECT_EQ(stats.index_probes, 20u);            // one symbol probed/message
+  EXPECT_EQ(stats.index_candidates, 20u);        // one candidate group each
+}
+
+TEST(PredicateIndex, SharedResidualEvaluatedOncePerMessage) {
+  // 8 subscribers with the same guarded selector share one group: the
+  // residual `weight > 100` runs once per message, not once per sub.
+  Broker broker(predicate_config());
+  broker.create_topic("t");
+  std::vector<std::shared_ptr<Subscription>> subs;
+  for (int i = 0; i < 8; ++i) {
+    subs.push_back(broker.subscribe(
+        "t", SubscriptionFilter::application_property("key = 1 AND weight > 100")));
+  }
+  for (int i = 0; i < 10; ++i) broker.publish(property_message("t", 1, 200));
+  for (int i = 0; i < 5; ++i) broker.publish(property_message("t", 1, 50));
+  settle(broker);
+  for (const auto& sub : subs) EXPECT_EQ(sub->enqueued(), 10u);
+  const auto stats = broker.stats();
+  EXPECT_EQ(stats.filter_evaluations, 15u);  // residual once per message
+  EXPECT_EQ(stats.dispatched, 80u);
+}
+
+TEST(PredicateIndex, StructurallyEqualPlansShareAGroup) {
+  // `x = 3`, `3 = x`, `x = 3.0` canonicalize to one signature.
+  Broker broker(predicate_config());
+  broker.create_topic("t");
+  broker.subscribe("t", SubscriptionFilter::application_property("key = 3"));
+  broker.subscribe("t", SubscriptionFilter::application_property("3 = key"));
+  broker.subscribe("t", SubscriptionFilter::application_property("key = 3.0"));
+  const auto shape = broker.index_shape("t");
+  EXPECT_EQ(shape.groups, 1u);
+  EXPECT_EQ(shape.equality_buckets, 1u);
+}
+
+TEST(PredicateIndex, RangeGuardRoutesWithoutEvaluation) {
+  Broker broker(predicate_config());
+  broker.create_topic("t");
+  auto sub = broker.subscribe(
+      "t", SubscriptionFilter::application_property("weight BETWEEN 10 AND 20"));
+  broker.publish(property_message("t", 0, 15));
+  broker.publish(property_message("t", 0, 10));  // inclusive lower bound
+  broker.publish(property_message("t", 0, 25));  // outside
+  settle(broker);
+  EXPECT_EQ(sub->enqueued(), 2u);
+  EXPECT_EQ(broker.stats().filter_evaluations, 0u);
+  EXPECT_EQ(broker.index_shape("t").range_entries, 1u);
+}
+
+TEST(PredicateIndex, ExactCorrelationFiltersUseTheHashProbe) {
+  Broker broker(predicate_config());
+  broker.create_topic("t");
+  auto exact = broker.subscribe("t", SubscriptionFilter::correlation_id("#3"));
+  auto prefix = broker.subscribe("t", SubscriptionFilter::correlation_id("#*"));
+  broker.publish(workload::make_keyed_message("t", 3));
+  broker.publish(workload::make_keyed_message("t", 4));
+  settle(broker);
+  EXPECT_EQ(exact->enqueued(), 1u);   // hash probe on the raw id
+  EXPECT_EQ(prefix->enqueued(), 2u);  // non-exact kinds fall back to scan
+  EXPECT_EQ(broker.index_shape("t").correlation_buckets, 1u);
+}
+
+TEST(PredicateIndex, NonIndexableSelectorsStillRouteCorrectly) {
+  Broker broker(predicate_config());
+  broker.create_topic("t");
+  auto neq = broker.subscribe("t", SubscriptionFilter::application_property("key <> 3"));
+  auto like = broker.subscribe(
+      "t", SubscriptionFilter::application_property("name LIKE 'a%'"));
+  auto all = broker.subscribe("t", SubscriptionFilter::none());
+  Message named = property_message("t", 5, 0);
+  named.set_property("name", "abc");
+  broker.publish(std::move(named));
+  settle(broker);
+  EXPECT_EQ(neq->enqueued(), 1u);
+  EXPECT_EQ(like->enqueued(), 1u);
+  EXPECT_EQ(all->enqueued(), 1u);    // match-all: unconditional group
+  const auto shape = broker.index_shape("t");
+  // Match-all groups ride in the scan list (visited every message, zero
+  // evaluations) alongside the two genuinely non-indexable selectors.
+  EXPECT_EQ(shape.scan_groups, 3u);
+  EXPECT_EQ(broker.stats().filter_evaluations, 2u);  // the two scan selectors
+}
+
+TEST(PredicateIndex, PatternSubscriptionsRouteThroughTheTrie) {
+  Broker broker(predicate_config());
+  broker.create_topic("a.b");
+  auto plain = broker.subscribe("a.b", SubscriptionFilter::none());
+  auto star = broker.subscribe_pattern("a.*", SubscriptionFilter::none());
+  auto hash = broker.subscribe_pattern("a.#", SubscriptionFilter::application_property("key = 1"));
+  broker.publish(property_message("a.b", 1, 0));
+  ASSERT_TRUE(plain->receive(1s).has_value());
+  ASSERT_TRUE(star->receive(1s).has_value());
+  ASSERT_TRUE(hash->receive(1s).has_value());
+  broker.publish(property_message("a.b", 2, 0));
+  ASSERT_TRUE(plain->receive(1s).has_value());
+  ASSERT_TRUE(star->receive(1s).has_value());
+  EXPECT_FALSE(hash->receive(100ms).has_value());  // selector rejects
+}
+
+TEST(PredicateIndex, UnsubscribeRemovesTheSubscriptionFromTheIndex) {
+  Broker broker(predicate_config());
+  broker.create_topic("t");
+  auto first = broker.subscribe("t", SubscriptionFilter::application_property("key = 0"));
+  auto second = broker.subscribe("t", SubscriptionFilter::application_property("key = 0"));
+  broker.publish(property_message("t", 0, 0));
+  ASSERT_TRUE(first->receive(1s).has_value());
+  ASSERT_TRUE(second->receive(1s).has_value());
+
+  broker.unsubscribe(first);
+  broker.publish(property_message("t", 0, 0));
+  ASSERT_TRUE(second->receive(1s).has_value());
+  EXPECT_FALSE(first->receive(100ms).has_value());
+  EXPECT_EQ(broker.index_shape("t").groups, 1u);
+
+  broker.unsubscribe(second);
+  EXPECT_EQ(broker.index_shape("t").groups, 0u);
+  EXPECT_EQ(broker.index_shape("t").equality_buckets, 0u);
+}
+
+TEST(PredicateIndex, DurableReplaceSwapsTheIndexedFilter) {
+  Broker broker(predicate_config());
+  broker.create_topic("t");
+  auto old_sub = broker.subscribe_durable(
+      "d", "t", SubscriptionFilter::application_property("key = 0"));
+  broker.publish(property_message("t", 0, 0));
+  ASSERT_TRUE(old_sub->receive(1s).has_value());
+
+  // Different filter under the same name: JMS replace semantics.  The
+  // old subscription must vanish from the index atomically.
+  auto new_sub = broker.subscribe_durable(
+      "d", "t", SubscriptionFilter::application_property("key = 1"));
+  broker.publish(property_message("t", 0, 0));
+  broker.publish(property_message("t", 1, 0));
+  settle(broker);
+  EXPECT_EQ(new_sub->enqueued(), 1u);
+  EXPECT_TRUE(old_sub->closed());
+  EXPECT_EQ(broker.index_shape("t").groups, 1u);
+
+  EXPECT_TRUE(broker.unsubscribe_durable("d"));
+  EXPECT_EQ(broker.index_shape("t").groups, 0u);
+}
+
+TEST(PredicateIndex, WildcardCorrelationAndRangeKindsScan) {
+  // CorrelationIdFilter Range ("[3;7]") and Prefix ("#*") kinds are not
+  // hash-indexable; they must land in scan groups yet route exactly.
+  Broker broker(predicate_config());
+  broker.create_topic("t");
+  auto range = broker.subscribe("t", SubscriptionFilter::correlation_id("[3;7]"));
+  broker.publish(workload::make_keyed_message("t", 5));
+  broker.publish(workload::make_keyed_message("t", 9));
+  settle(broker);
+  EXPECT_EQ(range->enqueued(), 1u);
+  EXPECT_EQ(broker.index_shape("t").scan_groups, 1u);
+}
+
+// --- construction-time resolution of the matching strategy --------------
+
+TEST(PredicateIndex, ConfigMutationAfterConstructionHasNoEffect) {
+  // Regression for the latent gap: enable_identical_filter_index used to
+  // be consulted at subscribe time.  The strategy is now frozen in the
+  // constructor; toggling the caller's config mid-run must change nothing.
+  BrokerConfig config;  // mode None
+  Broker broker(config);
+  broker.create_topic("t");
+  config.filter_index_mode = FilterIndexMode::Predicate;
+  config.enable_identical_filter_index = true;
+
+  // Subscriptions installed AFTER the mutation still follow mode None.
+  for (int i = 0; i < 10; ++i) {
+    broker.subscribe("t", SubscriptionFilter::application_property("key = 0"));
+  }
+  for (int i = 0; i < 20; ++i) broker.publish(property_message("t", 0, 0));
+  settle(broker);
+  EXPECT_EQ(broker.filter_index_mode(), FilterIndexMode::None);
+  EXPECT_EQ(broker.stats().filter_evaluations, 200u);  // linear: 10 x 20
+  EXPECT_EQ(broker.index_shape("t").groups, 0u);       // no index built
+}
+
+TEST(PredicateIndex, LegacyBoolAliasResolvesToIdenticalGroups) {
+  BrokerConfig legacy;
+  legacy.enable_identical_filter_index = true;
+  EXPECT_EQ(Broker(legacy).filter_index_mode(), FilterIndexMode::IdenticalGroups);
+
+  // An explicit mode wins over the legacy alias.
+  BrokerConfig both;
+  both.enable_identical_filter_index = true;
+  both.filter_index_mode = FilterIndexMode::Predicate;
+  EXPECT_EQ(Broker(both).filter_index_mode(), FilterIndexMode::Predicate);
+
+  EXPECT_EQ(Broker().filter_index_mode(), FilterIndexMode::None);
+}
+
+TEST(PredicateIndex, IndexShapeTracksThePopulation) {
+  Broker broker(predicate_config());
+  broker.create_topic("t");
+  auto a = broker.subscribe("t", SubscriptionFilter::application_property("key = 1"));
+  auto b = broker.subscribe("t", SubscriptionFilter::application_property("key = 2"));
+  auto c = broker.subscribe("t", SubscriptionFilter::application_property("weight > 10"));
+  auto d = broker.subscribe("t", SubscriptionFilter::none());
+  auto e = broker.subscribe("t", SubscriptionFilter::application_property("key LIKE 'x%'"));
+
+  const auto shape = broker.index_shape("t");
+  EXPECT_EQ(shape.groups, 5u);
+  EXPECT_EQ(shape.equality_symbols, 1u);
+  EXPECT_EQ(shape.equality_buckets, 2u);
+  EXPECT_EQ(shape.range_symbols, 1u);
+  EXPECT_EQ(shape.range_entries, 1u);
+  EXPECT_EQ(shape.scan_groups, 2u);  // the LIKE selector + the match-all
+
+  broker.unsubscribe(a);
+  broker.unsubscribe(b);
+  broker.unsubscribe(c);
+  broker.unsubscribe(d);
+  broker.unsubscribe(e);
+  const auto empty = broker.index_shape("t");
+  EXPECT_EQ(empty.groups, 0u);
+  EXPECT_EQ(empty.equality_buckets, 0u);
+  EXPECT_EQ(empty.range_entries, 0u);
+  EXPECT_EQ(empty.scan_groups, 0u);
+}
+
+}  // namespace
+}  // namespace jmsperf::jms

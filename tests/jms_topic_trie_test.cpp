@@ -1,0 +1,183 @@
+// TopicTrie: structural index over wildcard topic patterns.
+//
+// The trie replaces the broker's linear pattern scan; its contract is
+// exact agreement with TopicPattern::matches for every (pattern, topic)
+// pair, plus correct incremental maintenance under insert/erase.  The
+// unit tests pin the wildcard semantics ('*' = exactly one token, '#' =
+// zero or more trailing tokens, final position only); the differential
+// test fuzzes random pattern populations against the linear oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "jms/broker.hpp"
+#include "jms/topic_pattern.hpp"
+#include "jms/topic_trie.hpp"
+
+namespace jmsperf::jms {
+namespace {
+
+// Subscription's constructor is broker-private; the trie only needs the
+// handles as identity tokens, so we mint them from a scratch broker.
+class TopicTrieTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<Subscription> make_subscription() {
+    return broker_.subscribe("seed", SubscriptionFilter::none());
+  }
+
+  static BrokerConfig scratch_config() {
+    BrokerConfig config;
+    config.auto_create_topics = true;
+    return config;
+  }
+
+  Broker broker_{scratch_config()};
+  TopicTrie trie_;
+};
+
+std::vector<std::shared_ptr<Subscription>> collect(const TopicTrie& trie,
+                                                   std::string_view topic) {
+  std::vector<std::shared_ptr<Subscription>> out;
+  trie.collect(topic, out);
+  return out;
+}
+
+TEST_F(TopicTrieTest, ExactPatternMatchesOnlyTheExactName) {
+  const auto sub = make_subscription();
+  trie_.insert(TopicPattern("sports.soccer"), sub);
+  EXPECT_EQ(collect(trie_, "sports.soccer").size(), 1u);
+  EXPECT_TRUE(collect(trie_, "sports").empty());
+  EXPECT_TRUE(collect(trie_, "sports.soccer.uk").empty());
+  EXPECT_TRUE(collect(trie_, "sports.tennis").empty());
+}
+
+TEST_F(TopicTrieTest, StarMatchesExactlyOneToken) {
+  const auto sub = make_subscription();
+  trie_.insert(TopicPattern("sports.*.uk"), sub);
+  EXPECT_EQ(collect(trie_, "sports.soccer.uk").size(), 1u);
+  EXPECT_EQ(collect(trie_, "sports.tennis.uk").size(), 1u);
+  EXPECT_TRUE(collect(trie_, "sports.uk").empty());
+  EXPECT_TRUE(collect(trie_, "sports.soccer.club.uk").empty());
+}
+
+TEST_F(TopicTrieTest, TrailingHashMatchesZeroOrMoreTokens) {
+  const auto sub = make_subscription();
+  trie_.insert(TopicPattern("sports.#"), sub);
+  EXPECT_EQ(collect(trie_, "sports").size(), 1u);  // zero trailing tokens
+  EXPECT_EQ(collect(trie_, "sports.soccer").size(), 1u);
+  EXPECT_EQ(collect(trie_, "sports.soccer.uk").size(), 1u);
+  EXPECT_TRUE(collect(trie_, "news").empty());
+  EXPECT_TRUE(collect(trie_, "sportsx").empty());
+}
+
+TEST_F(TopicTrieTest, MalformedTopicMatchesNothing) {
+  trie_.insert(TopicPattern("#"), make_subscription());
+  EXPECT_TRUE(collect(trie_, "").empty());
+  EXPECT_TRUE(collect(trie_, "a..b").empty());
+  EXPECT_EQ(collect(trie_, "anything.at.all").size(), 1u);
+}
+
+TEST_F(TopicTrieTest, EraseRemovesOneOccurrenceAndPrunes) {
+  const auto a = make_subscription();
+  const auto b = make_subscription();
+  const TopicPattern pattern("sports.*.uk");
+  trie_.insert(pattern, a);
+  trie_.insert(pattern, b);
+  EXPECT_EQ(trie_.size(), 2u);
+
+  EXPECT_TRUE(trie_.erase(pattern, a));
+  const auto remaining = collect(trie_, "sports.soccer.uk");
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining.front().get(), b.get());
+
+  EXPECT_TRUE(trie_.erase(pattern, b));
+  EXPECT_TRUE(trie_.empty());
+  EXPECT_FALSE(trie_.erase(pattern, b));  // already gone
+  // Pruned nodes must not leave phantom matches.
+  EXPECT_TRUE(collect(trie_, "sports.soccer.uk").empty());
+}
+
+TEST_F(TopicTrieTest, OverlappingPatternsAllFire) {
+  const auto exact = make_subscription();
+  const auto star = make_subscription();
+  const auto hash = make_subscription();
+  trie_.insert(TopicPattern("a.b.c"), exact);
+  trie_.insert(TopicPattern("a.*.c"), star);
+  trie_.insert(TopicPattern("a.#"), hash);
+  EXPECT_EQ(collect(trie_, "a.b.c").size(), 3u);
+  EXPECT_EQ(collect(trie_, "a.x.c").size(), 2u);  // star + hash
+  EXPECT_EQ(collect(trie_, "a.b").size(), 1u);    // hash only
+}
+
+// --- differential fuzz vs the linear TopicPattern::matches oracle ------
+
+TEST_F(TopicTrieTest, DifferentialAgainstLinearScan) {
+  std::mt19937 rng(20260809u);
+  const std::vector<std::string> atoms = {"a", "b", "c"};
+  auto random_token = [&](bool allow_star) {
+    std::uniform_int_distribution<std::size_t> pick(0, atoms.size() - (allow_star ? 0 : 1));
+    const auto i = pick(rng);
+    return i == atoms.size() ? std::string("*") : atoms[i];
+  };
+  auto random_pattern = [&] {
+    std::uniform_int_distribution<int> depth_dist(1, 4);
+    std::bernoulli_distribution with_hash(0.3);
+    const int depth = depth_dist(rng);
+    std::string p;
+    for (int i = 0; i < depth; ++i) {
+      if (!p.empty()) p += '.';
+      p += random_token(true);
+    }
+    if (with_hash(rng)) p += ".#";
+    return p;
+  };
+  auto random_topic = [&] {
+    std::uniform_int_distribution<int> depth_dist(1, 5);
+    const int depth = depth_dist(rng);
+    std::string t;
+    for (int i = 0; i < depth; ++i) {
+      if (!t.empty()) t += '.';
+      t += random_token(false);
+    }
+    return t;
+  };
+
+  for (int round = 0; round < 30; ++round) {
+    TopicTrie trie;
+    std::vector<std::pair<TopicPattern, std::shared_ptr<Subscription>>> population;
+    for (int i = 0; i < 40; ++i) {
+      TopicPattern pattern(random_pattern());
+      auto sub = make_subscription();
+      trie.insert(pattern, sub);
+      population.emplace_back(std::move(pattern), std::move(sub));
+    }
+    // Erase a random third to exercise maintenance mid-population.
+    std::shuffle(population.begin(), population.end(), rng);
+    while (population.size() > 26) {
+      ASSERT_TRUE(trie.erase(population.back().first, population.back().second));
+      population.pop_back();
+    }
+    ASSERT_EQ(trie.size(), population.size());
+
+    for (int m = 0; m < 60; ++m) {
+      const auto topic = random_topic();
+      std::multiset<const Subscription*> expected;
+      for (const auto& [pattern, sub] : population) {
+        if (pattern.matches(topic)) expected.insert(sub.get());
+      }
+      std::multiset<const Subscription*> actual;
+      for (const auto& sub : collect(trie, topic)) actual.insert(sub.get());
+      ASSERT_EQ(actual, expected)
+          << "trie diverges from linear scan for topic '" << topic
+          << "' in round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jmsperf::jms

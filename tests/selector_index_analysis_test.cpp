@@ -1,0 +1,281 @@
+// Index-ability analysis: canonical predicate keys, guard semantics, and
+// plan-vs-oracle agreement.
+//
+// The predicate index is only sound if (guard admits) AND (residual True)
+// is EXACTLY the original selector verdict under SQL-92 three-valued
+// logic.  These tests pin the canonicalization properties the index
+// relies on — `x = 3` vs `3 = x` vs `x = 3.0`, IN lists vs OR-chains of
+// equalities, NULL/UNKNOWN rejection — and then replay the JMS-spec
+// conformance rows through the plan to prove bucket-equivalence against
+// the AST oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "jms/message.hpp"
+#include "selector/index_analysis.hpp"
+#include "selector/selector.hpp"
+
+namespace jmsperf::selector {
+namespace {
+
+using Access = IndexPlan::Access;
+
+IndexPlan plan_of(const std::string& expression) {
+  return analyze_selector(Selector::compile(expression));
+}
+
+/// Evaluates a message THROUGH the plan, exactly like the broker's index
+/// would: guard probe first, residual program only on a guard hit.
+bool plan_match(const Selector& selector, const IndexPlan& plan,
+                const jms::Message& message) {
+  switch (plan.access) {
+    case Access::Unconditional:
+      return true;
+    case Access::Scan:
+      return selector.matches(message);
+    case Access::Equality:
+    case Access::Range:
+      if (!plan.guard.admits(message.get(plan.guard.symbol))) return false;
+      return plan.residual == nullptr || plan.residual->matches(message);
+  }
+  return false;
+}
+
+jms::Message message_with(
+    const std::map<std::string, Value>& properties) {
+  jms::Message m;
+  for (const auto& [key, value] : properties) {
+    if (key == "JMSType") {
+      m.set_type(value.as_string());
+    } else {
+      m.set_property(key, value);
+    }
+  }
+  return m;
+}
+
+Value L(std::int64_t v) { return Value(v); }
+Value D(double v) { return Value(v); }
+Value S(const char* v) { return Value(v); }
+Value B(bool v) { return Value(v); }
+
+// --- canonical key / signature properties -----------------------------
+
+TEST(IndexAnalysis, EqualityOperandOrderIsCanonical) {
+  const auto a = plan_of("x = 3");
+  const auto b = plan_of("3 = x");
+  ASSERT_EQ(a.access, Access::Equality);
+  ASSERT_EQ(b.access, Access::Equality);
+  EXPECT_EQ(a.signature, b.signature);  // same bucket set
+}
+
+TEST(IndexAnalysis, IntegralDoubleSharesTheIntBucket) {
+  // eval::compare treats 3 and 3.0 as equal, so the keys must coincide.
+  const auto exact = plan_of("x = 3");
+  const auto approx = plan_of("x = 3.0");
+  ASSERT_EQ(approx.access, Access::Equality);
+  EXPECT_EQ(exact.signature, approx.signature);
+  const auto key_int = PredicateKey::from_value(L(3));
+  const auto key_dbl = PredicateKey::from_value(D(3.0));
+  ASSERT_TRUE(key_int && key_dbl);
+  EXPECT_EQ(*key_int, *key_dbl);
+}
+
+TEST(IndexAnalysis, NonIntegralDoubleKeysStayDistinct) {
+  const auto a = PredicateKey::from_value(D(3.5));
+  const auto b = PredicateKey::from_value(D(3.25));
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+  EXPECT_NE(plan_of("x = 3.5").signature, plan_of("x = 3.25").signature);
+}
+
+TEST(IndexAnalysis, InListAndOrChainShareOneGroup) {
+  const auto in_list = plan_of("color IN ('red', 'blue')");
+  const auto or_chain = plan_of("color = 'red' OR color = 'blue'");
+  const auto reversed = plan_of("color = 'blue' OR 'red' = color");
+  ASSERT_EQ(in_list.access, Access::Equality);
+  EXPECT_EQ(in_list.signature, or_chain.signature);
+  EXPECT_EQ(in_list.signature, reversed.signature);
+  EXPECT_EQ(in_list.guard.keys.size(), 2u);
+}
+
+TEST(IndexAnalysis, DuplicateKeysCollapse) {
+  const auto plan = plan_of("x = 1 OR x = 1 OR x = 1.0");
+  ASSERT_EQ(plan.access, Access::Equality);
+  EXPECT_EQ(plan.guard.keys.size(), 1u);
+}
+
+TEST(IndexAnalysis, OrChainAcrossIdentifiersIsNotIndexable) {
+  // `x = 1 OR y = 2` cannot be a single-symbol bucket probe.
+  EXPECT_EQ(plan_of("x = 1 OR y = 2").access, Access::Scan);
+}
+
+TEST(IndexAnalysis, MirroredRangeComparisonsCoincide) {
+  const auto a = plan_of("x > 3");
+  const auto b = plan_of("3 < x");
+  ASSERT_EQ(a.access, Access::Range);
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_TRUE(a.guard.lo_strict);
+}
+
+TEST(IndexAnalysis, BetweenBecomesAClosedRangeGuard) {
+  const auto plan = plan_of("weight BETWEEN 2 AND 7");
+  ASSERT_EQ(plan.access, Access::Range);
+  EXPECT_TRUE(plan.guard.admits(L(2)));   // inclusive bounds
+  EXPECT_TRUE(plan.guard.admits(L(7)));
+  EXPECT_TRUE(plan.guard.admits(D(4.5)));
+  EXPECT_FALSE(plan.guard.admits(L(8)));
+  EXPECT_FALSE(plan.guard.admits(Value{}));     // NULL -> Unknown -> reject
+  EXPECT_FALSE(plan.guard.admits(S("5")));      // type mismatch -> Unknown
+}
+
+TEST(IndexAnalysis, NegativeLiteralConstantsFold) {
+  const auto plan = plan_of("x = -3");
+  ASSERT_EQ(plan.access, Access::Equality);
+  EXPECT_TRUE(plan.guard.admits(L(-3)));
+  EXPECT_TRUE(plan.guard.admits(D(-3.0)));
+  EXPECT_FALSE(plan.guard.admits(L(3)));
+}
+
+TEST(IndexAnalysis, BooleanEqualityIsIndexable) {
+  const auto plan = plan_of("active = TRUE");
+  ASSERT_EQ(plan.access, Access::Equality);
+  EXPECT_TRUE(plan.guard.admits(B(true)));
+  EXPECT_FALSE(plan.guard.admits(B(false)));
+  EXPECT_FALSE(plan.guard.admits(L(1)));  // bool vs numeric -> Unknown
+}
+
+// --- residual composition ----------------------------------------------
+
+TEST(IndexAnalysis, ResidualCoversTheRemainingConjuncts) {
+  const auto selector =
+      Selector::compile("color = 'red' AND weight > 100 AND tag IS NOT NULL");
+  const auto plan = analyze_selector(selector);
+  ASSERT_EQ(plan.access, Access::Equality);
+  ASSERT_NE(plan.residual, nullptr);
+  const auto matching = message_with(
+      {{"color", S("red")}, {"weight", L(200)}, {"tag", S("x")}});
+  const auto failing = message_with({{"color", S("red")}, {"weight", L(50)},
+                                     {"tag", S("x")}});
+  EXPECT_TRUE(plan.guard.admits(S("red")));
+  EXPECT_TRUE(plan.residual->matches(matching));
+  EXPECT_FALSE(plan.residual->matches(failing));
+  EXPECT_EQ(plan_match(selector, plan, matching), selector.matches(matching));
+  EXPECT_EQ(plan_match(selector, plan, failing), selector.matches(failing));
+}
+
+TEST(IndexAnalysis, GuardOnlySelectorHasNoResidual) {
+  const auto plan = plan_of("key = 42");
+  ASSERT_EQ(plan.access, Access::Equality);
+  EXPECT_EQ(plan.residual, nullptr);  // a bucket hit IS the match
+}
+
+TEST(IndexAnalysis, EqualityGuardPreferredOverRange) {
+  const auto plan = plan_of("weight > 100 AND color = 'red'");
+  EXPECT_EQ(plan.access, Access::Equality);  // hash probe beats interval
+  ASSERT_NE(plan.residual, nullptr);
+}
+
+// --- non-indexable forms fall back to Scan ------------------------------
+
+TEST(IndexAnalysis, NonIndexableFormsScan) {
+  EXPECT_EQ(plan_of("x <> 3").access, Access::Scan);
+  EXPECT_EQ(plan_of("x NOT IN ('a')").access, Access::Scan);
+  EXPECT_EQ(plan_of("NOT (x = 3)").access, Access::Scan);
+  EXPECT_EQ(plan_of("x LIKE 'a%'").access, Access::Scan);
+  EXPECT_EQ(plan_of("x IS NULL").access, Access::Scan);
+  EXPECT_EQ(plan_of("x = y").access, Access::Scan);          // no constant
+  EXPECT_EQ(plan_of("x + 1 = 3").access, Access::Scan);      // computed lhs
+  EXPECT_EQ(plan_of("x NOT BETWEEN 1 AND 2").access, Access::Scan);
+}
+
+TEST(IndexAnalysis, MatchAllIsUnconditional) {
+  EXPECT_EQ(analyze_selector(Selector::match_all()).access,
+            Access::Unconditional);
+}
+
+TEST(IndexAnalysis, ConstantsBeyondTwoPow53AreNotBucketed) {
+  // 2^53 + 1 has no injective double image: the bucket could admit a
+  // value eval::compare rejects, so such constants must scan.
+  EXPECT_EQ(plan_of("x = 9007199254740993").access, Access::Scan);
+  // Exactly 2^53 is still exact.
+  EXPECT_EQ(plan_of("x = 9007199254740992").access, Access::Equality);
+}
+
+TEST(IndexAnalysis, NullNeverReachesABucket) {
+  EXPECT_FALSE(PredicateKey::from_value(Value{}).has_value());
+  const auto plan = plan_of("x = 3");
+  EXPECT_FALSE(plan.guard.admits(Value{}));
+}
+
+// --- conformance-table rows through the plan ----------------------------
+// Seeded from selector_conformance_test: the spec's own examples must
+// give the same verdict through (guard, residual) as through the full
+// evaluation.
+
+struct PlanCase {
+  const char* name;
+  const char* selector;
+  std::map<std::string, Value> properties;
+  bool matches;
+};
+
+class PlanConformance : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlanConformance, PlanAgreesWithOracle) {
+  const auto& c = GetParam();
+  const auto selector = Selector::compile(c.selector);
+  const auto plan = analyze_selector(selector);
+  const auto message = message_with(c.properties);
+  EXPECT_EQ(selector.matches(message), c.matches) << c.selector;
+  EXPECT_EQ(plan_match(selector, plan, message), c.matches)
+      << "plan diverges from oracle for: " << c.selector
+      << " (signature " << plan.signature << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecRows, PlanConformance,
+    ::testing::Values(
+        PlanCase{"spec_example_match",
+                 "JMSType = 'car' AND color = 'blue' AND weight > 2500",
+                 {{"JMSType", S("car")}, {"color", S("blue")},
+                  {"weight", L(3000)}},
+                 true},
+        PlanCase{"spec_example_weight_too_low",
+                 "JMSType = 'car' AND color = 'blue' AND weight > 2500",
+                 {{"JMSType", S("car")}, {"color", S("blue")},
+                  {"weight", L(2000)}},
+                 false},
+        PlanCase{"spec_example_absent_weight",
+                 "JMSType = 'car' AND color = 'blue' AND weight > 2500",
+                 {{"JMSType", S("car")}, {"color", S("blue")}},
+                 false},  // NULL weight -> Unknown -> no match
+        PlanCase{"guard_absent_property", "color = 'blue'", {}, false},
+        PlanCase{"guard_type_mismatch", "color = 'blue'",
+                 {{"color", L(7)}}, false},
+        PlanCase{"in_member", "country IN ('UK', 'US')",
+                 {{"country", S("UK")}}, true},
+        PlanCase{"in_nonmember", "country IN ('UK', 'US')",
+                 {{"country", S("Peru")}}, false},
+        PlanCase{"in_null", "country IN ('UK', 'US')", {}, false},
+        PlanCase{"between_inside", "age BETWEEN 15 AND 19",
+                 {{"age", L(17)}}, true},
+        PlanCase{"between_edge", "age BETWEEN 15 AND 19",
+                 {{"age", L(19)}}, true},
+        PlanCase{"between_outside", "age BETWEEN 15 AND 19",
+                 {{"age", L(20)}}, false},
+        PlanCase{"numeric_widening", "weight > 2500",
+                 {{"weight", D(2500.5)}}, true},
+        PlanCase{"equality_double_vs_int", "count = 2",
+                 {{"count", D(2.0)}}, true},
+        PlanCase{"residual_unknown_rejects",
+                 "color = 'red' AND weight > 100",
+                 {{"color", S("red")}}, false}),  // weight NULL
+    [](const ::testing::TestParamInfo<PlanCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace jmsperf::selector
