@@ -1,0 +1,159 @@
+#include "autoscale/controller.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace jmsperf::autoscale {
+
+namespace {
+
+double slo_proxy_wait(const PlannerConfig& planner,
+                      const CandidateEvaluation& eval) {
+  // The wait the SLO actually constrains: p99 when a p99 SLO is set,
+  // else the mean.  Exported as the "how close to the line" gauge.
+  return planner.slo_p99_wait_seconds > 0.0 ? eval.p99_wait : eval.mean_wait;
+}
+
+}  // namespace
+
+Controller::Controller(ControllerConfig config, ResizeFn resize)
+    : config_(std::move(config)),
+      planner_(config_.planner),  // validates the planner config
+      resize_(std::move(resize)),
+      gauge_state_(std::make_shared<GaugeState>()) {
+  if (config_.scale_up_epochs == 0 || config_.scale_down_epochs == 0) {
+    throw std::invalid_argument(
+        "Controller: streak lengths must be >= 1 epoch");
+  }
+  if (!(config_.scale_down_margin > 0.0) || config_.scale_down_margin > 1.0) {
+    throw std::invalid_argument(
+        "Controller: scale_down_margin must be in (0, 1]");
+  }
+}
+
+Decision Controller::on_report(const obs::EpochReport& report,
+                               std::uint32_t current_shards) {
+  Decision d;
+  d.epoch = report.epoch;
+  d.current_shards = current_shards;
+  d.target_shards = current_shards;
+
+  if (report.received < config_.min_window_received ||
+      report.window_seconds <= 0.0) {
+    ++thin_windows_;
+    d.reason = "thin window: no statistical weight";
+    last_ = d;
+    return d;  // streaks and cooldown freeze across thin windows
+  }
+
+  const stats::RawMoments moments =
+      config_.model_service_moments.value_or(report.service_moments);
+  const double lambda = report.lambda_hat;
+
+  const Plan plan = planner_.plan(lambda, moments);
+  d.desired_shards = plan.desired_shards;
+  d.slo_feasible = plan.feasible;
+
+  const CandidateEvaluation at_current =
+      planner_.evaluate(lambda, moments, current_shards);
+  d.predicted_current_wait = slo_proxy_wait(config_.planner, at_current);
+
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    d.reason = "cooldown after resize";
+  } else if (!at_current.meets_slo && plan.desired_shards > current_shards) {
+    // Current k misses the SLO and more shards would fix (or at least
+    // best-effort it): debounce, then jump straight to the desired k.
+    down_streak_ = 0;
+    ++up_streak_;
+    if (up_streak_ < config_.scale_up_epochs) {
+      d.reason = "SLO miss " + std::to_string(up_streak_) + "/" +
+                 std::to_string(config_.scale_up_epochs) + ", debouncing";
+    } else {
+      d.action = Action::ScaleUp;
+      d.target_shards = plan.desired_shards;
+      d.reason = plan.feasible
+                     ? "sustained SLO miss: scaling to cost-optimal k"
+                     : "sustained SLO miss: saturating at max_shards";
+    }
+  } else if (current_shards > config_.planner.min_shards) {
+    // Would one fewer shard still clear the margined (stricter) SLO?
+    const CandidateEvaluation at_fewer =
+        planner_.evaluate(lambda, moments, current_shards - 1);
+    up_streak_ = 0;
+    if (planner_.satisfies(at_fewer, config_.scale_down_margin)) {
+      ++down_streak_;
+      if (down_streak_ < config_.scale_down_epochs) {
+        d.reason = "k-1 inside margin " + std::to_string(down_streak_) + "/" +
+                   std::to_string(config_.scale_down_epochs) + ", waiting";
+      } else {
+        d.action = Action::ScaleDown;
+        d.target_shards = current_shards - 1;
+        d.reason = "k-1 sustained inside margined SLO: stepping down";
+      }
+    } else {
+      down_streak_ = 0;
+      d.reason = "holding: current k is cost-optimal";
+    }
+  } else {
+    up_streak_ = 0;
+    down_streak_ = 0;
+    d.reason = "holding at min_shards";
+  }
+
+  if (d.action != Action::Hold) {
+    up_streak_ = 0;
+    down_streak_ = 0;
+    if (resize_) {
+      d.applied = resize_(d.target_shards);
+      if (!d.applied) {
+        d.reason += " (broker refused: shutting down)";
+      }
+    }
+    if (d.applied || !resize_) {
+      // Advisory mode counts decisions too — it is the dry-run of the
+      // same control law.
+      (d.action == Action::ScaleUp ? scale_ups_ : scale_downs_) += 1;
+      cooldown_remaining_ = config_.cooldown_epochs;
+    }
+  }
+
+  gauge_state_->target_shards.store(static_cast<double>(d.target_shards),
+                                    std::memory_order_relaxed);
+  gauge_state_->desired_shards.store(static_cast<double>(d.desired_shards),
+                                     std::memory_order_relaxed);
+  gauge_state_->scale_ups.store(static_cast<double>(scale_ups_),
+                                std::memory_order_relaxed);
+  gauge_state_->scale_downs.store(static_cast<double>(scale_downs_),
+                                  std::memory_order_relaxed);
+  // The JSON exporter cannot represent infinity: an unstable current k
+  // exports as -1 (the decision struct itself keeps the honest inf).
+  gauge_state_->predicted_wait.store(std::isfinite(d.predicted_current_wait)
+                                         ? d.predicted_current_wait
+                                         : -1.0,
+                                     std::memory_order_relaxed);
+  last_ = d;
+  return d;
+}
+
+void Controller::register_gauges(obs::BrokerTelemetry& telemetry) {
+  auto state = gauge_state_;
+  telemetry.register_gauge("autoscale_target_shards", [state] {
+    return state->target_shards.load(std::memory_order_relaxed);
+  });
+  telemetry.register_gauge("autoscale_desired_shards", [state] {
+    return state->desired_shards.load(std::memory_order_relaxed);
+  });
+  telemetry.register_gauge("autoscale_scale_ups", [state] {
+    return state->scale_ups.load(std::memory_order_relaxed);
+  });
+  telemetry.register_gauge("autoscale_scale_downs", [state] {
+    return state->scale_downs.load(std::memory_order_relaxed);
+  });
+  telemetry.register_gauge("autoscale_predicted_wait_seconds", [state] {
+    return state->predicted_wait.load(std::memory_order_relaxed);
+  });
+}
+
+}  // namespace jmsperf::autoscale

@@ -1,0 +1,151 @@
+// Closed-loop shard-count controller for the elastic broker.
+//
+// Consumes obs::Monitor epoch reports (windowed lambda-hat, E-hat[B^i])
+// and drives jms::Broker::resize through a caller-supplied callback:
+//
+//   obs::Monitor monitor(broker.telemetry(), window, ...);
+//   autoscale::Controller controller(
+//       cfg, [&](std::uint32_t k) { return broker.resize(k); });
+//   ... each epoch:
+//   controller.on_report(monitor.tick(), broker.num_shards());
+//
+// Control law (cost/p99 trade-off with hysteresis and cooldown):
+//
+//   * The Planner prices every candidate k and picks the SMALLEST one
+//     meeting the SLO — minimum core cost subject to latency.
+//   * Scale-UP is fast but debounced: only after `scale_up_epochs`
+//     CONSECUTIVE epochs in which the current k misses the SLO, and then
+//     it jumps straight to the planner's desired k (an overloaded queue
+//     diverges; stepping one-by-one would chase it).
+//   * Scale-DOWN is slow and conservative: only after `scale_down_epochs`
+//     consecutive epochs in which k-1 would meet `scale_down_margin *
+//     SLO` (a stricter target), and then it steps down by ONE.  The
+//     margin is the hysteresis band: a k-1 that barely fits the raw SLO
+//     never triggers a down/up flap.
+//   * After any applied resize the controller holds for
+//     `cooldown_epochs` epochs so the drained/warming system is measured
+//     before the next move.
+//   * Thin windows (fewer than `min_window_received` messages) never
+//     move the broker — they carry no statistical weight.
+//
+// The callback decouples the controller from jms::Broker (it is testable
+// against synthetic reports with a recording lambda), and
+// `register_gauges` exports the decision state through the existing
+// obs::BrokerTelemetry snapshot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "autoscale/planner.hpp"
+#include "obs/monitor.hpp"
+#include "obs/telemetry.hpp"
+#include "stats/moments.hpp"
+
+namespace jmsperf::autoscale {
+
+struct ControllerConfig {
+  PlannerConfig planner;
+  /// Consecutive SLO-missing epochs before a scale-up fires.
+  std::size_t scale_up_epochs = 2;
+  /// Consecutive epochs in which k-1 meets the margined SLO before a
+  /// scale-down (by one shard) fires.
+  std::size_t scale_down_epochs = 4;
+  /// Scale-down only when k-1 meets `scale_down_margin * SLO` (< 1 =
+  /// stricter than the raw SLO); the hysteresis band.
+  double scale_down_margin = 0.8;
+  /// Decision-free epochs after every applied resize.
+  std::size_t cooldown_epochs = 2;
+  /// Epoch reports whose window saw fewer messages are ignored.
+  std::uint64_t min_window_received = 200;
+  /// Calibrated service moments to plan with (e.g. from core::CostModel).
+  /// Absent = plan from each report's measured `service_moments`.
+  std::optional<stats::RawMoments> model_service_moments;
+};
+
+enum class Action { Hold, ScaleUp, ScaleDown };
+
+[[nodiscard]] constexpr std::string_view to_string(Action action) {
+  switch (action) {
+    case Action::Hold: return "hold";
+    case Action::ScaleUp: return "scale_up";
+    case Action::ScaleDown: return "scale_down";
+  }
+  return "unknown";
+}
+
+/// One control decision with the numbers behind it.
+struct Decision {
+  std::uint64_t epoch = 0;            ///< report epoch it reacted to
+  Action action = Action::Hold;
+  std::uint32_t current_shards = 0;
+  std::uint32_t target_shards = 0;    ///< == current on Hold
+  std::uint32_t desired_shards = 0;   ///< planner's cost-optimal k
+  bool slo_feasible = false;          ///< some k in range meets the SLO
+  bool applied = false;               ///< resize callback ran and returned true
+  double predicted_current_wait = 0.0;  ///< p99 (or mean) at current k
+  std::string reason;                 ///< one line, for logs/demos
+};
+
+class Controller {
+ public:
+  /// Returns false when the broker refused the resize (shutdown); may
+  /// throw whatever Broker::resize throws on misuse.
+  using ResizeFn = std::function<bool(std::uint32_t)>;
+
+  /// `resize` may be null: the controller then runs in advisory mode
+  /// (decisions are computed and counted but nothing is applied).
+  /// Throws std::invalid_argument on a bad config (margin outside
+  /// (0, 1], zero streak lengths, or an invalid planner config).
+  explicit Controller(ControllerConfig config, ResizeFn resize = nullptr);
+
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+  [[nodiscard]] const Planner& planner() const { return planner_; }
+
+  /// Evaluates one epoch report against `current_shards` and (unless in
+  /// advisory mode) applies any resize it decides on.
+  Decision on_report(const obs::EpochReport& report,
+                     std::uint32_t current_shards);
+
+  /// Applied scale-ups / scale-downs so far.
+  [[nodiscard]] std::uint64_t scale_ups() const { return scale_ups_; }
+  [[nodiscard]] std::uint64_t scale_downs() const { return scale_downs_; }
+  /// Reports skipped for statistical thinness.
+  [[nodiscard]] std::uint64_t thin_windows() const { return thin_windows_; }
+  [[nodiscard]] const Decision& last_decision() const { return last_; }
+
+  /// Exports `autoscale_*` gauges (target/desired shard counts, applied
+  /// scale-up/-down totals, predicted wait at the current k) through
+  /// `telemetry`; the gauge closures keep shared state alive, so they
+  /// stay valid even past the controller's lifetime.
+  void register_gauges(obs::BrokerTelemetry& telemetry);
+
+ private:
+  const ControllerConfig config_;
+  Planner planner_;
+  ResizeFn resize_;
+
+  std::size_t up_streak_ = 0;
+  std::size_t down_streak_ = 0;
+  std::size_t cooldown_remaining_ = 0;
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+  std::uint64_t thin_windows_ = 0;
+  Decision last_;
+
+  struct GaugeState {
+    std::atomic<double> target_shards{0.0};
+    std::atomic<double> desired_shards{0.0};
+    std::atomic<double> scale_ups{0.0};
+    std::atomic<double> scale_downs{0.0};
+    std::atomic<double> predicted_wait{0.0};
+  };
+  std::shared_ptr<GaugeState> gauge_state_;
+};
+
+}  // namespace jmsperf::autoscale

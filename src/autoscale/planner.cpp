@@ -1,0 +1,106 @@
+#include "autoscale/planner.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "queueing/mg1.hpp"
+#include "queueing/mgk.hpp"
+
+namespace jmsperf::autoscale {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Planner::Planner(PlannerConfig config) : config_(config) {
+  if (config_.min_shards == 0) {
+    throw std::invalid_argument("Planner: min_shards must be >= 1");
+  }
+  if (config_.max_shards < config_.min_shards) {
+    throw std::invalid_argument("Planner: max_shards < min_shards");
+  }
+  if (!(config_.max_utilization > 0.0) || config_.max_utilization > 1.0) {
+    throw std::invalid_argument("Planner: max_utilization must be in (0, 1]");
+  }
+}
+
+CandidateEvaluation Planner::evaluate(double lambda,
+                                      const stats::RawMoments& service,
+                                      std::uint32_t shards) const {
+  CandidateEvaluation eval;
+  eval.shards = shards;
+  if (shards == 0) return eval;  // never a valid candidate
+
+  if (!(lambda > 0.0) || !(service.m1 > 0.0)) {
+    // Idle (or service-free) broker: nothing queues at any k.
+    eval.stable = true;
+    eval.meets_slo = true;
+    return eval;
+  }
+
+  if (config_.model == QueueModel::PartitionedMG1) {
+    // The hash ring spreads topics ~uniformly: each shard is an
+    // independent M/GI/1 fed lambda / k.
+    const double per_shard_lambda = lambda / static_cast<double>(shards);
+    eval.utilization = per_shard_lambda * service.m1;
+    const auto mg1 = queueing::MG1Waiting::try_build(per_shard_lambda, service);
+    if (!mg1.has_value()) {
+      eval.mean_wait = kInf;
+      eval.p99_wait = kInf;
+      return eval;  // unstable (or inconsistent moments): disqualify
+    }
+    eval.stable = true;
+    eval.mean_wait = mg1->mean_waiting_time();
+    eval.p99_wait = mg1->waiting_quantile(0.99);
+  } else {
+    const double offered = lambda * service.m1;
+    eval.utilization = offered / static_cast<double>(shards);
+    if (offered >= static_cast<double>(shards)) {
+      eval.mean_wait = kInf;
+      eval.p99_wait = kInf;
+      return eval;
+    }
+    const queueing::MGcWaiting mgc(lambda, service, shards);
+    eval.stable = true;
+    eval.mean_wait = mgc.mean_waiting_time();
+    eval.p99_wait = mgc.waiting_quantile(0.99);
+  }
+
+  eval.meets_slo = satisfies(eval, 1.0);
+  return eval;
+}
+
+bool Planner::satisfies(const CandidateEvaluation& eval,
+                        double slo_scale) const {
+  if (!eval.stable) return false;
+  if (eval.utilization > config_.max_utilization) return false;
+  if (config_.slo_mean_wait_seconds > 0.0 &&
+      eval.mean_wait > slo_scale * config_.slo_mean_wait_seconds) {
+    return false;
+  }
+  if (config_.slo_p99_wait_seconds > 0.0 &&
+      eval.p99_wait > slo_scale * config_.slo_p99_wait_seconds) {
+    return false;
+  }
+  return true;
+}
+
+Plan Planner::plan(double lambda, const stats::RawMoments& service) const {
+  Plan result;
+  result.candidates.reserve(config_.max_shards - config_.min_shards + 1);
+  for (std::uint32_t k = config_.min_shards; k <= config_.max_shards; ++k) {
+    const CandidateEvaluation eval = evaluate(lambda, service, k);
+    result.candidates.push_back(eval);
+    if (!result.feasible && eval.meets_slo) {
+      result.feasible = true;
+      result.desired_shards = k;
+    }
+  }
+  if (!result.feasible) {
+    // Nothing meets the SLO: saturate at the ceiling (best effort).
+    result.desired_shards = config_.max_shards;
+  }
+  return result;
+}
+
+}  // namespace jmsperf::autoscale

@@ -1,0 +1,101 @@
+// Analytic capacity planning for the elastic broker.
+//
+// The paper's waiting-time analysis (Eqs. 4-9, M/GI/1) prices a SINGLE
+// dispatcher; the elastic broker asks the inverse question: given the
+// windowed arrival rate lambda-hat and service moments E-hat[B^i] from
+// obs::Monitor, how many shards k keep the predicted waiting time inside
+// an SLO?  The Planner answers it by evaluating every candidate k in
+// [min_shards, max_shards] under one of two queueing models:
+//
+//   PartitionedMG1 — the broker's actual Partitioned dispatch: the hash
+//     ring splits topics ~uniformly, so each of the k shards is an
+//     independent M/GI/1 queue with arrival rate lambda/k (no resource
+//     pooling; Eqs. 4-9 per shard).
+//   MGk            — an idealized shared-queue pool of k servers
+//     (Allen-Cunneen M/G/c), the paper's announced "server clusters"
+//     extension.  Lower waits than PartitionedMG1 at equal k; useful as
+//     the pooling-gain reference.
+//
+// The plan picks the SMALLEST k meeting the SLO — minimum core cost
+// subject to the latency constraint — which is the crossover table the
+// autoscale::Controller walks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/moments.hpp"
+
+namespace jmsperf::autoscale {
+
+/// Queueing model used to price a candidate shard count.
+enum class QueueModel {
+  PartitionedMG1,  ///< k independent M/GI/1 queues at lambda/k each
+  MGk,             ///< pooled M/G/k (Allen-Cunneen approximation)
+};
+
+struct PlannerConfig {
+  QueueModel model = QueueModel::PartitionedMG1;
+  std::uint32_t min_shards = 1;
+  std::uint32_t max_shards = 8;
+  /// A candidate only qualifies while its per-server utilization stays
+  /// below this wall (stability margin against estimation noise).
+  double max_utilization = 0.9;
+  /// Mean-wait SLO in seconds; <= 0 disables the constraint.
+  double slo_mean_wait_seconds = 0.0;
+  /// p99-wait SLO in seconds; <= 0 disables the constraint.
+  double slo_p99_wait_seconds = 0.0;
+};
+
+/// What one candidate shard count predicts.
+struct CandidateEvaluation {
+  std::uint32_t shards = 0;
+  bool stable = false;        ///< lambda E[B] < capacity
+  double utilization = 0.0;   ///< per-server rho
+  double mean_wait = 0.0;     ///< predicted E[W] (infinity when unstable)
+  double p99_wait = 0.0;      ///< predicted Q_0.99[W] (infinity when unstable)
+  bool meets_slo = false;     ///< stable, under the rho wall, inside SLOs
+};
+
+/// The full crossover table plus the chosen operating point.
+struct Plan {
+  /// Smallest k meeting the SLO; max_shards when nothing does.
+  std::uint32_t desired_shards = 0;
+  /// False when even max_shards misses the SLO (desired_shards then
+  /// saturates at max_shards — the best the broker can do).
+  bool feasible = false;
+  /// One entry per candidate k in [min_shards, max_shards], ascending.
+  std::vector<CandidateEvaluation> candidates;
+};
+
+class Planner {
+ public:
+  /// Throws std::invalid_argument on an inconsistent config
+  /// (min_shards == 0, max < min, utilization wall outside (0, 1]).
+  explicit Planner(PlannerConfig config);
+
+  [[nodiscard]] const PlannerConfig& config() const { return config_; }
+
+  /// Predicted waiting behaviour of `shards` servers under the model.
+  /// lambda <= 0 or service.m1 <= 0 read as an idle broker: stable,
+  /// zero waits, SLO met.
+  [[nodiscard]] CandidateEvaluation evaluate(
+      double lambda, const stats::RawMoments& service,
+      std::uint32_t shards) const;
+
+  /// Re-checks an evaluation against the SLOs scaled by `slo_scale`
+  /// (< 1 = stricter).  The controller's scale-down hysteresis asks
+  /// whether k-1 meets `margin * SLO`, not the raw SLO, so a marginal
+  /// fit never triggers a down/up flap.
+  [[nodiscard]] bool satisfies(const CandidateEvaluation& eval,
+                               double slo_scale) const;
+
+  /// Evaluates every candidate and picks the smallest k meeting the SLO.
+  [[nodiscard]] Plan plan(double lambda,
+                          const stats::RawMoments& service) const;
+
+ private:
+  PlannerConfig config_;
+};
+
+}  // namespace jmsperf::autoscale

@@ -10,8 +10,10 @@
 // duplicated into every partition.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "core/cost_model.hpp"
 
@@ -22,10 +24,21 @@ namespace jmsperf::core {
 // The live broker (jms::Broker with num_dispatchers = k) and the analytic
 // sharding model below MUST agree on which dispatcher shard owns a topic,
 // so that model predictions can be checked against per-shard broker
-// counters.  The contract is: FNV-1a 64-bit over the topic name, reduced
-// modulo the shard count.  Both sides call these functions; change them
-// only together.  (constexpr + header-only so the jms layer can share the
-// contract without a link dependency on jmsperf_core.)
+// counters.  The contract has two layers, both built on the same FNV-1a
+// 64-bit topic hash:
+//
+//   * `topic_shard` — the original static modulo reduction, still used by
+//     the analytic partitioning model and by fixed-size comparisons.
+//   * `HashRing` — a consistent hash ring with virtual nodes, used by the
+//     live Partitioned broker so that `Broker::resize(k)` moves the
+//     minimal set of topics (grow moves topics only onto new shards,
+//     shrink moves topics only off removed shards; survivor->survivor
+//     assignments never change).
+//
+// Both are deterministic functions of the topic name and the shard count;
+// change them only together with the broker.  (constexpr / header-only so
+// the jms layer can share the contract without a link dependency on
+// jmsperf_core.)
 
 /// FNV-1a 64-bit hash of a destination name.
 [[nodiscard]] constexpr std::uint64_t topic_hash64(std::string_view name) {
@@ -44,6 +57,104 @@ namespace jmsperf::core {
              ? 0u
              : static_cast<std::uint32_t>(topic_hash64(name) % num_shards);
 }
+
+// --- consistent hash ring ---------------------------------------------
+//
+// Versioned consistent hash ring over dispatcher-shard indexes 0..k-1.
+// Each shard contributes `virtual_nodes` points; a topic is owned by the
+// first point clockwise from its hash.  Because the active shard set is
+// always the index prefix {0..k-1}, a resize only ever adds or removes
+// the highest-index shards' points, which yields the minimal-movement
+// property by construction: growing k -> k' can only move a topic onto
+// one of the new shards {k..k'-1}, and shrinking can only move topics
+// that were owned by a removed shard.  The expected moved fraction on a
+// grow to k' shards is (k'-k)/k'.
+class HashRing {
+ public:
+  static constexpr std::uint32_t kDefaultVirtualNodes = 64;
+
+  HashRing() = default;
+  explicit HashRing(std::uint32_t shards,
+                    std::uint32_t virtual_nodes = kDefaultVirtualNodes)
+      : virtual_nodes_(virtual_nodes == 0 ? 1u : virtual_nodes) {
+    resize(shards);
+  }
+
+  /// splitmix64 finalizer: full-avalanche mixing for ring positions.
+  /// Ring lookups compare hashes by ORDER, so they depend on the high
+  /// bits; both FNV-1a outputs (similar topic names differ only in
+  /// weakly-mixed ways) and raw (shard, vnode) pairs need this
+  /// finalization or whole topic families collapse into one arc.
+  [[nodiscard]] static constexpr std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// Deterministic ring point for (shard, vnode).  Stable across
+  /// platforms/builds.
+  [[nodiscard]] static constexpr std::uint64_t point_hash(
+      std::uint32_t shard, std::uint32_t vnode) {
+    return mix64((static_cast<std::uint64_t>(shard) << 32) | vnode);
+  }
+
+  /// Set the active shard count.  Only the points of added/removed
+  /// highest-index shards change; bumps `version()` when the count moves.
+  void resize(std::uint32_t shards) {
+    if (shards == shards_) return;
+    if (shards < shards_) {
+      points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                   [shards](const Point& p) {
+                                     return p.shard >= shards;
+                                   }),
+                    points_.end());
+    } else {
+      points_.reserve(static_cast<std::size_t>(shards) * virtual_nodes_);
+      for (std::uint32_t shard = shards_; shard < shards; ++shard) {
+        for (std::uint32_t vnode = 0; vnode < virtual_nodes_; ++vnode) {
+          points_.push_back(Point{point_hash(shard, vnode), shard});
+        }
+      }
+      std::sort(points_.begin(), points_.end(),
+                [](const Point& a, const Point& b) {
+                  return a.hash != b.hash ? a.hash < b.hash
+                                          : a.shard < b.shard;
+                });
+    }
+    shards_ = shards;
+    ++version_;
+  }
+
+  /// Shard owning `topic`.  k <= 1 trivially maps everything to shard 0.
+  [[nodiscard]] std::uint32_t shard_of(std::string_view topic) const {
+    if (shards_ <= 1 || points_.empty()) return 0;
+    const std::uint64_t hash = mix64(topic_hash64(topic));
+    auto it = std::lower_bound(points_.begin(), points_.end(), hash,
+                               [](const Point& p, std::uint64_t h) {
+                                 return p.hash < h;
+                               });
+    if (it == points_.end()) it = points_.begin();  // wrap around
+    return it->shard;
+  }
+
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+  [[nodiscard]] std::uint32_t virtual_nodes() const { return virtual_nodes_; }
+  /// Monotone assignment version; bumps on every effective resize.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] std::size_t point_count() const { return points_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::uint32_t shard = 0;
+  };
+
+  std::vector<Point> points_;
+  std::uint32_t shards_ = 0;
+  std::uint32_t virtual_nodes_ = kDefaultVirtualNodes;
+  std::uint64_t version_ = 0;
+};
 
 struct PartitioningScenario {
   CostModel cost;

@@ -40,6 +40,17 @@ FilterIndexMode resolve_index_mode(const BrokerConfig& config) {
                                               : FilterIndexMode::None;
 }
 
+// Telemetry slots are provisioned for the resize() ceiling up front
+// (counters must survive shrink / re-grow cycles).  The default
+// max_dispatchers = 0 resolves to num_dispatchers — a statically sized
+// broker with exactly the pre-elastic layout.  SharedQueue mode cannot
+// resize, so extra slots would only distort per-shard views.
+std::uint32_t resolve_max_shards(const BrokerConfig& config) {
+  const std::uint32_t base = std::max<std::uint32_t>(1, config.num_dispatchers);
+  if (config.dispatch_mode == DispatchMode::SharedQueue) return base;
+  return std::max(base, config.max_dispatchers);
+}
+
 }  // namespace
 
 struct QueueReceiver::QueueState {
@@ -63,33 +74,51 @@ std::optional<MessagePtr> QueueReceiver::try_receive() {
 Broker::Broker(BrokerConfig config)
     : config_(config),
       index_mode_(resolve_index_mode(config)),
-      telemetry_(std::max<std::uint32_t>(1, config.num_dispatchers),
+      max_shards_(resolve_max_shards(config)),
+      telemetry_(resolve_max_shards(config),
                  obs::TelemetryConfig{config.trace_sample_rate,
                                       config.trace_ring_capacity,
                                       config.filter_timing_every}),
-      window_(config.telemetry_window_capacity) {
+      window_(config.telemetry_window_capacity),
+      ring_(std::max<std::uint32_t>(1, config.num_dispatchers),
+            config.ring_virtual_nodes) {
   if (config_.num_dispatchers == 0) {
     throw std::invalid_argument("BrokerConfig: num_dispatchers must be >= 1");
   }
   // Anchor the window at broker start so the first rotation measures the
   // first real epoch instead of [epoch start of the process, now).
   window_.prime(telemetry_.snapshot(), Clock::now());
-  shards_.reserve(config_.num_dispatchers);
+  shards_.reserve(max_shards_);
   for (std::uint32_t i = 0; i < config_.num_dispatchers; ++i) {
-    shards_.push_back(std::make_unique<Shard>(i, config_.ingress_capacity));
+    shards_.push_back(std::make_shared<Shard>(i, config_.ingress_capacity));
   }
   if constexpr (kObsEnabled) {
+    // The backlog gauges iterate the live shard vector, whose structure
+    // changes under resize(): take the routing shared lock.
     telemetry_.register_gauge("ingress_backlog", [this] {
+      std::shared_lock lock(routing_mutex_);
       std::size_t total = 0;
       for (const auto& shard : shards_) total += shard->ingress.size();
       return static_cast<double>(total);
     });
     telemetry_.register_gauge("ingress_peak_depth", [this] {
+      std::shared_lock lock(routing_mutex_);
       std::size_t peak = 0;
       for (const auto& shard : shards_) {
         peak = std::max(peak, shard->ingress.max_depth());
       }
       return static_cast<double>(peak);
+    });
+    // Elastic-scaling state, exported through the standard gauge path so
+    // the Prometheus/JSON exporters pick it up without special cases.
+    telemetry_.register_gauge("shard_count", [this] {
+      return static_cast<double>(num_shards());
+    });
+    telemetry_.register_gauge("resize_count", [this] {
+      return static_cast<double>(resize_count());
+    });
+    telemetry_.register_gauge("routing_epoch", [this] {
+      return static_cast<double>(routing_epoch());
     });
     if (index_mode_ == FilterIndexMode::Predicate) {
       // Live index selectivity: mean candidate subscriptions per routed
@@ -108,12 +137,21 @@ Broker::Broker(BrokerConfig config)
   // In SharedQueue mode every dispatcher competes for shard 0's ingress
   // queue (the single M/G/k waiting room); in Partitioned mode dispatcher
   // i serves its own shard's queue.
-  const bool shared = config_.dispatch_mode == DispatchMode::SharedQueue;
   for (std::uint32_t i = 0; i < config_.num_dispatchers; ++i) {
-    auto& source = shared ? shards_.front()->ingress : shards_[i]->ingress;
-    shards_[i]->dispatcher =
-        std::thread([this, i, &source] { dispatch_loop(*shards_[i], source); });
+    start_dispatcher(shards_[i]);
   }
+}
+
+void Broker::start_dispatcher(const std::shared_ptr<Shard>& shard) {
+  // The thread captures shared_ptrs (not indices into shards_): resize()
+  // mutates the vector while dispatchers run, and a retiring shard must
+  // outlive its own drain.
+  const bool shared = config_.dispatch_mode == DispatchMode::SharedQueue;
+  std::shared_ptr<Shard> source_owner = shared ? shards_.front() : shard;
+  shard->dispatcher = std::thread(
+      [this, shard, source_owner = std::move(source_owner)]() mutable {
+        dispatch_loop(*shard, source_owner->ingress);
+      });
 }
 
 Broker::~Broker() { shutdown(); }
@@ -375,18 +413,39 @@ PredicateIndex::Shape Broker::index_shape(const std::string& topic) const {
   return it == topics_.end() ? PredicateIndex::Shape{} : it->second.index.shape();
 }
 
-std::size_t Broker::shard_of(const std::string& destination) const {
+std::size_t Broker::shard_index_locked(const std::string& destination) const {
   if (shards_.size() == 1 || config_.dispatch_mode == DispatchMode::SharedQueue) {
     return 0;
   }
-  return core::topic_shard(destination,
-                           static_cast<std::uint32_t>(shards_.size()));
+  return ring_.shard_of(destination);
+}
+
+std::size_t Broker::shard_of(const std::string& destination) const {
+  std::shared_lock lock(routing_mutex_);
+  return shard_index_locked(destination);
+}
+
+std::size_t Broker::num_shards() const {
+  std::shared_lock lock(routing_mutex_);
+  return shards_.size();
+}
+
+std::uint64_t Broker::routing_epoch() const {
+  std::shared_lock lock(routing_mutex_);
+  return routing_epoch_;
 }
 
 bool Broker::enqueue_for_dispatch(MessagePtr message) {
-  auto& shard = *shards_[shard_of(message->destination())];
+  // The routing shared lock is held for the WHOLE enqueue, including a
+  // blocking push under push-back: once resize() has taken the unique
+  // lock and swapped the assignment, no publish routed by the OLD table
+  // can still be in flight, so the per-shard drain fences it records are
+  // exact.  Dispatchers never take this lock; publishers share it.
+  std::shared_lock routing_lock(routing_mutex_);
+  auto& shard = *shards_[shard_index_locked(message->destination())];
   Shard::Item item;
   item.message = std::move(message);
+  item.epoch = routing_epoch_;
   if constexpr (kObsEnabled) {
     auto& registry = telemetry_.registry();
     const std::uint64_t trace_id = telemetry_.sample_trace();
@@ -426,6 +485,18 @@ void Broker::dispatch_loop(Shard& self, BlockingQueue<Shard::Item>& source) {
   while (true) {
     auto item = source.pop();
     if (!item) break;  // closed and drained
+    // Resize FIFO fence: a shard that just GAINED topics must not touch
+    // their messages until the shards that lost them have drained the old
+    // assignment's backlog — resize() opens the gate afterwards.  Items
+    // are popped in FIFO order, so gating the head gates the whole epoch.
+    // Outside a resize window ready_epoch == item->epoch and this is one
+    // predicted-untaken branch.
+    if (item->epoch > self.ready_epoch.load(std::memory_order_acquire)) {
+      std::unique_lock gate(epoch_gate_mutex_);
+      epoch_gate_cv_.wait(gate, [&] {
+        return item->epoch <= self.ready_epoch.load(std::memory_order_relaxed);
+      });
+    }
     if constexpr (kObsEnabled) {
       const auto pickup = Clock::now();
       const std::uint64_t wait_ns = elapsed_ns(item->admitted, pickup);
@@ -722,15 +793,138 @@ std::uint64_t Broker::route_with_filter_index(
   return copies;
 }
 
+bool Broker::resize(std::uint32_t new_shards) {
+  if (new_shards == 0 || new_shards > max_shards_) {
+    throw std::invalid_argument(
+        "Broker::resize: shard count must be in [1, max_shards()]");
+  }
+  // One transition at a time; also keeps shutdown()'s join phase out of
+  // the middle of a swap.
+  std::lock_guard resize_lock(resize_mutex_);
+  if (shutdown_requested_.load(std::memory_order_acquire)) return false;
+  const auto old_count = static_cast<std::uint32_t>(shards_.size());
+  if (new_shards == old_count) return true;
+  if (config_.dispatch_mode == DispatchMode::SharedQueue) {
+    throw std::logic_error(
+        "Broker::resize: SharedQueue mode is statically sized (one shared "
+        "ingress queue, no per-shard state to migrate); use Partitioned "
+        "dispatch for elastic brokers");
+  }
+
+  const bool grow = new_shards > old_count;
+
+  // Grow: construct and START the new dispatchers before the swap, so
+  // re-routed topics only ever wait on the epoch gate, never on thread
+  // startup.  Slot i is reused across shrink/re-grow cycles — the
+  // registry's cumulative counters stay monotone.
+  std::vector<std::shared_ptr<Shard>> added;
+  if (grow) {
+    for (std::uint32_t i = old_count; i < new_shards; ++i) {
+      added.push_back(std::make_shared<Shard>(i, config_.ingress_capacity));
+    }
+    for (auto& shard : added) start_dispatcher(shard);
+  }
+
+  std::vector<std::shared_ptr<Shard>> draining;  // the old assignment
+  std::vector<std::uint64_t> fences;             // their pushes at the swap
+  std::vector<std::shared_ptr<Shard>> removed;
+  std::uint64_t new_epoch = 0;
+  {
+    // The swap.  Publishers hold the routing lock shared across their
+    // whole enqueue, so under this unique lock NO publish routed by the
+    // old assignment is still in flight: total_pushed() is an exact
+    // fence between old-epoch and new-epoch items on every shard.
+    std::unique_lock routing_lock(routing_mutex_);
+    new_epoch = ++routing_epoch_;
+    draining.assign(shards_.begin(), shards_.end());
+    fences.reserve(draining.size());
+    for (const auto& shard : draining) {
+      fences.push_back(shard->ingress.total_pushed());
+    }
+    {
+      // Gate flips happen under epoch_gate_mutex_ so a dispatcher cannot
+      // check the gate between our store and the notify and sleep through
+      // the wakeup.  Lock order: routing_mutex_ -> epoch_gate_mutex_
+      // (dispatchers only ever take the latter).
+      std::lock_guard gate(epoch_gate_mutex_);
+      if (grow) {
+        // Old shards only LOSE topics — no re-routed message can reach
+        // them, so their gate opens immediately.  The added shards stay
+        // gated on the old epoch until the drain below completes.
+        for (auto& shard : shards_) {
+          shard->ready_epoch.store(new_epoch, std::memory_order_release);
+        }
+        for (auto& shard : added) shards_.push_back(shard);
+      } else {
+        removed.assign(shards_.begin() + new_shards, shards_.end());
+        shards_.resize(new_shards);
+        // Removed shards only drain (the ring no longer targets them);
+        // survivors GAIN topics and stay gated.
+        for (auto& shard : removed) {
+          shard->ready_epoch.store(new_epoch, std::memory_order_release);
+        }
+      }
+      ring_.resize(new_shards);
+    }
+    epoch_gate_cv_.notify_all();
+  }
+
+  // Drain: every old-assignment shard must fully process the items pushed
+  // before the swap.  FIFO per queue means those sit ahead of any gated
+  // new-epoch item, so a gated survivor still reaches its fence before
+  // blocking.  (Liveness caveat shared with wait_until_idle(): a
+  // dispatcher stalled on subscriber backpressure stalls the drain.)
+  for (std::size_t i = 0; i < draining.size(); ++i) {
+    while (draining[i]->processed.load(std::memory_order_acquire) < fences[i]) {
+      std::this_thread::yield();
+    }
+  }
+
+  // Open every gate: re-routed topics may now be served on their new
+  // shard, with the old backlog fully ahead of them.  shards_'s structure
+  // is stable here (resize_mutex_ held; only resize() mutates it).
+  {
+    std::lock_guard gate(epoch_gate_mutex_);
+    for (auto& shard : shards_) {
+      shard->ready_epoch.store(new_epoch, std::memory_order_release);
+    }
+  }
+  epoch_gate_cv_.notify_all();
+
+  // Retire removed shards: nothing targeted them since the swap and their
+  // backlog is drained; close the queue and join the dispatcher.
+  for (auto& shard : removed) {
+    shard->ingress.close();
+    if (shard->dispatcher.joinable()) shard->dispatcher.join();
+  }
+
+  resize_count_.fetch_add(1, std::memory_order_relaxed);
+  // A shutdown() racing this resize may have closed the ingress queues
+  // before the swap installed the added shards; re-close so its join
+  // phase cannot hang on a dispatcher popping a still-open queue.
+  if (shutdown_requested_.load(std::memory_order_acquire)) {
+    for (auto& shard : shards_) shard->ingress.close();
+  }
+  return true;
+}
+
 void Broker::shutdown() {
   const bool already = shutdown_requested_.exchange(true);
   if (!already) {
     // Closing the ingress queues wakes every producer blocked in
     // push-back (their push returns false) and lets the dispatchers
-    // drain what was already accepted.
+    // drain what was already accepted.  Read the shard vector under the
+    // routing shared lock (a concurrent resize() may be mutating it);
+    // resize re-checks shutdown_requested_ before returning and closes
+    // any shard it installed after this loop ran.
+    std::shared_lock lock(routing_mutex_);
     for (auto& shard : shards_) shard->ingress.close();
   }
   {
+    // resize_mutex_ first: an in-flight resize finishes (its drain
+    // completes because the queues are closed) and no new transition can
+    // start, so the join loop sees the final shard set.
+    std::lock_guard resize_lock(resize_mutex_);
     std::lock_guard join_lock(shutdown_mutex_);
     for (auto& shard : shards_) {
       if (shard->dispatcher.joinable()) shard->dispatcher.join();
@@ -763,8 +957,14 @@ BrokerStats Broker::stats() const {
 }
 
 ShardStats Broker::shard_stats(std::size_t i) const {
+  std::shared_lock lock(routing_mutex_);
+  // Bounds-check against the ACTIVE shard count, not the provisioned slot
+  // ceiling: after a shrink, reading a retired slot as if it were a live
+  // shard would silently return stale counters.  Fail loudly instead.
   if (i >= shards_.size()) {
-    throw std::out_of_range("Broker::shard_stats: no such shard");
+    throw std::out_of_range("Broker::shard_stats: shard " + std::to_string(i) +
+                            " out of range (active shards: " +
+                            std::to_string(shards_.size()) + ")");
   }
   const obs::CounterSnapshot snapshot = telemetry_.registry().slot_snapshot(i);
   ShardStats s;
@@ -831,13 +1031,23 @@ void Broker::wait_until_idle() const {
   // processed counters catching up to the sum of pushes closes that
   // window; in SharedQueue mode only shard 0's queue receives pushes but
   // every dispatcher's processed counter contributes.
+  // Each pass snapshots the ACTIVE shard set under the routing shared
+  // lock and then waits without holding it (wait_empty blocks).  A resize
+  // completing between passes is re-observed on the next pass; racing
+  // this call against publish()/resize() gives the same best-effort
+  // answer it always gave against publish() alone.
   const bool shared = config_.dispatch_mode == DispatchMode::SharedQueue;
   while (true) {
-    for (const auto& shard : shards_) shard->ingress.wait_empty();
+    std::vector<std::shared_ptr<Shard>> shards;
+    {
+      std::shared_lock lock(routing_mutex_);
+      shards.assign(shards_.begin(), shards_.end());
+    }
+    for (const auto& shard : shards) shard->ingress.wait_empty();
     bool all_empty = true;
     std::uint64_t pushed = 0;
     std::uint64_t processed = 0;
-    for (const auto& shard : shards_) {
+    for (const auto& shard : shards) {
       if (shard->ingress.size() != 0) all_empty = false;
       processed += shard->processed.load(std::memory_order_acquire);
       if (!shared || shard->index == 0) pushed += shard->ingress.total_pushed();

@@ -18,14 +18,19 @@
 // * With `num_dispatchers = k > 1` the broker runs k dispatcher shards.
 //   In the default Partitioned mode each shard owns a hash-partition of
 //   the destination namespace (the topic->shard contract is
-//   core::topic_shard, shared with the analytic model in
-//   core/partitioning.hpp) and has its own bounded ingress queue and
+//   core::HashRing, a consistent hash ring shared with the analytic model
+//   in core/partitioning.hpp) and has its own bounded ingress queue and
 //   filter-group cache; per-topic / per-publisher FIFO order is preserved
 //   because a topic is always served by the same shard.  Analytically the
 //   broker is then k independent M/GI/1 sub-servers.
 //   In SharedQueue mode all k dispatchers compete for one ingress queue —
 //   the literal M/G/k system of queueing::MGcWaiting — at the price of
 //   per-topic ordering for k > 1.
+// * Partitioned brokers can be RESIZED LIVE: `resize(k)` re-balances the
+//   ring with minimal topic movement and epoch-tagged routing drains
+//   in-flight messages to their old shard before the gaining shard starts
+//   on re-routed topics — no loss, per-topic FIFO preserved.  An
+//   autoscale::Controller can drive this from obs::Monitor estimates.
 // * Delivery to each subscription queue also applies backpressure, so no
 //   message is ever lost (persistent mode).
 //
@@ -41,14 +46,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "core/partitioning.hpp"  // HashRing: the topic -> shard contract
 #include "jms/blocking_queue.hpp"
 #include "jms/message.hpp"
 #include "jms/predicate_index.hpp"
@@ -121,6 +129,16 @@ struct BrokerConfig {
   /// paper's single-server M/GI/1 calibration exactly; k > 1 enables the
   /// multi-dispatcher path validated against queueing::MGcWaiting.
   std::uint32_t num_dispatchers = 1;
+  /// Upper bound for live `Broker::resize(k)` (Partitioned mode only).
+  /// Telemetry registry slots and per-shard histograms are provisioned for
+  /// this many shards up front so counters survive shrink/re-grow cycles.
+  /// 0 (the default) means `num_dispatchers`: a statically sized broker
+  /// with exactly the pre-elastic layout and cost.
+  std::uint32_t max_dispatchers = 0;
+  /// Virtual nodes per shard on the consistent hash ring that maps topics
+  /// to dispatcher shards in Partitioned mode (core::HashRing).  More
+  /// points -> better balance, slightly larger ring.
+  std::uint32_t ring_virtual_nodes = core::HashRing::kDefaultVirtualNodes;
   /// Ingress hand-off policy for num_dispatchers > 1 (ignored for k = 1,
   /// where both modes coincide).
   DispatchMode dispatch_mode = DispatchMode::Partitioned;
@@ -366,16 +384,52 @@ class Broker {
   /// Introspection for tests and the bench.
   [[nodiscard]] PredicateIndex::Shape index_shape(const std::string& topic) const;
 
-  /// Number of dispatcher shards (== config.num_dispatchers).
-  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  /// Number of ACTIVE dispatcher shards.  Starts at
+  /// config.num_dispatchers; changes live through resize().
+  [[nodiscard]] std::size_t num_shards() const;
 
-  /// Counter slice of dispatcher shard `i` (i < num_shards()).
+  /// Upper bound on num_shards(): resolved from config.max_dispatchers
+  /// (telemetry slots are provisioned for this many shards).
+  [[nodiscard]] std::size_t max_shards() const { return max_shards_; }
+
+  /// Counter slice of dispatcher shard `i`.  Throws std::out_of_range for
+  /// i >= num_shards() — including slots that were active before a shrink:
+  /// a retired slot's cumulative counters still contribute to stats(), but
+  /// reading it as a live shard would be a stale-slot bug.
   [[nodiscard]] ShardStats shard_stats(std::size_t i) const;
 
-  /// Shard that owns `destination` under the current configuration: the
-  /// core::topic_shard hash contract in Partitioned mode, always 0 in
-  /// SharedQueue mode or with a single dispatcher.
+  /// Shard that owns `destination` under the CURRENT assignment: the
+  /// core::HashRing consistent-hash contract in Partitioned mode, always 0
+  /// in SharedQueue mode or with a single active dispatcher.  The answer
+  /// changes across resize() calls.
   [[nodiscard]] std::size_t shard_of(const std::string& destination) const;
+
+  // --- elastic scaling --------------------------------------------------
+  /// Live-resizes the Partitioned broker to `new_shards` dispatcher
+  /// shards (1 <= new_shards <= max_shards()).  Lossless and per-topic
+  /// FIFO-preserving: the new hash-ring assignment is installed under the
+  /// routing lock (quiescing in-flight publishes), messages already
+  /// accepted drain to their old shard first, and epoch-gating holds back
+  /// re-routed topics' messages on their new shard until the old shard's
+  /// backlog for the old assignment is fully processed.  Grow starts the
+  /// new dispatchers before the swap; shrink retires the removed shards'
+  /// threads after their queues drain.  Blocks until the transition
+  /// completes (it shares the wait_until_idle() liveness caveat: a
+  /// dispatcher stalled on subscriber backpressure stalls the drain).
+  ///
+  /// Returns false after shutdown().  Throws std::invalid_argument for
+  /// new_shards == 0 or > max_shards(), and std::logic_error in
+  /// SharedQueue mode (a shared ingress queue has no per-shard state to
+  /// migrate; size it statically via num_dispatchers).
+  bool resize(std::uint32_t new_shards);
+
+  /// Number of completed resize() transitions.
+  [[nodiscard]] std::uint64_t resize_count() const {
+    return resize_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotone routing-assignment epoch: bumps on every effective resize.
+  [[nodiscard]] std::uint64_t routing_epoch() const;
 
   /// Blocks until all ingress queues are empty (every published message
   /// has been taken up by a dispatcher).  Useful in tests.
@@ -430,6 +484,10 @@ class Broker {
       /// Ingress queue accepted the item (stamped under the queue lock).
       std::chrono::steady_clock::time_point admitted{};
       std::uint64_t trace_id = 0;  ///< non-zero when sampled for tracing
+      /// Routing epoch the item was assigned under (read with the routing
+      /// shared lock held).  The dispatcher holds an item back while
+      /// `epoch > shard.ready_epoch` — the FIFO fence of resize().
+      std::uint64_t epoch = 0;
     };
 
     Shard(std::size_t shard_index, std::size_t capacity)
@@ -443,10 +501,16 @@ class Broker {
     /// with ingress.total_pushed() so wait_until_idle() can tell an empty
     /// queue apart from a popped-but-still-routing item.
     std::atomic<std::uint64_t> processed{0};
+    /// Highest routing epoch whose items this shard may process.  A shard
+    /// that GAINS topics in a resize stays on the old epoch until the
+    /// shards losing them have drained; resize() then opens the gate
+    /// (under epoch_gate_mutex_) and notifies epoch_gate_cv_.
+    std::atomic<std::uint64_t> ready_epoch{0};
     std::thread dispatcher;
   };
 
   void dispatch_loop(Shard& self, BlockingQueue<Shard::Item>& source);
+  void start_dispatcher(const std::shared_ptr<Shard>& shard);
   void route(Shard& shard, const MessagePtr& message, obs::TraceRecord* trace,
              bool time_filters);
   /// Filter-timing is a compile-time parameter so the untimed routing
@@ -466,10 +530,16 @@ class Broker {
   void bump_topology_version() {
     topology_version_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Shard index owning `destination`; requires routing_mutex_ held
+  /// (shared suffices).
+  [[nodiscard]] std::size_t shard_index_locked(
+      const std::string& destination) const;
 
   BrokerConfig config_;
   /// Matching strategy, frozen at construction (see filter_index_mode()).
   const FilterIndexMode index_mode_;
+  /// Provisioned shard-slot ceiling (see BrokerConfig::max_dispatchers).
+  const std::uint32_t max_shards_;
 
   mutable std::shared_mutex topics_mutex_;
   std::unordered_map<std::string, TopicEntry> topics_;
@@ -495,8 +565,29 @@ class Broker {
   // the JMSPERF_OBS_STRIPPED build too so the class layout is shared).
   obs::TelemetryWindow window_;
 
-  // Last member: the shards' dispatcher threads join before the rest dies.
-  std::vector<std::unique_ptr<Shard>> shards_;
+  // --- elastic routing state -------------------------------------------
+  // ring_, routing_epoch_ and the shards_ vector STRUCTURE are guarded by
+  // routing_mutex_: publishers hold the shared lock across the whole
+  // enqueue (epoch tag + blocking push), so resize()'s unique-lock swap
+  // quiesces every in-flight publish and its drain fences are exact.
+  // Dispatchers never take this lock.
+  mutable std::shared_mutex routing_mutex_;
+  core::HashRing ring_;
+  std::uint64_t routing_epoch_ = 0;
+
+  // Serializes resize() calls with each other and with shutdown()'s join
+  // phase; never held while publishing.
+  mutable std::mutex resize_mutex_;
+  std::atomic<std::uint64_t> resize_count_{0};
+
+  // Wakes dispatchers gated on Shard::ready_epoch (resize FIFO fence).
+  std::mutex epoch_gate_mutex_;
+  std::condition_variable epoch_gate_cv_;
+
+  // Last member: the shards' dispatcher threads join before the rest
+  // dies.  Element i is always registry slot i; the vector holds the
+  // ACTIVE shards (size changes under routing_mutex_ during resize()).
+  std::vector<std::shared_ptr<Shard>> shards_;
 };
 
 }  // namespace jmsperf::jms

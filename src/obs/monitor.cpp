@@ -78,6 +78,7 @@ EpochReport Monitor::tick() {
   const stats::RawMoments measured_moments =
       view.service_time.raw_moments_seconds();
   r.mean_service_seconds = measured_moments.m1;
+  r.service_moments = measured_moments;
   r.rho_hat = r.lambda_hat * measured_moments.m1;
   r.measured_mean_wait = view.ingress_wait.mean_seconds();
   r.measured_p99_wait = view.ingress_wait.quantile_seconds(0.99);

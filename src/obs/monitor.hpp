@@ -120,6 +120,12 @@ struct EpochReport {
   std::uint64_t received = 0;
   double lambda_hat = 0.0;           ///< windowed publish rate
   double mean_service_seconds = 0.0; ///< windowed E-hat[B]
+  /// First three raw moments of the windowed per-message service time
+  /// (mean_service_seconds == service_moments.m1).  m2 carries the
+  /// squared-coefficient-of-variation an M/G/k evaluation needs, so an
+  /// autoscale::Controller can rank candidate shard counts straight off
+  /// the report.
+  stats::RawMoments service_moments;
   double rho_hat = 0.0;              ///< lambda-hat * E-hat[B]
   double rho_ewma = 0.0;
   double measured_mean_wait = 0.0;

@@ -15,6 +15,7 @@
 #include "obs/telemetry.hpp"
 #include "stats/moments.hpp"
 #include "stats/rng.hpp"
+#include "workload/rate_schedule.hpp"
 
 namespace jmsperf::testbed {
 
@@ -31,6 +32,12 @@ namespace jmsperf::testbed {
 ///
 /// Taking `now` as a parameter keeps the pacer clock-free: tests inject
 /// synthetic stalls by passing fabricated timestamps.
+///
+/// The stationary special case of workload::SchedulePacer, to which it
+/// now delegates: non-stationary load (diurnal ramp, flash crowd, MMPP,
+/// trace replay) uses workload/rate_schedule.hpp directly; the constant
+/// fast path there reproduces this pacer's draw sequence and deadline
+/// arithmetic bit-for-bit.
 class PoissonPacer {
  public:
   using Clock = std::chrono::steady_clock;
@@ -40,31 +47,31 @@ class PoissonPacer {
   PoissonPacer(double lambda, stats::RandomStream& rng,
                Clock::time_point start,
                Clock::duration stall_slack = std::chrono::milliseconds(2))
-      : lambda_(lambda), rng_(&rng), stall_slack_(stall_slack), next_(start) {}
+      : rate_(lambda),
+        process_(rate_),
+        pacer_(process_, rng, start, stall_slack) {}
+
+  // The delegates hold pointers into `this`; pin the object down.
+  PoissonPacer(const PoissonPacer&) = delete;
+  PoissonPacer& operator=(const PoissonPacer&) = delete;
 
   /// Advances the schedule by one sampled gap, applies the stall-reset
   /// guard against `now`, and returns the resulting arrival deadline.
   Clock::time_point schedule_next(Clock::time_point now) {
-    next_ += std::chrono::nanoseconds(
-        static_cast<std::int64_t>(1e9 * rng_->exponential(lambda_)));
-    if (now > next_ + stall_slack_) {
-      next_ = now;
-      ++stall_resets_;
-    }
-    return next_;
+    return pacer_.schedule_next(now);
   }
 
   /// Deadline of the most recently scheduled arrival.
-  [[nodiscard]] Clock::time_point deadline() const { return next_; }
+  [[nodiscard]] Clock::time_point deadline() const { return pacer_.deadline(); }
   /// Schedule shifts forced by host stalls so far.
-  [[nodiscard]] std::uint64_t stall_resets() const { return stall_resets_; }
+  [[nodiscard]] std::uint64_t stall_resets() const {
+    return pacer_.stall_resets();
+  }
 
  private:
-  double lambda_;
-  stats::RandomStream* rng_;
-  Clock::duration stall_slack_;
-  Clock::time_point next_;
-  std::uint64_t stall_resets_ = 0;
+  workload::ConstantRate rate_;
+  workload::PoissonProcess process_;
+  workload::SchedulePacer pacer_;
 };
 
 struct LiveLoadConfig {

@@ -1,0 +1,239 @@
+#include "workload/rate_schedule.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace jmsperf::workload {
+
+namespace {
+
+constexpr double kTau = 6.283185307179586476925286766559;  // 2 pi
+
+void require_finite_nonnegative(double value, const char* what) {
+  if (!std::isfinite(value) || value < 0.0) {
+    throw std::invalid_argument(std::string(what) +
+                                " must be finite and >= 0");
+  }
+}
+
+}  // namespace
+
+// --- ConstantRate ------------------------------------------------------
+
+ConstantRate::ConstantRate(double rate) : rate_(rate) {
+  require_finite_nonnegative(rate, "ConstantRate: rate");
+}
+
+// --- DiurnalRamp -------------------------------------------------------
+
+DiurnalRamp::DiurnalRamp(double base_rate, double amplitude,
+                         double period_seconds, double phase_radians)
+    : base_(base_rate),
+      amplitude_(amplitude),
+      period_(period_seconds),
+      phase_(phase_radians) {
+  require_finite_nonnegative(base_rate, "DiurnalRamp: base_rate");
+  if (!std::isfinite(amplitude) || amplitude < 0.0 || amplitude > 1.0) {
+    throw std::invalid_argument("DiurnalRamp: amplitude must be in [0, 1]");
+  }
+  if (!std::isfinite(period_seconds) || period_seconds <= 0.0) {
+    throw std::invalid_argument("DiurnalRamp: period must be > 0");
+  }
+}
+
+double DiurnalRamp::rate_at(double t) const {
+  const double rate =
+      base_ * (1.0 + amplitude_ * std::sin(kTau * t / period_ + phase_));
+  return rate < 0.0 ? 0.0 : rate;  // amplitude == 1 can graze zero
+}
+
+// --- FlashCrowd --------------------------------------------------------
+
+FlashCrowd::FlashCrowd(double base_rate, double peak_rate,
+                       double start_seconds, double duration_seconds)
+    : base_(base_rate),
+      peak_(peak_rate),
+      start_(start_seconds),
+      duration_(duration_seconds) {
+  require_finite_nonnegative(base_rate, "FlashCrowd: base_rate");
+  require_finite_nonnegative(peak_rate, "FlashCrowd: peak_rate");
+  require_finite_nonnegative(start_seconds, "FlashCrowd: start");
+  require_finite_nonnegative(duration_seconds, "FlashCrowd: duration");
+}
+
+double FlashCrowd::rate_at(double t) const {
+  return (t >= start_ && t < start_ + duration_) ? peak_ : base_;
+}
+
+double FlashCrowd::max_rate() const { return std::max(base_, peak_); }
+
+// --- TraceSchedule -----------------------------------------------------
+
+TraceSchedule::TraceSchedule(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("TraceSchedule: no segments");
+  }
+  double previous = -std::numeric_limits<double>::infinity();
+  for (const Segment& segment : segments_) {
+    if (!std::isfinite(segment.start_seconds) ||
+        segment.start_seconds <= previous) {
+      throw std::invalid_argument(
+          "TraceSchedule: segment times must be finite and strictly "
+          "increasing");
+    }
+    require_finite_nonnegative(segment.rate_per_s, "TraceSchedule: rate");
+    previous = segment.start_seconds;
+    max_rate_ = std::max(max_rate_, segment.rate_per_s);
+  }
+}
+
+double TraceSchedule::rate_at(double t) const {
+  // Last segment with start <= t; times before the first use its rate.
+  const Segment* current = &segments_.front();
+  for (const Segment& segment : segments_) {
+    if (segment.start_seconds > t) break;
+    current = &segment;
+  }
+  return current->rate_per_s;
+}
+
+std::string TraceSchedule::to_text() const {
+  std::ostringstream out;
+  out << "# jmsperf rate trace: <start_seconds> <rate_per_s>\n";
+  out.precision(17);
+  for (const Segment& segment : segments_) {
+    out << segment.start_seconds << ' ' << segment.rate_per_s << '\n';
+  }
+  return out.str();
+}
+
+TraceSchedule TraceSchedule::parse(std::string_view text) {
+  std::vector<Segment> segments;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto content_begin = line.find_first_not_of(" \t\r");
+    if (content_begin == std::string::npos || line[content_begin] == '#') {
+      continue;  // blank or comment
+    }
+    std::istringstream fields(line);
+    Segment segment;
+    if (!(fields >> segment.start_seconds >> segment.rate_per_s)) {
+      throw std::invalid_argument("TraceSchedule::parse: malformed line " +
+                                  std::to_string(line_number) + ": '" + line +
+                                  "'");
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+      throw std::invalid_argument("TraceSchedule::parse: trailing tokens on "
+                                  "line " +
+                                  std::to_string(line_number));
+    }
+    segments.push_back(segment);
+  }
+  return TraceSchedule(std::move(segments));  // ctor re-validates ordering
+}
+
+TraceSchedule TraceSchedule::record(const RateSchedule& source,
+                                    double step_seconds,
+                                    double horizon_seconds) {
+  if (!std::isfinite(step_seconds) || step_seconds <= 0.0) {
+    throw std::invalid_argument("TraceSchedule::record: step must be > 0");
+  }
+  if (!std::isfinite(horizon_seconds) || horizon_seconds <= 0.0) {
+    throw std::invalid_argument("TraceSchedule::record: horizon must be > 0");
+  }
+  std::vector<Segment> segments;
+  for (double t = 0.0; t < horizon_seconds; t += step_seconds) {
+    segments.push_back(Segment{t, source.rate_at(t)});
+  }
+  return TraceSchedule(std::move(segments));
+}
+
+// --- PoissonProcess ----------------------------------------------------
+
+PoissonProcess::PoissonProcess(const RateSchedule& schedule)
+    : schedule_(&schedule) {}
+
+double PoissonProcess::next_gap(double t, stats::RandomStream& rng) {
+  if (schedule_->constant()) {
+    // Exact: one exponential gap per arrival, the legacy PoissonPacer
+    // draw sequence (no uniform consumed), handed through unrounded.
+    return rng.exponential(schedule_->rate_at(t));
+  }
+  // Lewis-Shedler thinning: candidate arrivals at the majorizing constant
+  // rate, accepted with probability lambda(candidate)/bound.
+  const double bound = schedule_->max_rate();
+  if (!(bound > 0.0)) {
+    throw std::invalid_argument(
+        "PoissonProcess: schedule max_rate() must be > 0");
+  }
+  double now = t;
+  while (true) {
+    now += rng.exponential(bound);
+    if (rng.uniform() * bound <= schedule_->rate_at(now)) return now - t;
+  }
+}
+
+// --- Mmpp2Process ------------------------------------------------------
+
+Mmpp2Process::Mmpp2Process(Config config) : config_(config) {
+  require_finite_nonnegative(config.rate0, "Mmpp2Process: rate0");
+  require_finite_nonnegative(config.rate1, "Mmpp2Process: rate1");
+  if (!std::isfinite(config.switch01) || config.switch01 <= 0.0 ||
+      !std::isfinite(config.switch10) || config.switch10 <= 0.0) {
+    throw std::invalid_argument("Mmpp2Process: switch rates must be > 0");
+  }
+  if (config.rate0 <= 0.0 && config.rate1 <= 0.0) {
+    throw std::invalid_argument("Mmpp2Process: at least one state needs a "
+                                "positive arrival rate");
+  }
+}
+
+double Mmpp2Process::long_run_rate() const {
+  // Stationary distribution of the 2-state chain: pi0 = switch10 /
+  // (switch01 + switch10).
+  const double denom = config_.switch01 + config_.switch10;
+  return (config_.switch10 * config_.rate0 +
+          config_.switch01 * config_.rate1) /
+         denom;
+}
+
+double Mmpp2Process::next_gap(double t, stats::RandomStream& rng) {
+  // The caller may have jumped the timeline forward (stall reset): the
+  // chain is memoryless, so advance it over the gap by sampling holding
+  // times until it straddles t.
+  while (time_ < t) {
+    const double hold =
+        rng.exponential(state_ == 0 ? config_.switch01 : config_.switch10);
+    if (time_ + hold > t) break;  // still in `state_` at t (memoryless)
+    time_ += hold;
+    state_ = 1 - state_;
+  }
+  time_ = std::max(time_, t);
+  // Exact competing exponentials: in state s the next arrival (rate_s)
+  // races the next state switch (switch_s); on a switch, re-race from the
+  // switch instant.
+  while (true) {
+    const double arrival_rate = state_ == 0 ? config_.rate0 : config_.rate1;
+    const double switch_rate =
+        state_ == 0 ? config_.switch01 : config_.switch10;
+    const double to_switch = rng.exponential(switch_rate);
+    if (arrival_rate > 0.0) {
+      const double to_arrival = rng.exponential(arrival_rate);
+      if (to_arrival < to_switch) {
+        time_ += to_arrival;
+        return time_ - t;
+      }
+    }
+    time_ += to_switch;
+    state_ = 1 - state_;
+  }
+}
+
+}  // namespace jmsperf::workload

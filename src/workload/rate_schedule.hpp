@@ -1,0 +1,270 @@
+// Non-stationary arrival workloads.
+//
+// The paper calibrates and validates against STATIONARY Poisson input
+// (Sec. IV); the elastic broker exists precisely because real load is
+// not stationary.  This header generalizes the pacing machinery of
+// testbed::PoissonPacer into three layers:
+//
+//   RateSchedule    — a deterministic intensity lambda(t), t in seconds
+//                     since schedule start (constant, diurnal ramp,
+//                     flash-crowd step, recorded trace).
+//   ArrivalProcess  — a stateful generator of arrival instants: a
+//                     (possibly non-homogeneous) Poisson process over a
+//                     RateSchedule via Lewis-Shedler thinning, or a
+//                     2-state MMPP (doubly stochastic, bursty).
+//   SchedulePacer   — converts arrival instants into absolute wall-clock
+//                     deadlines with the stall-reset guard of
+//                     testbed::PoissonPacer (which now delegates here).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace jmsperf::workload {
+
+// --- deterministic intensity functions --------------------------------
+
+/// A deterministic arrival-rate schedule lambda(t) >= 0 over seconds
+/// since schedule start.
+class RateSchedule {
+ public:
+  virtual ~RateSchedule() = default;
+
+  /// Instantaneous arrival rate at `t` seconds (>= 0).
+  [[nodiscard]] virtual double rate_at(double t) const = 0;
+
+  /// A finite upper bound on rate_at over all t — the majorizing rate of
+  /// the thinning sampler.  Tight bounds waste fewer candidate draws.
+  [[nodiscard]] virtual double max_rate() const = 0;
+
+  /// True when rate_at is the same for all t: PoissonProcess then skips
+  /// thinning and draws one exact exponential gap per arrival.
+  [[nodiscard]] virtual bool constant() const { return false; }
+};
+
+/// The stationary case: lambda(t) = rate.
+class ConstantRate final : public RateSchedule {
+ public:
+  explicit ConstantRate(double rate);
+  [[nodiscard]] double rate_at(double) const override { return rate_; }
+  [[nodiscard]] double max_rate() const override { return rate_; }
+  [[nodiscard]] bool constant() const override { return true; }
+
+ private:
+  double rate_;
+};
+
+/// Sinusoidal daily cycle: lambda(t) = base * (1 + amplitude *
+/// sin(2 pi t / period + phase)).  amplitude in [0, 1] keeps the rate
+/// non-negative; period is the cycle length in seconds.
+class DiurnalRamp final : public RateSchedule {
+ public:
+  DiurnalRamp(double base_rate, double amplitude, double period_seconds,
+              double phase_radians = 0.0);
+  [[nodiscard]] double rate_at(double t) const override;
+  [[nodiscard]] double max_rate() const override {
+    return base_ * (1.0 + amplitude_);
+  }
+
+ private:
+  double base_;
+  double amplitude_;
+  double period_;
+  double phase_;
+};
+
+/// Flash crowd: base rate everywhere except [start, start + duration),
+/// where the rate steps to `peak` (peak >= base for a crowd; peak < base
+/// models an outage dip just as well).
+class FlashCrowd final : public RateSchedule {
+ public:
+  FlashCrowd(double base_rate, double peak_rate, double start_seconds,
+             double duration_seconds);
+  [[nodiscard]] double rate_at(double t) const override;
+  [[nodiscard]] double max_rate() const override;
+
+ private:
+  double base_;
+  double peak_;
+  double start_;
+  double duration_;
+};
+
+/// Piecewise-constant recorded schedule: segment i holds rate_per_s[i]
+/// from start_seconds[i] until the next segment (the last segment extends
+/// forever; times before the first segment use its rate).  Round-trips
+/// through a text format for trace replay:
+///
+///   # one "<start_seconds> <rate_per_s>" pair per line
+///   0.0 1000
+///   60.0 2500
+class TraceSchedule final : public RateSchedule {
+ public:
+  struct Segment {
+    double start_seconds = 0.0;
+    double rate_per_s = 0.0;
+  };
+
+  /// Segments must be non-empty, time-sorted and non-negative.
+  explicit TraceSchedule(std::vector<Segment> segments);
+
+  [[nodiscard]] double rate_at(double t) const override;
+  [[nodiscard]] double max_rate() const override { return max_rate_; }
+  [[nodiscard]] const std::vector<Segment>& segments() const {
+    return segments_;
+  }
+
+  /// Serializes the schedule ("<start> <rate>" per line, '#' comments).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parses the to_text() format; throws std::invalid_argument on
+  /// malformed input.  parse(s.to_text()) reproduces s exactly.
+  [[nodiscard]] static TraceSchedule parse(std::string_view text);
+
+  /// Samples any schedule every `step_seconds` over [0, horizon_seconds)
+  /// into a piecewise-constant trace — record a synthetic schedule once,
+  /// replay it everywhere.
+  [[nodiscard]] static TraceSchedule record(const RateSchedule& source,
+                                            double step_seconds,
+                                            double horizon_seconds);
+
+ private:
+  std::vector<Segment> segments_;
+  double max_rate_ = 0.0;
+};
+
+// --- arrival processes -------------------------------------------------
+
+/// A stateful generator of arrival instants on the schedule timeline.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Gap (seconds, > 0) from `t` to the next arrival.  Gap-oriented so a
+  /// constant-rate process hands its exponential draw through EXACTLY
+  /// (no t + gap - t rounding): SchedulePacer then reproduces the legacy
+  /// PoissonPacer deadlines bit-for-bit.
+  [[nodiscard]] virtual double next_gap(double t,
+                                        stats::RandomStream& rng) = 0;
+
+  /// Next arrival instant strictly after `t`: t + next_gap(t, rng).
+  [[nodiscard]] double next_arrival(double t, stats::RandomStream& rng) {
+    return t + next_gap(t, rng);
+  }
+};
+
+/// (Non-)homogeneous Poisson process over a RateSchedule.  Constant
+/// schedules draw one exact exponential gap per arrival (bit-identical to
+/// the legacy PoissonPacer stream); varying schedules use Lewis-Shedler
+/// thinning against max_rate().
+class PoissonProcess final : public ArrivalProcess {
+ public:
+  /// `schedule` must outlive the process.
+  explicit PoissonProcess(const RateSchedule& schedule);
+  [[nodiscard]] double next_gap(double t, stats::RandomStream& rng) override;
+
+ private:
+  const RateSchedule* schedule_;
+};
+
+/// 2-state Markov-modulated Poisson process: arrivals at rate0 while the
+/// modulating chain sits in state 0, rate1 in state 1; the chain leaves
+/// state 0 at rate switch01 and state 1 at rate switch10.  Exact
+/// competing-exponentials simulation (no discretization).  Long bursts of
+/// a high rate1 against a quiet rate0 produce the over-dispersed arrival
+/// streams the stationary model underestimates.
+class Mmpp2Process final : public ArrivalProcess {
+ public:
+  struct Config {
+    double rate0 = 0.0;     ///< arrival rate in state 0 (>= 0)
+    double rate1 = 0.0;     ///< arrival rate in state 1 (>= 0)
+    double switch01 = 1.0;  ///< state 0 -> 1 transition rate (> 0)
+    double switch10 = 1.0;  ///< state 1 -> 0 transition rate (> 0)
+  };
+
+  explicit Mmpp2Process(Config config);
+
+  [[nodiscard]] double next_gap(double t, stats::RandomStream& rng) override;
+
+  /// Stationary mean arrival rate: (switch10*rate0 + switch01*rate1) /
+  /// (switch01 + switch10) — what a long run's empirical rate converges
+  /// to.
+  [[nodiscard]] double long_run_rate() const;
+
+  /// Modulating-chain state after the last generated arrival (0 or 1).
+  [[nodiscard]] int current_state() const { return state_; }
+
+ private:
+  Config config_;
+  int state_ = 0;
+  double time_ = 0.0;  ///< chain position (advances past switches)
+};
+
+// --- wall-clock pacing -------------------------------------------------
+
+/// Absolute-schedule pacer over any ArrivalProcess, with the stall-reset
+/// guard of testbed::PoissonPacer: each schedule_next() advances the
+/// schedule by one arrival and returns the deadline to wait for; a `now`
+/// more than `stall_slack` past the deadline shifts the schedule forward
+/// to `now` (counted in stall_resets()) instead of replaying the missed
+/// arrivals as a burst.  Taking `now` as a parameter keeps the pacer
+/// clock-free for tests.
+class SchedulePacer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `process` and `rng` must outlive the pacer.
+  SchedulePacer(ArrivalProcess& process, stats::RandomStream& rng,
+                Clock::time_point start,
+                Clock::duration stall_slack = std::chrono::milliseconds(2))
+      : process_(&process),
+        rng_(&rng),
+        stall_slack_(stall_slack),
+        start_(start),
+        next_(start) {}
+
+  /// Advances the schedule by one arrival, applies the stall-reset guard
+  /// against `now`, and returns the resulting deadline.
+  Clock::time_point schedule_next(Clock::time_point now) {
+    const double gap = process_->next_gap(next_seconds_, *rng_);
+    // time_point += integer-ns gap increments: for constant schedules
+    // this reproduces the legacy PoissonPacer arithmetic bit-for-bit.
+    next_ += std::chrono::nanoseconds(static_cast<std::int64_t>(1e9 * gap));
+    next_seconds_ += gap;
+    if (now > next_ + stall_slack_) {
+      next_ = now;
+      next_seconds_ =
+          1e-9 * static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         now - start_)
+                         .count());
+      ++stall_resets_;
+    }
+    return next_;
+  }
+
+  /// Deadline of the most recently scheduled arrival.
+  [[nodiscard]] Clock::time_point deadline() const { return next_; }
+  /// Schedule position in seconds since start.
+  [[nodiscard]] double elapsed_schedule_seconds() const {
+    return next_seconds_;
+  }
+  /// Schedule shifts forced by host stalls so far.
+  [[nodiscard]] std::uint64_t stall_resets() const { return stall_resets_; }
+
+ private:
+  ArrivalProcess* process_;
+  stats::RandomStream* rng_;
+  Clock::duration stall_slack_;
+  Clock::time_point start_;
+  Clock::time_point next_;
+  double next_seconds_ = 0.0;
+  std::uint64_t stall_resets_ = 0;
+};
+
+}  // namespace jmsperf::workload

@@ -150,7 +150,7 @@ TEST(BrokerModelAgreement, IndependentFiltersMatchBinomialLaw) {
 
 TEST(BrokerModelAgreement, ShardedCountersRespectHashContractAndAggregate) {
   // With k = 4 partitioned dispatchers the broker must (a) route every
-  // topic to exactly the shard core::topic_shard names, (b) keep the
+  // topic to exactly the shard its consistent hash ring names, (b) keep the
   // per-shard counter slices summing to the aggregate, and (c) preserve
   // the paper's exact identity filter_evaluations = n_fltr * M, now as a
   // sum over shards.
@@ -169,7 +169,7 @@ TEST(BrokerModelAgreement, ShardedCountersRespectHashContractAndAggregate) {
       broker.subscribe(names.back(),
                        jms::SubscriptionFilter::correlation_id("[0;499]"));
     }
-    EXPECT_EQ(broker.shard_of(names.back()), core::topic_shard(names.back(), k));
+    EXPECT_EQ(broker.shard_of(names.back()), core::HashRing(k).shard_of(names.back()));
   }
 
   stats::RandomStream rng(7);
@@ -181,7 +181,7 @@ TEST(BrokerModelAgreement, ShardedCountersRespectHashContractAndAggregate) {
     jms::Message msg;
     msg.set_destination(topic);
     msg.set_correlation_id(std::to_string(key));
-    ++sent_to_shard[core::topic_shard(topic, k)];
+    ++sent_to_shard[broker.shard_of(topic)];
     if (key < 500) expected_dispatched += subscribers_per_topic;
     broker.publish(std::move(msg));
   }

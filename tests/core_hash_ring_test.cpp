@@ -1,0 +1,147 @@
+// core::HashRing: the consistent-hash topic -> shard contract of the
+// elastic broker.  Determinism, coverage/balance, the minimal-movement
+// guarantee under grow/shrink, and resize() == fresh-ring equivalence
+// (what lets a resized broker agree with an independently built ring).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/partitioning.hpp"
+
+namespace jmsperf::core {
+namespace {
+
+std::vector<std::string> make_topics(int count) {
+  std::vector<std::string> topics;
+  topics.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    topics.push_back("ring.topic." + std::to_string(i));
+  }
+  return topics;
+}
+
+TEST(HashRing, DeterministicAcrossInstances) {
+  const HashRing a(5), b(5);
+  for (const auto& topic : make_topics(1000)) {
+    EXPECT_EQ(a.shard_of(topic), b.shard_of(topic));
+  }
+  EXPECT_EQ(a.point_count(), 5u * HashRing::kDefaultVirtualNodes);
+}
+
+TEST(HashRing, SingleShardMapsEverythingToZero) {
+  const HashRing ring(1);
+  for (const auto& topic : make_topics(200)) {
+    EXPECT_EQ(ring.shard_of(topic), 0u);
+  }
+}
+
+TEST(HashRing, CoversEveryShardReasonablyBalanced) {
+  const std::uint32_t shards = 8;
+  const HashRing ring(shards);
+  const auto topics = make_topics(10000);
+  std::vector<int> owned(shards, 0);
+  for (const auto& topic : topics) {
+    const auto shard = ring.shard_of(topic);
+    ASSERT_LT(shard, shards);
+    ++owned[shard];
+  }
+  const double fair = static_cast<double>(topics.size()) / shards;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    // 64 vnodes per shard keep the spread well inside a factor of two
+    // of fair share; the bound is loose on purpose (it must hold for
+    // any future hash tweak that keeps the ring sane).
+    EXPECT_GT(owned[s], 0) << "shard " << s << " owns nothing";
+    EXPECT_LT(owned[s], 2.0 * fair) << "shard " << s << " is a hot spot";
+  }
+}
+
+TEST(HashRing, GrowMovesOnlyTheExpectedFractionAndOnlyToNewShards) {
+  const auto topics = make_topics(10000);
+  for (std::uint32_t k = 2; k <= 7; ++k) {
+    const HashRing before(k);
+    const HashRing after(k + 1);
+    int moved = 0;
+    for (const auto& topic : topics) {
+      const auto old_shard = before.shard_of(topic);
+      const auto new_shard = after.shard_of(topic);
+      if (old_shard != new_shard) {
+        ++moved;
+        // Consistent hashing: growing only ADDS points, so a topic that
+        // moves can only move to the newly added shard.
+        EXPECT_EQ(new_shard, k) << topic;
+      }
+    }
+    // Expected moved fraction is 1/(k+1); allow a 2x corridor.
+    const double fraction = static_cast<double>(moved) / topics.size();
+    const double expected = 1.0 / (k + 1);
+    EXPECT_GT(fraction, 0.35 * expected) << "k=" << k;
+    EXPECT_LT(fraction, 2.0 * expected) << "k=" << k;
+  }
+}
+
+TEST(HashRing, ShrinkOnlyReassignsTopicsOfRemovedShards) {
+  const auto topics = make_topics(5000);
+  const HashRing before(6);
+  const HashRing after(4);
+  for (const auto& topic : topics) {
+    const auto old_shard = before.shard_of(topic);
+    if (old_shard < 4) {
+      // Survivor-owned topics must not move: their points are untouched.
+      EXPECT_EQ(after.shard_of(topic), old_shard) << topic;
+    } else {
+      EXPECT_LT(after.shard_of(topic), 4u) << topic;
+    }
+  }
+}
+
+TEST(HashRing, ResizeEqualsFreshRingAndBumpsVersion) {
+  HashRing ring(3);
+  const auto v0 = ring.version();
+  ring.resize(5);
+  EXPECT_GT(ring.version(), v0);
+  const HashRing fresh(5);
+  for (const auto& topic : make_topics(2000)) {
+    EXPECT_EQ(ring.shard_of(topic), fresh.shard_of(topic));
+  }
+  ring.resize(2);
+  const HashRing fresh2(2);
+  for (const auto& topic : make_topics(2000)) {
+    EXPECT_EQ(ring.shard_of(topic), fresh2.shard_of(topic));
+  }
+  EXPECT_EQ(ring.shards(), 2u);
+  EXPECT_EQ(ring.point_count(), 2u * HashRing::kDefaultVirtualNodes);
+}
+
+TEST(HashRing, ResizeToSameCountIsANoOp) {
+  HashRing ring(4);
+  const auto version = ring.version();
+  ring.resize(4);
+  EXPECT_EQ(ring.version(), version);
+}
+
+TEST(HashRing, ZeroVirtualNodesClampsToOne) {
+  const HashRing ring(3, 0);
+  EXPECT_EQ(ring.virtual_nodes(), 1u);
+  EXPECT_EQ(ring.point_count(), 3u);
+  std::set<std::uint32_t> seen;
+  for (const auto& topic : make_topics(2000)) {
+    seen.insert(ring.shard_of(topic));
+  }
+  EXPECT_EQ(seen.size(), 3u);  // even 1 vnode/shard covers all shards
+}
+
+TEST(HashRing, AgreesWithItselfUnderDifferentConstructionOrder) {
+  // Grow 1 -> 2 -> ... -> 6 step by step must land on the same
+  // assignment as building at 6 directly (resize is path-independent).
+  HashRing stepped(1);
+  for (std::uint32_t k = 2; k <= 6; ++k) stepped.resize(k);
+  const HashRing direct(6);
+  for (const auto& topic : make_topics(3000)) {
+    EXPECT_EQ(stepped.shard_of(topic), direct.shard_of(topic));
+  }
+}
+
+}  // namespace
+}  // namespace jmsperf::core

@@ -120,12 +120,13 @@ TEST_P(MultiDispatcher, NoLossNoDuplicationAndShardedFifo) {
   expect_shards_sum_to_stats(broker);
 
   // The hash contract: in Partitioned mode each topic's messages are
-  // received by exactly the shard core::topic_shard assigns it.
+  // received by exactly the shard the broker's consistent hash ring
+  // assigns it (a HashRing built at the same k and vnode count agrees).
   if (mode == DispatchMode::Partitioned) {
+    const core::HashRing ring(static_cast<std::uint32_t>(k));
     std::vector<std::uint64_t> per_shard(broker.num_shards(), 0);
     for (const auto& name : names) {
-      EXPECT_EQ(broker.shard_of(name),
-                core::topic_shard(name, static_cast<std::uint32_t>(k)));
+      EXPECT_EQ(broker.shard_of(name), ring.shard_of(name));
       per_shard[broker.shard_of(name)] +=
           static_cast<std::uint64_t>(publishers) * per_topic;
     }

@@ -1,0 +1,244 @@
+// workload/rate_schedule: the non-stationary arrival machinery behind
+// the elastic broker's load generation.  Checks the deterministic
+// schedules pointwise, the stochastic generators empirically (rates
+// within tolerance of the analytic values), the trace round-trip, and
+// the SchedulePacer stall-reset guard on a non-constant schedule.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "workload/rate_schedule.hpp"
+
+using namespace std::chrono_literals;
+
+namespace jmsperf::workload {
+namespace {
+
+/// Mean empirical arrival rate of `process` over [0, horizon).
+double empirical_rate(ArrivalProcess& process, stats::RandomStream& rng,
+                      double horizon) {
+  double t = 0.0;
+  std::uint64_t arrivals = 0;
+  while (true) {
+    t = process.next_arrival(t, rng);
+    if (t >= horizon) break;
+    ++arrivals;
+  }
+  return static_cast<double>(arrivals) / horizon;
+}
+
+// --- deterministic schedules -------------------------------------------
+
+TEST(RateSchedule, ConstantRateIsConstant) {
+  const ConstantRate rate(123.5);
+  EXPECT_TRUE(rate.constant());
+  EXPECT_DOUBLE_EQ(rate.rate_at(0.0), 123.5);
+  EXPECT_DOUBLE_EQ(rate.rate_at(1e6), 123.5);
+  EXPECT_DOUBLE_EQ(rate.max_rate(), 123.5);
+  EXPECT_THROW(ConstantRate(-1.0), std::invalid_argument);
+}
+
+TEST(RateSchedule, DiurnalRampFollowsTheSinusoid) {
+  const double base = 1000.0, amplitude = 0.5, period = 40.0;
+  const DiurnalRamp ramp(base, amplitude, period);
+  EXPECT_FALSE(ramp.constant());
+  EXPECT_DOUBLE_EQ(ramp.rate_at(0.0), base);              // sin(0) = 0
+  EXPECT_NEAR(ramp.rate_at(period / 4), base * 1.5, 1e-9);  // peak
+  EXPECT_NEAR(ramp.rate_at(3 * period / 4), base * 0.5, 1e-9);  // trough
+  EXPECT_DOUBLE_EQ(ramp.max_rate(), base * 1.5);
+  // Full amplitude grazes zero but never goes negative.
+  const DiurnalRamp full(base, 1.0, period);
+  EXPECT_GE(full.rate_at(3 * period / 4), 0.0);
+  EXPECT_THROW(DiurnalRamp(base, 1.5, period), std::invalid_argument);
+  EXPECT_THROW(DiurnalRamp(base, 0.5, 0.0), std::invalid_argument);
+}
+
+TEST(RateSchedule, FlashCrowdStepsExactlyOverItsWindow) {
+  const FlashCrowd crowd(500.0, 2000.0, 10.0, 5.0);
+  EXPECT_DOUBLE_EQ(crowd.rate_at(9.999), 500.0);
+  EXPECT_DOUBLE_EQ(crowd.rate_at(10.0), 2000.0);   // inclusive start
+  EXPECT_DOUBLE_EQ(crowd.rate_at(14.999), 2000.0);
+  EXPECT_DOUBLE_EQ(crowd.rate_at(15.0), 500.0);    // exclusive end
+  EXPECT_DOUBLE_EQ(crowd.max_rate(), 2000.0);
+  // A dip (peak < base) is legal and max_rate stays the base.
+  const FlashCrowd dip(500.0, 100.0, 10.0, 5.0);
+  EXPECT_DOUBLE_EQ(dip.max_rate(), 500.0);
+}
+
+// --- trace replay ------------------------------------------------------
+
+TEST(TraceSchedule, RoundTripsThroughText) {
+  const TraceSchedule original({{0.0, 1000.0}, {60.0, 2500.0}, {90.5, 125.25}});
+  const TraceSchedule replay = TraceSchedule::parse(original.to_text());
+  ASSERT_EQ(replay.segments().size(), original.segments().size());
+  for (std::size_t i = 0; i < original.segments().size(); ++i) {
+    EXPECT_DOUBLE_EQ(replay.segments()[i].start_seconds,
+                     original.segments()[i].start_seconds);
+    EXPECT_DOUBLE_EQ(replay.segments()[i].rate_per_s,
+                     original.segments()[i].rate_per_s);
+  }
+  EXPECT_DOUBLE_EQ(replay.max_rate(), 2500.0);
+}
+
+TEST(TraceSchedule, PiecewiseConstantLookupSemantics) {
+  const TraceSchedule trace({{10.0, 100.0}, {20.0, 400.0}});
+  EXPECT_DOUBLE_EQ(trace.rate_at(0.0), 100.0);   // before first: first rate
+  EXPECT_DOUBLE_EQ(trace.rate_at(15.0), 100.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(20.0), 400.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(1e9), 400.0);   // last extends forever
+}
+
+TEST(TraceSchedule, ParseRejectsMalformedInput) {
+  EXPECT_THROW(TraceSchedule::parse("0.0 oops\n"), std::invalid_argument);
+  EXPECT_THROW(TraceSchedule::parse("0.0 10 trailing\n"),
+               std::invalid_argument);
+  EXPECT_THROW(TraceSchedule::parse("# only comments\n"),
+               std::invalid_argument);  // empty schedule
+  EXPECT_THROW(TraceSchedule({{5.0, 1.0}, {5.0, 2.0}}),
+               std::invalid_argument);  // not strictly increasing
+  // Comments and blank lines are fine.
+  const auto ok = TraceSchedule::parse("# header\n\n 0.0 10\n1.5 20\n");
+  EXPECT_EQ(ok.segments().size(), 2u);
+}
+
+TEST(TraceSchedule, RecordSamplesAnySchedule) {
+  const FlashCrowd crowd(100.0, 900.0, 2.0, 1.0);
+  const TraceSchedule trace = TraceSchedule::record(crowd, 0.5, 5.0);
+  EXPECT_EQ(trace.segments().size(), 10u);
+  EXPECT_DOUBLE_EQ(trace.rate_at(1.9), 100.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(2.2), 900.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(3.4), 100.0);
+}
+
+// --- arrival processes -------------------------------------------------
+
+TEST(PoissonProcess, ConstantScheduleHandsTheExponentialDrawThrough) {
+  // The constant fast path must consume exactly one exponential per
+  // arrival and pass it through unrounded: this is what keeps
+  // testbed::PoissonPacer bit-compatible with its legacy draw sequence.
+  const double lambda = 250.0;
+  const ConstantRate rate(lambda);
+  PoissonProcess process(rate);
+  stats::RandomStream rng(99), replay(99);
+  double t = 3.25;
+  for (int i = 0; i < 500; ++i) {
+    const double gap = process.next_gap(t, rng);
+    EXPECT_EQ(gap, replay.exponential(lambda));
+    t += gap;
+  }
+}
+
+TEST(PoissonProcess, ThinningMatchesTheScheduleRatePiecewise) {
+  // Flash crowd: count arrivals inside and outside the surge window.
+  const FlashCrowd crowd(500.0, 2000.0, 10.0, 10.0);
+  PoissonProcess process(crowd);
+  stats::RandomStream rng(7);
+  double t = 0.0;
+  std::uint64_t inside = 0, outside = 0;
+  const double horizon = 30.0;
+  while (true) {
+    t = process.next_arrival(t, rng);
+    if (t >= horizon) break;
+    (t >= 10.0 && t < 20.0 ? inside : outside) += 1;
+  }
+  // E[inside] = 2000 * 10 = 20000, E[outside] = 500 * 20 = 10000;
+  // 4-sigma corridors are ~ +/- 570 and +/- 400.
+  EXPECT_NEAR(static_cast<double>(inside), 20000.0, 600.0);
+  EXPECT_NEAR(static_cast<double>(outside), 10000.0, 450.0);
+}
+
+TEST(PoissonProcess, ThinningTracksTheDiurnalAverage) {
+  // Over whole periods the sinusoid averages out to the base rate.
+  const DiurnalRamp ramp(1500.0, 0.8, 10.0);
+  PoissonProcess process(ramp);
+  stats::RandomStream rng(21);
+  const double rate = empirical_rate(process, rng, 40.0);  // 4 periods
+  EXPECT_NEAR(rate, 1500.0, 0.03 * 1500.0);
+}
+
+TEST(Mmpp2Process, LongRunRateMatchesTheStationaryFormula) {
+  Mmpp2Process::Config config;
+  config.rate0 = 200.0;
+  config.rate1 = 4000.0;
+  config.switch01 = 0.5;  // mean 2 s quiet
+  config.switch10 = 2.0;  // mean 0.5 s burst
+  Mmpp2Process process(config);
+  // pi0 = 2.0/2.5 = 0.8: long-run rate = 0.8*200 + 0.2*4000 = 960.
+  EXPECT_NEAR(process.long_run_rate(), 960.0, 1e-9);
+  stats::RandomStream rng(5);
+  // The chain mixes slowly (one 2.5 s quiet/burst cycle carries ~0.03
+  // absolute sd on the state-1 time fraction): 600 s keeps the seeded
+  // estimate within a ~3-sigma 12% corridor.
+  const double rate = empirical_rate(process, rng, 600.0);
+  EXPECT_NEAR(rate, 960.0, 0.12 * 960.0);
+  const int state = process.current_state();
+  EXPECT_TRUE(state == 0 || state == 1);
+}
+
+TEST(Mmpp2Process, SurvivesTimelineJumpsAndValidatesConfig) {
+  Mmpp2Process::Config config;
+  config.rate0 = 100.0;
+  config.rate1 = 1000.0;
+  config.switch01 = 1.0;
+  config.switch10 = 1.0;
+  Mmpp2Process process(config);
+  stats::RandomStream rng(11);
+  // Jump the timeline forward (what a pacer stall reset does): gaps must
+  // stay positive and arrivals strictly increasing.
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    if (i == 50) t += 100.0;  // synthetic stall
+    const double gap = process.next_gap(t, rng);
+    EXPECT_GT(gap, 0.0);
+    t += gap;
+  }
+  config.switch01 = 0.0;
+  EXPECT_THROW(Mmpp2Process{config}, std::invalid_argument);
+  config.switch01 = 1.0;
+  config.rate0 = 0.0;
+  config.rate1 = 0.0;
+  EXPECT_THROW(Mmpp2Process{config}, std::invalid_argument);
+}
+
+// --- pacing ------------------------------------------------------------
+
+TEST(SchedulePacer, AdvancesTheScheduleAndResetsOnStalls) {
+  const ConstantRate rate(1000.0);
+  PoissonProcess process(rate);
+  stats::RandomStream rng(3);
+  const auto start = SchedulePacer::Clock::time_point{} + 1000s;
+  SchedulePacer pacer(process, rng, start, 2ms);
+
+  auto deadline = pacer.schedule_next(start);
+  EXPECT_GE(deadline, start);
+  EXPECT_EQ(pacer.stall_resets(), 0u);
+  EXPECT_GT(pacer.elapsed_schedule_seconds(), 0.0);
+
+  // A `now` far past the deadline shifts BOTH cursors instead of
+  // bursting: the wall-clock deadline to `now` and the schedule-time
+  // cursor to now - start (so a non-stationary schedule keeps reading
+  // lambda(t) at the right t).
+  const auto stalled_now = deadline + 500ms;
+  deadline = pacer.schedule_next(stalled_now);
+  EXPECT_EQ(deadline, stalled_now);
+  EXPECT_EQ(pacer.stall_resets(), 1u);
+  const double expected_elapsed =
+      1e-9 * static_cast<double>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     stalled_now - start)
+                     .count());
+  EXPECT_DOUBLE_EQ(pacer.elapsed_schedule_seconds(), expected_elapsed);
+
+  // Lateness inside the slack does not reset.
+  const auto next = pacer.schedule_next(pacer.deadline() + 1ms);
+  EXPECT_EQ(pacer.stall_resets(), 1u);
+  EXPECT_EQ(next, pacer.deadline());
+}
+
+}  // namespace
+}  // namespace jmsperf::workload
