@@ -45,15 +45,18 @@ int main() {
 
   std::printf("premium consumer (selector: amount >= 100 AND region in eu/us):\n");
   while (auto m = premium->receive(200ms)) {
-    std::printf("  received %s  amount=%s region=%s\n",
-                (*m)->correlation_id().c_str(),
+    std::printf("  received %.*s  amount=%s region=%s\n",
+                static_cast<int>((*m)->correlation_id().size()),
+                (*m)->correlation_id().data(),
                 (*m)->get("amount").to_string().c_str(),
                 (*m)->get("region").to_string().c_str());
   }
 
   std::printf("low-ids consumer (correlation filter [1;2]):\n");
   while (auto m = low_ids->receive(200ms)) {
-    std::printf("  received %s\n", (*m)->correlation_id().c_str());
+    std::printf("  received %.*s\n",
+                static_cast<int>((*m)->correlation_id().size()),
+                (*m)->correlation_id().data());
   }
 
   const auto stats = broker.stats();

@@ -56,7 +56,8 @@ int main() {
 
   std::printf("NYSE dashboard (pattern ticker.nyse.*):\n");
   while (auto m = nyse->receive(100ms)) {
-    std::printf("  %-20s %s @ %s\n", (*m)->destination().c_str(),
+    std::printf("  %-20s %s @ %s\n",
+                std::string((*m)->destination()).c_str(),
                 (*m)->get("symbol").to_string().c_str(),
                 (*m)->get("price").to_string().c_str());
   }

@@ -1,0 +1,77 @@
+#include "core/slab_pool.hpp"
+
+#include <new>
+
+namespace jmsperf::core {
+
+namespace {
+
+std::size_t round_up(std::size_t n, std::size_t multiple) {
+  const std::size_t m = (n + multiple - 1) / multiple * multiple;
+  return m == 0 ? multiple : m;
+}
+
+}  // namespace
+
+SlabPool::SlabPool(std::size_t slab_size, std::size_t capacity)
+    : slab_size_(round_up(slab_size, kAlignment)), capacity_(capacity) {
+  if (capacity_ == 0) return;
+  arena_ = static_cast<char*>(
+      ::operator new(slab_size_ * capacity_, std::align_val_t{kAlignment}));
+  free_.reserve(capacity_);
+  // Reverse order so the first acquire hands out the arena's first slab.
+  for (std::size_t i = capacity_; i-- > 0;) {
+    free_.push_back(arena_ + i * slab_size_);
+  }
+}
+
+SlabPool::~SlabPool() {
+  // Outstanding slabs keep the pool alive through shared ownership
+  // (jms::MessageArena's allocator holds a shared_ptr), so by the time
+  // this runs every pooled slab is back in the freelist.
+  if (arena_ != nullptr) {
+    ::operator delete(arena_, std::align_val_t{kAlignment});
+  }
+}
+
+void* SlabPool::acquire() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!free_.empty()) {
+      void* slab = free_.back();
+      free_.pop_back();
+      acquires_.fetch_add(1, std::memory_order_relaxed);
+      pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      return slab;
+    }
+  }
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(slab_size_, std::align_val_t{kAlignment});
+}
+
+void SlabPool::release(void* slab) noexcept {
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  if (owns(slab)) {
+    std::lock_guard lock(mutex_);
+    free_.push_back(slab);  // capacity reserved up front: never allocates
+    return;
+  }
+  ::operator delete(slab, std::align_val_t{kAlignment});
+}
+
+std::size_t SlabPool::available() const {
+  std::lock_guard lock(mutex_);
+  return free_.size();
+}
+
+SlabPool::Stats SlabPool::stats() const {
+  Stats s;
+  s.acquires = acquires_.load(std::memory_order_relaxed);
+  s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+  s.heap_fallbacks = heap_fallbacks_.load(std::memory_order_relaxed);
+  s.releases = releases_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace jmsperf::core

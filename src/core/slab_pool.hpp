@@ -1,0 +1,102 @@
+// Thread-safe freelist of fixed-size, cache-line-aligned memory slabs.
+//
+// The pool backs the broker's allocation-light publish path
+// (jms::MessageArena): a message, its property spill block and its short
+// header/body strings are co-allocated in ONE slab, so a steady-state
+// publish() costs zero heap allocations (paper Eq. 1's t_tx term —
+// dominated by per-message malloc/free once filtering is indexed).
+//
+// Design:
+//   * One contiguous 64-byte-aligned arena of `capacity` slabs is
+//     reserved up front; acquire()/release() are an O(1) mutex-protected
+//     vector pop/push on a freelist pre-reserved to capacity (release
+//     never allocates).
+//   * The pool is BOUNDED: when every slab is outstanding, acquire()
+//     falls back to a one-off aligned heap allocation (counted) instead
+//     of blocking — backpressure belongs to the broker's ingress queues,
+//     not to the allocator.
+//   * `owns(p)` is a lock-free pointer-range check against the immutable
+//     arena, so release() can route heap-fallback slabs to operator
+//     delete without any bookkeeping.
+//
+// Lifetime: holders of outstanding slabs must keep the pool alive (the
+// message arena hands its std::shared_ptr<SlabPool> to every message
+// deleter, so a subscriber holding the last MessagePtr after broker
+// shutdown still releases into a live pool).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace jmsperf::core {
+
+class SlabPool {
+ public:
+  /// Slabs are at least a cache line and always a multiple of one, so
+  /// consecutive slabs never false-share.
+  static constexpr std::size_t kAlignment = 64;
+
+  struct Stats {
+    std::uint64_t acquires = 0;        ///< total acquire() calls
+    std::uint64_t pool_hits = 0;       ///< served from the freelist
+    std::uint64_t heap_fallbacks = 0;  ///< pool exhausted, heap served
+    std::uint64_t releases = 0;        ///< total release() calls
+
+    /// Fraction of acquires served by the pool (1.0 for an idle pool).
+    [[nodiscard]] double hit_rate() const {
+      return acquires == 0
+                 ? 1.0
+                 : static_cast<double>(pool_hits) / static_cast<double>(acquires);
+    }
+  };
+
+  /// `slab_size` is rounded up to a multiple of kAlignment; `capacity`
+  /// slabs are reserved contiguously (capacity 0 = pure heap fallback).
+  SlabPool(std::size_t slab_size, std::size_t capacity);
+  ~SlabPool();
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// One slab of slab_size() bytes, kAlignment-aligned.  O(1); never
+  /// blocks — falls back to the heap when the pool is exhausted.
+  [[nodiscard]] void* acquire();
+
+  /// Returns a slab from acquire().  O(1), never allocates: pooled slabs
+  /// rejoin the freelist (pre-reserved to capacity), fallback slabs are
+  /// freed.  Safe from any thread.
+  void release(void* slab) noexcept;
+
+  /// Whether `p` lies inside the pooled arena.  Lock-free (the arena
+  /// range is immutable after construction).
+  [[nodiscard]] bool owns(const void* p) const noexcept {
+    const char* c = static_cast<const char*>(p);
+    return c >= arena_ && c < arena_ + slab_size_ * capacity_;
+  }
+
+  [[nodiscard]] std::size_t slab_size() const noexcept { return slab_size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Slabs currently in the freelist (capacity() when fully idle).
+  [[nodiscard]] std::size_t available() const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  const std::size_t slab_size_;
+  const std::size_t capacity_;
+  char* arena_ = nullptr;  ///< capacity_ * slab_size_ bytes, or nullptr
+
+  mutable std::mutex mutex_;
+  std::vector<void*> free_;  ///< reserved to capacity_; push never allocates
+
+  std::atomic<std::uint64_t> acquires_{0};
+  std::atomic<std::uint64_t> pool_hits_{0};
+  std::atomic<std::uint64_t> heap_fallbacks_{0};
+  std::atomic<std::uint64_t> releases_{0};
+};
+
+}  // namespace jmsperf::core

@@ -1,0 +1,23 @@
+// Heterogeneous string hashing for unordered containers.
+//
+// The allocation-light publish path hands destinations and correlation
+// ids around as std::string_view (they live in the message's slab, not
+// in owned std::strings), so every string-keyed map on the routing path
+// must support transparent lookup — `find(view)` without materializing a
+// temporary std::string.  Use together with std::equal_to<>.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+namespace jmsperf::core {
+
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+}  // namespace jmsperf::core

@@ -5,12 +5,23 @@
 // `push` instead of messages being dropped, so a saturated publisher is
 // throttled to exactly the server's service rate and no message is lost
 // (paper, Sec. IV-B.1).
+//
+// Storage is a power-of-two ring buffer instead of std::deque: a deque
+// allocates and frees its block pages as the head chases the tail, which
+// puts one heap round-trip on the steady-state publish path.  The ring
+// grows by doubling (whole-buffer move) up to the configured capacity and
+// then never allocates again; at a stable depth every push/pop is
+// allocation-free (gated by bench/ext_alloc).  Growth is lazy by default
+// so the broker can hold millions of mostly-empty subscription queues;
+// pass preallocate = true (the broker's ingress queues do) to reserve the
+// full ring up front and keep even depth spikes off the allocator.
 #pragma once
 
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 
@@ -19,7 +30,10 @@ namespace jmsperf::jms {
 template <typename T>
 class BlockingQueue {
  public:
-  explicit BlockingQueue(std::size_t capacity) : capacity_(capacity) {}
+  explicit BlockingQueue(std::size_t capacity, bool preallocate = false)
+      : capacity_(capacity) {
+    if (preallocate && capacity_ > 0) reserve_ring(std::bit_ceil(capacity_));
+  }
 
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
@@ -37,12 +51,12 @@ class BlockingQueue {
   template <typename OnAdmit>
   bool push(T item, OnAdmit&& on_admit) {
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    not_full_.wait(lock, [&] { return closed_ || count_ < capacity_; });
     if (closed_) return false;
     on_admit(item);
-    items_.push_back(std::move(item));
+    push_back_locked(std::move(item));
     ++total_pushed_;
-    if (items_.size() > max_depth_) max_depth_ = items_.size();
+    if (count_ > max_depth_) max_depth_ = count_;
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -52,10 +66,10 @@ class BlockingQueue {
   bool try_push(T item) {
     {
       std::lock_guard lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      if (closed_ || count_ >= capacity_) return false;
+      push_back_locked(std::move(item));
       ++total_pushed_;
-      if (items_.size() > max_depth_) max_depth_ = items_.size();
+      if (count_ > max_depth_) max_depth_ = count_;
     }
     not_empty_.notify_one();
     return true;
@@ -64,11 +78,10 @@ class BlockingQueue {
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;  // closed and drained
-    T item = std::move(items_.front());
-    items_.pop_front();
-    const bool drained = items_.empty();
+    not_empty_.wait(lock, [&] { return closed_ || count_ != 0; });
+    if (count_ == 0) return std::nullopt;  // closed and drained
+    T item = pop_front_locked();
+    const bool drained = count_ == 0;
     lock.unlock();
     not_full_.notify_one();
     if (drained) drained_.notify_all();
@@ -79,13 +92,12 @@ class BlockingQueue {
   std::optional<T> pop_for(std::chrono::nanoseconds timeout) {
     std::unique_lock lock(mutex_);
     if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return closed_ || !items_.empty(); })) {
+                             [&] { return closed_ || count_ != 0; })) {
       return std::nullopt;
     }
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    const bool drained = items_.empty();
+    if (count_ == 0) return std::nullopt;
+    T item = pop_front_locked();
+    const bool drained = count_ == 0;
     lock.unlock();
     not_full_.notify_one();
     if (drained) drained_.notify_all();
@@ -95,10 +107,9 @@ class BlockingQueue {
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     std::unique_lock lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    const bool drained = items_.empty();
+    if (count_ == 0) return std::nullopt;
+    T item = pop_front_locked();
+    const bool drained = count_ == 0;
     lock.unlock();
     not_full_.notify_one();
     if (drained) drained_.notify_all();
@@ -112,7 +123,7 @@ class BlockingQueue {
   /// size() == 0).
   void wait_empty() const {
     std::unique_lock lock(mutex_);
-    drained_.wait(lock, [&] { return items_.empty(); });
+    drained_.wait(lock, [&] { return count_ == 0; });
   }
 
   /// Closes the queue: pending pops drain remaining items, further pushes
@@ -124,7 +135,7 @@ class BlockingQueue {
     {
       std::lock_guard lock(mutex_);
       closed_ = true;
-      drained = items_.empty();
+      drained = count_ == 0;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
@@ -138,7 +149,7 @@ class BlockingQueue {
 
   [[nodiscard]] std::size_t size() const {
     std::lock_guard lock(mutex_);
-    return items_.size();
+    return count_;
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -159,14 +170,46 @@ class BlockingQueue {
   }
 
  private:
+  void push_back_locked(T&& item) {
+    if (count_ == ring_capacity_) {
+      reserve_ring(ring_capacity_ == 0
+                       ? std::min<std::size_t>(16, std::bit_ceil(capacity_))
+                       : ring_capacity_ * 2);
+    }
+    ring_[(head_ + count_) & (ring_capacity_ - 1)] = std::move(item);
+    ++count_;
+  }
+
+  T pop_front_locked() {
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) & (ring_capacity_ - 1);
+    --count_;
+    return item;
+  }
+
+  /// Moves the live items into a ring of `new_capacity` (a power of two,
+  /// <= bit_ceil(capacity_)), re-based at index 0.
+  void reserve_ring(std::size_t new_capacity) {
+    auto bigger = std::make_unique<T[]>(new_capacity);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(ring_[(head_ + i) & (ring_capacity_ - 1)]);
+    }
+    ring_ = std::move(bigger);
+    ring_capacity_ = new_capacity;
+    head_ = 0;
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  mutable std::condition_variable drained_;  ///< signalled when items_ empties
-  std::deque<T> items_;
-  std::size_t max_depth_ = 0;       ///< depth high-watermark
-  std::uint64_t total_pushed_ = 0;  ///< lifetime successful pushes
+  mutable std::condition_variable drained_;  ///< signalled when the ring empties
+  std::unique_ptr<T[]> ring_;        ///< power-of-two ring, grown by doubling
+  std::size_t ring_capacity_ = 0;    ///< 0 until the first push (lazy)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t max_depth_ = 0;        ///< depth high-watermark
+  std::uint64_t total_pushed_ = 0;   ///< lifetime successful pushes
   bool closed_ = false;
 };
 

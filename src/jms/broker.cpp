@@ -75,6 +75,8 @@ Broker::Broker(BrokerConfig config)
     : config_(config),
       index_mode_(resolve_index_mode(config)),
       max_shards_(resolve_max_shards(config)),
+      arena_(MessageArena::Config{config.message_slab_size,
+                                  config.message_pool_slabs}),
       telemetry_(resolve_max_shards(config),
                  obs::TelemetryConfig{config.trace_sample_rate,
                                       config.trace_ring_capacity,
@@ -119,6 +121,23 @@ Broker::Broker(BrokerConfig config)
     });
     telemetry_.register_gauge("routing_epoch", [this] {
       return static_cast<double>(routing_epoch());
+    });
+    // Allocation-light publish path: fraction of message builds served
+    // from the slab pool, and content bytes placed per pooled message.
+    telemetry_.register_gauge("message_pool_hit_rate", [this] {
+      return arena_.stats().hit_rate();
+    });
+    telemetry_.register_gauge("message_pool_bytes_per_publish", [this] {
+      return arena_.stats().bytes_per_message();
+    });
+    // 1.0 when this broker can (or did) rebalance topics across shards.
+    // obs::Monitor reads this to auto-disable its shard-imbalance
+    // detector: a deliberate rebalance is indistinguishable from the
+    // partition skew the detector hunts for.
+    telemetry_.register_gauge("elastic_broker", [this] {
+      return max_shards_ > config_.num_dispatchers || resize_count() > 0
+                 ? 1.0
+                 : 0.0;
     });
     if (index_mode_ == FilterIndexMode::Predicate) {
       // Live index selectivity: mean candidate subscriptions per routed
@@ -234,7 +253,7 @@ bool Broker::send_to_queue(const std::string& queue, Message message) {
   }
   if (shutdown_requested_.load(std::memory_order_acquire)) return false;
   message.set_destination(queue);
-  return enqueue_for_dispatch(std::make_shared<const Message>(std::move(message)));
+  return enqueue_for_dispatch(to_shared(std::move(message)));
 }
 
 QueueReceiver Broker::queue_receiver(const std::string& queue) {
@@ -255,18 +274,23 @@ std::size_t Broker::queue_depth(const std::string& queue) const {
   return it->second->store.size();
 }
 
-void Broker::require_topic(const std::string& name) {
+void Broker::require_topic(std::string_view name) {
   if (config_.auto_create_topics) {
     TopicPattern::split(name);
     std::unique_lock lock(topics_mutex_);
     if (queues_.count(name) != 0) {
-      throw std::invalid_argument("Broker: '" + name + "' already names a queue");
+      throw std::invalid_argument("Broker: '" + std::string(name) +
+                                  "' already names a queue");
     }
-    topics_.try_emplace(name);
+    // Heterogeneous probe first: the steady-state publish to an existing
+    // topic never materializes a std::string key.
+    if (topics_.count(name) == 0) topics_.try_emplace(std::string(name));
     return;
   }
-  if (!has_topic(name)) {
-    throw std::invalid_argument("Broker: unknown topic '" + name + "'");
+  std::shared_lock lock(topics_mutex_);
+  if (topics_.count(name) == 0) {
+    throw std::invalid_argument("Broker: unknown topic '" + std::string(name) +
+                                "'");
   }
 }
 
@@ -413,14 +437,14 @@ PredicateIndex::Shape Broker::index_shape(const std::string& topic) const {
   return it == topics_.end() ? PredicateIndex::Shape{} : it->second.index.shape();
 }
 
-std::size_t Broker::shard_index_locked(const std::string& destination) const {
+std::size_t Broker::shard_index_locked(std::string_view destination) const {
   if (shards_.size() == 1 || config_.dispatch_mode == DispatchMode::SharedQueue) {
     return 0;
   }
   return ring_.shard_of(destination);
 }
 
-std::size_t Broker::shard_of(const std::string& destination) const {
+std::size_t Broker::shard_of(std::string_view destination) const {
   std::shared_lock lock(routing_mutex_);
   return shard_index_locked(destination);
 }
@@ -472,13 +496,32 @@ bool Broker::enqueue_for_dispatch(MessagePtr message) {
   }
 }
 
+MessagePtr Broker::to_shared(Message&& message) {
+  if (config_.enable_message_pool && arena_.fits(message)) {
+    return arena_.adopt(message);
+  }
+  return std::make_shared<const Message>(std::move(message));
+}
+
 bool Broker::publish(Message message) {
   if (message.destination().empty()) {
     throw std::invalid_argument("Broker::publish: message has no destination topic");
   }
   if (shutdown_requested_.load(std::memory_order_acquire)) return false;
   require_topic(message.destination());
-  return enqueue_for_dispatch(std::make_shared<const Message>(std::move(message)));
+  return enqueue_for_dispatch(to_shared(std::move(message)));
+}
+
+bool Broker::publish(MessagePtr message) {
+  if (!message) {
+    throw std::invalid_argument("Broker::publish: null message");
+  }
+  if (message->destination().empty()) {
+    throw std::invalid_argument("Broker::publish: message has no destination topic");
+  }
+  if (shutdown_requested_.load(std::memory_order_acquire)) return false;
+  require_topic(message->destination());
+  return enqueue_for_dispatch(std::move(message));
 }
 
 void Broker::dispatch_loop(Shard& self, BlockingQueue<Shard::Item>& source) {
@@ -742,7 +785,14 @@ std::uint64_t Broker::route_with_filter_index(
   // Rebuild the per-topic groups when the subscription topology changed.
   // The cache is private to this shard's dispatcher thread; in SharedQueue
   // mode each dispatcher maintains its own copy of the groups it touches.
-  auto& cache = shard.filter_groups[message->destination()];
+  const std::string_view destination = message->destination();
+  auto cache_it = shard.filter_groups.find(destination);
+  if (cache_it == shard.filter_groups.end()) {
+    cache_it = shard.filter_groups
+                   .emplace(std::string(destination), FilterGroupCache{})
+                   .first;
+  }
+  auto& cache = cache_it->second;
   const auto current_version = topology_version_.load(std::memory_order_acquire);
   if (cache.version != current_version || !cache.built) {
     cache.version = current_version;

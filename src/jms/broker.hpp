@@ -52,13 +52,16 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/partitioning.hpp"  // HashRing: the topic -> shard contract
+#include "core/transparent_hash.hpp"
 #include "jms/blocking_queue.hpp"
 #include "jms/message.hpp"
+#include "jms/message_arena.hpp"
 #include "jms/predicate_index.hpp"
 #include "jms/subscription.hpp"
 #include "jms/topic_pattern.hpp"
@@ -157,6 +160,18 @@ struct BrokerConfig {
   /// cold-path snapshot diff — the publish/dispatch hot path is untouched
   /// whatever the value.
   std::size_t telemetry_window_capacity = 8;
+  /// Allocation-light publish path: publish(Message) deep-copies small
+  /// messages into a pooled slab (MessageArena::adopt) instead of
+  /// make_shared, and message_builder() constructs directly in a slab.
+  /// false restores the exact legacy heap path for every publish —
+  /// differential tests publish through both and compare deliveries.
+  bool enable_message_pool = true;
+  /// Slab size of the broker's message arena (control block + Message +
+  /// header/body text + property spill; see jms/message_arena.hpp).
+  std::size_t message_slab_size = 2048;
+  /// Slabs the arena pre-reserves; builds beyond this fall back to
+  /// one-off heap slabs, recycled by the same deleter.
+  std::size_t message_pool_slabs = 1024;
 };
 
 /// Monotonic counters describing broker activity (paper terminology:
@@ -328,7 +343,29 @@ class Broker {
   /// destination shard's ingress queue is full; returns false after
   /// shutdown.  Throws std::invalid_argument for an unknown topic (unless
   /// auto_create_topics is set) or an empty destination.
+  ///
+  /// With enable_message_pool (the default) a message whose content fits
+  /// one arena slab is deep-copied into the slab (zero further heap work);
+  /// oversized messages and pool-disabled brokers take the legacy
+  /// make_shared path.  Either way the published MessagePtr semantics are
+  /// identical.
   bool publish(Message message);
+
+  /// Zero-copy publish of an already-shared message — the natural sink of
+  /// message_builder().finish(), and the way to fan one message out to
+  /// several destinations without re-copying.  Same blocking/validation
+  /// contract as publish(Message).
+  bool publish(MessagePtr message);
+
+  /// A builder constructing the next message directly inside a pooled
+  /// slab: fill it, then publish(builder.finish()).  Steady-state
+  /// builder-publishes perform ZERO heap allocations (bench/ext_alloc).
+  /// Valid (and pooled) even when enable_message_pool is false — the flag
+  /// only gates the implicit adoption inside publish(Message).
+  [[nodiscard]] MessageBuilder message_builder() { return arena_.builder(); }
+
+  /// The broker's message arena (pool hit rate, bytes per publish).
+  [[nodiscard]] const MessageArena& message_arena() const { return arena_; }
 
   // --- lifecycle & stats -------------------------------------------------
   /// Stops accepting messages, drains every ingress queue, then closes
@@ -402,7 +439,7 @@ class Broker {
   /// core::HashRing consistent-hash contract in Partitioned mode, always 0
   /// in SharedQueue mode or with a single active dispatcher.  The answer
   /// changes across resize() calls.
-  [[nodiscard]] std::size_t shard_of(const std::string& destination) const;
+  [[nodiscard]] std::size_t shard_of(std::string_view destination) const;
 
   // --- elastic scaling --------------------------------------------------
   /// Live-resizes the Partitioned broker to `new_shards` dispatcher
@@ -490,12 +527,17 @@ class Broker {
       std::uint64_t epoch = 0;
     };
 
+    // Ingress rings are preallocated to capacity: a depth spike must not
+    // put a ring-doubling allocation on the publish path (the per-shard
+    // cost is bounded by ingress_capacity, unlike subscription queues).
     Shard(std::size_t shard_index, std::size_t capacity)
-        : index(shard_index), ingress(capacity) {}
+        : index(shard_index), ingress(capacity, /*preallocate=*/true) {}
 
     const std::size_t index;  ///< telemetry registry slot of this shard
     BlockingQueue<Item> ingress;
-    std::unordered_map<std::string, FilterGroupCache> filter_groups;
+    std::unordered_map<std::string, FilterGroupCache, core::TransparentStringHash,
+                       std::equal_to<>>
+        filter_groups;
     std::uint64_t local_received = 0;  ///< dispatcher-private pickup count
     /// Items fully routed (counters recorded, copies delivered).  Paired
     /// with ingress.total_pushed() so wait_until_idle() can tell an empty
@@ -526,14 +568,17 @@ class Broker {
   void deliver(Shard& shard, const std::shared_ptr<Subscription>& subscription,
                const MessagePtr& message, std::uint64_t& copies);
   bool enqueue_for_dispatch(MessagePtr message);
-  void require_topic(const std::string& name);
+  void require_topic(std::string_view name);
+  /// Shares a built Message: pooled deep copy when the pool is on and the
+  /// content fits one slab, legacy make_shared otherwise.
+  [[nodiscard]] MessagePtr to_shared(Message&& message);
   void bump_topology_version() {
     topology_version_.fetch_add(1, std::memory_order_relaxed);
   }
   /// Shard index owning `destination`; requires routing_mutex_ held
   /// (shared suffices).
   [[nodiscard]] std::size_t shard_index_locked(
-      const std::string& destination) const;
+      std::string_view destination) const;
 
   BrokerConfig config_;
   /// Matching strategy, frozen at construction (see filter_index_mode()).
@@ -542,13 +587,24 @@ class Broker {
   const std::uint32_t max_shards_;
 
   mutable std::shared_mutex topics_mutex_;
-  std::unordered_map<std::string, TopicEntry> topics_;
+  // Transparent hashing: the hot path looks topics and queues up by the
+  // message's destination string_view without materializing a std::string.
+  std::unordered_map<std::string, TopicEntry, core::TransparentStringHash,
+                     std::equal_to<>>
+      topics_;
   std::vector<PatternSubscription> pattern_subscriptions_;
   /// Wildcard patterns, indexed structurally: collect() replaces the
   /// linear pattern scan in every mode.  Guarded by topics_mutex_.
   TopicTrie pattern_trie_;
   std::unordered_map<std::string, std::shared_ptr<Subscription>> durables_;
-  std::unordered_map<std::string, std::shared_ptr<QueueReceiver::QueueState>> queues_;
+  std::unordered_map<std::string, std::shared_ptr<QueueReceiver::QueueState>,
+                     core::TransparentStringHash, std::equal_to<>>
+      queues_;
+
+  /// Slab pool behind publish(Message) adoption and message_builder().
+  /// Messages hold the pool alive through their deleter, so outstanding
+  /// MessagePtrs survive broker destruction.
+  MessageArena arena_;
 
   std::atomic<std::uint64_t> next_subscription_id_{1};
   std::atomic<std::uint64_t> next_temporary_id_{1};

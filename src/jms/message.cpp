@@ -1,10 +1,201 @@
 #include "jms/message.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <new>
 #include <stdexcept>
 
 namespace jmsperf::jms {
 
 namespace wk = selector::well_known;
+
+Message::~Message() {
+  const auto live_spill = static_cast<std::uint32_t>(spill_count());
+  for (std::uint32_t i = 0; i < live_spill; ++i) spill_[i].~Property();
+  if (spill_heap_) ::operator delete(spill_);
+  if (chars_heap_) delete[] chars_;
+}
+
+Message::Message(const Message& other) { copy_from(other); }
+
+Message& Message::operator=(const Message& other) {
+  if (this == &other) return *this;
+  clear();
+  copy_from(other);
+  return *this;
+}
+
+Message::Message(Message&& other) {
+  if (other.arena_backed()) {
+    // The source's char/spill regions live in the slab the source was
+    // allocated in; stealing them would dangle once that slab recycles.
+    copy_from(other);
+  } else {
+    steal_from(other);
+  }
+}
+
+Message& Message::operator=(Message&& other) {
+  if (this == &other) return *this;
+  clear();
+  if (other.arena_backed()) {
+    copy_from(other);
+  } else {
+    steal_from(other);
+  }
+  return *this;
+}
+
+void Message::copy_scalars(const Message& other) {
+  timestamp_ = other.timestamp_;
+  priority_ = other.priority_;
+  delivery_mode_ = other.delivery_mode_;
+  redelivered_ = other.redelivered_;
+}
+
+void Message::copy_from(const Message& other) {
+  for (unsigned f = 0; f < kNumFields; ++f) {
+    const FieldRef& ref = other.fields_[f];
+    if (ref.length == kInternedLength) {
+      fields_[f] = ref;  // symbol-table names are process-stable
+    } else if (ref.length != 0) {
+      set_field(static_cast<FieldIndex>(f), other.field(static_cast<FieldIndex>(f)));
+    }
+  }
+  for (std::uint32_t i = 0; i < other.property_count_; ++i) {
+    const Property& p = other.property_at(i);
+    append_property(p.id, selector::Value(p.value));
+  }
+  copy_scalars(other);
+}
+
+void Message::steal_from(Message& other) {
+  // Precondition: !other.arena_backed() — every block is heap or null.
+  chars_ = other.chars_;
+  chars_size_ = other.chars_size_;
+  chars_capacity_ = other.chars_capacity_;
+  chars_heap_ = other.chars_heap_;
+  spill_ = other.spill_;
+  spill_capacity_ = other.spill_capacity_;
+  spill_heap_ = other.spill_heap_;
+  property_count_ = other.property_count_;
+  std::memcpy(fields_, other.fields_, sizeof(fields_));
+  inline_properties_ = std::move(other.inline_properties_);
+  copy_scalars(other);
+
+  other.chars_ = nullptr;
+  other.chars_size_ = 0;
+  other.chars_capacity_ = 0;
+  other.chars_heap_ = false;
+  other.spill_ = nullptr;
+  other.spill_capacity_ = 0;
+  other.spill_heap_ = false;
+  other.property_count_ = 0;
+  std::memset(other.fields_, 0, sizeof(other.fields_));
+}
+
+void Message::clear() {
+  const auto live_spill = static_cast<std::uint32_t>(spill_count());
+  for (std::uint32_t i = 0; i < live_spill; ++i) spill_[i].~Property();
+  if (spill_heap_) {
+    ::operator delete(spill_);
+    spill_ = nullptr;
+    spill_capacity_ = 0;
+    spill_heap_ = false;
+  }
+  const std::uint32_t live_inline =
+      std::min(property_count_, kInlineProperties);
+  for (std::uint32_t i = 0; i < live_inline; ++i) {
+    inline_properties_[i] = Property{};  // releases owned string values
+  }
+  property_count_ = 0;
+  if (chars_heap_) {
+    delete[] chars_;
+    chars_ = nullptr;
+    chars_capacity_ = 0;
+    chars_heap_ = false;
+  }
+  chars_size_ = 0;
+  std::memset(fields_, 0, sizeof(fields_));
+  timestamp_ = 0.0;
+  priority_ = 4;
+  delivery_mode_ = DeliveryMode::Persistent;
+  redelivered_ = false;
+}
+
+void Message::bind_arena(char* chars, std::size_t chars_capacity, void* spill,
+                         std::size_t spill_capacity_bytes) {
+  chars_ = chars;
+  chars_capacity_ = static_cast<std::uint32_t>(chars_capacity);
+  chars_size_ = 0;
+  chars_heap_ = false;
+  spill_ = static_cast<Property*>(spill);
+  spill_capacity_ =
+      static_cast<std::uint32_t>(spill_capacity_bytes / sizeof(Property));
+  spill_heap_ = false;
+}
+
+std::uint32_t Message::append_chars(std::string_view text) {
+  if (text.size() >= kInternedLength - chars_size_) {
+    throw std::length_error("Message: header/body text too large");
+  }
+  const auto n = static_cast<std::uint32_t>(text.size());
+  if (chars_size_ + n > chars_capacity_) {
+    const std::uint32_t grown = std::max(
+        {chars_size_ + n, chars_capacity_ * 2, std::uint32_t{64}});
+    char* block = new char[grown];
+    // Copy the WHOLE used prefix so every existing field offset stays
+    // valid; the old block (arena region or heap) is abandoned/freed only
+    // after the append below, so `text` may alias it.
+    std::memcpy(block, chars_, chars_size_);
+    std::memcpy(block + chars_size_, text.data(), n);
+    char* old = chars_;
+    const bool old_heap = chars_heap_;
+    chars_ = block;
+    chars_capacity_ = grown;
+    chars_heap_ = true;
+    const std::uint32_t offset = chars_size_;
+    chars_size_ += n;
+    if (old_heap) delete[] old;
+    return offset;
+  }
+  if (n != 0) std::memcpy(chars_ + chars_size_, text.data(), n);
+  const std::uint32_t offset = chars_size_;
+  chars_size_ += n;
+  return offset;
+}
+
+void Message::set_field(FieldIndex f, std::string_view text) {
+  const auto n = static_cast<std::uint32_t>(text.size());
+  FieldRef& ref = fields_[f];
+  // Overwrite in place when the new text fits the field's current slot
+  // (repeated set_destination on a reused message does not leak block
+  // space); otherwise append to the block and abandon the old bytes.
+  if (ref.length != kInternedLength && n <= ref.length) {
+    if (n != 0) std::memmove(chars_ + ref.offset, text.data(), n);
+    ref.length = n;
+    return;
+  }
+  const std::uint32_t offset = append_chars(text);
+  fields_[f] = FieldRef{offset, n};
+}
+
+void Message::set_field_interned(FieldIndex f, selector::SymbolId id) {
+  selector::SymbolTable::global().name(id);  // validates the id
+  fields_[f] = FieldRef{id, kInternedLength};
+}
+
+std::size_t Message::compact_char_bytes() const {
+  std::size_t total = 0;
+  for (const FieldRef& ref : fields_) {
+    if (ref.length != kInternedLength) total += ref.length;
+  }
+  return total;
+}
+
+std::size_t Message::storage_bytes_used() const {
+  return chars_size_ + spill_count() * sizeof(Property);
+}
 
 void Message::set_priority(int priority) {
   if (priority < 0 || priority > 9) {
@@ -14,17 +205,45 @@ void Message::set_priority(int priority) {
 }
 
 void Message::set_property(selector::SymbolId id, selector::Value value) {
-  for (auto& property : properties_) {
+  for (std::uint32_t i = 0; i < property_count_; ++i) {
+    Property& property = property_at(i);
     if (property.id == id) {
-      property.value = std::move(value);
+      property.value = std::move(value);  // overwrite in place, order kept
       return;
     }
   }
-  properties_.push_back(Property{id, std::move(value)});
+  append_property(id, std::move(value));
+}
+
+void Message::append_property(selector::SymbolId id, selector::Value value) {
+  if (property_count_ < kInlineProperties) {
+    inline_properties_[property_count_] = Property{id, std::move(value)};
+    ++property_count_;
+    return;
+  }
+  const auto live_spill = static_cast<std::uint32_t>(spill_count());
+  if (live_spill == spill_capacity_) grow_spill(live_spill);
+  ::new (static_cast<void*>(spill_ + live_spill)) Property{id, std::move(value)};
+  ++property_count_;
+}
+
+void Message::grow_spill(std::uint32_t live_spill) {
+  const std::uint32_t grown =
+      std::max({live_spill + 1, spill_capacity_ * 2, std::uint32_t{4}});
+  auto* block = static_cast<Property*>(::operator new(grown * sizeof(Property)));
+  for (std::uint32_t i = 0; i < live_spill; ++i) {
+    ::new (static_cast<void*>(block + i)) Property(std::move(spill_[i]));
+    spill_[i].~Property();
+  }
+  if (spill_heap_) ::operator delete(spill_);
+  spill_ = block;
+  spill_capacity_ = grown;
+  spill_heap_ = true;
 }
 
 const selector::Value* Message::find_property(selector::SymbolId id) const {
-  for (const auto& property : properties_) {
+  for (std::uint32_t i = 0; i < property_count_; ++i) {
+    const Property& property = property_at(i);
     if (property.id == id) return &property.value;
   }
   return nullptr;
@@ -40,18 +259,26 @@ selector::Value Message::get(selector::SymbolId id) const {
   // (pre-interned first), so this switch resolves headers without any
   // string inspection.
   switch (id) {
-    case wk::kJmsCorrelationId:
-      return correlation_id_.empty() ? selector::Value{} : selector::Value(correlation_id_);
+    case wk::kJmsCorrelationId: {
+      const auto v = correlation_id();
+      return v.empty() ? selector::Value{} : selector::Value(std::string(v));
+    }
     case wk::kJmsPriority:
       return selector::Value(static_cast<std::int64_t>(priority_));
     case wk::kJmsTimestamp:
       return selector::Value(timestamp_);
-    case wk::kJmsMessageId:
-      return message_id_.empty() ? selector::Value{} : selector::Value(message_id_);
-    case wk::kJmsType:
-      return type_.empty() ? selector::Value{} : selector::Value(type_);
-    case wk::kJmsReplyTo:
-      return reply_to_.empty() ? selector::Value{} : selector::Value(reply_to_);
+    case wk::kJmsMessageId: {
+      const auto v = message_id();
+      return v.empty() ? selector::Value{} : selector::Value(std::string(v));
+    }
+    case wk::kJmsType: {
+      const auto v = type();
+      return v.empty() ? selector::Value{} : selector::Value(std::string(v));
+    }
+    case wk::kJmsReplyTo: {
+      const auto v = reply_to();
+      return v.empty() ? selector::Value{} : selector::Value(std::string(v));
+    }
     case wk::kJmsDeliveryMode:
       return selector::Value(delivery_mode_ == DeliveryMode::Persistent ? "PERSISTENT"
                                                                         : "NON_PERSISTENT");

@@ -5,19 +5,39 @@
 // the standard JMSxxx header identifiers in addition to the application
 // properties, as required by §3.8.1.1 of the spec.
 //
-// Properties are stored in a small flat vector keyed by interned
-// SymbolIds (selector/symbol_table.hpp) rather than a string-keyed map:
-// compiled selector programs pre-resolve identifiers to the same ids, so
-// the per-message filter hot path (paper Eq. 1's n_fltr * t_fltr term)
-// never hashes or compares property-name strings.  The string-keyed
-// setters/getters remain as thin wrappers over the interner.
+// Storage layout (the allocation-light publish path):
+//
+//   * The six string-valued headers and the body are NOT six owned
+//     std::strings.  They live in ONE append-only char block, each field
+//     a {offset, length} reference into it — so a message built through
+//     jms::MessageBuilder writes all of its text into the slab it was
+//     allocated in and the getters hand out std::string_view.  A field
+//     can alternatively reference an interned selector::SymbolId (the
+//     symbol table hands out process-stable names), which costs zero
+//     bytes of char block.
+//   * Application properties are keyed by interned SymbolIds
+//     (selector/symbol_table.hpp): compiled selector programs pre-resolve
+//     identifiers to the same ids, so the per-message filter hot path
+//     (paper Eq. 1's n_fltr * t_fltr term) never hashes or compares
+//     property-name strings.  The first kInlineProperties properties are
+//     stored INLINE in the message object; further ones spill to the
+//     arena region bound by the builder (or to the heap).
+//   * Re-setting an existing property OVERWRITES it in place, preserving
+//     insertion order (it never appends a duplicate id) — identical
+//     semantics on the legacy heap path and the arena path.
+//
+// A message constructed without an arena behaves like it always did: the
+// char block and the property spill go to the heap on demand.  Copying a
+// message always deep-copies to the heap (an arena-backed source keeps
+// sole ownership of its slab); moving steals the heap blocks, or falls
+// back to a deep copy when the source is arena-backed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "selector/evaluator.hpp"
 #include "selector/symbol_table.hpp"
@@ -29,18 +49,33 @@ enum class DeliveryMode : std::uint8_t { NonPersistent = 1, Persistent = 2 };
 
 class Message final : public selector::PropertySource {
  public:
+  /// Properties stored inline in the message object before spilling.
+  static constexpr std::uint32_t kInlineProperties = 8;
+
   Message() = default;
+  ~Message() override;
+
+  Message(const Message& other);
+  Message& operator=(const Message& other);
+  /// Steals the heap blocks; deep-copies when `other` is arena-backed
+  /// (its char/spill regions belong to the slab `other` lives in).
+  Message(Message&& other);
+  Message& operator=(Message&& other);
 
   // --- header fields -------------------------------------------------
-  [[nodiscard]] const std::string& message_id() const { return message_id_; }
-  void set_message_id(std::string id) { message_id_ = std::move(id); }
+  [[nodiscard]] std::string_view message_id() const { return field(kMessageId); }
+  void set_message_id(std::string_view id) { set_field(kMessageId, id); }
 
   /// 128-byte correlation string used by correlation-ID filters.
-  [[nodiscard]] const std::string& correlation_id() const { return correlation_id_; }
-  void set_correlation_id(std::string id) { correlation_id_ = std::move(id); }
+  [[nodiscard]] std::string_view correlation_id() const {
+    return field(kCorrelationId);
+  }
+  void set_correlation_id(std::string_view id) { set_field(kCorrelationId, id); }
 
-  [[nodiscard]] const std::string& type() const { return type_; }
-  void set_type(std::string type) { type_ = std::move(type); }
+  [[nodiscard]] std::string_view type() const { return field(kType); }
+  void set_type(std::string_view type) { set_field(kType, type); }
+  /// Interned variant: references the symbol table's stable name, no copy.
+  void set_type(selector::SymbolId id) { set_field_interned(kType, id); }
 
   /// JMS priority, 0 (lowest) .. 9; default 4 per the spec.
   [[nodiscard]] int priority() const { return priority_; }
@@ -53,23 +88,33 @@ class Message final : public selector::PropertySource {
   [[nodiscard]] DeliveryMode delivery_mode() const { return delivery_mode_; }
   void set_delivery_mode(DeliveryMode mode) { delivery_mode_ = mode; }
 
-  [[nodiscard]] const std::string& destination() const { return destination_; }
-  void set_destination(std::string topic) { destination_ = std::move(topic); }
+  [[nodiscard]] std::string_view destination() const {
+    return field(kDestination);
+  }
+  void set_destination(std::string_view topic) { set_field(kDestination, topic); }
+  /// Interned variant for hot publishers that reuse one destination.
+  void set_destination(selector::SymbolId id) {
+    set_field_interned(kDestination, id);
+  }
 
   /// Destination a consumer should send replies to (JMSReplyTo); used with
   /// temporary topics for the request/reply pattern.
-  [[nodiscard]] const std::string& reply_to() const { return reply_to_; }
-  void set_reply_to(std::string destination) { reply_to_ = std::move(destination); }
+  [[nodiscard]] std::string_view reply_to() const { return field(kReplyTo); }
+  void set_reply_to(std::string_view destination) {
+    set_field(kReplyTo, destination);
+  }
 
   [[nodiscard]] bool redelivered() const { return redelivered_; }
   void set_redelivered(bool r) { redelivered_ = r; }
 
   // --- application properties -----------------------------------------
-  /// Sets a property, interning the name; overwrites an existing value.
+  /// Sets a property, interning the name; overwrites an existing value IN
+  /// PLACE (insertion order preserved, never a duplicate id).
   void set_property(std::string_view name, selector::Value value) {
     set_property(selector::SymbolTable::global().intern(name), std::move(value));
   }
   /// Sets a property by pre-interned id (the zero-string-work fast path).
+  /// Same overwrite-in-place contract as the name-keyed setter.
   void set_property(selector::SymbolId id, selector::Value value);
 
   void set_property(std::string_view name, bool v) { set_property(name, selector::Value(v)); }
@@ -81,7 +126,7 @@ class Message final : public selector::PropertySource {
 
   /// Heterogeneous lookup: never constructs a temporary std::string.
   [[nodiscard]] bool has_property(std::string_view name) const;
-  [[nodiscard]] std::size_t property_count() const { return properties_.size(); }
+  [[nodiscard]] std::size_t property_count() const { return property_count_; }
 
   /// Property lookup for selector evaluation.  Resolves the standard
   /// JMSxxx header identifiers as well as user properties; absent names
@@ -96,26 +141,119 @@ class Message final : public selector::PropertySource {
   // --- payload ---------------------------------------------------------
   /// The paper's experiments use a 0-byte body ("the full information is
   /// contained in the message headers"); arbitrary bodies are supported.
-  [[nodiscard]] const std::string& body() const { return body_; }
-  void set_body(std::string body) { body_ = std::move(body); }
-  [[nodiscard]] std::size_t body_size() const { return body_.size(); }
+  [[nodiscard]] std::string_view body() const { return field(kBody); }
+  void set_body(std::string_view body) { set_field(kBody, body); }
+  [[nodiscard]] std::size_t body_size() const { return field(kBody).size(); }
+
+  // --- storage introspection (arena/bench plumbing) ---------------------
+  /// True while the char block or spill block points into a bound arena
+  /// region (cleared if either overflowed to the heap).
+  [[nodiscard]] bool arena_backed() const {
+    return (chars_ != nullptr && !chars_heap_) ||
+           (spill_ != nullptr && !spill_heap_);
+  }
+
+  /// Bytes of field/body text a compacting copy of this message needs
+  /// (abandoned bytes from overwritten fields excluded; interned fields
+  /// cost zero).
+  [[nodiscard]] std::size_t compact_char_bytes() const;
+
+  /// Properties beyond the inline store.
+  [[nodiscard]] std::size_t spill_count() const {
+    return property_count_ > kInlineProperties
+               ? property_count_ - kInlineProperties
+               : 0;
+  }
+
+  /// Content bytes currently placed in the message's storage regions
+  /// (char block fill plus spill block fill) — the arena's
+  /// bytes-per-publish statistic.
+  [[nodiscard]] std::size_t storage_bytes_used() const;
 
  private:
+  friend class MessageArena;  // binds the slab's char/spill regions
+
   struct Property {
-    selector::SymbolId id;
+    selector::SymbolId id = selector::kNoSymbol;
     selector::Value value;
   };
+
+  enum FieldIndex : unsigned {
+    kMessageId = 0,
+    kCorrelationId,
+    kType,
+    kDestination,
+    kReplyTo,
+    kBody,
+    kNumFields,
+  };
+
+  /// One header/body field: a span of the char block, or — when length
+  /// is kInternedLength — `offset` holds a SymbolId and the text is the
+  /// symbol table's stable name.
+  struct FieldRef {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+  static constexpr std::uint32_t kInternedLength = 0xFFFFFFFFu;
+
+  [[nodiscard]] std::string_view field(FieldIndex f) const {
+    const FieldRef& ref = fields_[f];
+    if (ref.length == kInternedLength) {
+      return selector::SymbolTable::global().name(ref.offset);
+    }
+    return {chars_ + ref.offset, ref.length};
+  }
+  void set_field(FieldIndex f, std::string_view text);
+  void set_field_interned(FieldIndex f, selector::SymbolId id);
+
+  /// Appends into the char block, growing onto the heap when the current
+  /// region (arena or heap) is full.  The whole used prefix is copied on
+  /// growth, so existing field offsets stay valid.
+  std::uint32_t append_chars(std::string_view text);
+
+  [[nodiscard]] Property& property_at(std::uint32_t i) {
+    return i < kInlineProperties ? inline_properties_[i]
+                                 : spill_[i - kInlineProperties];
+  }
+  [[nodiscard]] const Property& property_at(std::uint32_t i) const {
+    return i < kInlineProperties ? inline_properties_[i]
+                                 : spill_[i - kInlineProperties];
+  }
+  void append_property(selector::SymbolId id, selector::Value value);
+  void grow_spill(std::uint32_t live_spill);
 
   /// Stored property by id, or nullptr (headers are NOT in this store).
   [[nodiscard]] const selector::Value* find_property(selector::SymbolId id) const;
 
-  std::string message_id_;
-  std::string correlation_id_;
-  std::string type_;
-  std::string destination_;
-  std::string reply_to_;
-  std::string body_;
-  std::vector<Property> properties_;  // unique ids, insertion order
+  /// Arena binding (MessageArena): hands the message the slab regions
+  /// that follow it.  Must be called on a fresh (empty) message.
+  void bind_arena(char* chars, std::size_t chars_capacity, void* spill,
+                  std::size_t spill_capacity_bytes);
+
+  /// Destroys spill elements and frees owned heap blocks; leaves bound
+  /// arena regions in place (empty) and heap state reset to null.
+  void clear();
+  void copy_from(const Message& other);
+  void steal_from(Message& other);
+  void copy_scalars(const Message& other);
+
+  // Char block: either a bound arena region or an owned heap block.
+  char* chars_ = nullptr;
+  std::uint32_t chars_size_ = 0;
+  std::uint32_t chars_capacity_ = 0;
+  bool chars_heap_ = false;  ///< chars_ owned via operator delete[]
+
+  // Property spill beyond the inline store: raw slots, constructed on
+  // append (bound arena region or owned heap block).
+  Property* spill_ = nullptr;
+  std::uint32_t spill_capacity_ = 0;  ///< slots
+  bool spill_heap_ = false;
+
+  std::uint32_t property_count_ = 0;
+  FieldRef fields_[kNumFields] = {};
+  std::array<Property, kInlineProperties> inline_properties_ = {};
+
   double timestamp_ = 0.0;
   int priority_ = 4;
   DeliveryMode delivery_mode_ = DeliveryMode::Persistent;
@@ -124,7 +262,9 @@ class Message final : public selector::PropertySource {
 
 /// Messages are routed by shared pointer: dispatching a message to R
 /// subscribers ("replication grade R", paper Sec. III-B.1) shares one
-/// immutable instance rather than deep-copying R times.
+/// immutable instance rather than deep-copying R times.  Arena-built
+/// messages carry an allocator-aware control block whose deleter recycles
+/// the slab into the pool (and keeps the pool alive until the last ref).
 using MessagePtr = std::shared_ptr<const Message>;
 
 }  // namespace jmsperf::jms

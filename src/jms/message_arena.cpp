@@ -1,0 +1,137 @@
+#include "jms/message_arena.hpp"
+
+#include <new>
+#include <stdexcept>
+
+namespace jmsperf::jms {
+
+namespace {
+
+/// Where allocate_shared's single combined allocation landed and how many
+/// bytes of the slab it consumed (control block + Message).  Only read
+/// during the allocate() call itself — the allocator copy the control
+/// block stores for later deallocation never touches it.
+struct AllocRecord {
+  void* base = nullptr;
+  std::size_t bytes = 0;
+};
+
+/// Allocator whose allocate() hands out one pooled slab and whose
+/// deallocate() recycles it.  Holding the pool by shared_ptr is the
+/// lifetime contract: the control block keeps a copy of this allocator,
+/// so the pool survives until the LAST MessagePtr drops — a subscriber
+/// can hold a message long after the arena and broker are gone.
+template <typename T>
+struct SlabAllocator {
+  using value_type = T;
+
+  std::shared_ptr<core::SlabPool> pool;
+  AllocRecord* record;
+
+  SlabAllocator(std::shared_ptr<core::SlabPool> p, AllocRecord* r)
+      : pool(std::move(p)), record(r) {}
+  template <typename U>
+  SlabAllocator(const SlabAllocator<U>& other)  // NOLINT(google-explicit-constructor)
+      : pool(other.pool), record(other.record) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (bytes > pool->slab_size()) throw std::bad_alloc();
+    void* slab = pool->acquire();
+    if (record != nullptr) {
+      record->base = slab;
+      record->bytes = bytes;
+    }
+    return static_cast<T*>(slab);
+  }
+  void deallocate(T* p, std::size_t) noexcept { pool->release(p); }
+
+  template <typename U>
+  bool operator==(const SlabAllocator<U>& other) const {
+    return pool == other.pool;
+  }
+};
+
+std::size_t align_up(std::size_t n, std::size_t alignment) {
+  return (n + alignment - 1) / alignment * alignment;
+}
+
+/// Builds with no char-region headroom would overflow to the heap on the
+/// first set_destination — refuse such slab sizes loudly instead.
+constexpr std::size_t kMinCharRegion = 64;
+
+}  // namespace
+
+MessageArena::MessageArena(Config config)
+    : config_(config),
+      pool_(std::make_shared<core::SlabPool>(config.slab_size,
+                                             config.pool_slabs)) {
+  // Probe the control-block overhead once: allocate_shared's combined
+  // block size is an implementation detail we can only observe.
+  AllocRecord record;
+  { auto probe = std::allocate_shared<Message>(SlabAllocator<Message>(pool_, &record)); }
+  header_bytes_ = align_up(record.bytes, alignof(std::max_align_t));
+  const std::size_t slab = pool_->slab_size();
+  const std::size_t spill_bytes =
+      config_.spill_slots * sizeof(Message::Property);
+  if (header_bytes_ + kMinCharRegion + spill_bytes +
+          alignof(std::max_align_t) >
+      slab) {
+    throw std::invalid_argument(
+        "MessageArena: slab_size " + std::to_string(config_.slab_size) +
+        " cannot hold the message header (" + std::to_string(header_bytes_) +
+        " B), " + std::to_string(config_.spill_slots) +
+        " spill slots and a " + std::to_string(kMinCharRegion) +
+        " B char region — raise slab_size or lower spill_slots");
+  }
+  spill_offset_ = (slab - spill_bytes) / alignof(std::max_align_t) *
+                  alignof(std::max_align_t);
+  char_capacity_ = spill_offset_ - header_bytes_;
+  baseline_ = pool_->stats();
+}
+
+std::shared_ptr<Message> MessageArena::allocate() {
+  AllocRecord record;
+  auto message =
+      std::allocate_shared<Message>(SlabAllocator<Message>(pool_, &record));
+  auto* base = static_cast<char*>(record.base);
+  message->bind_arena(base + header_bytes_, char_capacity_,
+                      base + spill_offset_,
+                      pool_->slab_size() - spill_offset_);
+  return message;
+}
+
+MessageBuilder MessageArena::builder() { return {this, allocate()}; }
+
+MessagePtr MessageArena::adopt(const Message& message) {
+  auto pooled = allocate();
+  // Copy assignment appends the source's text and spill into the bound
+  // arena regions (falling back to the heap only if the content doesn't
+  // fit — fits() lets callers route such messages elsewhere).
+  *pooled = message;
+  seal(*pooled);
+  return pooled;
+}
+
+void MessageArena::seal(const Message& message) {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  content_bytes_.fetch_add(message.storage_bytes_used(),
+                           std::memory_order_relaxed);
+}
+
+MessageArena::Stats MessageArena::stats() const {
+  const core::SlabPool::Stats p = pool_->stats();
+  Stats s;
+  s.messages = messages_.load(std::memory_order_relaxed);
+  s.pool_hits = p.pool_hits - baseline_.pool_hits;
+  s.heap_fallbacks = p.heap_fallbacks - baseline_.heap_fallbacks;
+  s.content_bytes = content_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+MessagePtr MessageBuilder::finish() {
+  arena_->seal(*message_);
+  return MessagePtr(std::move(message_));
+}
+
+}  // namespace jmsperf::jms

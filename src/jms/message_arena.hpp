@@ -1,0 +1,139 @@
+// Slab-backed message construction: the allocation-light publish path.
+//
+// A MessageArena owns a core::SlabPool and builds every message INSIDE
+// one slab via std::allocate_shared: the shared_ptr control block, the
+// Message object, a char region for the header/body text and a property
+// spill region are co-located in the slab —
+//
+//   [ control block | Message | char region ............ | spill region ]
+//   '---------------- one pooled slab (64-byte aligned) ---------------'
+//
+// so a steady-state publish() performs ZERO heap allocations (gated by
+// bench/ext_alloc).  When the last MessagePtr reference drops, the
+// allocator-aware deleter releases the slab back into the pool; the
+// allocator holds a shared_ptr to the pool, so messages may outlive the
+// arena (and the broker) safely — the pool dies with the last slab.
+//
+// Overflow is graceful at every level: a message whose text outgrows the
+// char region migrates its block to the heap (offsets preserved), extra
+// properties beyond the spill region heap-double, and an exhausted pool
+// serves one-off aligned heap slabs that the same deleter frees.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/slab_pool.hpp"
+#include "jms/message.hpp"
+
+namespace jmsperf::jms {
+
+class MessageArena;
+
+/// In-place builder over one pooled slab.  Obtain from
+/// MessageArena::builder() (or Broker::message_builder()), fill the
+/// message through msg()/operator->, then finish() to seal it into a
+/// MessagePtr.  One-shot: finish() empties the builder.
+class MessageBuilder {
+ public:
+  [[nodiscard]] Message& msg() { return *message_; }
+  Message* operator->() { return message_.get(); }
+
+  /// Seals the message (records arena statistics) and returns the shared
+  /// immutable handle whose deleter recycles the slab.
+  [[nodiscard]] MessagePtr finish();
+
+ private:
+  friend class MessageArena;
+  MessageBuilder(MessageArena* arena, std::shared_ptr<Message> message)
+      : arena_(arena), message_(std::move(message)) {}
+
+  MessageArena* arena_;
+  std::shared_ptr<Message> message_;
+};
+
+class MessageArena {
+ public:
+  struct Config {
+    /// Bytes per slab (control block + Message + char region + spill).
+    std::size_t slab_size = 2048;
+    /// Slabs reserved in the pool; beyond this, builds fall back to
+    /// one-off heap slabs (still recycled by the same deleter).
+    std::size_t pool_slabs = 1024;
+    /// Property-spill slots carved out of each slab (capacity for
+    /// properties beyond Message::kInlineProperties before any build
+    /// touches the heap).
+    std::size_t spill_slots = 4;
+  };
+
+  struct Stats {
+    std::uint64_t messages = 0;        ///< sealed builds + adoptions
+    std::uint64_t pool_hits = 0;       ///< slabs served from the pool
+    std::uint64_t heap_fallbacks = 0;  ///< pool exhausted at acquire
+    std::uint64_t content_bytes = 0;   ///< text+spill bytes placed in slabs
+
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t total = pool_hits + heap_fallbacks;
+      return total == 0 ? 1.0
+                        : static_cast<double>(pool_hits) /
+                              static_cast<double>(total);
+    }
+    [[nodiscard]] double bytes_per_message() const {
+      return messages == 0 ? 0.0
+                           : static_cast<double>(content_bytes) /
+                                 static_cast<double>(messages);
+    }
+  };
+
+  /// Throws std::invalid_argument when slab_size cannot hold the control
+  /// block, the Message, the spill slots and a minimum char region (the
+  /// split is probed with one throwaway build at construction).
+  explicit MessageArena(Config config);
+  MessageArena() : MessageArena(Config{}) {}
+
+  MessageArena(const MessageArena&) = delete;
+  MessageArena& operator=(const MessageArena&) = delete;
+
+  /// A fresh builder over one acquired slab.
+  [[nodiscard]] MessageBuilder builder();
+
+  /// Pooled deep copy of a prebuilt message: the copy's text and spill
+  /// land in the slab.  Use fits() first — an oversized message still
+  /// copies correctly but overflows onto the heap.
+  [[nodiscard]] MessagePtr adopt(const Message& message);
+
+  /// Whether adopt(message) stays inside one slab.
+  [[nodiscard]] bool fits(const Message& message) const {
+    return message.compact_char_bytes() <= char_capacity_ &&
+           message.spill_count() <= config_.spill_slots;
+  }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  /// Char-region bytes available to each build.
+  [[nodiscard]] std::size_t char_capacity() const { return char_capacity_; }
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const std::shared_ptr<core::SlabPool>& pool() const {
+    return pool_;
+  }
+
+ private:
+  friend class MessageBuilder;
+
+  /// allocate_shared in a slab + region binding.
+  [[nodiscard]] std::shared_ptr<Message> allocate();
+  void seal(const Message& message);
+
+  Config config_;
+  std::shared_ptr<core::SlabPool> pool_;
+  std::size_t header_bytes_ = 0;   ///< control block + Message, probed
+  std::size_t char_capacity_ = 0;  ///< char region bytes per slab
+  std::size_t spill_offset_ = 0;   ///< spill region offset within a slab
+  core::SlabPool::Stats baseline_{};  ///< pool stats after the probe build
+
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> content_bytes_{0};
+};
+
+}  // namespace jmsperf::jms

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/transparent_hash.hpp"
 #include "jms/filter.hpp"
 #include "jms/message.hpp"
 #include "jms/subscription.hpp"
@@ -209,7 +210,11 @@ class PredicateIndex {
                          selector::PredicateKey::Hash>>
       equality_;
   std::unordered_map<selector::SymbolId, std::vector<GroupId>> ranges_;
-  std::unordered_map<std::string, std::vector<GroupId>> correlation_exact_;
+  // Transparent hashing: probed with the message's correlation_id
+  // string_view — no temporary std::string on the match hot path.
+  std::unordered_map<std::string, std::vector<GroupId>,
+                     core::TransparentStringHash, std::equal_to<>>
+      correlation_exact_;
   std::vector<GroupId> scan_;
 
   std::size_t subscription_count_ = 0;

@@ -67,7 +67,19 @@ Monitor::~Monitor() { stop(); }
 
 EpochReport Monitor::tick() {
   std::lock_guard lock(mutex_);
-  window_.rotate(telemetry_.snapshot(), std::chrono::steady_clock::now());
+  TelemetrySnapshot snapshot = telemetry_.snapshot();
+  // An elastic broker (one that can or did rebalance topics across
+  // shards) exports `elastic_broker` = 1: its deliberate rebalances are
+  // indistinguishable from the partition skew the imbalance detector
+  // hunts, so the detector auto-disables instead of crying wolf.
+  bool elastic = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "elastic_broker" && value > 0.0) {
+      elastic = true;
+      break;
+    }
+  }
+  window_.rotate(snapshot, std::chrono::steady_clock::now());
   const WindowView view = window_.view(config_.window_epochs);
 
   EpochReport r;
@@ -150,8 +162,14 @@ EpochReport Monitor::tick() {
     }
 
     // (c) shard imbalance (Partitioned mode, k > 1): hottest shard's
-    // windowed arrivals against the fair share.
-    if (config_.check_shard_imbalance && view.shards.size() > 1) {
+    // windowed arrivals against the fair share.  Auto-disabled for
+    // elastic brokers — their rebalances ARE skew, on purpose.
+    if (config_.check_shard_imbalance && elastic && view.shards.size() > 1) {
+      r.imbalance_skipped_elastic = true;
+      imbalance_streak_ = 0;
+      imbalance_active_ = false;
+    }
+    if (config_.check_shard_imbalance && !elastic && view.shards.size() > 1) {
       std::uint64_t hottest = 0;
       for (const auto& shard : view.shards) {
         hottest = std::max(hottest, shard[Counter::Received]);

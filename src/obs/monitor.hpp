@@ -96,6 +96,13 @@ struct MonitorConfig {
   double imbalance_ratio = 2.0;
   /// Consecutive offending epochs before an imbalance alert.
   std::size_t imbalance_epochs = 2;
+  /// Run the shard-imbalance detector (Partitioned mode, k > 1).  Even
+  /// when true the detector AUTO-DISABLES while the attached broker is
+  /// elastic (its telemetry exports an `elastic_broker` gauge > 0): a
+  /// deliberate hash-ring rebalance concentrates a topic's arrivals on
+  /// its new shard in exactly the pattern the detector reads as
+  /// partition skew.  EpochReport::imbalance_skipped_elastic records the
+  /// skip.  Set false to turn the detector off entirely.
   bool check_shard_imbalance = true;
   /// Bounded alert sink: oldest alerts are evicted (and counted) beyond
   /// this size.
@@ -137,6 +144,10 @@ struct EpochReport {
   double drift_statistic = 0.0;      ///< CUSUM statistic after update
   double imbalance = 0.0;            ///< hottest shard / fair share
   bool detectors_ran = false;        ///< false when the window was thin
+  /// The imbalance detector was suppressed because the attached broker
+  /// is elastic (`elastic_broker` gauge > 0); see
+  /// MonitorConfig::check_shard_imbalance.
+  bool imbalance_skipped_elastic = false;
 };
 
 class Monitor {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -44,7 +45,7 @@ struct TraceRecord {
   std::int64_t filters_done_ns = 0;      ///< filter loop finished
   std::int64_t done_ns = 0;              ///< last delivery finished
 
-  void set_destination(const std::string& name) {
+  void set_destination(std::string_view name) {
     const std::size_t n = std::min(name.size(), sizeof(destination) - 1);
     std::memcpy(destination, name.data(), n);
     destination[n] = '\0';

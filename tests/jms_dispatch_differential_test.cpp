@@ -120,7 +120,7 @@ std::map<std::string, std::vector<std::string>> broker_sequences(
   for (const auto& spec : specs) {
     auto& sequence = sequences[spec.name];
     while (auto message = subs[spec.name]->try_receive()) {
-      sequence.push_back((*message)->correlation_id());
+      sequence.emplace_back((*message)->correlation_id());
     }
   }
   return sequences;

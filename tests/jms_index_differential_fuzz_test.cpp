@@ -224,6 +224,9 @@ TEST(IndexDifferentialFuzz, IndexedRoutingMatchesAstOracleExactly) {
     config.num_dispatchers = (round % 3 == 2) ? 2 : 1;
     config.dispatch_mode =
         (round % 2 == 0) ? DispatchMode::Partitioned : DispatchMode::SharedQueue;
+    // Alternate the arena-backed publish path with the legacy heap path
+    // so the differential oracle also covers pooled message storage.
+    config.enable_message_pool = (round % 2 == 1);
     Broker broker(config);
     for (const auto& topic : kTopics) broker.create_topic(topic);
 
@@ -235,7 +238,16 @@ TEST(IndexDifferentialFuzz, IndexedRoutingMatchesAstOracleExactly) {
     for (std::uint64_t i = 0; i < this_round; ++i, ++done) {
       Message message = builder.random_message();
       const Message oracle_view = message;  // routed copy is moved away
-      ASSERT_TRUE(broker.publish(std::move(message)));
+      if (config.enable_message_pool && i % 2 == 1 &&
+          broker.message_arena().fits(message)) {
+        // Exercise the MessageBuilder front door too: construct the same
+        // message directly in a pooled slab and publish the MessagePtr.
+        auto pooled = broker.message_builder();
+        pooled.msg() = message;
+        ASSERT_TRUE(broker.publish(pooled.finish()));
+      } else {
+        ASSERT_TRUE(broker.publish(std::move(message)));
+      }
       broker.wait_until_idle();
       for (auto& sub : population) {
         if (sub.topic_matches(oracle_view.destination()) &&

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "jms/filter.hpp"
+#include "jms/message_arena.hpp"
 #include "selector/errors.hpp"
 #include "selector/selector.hpp"
 
@@ -54,6 +55,55 @@ TEST(Message, PropertyOverwrite) {
   m.set_property("x", "now a string");
   EXPECT_TRUE(m.get("x").is_string());
   EXPECT_EQ(m.property_count(), 1u);
+}
+
+TEST(Message, DuplicatePropertyIdOverwritesInPlace) {
+  // The duplicate-id contract on the legacy (heap) path: re-setting an
+  // existing property replaces its value without appending a duplicate,
+  // both in the inline store and in the spill (> kInlineProperties).
+  Message m;
+  const int total = static_cast<int>(Message::kInlineProperties) + 3;
+  for (int i = 0; i < total; ++i) {
+    m.set_property("p" + std::to_string(i), i);
+  }
+  ASSERT_EQ(m.property_count(), static_cast<std::size_t>(total));
+  m.set_property("p0", 1000);          // inline slot
+  m.set_property("p" + std::to_string(total - 1), 2000);  // spill slot
+  EXPECT_EQ(m.property_count(), static_cast<std::size_t>(total))
+      << "overwrite must never append a duplicate id";
+  EXPECT_EQ(m.get("p0").as_long(), 1000);
+  EXPECT_EQ(m.get("p" + std::to_string(total - 1)).as_long(), 2000);
+  for (int i = 1; i < total - 1; ++i) {  // neighbours untouched
+    EXPECT_EQ(m.get("p" + std::to_string(i)).as_long(), i);
+  }
+  // Overwrite may change the value's type, like JMS setObjectProperty.
+  const auto id = selector::SymbolTable::global().intern("p1");
+  m.set_property(id, selector::Value("now a string"));
+  EXPECT_TRUE(m.get("p1").is_string());
+  EXPECT_EQ(m.property_count(), static_cast<std::size_t>(total));
+}
+
+TEST(Message, DuplicatePropertyIdOverwritesInPlaceOnTheArenaPath) {
+  // Identical duplicate-id semantics when the message lives in a pooled
+  // slab (MessageBuilder): the overwrite happens in the slab's inline or
+  // spill storage, never by appending.
+  MessageArena arena;
+  auto builder = arena.builder();
+  builder->set_destination("t");
+  const int total = static_cast<int>(Message::kInlineProperties) + 2;
+  for (int i = 0; i < total; ++i) {
+    builder->set_property("q" + std::to_string(i), i);
+  }
+  builder->set_property("q0", 1000);
+  builder->set_property("q" + std::to_string(total - 1), 2000);
+  EXPECT_TRUE(builder.msg().arena_backed());
+  const MessagePtr m = builder.finish();
+  EXPECT_EQ(m->property_count(), static_cast<std::size_t>(total));
+  EXPECT_EQ(m->get("q0").as_long(), 1000);
+  EXPECT_EQ(m->get("q" + std::to_string(total - 1)).as_long(), 2000);
+  for (int i = 1; i < total - 1; ++i) {
+    EXPECT_EQ(m->get("q" + std::to_string(i)).as_long(), i);
+  }
 }
 
 TEST(Message, HeaderFieldsVisibleToSelectors) {

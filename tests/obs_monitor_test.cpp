@@ -233,6 +233,81 @@ TEST(Monitor, PartitionSkewRaisesImbalanceAfterStreak) {
   EXPECT_EQ(count_cause(monitor.alerts(), AlertCause::ShardImbalance), 1u);
 }
 
+TEST(Monitor, ElasticBrokerAutoDisablesTheImbalanceDetector) {
+  // Same skew pattern as PartitionSkewRaisesImbalanceAfterStreak, but the
+  // broker is ELASTIC (max_dispatchers > num_dispatchers): its hash-ring
+  // rebalances legitimately concentrate topics, so the monitor must skip
+  // the imbalance detector instead of requiring the caller to remember
+  // `check_shard_imbalance = false`.
+  jms::BrokerConfig broker_config;
+  broker_config.num_dispatchers = 2;
+  broker_config.max_dispatchers = 4;  // elastic: resize() headroom
+  broker_config.auto_create_topics = true;
+  jms::Broker broker(broker_config);
+  std::string on_zero, on_one;
+  for (int i = 0; on_zero.empty() || on_one.empty(); ++i) {
+    const std::string name = "t" + std::to_string(i);
+    (broker.shard_of(name) == 0 ? on_zero : on_one) = name;
+  }
+  auto sub_zero = broker.subscribe(on_zero, jms::SubscriptionFilter::none());
+  auto sub_one = broker.subscribe(on_one, jms::SubscriptionFilter::none());
+
+  MonitorConfig config;
+  config.min_window_received = 100;
+  config.imbalance_ratio = 1.5;
+  config.imbalance_epochs = 1;  // would alarm on every skewed epoch
+  Monitor monitor(broker.telemetry(), broker.window(), config);
+
+  EpochReport report;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (int i = 0; i < 400; ++i) {
+      jms::Message m;
+      m.set_destination(on_zero);
+      broker.publish(std::move(m));
+    }
+    broker.wait_until_idle();
+    report = monitor.tick();
+  }
+  ASSERT_TRUE(report.detectors_ran);
+  EXPECT_TRUE(report.imbalance_skipped_elastic);
+  EXPECT_DOUBLE_EQ(report.imbalance, 0.0);
+  EXPECT_EQ(count_cause(monitor.alerts(), AlertCause::ShardImbalance), 0u)
+      << "an elastic broker's skew is deliberate rebalancing, not an alert";
+}
+
+TEST(Monitor, StaticBrokerStillReportsImbalanceNotSkipped) {
+  // Guard the other side of the auto-disable: a static broker (no resize
+  // headroom, no completed resizes) keeps the detector armed.
+  jms::BrokerConfig broker_config;
+  broker_config.num_dispatchers = 2;
+  broker_config.auto_create_topics = true;
+  jms::Broker broker(broker_config);
+  std::string on_zero;
+  for (int i = 0; on_zero.empty(); ++i) {
+    const std::string name = "t" + std::to_string(i);
+    if (broker.shard_of(name) == 0) on_zero = name;
+  }
+  auto sub = broker.subscribe(on_zero, jms::SubscriptionFilter::none());
+
+  MonitorConfig config;
+  config.min_window_received = 100;
+  config.imbalance_ratio = 1.5;
+  config.imbalance_epochs = 1;
+  Monitor monitor(broker.telemetry(), broker.window(), config);
+
+  for (int i = 0; i < 400; ++i) {
+    jms::Message m;
+    m.set_destination(on_zero);
+    broker.publish(std::move(m));
+  }
+  broker.wait_until_idle();
+  const EpochReport report = monitor.tick();
+  ASSERT_TRUE(report.detectors_ran);
+  EXPECT_FALSE(report.imbalance_skipped_elastic);
+  EXPECT_NEAR(report.imbalance, 2.0, 1e-9);
+  EXPECT_EQ(count_cause(monitor.alerts(), AlertCause::ShardImbalance), 1u);
+}
+
 TEST(Monitor, BoundedSinkEvictsOldestAndCountsThem) {
   jms::BrokerConfig broker_config;
   broker_config.num_dispatchers = 2;
