@@ -9,6 +9,9 @@
 //
 //   micro_obs            table of ns/message for n_fltr in {0, 32, 256}
 //   micro_obs --gate     bare best-of-trials ns/message at n_fltr = 256
+//   micro_obs --recorder combinable: run with the always-on flight
+//                        recorder, so --gate --recorder vs the baseline
+//                        binary gates the full span-tracing overhead
 //
 // No jmsperf_workload here: that library links the instrumented jms
 // library, and pulling it into the stripped binary would ODR-clash, so
@@ -37,12 +40,15 @@ constexpr int kTrials = 5;
 /// subscribers plus one matching, kMessages messages, k = 1 dispatcher.
 /// Returns ns per message over the whole pipeline (publish loop until the
 /// dispatcher went idle).
+bool g_recorder = false;
+
 double run_once(int n_fltr) {
   BrokerConfig config;
   // Headroom so neither the ingress queue nor the matching subscriber's
   // delivery queue ever exerts push-back during the run.
   config.ingress_capacity = 1 << 16;
   config.subscription_queue_capacity = 2 * kMessages;
+  config.enable_flight_recorder = g_recorder;
   Broker broker(config);
   broker.create_topic("t");
 
@@ -95,15 +101,21 @@ int main(int argc, char** argv) {
   const char* build = "instrumented";
 #endif
 
-  if (argc > 1 && std::strcmp(argv[1], "--gate") == 0) {
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+    if (std::strcmp(argv[i], "--recorder") == 0) g_recorder = true;
+  }
+  if (gate) {
     // Machine-readable: the n_fltr = 256 cost only, best of kTrials.
     std::printf("%.1f\n", best_of_trials(256));
     return 0;
   }
 
-  std::printf("# micro_obs (%s build): publish->dispatch cost, k = 1, "
+  std::printf("# micro_obs (%s build%s): publish->dispatch cost, k = 1, "
               "best of %d trials x %d messages\n",
-              build, kTrials, kMessages);
+              build, g_recorder ? ", flight recorder on" : "", kTrials,
+              kMessages);
   std::printf("# %12s %16s\n", "n_fltr", "ns_per_msg");
   for (const int n_fltr : {0, 32, 256}) {
     std::printf("  %12d %16.1f\n", n_fltr, best_of_trials(n_fltr));

@@ -7,6 +7,7 @@
 // Gamma fit (pass --no-live to skip the measurement).
 //
 // Build & run:  ./build/examples/bottleneck_report
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -15,7 +16,9 @@
 #include "core/partitioning.hpp"
 #include "core/sensitivity.hpp"
 #include "obs/model_comparison.hpp"
+#include "testbed/calibration.hpp"
 #include "testbed/live_load.hpp"
+#include "workload/filter_population.hpp"
 
 using namespace jmsperf;
 
@@ -56,9 +59,51 @@ void report(const char* name, core::FilterClass filter_class, double n_fltr,
   std::printf("\n");
 }
 
+// Host calibration of the Eq. 1 constants: saturated runs over a small
+// (n_fltr, R) grid against the REAL broker pin 1/throughput = E[B] =
+// t_rcv + n_fltr * t_fltr + R * t_tx, and the Table-I least-squares
+// fitter recovers (t_rcv, t_fltr, t_tx) for THIS host.  E[B] comes from
+// the dispatcher's service-time histogram, not wall-clock throughput,
+// for the same reason as testbed::run_live_load's calibration phase.
+testbed::CalibrationFit calibrate_host_cost() {
+  testbed::CalibrationFitter fitter;
+  // The grid must span both terms: small n pins t_rcv, large n pins
+  // t_fltr, and a wide R spread separates t_tx from the intercept.
+  for (const std::uint32_t n : {16u, 1024u, 4096u, 16384u}) {
+    for (const std::uint32_t r : {1u, 32u}) {
+      jms::BrokerConfig broker_config;
+      broker_config.subscription_queue_capacity = 1 << 15;
+      broker_config.drop_on_subscriber_overflow = true;
+      jms::Broker broker(broker_config);
+      broker.create_topic("t");
+      const auto subs = workload::install_measurement_population(
+          broker, "t", core::FilterClass::CorrelationId, n, r);
+      for (int i = 0; i < 300; ++i) {
+        broker.publish(workload::make_keyed_message("t", 0));
+      }
+      broker.wait_until_idle();
+      const auto warm = broker.telemetry_snapshot().service_time;
+      const int messages = 2000;
+      for (int i = 0; i < messages; ++i) {
+        broker.publish(workload::make_keyed_message("t", 0));
+      }
+      broker.wait_until_idle();
+      const auto hist = broker.telemetry_snapshot().service_time;
+      const double mean_b = 1e-9 *
+                            static_cast<double>(hist.sum_ns - warm.sum_ns) /
+                            static_cast<double>(hist.total - warm.total);
+      fitter.add(static_cast<double>(n + r), static_cast<double>(r),
+                 1.0 / mean_b);
+    }
+  }
+  return fitter.fit();
+}
+
 // Drives the real broker at the target utilization and prints the
 // measured ingress-wait quantiles next to what the two-moment Gamma fit
-// (Eq. 19-20) predicts from the calibrated service moments.
+// (Eq. 19-20) predicts from the calibrated service moments, then the
+// flight recorder's per-stage decomposition of the same run reconciled
+// against the host-calibrated Eq. 1 cost terms ("where does W go").
 void live_model_vs_measured() {
   std::printf("live model-vs-measured check (k = 1, rho target 0.9)\n");
   std::printf("----------------------------------------------------\n");
@@ -71,8 +116,9 @@ void live_model_vs_measured() {
   config.warmup_messages = 500;
   config.calibration_messages = 1500;
   config.messages = 4000;
+  config.enable_flight_recorder = true;
   try {
-    const auto live = testbed::run_live_load(config);
+    auto live = testbed::run_live_load(config);
     std::printf("calibrated E[B] = %.2f us, offered lambda = %.0f/s, "
                 "achieved = %.0f/s, measured rho = %.2f\n",
                 1e6 * live.calibrated_service_mean, live.offered_lambda,
@@ -81,6 +127,35 @@ void live_model_vs_measured() {
         live.achieved_lambda, live.service_moments,
         live.telemetry.ingress_wait);
     std::printf("%s", report.to_text().c_str());
+    if (live.wait_profile.spans > 0) {
+      // Reconcile the measured stages against host-calibrated cost
+      // terms: probe <-> t_rcv, filter loop <-> n_fltr * t_fltr,
+      // delivery <-> E[R] * t_tx, and wait <-> the M/GI/1 W the model
+      // comparison just predicted from the same run.
+      const auto fit = calibrate_host_cost();
+      // On a noisy host the least squares can push the small intercept
+      // terms slightly negative (the n_fltr term dominates E[B] by
+      // orders of magnitude); a cost is never negative, so clamp.
+      core::CostModel cost = fit.cost;
+      if (cost.t_rcv < 0.0) cost.t_rcv = 0.0;
+      if (cost.t_fltr < 0.0) cost.t_fltr = 0.0;
+      if (cost.t_tx < 0.0) cost.t_tx = 0.0;
+      std::printf(
+          "\nhost Eq. 1 calibration: t_rcv = %.2f us, t_fltr = %.1f ns, "
+          "t_tx = %.2f us (R^2 = %.4f%s)\n",
+          1e6 * cost.t_rcv, 1e9 * cost.t_fltr, 1e6 * cost.t_tx,
+          fit.r_squared,
+          cost.t_rcv != fit.cost.t_rcv || cost.t_tx != fit.cost.t_tx ||
+                  cost.t_fltr != fit.cost.t_fltr
+              ? ", negative terms clamped"
+              : "");
+      live.wait_profile.reconcile(
+          cost,
+          static_cast<double>(config.non_matching + config.replication),
+          static_cast<double>(config.replication),
+          report.predicted_mean_seconds());
+      std::printf("%s", live.wait_profile.to_text().c_str());
+    }
   } catch (const std::exception& error) {
     std::printf("live run unavailable: %s\n", error.what());
   }

@@ -32,6 +32,8 @@ import math
 import sys
 from pathlib import Path
 
+from trace_validate import validate_file as validate_trace_file
+
 
 def load_documents(directory):
     """Map harness name -> parsed BENCH_<name>.json document."""
@@ -148,6 +150,27 @@ def print_report(diffs, missing_current, extra_current, rtol, atol):
         print(f"  new   {name}: no baseline committed (not compared)")
 
 
+def validate_traces(directory):
+    """Structurally validate any *.trace.json artifacts a run dropped.
+
+    Bench harnesses and examples that export Chrome-trace JSON (the
+    flight recorder's span dump) place `<name>.trace.json` next to their
+    BENCH_*.json; a malformed trace is a regression like any drifted
+    cell.  Returns the number of invalid files.
+    """
+    invalid = 0
+    for path in sorted(directory.glob("*.trace.json")):
+        errors = validate_trace_file(path)
+        if errors:
+            invalid += 1
+            print(f"  TRACE {path.name}: INVALID ({len(errors)} violations)")
+            for error in errors[:5]:
+                print(f"          {error}")
+        else:
+            print(f"  OK    {path.name}: trace JSON structurally valid")
+    return invalid
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
@@ -190,8 +213,10 @@ def main():
     diffs = [diff_documents(name, baselines[name], current[name],
                             args.rtol, args.atol) for name in shared]
     print_report(diffs, missing, extra, args.rtol, args.atol)
+    invalid_traces = validate_traces(args.current)
 
-    regressed = any(d.regressed for d in diffs) or bool(missing)
+    regressed = (any(d.regressed for d in diffs) or bool(missing)
+                 or invalid_traces > 0)
     if regressed:
         print("result: REGRESSION" + ("" if args.strict else " (non-strict: exit 0)"))
     else:

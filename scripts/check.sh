@@ -8,13 +8,17 @@
 # alerting scenarios, a non-fatal bench-regression report (analytic
 # harnesses vs bench/baselines), the predicate-index differential
 # fuzz + churn tests at large case count, the autoscale-labeled
-# tests (M/G/k planner + controller, live elastic resize), and the
+# tests (M/G/k planner + controller, live elastic resize), the
 # publish-path allocation gate (bench/ext_alloc, 0 heap allocations
-# per pooled publish).
+# per pooled publish), and the flight-recorder overhead gate plus a
+# structural validation of the exported Chrome-trace JSON.
 # Usage: scripts/check.sh [jobs]
 #   OBS_OVERHEAD_BUDGET  allowed fractional overhead for stage 5
 #                        (default 0.05; the true cost is ~3%, the rest
 #                        is headroom for timer noise on shared hosts)
+#   TRACE_OVERHEAD_BUDGET allowed fractional overhead of the always-on
+#                        span recorder vs the stripped build (stage 11,
+#                        default 0.05)
 #   JMSPERF_FUZZ_CASES   broker-routed fuzz cases for stage 8
 #                        (default 120000)
 #   JMSPERF_ALLOC_BUDGET allowed heap allocations per publish on the
@@ -24,34 +28,35 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/10] Release build + tier-1 tests =="
+echo "== [1/11] Release build + tier-1 tests =="
 cmake --preset release > /dev/null
 cmake --build --preset release -j "$JOBS"
 ctest --preset release -j "$JOBS"
 
-echo "== [2/10] ThreadSanitizer build + concurrency tests =="
+echo "== [2/11] ThreadSanitizer build + concurrency tests =="
 cmake --preset tsan > /dev/null
 cmake --build --preset tsan -j "$JOBS"
 ctest --preset tsan -j "$JOBS"
 
-echo "== [3/10] ASan+UBSan build + selector/index tests =="
+echo "== [3/11] ASan+UBSan build + selector/index tests =="
 cmake --preset asan > /dev/null
 cmake --build --preset asan -j "$JOBS"
 ctest --preset asan -j "$JOBS"
 
-echo "== [4/10] Observability tests (Release) =="
+echo "== [4/11] Observability tests (Release) =="
 ctest --preset obs -j "$JOBS"
 
-echo "== [5/10] Telemetry overhead gate (metrics on, tracing off) =="
+echo "== [5/11] Telemetry overhead gate (metrics on, tracing off) =="
 cmake --build --preset release -j "$JOBS" --target micro_obs micro_obs_baseline
 BUDGET="${OBS_OVERHEAD_BUDGET:-0.05}"
 # Best of three runs per binary: each --gate run is itself best-of-trials,
 # but on a busy host back-to-back processes still see several percent of
 # scheduling noise, which min-of-runs removes.
 best() {
-  local bin="$1" best="" ns
+  local bin="$1"; shift
+  local best="" ns
   for _ in 1 2 3; do
-    ns="$("$bin" --gate)"
+    ns="$("$bin" --gate "$@")"
     if [[ -z "$best" ]] || awk -v a="$ns" -v b="$best" 'BEGIN{exit !(a<b)}'; then
       best="$ns"
     fi
@@ -67,13 +72,13 @@ awk -v inst="$INSTRUMENTED" -v base="$STRIPPED" -v budget="$BUDGET" 'BEGIN {
   exit !(ratio <= 1.0 + budget);
 }'
 
-echo "== [6/10] Monitor-labeled live alerting scenarios (Release) =="
+echo "== [6/11] Monitor-labeled live alerting scenarios (Release) =="
 # Serial on purpose: the scenarios pace real load and skip themselves
 # when a contended host pushes rho off target, so parallelism here
 # only converts signal into skips.
 ctest --preset monitor
 
-echo "== [7/10] Bench-regression report vs bench/baselines (non-fatal) =="
+echo "== [7/11] Bench-regression report vs bench/baselines (non-fatal) =="
 # Only the deterministic analytic harnesses are baselined; timing
 # harnesses (fig4/fig5, micro_*, table1_live_broker, ...) are excluded.
 BASELINED_HARNESSES=()
@@ -91,22 +96,41 @@ done
 # workflow, see scripts/bench_diff.py --help) to make drift fatal.
 python3 scripts/bench_diff.py --current "$BENCH_OUT" || true
 
-echo "== [8/10] Predicate-index differential fuzz + churn (large case count) =="
+echo "== [8/11] Predicate-index differential fuzz + churn (large case count) =="
 # The index-labeled tests already ran in tier-1 with the default case
 # count; this stage re-runs them at fuzz scale.  JMSPERF_FUZZ_CASES
 # overrides the per-run budget (default 120000 broker-routed messages
 # checked against the AST-oracle linear scan).
 JMSPERF_FUZZ_CASES="${JMSPERF_FUZZ_CASES:-120000}" ctest --preset index -j "$JOBS"
 
-echo "== [9/10] Autoscale-labeled tests (planner/controller + elastic resize) =="
+echo "== [9/11] Autoscale-labeled tests (planner/controller + elastic resize) =="
 ctest --preset autoscale -j "$JOBS"
 
-echo "== [10/10] Publish-path allocation gate (ext_alloc) =="
+echo "== [10/11] Publish-path allocation gate (ext_alloc) =="
 # Counts the publisher thread's operator-new calls per publish for the
 # three publish flavours; exits nonzero when the MessageBuilder path
 # allocates more than JMSPERF_ALLOC_BUDGET (default 0) per message.
 # The same run's JSON is deterministic and baselined (stage 7 diffs it).
 cmake --build --preset release -j "$JOBS" --target ext_alloc
 JMSPERF_ALLOC_BUDGET="${JMSPERF_ALLOC_BUDGET:-0}" ./build/bench/ext_alloc
+
+echo "== [11/11] Flight-recorder overhead gate + trace-JSON validation =="
+# Same harness as stage 5, but with the always-on span recorder enabled:
+# the per-message SpanRecord assembly + ring write must stay within
+# TRACE_OVERHEAD_BUDGET of the fully stripped build.
+TRACE_BUDGET="${TRACE_OVERHEAD_BUDGET:-0.05}"
+RECORDED="$(best ./build/bench/micro_obs --recorder)"
+echo "recorder-on: ${RECORDED} ns/msg, stripped: ${STRIPPED} ns/msg"
+awk -v inst="$RECORDED" -v base="$STRIPPED" -v budget="$TRACE_BUDGET" 'BEGIN {
+  ratio = inst / base;
+  printf "trace overhead ratio: %.3f (budget %.3f)\n", ratio, 1.0 + budget;
+  exit !(ratio <= 1.0 + budget);
+}'
+# The exported Chrome-trace JSON must stay structurally sound
+# (Perfetto-loadable): run the flash-crowd demo and validate its dump.
+cmake --build --preset release -j "$JOBS" --target flight_recorder_demo
+./build/examples/flight_recorder_demo --quick \
+  --trace-out "$BENCH_OUT/flight_recorder_demo.trace.json" > /dev/null
+python3 scripts/trace_validate.py "$BENCH_OUT/flight_recorder_demo.trace.json"
 
 echo "== all checks passed =="

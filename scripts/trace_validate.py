@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Structural validator for Chrome-trace-event JSON (Perfetto-loadable).
+
+Checks the subset of the trace-event format the flight-recorder exporter
+(src/obs/span_export.cpp) emits, strictly enough that a file passing
+here loads in Perfetto / chrome://tracing with the intended structure:
+
+  * the document is an object with a `traceEvents` list (a bare event
+    list is also accepted — the format allows both),
+  * every event is an object carrying a string `ph` plus the keys that
+    phase requires (name/ts/pid/tid; `dur` for X; `id` for b/e; M
+    metadata events only need name/args),
+  * complete (`X`) events have dur >= 0 and PROPERLY NEST per (pid,
+    tid) thread track: slices on one track either contain each other or
+    are disjoint — a partial overlap renders as garbage in the viewer,
+  * async begin/end (`b`/`e`) events balance per (cat, id) scope with
+    end.ts >= begin.ts, and no unmatched side remains,
+  * instant (`i`) scopes, when present, are one of g/p/t.
+
+Library use (scripts/bench_diff.py reuses this for trace artifacts):
+
+    from trace_validate import validate_chrome_trace, validate_file
+    errors = validate_file(path)      # [] when structurally sound
+
+CLI:  trace_validate.py FILE...      exits 1 when any file has errors.
+
+Stdlib only — runs under any Python 3.8+ with no installs.
+"""
+
+import json
+import sys
+
+# Containment tolerance in trace microseconds.  ts/dur are printed with
+# ns resolution (three decimals), so rounding can displace a boundary by
+# at most half an ulp of the last digit; 0.002 us covers both endpoints.
+_EPS = 0.002
+
+_PHASE_REQUIRED_KEYS = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "B": ("name", "ts", "pid", "tid"),
+    "E": ("ts", "pid", "tid"),
+    "b": ("name", "cat", "id", "ts", "pid", "tid"),
+    "e": ("cat", "id", "ts", "pid", "tid"),
+    "n": ("name", "cat", "id", "ts", "pid", "tid"),
+    "i": ("name", "ts", "pid", "tid"),
+    "I": ("name", "ts", "pid", "tid"),
+    "M": ("name", "pid"),
+    "C": ("name", "ts", "pid", "tid"),
+}
+
+
+def _is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_event_shape(index, event, errors):
+    """Per-event key/type checks; returns the phase or None when broken."""
+    if not isinstance(event, dict):
+        errors.append(f"event {index}: not an object")
+        return None
+    phase = event.get("ph")
+    if not isinstance(phase, str) or not phase:
+        errors.append(f"event {index}: missing string 'ph'")
+        return None
+    required = _PHASE_REQUIRED_KEYS.get(phase)
+    if required is None:
+        errors.append(f"event {index}: unsupported phase '{phase}'")
+        return None
+    for key in required:
+        if key not in event:
+            errors.append(f"event {index} (ph={phase}): missing '{key}'")
+            return None
+    for key in ("ts", "dur"):
+        if key in event and not _is_number(event[key]):
+            errors.append(f"event {index} (ph={phase}): '{key}' not a number")
+            return None
+    if "ts" in event and event["ts"] < 0:
+        errors.append(f"event {index} (ph={phase}): negative ts")
+        return None
+    if phase == "X" and event["dur"] < 0:
+        errors.append(f"event {index}: X event with negative dur")
+        return None
+    if phase in ("i", "I"):
+        scope = event.get("s", "t")
+        if scope not in ("g", "p", "t"):
+            errors.append(f"event {index}: instant scope '{scope}' not g/p/t")
+    return phase
+
+
+def _check_x_nesting(events, errors):
+    """X slices on one (pid, tid) track must nest or be disjoint."""
+    tracks = {}
+    for index, event in events:
+        tracks.setdefault((event["pid"], event["tid"]), []).append(
+            (float(event["ts"]), float(event["ts"]) + float(event["dur"]),
+             index, event.get("name", "?")))
+    for (pid, tid), slices in sorted(tracks.items()):
+        # Sort by start; ties open the LONGER slice first so a child that
+        # starts exactly with its parent stacks inside it.
+        slices.sort(key=lambda s: (s[0], -(s[1] - s[0])))
+        stack = []  # open enclosing slices: (start, end, index, name)
+        for start, end, index, name in slices:
+            while stack and stack[-1][1] <= start + _EPS:
+                stack.pop()
+            if stack:
+                enc_start, enc_end, enc_index, enc_name = stack[-1]
+                if end > enc_end + _EPS:
+                    errors.append(
+                        f"track pid={pid} tid={tid}: X event {index} "
+                        f"('{name}' [{start:.3f}, {end:.3f}]) partially "
+                        f"overlaps event {enc_index} ('{enc_name}' "
+                        f"[{enc_start:.3f}, {enc_end:.3f}])")
+                    continue
+            stack.append((start, end, index, name))
+
+
+def _check_async_balance(events, errors):
+    """b/e must balance per (cat, id) with non-negative extent."""
+    open_begins = {}  # (cat, id) -> list of (ts, index)
+    for index, event in events:
+        key = (event["cat"], event["id"])
+        if event["ph"] == "b":
+            open_begins.setdefault(key, []).append((float(event["ts"]), index))
+        else:
+            begins = open_begins.get(key)
+            if not begins:
+                errors.append(
+                    f"event {index}: async 'e' for cat={key[0]} id={key[1]} "
+                    "without an open 'b'")
+                continue
+            ts, _ = begins.pop()
+            if float(event["ts"]) + _EPS < ts:
+                errors.append(
+                    f"event {index}: async 'e' for cat={key[0]} id={key[1]} "
+                    "ends before its 'b' begins")
+    for (cat, span_id), begins in sorted(open_begins.items()):
+        for _, index in begins:
+            errors.append(
+                f"event {index}: async 'b' for cat={cat} id={span_id} "
+                "never closed")
+
+
+def validate_chrome_trace(document):
+    """Returns a list of human-readable violations ([] = valid)."""
+    errors = []
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            return ["document has no 'traceEvents' list"]
+    elif isinstance(document, list):
+        events = document
+    else:
+        return ["document is neither an object nor an event list"]
+
+    x_events, async_events = [], []
+    for index, event in enumerate(events):
+        phase = _check_event_shape(index, event, errors)
+        if phase == "X":
+            x_events.append((index, event))
+        elif phase in ("b", "e"):
+            async_events.append((index, event))
+    _check_x_nesting(x_events, errors)
+    _check_async_balance(async_events, errors)
+    return errors
+
+
+def validate_file(path):
+    """Parses `path` and validates; parse failures are violations too."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as err:
+        return [f"unreadable trace JSON: {err}"]
+    return validate_chrome_trace(document)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = validate_file(path)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID ({len(errors)} violations)")
+            for error in errors[:20]:
+                print(f"  {error}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/partitioning.hpp"  // topic_shard: the shared hash contract
@@ -51,6 +53,20 @@ std::uint32_t resolve_max_shards(const BrokerConfig& config) {
   return std::max(base, config.max_dispatchers);
 }
 
+obs::TelemetryConfig resolve_telemetry_config(const BrokerConfig& config) {
+  obs::TelemetryConfig t;
+  t.trace_sample_rate = config.trace_sample_rate;
+  t.trace_ring_capacity = config.trace_ring_capacity;
+  t.filter_timing_every = config.filter_timing_every;
+  // The stripped build never consults the recorder (every call site is
+  // compiled out), so don't construct one there either.
+  t.enable_flight_recorder = kObsEnabled && config.enable_flight_recorder;
+  t.flight.ring_capacity = config.flight_ring_capacity;
+  t.flight.latency_floor_seconds = config.flight_latency_floor_seconds;
+  t.flight.tail_quantile = config.flight_tail_quantile;
+  return t;
+}
+
 }  // namespace
 
 struct QueueReceiver::QueueState {
@@ -77,16 +93,20 @@ Broker::Broker(BrokerConfig config)
       max_shards_(resolve_max_shards(config)),
       arena_(MessageArena::Config{config.message_slab_size,
                                   config.message_pool_slabs}),
-      telemetry_(resolve_max_shards(config),
-                 obs::TelemetryConfig{config.trace_sample_rate,
-                                      config.trace_ring_capacity,
-                                      config.filter_timing_every}),
+      telemetry_(resolve_max_shards(config), resolve_telemetry_config(config)),
       window_(config.telemetry_window_capacity),
       ring_(std::max<std::uint32_t>(1, config.num_dispatchers),
             config.ring_virtual_nodes) {
   if (config_.num_dispatchers == 0) {
     throw std::invalid_argument("BrokerConfig: num_dispatchers must be >= 1");
   }
+  // All span/trace timestamps share one timeline: the recorder's epoch
+  // when recording (retained spans, instants and sampled traces must
+  // align in one Perfetto document), the trace ring's otherwise.
+  recorder_ = telemetry_.flight_recorder();
+  span_epoch_ =
+      recorder_ != nullptr ? recorder_->epoch() : telemetry_.traces().epoch();
+  span_to_trace_offset_ns_ = telemetry_.traces().since_epoch_ns(span_epoch_);
   // Anchor the window at broker start so the first rotation measures the
   // first real epoch instead of [epoch start of the process, now).
   window_.prime(telemetry_.snapshot(), Clock::now());
@@ -139,6 +159,22 @@ Broker::Broker(BrokerConfig config)
                  ? 1.0
                  : 0.0;
     });
+    if (recorder_ != nullptr) {
+      // Flight-recorder health: live retention threshold, span volume,
+      // retained/dropped counts.  All cold-path snapshot reads.
+      telemetry_.register_gauge("flight_threshold_seconds", [this] {
+        return 1e-9 * static_cast<double>(recorder_->threshold_ns());
+      });
+      telemetry_.register_gauge("flight_spans", [this] {
+        return static_cast<double>(recorder_->totals().spans);
+      });
+      telemetry_.register_gauge("flight_retained", [this] {
+        return static_cast<double>(recorder_->retained_count());
+      });
+      telemetry_.register_gauge("flight_ring_dropped", [this] {
+        return static_cast<double>(recorder_->dropped_count());
+      });
+    }
     if (index_mode_ == FilterIndexMode::Predicate) {
       // Live index selectivity: mean candidate subscriptions per routed
       // message.  Near 0 = the probes rule almost everything out; near
@@ -474,8 +510,13 @@ bool Broker::enqueue_for_dispatch(MessagePtr message) {
     auto& registry = telemetry_.registry();
     const std::uint64_t trace_id = telemetry_.sample_trace();
     item.trace_id = trace_id;
-    if (trace_id != 0) {
+    // The publish stamp feeds the span's pushback phase: needed for
+    // sampled traces and for every message when the recorder is on (the
+    // extra clock read runs on the producer thread, not the dispatcher).
+    if (trace_id != 0 || recorder_ != nullptr) {
       item.published = Clock::now();
+    }
+    if (trace_id != 0) {
       registry.add(shard.index, Counter::TracesSampled);
     }
     // Count Published BEFORE the enqueue (rolled back on a closed-queue
@@ -550,21 +591,54 @@ void Broker::dispatch_loop(Shard& self, BlockingQueue<Shard::Item>& source) {
       registry.add(self.index, Counter::IngressWaitNs, wait_ns);
       telemetry_.ingress_wait(self.index).record(wait_ns);
       const bool time_filters = telemetry_.should_time_filters(self.local_received++);
-      if (item->trace_id != 0) {
-        obs::TraceRecord trace;
-        trace.id = item->trace_id;
-        trace.shard = static_cast<std::uint32_t>(self.index);
-        trace.set_destination(item->message->destination());
-        const auto& ring = telemetry_.traces();
-        trace.published_ns = ring.since_epoch_ns(item->published);
-        trace.admitted_ns = ring.since_epoch_ns(item->admitted);
-        trace.pickup_ns = ring.since_epoch_ns(pickup);
-        route(self, item->message, &trace, time_filters);
+      obs::FlightRecorder* const recorder = recorder_;
+      if (item->trace_id != 0 || recorder != nullptr) {
+        obs::SpanRecord span;
+        // Sampled traces keep their globally unique sampler id; recorder-
+        // only spans get a shard-tagged sequence so async trace events
+        // keyed by id never collide across shards.
+        span.id = item->trace_id != 0
+                      ? item->trace_id
+                      : (static_cast<std::uint64_t>(self.index + 1) << 48) +
+                            self.local_received;
+        span.shard = static_cast<std::uint32_t>(self.index);
+        span.routing_epoch = item->epoch;
+        span.set_destination(item->message->destination());
+        if (arena_.pool()->owns(item->message.get())) {
+          span.flags |= obs::SpanRecord::kPoolHit;
+        }
+        span.published_ns = span_ns(item->published);
+        span.admitted_ns = span_ns(item->admitted);
+        span.pickup_ns = span_ns(pickup);
+        route(self, item->message, &span, time_filters);
         const auto done = Clock::now();
-        trace.done_ns = ring.since_epoch_ns(done);
+        span.done_ns = span_ns(done);
+        // Single-copy (and queue) deliveries skip the per-copy timing in
+        // route_impl; the whole post-filter tail IS the one copy.
+        if (span.delivery_max_ns == 0 && span.copies != 0) {
+          span.delivery_max_ns = span.done_ns - span.filters_done_ns;
+        }
         telemetry_.service_time(self.index).record(elapsed_ns(pickup, done));
-        if (!telemetry_.traces().push(trace)) {
-          registry.add(self.index, Counter::TracesDropped);
+        if (recorder != nullptr) recorder->record(span);
+        if (item->trace_id != 0) {
+          // Rebase the span onto the trace ring's epoch; the coarser
+          // TraceRecord folds the probe phase into its filter span.
+          obs::TraceRecord trace;
+          trace.id = span.id;
+          trace.shard = span.shard;
+          trace.filter_evaluations = span.filter_evaluations;
+          trace.copies = span.copies;
+          std::memcpy(trace.destination, span.destination,
+                      sizeof(trace.destination));
+          trace.published_ns = span.published_ns + span_to_trace_offset_ns_;
+          trace.admitted_ns = span.admitted_ns + span_to_trace_offset_ns_;
+          trace.pickup_ns = span.pickup_ns + span_to_trace_offset_ns_;
+          trace.filters_done_ns =
+              span.filters_done_ns + span_to_trace_offset_ns_;
+          trace.done_ns = span.done_ns + span_to_trace_offset_ns_;
+          if (!telemetry_.traces().push(trace)) {
+            registry.add(self.index, Counter::TracesDropped);
+          }
         }
       } else {
         route(self, item->message, nullptr, time_filters);
@@ -604,17 +678,17 @@ void Broker::deliver(Shard& shard,
 }
 
 void Broker::route(Shard& shard, const MessagePtr& message,
-                   obs::TraceRecord* trace, bool time_filters) {
+                   obs::SpanRecord* span, bool time_filters) {
   if (time_filters) {
-    route_impl<true>(shard, message, trace);
+    route_impl<true>(shard, message, span);
   } else {
-    route_impl<false>(shard, message, trace);
+    route_impl<false>(shard, message, span);
   }
 }
 
 template <bool Timed>
 void Broker::route_impl(Shard& shard, const MessagePtr& message,
-                        obs::TraceRecord* trace) {
+                        obs::SpanRecord* span) {
   [[maybe_unused]] auto& registry = telemetry_.registry();
   // Point-to-point destination?
   std::shared_ptr<QueueReceiver::QueueState> queue;
@@ -629,9 +703,11 @@ void Broker::route_impl(Shard& shard, const MessagePtr& message,
       registry.add(shard.index,
                    delivered ? Counter::Dispatched
                              : Counter::Dropped);  // !delivered: shutdown race
-      if (trace != nullptr) {
-        trace->filters_done_ns = trace->pickup_ns;  // no filter phase
-        trace->copies = delivered ? 1 : 0;
+      if (span != nullptr) {
+        // No probe or filter phase: everything after pickup is delivery.
+        span->probe_done_ns = span->pickup_ns;
+        span->filters_done_ns = span->pickup_ns;
+        span->copies = delivered ? 1 : 0;
       }
     }
     return;
@@ -709,15 +785,24 @@ void Broker::route_impl(Shard& shard, const MessagePtr& message,
     }
     pattern_trie_.collect(message->destination(), pattern_matches);
   }
+  if (span != nullptr) {
+    // Probe boundary: the locked section above did the index/topic lookup
+    // (and, in Predicate mode, the probe plus residual programs).  The
+    // remaining evaluations land in the filter phase.
+    span->probe_done_ns = span_ns(Clock::now());
+  }
 
-  // Traced messages route in two phases — evaluate every filter first,
-  // stamp the phase boundary, then deliver — so the trace's filter and
-  // delivery spans do not interleave.  Untraced messages keep the
-  // single-pass evaluate-and-deliver loop.
-  std::vector<std::shared_ptr<Subscription>> traced_matches;
+  // Span/trace messages route in two phases — evaluate every filter
+  // first, stamp the phase boundary, then deliver — so the filter and
+  // delivery spans do not interleave.  The match list is a Shard member:
+  // with the recorder always-on this path runs for EVERY message, and a
+  // per-message vector allocation would dominate the recorder's cost.
+  // Untraced messages keep the single-pass evaluate-and-deliver loop.
+  std::vector<std::shared_ptr<Subscription>>& matched = shard.scratch_matches;
+  if (span != nullptr) matched.clear();
   const auto hit = [&](const std::shared_ptr<Subscription>& subscription) {
-    if (trace != nullptr) {
-      traced_matches.push_back(subscription);
+    if (span != nullptr) {
+      matched.push_back(subscription);
     } else {
       deliver(shard, subscription, message, copies);
     }
@@ -734,8 +819,7 @@ void Broker::route_impl(Shard& shard, const MessagePtr& message,
       break;
     case FilterIndexMode::IdenticalGroups:
       copies += route_with_filter_index<Timed>(
-          shard, message, evaluations,
-          trace != nullptr ? &traced_matches : nullptr);
+          shard, message, evaluations, span != nullptr ? &matched : nullptr);
       break;
     case FilterIndexMode::Predicate:
       for (const auto& subscription : index_matches) hit(subscription);
@@ -749,14 +833,33 @@ void Broker::route_impl(Shard& shard, const MessagePtr& message,
     if (!evaluate(*subscription)) continue;
     hit(subscription);
   }
-  if (trace != nullptr) {
-    trace->filters_done_ns =
-        telemetry_.traces().since_epoch_ns(Clock::now());
-    for (const auto& subscription : traced_matches) {
-      deliver(shard, subscription, message, copies);
+  if (span != nullptr) {
+    span->filters_done_ns = span_ns(Clock::now());
+    if (matched.size() > 1) {
+      // Per-copy fan-out timing: chained stamps, one extra clock read per
+      // copy, only on multi-subscriber messages (the single-copy case is
+      // derived from done - filters_done by the caller).
+      auto last = Clock::now();
+      std::int64_t max_ns = 0;
+      for (const auto& subscription : matched) {
+        deliver(shard, subscription, message, copies);
+        const auto now = Clock::now();
+        max_ns = std::max(
+            max_ns,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now - last)
+                .count());
+        last = now;
+      }
+      span->delivery_max_ns = max_ns;
+    } else {
+      for (const auto& subscription : matched) {
+        deliver(shard, subscription, message, copies);
+      }
     }
-    trace->filter_evaluations = static_cast<std::uint32_t>(evaluations);
-    trace->copies = static_cast<std::uint32_t>(copies);
+    matched.clear();  // drop the subscription refs until the next message
+    span->filter_evaluations = static_cast<std::uint32_t>(evaluations);
+    span->copies = static_cast<std::uint32_t>(copies);
+    span->index_probes = static_cast<std::uint32_t>(probe_stats.probes);
   }
   if constexpr (kObsEnabled) {
     // One batched RMW per message instead of one per filter — the
@@ -949,6 +1052,15 @@ bool Broker::resize(std::uint32_t new_shards) {
   }
 
   resize_count_.fetch_add(1, std::memory_order_relaxed);
+  if constexpr (kObsEnabled) {
+    if (recorder_ != nullptr) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail), "shards %u -> %u (epoch %llu)",
+                    old_count, new_shards,
+                    static_cast<unsigned long long>(new_epoch));
+      recorder_->note_instant("resize", detail);
+    }
+  }
   // A shutdown() racing this resize may have closed the ingress queues
   // before the swap installed the added shards; re-close so its join
   // phase cannot hang on a dispatcher popping a still-open queue.

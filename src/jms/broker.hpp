@@ -172,6 +172,18 @@ struct BrokerConfig {
   /// Slabs the arena pre-reserves; builds beyond this fall back to
   /// one-off heap slabs, recycled by the same deleter.
   std::size_t message_pool_slabs = 1024;
+  /// Always-on flight recorder (obs/flight_recorder.hpp): EVERY message
+  /// gets a stage-decomposed span; spans slower than an adaptive tail
+  /// threshold are retained per shard, fast spans only feed aggregates.
+  /// Independent of trace_sample_rate (the stride sampler).
+  bool enable_flight_recorder = false;
+  /// Retained-span ring slots per shard (power of two).
+  std::size_t flight_ring_capacity = 256;
+  /// Spans at least this slow are always retained (also the retention
+  /// threshold before the latency histogram has data).
+  double flight_latency_floor_seconds = 500e-6;
+  /// Total-latency quantile driving the adaptive retention threshold.
+  double flight_tail_quantile = 0.99;
 };
 
 /// Monotonic counters describing broker activity (paper terminology:
@@ -410,6 +422,19 @@ class Broker {
     return telemetry_.traces().snapshot();
   }
 
+  /// The always-on flight recorder, or nullptr unless
+  /// config.enable_flight_recorder was set.
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() { return recorder_; }
+  [[nodiscard]] const obs::FlightRecorder* flight_recorder() const {
+    return recorder_;
+  }
+
+  /// Retained slow spans across all shards (empty without the recorder).
+  [[nodiscard]] std::vector<obs::SpanRecord> retained_spans() const {
+    return recorder_ != nullptr ? recorder_->retained_all()
+                                : std::vector<obs::SpanRecord>{};
+  }
+
   /// The matching strategy this broker runs, resolved once at
   /// construction (the legacy enable_identical_filter_index bool maps to
   /// IdenticalGroups).  Immutable for the broker's lifetime: changing the
@@ -539,6 +564,11 @@ class Broker {
                        std::equal_to<>>
         filter_groups;
     std::uint64_t local_received = 0;  ///< dispatcher-private pickup count
+    /// Dispatcher-private scratch for the two-phase routing of span/trace
+    /// messages (evaluate all filters, stamp the boundary, then deliver).
+    /// A Shard member so the always-on recorder does not put a vector
+    /// allocation on every message; cleared after each delivery pass.
+    std::vector<std::shared_ptr<Subscription>> scratch_matches;
     /// Items fully routed (counters recorded, copies delivered).  Paired
     /// with ingress.total_pushed() so wait_until_idle() can tell an empty
     /// queue apart from a popped-but-still-routing item.
@@ -553,14 +583,14 @@ class Broker {
 
   void dispatch_loop(Shard& self, BlockingQueue<Shard::Item>& source);
   void start_dispatcher(const std::shared_ptr<Shard>& shard);
-  void route(Shard& shard, const MessagePtr& message, obs::TraceRecord* trace,
+  void route(Shard& shard, const MessagePtr& message, obs::SpanRecord* span,
              bool time_filters);
   /// Filter-timing is a compile-time parameter so the untimed routing
   /// loop (the common case — filter_timing_every-th messages excepted)
   /// carries no per-filter branch at all.
   template <bool Timed>
   void route_impl(Shard& shard, const MessagePtr& message,
-                  obs::TraceRecord* trace);
+                  obs::SpanRecord* span);
   template <bool Timed>
   std::uint64_t route_with_filter_index(
       Shard& shard, const MessagePtr& message, std::uint64_t& evaluations,
@@ -579,6 +609,13 @@ class Broker {
   /// (shared suffices).
   [[nodiscard]] std::size_t shard_index_locked(
       std::string_view destination) const;
+  /// Nanoseconds since the span timeline's epoch (the flight recorder's
+  /// when one exists, the trace ring's otherwise).
+  [[nodiscard]] std::int64_t span_ns(
+      std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - span_epoch_)
+        .count();
+  }
 
   BrokerConfig config_;
   /// Matching strategy, frozen at construction (see filter_index_mode()).
@@ -616,6 +653,15 @@ class Broker {
   // All counters, histograms and traces live here (one registry slot per
   // shard).  Declared before shards_ so it outlives the dispatchers.
   obs::BrokerTelemetry telemetry_;
+
+  // Cached telemetry_.flight_recorder() — one pointer test on the
+  // dispatch path instead of a unique_ptr indirection.
+  obs::FlightRecorder* recorder_ = nullptr;
+  // Epoch all span/trace timestamps are taken against (recorder epoch
+  // when recording, trace-ring epoch otherwise), and the constant that
+  // rebases a span stamp onto the trace ring's timeline.
+  std::chrono::steady_clock::time_point span_epoch_{};
+  std::int64_t span_to_trace_offset_ns_ = 0;
 
   // Rolling-window epochs over telemetry_ (cold path only; present in
   // the JMSPERF_OBS_STRIPPED build too so the class layout is shared).

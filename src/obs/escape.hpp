@@ -1,0 +1,135 @@
+// String hygiene for the exporter layer.
+//
+// Destination names, alert messages and trace dumps are user-controlled
+// strings that end up inside JSON documents, Prometheus exposition text
+// and fixed-size char[] fields.  Everything that crosses one of those
+// boundaries funnels through here:
+//
+//   * json_escape_into      — RFC 8259 string escaping (quote, backslash,
+//                             and EVERY control character below 0x20).
+//   * prometheus_escape_help_into / prometheus_escape_label_into —
+//     the exposition-format rules: HELP text escapes `\` and newline,
+//     label values additionally escape `"`.
+//   * utf8_safe_copy        — bounded copy into a char[] that never
+//                             splits a multi-byte UTF-8 sequence at the
+//                             truncation boundary (TraceRecord /
+//                             SpanRecord destination fields).
+//   * sanitize_text_into    — control characters to '.', for fixed-width
+//                             terminal dumps.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace jmsperf::obs {
+
+/// Appends `s` to `out` with JSON string escaping: `"` and `\` get a
+/// backslash, the named control characters use their short forms, and
+/// every other byte < 0x20 becomes a \u00XX escape.  Bytes >= 0x80 pass
+/// through untouched (the document stays UTF-8).
+inline void json_escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; continue;
+      case '\\': out += "\\\\"; continue;
+      case '\n': out += "\\n"; continue;
+      case '\r': out += "\\r"; continue;
+      case '\t': out += "\\t"; continue;
+      case '\b': out += "\\b"; continue;
+      case '\f': out += "\\f"; continue;
+      default: break;
+    }
+    if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+}
+
+[[nodiscard]] inline std::string json_escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  json_escape_into(out, s);
+  return out;
+}
+
+/// Prometheus exposition HELP text: `\` -> `\\`, newline -> `\n`.
+inline void prometheus_escape_help_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+/// Prometheus label VALUES additionally escape the double quote.
+inline void prometheus_escape_label_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+[[nodiscard]] inline std::string prometheus_escaped_label(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  prometheus_escape_label_into(out, s);
+  return out;
+}
+
+/// Longest prefix of `s` not exceeding `max_bytes` that does not end in
+/// the middle of a multi-byte UTF-8 sequence: if byte `max_bytes` is a
+/// continuation byte (0b10xxxxxx), the cut backs off past the whole
+/// sequence instead of emitting a broken code point.
+[[nodiscard]] inline std::size_t utf8_safe_prefix(std::string_view s,
+                                                  std::size_t max_bytes) {
+  if (s.size() <= max_bytes) return s.size();
+  std::size_t n = max_bytes;
+  while (n > 0 && (static_cast<unsigned char>(s[n]) & 0xC0) == 0x80) --n;
+  return n;
+}
+
+/// Copies `name` into the fixed buffer `dst[dst_size]`, truncating on a
+/// UTF-8 code-point boundary and always NUL-terminating.
+inline void utf8_safe_copy(char* dst, std::size_t dst_size,
+                           std::string_view name) {
+  const std::size_t n = utf8_safe_prefix(name, dst_size - 1);
+  std::memcpy(dst, name.data(), n);
+  dst[n] = '\0';
+}
+
+/// Replaces control characters (byte < 0x20 and DEL) with '.' — keeps a
+/// hostile destination name from corrupting a fixed-width text dump.
+inline void sanitize_text_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    out += (byte < 0x20 || byte == 0x7f) ? '.' : c;
+  }
+}
+
+[[nodiscard]] inline std::string sanitized_text(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  sanitize_text_into(out, s);
+  return out;
+}
+
+}  // namespace jmsperf::obs

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string_view>
 
+#include "obs/escape.hpp"
+
 namespace jmsperf::obs {
 
 namespace {
@@ -45,6 +47,23 @@ const char* histogram_help(const char* name) {
   return "Latency histogram.";
 }
 
+// Exposition-format HELP lines escape `\` and newlines.  The table text
+// above is clean today, but help strings also come from counter_help()
+// and future callers — funnel every HELP emission through the escaper so
+// a newline can never smuggle a fake series into the scrape.
+void append_help_line(std::string& out, const std::string& prefix,
+                      const std::string& name, const char* suffix,
+                      std::string_view help) {
+  out += "# HELP ";
+  out += prefix;
+  out += '_';
+  out += name;
+  out += suffix;
+  out += ' ';
+  prometheus_escape_help_into(out, help);
+  out += '\n';
+}
+
 /// Emits one histogram's sample series; `labels` is either empty or a
 /// ready-made label like `shard="0"`, composed with `le` on buckets.
 void append_histogram_series(std::string& out, const std::string& prefix,
@@ -83,8 +102,7 @@ void append_histogram_family(
     const HistogramSnapshot& merged,
     const std::vector<ShardHistogramSnapshots>& shards,
     HistogramSnapshot ShardHistogramSnapshots::* member) {
-  append_fmt(out, "# HELP %s_%s_seconds %s\n", prefix.c_str(), name,
-             histogram_help(name));
+  append_help_line(out, prefix, name, "_seconds", histogram_help(name));
   append_fmt(out, "# TYPE %s_%s_seconds histogram\n", prefix.c_str(), name);
   append_histogram_series(out, prefix, name, "", merged);
   if (shards.size() > 1) {
@@ -118,8 +136,7 @@ std::string prometheus_text(const TelemetrySnapshot& snapshot,
   for (std::size_t c = 0; c < kCounterCount; ++c) {
     const auto counter = static_cast<Counter>(c);
     const std::string name = sanitized(counter_name(counter));
-    append_fmt(out, "# HELP %s_%s_total %s\n", prefix.c_str(), name.c_str(),
-               std::string(counter_help(counter)).c_str());
+    append_help_line(out, prefix, name, "_total", counter_help(counter));
     append_fmt(out, "# TYPE %s_%s_total counter\n", prefix.c_str(), name.c_str());
     append_fmt(out, "%s_%s_total %llu\n", prefix.c_str(), name.c_str(),
                static_cast<unsigned long long>(snapshot.totals[counter]));

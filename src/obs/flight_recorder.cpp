@@ -1,0 +1,347 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace jmsperf::obs {
+namespace {
+
+// Stage differences are clamped at zero: a span assembled from clock
+// reads on one thread is monotone by construction, but a caller-built
+// record (tests, replay) may not be, and a negative stage must not wrap
+// the unsigned totals.
+[[nodiscard]] std::uint64_t clamp_ns(std::int64_t delta) noexcept {
+  return delta > 0 ? static_cast<std::uint64_t>(delta) : 0;
+}
+
+// Single-writer accumulate: load + store instead of fetch_add — the
+// dispatcher thread owns its slot, so plain relaxed stores are enough
+// and skip the lock prefix on x86.
+void bump(std::atomic<std::uint64_t>& cell, std::uint64_t delta) noexcept {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void append_fmt_line(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+StageTotals& StageTotals::operator+=(const StageTotals& other) {
+  spans += other.spans;
+  retained += other.retained;
+  pool_hits += other.pool_hits;
+  copies += other.copies;
+  filter_evaluations += other.filter_evaluations;
+  index_probes += other.index_probes;
+  pushback_ns += other.pushback_ns;
+  wait_ns += other.wait_ns;
+  probe_ns += other.probe_ns;
+  filter_ns += other.filter_ns;
+  delivery_ns += other.delivery_ns;
+  delivery_max_ns += other.delivery_max_ns;
+  return *this;
+}
+
+FlightRecorder::FlightRecorder(std::size_t shards, FlightRecorderConfig config)
+    : config_(config), epoch_(std::chrono::steady_clock::now()) {
+  if (shards == 0) {
+    throw std::invalid_argument("FlightRecorder: shards must be >= 1");
+  }
+  if (!(config.latency_floor_seconds >= 0.0)) {
+    throw std::invalid_argument(
+        "FlightRecorder: latency_floor_seconds must be >= 0");
+  }
+  if (!(config.tail_quantile > 0.0 && config.tail_quantile < 1.0)) {
+    throw std::invalid_argument(
+        "FlightRecorder: tail_quantile must be in (0, 1)");
+  }
+  floor_ns_ =
+      static_cast<std::uint64_t>(config.latency_floor_seconds * 1e9 + 0.5);
+  threshold_ns_.store(floor_ns_, std::memory_order_relaxed);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(
+        std::make_unique<ShardSlot>(config.ring_capacity, epoch_));
+  }
+}
+
+bool FlightRecorder::record(const SpanRecord& span) noexcept {
+  if (span.shard >= shards_.size()) return false;
+  ShardSlot& slot = *shards_[span.shard];
+
+  bump(slot.spans, 1);
+  if (span.pool_hit()) bump(slot.pool_hits, 1);
+  bump(slot.copies, span.copies);
+  bump(slot.filter_evaluations, span.filter_evaluations);
+  bump(slot.index_probes, span.index_probes);
+  bump(slot.pushback_ns, clamp_ns(span.admitted_ns - span.published_ns));
+  bump(slot.wait_ns, clamp_ns(span.pickup_ns - span.admitted_ns));
+  bump(slot.probe_ns, clamp_ns(span.probe_done_ns - span.pickup_ns));
+  bump(slot.filter_ns, clamp_ns(span.filters_done_ns - span.probe_done_ns));
+  bump(slot.delivery_ns, clamp_ns(span.done_ns - span.filters_done_ns));
+  bump(slot.delivery_max_ns, clamp_ns(span.delivery_max_ns));
+
+  const std::uint64_t total = clamp_ns(span.total_ns());
+  slot.total_latency.record(total);
+
+  if (config_.threshold_refresh_every != 0) {
+    if (slot.refresh_countdown == 0) {
+      slot.refresh_countdown = config_.threshold_refresh_every;
+      refresh_threshold();
+    }
+    --slot.refresh_countdown;
+  }
+
+  if (total < threshold_ns_.load(std::memory_order_relaxed)) return false;
+  bump(slot.retained, 1);
+  slot.ring.push(span);
+  return true;
+}
+
+void FlightRecorder::refresh_threshold() {
+  HistogramSnapshot merged;
+  for (const auto& slot : shards_) {
+    merged.merge(slot->total_latency.snapshot());
+  }
+  std::uint64_t next = floor_ns_;
+  if (merged.total > 0) {
+    const double tail = merged.quantile_ns(config_.tail_quantile);
+    if (tail > static_cast<double>(next)) {
+      next = static_cast<std::uint64_t>(tail);
+    }
+  }
+  threshold_ns_.store(next, std::memory_order_relaxed);
+}
+
+void FlightRecorder::note_instant(std::string_view name,
+                                  std::string_view detail) {
+  InstantEvent event;
+  event.at_ns = since_epoch_ns(std::chrono::steady_clock::now());
+  event.name.assign(name);
+  event.detail.assign(detail);
+  std::lock_guard lock(instants_mutex_);
+  if (instants_.size() >= config_.max_instants && !instants_.empty()) {
+    instants_.erase(instants_.begin());
+    ++instants_dropped_;
+  }
+  instants_.push_back(std::move(event));
+}
+
+std::vector<InstantEvent> FlightRecorder::instants() const {
+  std::lock_guard lock(instants_mutex_);
+  return instants_;
+}
+
+std::vector<SpanRecord> FlightRecorder::retained(std::size_t shard) const {
+  return shards_.at(shard)->ring.snapshot();
+}
+
+std::vector<SpanRecord> FlightRecorder::retained_all() const {
+  std::vector<SpanRecord> all;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto spans = shards_[i]->ring.snapshot();
+    all.insert(all.end(), spans.begin(), spans.end());
+  }
+  return all;
+}
+
+StageTotals FlightRecorder::totals(std::size_t shard) const {
+  const ShardSlot& slot = *shards_.at(shard);
+  StageTotals t;
+  t.spans = slot.spans.load(std::memory_order_relaxed);
+  t.retained = slot.retained.load(std::memory_order_relaxed);
+  t.pool_hits = slot.pool_hits.load(std::memory_order_relaxed);
+  t.copies = slot.copies.load(std::memory_order_relaxed);
+  t.filter_evaluations =
+      slot.filter_evaluations.load(std::memory_order_relaxed);
+  t.index_probes = slot.index_probes.load(std::memory_order_relaxed);
+  t.pushback_ns = slot.pushback_ns.load(std::memory_order_relaxed);
+  t.wait_ns = slot.wait_ns.load(std::memory_order_relaxed);
+  t.probe_ns = slot.probe_ns.load(std::memory_order_relaxed);
+  t.filter_ns = slot.filter_ns.load(std::memory_order_relaxed);
+  t.delivery_ns = slot.delivery_ns.load(std::memory_order_relaxed);
+  t.delivery_max_ns = slot.delivery_max_ns.load(std::memory_order_relaxed);
+  return t;
+}
+
+StageTotals FlightRecorder::totals() const {
+  StageTotals sum;
+  for (std::size_t i = 0; i < shards_.size(); ++i) sum += totals(i);
+  return sum;
+}
+
+HistogramSnapshot FlightRecorder::total_latency() const {
+  HistogramSnapshot merged;
+  for (const auto& slot : shards_) {
+    merged.merge(slot->total_latency.snapshot());
+  }
+  return merged;
+}
+
+std::uint64_t FlightRecorder::retained_count() const {
+  std::uint64_t n = 0;
+  for (const auto& slot : shards_) {
+    n += slot->retained.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::uint64_t FlightRecorder::dropped_count() const {
+  std::uint64_t n = 0;
+  for (const auto& slot : shards_) n += slot->ring.dropped();
+  return n;
+}
+
+// -- WaitProfile --------------------------------------------------------
+
+// Fixed row order; reconcile() and the formatters rely on it.
+namespace {
+constexpr std::size_t kRowPushback = 0;
+constexpr std::size_t kRowWait = 1;
+constexpr std::size_t kRowProbe = 2;
+constexpr std::size_t kRowFilter = 3;
+constexpr std::size_t kRowDelivery = 4;
+constexpr std::size_t kRowCount = 5;
+}  // namespace
+
+WaitProfile WaitProfile::build(const FlightRecorder& recorder) {
+  WaitProfile p;
+  const StageTotals t = recorder.totals();
+  p.spans = t.spans;
+  p.retained = t.retained;
+  p.threshold_seconds = 1e-9 * static_cast<double>(recorder.threshold_ns());
+  if (t.spans > 0) {
+    const double n = static_cast<double>(t.spans);
+    p.pool_hit_rate = static_cast<double>(t.pool_hits) / n;
+    p.mean_copies = static_cast<double>(t.copies) / n;
+    p.mean_filter_evaluations = static_cast<double>(t.filter_evaluations) / n;
+  }
+  const auto mean_s = [&](std::uint64_t ns) {
+    return t.spans == 0
+               ? 0.0
+               : 1e-9 * static_cast<double>(ns) / static_cast<double>(t.spans);
+  };
+  p.rows.resize(kRowCount);
+  p.rows[kRowPushback] = {"pushback", mean_s(t.pushback_ns), 0.0, -1.0};
+  p.rows[kRowWait] = {"ingress wait", mean_s(t.wait_ns), 0.0, -1.0};
+  p.rows[kRowProbe] = {"index probe", mean_s(t.probe_ns), 0.0, -1.0};
+  p.rows[kRowFilter] = {"filter loop", mean_s(t.filter_ns), 0.0, -1.0};
+  p.rows[kRowDelivery] = {"delivery", mean_s(t.delivery_ns), 0.0, -1.0};
+  // The decomposition telescopes: wait + probe + filter + delivery is
+  // exactly mean(admitted -> done) = ingress wait + service time.
+  // Pushback happens before admission, so it reports a share against the
+  // same denominator but is excluded from the total.
+  p.measured_total_seconds = p.rows[kRowWait].mean_seconds +
+                             p.rows[kRowProbe].mean_seconds +
+                             p.rows[kRowFilter].mean_seconds +
+                             p.rows[kRowDelivery].mean_seconds;
+  if (p.measured_total_seconds > 0.0) {
+    for (auto& row : p.rows) {
+      row.share = row.mean_seconds / p.measured_total_seconds;
+    }
+  }
+  return p;
+}
+
+void WaitProfile::reconcile(const core::CostModel& cost, double n_fltr,
+                            double mean_replication,
+                            double predicted_wait_seconds) {
+  if (rows.size() != kRowCount) return;
+  // Receive overhead + index probe are the pre-filter fixed work, so
+  // t_rcv reconciles against the probe row; the filter loop carries the
+  // n_fltr * t_fltr term and delivery the E[R] * t_tx term of Eq. 1.
+  rows[kRowProbe].predicted_seconds = cost.t_rcv;
+  rows[kRowFilter].predicted_seconds = n_fltr * cost.t_fltr;
+  rows[kRowDelivery].predicted_seconds = mean_replication * cost.t_tx;
+  if (predicted_wait_seconds >= 0.0) {
+    rows[kRowWait].predicted_seconds = predicted_wait_seconds;
+    predicted_total_seconds =
+        predicted_wait_seconds +
+        cost.mean_service_time(n_fltr, mean_replication);
+  }
+}
+
+std::string WaitProfile::to_text() const {
+  std::string out;
+  append_fmt_line(out,
+                  "# wait profile: %llu spans, %llu retained, threshold %.1f "
+                  "us, pool-hit %.1f%%\n",
+                  static_cast<unsigned long long>(spans),
+                  static_cast<unsigned long long>(retained),
+                  1e6 * threshold_seconds, 100.0 * pool_hit_rate);
+  append_fmt_line(out, "# mean copies %.3f, mean filter evals %.1f\n",
+                  mean_copies, mean_filter_evaluations);
+  append_fmt_line(out, "  %-14s %10s %7s %12s %7s\n", "stage", "mean_us",
+                  "share", "eq1_us", "ratio");
+  for (const auto& row : rows) {
+    if (row.predicted_seconds >= 0.0) {
+      const double ratio = row.predicted_seconds > 0.0
+                               ? row.mean_seconds / row.predicted_seconds
+                               : 0.0;
+      append_fmt_line(out, "  %-14s %10.2f %6.1f%% %12.2f %7.2f\n",
+                      row.stage.c_str(), 1e6 * row.mean_seconds,
+                      100.0 * row.share, 1e6 * row.predicted_seconds, ratio);
+    } else {
+      append_fmt_line(out, "  %-14s %10.2f %6.1f%% %12s %7s\n",
+                      row.stage.c_str(), 1e6 * row.mean_seconds,
+                      100.0 * row.share, "--", "--");
+    }
+  }
+  if (predicted_total_seconds >= 0.0) {
+    const double ratio = predicted_total_seconds > 0.0
+                             ? measured_total_seconds / predicted_total_seconds
+                             : 0.0;
+    append_fmt_line(out, "  %-14s %10.2f %6.1f%% %12.2f %7.2f\n",
+                    "wait+service", 1e6 * measured_total_seconds, 100.0,
+                    1e6 * predicted_total_seconds, ratio);
+  } else {
+    append_fmt_line(out, "  %-14s %10.2f %6.1f%% %12s %7s\n", "wait+service",
+                    1e6 * measured_total_seconds, 100.0, "--", "--");
+  }
+  return out;
+}
+
+std::string WaitProfile::to_json() const {
+  std::string out = "{";
+  append_fmt_line(out,
+                  "\"spans\": %llu, \"retained\": %llu, "
+                  "\"threshold_s\": %.9g, \"pool_hit_rate\": %.9g, "
+                  "\"mean_copies\": %.9g, \"mean_filter_evaluations\": %.9g, "
+                  "\"measured_total_s\": %.9g",
+                  static_cast<unsigned long long>(spans),
+                  static_cast<unsigned long long>(retained), threshold_seconds,
+                  pool_hit_rate, mean_copies, mean_filter_evaluations,
+                  measured_total_seconds);
+  if (predicted_total_seconds >= 0.0) {
+    append_fmt_line(out, ", \"predicted_total_s\": %.9g",
+                    predicted_total_seconds);
+  }
+  out += ", \"stages\": [";
+  bool first = true;
+  for (const auto& row : rows) {
+    out += first ? "\n  {\"stage\": \"" : ",\n  {\"stage\": \"";
+    first = false;
+    json_escape_into(out, row.stage);
+    append_fmt_line(out, "\", \"mean_s\": %.9g, \"share\": %.9g",
+                    row.mean_seconds, row.share);
+    if (row.predicted_seconds >= 0.0) {
+      append_fmt_line(out, ", \"predicted_s\": %.9g", row.predicted_seconds);
+    }
+    out += "}";
+  }
+  out += "\n]}";
+  return out;
+}
+
+}  // namespace jmsperf::obs

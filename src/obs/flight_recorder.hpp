@@ -1,0 +1,279 @@
+// Always-on flight recorder: every message gets a span, the slow ones
+// get retained.
+//
+// The sampled TraceRing answers "how long did a random message wait";
+// the flight recorder answers "where did THIS tail message's wait go".
+// Every dispatched message produces one fixed-size SpanRecord with the
+// fine-grained stage boundaries of the paper's cost decomposition
+// (Eq. 1):
+//
+//   published -> admitted        pushback   (ingress queue blocking)
+//   admitted  -> pickup          wait       (the paper's W)
+//   pickup    -> probe_done      probe      (filter-index candidate probe)
+//   probe_done-> filters_done    filter     (n_fltr * t_fltr term)
+//   filters_done -> done         delivery   (R * t_tx term; max per-copy
+//                                           latency tracked separately)
+//
+// plus routing-epoch and pool-hit tags.  record() always folds the span
+// into per-shard stage aggregates (single-writer relaxed atomics — the
+// dispatcher thread owns its slot) and a total-latency LatencyHistogram;
+// the span body itself is pushed into that shard's seqlock ring ONLY
+// when its total latency clears an adaptive threshold
+//
+//   threshold = max(latency_floor, live p99 of total latency)
+//
+// refreshed amortized (every threshold_refresh_every spans per shard).
+// That tail-based retention keeps the recorder always-on at bounded
+// memory: fast spans cost ~a dozen relaxed stores, slow spans one ring
+// push, and the retained set is exactly the evidence a Monitor alert
+// wants to ship.
+//
+// All per-shard rings share one epoch, so retained spans and instant
+// events (resizes, alerts) land on a single timeline — the property the
+// Chrome-trace exporter (obs/span_export.hpp) depends on.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "obs/escape.hpp"
+#include "obs/latency_histogram.hpp"
+#include "obs/seqlock_ring.hpp"
+
+namespace jmsperf::obs {
+
+/// POD span; timestamps are nanosecond offsets from the recorder epoch.
+struct SpanRecord {
+  std::uint64_t id = 0;                  ///< publish sequence number + 1
+  std::uint32_t shard = 0;               ///< dispatcher shard that served it
+  std::uint32_t filter_evaluations = 0;  ///< filter checks for this message
+  std::uint32_t copies = 0;              ///< subscriber copies delivered
+  std::uint32_t index_probes = 0;        ///< predicate/trie index probes
+  std::uint64_t routing_epoch = 0;       ///< resize epoch it was routed under
+  std::uint32_t flags = 0;               ///< kPoolHit etc.
+  char destination[44] = {};             ///< topic/queue name (truncated)
+  std::int64_t published_ns = 0;         ///< producer entered publish()
+  std::int64_t admitted_ns = 0;          ///< ingress queue accepted it
+  std::int64_t pickup_ns = 0;            ///< dispatcher popped it
+  std::int64_t probe_done_ns = 0;        ///< index probe finished
+  std::int64_t filters_done_ns = 0;      ///< filter loop finished
+  std::int64_t done_ns = 0;              ///< last delivery finished
+  std::int64_t delivery_max_ns = 0;      ///< slowest single-subscriber copy
+
+  static constexpr std::uint32_t kPoolHit = 1u << 0;  ///< arena slab served it
+
+  [[nodiscard]] bool pool_hit() const { return (flags & kPoolHit) != 0; }
+
+  /// Truncates on a UTF-8 code-point boundary (never splits a multi-byte
+  /// sequence at the 44-byte edge).
+  void set_destination(std::string_view name) {
+    utf8_safe_copy(destination, sizeof(destination), name);
+  }
+
+  [[nodiscard]] double pushback_seconds() const {
+    return 1e-9 * static_cast<double>(admitted_ns - published_ns);
+  }
+  [[nodiscard]] double wait_seconds() const {
+    return 1e-9 * static_cast<double>(pickup_ns - admitted_ns);
+  }
+  [[nodiscard]] double probe_seconds() const {
+    return 1e-9 * static_cast<double>(probe_done_ns - pickup_ns);
+  }
+  [[nodiscard]] double filter_seconds() const {
+    return 1e-9 * static_cast<double>(filters_done_ns - probe_done_ns);
+  }
+  [[nodiscard]] double delivery_seconds() const {
+    return 1e-9 * static_cast<double>(done_ns - filters_done_ns);
+  }
+  [[nodiscard]] double delivery_max_seconds() const {
+    return 1e-9 * static_cast<double>(delivery_max_ns);
+  }
+  /// publish() -> last delivery.
+  [[nodiscard]] double total_seconds() const {
+    return 1e-9 * static_cast<double>(done_ns - published_ns);
+  }
+  [[nodiscard]] std::int64_t total_ns() const { return done_ns - published_ns; }
+};
+static_assert(std::is_trivially_copyable_v<SpanRecord>);
+
+struct FlightRecorderConfig {
+  /// Retained-span slots PER SHARD (rounded up to a power of two).
+  std::size_t ring_capacity = 256;
+  /// Spans at least this slow are always retained, whatever the live
+  /// p99 says; also the threshold before the histogram has data.
+  double latency_floor_seconds = 500e-6;
+  /// Quantile of total latency that drives the adaptive threshold.
+  double tail_quantile = 0.99;
+  /// Refresh the adaptive threshold every N spans per shard (amortizes
+  /// the histogram merge off the hot path); 0 = floor only, never adapt.
+  std::uint64_t threshold_refresh_every = 1024;
+  /// Bounded instant-event list (resizes, alerts); oldest dropped.
+  std::size_t max_instants = 256;
+};
+
+/// Per-shard running stage totals, in nanoseconds.  Written by exactly
+/// one dispatcher thread with relaxed stores (no RMW contention);
+/// readers get a monotone, possibly slightly skewed view — fine for a
+/// profile table.
+struct StageTotals {
+  std::uint64_t spans = 0;          ///< messages recorded
+  std::uint64_t retained = 0;       ///< spans that cleared the threshold
+  std::uint64_t pool_hits = 0;      ///< spans with the pool-hit tag
+  std::uint64_t copies = 0;         ///< subscriber copies delivered
+  std::uint64_t filter_evaluations = 0;
+  std::uint64_t index_probes = 0;
+  std::uint64_t pushback_ns = 0;
+  std::uint64_t wait_ns = 0;
+  std::uint64_t probe_ns = 0;
+  std::uint64_t filter_ns = 0;
+  std::uint64_t delivery_ns = 0;
+  std::uint64_t delivery_max_ns = 0;  ///< sum of per-span max copy latency
+
+  StageTotals& operator+=(const StageTotals& other);
+};
+
+/// A named point event on the recorder timeline (resize completed, alert
+/// fired); feeds Perfetto instant events.
+struct InstantEvent {
+  std::int64_t at_ns = 0;  ///< offset from the recorder epoch
+  std::string name;        ///< short category, e.g. "resize", "alert"
+  std::string detail;      ///< free text (escaped by the exporters)
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder(std::size_t shards, FlightRecorderConfig config = {});
+
+  [[nodiscard]] const FlightRecorderConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const {
+    return epoch_;
+  }
+  [[nodiscard]] std::int64_t since_epoch_ns(
+      std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+        .count();
+  }
+
+  /// Dispatcher hot path: folds the span into the owning shard's stage
+  /// totals + total-latency histogram, refreshes the adaptive threshold
+  /// every threshold_refresh_every spans, and retains the span body in
+  /// the shard ring iff its total latency clears the threshold.
+  /// Returns true when the span was retained.
+  bool record(const SpanRecord& span) noexcept;
+
+  /// Current retention threshold in nanoseconds (floor until the first
+  /// refresh; then max(floor, live tail quantile)).
+  [[nodiscard]] std::uint64_t threshold_ns() const {
+    return threshold_ns_.load(std::memory_order_relaxed);
+  }
+  /// Forces a threshold refresh from the current histograms (readers /
+  /// tests; the hot path refreshes amortized on its own).
+  void refresh_threshold();
+
+  /// Appends a point event to the bounded instant list (drops the
+  /// oldest when full).  Safe from any thread; takes a short mutex.
+  void note_instant(std::string_view name, std::string_view detail);
+  [[nodiscard]] std::vector<InstantEvent> instants() const;
+
+  /// Retained spans of one shard / of all shards, oldest-ticket first
+  /// per shard.  Seqlock snapshot: never blocks the dispatchers.
+  [[nodiscard]] std::vector<SpanRecord> retained(std::size_t shard) const;
+  [[nodiscard]] std::vector<SpanRecord> retained_all() const;
+
+  /// Stage totals of one shard / summed over shards.
+  [[nodiscard]] StageTotals totals(std::size_t shard) const;
+  [[nodiscard]] StageTotals totals() const;
+
+  /// Merged total-latency histogram over all shards.
+  [[nodiscard]] HistogramSnapshot total_latency() const;
+
+  [[nodiscard]] std::uint64_t retained_count() const;
+  [[nodiscard]] std::uint64_t dropped_count() const;
+
+ private:
+  // One cache-line-padded slot per dispatcher shard: the single-writer
+  // totals, the shard's total-latency histogram, the retained-span ring
+  // and the shard-local refresh countdown.
+  struct alignas(64) ShardSlot {
+    ShardSlot(std::size_t ring_capacity,
+              std::chrono::steady_clock::time_point epoch)
+        : ring(ring_capacity, epoch) {}
+
+    std::atomic<std::uint64_t> spans{0};
+    std::atomic<std::uint64_t> retained{0};
+    std::atomic<std::uint64_t> pool_hits{0};
+    std::atomic<std::uint64_t> copies{0};
+    std::atomic<std::uint64_t> filter_evaluations{0};
+    std::atomic<std::uint64_t> index_probes{0};
+    std::atomic<std::uint64_t> pushback_ns{0};
+    std::atomic<std::uint64_t> wait_ns{0};
+    std::atomic<std::uint64_t> probe_ns{0};
+    std::atomic<std::uint64_t> filter_ns{0};
+    std::atomic<std::uint64_t> delivery_ns{0};
+    std::atomic<std::uint64_t> delivery_max_ns{0};
+    std::uint64_t refresh_countdown = 0;  // dispatcher-thread private
+    LatencyHistogram total_latency;
+    SeqlockRing<SpanRecord> ring;
+  };
+
+  FlightRecorderConfig config_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t floor_ns_;
+  std::atomic<std::uint64_t> threshold_ns_;
+  std::vector<std::unique_ptr<ShardSlot>> shards_;
+
+  mutable std::mutex instants_mutex_;
+  std::vector<InstantEvent> instants_;
+  std::size_t instants_dropped_ = 0;
+};
+
+/// One row of the waiting-time decomposition table.
+struct WaitProfileRow {
+  std::string stage;          ///< human label
+  double mean_seconds = 0.0;  ///< measured mean over the window
+  double share = 0.0;         ///< fraction of wait+service (sum of rows)
+  double predicted_seconds = -1.0;  ///< Eq. 1 / M-GI-1 term; < 0 = none
+};
+
+/// The "where does W go" report: measured per-stage means from the
+/// recorder's StageTotals, reconciled against the calibrated Eq. 1 cost
+/// terms (probe+filter vs n_fltr*t_fltr, delivery vs E[R]*t_tx) and the
+/// M/GI/1 predicted wait.  The stage means telescope exactly:
+/// wait + probe + filter + delivery = mean(admitted -> done), so the
+/// table always sums to the measured mean ingress-wait + service time.
+struct WaitProfile {
+  std::uint64_t spans = 0;
+  std::uint64_t retained = 0;
+  double pool_hit_rate = 0.0;
+  double mean_copies = 0.0;
+  double mean_filter_evaluations = 0.0;
+  double threshold_seconds = 0.0;  ///< retention threshold at build time
+  std::vector<WaitProfileRow> rows;
+  double measured_total_seconds = 0.0;   ///< mean wait + service
+  double predicted_total_seconds = -1.0; ///< W + E[B] when reconciled
+
+  /// Builds the measured columns from recorder aggregates.
+  [[nodiscard]] static WaitProfile build(const FlightRecorder& recorder);
+
+  /// Fills the predicted column: filter stage vs n_fltr * t_fltr,
+  /// delivery vs mean_replication * t_tx, probe+receive vs t_rcv, and
+  /// the wait row vs `predicted_wait_seconds` (pass a value < 0 to skip
+  /// the wait prediction).
+  void reconcile(const core::CostModel& cost, double n_fltr,
+                 double mean_replication, double predicted_wait_seconds);
+
+  /// Fixed-width table (stage, mean us, share, predicted us, ratio).
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace jmsperf::obs

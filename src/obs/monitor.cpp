@@ -5,6 +5,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/escape.hpp"
 #include "queueing/mg1.hpp"
 
 namespace jmsperf::obs {
@@ -26,17 +27,6 @@ std::string strfmt(const char* fmt, ...) {
 double relative_error(double measured, double predicted, double floor) {
   const double denominator = std::max(predicted, floor);
   return denominator > 0.0 ? std::abs(measured - predicted) / denominator : 0.0;
-}
-
-void json_escape_into(std::string& out, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out += c;
-  }
 }
 
 }  // namespace
@@ -216,6 +206,23 @@ void Monitor::raise(AlertSeverity severity, AlertCause cause, double measured,
   alert.reference = reference;
   alert.statistic = statistic;
   alert.message = std::move(message);
+  // Ship the evidence: snapshot the slowest retained spans from the
+  // attached flight recorder (when one exists) so the exact messages
+  // behind the offending window survive the alert.
+  if (FlightRecorder* recorder = telemetry_.flight_recorder();
+      recorder != nullptr && config_.alert_span_limit > 0) {
+    alert.span_threshold_seconds =
+        1e-9 * static_cast<double>(recorder->threshold_ns());
+    alert.spans = recorder->retained_all();
+    std::sort(alert.spans.begin(), alert.spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.total_ns() > b.total_ns();
+              });
+    if (alert.spans.size() > config_.alert_span_limit) {
+      alert.spans.resize(config_.alert_span_limit);
+    }
+    recorder->note_instant("alert", alert.message);
+  }
   ++raised_;
   alerts_.push_back(alert);
   while (alerts_.size() > config_.max_alerts) {
@@ -292,7 +299,25 @@ std::string alerts_to_json(const std::vector<Alert>& alerts) {
         static_cast<unsigned long long>(a.epoch), a.measured, a.reference,
         a.statistic);
     json_escape_into(out, a.message);
-    out += "\"}";
+    out += "\"";
+    if (!a.spans.empty()) {
+      out += strfmt(", \"span_threshold_s\": %.9g, \"spans\": [",
+                    a.span_threshold_seconds);
+      for (std::size_t s = 0; s < a.spans.size(); ++s) {
+        const SpanRecord& span = a.spans[s];
+        out += strfmt("%s{\"id\": %llu, \"shard\": %u, \"destination\": \"",
+                      s == 0 ? "" : ", ",
+                      static_cast<unsigned long long>(span.id), span.shard);
+        json_escape_into(out, span.destination);
+        out += strfmt(
+            "\", \"total_s\": %.9g, \"wait_s\": %.9g, \"filter_s\": %.9g, "
+            "\"delivery_s\": %.9g, \"copies\": %u}",
+            span.total_seconds(), span.wait_seconds(), span.filter_seconds(),
+            span.delivery_seconds(), span.copies);
+      }
+      out += "]";
+    }
+    out += "}";
   }
   out += alerts.empty() ? "]\n" : "\n]\n";
   return out;
@@ -305,7 +330,17 @@ std::string format_alerts_text(const std::vector<Alert>& alerts) {
     out += strfmt("[%s] %s (epoch %llu): %s\n",
                   std::string(to_string(a.severity)).c_str(),
                   std::string(to_string(a.cause)).c_str(),
-                  static_cast<unsigned long long>(a.epoch), a.message.c_str());
+                  static_cast<unsigned long long>(a.epoch),
+                  sanitized_text(a.message).c_str());
+    for (const SpanRecord& span : a.spans) {
+      out += strfmt(
+          "    span %llu shard %u %-24s total %.1f us (wait %.1f, filter "
+          "%.1f, tx %.1f) x%u\n",
+          static_cast<unsigned long long>(span.id), span.shard,
+          sanitized_text(span.destination).c_str(), 1e6 * span.total_seconds(),
+          1e6 * span.wait_seconds(), 1e6 * span.filter_seconds(),
+          1e6 * span.delivery_seconds(), span.copies);
+    }
   }
   return out;
 }

@@ -76,6 +76,13 @@ struct Alert {
   double reference = 0.0;    ///< prediction / threshold it violated
   double statistic = 0.0;    ///< detector statistic at trigger
   std::string message;       ///< one line with the numbers, for humans
+  /// Evidence: the slowest retained flight-recorder spans at the moment
+  /// the detector fired (empty when the attached telemetry has no
+  /// recorder).  Every span's total latency cleared the recorder's
+  /// adaptive retention threshold when it was captured.
+  std::vector<SpanRecord> spans;
+  /// Retention threshold (seconds) at capture time, for context.
+  double span_threshold_seconds = 0.0;
 };
 
 struct MonitorConfig {
@@ -107,6 +114,9 @@ struct MonitorConfig {
   /// Bounded alert sink: oldest alerts are evicted (and counted) beyond
   /// this size.
   std::size_t max_alerts = 64;
+  /// Retained slow spans attached to each alert (slowest first); 0
+  /// disables the attachment even when a flight recorder is present.
+  std::size_t alert_span_limit = 8;
   /// Calibrated service moments to hold the live broker against (e.g.
   /// from core::CostModel / a calibration run).  Absent = self-check:
   /// predict from the window's own measured moments.

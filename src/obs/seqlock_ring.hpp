@@ -1,0 +1,151 @@
+// Bounded lock-free seqlock ring over any trivially copyable record.
+//
+// The ring is a fixed array of seqlock slots.  Writers claim a ticket
+// with one fetch_add and publish the record with per-word relaxed atomic
+// stores guarded by the slot's sequence number; a writer that finds its
+// slot mid-write (ring wrapped onto an active writer) drops the record
+// and counts it instead of blocking.  Readers validate the sequence
+// before and after copying, so they never observe a torn record — and
+// because every shared word is a std::atomic, the scheme is clean under
+// ThreadSanitizer, not just on x86.
+//
+// This is the mechanism behind both the sampled TraceRing (obs/trace.hpp)
+// and the per-shard retained-span rings of the flight recorder
+// (obs/flight_recorder.hpp).  Rings carry a time epoch so record
+// timestamps can be stored as compact nanosecond offsets; several rings
+// can share one epoch (pass it to the constructor) when their records
+// must land on a common timeline, e.g. one Perfetto trace.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace jmsperf::obs {
+
+template <typename Record>
+class SeqlockRing {
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "SeqlockRing records are published word-by-word");
+
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).  `epoch`
+  /// anchors since_epoch_ns(); defaults to construction time.
+  explicit SeqlockRing(std::size_t capacity,
+                       std::chrono::steady_clock::time_point epoch =
+                           std::chrono::steady_clock::now())
+      : slots_(round_up_pow2(capacity)),
+        mask_(slots_.size() - 1),
+        epoch_(epoch) {}
+
+  SeqlockRing(const SeqlockRing&) = delete;
+  SeqlockRing& operator=(const SeqlockRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const {
+    return epoch_;
+  }
+
+  /// Nanoseconds since the ring's epoch for a steady_clock time point.
+  [[nodiscard]] std::int64_t since_epoch_ns(
+      std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+        .count();
+  }
+
+  /// Lock-free publish; returns false (and counts the drop) when the
+  /// claimed slot is still being written by a lapped writer.
+  bool push(const Record& record) noexcept {
+    const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[ticket & mask_];
+    std::uint64_t expected = slot.seq.load(std::memory_order_relaxed);
+    // Claim the slot: only from a published (even) state, and atomically,
+    // so a lapped writer can never interleave with us on the same slot.
+    if ((expected & 1) != 0 ||
+        !slot.seq.compare_exchange_strong(expected, 2 * ticket + 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    std::array<std::uint64_t, kWords> buffer{};
+    std::memcpy(buffer.data(), &record, sizeof(record));
+    for (std::size_t w = 0; w < kWords; ++w) {
+      slot.words[w].store(buffer[w], std::memory_order_relaxed);
+    }
+    slot.seq.store(2 * ticket + 2, std::memory_order_release);
+    return true;
+  }
+
+  /// Consistent copies of the retained records, oldest first.  Skips
+  /// slots that are mid-write; never blocks writers.
+  [[nodiscard]] std::vector<Record> snapshot() const {
+    struct Tagged {
+      std::uint64_t ticket;
+      Record record;
+    };
+    std::vector<Tagged> collected;
+    collected.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+      const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+      if (before == 0 || (before & 1) != 0) continue;  // virgin or mid-write
+      std::array<std::uint64_t, kWords> buffer{};
+      for (std::size_t w = 0; w < kWords; ++w) {
+        buffer[w] = slot.words[w].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != before) {
+        continue;  // overwritten while copying
+      }
+      Tagged t;
+      t.ticket = before / 2 - 1;
+      std::memcpy(static_cast<void*>(&t.record), buffer.data(), sizeof(Record));
+      collected.push_back(t);
+    }
+    std::sort(
+        collected.begin(), collected.end(),
+        [](const Tagged& a, const Tagged& b) { return a.ticket < b.ticket; });
+    std::vector<Record> records;
+    records.reserve(collected.size());
+    for (const auto& t : collected) records.push_back(t.record);
+    return records;
+  }
+
+  /// Total records accepted / dropped so far.
+  [[nodiscard]] std::uint64_t pushed() const {
+    return head_.load(std::memory_order_relaxed) -
+           dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kWords = (sizeof(Record) + 7) / 8;
+
+  struct Slot {
+    // seq = 0: virgin; odd = write in progress; even 2t+2: record of
+    // ticket t is published.
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, kWords> words{};
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    if (n < 2) return 2;
+    return std::bit_ceil(n);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace jmsperf::obs

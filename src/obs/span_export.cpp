@@ -1,0 +1,157 @@
+#include "obs/span_export.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <set>
+
+#include "obs/escape.hpp"
+
+namespace jmsperf::obs {
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[320];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+// Microseconds with nanosecond decimals, the trace-event ts/dur unit.
+[[nodiscard]] double to_us(std::int64_t ns) {
+  return static_cast<double>(ns) / 1000.0;
+}
+
+[[nodiscard]] std::int64_t non_negative(std::int64_t ns) {
+  return ns > 0 ? ns : 0;
+}
+
+void append_sep(std::string& out, bool& first) {
+  out += first ? "\n  " : ",\n  ";
+  first = false;
+}
+
+// Complete "X" event on a shard's thread track.
+void append_complete(std::string& out, bool& first, std::string_view name,
+                     std::uint32_t tid, std::int64_t ts_ns,
+                     std::int64_t dur_ns, const std::string& args_json) {
+  append_sep(out, first);
+  out += "{\"name\": \"";
+  json_escape_into(out, name);
+  append_fmt(out, "\", \"cat\": \"service\", \"ph\": \"X\", \"ts\": %.3f, "
+                  "\"dur\": %.3f, \"pid\": 1, \"tid\": %u",
+             to_us(ts_ns), to_us(non_negative(dur_ns)), tid);
+  if (!args_json.empty()) {
+    out += ", \"args\": ";
+    out += args_json;
+  }
+  out += "}";
+}
+
+// Async "b"/"e" pair member, keyed by cat "message" + the span id.
+void append_async(std::string& out, bool& first, char phase,
+                  std::string_view name, std::uint32_t tid, std::uint64_t id,
+                  std::int64_t ts_ns) {
+  append_sep(out, first);
+  out += "{\"name\": \"";
+  json_escape_into(out, name);
+  append_fmt(out,
+             "\", \"cat\": \"message\", \"ph\": \"%c\", \"id\": \"0x%llx\", "
+             "\"ts\": %.3f, \"pid\": 1, \"tid\": %u}",
+             phase, static_cast<unsigned long long>(id), to_us(ts_ns), tid);
+}
+
+void append_thread_name(std::string& out, bool& first, std::uint32_t tid,
+                        const std::string& name) {
+  append_sep(out, first);
+  out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, ";
+  append_fmt(out, "\"tid\": %u, \"args\": {\"name\": \"", tid);
+  json_escape_into(out, name);
+  out += "\"}}";
+}
+
+}  // namespace
+
+std::string spans_to_chrome_trace(const std::vector<SpanRecord>& spans,
+                                  const std::vector<InstantEvent>& instants) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+
+  // Thread-name metadata: tid 0 is the broker-wide instant track, each
+  // dispatcher shard is tid = shard + 1.
+  append_thread_name(out, first, 0, "broker");
+  std::set<std::uint32_t> shards;
+  for (const auto& span : spans) shards.insert(span.shard);
+  for (const std::uint32_t shard : shards) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard %u", shard);
+    append_thread_name(out, first, shard + 1, name);
+  }
+
+  for (const auto& span : spans) {
+    const std::uint32_t tid = span.shard + 1;
+
+    // Full publish -> deliver envelope: async, because envelopes of
+    // different messages overlap under backlog.  Nested async slices
+    // mark the pre-dispatch phases.
+    append_async(out, first, 'b', span.destination, tid, span.id,
+                 span.published_ns);
+    append_async(out, first, 'b', "pushback", tid, span.id, span.published_ns);
+    append_async(out, first, 'e', "pushback", tid, span.id,
+                 std::max(span.admitted_ns, span.published_ns));
+    append_async(out, first, 'b', "ingress wait", tid, span.id,
+                 span.admitted_ns);
+    append_async(out, first, 'e', "ingress wait", tid, span.id,
+                 std::max(span.pickup_ns, span.admitted_ns));
+    append_async(out, first, 'e', span.destination, tid, span.id,
+                 std::max(span.done_ns, span.published_ns));
+
+    // Serial service span on the shard's thread track, with perfectly
+    // nested child slices (the dispatcher serves a shard serially).
+    std::string args;
+    append_fmt(args,
+               "{\"id\": %llu, \"copies\": %u, \"filter_evaluations\": %u, "
+               "\"index_probes\": %u, \"routing_epoch\": %llu, "
+               "\"pool_hit\": %s, \"total_us\": %.3f}",
+               static_cast<unsigned long long>(span.id), span.copies,
+               span.filter_evaluations, span.index_probes,
+               static_cast<unsigned long long>(span.routing_epoch),
+               span.pool_hit() ? "true" : "false",
+               to_us(non_negative(span.total_ns())));
+    append_complete(out, first, span.destination, tid, span.pickup_ns,
+                    span.done_ns - span.pickup_ns, args);
+    append_complete(out, first, "index probe", tid, span.pickup_ns,
+                    span.probe_done_ns - span.pickup_ns, "");
+    append_complete(out, first, "filter loop", tid, span.probe_done_ns,
+                    span.filters_done_ns - span.probe_done_ns, "");
+    std::string deliver_args;
+    append_fmt(deliver_args, "{\"copies\": %u, \"max_copy_us\": %.3f}",
+               span.copies, to_us(non_negative(span.delivery_max_ns)));
+    append_complete(out, first, "deliver", tid, span.filters_done_ns,
+                    span.done_ns - span.filters_done_ns, deliver_args);
+  }
+
+  for (const auto& event : instants) {
+    append_sep(out, first);
+    out += "{\"name\": \"";
+    json_escape_into(out, event.name);
+    append_fmt(out,
+               "\", \"ph\": \"i\", \"ts\": %.3f, \"pid\": 1, \"tid\": 0, "
+               "\"s\": \"g\", \"args\": {\"detail\": \"",
+               to_us(event.at_ns));
+    json_escape_into(out, event.detail);
+    out += "\"}}";
+  }
+
+  out += "\n]}";
+  return out;
+}
+
+std::string chrome_trace_from(const FlightRecorder& recorder) {
+  return spans_to_chrome_trace(recorder.retained_all(), recorder.instants());
+}
+
+}  // namespace jmsperf::obs

@@ -1,0 +1,42 @@
+// Chrome-trace-event JSON exporter for retained flight-recorder spans.
+//
+// Emits the JSON object format ({"traceEvents": [...]}) that Perfetto
+// and chrome://tracing load directly.  Track layout:
+//
+//   * One THREAD track per dispatcher shard (pid 1, tid = shard + 1,
+//     named by an "M" thread_name metadata event).  The serial service
+//     span of each message (pickup -> done) goes here as a complete "X"
+//     event named after the destination, with nested child "X" slices
+//     for the index probe, the filter loop and the delivery fan-out.
+//     Dispatchers serve a shard serially, so these X events nest
+//     perfectly — the property the structural validator checks.
+//   * The full publish -> deliver envelope of a message OVERLAPS other
+//     messages' envelopes whenever a backlog builds (that is the point
+//     of retaining it), so it cannot be an X event: it is an async
+//     "b"/"e" pair keyed by cat "message" + the span id, with nested
+//     async "pushback" and "ingress wait" phases on the same id.
+//   * Resizes and alerts appear as global "i" instant events.
+//
+// All timestamps come off one recorder epoch (ts is microseconds with
+// nanosecond decimals), so spans from different shards and the instant
+// events share a single timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+
+namespace jmsperf::obs {
+
+/// Serializes retained spans + instant events to a Chrome trace-event
+/// JSON document.  All strings are JSON-escaped.
+[[nodiscard]] std::string spans_to_chrome_trace(
+    const std::vector<SpanRecord>& spans,
+    const std::vector<InstantEvent>& instants);
+
+/// Convenience: snapshot `recorder` (all shards, oldest first per shard,
+/// plus its instant list) and serialize.
+[[nodiscard]] std::string chrome_trace_from(const FlightRecorder& recorder);
+
+}  // namespace jmsperf::obs

@@ -31,6 +31,9 @@ BrokerTelemetry::BrokerTelemetry(std::size_t shards, TelemetryConfig config)
   for (std::size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<ShardHistograms>());
   }
+  if (config.enable_flight_recorder) {
+    recorder_ = std::make_unique<FlightRecorder>(shards, config.flight);
+  }
 }
 
 void BrokerTelemetry::register_gauge(std::string name, std::function<double()> fn) {

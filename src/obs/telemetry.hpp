@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/latency_histogram.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +40,11 @@ struct TelemetryConfig {
   /// Time individual filter evaluations for every N-th received message
   /// per shard (feeds the filter-eval histogram); 0 = never.
   std::uint32_t filter_timing_every = 0;
+  /// Always-on flight recorder: every message gets a span, slow ones are
+  /// retained per shard (obs/flight_recorder.hpp).  Off by default.
+  bool enable_flight_recorder = false;
+  /// Recorder tuning, used only when enable_flight_recorder is set.
+  FlightRecorderConfig flight;
 };
 
 /// The three latency histograms of one dispatcher shard.
@@ -91,6 +97,12 @@ class BrokerTelemetry {
   [[nodiscard]] TraceRing& traces() { return traces_; }
   [[nodiscard]] const TraceRing& traces() const { return traces_; }
 
+  /// The always-on flight recorder, or nullptr when not enabled.
+  [[nodiscard]] FlightRecorder* flight_recorder() { return recorder_.get(); }
+  [[nodiscard]] const FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+
   [[nodiscard]] bool tracing_enabled() const { return sample_every_ != 0; }
 
   /// Sampling stride derived from trace_sample_rate: 0 = tracing off,
@@ -135,6 +147,7 @@ class BrokerTelemetry {
   MetricsRegistry registry_;
   std::vector<std::unique_ptr<ShardHistograms>> shards_;
   TraceRing traces_;
+  std::unique_ptr<FlightRecorder> recorder_;
   std::atomic<std::uint64_t> trace_seq_{0};
 
   mutable std::mutex gauges_mutex_;

@@ -1,77 +1,10 @@
 #include "obs/trace.hpp"
 
-#include <algorithm>
-#include <bit>
 #include <cstdio>
-#include <cstring>
+
+#include "obs/escape.hpp"
 
 namespace jmsperf::obs {
-
-namespace {
-
-std::size_t round_up_pow2(std::size_t n) {
-  if (n < 2) return 2;
-  return std::bit_ceil(n);
-}
-
-}  // namespace
-
-TraceRing::TraceRing(std::size_t capacity)
-    : slots_(round_up_pow2(capacity)),
-      mask_(slots_.size() - 1),
-      epoch_(std::chrono::steady_clock::now()) {}
-
-bool TraceRing::push(const TraceRecord& record) noexcept {
-  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
-  Slot& slot = slots_[ticket & mask_];
-  std::uint64_t expected = slot.seq.load(std::memory_order_relaxed);
-  // Claim the slot: only from a published (even) state, and atomically,
-  // so a lapped writer can never interleave with us on the same slot.
-  if ((expected & 1) != 0 ||
-      !slot.seq.compare_exchange_strong(expected, 2 * ticket + 1,
-                                        std::memory_order_acquire,
-                                        std::memory_order_relaxed)) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
-  std::array<std::uint64_t, kWords> buffer{};
-  std::memcpy(buffer.data(), &record, sizeof(record));
-  for (std::size_t w = 0; w < kWords; ++w) {
-    slot.words[w].store(buffer[w], std::memory_order_relaxed);
-  }
-  slot.seq.store(2 * ticket + 2, std::memory_order_release);
-  return true;
-}
-
-std::vector<TraceRecord> TraceRing::snapshot() const {
-  struct Tagged {
-    std::uint64_t ticket;
-    TraceRecord record;
-  };
-  std::vector<Tagged> collected;
-  collected.reserve(slots_.size());
-  for (const Slot& slot : slots_) {
-    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
-    if (before == 0 || (before & 1) != 0) continue;  // virgin or mid-write
-    std::array<std::uint64_t, kWords> buffer{};
-    for (std::size_t w = 0; w < kWords; ++w) {
-      buffer[w] = slot.words[w].load(std::memory_order_relaxed);
-    }
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (slot.seq.load(std::memory_order_relaxed) != before) continue;  // overwritten
-    Tagged t;
-    t.ticket = before / 2 - 1;
-    std::memcpy(static_cast<void*>(&t.record), buffer.data(),
-                sizeof(TraceRecord));
-    collected.push_back(t);
-  }
-  std::sort(collected.begin(), collected.end(),
-            [](const Tagged& a, const Tagged& b) { return a.ticket < b.ticket; });
-  std::vector<TraceRecord> records;
-  records.reserve(collected.size());
-  for (const auto& t : collected) records.push_back(t.record);
-  return records;
-}
 
 std::string format_traces_text(const std::vector<TraceRecord>& records) {
   std::string out;
@@ -82,9 +15,13 @@ std::string format_traces_text(const std::vector<TraceRecord>& records) {
                 "copies");
   out += line;
   for (const auto& r : records) {
+    // Destination first through the control-character filter: a newline
+    // or escape sequence in a hostile topic name must not break the
+    // fixed-width table.
+    const std::string dest = sanitized_text(r.destination);
     std::snprintf(line, sizeof(line),
                   "  %8llu %-24s %5u %9.2f %9.2f %9.2f %9.2f %6u %6u\n",
-                  static_cast<unsigned long long>(r.id), r.destination, r.shard,
+                  static_cast<unsigned long long>(r.id), dest.c_str(), r.shard,
                   1e6 * r.pushback_seconds(), 1e6 * r.wait_seconds(),
                   1e6 * r.filter_seconds(), 1e6 * r.delivery_seconds(),
                   r.filter_evaluations, r.copies);
@@ -98,14 +35,19 @@ std::string traces_to_json(const std::vector<TraceRecord>& records) {
   char buf[512];
   bool first = true;
   for (const auto& r : records) {
+    out += first ? "\n  {\"id\": " : ",\n  {\"id\": ";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%llu, \"destination\": \"",
+                  static_cast<unsigned long long>(r.id));
+    out += buf;
+    json_escape_into(out, r.destination);
     std::snprintf(
         buf, sizeof(buf),
-        "%s\n  {\"id\": %llu, \"destination\": \"%s\", \"shard\": %u, "
+        "\", \"shard\": %u, "
         "\"published_ns\": %lld, \"admitted_ns\": %lld, \"pickup_ns\": %lld, "
         "\"filters_done_ns\": %lld, \"done_ns\": %lld, "
         "\"pushback_s\": %.9g, \"wait_s\": %.9g, \"filter_s\": %.9g, "
         "\"delivery_s\": %.9g, \"filter_evaluations\": %u, \"copies\": %u}",
-        first ? "" : ",", static_cast<unsigned long long>(r.id), r.destination,
         r.shard, static_cast<long long>(r.published_ns),
         static_cast<long long>(r.admitted_ns),
         static_cast<long long>(r.pickup_ns),
@@ -114,7 +56,6 @@ std::string traces_to_json(const std::vector<TraceRecord>& records) {
         r.wait_seconds(), r.filter_seconds(), r.delivery_seconds(),
         r.filter_evaluations, r.copies);
     out += buf;
-    first = false;
   }
   out += "\n]";
   return out;

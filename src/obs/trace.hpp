@@ -9,25 +9,20 @@
 // takes a lock for tracing and an idle sampler (rate 0) costs one
 // predicted branch.
 //
-// The ring is a fixed array of seqlock slots.  Writers claim a ticket
-// with one fetch_add and publish the record with per-word relaxed atomic
-// stores guarded by the slot's sequence number; a writer that finds its
-// slot mid-write (ring wrapped onto an active writer) drops the record
-// and counts it instead of blocking.  Readers validate the sequence
-// before and after copying, so they never observe a torn record — and
-// because every shared word is a std::atomic, the scheme is clean under
-// ThreadSanitizer, not just on x86.
+// The ring mechanics (ticketed seqlock slots, lapped-writer drops,
+// torn-read rejection) live in obs/seqlock_ring.hpp, shared with the
+// flight recorder's per-shard retained-span rings.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <chrono>
+#include <algorithm>
 #include <cstdint>
-#include <cstring>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <vector>
+
+#include "obs/escape.hpp"
+#include "obs/seqlock_ring.hpp"
 
 namespace jmsperf::obs {
 
@@ -45,10 +40,11 @@ struct TraceRecord {
   std::int64_t filters_done_ns = 0;      ///< filter loop finished
   std::int64_t done_ns = 0;              ///< last delivery finished
 
+  /// Truncates to the buffer on a UTF-8 code-point boundary — a
+  /// multi-byte sequence is never split, so the stored name stays valid
+  /// UTF-8 whatever falls on the 44-byte edge.
   void set_destination(std::string_view name) {
-    const std::size_t n = std::min(name.size(), sizeof(destination) - 1);
-    std::memcpy(destination, name.data(), n);
-    destination[n] = '\0';
+    utf8_safe_copy(destination, sizeof(destination), name);
   }
 
   /// Push-back blocking before the ingress queue accepted the message.
@@ -74,62 +70,15 @@ struct TraceRecord {
 };
 static_assert(std::is_trivially_copyable_v<TraceRecord>);
 
-class TraceRing {
- public:
-  /// Capacity is rounded up to a power of two (minimum 2).
-  explicit TraceRing(std::size_t capacity);
-
-  TraceRing(const TraceRing&) = delete;
-  TraceRing& operator=(const TraceRing&) = delete;
-
-  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
-  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const { return epoch_; }
-
-  /// Nanoseconds since the ring's epoch for a steady_clock time point.
-  [[nodiscard]] std::int64_t since_epoch_ns(
-      std::chrono::steady_clock::time_point t) const {
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_).count();
-  }
-
-  /// Lock-free publish; returns false (and counts the drop) when the
-  /// claimed slot is still being written by a lapped writer.
-  bool push(const TraceRecord& record) noexcept;
-
-  /// Consistent copies of the retained records, oldest first.  Skips
-  /// slots that are mid-write; never blocks writers.
-  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
-
-  /// Total records accepted / dropped so far.
-  [[nodiscard]] std::uint64_t pushed() const {
-    return head_.load(std::memory_order_relaxed) -
-           dropped_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t dropped() const {
-    return dropped_.load(std::memory_order_relaxed);
-  }
-
- private:
-  static constexpr std::size_t kWords = (sizeof(TraceRecord) + 7) / 8;
-
-  struct Slot {
-    // seq = 0: virgin; odd = write in progress; even 2t+2: record of
-    // ticket t is published.
-    std::atomic<std::uint64_t> seq{0};
-    std::array<std::atomic<std::uint64_t>, kWords> words{};
-  };
-
-  std::vector<Slot> slots_;
-  std::uint64_t mask_;
-  std::atomic<std::uint64_t> head_{0};
-  std::atomic<std::uint64_t> dropped_{0};
-  std::chrono::steady_clock::time_point epoch_;
-};
+using TraceRing = SeqlockRing<TraceRecord>;
 
 /// Human-readable multi-line dump of trace records (one span breakdown
-/// per line, microsecond units).
+/// per line, microsecond units; control characters in destination names
+/// are rendered as '.').
 [[nodiscard]] std::string format_traces_text(const std::vector<TraceRecord>& records);
 
-/// JSON array of trace records (ns offsets, span breakdown in seconds).
+/// JSON array of trace records (ns offsets, span breakdown in seconds;
+/// destination strings are JSON-escaped).
 [[nodiscard]] std::string traces_to_json(const std::vector<TraceRecord>& records);
 
 }  // namespace jmsperf::obs

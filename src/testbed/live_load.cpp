@@ -15,12 +15,15 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 jms::BrokerConfig measurement_broker_config(const LiveLoadConfig& config,
-                                            double trace_sample_rate) {
+                                            double trace_sample_rate,
+                                            bool flight_recorder) {
   jms::BrokerConfig broker_config;
   broker_config.subscription_queue_capacity = 1 << 17;
   broker_config.drop_on_subscriber_overflow = true;  // keep dispatcher unblocked
   broker_config.trace_sample_rate = trace_sample_rate;
   broker_config.telemetry_window_capacity = config.telemetry_window_capacity;
+  broker_config.enable_flight_recorder = flight_recorder;
+  broker_config.flight_latency_floor_seconds = config.flight_latency_floor_seconds;
   return broker_config;
 }
 
@@ -47,7 +50,7 @@ LiveLoadResult run_live_load(const LiveLoadConfig& config) {
   // so 1/throughput would overestimate the service time and phase 2
   // would then undershoot the target utilization.
   {
-    jms::Broker broker(measurement_broker_config(config, 0.0));
+    jms::Broker broker(measurement_broker_config(config, 0.0, false));
     const auto subs = install_population(broker, config);
     for (int i = 0; i < config.warmup_messages; ++i) {
       broker.publish(workload::make_keyed_message("t", 0));
@@ -76,7 +79,8 @@ LiveLoadResult run_live_load(const LiveLoadConfig& config) {
 
   // --- Phase 2: paced Poisson arrivals on a fresh broker ---------------
   {
-    jms::Broker broker(measurement_broker_config(config, config.trace_sample_rate));
+    jms::Broker broker(measurement_broker_config(
+        config, config.trace_sample_rate, config.enable_flight_recorder));
     const auto subs = install_population(broker, config);
     stats::RandomStream rng(config.seed);
     if (config.on_measurement_start) config.on_measurement_start(broker);
@@ -117,6 +121,10 @@ LiveLoadResult run_live_load(const LiveLoadConfig& config) {
         config.messages / std::chrono::duration<double>(last - start).count();
     result.telemetry = broker.telemetry_snapshot();
     result.stats = broker.stats();
+    if (const obs::FlightRecorder* recorder = broker.flight_recorder()) {
+      result.wait_profile = obs::WaitProfile::build(*recorder);
+      result.retained_spans = recorder->retained_all();
+    }
     result.service_moments = result.telemetry.service_time.raw_moments_seconds();
     result.measured_utilization =
         result.achieved_lambda * result.service_moments.m1;

@@ -94,6 +94,13 @@ struct LiveLoadConfig {
   double trace_sample_rate = 0.0;
   /// Epochs retained by the measurement broker's telemetry window.
   std::size_t telemetry_window_capacity = 8;
+  /// Run the measurement broker with the always-on flight recorder so
+  /// the result carries a per-stage waiting-time decomposition
+  /// (LiveLoadResult::wait_profile).  The calibration broker never
+  /// records: E[B] must not pay the recorder's (small) overhead twice.
+  bool enable_flight_recorder = false;
+  /// Retention floor forwarded to the recorder (seconds).
+  double flight_latency_floor_seconds = 500e-6;
   /// Called on the measurement broker after the filter population is
   /// installed, just before pacing starts — attach an obs::Monitor or
   /// prime dashboards here.  Null = no-op.
@@ -123,6 +130,13 @@ struct LiveLoadResult {
   /// Full telemetry of the measurement broker after the run.
   obs::TelemetrySnapshot telemetry;
   jms::BrokerStats stats;
+  /// Stage decomposition of the paced phase, captured before the
+  /// measurement broker is torn down.  Only populated (spans > 0) when
+  /// LiveLoadConfig::enable_flight_recorder was set.
+  obs::WaitProfile wait_profile;
+  /// Slow spans the recorder retained during the paced phase (tail
+  /// latency evidence; empty when the recorder was off).
+  std::vector<obs::SpanRecord> retained_spans;
 };
 
 /// Runs calibration + paced measurement on fresh brokers.  The returned

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "jms/broker.hpp"
+#include "obs/escape.hpp"
 #include "obs/exporters.hpp"
+#include "obs/trace.hpp"
 #include "workload/filter_population.hpp"
 
 namespace jmsperf::obs {
@@ -449,6 +451,86 @@ TEST(Tracing, InvalidSampleRateThrows) {
   jms::BrokerConfig config;
   config.trace_sample_rate = 1.5;
   EXPECT_THROW(jms::Broker broker(config), std::invalid_argument);
+}
+
+// --- Escaping audit: the boundary helpers and hostile names end-to-end ---
+
+TEST(Escaping, JsonEscapeCoversQuotesBackslashesAndEveryControlByte) {
+  EXPECT_EQ(json_escaped("plain"), "plain");
+  EXPECT_EQ(json_escaped("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escaped("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escaped("a\nb\rc\td\be\ff"), "a\\nb\\rc\\td\\be\\ff");
+  // Unnamed control bytes take the \u00XX form.
+  EXPECT_EQ(json_escaped("a\x01z"), "a\\u0001z");
+  EXPECT_EQ(json_escaped("\x1f"), "\\u001f");
+  // Multi-byte UTF-8 passes through so the document stays UTF-8.
+  EXPECT_EQ(json_escaped("caf\xC3\xA9 \xE2\x82\xAC"), "caf\xC3\xA9 \xE2\x82\xAC");
+}
+
+TEST(Escaping, PrometheusHelpAndLabelRulesDiffer) {
+  std::string help;
+  prometheus_escape_help_into(help, "a\\b\nc\"d");
+  EXPECT_EQ(help, "a\\\\b\\nc\"d");  // HELP keeps the quote verbatim
+  EXPECT_EQ(prometheus_escaped_label("a\\b\nc\"d"), "a\\\\b\\nc\\\"d");
+}
+
+TEST(Escaping, Utf8SafePrefixBacksOffContinuationBytes) {
+  EXPECT_EQ(utf8_safe_prefix("abc", 10), 3u);     // shorter than the cap
+  EXPECT_EQ(utf8_safe_prefix("abcd", 3), 3u);     // clean ASCII cut
+  EXPECT_EQ(utf8_safe_prefix("ab\xC3\xA9", 3), 2u);   // mid-2-byte: back off
+  EXPECT_EQ(utf8_safe_prefix("ab\xC3\xA9", 4), 4u);   // whole sequence fits
+  EXPECT_EQ(utf8_safe_prefix("\xE2\x82\xAC", 2), 0u); // mid-3-byte: nothing
+  EXPECT_EQ(utf8_safe_prefix("\xE2\x82\xAC", 3), 3u);
+}
+
+TEST(Escaping, SanitizeReplacesControlBytesForFixedWidthDumps) {
+  EXPECT_EQ(sanitized_text("a\nb\x01" "c\x7f"), "a.b.c.");
+  EXPECT_EQ(sanitized_text("caf\xC3\xA9"), "caf\xC3\xA9");  // UTF-8 untouched
+}
+
+TEST(Exporters, HostileTopicNamesStayInsideJsonStrings) {
+  jms::BrokerConfig config = traced_config();
+  config.auto_create_topics = true;
+  jms::Broker broker(config);
+  const std::string hostile = "bad\"topic\\with\nnewline";
+  auto sub = broker.subscribe(hostile, jms::SubscriptionFilter::none());
+  for (int i = 0; i < 5; ++i) {
+    jms::Message m;
+    m.set_destination(hostile);
+    broker.publish(std::move(m));
+  }
+  broker.wait_until_idle();
+
+  // The traced destinations appear escaped, never raw.
+  const std::string traces = traces_to_json(broker.trace_records());
+  EXPECT_NE(traces.find("bad\\\"topic\\\\with\\nnewline"), std::string::npos);
+  EXPECT_EQ(traces.find("bad\"topic"), std::string::npos);
+  for (const char c : traces) {
+    const auto byte = static_cast<unsigned char>(c);
+    EXPECT_TRUE(byte >= 0x20 || c == '\n') << "raw control byte " << +byte;
+  }
+  // And the snapshot JSON stays balanced with the hostile topic live.
+  const std::string json = to_json(broker.telemetry_snapshot());
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+
+  // The Prometheus document never carries the raw name either (metric
+  // names are sanitized, labels are numeric shards) and stays conformant.
+  const std::string text = prometheus_text(broker.telemetry_snapshot());
+  EXPECT_EQ(text.find("bad\"topic"), std::string::npos);
+  const auto errors = conformance_errors(text);
+  EXPECT_TRUE(errors.empty()) << join_errors(errors);
+}
+
+TEST(PrometheusConformance, EscapedHostileLabelValuesStaySingleLine) {
+  // A label value with backslashes and newlines, escaped by the helper,
+  // must keep the document line-oriented and parseable.
+  const std::string doc = "# HELP io_total bytes\n# TYPE io_total counter\n"
+                          "io_total{path=\"" +
+                          prometheus_escaped_label("C:\\tmp\nx") + "\"} 1\n";
+  EXPECT_NE(doc.find("C:\\\\tmp\\nx"), std::string::npos);
+  const auto errors = conformance_errors(doc);
+  EXPECT_TRUE(errors.empty()) << join_errors(errors);
 }
 
 }  // namespace

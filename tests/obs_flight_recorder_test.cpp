@@ -1,0 +1,647 @@
+// Flight-recorder tests: SpanRecord layout and UTF-8-safe truncation,
+// ring-wrap and concurrent writers-vs-reader semantics of the per-shard
+// SeqlockRing<SpanRecord> (tsan-checked via the concurrency label),
+// tail-based retention with the adaptive threshold, the WaitProfile
+// decomposition (telescoping + Eq. 1 reconciliation), the Chrome-trace
+// exporter structure and escaping, and the always-on broker integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "jms/broker.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/seqlock_ring.hpp"
+#include "obs/span_export.hpp"
+#include "workload/filter_population.hpp"
+
+namespace jmsperf::obs {
+namespace {
+
+// A span with explicit per-stage durations (nanoseconds), anchored at a
+// deterministic publish time so ring ordering is checkable by id.
+SpanRecord make_span(std::uint64_t id, std::int64_t pushback_ns,
+                     std::int64_t wait_ns, std::int64_t probe_ns,
+                     std::int64_t filter_ns, std::int64_t delivery_ns) {
+  SpanRecord s;
+  s.id = id;
+  s.set_destination("orders.eu");
+  s.copies = 1;
+  s.filter_evaluations = 4;
+  s.index_probes = 2;
+  s.published_ns = static_cast<std::int64_t>(id) * 100000;
+  s.admitted_ns = s.published_ns + pushback_ns;
+  s.pickup_ns = s.admitted_ns + wait_ns;
+  s.probe_done_ns = s.pickup_ns + probe_ns;
+  s.filters_done_ns = s.probe_done_ns + filter_ns;
+  s.done_ns = s.filters_done_ns + delivery_ns;
+  s.delivery_max_ns = delivery_ns;
+  return s;
+}
+
+// Every field derived from the id — a torn read mixes epochs and breaks
+// the arithmetic relations checked by check_derived().
+SpanRecord derived_span(std::uint64_t id) {
+  SpanRecord s;
+  s.id = id;
+  s.shard = static_cast<std::uint32_t>(id % 2);
+  s.copies = static_cast<std::uint32_t>(id % 3);
+  s.filter_evaluations = static_cast<std::uint32_t>(id % 7);
+  s.index_probes = static_cast<std::uint32_t>(id % 5);
+  s.routing_epoch = id % 11;
+  s.flags = static_cast<std::uint32_t>(id % 2);  // pool hit on odd ids
+  s.set_destination("stress.topic");
+  s.published_ns = static_cast<std::int64_t>(id) * 1000;
+  s.admitted_ns = s.published_ns + 13;
+  s.pickup_ns = s.admitted_ns + 29;
+  s.probe_done_ns = s.pickup_ns + 7;
+  s.filters_done_ns = s.probe_done_ns + 17;
+  s.done_ns = s.filters_done_ns + 19;
+  s.delivery_max_ns = 19;
+  return s;
+}
+
+void check_derived(const SpanRecord& s) {
+  EXPECT_EQ(s.admitted_ns, s.published_ns + 13);
+  EXPECT_EQ(s.pickup_ns, s.admitted_ns + 29);
+  EXPECT_EQ(s.probe_done_ns, s.pickup_ns + 7);
+  EXPECT_EQ(s.filters_done_ns, s.probe_done_ns + 17);
+  EXPECT_EQ(s.done_ns, s.filters_done_ns + 19);
+  EXPECT_EQ(s.published_ns, static_cast<std::int64_t>(s.id) * 1000);
+  EXPECT_EQ(s.shard, s.id % 2);
+  EXPECT_EQ(s.copies, s.id % 3);
+  EXPECT_EQ(s.filter_evaluations, s.id % 7);
+  EXPECT_EQ(s.index_probes, s.id % 5);
+  EXPECT_EQ(s.routing_epoch, s.id % 11);
+  EXPECT_EQ(s.flags, s.id % 2);
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// --- SpanRecord ----------------------------------------------------------
+
+TEST(SpanRecord, StageAccessorsTelescopeToTheTotal) {
+  const SpanRecord s = make_span(1, 100, 200, 300, 400, 500);
+  EXPECT_DOUBLE_EQ(s.pushback_seconds(), 100e-9);
+  EXPECT_DOUBLE_EQ(s.wait_seconds(), 200e-9);
+  EXPECT_DOUBLE_EQ(s.probe_seconds(), 300e-9);
+  EXPECT_DOUBLE_EQ(s.filter_seconds(), 400e-9);
+  EXPECT_DOUBLE_EQ(s.delivery_seconds(), 500e-9);
+  EXPECT_DOUBLE_EQ(s.delivery_max_seconds(), 500e-9);
+  EXPECT_EQ(s.total_ns(), 1500);
+  EXPECT_DOUBLE_EQ(s.total_seconds(), 1500e-9);
+  // The decomposition telescopes exactly: every stage is a consecutive
+  // timestamp difference, so the five stages sum to the total.
+  EXPECT_DOUBLE_EQ(s.pushback_seconds() + s.wait_seconds() +
+                       s.probe_seconds() + s.filter_seconds() +
+                       s.delivery_seconds(),
+                   s.total_seconds());
+  EXPECT_FALSE(s.pool_hit());
+  SpanRecord tagged = s;
+  tagged.flags |= SpanRecord::kPoolHit;
+  EXPECT_TRUE(tagged.pool_hit());
+}
+
+TEST(SpanRecord, DestinationTruncationIsExactAtTheBufferEdge) {
+  SpanRecord s;
+  ASSERT_EQ(sizeof(s.destination), 44u);  // 43 payload bytes + NUL
+  // 43 ASCII bytes fit untouched; 44 and 45 truncate to 43.
+  s.set_destination(std::string(43, 'x'));
+  EXPECT_EQ(std::string(s.destination).size(), 43u);
+  s.set_destination(std::string(44, 'x'));
+  EXPECT_EQ(std::string(s.destination).size(), 43u);
+  s.set_destination(std::string(45, 'x'));
+  EXPECT_EQ(std::string(s.destination).size(), 43u);
+}
+
+TEST(SpanRecord, DestinationTruncationNeverSplitsMultiByteUtf8) {
+  SpanRecord s;
+  // 41 ASCII + 2-byte "é" = 43 bytes: fits whole.
+  s.set_destination(std::string(41, 'a') + "\xC3\xA9");
+  EXPECT_EQ(std::string(s.destination), std::string(41, 'a') + "\xC3\xA9");
+  // 42 ASCII + "é" = 44 bytes: the cut would land mid-sequence, so the
+  // whole code point is dropped instead.
+  s.set_destination(std::string(42, 'a') + "\xC3\xA9");
+  EXPECT_EQ(std::string(s.destination), std::string(42, 'a'));
+  // 3-byte "€" straddling the edge at every offset.
+  s.set_destination(std::string(40, 'a') + "\xE2\x82\xAC");  // 43: fits
+  EXPECT_EQ(std::string(s.destination), std::string(40, 'a') + "\xE2\x82\xAC");
+  s.set_destination(std::string(41, 'a') + "\xE2\x82\xAC");  // 44: dropped
+  EXPECT_EQ(std::string(s.destination), std::string(41, 'a'));
+  s.set_destination(std::string(42, 'a') + "\xE2\x82\xAC");  // 45: dropped
+  EXPECT_EQ(std::string(s.destination), std::string(42, 'a'));
+  // 4-byte emoji across the edge.
+  s.set_destination(std::string(42, 'a') + "\xF0\x9F\x98\x80");
+  EXPECT_EQ(std::string(s.destination), std::string(42, 'a'));
+}
+
+// --- SeqlockRing<SpanRecord> ring-wrap semantics -------------------------
+
+TEST(SpanRing, WrapRetainsTheNewestRecordsOldestFirst) {
+  SeqlockRing<SpanRecord> ring(3);  // rounds up to 4 slots
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (std::uint64_t id = 1; id <= 11; ++id) {
+    EXPECT_TRUE(ring.push(make_span(id, 1, 2, 3, 4, 5)));
+  }
+  const auto spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].id, 8 + i);  // ids 8..11 survive 11 pushes
+  }
+  EXPECT_EQ(ring.pushed(), 11u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+// Writers race each other (and lap the small ring) while a reader
+// snapshots continuously: snapshots must never contain a torn record,
+// and every push must be accounted as either landed or dropped.
+TEST(SpanRingConcurrent, LappedWritersDropCleanlyAndNeverTear) {
+  SeqlockRing<SpanRecord> ring(8);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> pushed{0};
+  std::atomic<std::uint64_t> collided{0};
+  constexpr int kWriters = 3;
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, &stop, &pushed, &collided, w] {
+      std::uint64_t ok = 0, lost = 0, i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(w + 1) * 1000000 + i++;
+        if (ring.push(derived_span(id))) {
+          ++ok;
+        } else {
+          ++lost;
+        }
+      }
+      pushed.fetch_add(ok);
+      collided.fetch_add(lost);
+    });
+  }
+
+  for (int iter = 0; iter < 5000; ++iter) {
+    for (const SpanRecord& s : ring.snapshot()) check_derived(s);
+  }
+  stop.store(true);
+  for (auto& writer : writers) writer.join();
+
+  // Conservation: every attempt either landed or was counted as dropped.
+  EXPECT_EQ(ring.pushed(), pushed.load());
+  EXPECT_EQ(ring.dropped(), collided.load());
+  const auto spans = ring.snapshot();
+  EXPECT_LE(spans.size(), ring.capacity());
+  for (const SpanRecord& s : spans) check_derived(s);
+}
+
+// --- FlightRecorder retention and aggregates -----------------------------
+
+TEST(FlightRecorder, RejectsDegenerateConfigs) {
+  EXPECT_THROW(FlightRecorder(0), std::invalid_argument);
+  FlightRecorderConfig bad_floor;
+  bad_floor.latency_floor_seconds = -1.0;
+  EXPECT_THROW(FlightRecorder(1, bad_floor), std::invalid_argument);
+  FlightRecorderConfig bad_tail;
+  bad_tail.tail_quantile = 0.0;
+  EXPECT_THROW(FlightRecorder(1, bad_tail), std::invalid_argument);
+  bad_tail.tail_quantile = 1.0;
+  EXPECT_THROW(FlightRecorder(1, bad_tail), std::invalid_argument);
+}
+
+TEST(FlightRecorder, FloorOnlyRetentionKeepsExactlyTheSlowSpans) {
+  FlightRecorderConfig config;
+  config.latency_floor_seconds = 1e-3;
+  config.threshold_refresh_every = 0;  // floor only, never adapt
+  FlightRecorder recorder(1, config);
+  EXPECT_EQ(recorder.threshold_ns(), 1000000u);
+
+  // 10 fast spans (total 150 us) and 3 slow ones (total 1.5 ms).
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    EXPECT_FALSE(recorder.record(make_span(id, 10000, 50000, 10000, 30000,
+                                           50000)));
+  }
+  for (std::uint64_t id = 11; id <= 13; ++id) {
+    EXPECT_TRUE(recorder.record(make_span(id, 100000, 500000, 100000, 300000,
+                                          500000)));
+  }
+
+  EXPECT_EQ(recorder.retained_count(), 3u);
+  const auto retained = recorder.retained(0);
+  ASSERT_EQ(retained.size(), 3u);
+  for (std::size_t i = 0; i < retained.size(); ++i) {
+    EXPECT_EQ(retained[i].id, 11 + i);  // oldest first
+  }
+
+  const StageTotals totals = recorder.totals();
+  EXPECT_EQ(totals.spans, 13u);
+  EXPECT_EQ(totals.retained, 3u);
+  EXPECT_EQ(totals.copies, 13u);
+  EXPECT_EQ(totals.filter_evaluations, 13u * 4);
+  EXPECT_EQ(totals.index_probes, 13u * 2);
+  EXPECT_EQ(totals.pushback_ns, 10u * 10000 + 3u * 100000);
+  EXPECT_EQ(totals.wait_ns, 10u * 50000 + 3u * 500000);
+  EXPECT_EQ(totals.probe_ns, 10u * 10000 + 3u * 100000);
+  EXPECT_EQ(totals.filter_ns, 10u * 30000 + 3u * 300000);
+  EXPECT_EQ(totals.delivery_ns, 10u * 50000 + 3u * 500000);
+  EXPECT_EQ(totals.delivery_max_ns, totals.delivery_ns);
+  EXPECT_EQ(recorder.total_latency().total, 13u);
+  // The threshold never moved off the floor.
+  EXPECT_EQ(recorder.threshold_ns(), 1000000u);
+}
+
+TEST(FlightRecorder, AdaptiveThresholdRisesToTheLiveTail) {
+  FlightRecorderConfig config;
+  config.latency_floor_seconds = 1e-6;
+  config.threshold_refresh_every = 0;  // refresh manually below
+  config.ring_capacity = 64;
+  FlightRecorder recorder(1, config);
+
+  // 980 spans at ~100 us, 20 at ~10 ms: the p99 sits in the slow mass.
+  for (std::uint64_t id = 1; id <= 980; ++id) {
+    recorder.record(make_span(id, 0, 40000, 5000, 25000, 30000));
+  }
+  for (std::uint64_t id = 981; id <= 1000; ++id) {
+    recorder.record(make_span(id, 0, 4000000, 500000, 2500000, 3000000));
+  }
+  recorder.refresh_threshold();
+
+  const double threshold_ms =
+      1e-6 * static_cast<double>(recorder.threshold_ns());
+  EXPECT_GT(threshold_ms, 1.0);   // far above the 100 us mass
+  EXPECT_LT(threshold_ms, 11.0);  // within the slow cluster (+bucket slop)
+
+  // The new threshold now filters: a 100 us span is dropped, a 20 ms
+  // span is retained.
+  EXPECT_FALSE(recorder.record(make_span(2000, 0, 40000, 5000, 25000, 30000)));
+  EXPECT_TRUE(recorder.record(
+      make_span(2001, 0, 8000000, 1000000, 5000000, 6000000)));
+}
+
+TEST(FlightRecorder, ShardTotalsStaySeparateAndSum) {
+  FlightRecorderConfig config;
+  config.threshold_refresh_every = 0;
+  config.latency_floor_seconds = 0.0;
+  FlightRecorder recorder(2, config);
+  for (std::uint64_t id = 0; id < 10; ++id) {
+    SpanRecord s = make_span(id, 1, 2, 3, 4, 5);
+    s.shard = id < 4 ? 0 : 1;  // 4 spans on shard 0, 6 on shard 1
+    EXPECT_TRUE(recorder.record(s));
+  }
+  EXPECT_EQ(recorder.totals(0).spans, 4u);
+  EXPECT_EQ(recorder.totals(1).spans, 6u);
+  EXPECT_EQ(recorder.totals().spans, 10u);
+  EXPECT_EQ(recorder.retained(0).size(), 4u);
+  EXPECT_EQ(recorder.retained(1).size(), 6u);
+  EXPECT_EQ(recorder.retained_all().size(), 10u);
+
+  // An out-of-range shard is rejected, not misfiled.
+  SpanRecord stray = make_span(99, 1, 2, 3, 4, 5);
+  stray.shard = 7;
+  EXPECT_FALSE(recorder.record(stray));
+  EXPECT_EQ(recorder.totals().spans, 10u);
+}
+
+TEST(FlightRecorder, InstantListIsBoundedAndDropsTheOldest) {
+  FlightRecorderConfig config;
+  config.max_instants = 4;
+  FlightRecorder recorder(1, config);
+  for (int i = 0; i < 6; ++i) {
+    recorder.note_instant("i" + std::to_string(i), "detail");
+  }
+  const auto instants = recorder.instants();
+  ASSERT_EQ(instants.size(), 4u);
+  EXPECT_EQ(instants.front().name, "i2");  // i0 and i1 were evicted
+  EXPECT_EQ(instants.back().name, "i5");
+  for (std::size_t i = 1; i < instants.size(); ++i) {
+    EXPECT_LE(instants[i - 1].at_ns, instants[i].at_ns);
+  }
+}
+
+// Two dispatcher threads record into their own shards while a reader
+// snapshots rings, totals and the merged histogram: totals must end
+// exact (single-writer slots), snapshots must never tear.
+TEST(FlightRecorderConcurrent, PerShardWritersAndSnapshotsStayCoherent) {
+  FlightRecorderConfig config;
+  config.latency_floor_seconds = 0.0;
+  config.threshold_refresh_every = 0;  // threshold pinned at 0: retain all
+  config.ring_capacity = 32;
+  FlightRecorder recorder(2, config);
+  constexpr std::uint64_t kPerShard = 8000;
+  std::atomic<int> running{2};
+
+  std::vector<std::thread> writers;
+  for (std::uint32_t shard = 0; shard < 2; ++shard) {
+    writers.emplace_back([&recorder, &running, shard] {
+      for (std::uint64_t i = 0; i < kPerShard; ++i) {
+        // Even ids land on shard 0, odd on shard 1 (derived_span rule),
+        // so each writer owns its slot exclusively.
+        SpanRecord s = derived_span(2 * i + shard);
+        EXPECT_TRUE(recorder.record(s));
+      }
+      running.fetch_sub(1);
+    });
+  }
+  while (running.load() > 0) {
+    for (const SpanRecord& s : recorder.retained_all()) check_derived(s);
+    const StageTotals t = recorder.totals();
+    EXPECT_LE(t.spans, 2 * kPerShard);
+    // Threshold 0 retains everything, but the counters are read without
+    // a cross-shard barrier: a writer may sit between its spans bump and
+    // its retained bump (≤1 behind per writer), and the later retained
+    // read may observe newer increments than the spans read did. Only
+    // the lower bound is exact mid-run; equality is checked after join.
+    EXPECT_GE(t.retained + 2, t.spans);
+    EXPECT_LE(recorder.total_latency().total, 2 * kPerShard);
+  }
+  for (auto& writer : writers) writer.join();
+
+  const StageTotals totals = recorder.totals();
+  EXPECT_EQ(totals.spans, 2 * kPerShard);
+  EXPECT_EQ(totals.retained, 2 * kPerShard);
+  EXPECT_EQ(recorder.total_latency().total, 2 * kPerShard);
+  // Per-span stage durations are constants in derived_span().
+  EXPECT_EQ(totals.pushback_ns, 2 * kPerShard * 13);
+  EXPECT_EQ(totals.wait_ns, 2 * kPerShard * 29);
+  EXPECT_EQ(totals.probe_ns, 2 * kPerShard * 7);
+  EXPECT_EQ(totals.filter_ns, 2 * kPerShard * 17);
+  EXPECT_EQ(totals.delivery_ns, 2 * kPerShard * 19);
+  for (const SpanRecord& s : recorder.retained(0)) EXPECT_EQ(s.shard, 0u);
+  for (const SpanRecord& s : recorder.retained(1)) EXPECT_EQ(s.shard, 1u);
+}
+
+// --- WaitProfile ---------------------------------------------------------
+
+TEST(WaitProfile, RowsTelescopeToTheMeasuredWaitPlusService) {
+  FlightRecorderConfig config;
+  config.threshold_refresh_every = 0;
+  config.latency_floor_seconds = 0.0;
+  FlightRecorder recorder(1, config);
+  SpanRecord a = make_span(1, 100, 200, 300, 400, 500);
+  a.copies = 1;
+  a.filter_evaluations = 4;
+  SpanRecord b = make_span(2, 300, 400, 500, 600, 700);
+  b.copies = 3;
+  b.filter_evaluations = 6;
+  b.flags |= SpanRecord::kPoolHit;
+  recorder.record(a);
+  recorder.record(b);
+
+  const WaitProfile profile = WaitProfile::build(recorder);
+  EXPECT_EQ(profile.spans, 2u);
+  EXPECT_DOUBLE_EQ(profile.pool_hit_rate, 0.5);
+  EXPECT_DOUBLE_EQ(profile.mean_copies, 2.0);
+  EXPECT_DOUBLE_EQ(profile.mean_filter_evaluations, 5.0);
+  ASSERT_EQ(profile.rows.size(), 5u);
+  EXPECT_EQ(profile.rows[0].stage, "pushback");
+  EXPECT_EQ(profile.rows[1].stage, "ingress wait");
+  EXPECT_EQ(profile.rows[2].stage, "index probe");
+  EXPECT_EQ(profile.rows[3].stage, "filter loop");
+  EXPECT_EQ(profile.rows[4].stage, "delivery");
+  EXPECT_NEAR(profile.rows[0].mean_seconds, 200e-9, 1e-15);
+  EXPECT_NEAR(profile.rows[1].mean_seconds, 300e-9, 1e-15);
+  EXPECT_NEAR(profile.rows[2].mean_seconds, 400e-9, 1e-15);
+  EXPECT_NEAR(profile.rows[3].mean_seconds, 500e-9, 1e-15);
+  EXPECT_NEAR(profile.rows[4].mean_seconds, 600e-9, 1e-15);
+  // Wait + probe + filter + delivery telescopes to mean(admitted->done);
+  // pushback is pre-admission and excluded from the total.
+  EXPECT_NEAR(profile.measured_total_seconds, 1800e-9, 1e-15);
+  double row_sum = 0.0;
+  for (std::size_t i = 1; i < profile.rows.size(); ++i) {
+    row_sum += profile.rows[i].mean_seconds;
+  }
+  EXPECT_NEAR(row_sum, profile.measured_total_seconds, 1e-15);
+  EXPECT_NEAR(profile.rows[1].share, 300.0 / 1800.0, 1e-12);
+  // Unreconciled: no predicted column anywhere.
+  for (const auto& row : profile.rows) EXPECT_LT(row.predicted_seconds, 0.0);
+  EXPECT_LT(profile.predicted_total_seconds, 0.0);
+}
+
+TEST(WaitProfile, ReconcileFillsTheEq1Columns) {
+  FlightRecorderConfig config;
+  config.threshold_refresh_every = 0;
+  FlightRecorder recorder(1, config);
+  recorder.record(make_span(1, 100, 200, 300, 400, 500));
+  WaitProfile profile = WaitProfile::build(recorder);
+
+  core::CostModel cost;
+  cost.t_rcv = 1e-6;
+  cost.t_fltr = 1e-8;
+  cost.t_tx = 5e-7;
+  profile.reconcile(cost, /*n_fltr=*/100.0, /*mean_replication=*/2.0,
+                    /*predicted_wait_seconds=*/3e-6);
+  EXPECT_DOUBLE_EQ(profile.rows[2].predicted_seconds, 1e-6);   // t_rcv
+  EXPECT_DOUBLE_EQ(profile.rows[3].predicted_seconds, 1e-6);   // n*t_fltr
+  EXPECT_DOUBLE_EQ(profile.rows[4].predicted_seconds, 1e-6);   // R*t_tx
+  EXPECT_DOUBLE_EQ(profile.rows[1].predicted_seconds, 3e-6);   // W
+  EXPECT_DOUBLE_EQ(profile.predicted_total_seconds, 6e-6);     // W + E[B]
+  EXPECT_LT(profile.rows[0].predicted_seconds, 0.0);  // pushback: no model
+
+  // A negative wait prediction skips the wait row and the total.
+  WaitProfile partial = WaitProfile::build(recorder);
+  partial.reconcile(cost, 100.0, 2.0, -1.0);
+  EXPECT_LT(partial.rows[1].predicted_seconds, 0.0);
+  EXPECT_LT(partial.predicted_total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(partial.rows[3].predicted_seconds, 1e-6);
+}
+
+TEST(WaitProfile, TextAndJsonRenderEveryRow) {
+  FlightRecorderConfig config;
+  config.threshold_refresh_every = 0;
+  FlightRecorder recorder(1, config);
+  recorder.record(make_span(1, 100, 200, 300, 400, 500));
+  const WaitProfile profile = WaitProfile::build(recorder);
+
+  const std::string text = profile.to_text();
+  for (const char* label : {"pushback", "ingress wait", "index probe",
+                            "filter loop", "delivery", "wait+service"}) {
+    EXPECT_NE(text.find(label), std::string::npos) << label;
+  }
+  const std::string json = profile.to_json();
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"measured_total_s\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// --- Chrome-trace exporter -----------------------------------------------
+
+TEST(SpanExport, EmitsTracksNestedSlicesAsyncEnvelopesAndInstants) {
+  std::vector<SpanRecord> spans;
+  // Two overlapping spans on different shards: their service X events
+  // live on separate tracks, their async envelopes overlap in time.
+  SpanRecord a = make_span(1, 100, 5000, 200, 300, 400);
+  a.shard = 0;
+  SpanRecord b = make_span(2, 100, 5000, 200, 300, 400);
+  b.shard = 1;
+  spans.push_back(a);
+  spans.push_back(b);
+  std::vector<InstantEvent> instants;
+  instants.push_back({12345, "resize", "1 -> 2 shards"});
+
+  const std::string json = spans_to_chrome_trace(spans, instants);
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\"", 0), 0u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // 4 X slices per span: service envelope + probe + filter + deliver.
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), 8u);
+  // 3 async begin/end pairs per span: message + pushback + ingress wait.
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"b\""), 6u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"e\""), 6u);
+  // Thread-name metadata for the broker track and both shard tracks.
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"M\""), 3u);
+  EXPECT_NE(json.find("\"shard 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard 1\""), std::string::npos);
+  // The instant is global-scoped on the broker track.
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"i\""), 1u);
+  EXPECT_NE(json.find("\"s\": \"g\""), std::string::npos);
+  EXPECT_NE(json.find("1 -> 2 shards"), std::string::npos);
+  // Span args carry the tags the recorder collected.
+  EXPECT_NE(json.find("\"routing_epoch\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool_hit\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(SpanExport, HostileNamesAreEscapedIntoValidJson) {
+  SpanRecord hostile = make_span(1, 100, 200, 300, 400, 500);
+  hostile.set_destination("ev\"il\\topic\n\xE2\x82\xAC");
+  std::vector<InstantEvent> instants;
+  instants.push_back({5, "al\x01rt", "quote \" backslash \\ newline \n"});
+
+  const std::string json =
+      spans_to_chrome_trace({hostile}, instants);
+  // Quote, backslash and newline inside the destination are escaped;
+  // the multi-byte UTF-8 passes through untouched.
+  EXPECT_NE(json.find("ev\\\"il\\\\topic\\n\xE2\x82\xAC"), std::string::npos);
+  // The control byte in the instant name becomes a \u escape.
+  EXPECT_NE(json.find("al\\u0001rt"), std::string::npos);
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n"),
+            std::string::npos);
+  // No raw control byte survives anywhere (the exporter's own layout
+  // newlines between events are the only bytes below 0x20).
+  for (const char c : json) {
+    const auto byte = static_cast<unsigned char>(c);
+    EXPECT_TRUE(byte >= 0x20 || c == '\n') << "raw control byte " << +byte;
+  }
+}
+
+// --- Broker integration --------------------------------------------------
+
+TEST(BrokerFlightRecorder, EveryMessageGetsASpanAndTheProfileMatchesTelemetry) {
+  jms::BrokerConfig config;
+  config.enable_flight_recorder = true;
+  // A floor far above any latency here: retention stays empty, so the
+  // aggregate assertions are exact while the recorder still sees every
+  // message (the always-on property under test).
+  config.flight_latency_floor_seconds = 10.0;
+  jms::Broker broker(config);
+  broker.create_topic("t");
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 4, 2);
+  for (int i = 0; i < 600; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+  broker.wait_until_idle();
+
+  const FlightRecorder* recorder = broker.flight_recorder();
+  ASSERT_NE(recorder, nullptr);
+  const StageTotals totals = recorder->totals();
+  EXPECT_EQ(totals.spans, 600u);
+  EXPECT_EQ(totals.copies, 1200u);                 // 2 matching subscribers
+  EXPECT_EQ(totals.filter_evaluations, 3600u);     // 4 + 2 filters per msg
+  EXPECT_GT(totals.pool_hits, 0u);                 // slab-pooled publishes
+  EXPECT_EQ(recorder->retained_count(), 0u);       // nothing beat the floor
+  EXPECT_TRUE(recorder->retained_all().empty());
+  EXPECT_EQ(recorder->threshold_ns(), 10000000000u);
+  EXPECT_EQ(recorder->total_latency().total, 600u);
+
+  // The decomposition must sum to what the telemetry histograms measured
+  // through their own (identical) clock reads.
+  const WaitProfile profile = WaitProfile::build(*recorder);
+  EXPECT_EQ(profile.spans, 600u);
+  EXPECT_DOUBLE_EQ(profile.mean_copies, 2.0);
+  EXPECT_DOUBLE_EQ(profile.mean_filter_evaluations, 6.0);
+  const auto snapshot = broker.telemetry_snapshot();
+  const double telemetry_total = snapshot.ingress_wait.mean_seconds() +
+                                 snapshot.service_time.mean_seconds();
+  ASSERT_GT(telemetry_total, 0.0);
+  EXPECT_NEAR(profile.measured_total_seconds, telemetry_total,
+              0.1 * telemetry_total);
+
+  // Without the flag there is no recorder at all.
+  jms::Broker plain((jms::BrokerConfig()));
+  EXPECT_EQ(plain.flight_recorder(), nullptr);
+}
+
+TEST(BrokerFlightRecorder, SaturationRetainsTailSpansAndResizeLeavesAMark) {
+  jms::BrokerConfig config;
+  config.subscription_queue_capacity = 1 << 17;
+  config.drop_on_subscriber_overflow = true;
+  config.num_dispatchers = 1;
+  config.max_dispatchers = 2;
+  config.enable_flight_recorder = true;
+  jms::Broker broker(config);
+  broker.create_topic("t");
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 512, 1);
+
+  // Saturate: push-back locks the publisher to the service rate, so the
+  // ingress queue stays full and waits sit far above the 500 us floor.
+  for (int i = 0; i < 1500; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+  broker.wait_until_idle();
+  FlightRecorder* recorder = broker.flight_recorder();
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_GT(recorder->retained_count(), 0u);
+  for (const SpanRecord& s : recorder->retained_all()) {
+    EXPECT_STREQ(s.destination, "t");
+    EXPECT_EQ(s.routing_epoch, 0u);
+    EXPECT_LE(s.published_ns, s.admitted_ns);
+    EXPECT_LE(s.admitted_ns, s.pickup_ns);
+    EXPECT_LE(s.pickup_ns, s.probe_done_ns);
+    EXPECT_LE(s.probe_done_ns, s.filters_done_ns);
+    EXPECT_LE(s.filters_done_ns, s.done_ns);
+  }
+
+  // A live resize lands on the recorder timeline as an instant, and
+  // spans routed after it carry the bumped epoch tag.
+  ASSERT_TRUE(broker.resize(2));
+  EXPECT_EQ(broker.routing_epoch(), 1u);
+  const auto instants = recorder->instants();
+  ASSERT_FALSE(instants.empty());
+  EXPECT_EQ(instants.back().name, "resize");
+  EXPECT_FALSE(instants.back().detail.empty());
+
+  // A longer second burst: its backlog grows past the first burst's, so
+  // some post-resize span always clears the adapted threshold.
+  for (int i = 0; i < 4000; ++i) {
+    broker.publish(workload::make_keyed_message("t", 0));
+  }
+  broker.wait_until_idle();
+  const auto spans = recorder->retained_all();
+  EXPECT_TRUE(std::any_of(spans.begin(), spans.end(), [](const SpanRecord& s) {
+    return s.routing_epoch >= 1;
+  }));
+}
+
+}  // namespace
+}  // namespace jmsperf::obs

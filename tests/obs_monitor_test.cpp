@@ -149,6 +149,59 @@ TEST(Monitor, SaturationRaisesOneEdgeTriggeredOverloadAlert) {
   EXPECT_EQ(count_cause(monitor.alerts(), AlertCause::Overload), 1u);
 }
 
+// Regression for the alert/flight-recorder wiring: when the broker has a
+// recorder, a raised alert must ship retained-span evidence — slowest
+// first, bounded by alert_span_limit, with the slowest span clearing the
+// adaptive retention threshold the alert snapshotted.
+TEST(Monitor, OverloadAlertCarriesRetainedSpanEvidence) {
+  jms::BrokerConfig broker_config = saturable_config();
+  broker_config.enable_flight_recorder = true;
+  jms::Broker broker(broker_config);
+  broker.create_topic("t");
+  auto subs = workload::install_measurement_population(
+      broker, "t", core::FilterClass::CorrelationId, 512, 1);
+  MonitorConfig config;
+  config.window_epochs = 1;
+  config.overload_ewma_alpha = 1.0;
+  config.overload_utilization = 0.8;
+  config.alert_span_limit = 4;
+  Monitor monitor(broker.telemetry(), broker.window(), config);
+
+  saturated_burst(broker, 10000);
+  monitor.tick();
+  broker.wait_until_idle();
+  ASSERT_EQ(count_cause(monitor.alerts(), AlertCause::Overload), 1u);
+  const std::vector<Alert> alerts = monitor.alerts();
+  const Alert& overload = alerts[0];
+  ASSERT_EQ(overload.cause, AlertCause::Overload);
+
+  ASSERT_FALSE(overload.spans.empty());
+  EXPECT_LE(overload.spans.size(), 4u);
+  // Saturated waits sit far above the 500 us floor, so the snapshotted
+  // threshold is meaningful and the slowest attached span clears it
+  // (small slack: the histogram quantile has ~3% bucket resolution).
+  EXPECT_GE(overload.span_threshold_seconds, 500e-6);
+  EXPECT_GE(overload.spans.front().total_seconds(),
+            0.95 * overload.span_threshold_seconds);
+  for (std::size_t i = 1; i < overload.spans.size(); ++i) {
+    EXPECT_GE(overload.spans[i - 1].total_ns(),
+              overload.spans[i].total_ns());  // slowest first
+  }
+  for (const SpanRecord& span : overload.spans) {
+    EXPECT_STREQ(span.destination, "t");
+    EXPECT_GE(span.total_seconds(), 500e-6);  // every one beat the floor
+  }
+  // The renderer includes the evidence lines.
+  const std::string text = format_alerts_text(alerts);
+  EXPECT_NE(text.find("span "), std::string::npos);
+
+  // The alert itself landed on the recorder timeline as an instant.
+  const auto instants = broker.flight_recorder()->instants();
+  EXPECT_TRUE(std::any_of(
+      instants.begin(), instants.end(),
+      [](const InstantEvent& instant) { return instant.name == "alert"; }));
+}
+
 TEST(Monitor, MiscalibratedModelRaisesDriftAlert) {
   jms::Broker broker(saturable_config());
   broker.create_topic("t");

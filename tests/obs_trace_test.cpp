@@ -47,6 +47,58 @@ TEST(TraceRecord, DestinationTruncatesSafely) {
   EXPECT_EQ(std::string(r.destination).size(), sizeof(r.destination) - 1);
 }
 
+TEST(TraceRecord, DestinationTruncationIsExactAtTheBufferEdge) {
+  TraceRecord r;
+  ASSERT_EQ(sizeof(r.destination), 44u);  // 43 payload bytes + NUL
+  // 43 ASCII bytes fit untouched; 44 and 45 truncate to 43.
+  r.set_destination(std::string(43, 'x'));
+  EXPECT_EQ(std::string(r.destination).size(), 43u);
+  r.set_destination(std::string(44, 'x'));
+  EXPECT_EQ(std::string(r.destination).size(), 43u);
+  r.set_destination(std::string(45, 'x'));
+  EXPECT_EQ(std::string(r.destination).size(), 43u);
+}
+
+TEST(TraceRecord, DestinationTruncationNeverSplitsMultiByteUtf8) {
+  TraceRecord r;
+  // 41 ASCII + 2-byte "é" = 43 bytes: fits whole.
+  r.set_destination(std::string(41, 'a') + "\xC3\xA9");
+  EXPECT_EQ(std::string(r.destination), std::string(41, 'a') + "\xC3\xA9");
+  // 42 ASCII + "é" = 44 bytes: the cut would split the sequence, so the
+  // whole code point is dropped and the stored name stays valid UTF-8.
+  r.set_destination(std::string(42, 'a') + "\xC3\xA9");
+  EXPECT_EQ(std::string(r.destination), std::string(42, 'a'));
+  // A 3-byte "€" straddling the edge at every offset.
+  r.set_destination(std::string(40, 'a') + "\xE2\x82\xAC");  // 43: fits
+  EXPECT_EQ(std::string(r.destination), std::string(40, 'a') + "\xE2\x82\xAC");
+  r.set_destination(std::string(41, 'a') + "\xE2\x82\xAC");  // 44: dropped
+  EXPECT_EQ(std::string(r.destination), std::string(41, 'a'));
+  r.set_destination(std::string(42, 'a') + "\xE2\x82\xAC");  // 45: dropped
+  EXPECT_EQ(std::string(r.destination), std::string(42, 'a'));
+  // A 4-byte emoji across the edge.
+  r.set_destination(std::string(42, 'a') + "\xF0\x9F\x98\x80");
+  EXPECT_EQ(std::string(r.destination), std::string(42, 'a'));
+}
+
+TEST(TraceRing, HostileDestinationNamesAreEscapedInJson) {
+  TraceRing ring(4);
+  TraceRecord r = make_record(1);
+  r.set_destination("ev\"il\\topic\n\xE2\x82\xAC");
+  ring.push(r);
+  const std::string json = traces_to_json(ring.snapshot());
+  // Quote, backslash and newline escaped; UTF-8 passes through.
+  EXPECT_NE(json.find("ev\\\"il\\\\topic\\n\xE2\x82\xAC"), std::string::npos);
+  for (const char c : json) {
+    const auto byte = static_cast<unsigned char>(c);
+    EXPECT_TRUE(byte >= 0x20 || c == '\n') << "raw control byte " << +byte;
+  }
+  // The fixed-width text dump replaces control bytes instead of letting
+  // them corrupt the table layout.
+  const std::string text = format_traces_text(ring.snapshot());
+  EXPECT_EQ(text.find("il\\topic\n\xE2"), std::string::npos);
+  EXPECT_NE(text.find("ev\"il\\topic.\xE2\x82\xAC"), std::string::npos);
+}
+
 TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(TraceRing(0).capacity(), 2u);
   EXPECT_EQ(TraceRing(5).capacity(), 8u);
